@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration binaries: one profiled
+ * run per (workload, model, mode, platform, tuning) point, small CLI
+ * (--quick / --full / --scale / --csv), and formatting helpers.
+ *
+ * Every bench prints the same rows/series as its paper figure; see
+ * DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+ * paper-vs-measured numbers.
+ */
+
+#ifndef G5P_BENCH_COMMON_HH
+#define G5P_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/str.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "core/topdown.hh"
+#include "tuning/dvfs.hh"
+#include "tuning/hugepages.hh"
+#include "tuning/optflag.hh"
+
+namespace g5p::bench
+{
+
+/** CLI options common to all figure binaries. */
+struct BenchOptions
+{
+    double scale = 0.25;  ///< workload input scale
+    bool quick = false;   ///< trim sweeps for CI-speed runs
+    bool full = false;    ///< widen sweeps for paper-fidelity runs
+    bool csv = false;     ///< machine-readable output
+
+    /**
+     * Per-run guest-instruction budget (0 = run to completion).
+     * Guest workloads differ widely in dynamic length; capping keeps
+     * the whole suite minutes-scale while every comparison still
+     * measures the same guest work on both sides.
+     */
+    std::uint64_t maxGuestInsts = 16000;
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions opts;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--quick") {
+                opts.quick = true;
+                opts.scale = 0.1;
+                opts.maxGuestInsts = 4000;
+            } else if (arg == "--full") {
+                opts.full = true;
+                opts.scale = 0.6;
+                opts.maxGuestInsts = 0;
+            } else if (arg == "--csv") {
+                opts.csv = true;
+            } else if (arg == "--scale" && i + 1 < argc) {
+                opts.scale = std::atof(argv[++i]);
+            } else if (arg == "--help") {
+                std::cout <<
+                    "options: --quick | --full | --csv | "
+                    "--scale <f>\n";
+                std::exit(0);
+            }
+        }
+        return opts;
+    }
+};
+
+/** Cache of profiled runs so figures sharing points don't re-run. */
+class RunCache
+{
+  public:
+    explicit RunCache(const BenchOptions &opts) : opts_(opts) {}
+
+    const core::RunResult &
+    get(core::RunConfig cfg)
+    {
+        cfg.workloadScale = opts_.scale;
+        cfg.maxGuestInsts = opts_.maxGuestInsts;
+        std::string key = cfg.workload + "|" +
+            os::cpuModelName(cfg.cpuModel) + "|" +
+            os::simModeName(cfg.mode) + "|" + cfg.platform.name +
+            "|" + std::to_string(cfg.corun.processes) +
+            (cfg.corun.smt ? "s" : "") +
+            "|thp" + std::to_string(cfg.tuning.thpCode) +
+            "|ehp" + std::to_string(cfg.tuning.ehpCode) +
+            "|o3" + std::to_string(cfg.tuning.optO3) +
+            "|f" + fmtDouble(cfg.tuning.freqGHzOverride, 2) +
+            "|t" + std::to_string(cfg.tuning.turbo) +
+            "|seed" + std::to_string(cfg.seed);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        std::cerr << "  running " << key << " ...\n";
+        auto [pos, _] =
+            cache_.emplace(key, core::runProfiledSimulation(cfg));
+        return pos->second;
+    }
+
+  private:
+    BenchOptions opts_;
+    std::map<std::string, core::RunResult> cache_;
+};
+
+/** Geometric mean (Fig. 1 aggregates per-workload ratios this way). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / (double)values.size());
+}
+
+/** Workload subset by run budget. */
+inline std::vector<std::string>
+benchWorkloads(const BenchOptions &opts)
+{
+    if (opts.quick)
+        return {"water_nsquared", "canneal", "blackscholes"};
+    return workloads::Registry::parsecSplashNames();
+}
+
+inline const char *
+onOff(bool v)
+{
+    return v ? "on" : "off";
+}
+
+/** One labeled profile row of Figs. 2-6. */
+struct ProfileRow
+{
+    std::string label;
+    const core::RunResult *run;
+};
+
+/**
+ * The gem5 configuration rows the paper's Top-Down figures use:
+ * every CPU type on BOOT_EXIT (FS) and on a PARSEC workload (SE),
+ * profiled on the Intel_Xeon platform.
+ */
+inline std::vector<ProfileRow>
+gem5ProfileRows(RunCache &cache, const BenchOptions &opts)
+{
+    std::vector<ProfileRow> rows;
+    for (os::CpuModel model : os::allCpuModels) {
+        std::string mname = os::cpuModelName(model);
+        for (auto &c : mname)
+            c = (char)std::toupper(c);
+
+        if (!opts.quick) {
+            core::RunConfig boot;
+            boot.workload = "boot-exit";
+            boot.cpuModel = model;
+            boot.mode = os::SimMode::FS;
+            boot.platform = host::xeonConfig();
+            rows.push_back(
+                {mname + "_BOOT_EXIT", &cache.get(boot)});
+        }
+
+        core::RunConfig parsec;
+        parsec.workload = "water_nsquared";
+        parsec.cpuModel = model;
+        parsec.mode = os::SimMode::SE;
+        parsec.platform = host::xeonConfig();
+        rows.push_back({mname + "_PARSEC", &cache.get(parsec)});
+    }
+    return rows;
+}
+
+/** The three SPEC reference rows (bare metal on Intel_Xeon). */
+inline std::vector<std::pair<std::string, core::RunResult>>
+specProfileRows()
+{
+    std::vector<std::pair<std::string, core::RunResult>> rows;
+    for (const auto &stream : workloads::specReferenceStreams()) {
+        rows.emplace_back(stream.name,
+                          core::runSpecReference(
+                              stream, host::xeonConfig()));
+    }
+    return rows;
+}
+
+} // namespace g5p::bench
+
+#endif // G5P_BENCH_COMMON_HH

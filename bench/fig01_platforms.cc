@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fig. 1 (+ Table II): simulation time of each evaluation platform,
+ * normalized to Intel_Xeon, per co-run scenario and simulation mode,
+ * geomean over the PARSEC/SPLASH-2x workloads. Also reports the §II
+ * SMT-off-vs-on comparison.
+ */
+
+#include "bench_common.hh"
+
+#include "host/corun.hh"
+
+using namespace g5p;
+using namespace g5p::bench;
+
+namespace
+{
+
+void
+printTableII(std::ostream &os)
+{
+    core::printBanner(os, "Table II: evaluation platforms");
+    core::Table table({"Platform", "Cores", "Freq", "L1I", "L1D",
+                       "Line", "Page", "L2", "LLC", "Width"});
+    for (const auto &cfg : host::tableIIPlatforms()) {
+        table.addRow({cfg.name,
+                      std::to_string(cfg.physicalCores) + "C/" +
+                          std::to_string(cfg.hwThreads) + "T",
+                      fmtDouble(cfg.freqGHz, 1) + "GHz",
+                      fmtBytes(cfg.icache.sizeBytes),
+                      fmtBytes(cfg.dcache.sizeBytes),
+                      fmtBytes(cfg.lineBytes),
+                      fmtBytes(1ull << cfg.pageBits),
+                      fmtBytes(cfg.l2.sizeBytes),
+                      fmtBytes(cfg.llc.sizeBytes),
+                      std::to_string(cfg.dispatchWidth) + "-wide"});
+    }
+    table.print(os);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    RunCache cache(opts);
+    std::ostream &os = std::cout;
+
+    printTableII(os);
+
+    auto platforms = host::tableIIPlatforms();
+    std::vector<os::CpuModel> models{os::CpuModel::Atomic,
+                                     os::CpuModel::O3};
+    std::vector<os::SimMode> modes{os::SimMode::SE};
+    if (opts.full)
+        modes.push_back(os::SimMode::FS);
+
+    struct Scenario
+    {
+        const char *label;
+        bool per_core;
+        bool per_thread;
+    };
+    std::vector<Scenario> scenarios{
+        {"1 gem5 process", false, false},
+        {"procs = # physical cores", true, false},
+        {"procs = # hw threads (SMT)", false, true},
+    };
+    if (opts.quick)
+        scenarios.pop_back();
+
+    core::printBanner(os,
+        "Fig. 1: simulation time normalized to Intel_Xeon "
+        "(geomean over workloads; < 1 is faster)");
+
+    for (const auto &scenario : scenarios) {
+        for (os::SimMode mode : modes) {
+            for (os::CpuModel model : models) {
+                core::Table table({"Platform", "norm. sim time",
+                                   "speedup vs Xeon"});
+                // Per-platform geomean of per-workload times.
+                std::map<std::string, double> normalized;
+                std::vector<double> xeon_times;
+                for (const auto &platform : platforms) {
+                    std::vector<double> ratios;
+                    for (const auto &wl : benchWorkloads(opts)) {
+                        core::RunConfig cfg;
+                        cfg.workload = wl;
+                        cfg.cpuModel = model;
+                        cfg.mode = mode;
+                        cfg.platform = platforms[0]; // Xeon
+                        double xeon =
+                            cache.get(cfg).hostSeconds;
+
+                        cfg.platform = platform;
+                        if (scenario.per_core)
+                            cfg.corun =
+                                host::perPhysicalCore(platform);
+                        else if (scenario.per_thread)
+                            cfg.corun =
+                                host::perHardwareThread(platform);
+                        ratios.push_back(
+                            cache.get(cfg).hostSeconds / xeon);
+                    }
+                    normalized[platform.name] = geomean(ratios);
+                }
+                // Normalize to this scenario's Xeon value.
+                double xeon_norm = normalized["Intel_Xeon"];
+                os << "\n[" << scenario.label << ", "
+                   << os::simModeName(mode) << ", "
+                   << os::cpuModelName(model) << " CPU]\n";
+                for (const auto &platform : platforms) {
+                    double norm =
+                        normalized[platform.name] / xeon_norm;
+                    table.addRow({platform.name, fmtDouble(norm, 3),
+                                  fmtDouble(1.0 / norm, 2) + "x"});
+                }
+                if (opts.csv)
+                    table.printCsv(os);
+                else
+                    table.print(os);
+            }
+        }
+    }
+
+    // §II: SMT off (20 procs) vs SMT on (40 procs) per-process time.
+    core::printBanner(os,
+        "SMT sensitivity on Intel_Xeon (paper: ~47% less time "
+        "per process with SMT off)");
+    {
+        auto xeon = host::xeonConfig();
+        core::RunConfig cfg;
+        cfg.workload = "water_nsquared";
+        cfg.cpuModel = os::CpuModel::O3;
+        cfg.platform = xeon;
+        cfg.corun = host::perPhysicalCore(xeon); // 20, SMT off
+        double smt_off = cache.get(cfg).hostSeconds;
+        cfg.corun = host::perHardwareThread(xeon); // 40, SMT on
+        double smt_on = cache.get(cfg).hostSeconds;
+        os << "per-process sim time, SMT off / SMT on = "
+           << fmtDouble(smt_off / smt_on, 3) << " ("
+           << fmtPercent(1.0 - smt_off / smt_on)
+           << " less time with SMT off)\n";
+    }
+    return 0;
+}

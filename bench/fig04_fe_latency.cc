@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 4: breakdown of front-end *latency* bound cycles — iCache
+ * misses, iTLB misses, mispredict resteers, unknown branches, clear
+ * resteers — for gem5 and SPEC on Intel_Xeon.
+ */
+
+#include "bench_common.hh"
+
+using namespace g5p;
+using namespace g5p::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    RunCache cache(opts);
+    std::ostream &os = std::cout;
+
+    core::printBanner(os,
+        "Fig. 4: front-end latency breakdown (slots %) on "
+        "Intel_Xeon");
+
+    core::Table table({"Config", "ICache", "ITLB", "MispResteer",
+                       "UnknownBr", "ClearResteer",
+                       "icMiss/kI"});
+    auto add_row = [&](const std::string &label,
+                       const core::RunResult &run) {
+        const auto &td = run.topdown;
+        table.addRow({label, fmtPercent(td.feIcache),
+                      fmtPercent(td.feItlb),
+                      fmtPercent(td.feMispredictResteers),
+                      fmtPercent(td.feUnknownBranches),
+                      fmtPercent(td.feClearResteers),
+                      fmtDouble(1000.0 * run.counters.icacheMisses /
+                                    (double)run.counters.insts, 2)});
+    };
+
+    for (const auto &row : gem5ProfileRows(cache, opts))
+        add_row(row.label, *row.run);
+    for (const auto &[label, run] : specProfileRows())
+        add_row(label, run);
+
+    if (opts.csv)
+        table.printCsv(os);
+    else
+        table.print(os);
+
+    // The headline ratio the paper calls out.
+    core::RunConfig a;
+    a.workload = "water_nsquared";
+    a.platform = host::xeonConfig();
+    a.cpuModel = os::CpuModel::Atomic;
+    const auto &atomic = cache.get(a);
+    a.cpuModel = os::CpuModel::O3;
+    const auto &o3 = cache.get(a);
+    double ratio =
+        (1000.0 * o3.counters.icacheMisses / o3.counters.insts) /
+        (1000.0 * atomic.counters.icacheMisses /
+         std::max<std::uint64_t>(1, atomic.counters.insts));
+    os << "\nO3 vs Atomic iCache MPKI ratio: " << fmtDouble(ratio, 1)
+       << "x (paper: up to 11x)\n";
+    return 0;
+}

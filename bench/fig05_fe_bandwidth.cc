@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 5: breakdown of front-end *bandwidth* bound cycles between
+ * MITE (legacy decode) and DSB (µop cache) for gem5 and SPEC on
+ * Intel_Xeon. The paper: 92-97% of gem5's bandwidth stalls wait on
+ * MITE.
+ */
+
+#include "bench_common.hh"
+
+using namespace g5p;
+using namespace g5p::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    RunCache cache(opts);
+    std::ostream &os = std::cout;
+
+    core::printBanner(os,
+        "Fig. 5: front-end bandwidth breakdown on Intel_Xeon");
+
+    core::Table table({"Config", "MITE", "DSB", "MITE share of BW"});
+    auto add_row = [&](const std::string &label,
+                       const core::RunResult &run) {
+        const auto &td = run.topdown;
+        double bw = td.frontendBandwidth;
+        table.addRow({label, fmtPercent(td.feMite),
+                      fmtPercent(td.feDsb),
+                      bw > 0 ? fmtPercent(td.feMite / bw) : "-"});
+    };
+
+    for (const auto &row : gem5ProfileRows(cache, opts))
+        add_row(row.label, *row.run);
+    for (const auto &[label, run] : specProfileRows())
+        add_row(label, run);
+
+    if (opts.csv)
+        table.printCsv(os);
+    else
+        table.print(os);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 6: DSB (µop cache) coverage — the fraction of µops delivered
+ * from the decoded-µop cache — for gem5 and SPEC on Intel_Xeon. The
+ * paper: gem5's coverage is much lower than SPEC's regardless of CPU
+ * type or workload.
+ */
+
+#include "bench_common.hh"
+
+using namespace g5p;
+using namespace g5p::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    RunCache cache(opts);
+    std::ostream &os = std::cout;
+
+    core::printBanner(os, "Fig. 6: DSB coverage on Intel_Xeon");
+
+    core::Table table({"Config", "DSB coverage", "uops from DSB",
+                       "uops from MITE"});
+    auto add_row = [&](const std::string &label,
+                       const core::RunResult &run) {
+        table.addRow({label,
+                      fmtPercent(run.counters.dsbCoverage()),
+                      std::to_string(run.counters.uopsFromDsb),
+                      std::to_string(run.counters.uopsFromMite)});
+    };
+
+    for (const auto &row : gem5ProfileRows(cache, opts))
+        add_row(row.label, *row.run);
+    for (const auto &[label, run] : specProfileRows())
+        add_row(label, run);
+
+    if (opts.csv)
+        table.printCsv(os);
+    else
+        table.print(os);
+    return 0;
+}

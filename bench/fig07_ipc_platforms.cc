@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 7: IPC and stall share of gem5 (water_nsquared, as the paper)
+ * with Atomic/Timing/O3 CPUs across the three evaluation platforms.
+ * The paper: M1 IPC is ~2.2x the Xeon's.
+ */
+
+#include "bench_common.hh"
+
+using namespace g5p;
+using namespace g5p::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    RunCache cache(opts);
+    std::ostream &os = std::cout;
+
+    core::printBanner(os,
+        "Fig. 7: gem5 IPC and stall time across platforms "
+        "(water_nsquared)");
+
+    core::Table table({"Platform", "CPU type", "IPC",
+                       "IPC / width", "Stalled slots", "vs Xeon"});
+    std::map<std::string, double> xeon_ipc;
+    for (const auto &platform : host::tableIIPlatforms()) {
+        for (os::CpuModel model :
+             {os::CpuModel::Atomic, os::CpuModel::Timing,
+              os::CpuModel::O3}) {
+            core::RunConfig cfg;
+            cfg.workload = "water_nsquared";
+            cfg.cpuModel = model;
+            cfg.platform = platform;
+            const auto &run = cache.get(cfg);
+            double stalled = 1.0 - run.topdown.retiring;
+            std::string key = os::cpuModelName(model);
+            if (platform.name == "Intel_Xeon")
+                xeon_ipc[key] = run.ipc;
+            table.addRow({platform.name, key, fmtDouble(run.ipc, 2),
+                          fmtPercent(run.ipc /
+                                     platform.dispatchWidth),
+                          fmtPercent(stalled),
+                          fmtDouble(run.ipc / xeon_ipc[key], 2) +
+                              "x"});
+        }
+    }
+
+    if (opts.csv)
+        table.printCsv(os);
+    else
+        table.print(os);
+
+    os << "\nPaper reference: M1_Pro and M1_Ultra IPC are 2.22x and "
+          "2.24x Intel_Xeon's.\n";
+    return 0;
+}

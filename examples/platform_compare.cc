@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Example: the paper's motivating experiment — run the *same*
+ * simulation on the three Table II hosts and see the Apple M1 parts
+ * win, then break the win down into its Fig. 8 mechanisms (L1 size,
+ * page size, line size).
+ *
+ * Usage: platform_compare [workload] [scale]
+ */
+
+#include <iostream>
+
+#include "base/str.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace g5p;
+
+int
+main(int argc, char **argv)
+{
+    core::RunConfig cfg;
+    cfg.workload = argc > 1 ? argv[1] : "water_nsquared";
+    cfg.workloadScale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    cfg.cpuModel = os::CpuModel::O3;
+
+    std::cout << "Same gem5 simulation (" << cfg.workload << ", "
+              << "O3 CPU) on the three evaluation platforms:\n\n";
+
+    core::Table table({"Platform", "sim time", "speedup", "IPC",
+                       "L1I miss%", "iTLB miss%", "mispredict%"});
+    double xeon_time = 0;
+    for (const auto &platform : host::tableIIPlatforms()) {
+        cfg.platform = platform;
+        core::RunResult r = core::runProfiledSimulation(cfg);
+        if (platform.name == "Intel_Xeon")
+            xeon_time = r.hostSeconds;
+        const auto &c = r.counters;
+        auto pct = [](std::uint64_t m, std::uint64_t t) {
+            return t ? fmtDouble(100.0 * m / t, 3) + "%"
+                     : std::string("-");
+        };
+        table.addRow({platform.name,
+                      fmtDouble(r.hostSeconds * 1e3, 2) + "ms",
+                      fmtDouble(xeon_time / r.hostSeconds, 2) + "x",
+                      fmtDouble(r.ipc, 2),
+                      pct(c.icacheMisses, c.icacheAccesses),
+                      pct(c.itlbMisses, c.itlbAccesses),
+                      pct(c.mispredicts, c.branches)});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nWhy the M1 parts win (paper §IV-B): 6x the L1I "
+        "(192KB vs 32KB), 4x the L1D,\n16KB pages (4x iTLB reach), "
+        "128B lines (half the compulsory misses), and an\n8-wide "
+        "front-end with no legacy-decode bottleneck.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Example: host-side tuning (paper §V-A) — how much simulation time
+ * the paper's zero-hardware-change knobs buy on a Xeon: transparent
+ * or explicit huge pages for the simulator's code, an -O3 rebuild,
+ * and TurboBoost, alone and combined.
+ *
+ * Usage: tune_host [workload] [scale]
+ */
+
+#include <iostream>
+
+#include "base/str.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "tuning/dvfs.hh"
+#include "tuning/hugepages.hh"
+#include "tuning/optflag.hh"
+
+using namespace g5p;
+
+int
+main(int argc, char **argv)
+{
+    core::RunConfig cfg;
+    cfg.workload = argc > 1 ? argv[1] : "water_nsquared";
+    cfg.workloadScale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    cfg.cpuModel = os::CpuModel::O3;
+    cfg.platform = host::xeonConfig();
+
+    std::cout << "Host tuning for gem5 (" << cfg.workload
+              << ", O3 CPU, Intel_Xeon):\n\n";
+
+    core::RunResult base = core::runProfiledSimulation(cfg);
+
+    struct Knob
+    {
+        const char *label;
+        void (*apply)(core::TuningConfig &);
+    };
+    const Knob knobs[] = {
+        {"baseline", [](core::TuningConfig &) {}},
+        {"+ THP code backing",
+         [](core::TuningConfig &t) {
+             tuning::applyHugePages(t, tuning::HugePageMode::Thp);
+         }},
+        {"+ EHP code backing",
+         [](core::TuningConfig &t) {
+             tuning::applyHugePages(t, tuning::HugePageMode::Ehp);
+         }},
+        {"+ -O3 rebuild",
+         [](core::TuningConfig &t) { tuning::applyO3(t); }},
+        {"+ TurboBoost",
+         [](core::TuningConfig &t) { tuning::applyTurbo(t); }},
+        {"all of the above",
+         [](core::TuningConfig &t) {
+             tuning::applyHugePages(t, tuning::HugePageMode::Ehp);
+             tuning::applyO3(t);
+             tuning::applyTurbo(t);
+         }},
+    };
+
+    core::Table table({"Configuration", "sim time", "speedup",
+                       "iTLB slots", "retiring"});
+    for (const auto &knob : knobs) {
+        core::RunConfig run_cfg = cfg;
+        knob.apply(run_cfg.tuning);
+        core::RunResult r = core::runProfiledSimulation(run_cfg);
+        table.addRow({knob.label,
+                      fmtDouble(r.hostSeconds * 1e3, 2) + "ms",
+                      fmtDouble(base.hostSeconds / r.hostSeconds,
+                                3) + "x",
+                      fmtPercent(r.topdown.feItlb, 2),
+                      fmtPercent(r.topdown.retiring)});
+    }
+    table.print(std::cout);
+
+    std::cout <<
+        "\nPaper §V-A: huge pages buy up to 5.9%, -O3 about 1.4%, "
+        "and frequency scales\nsimulation time almost linearly — "
+        "all without touching gem5 itself.\n";
+    return 0;
+}

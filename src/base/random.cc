@@ -1,0 +1,109 @@
+#include "base/random.hh"
+
+#include <cmath>
+
+namespace g5p
+{
+
+std::uint64_t
+Rng::splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rng::rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t x = seed_value;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Lemire's multiply-shift rejection-free approximation is fine
+    // here: bias is < 2^-64 * bound which is negligible for our use.
+    unsigned __int128 m = (unsigned __int128)next() * bound;
+    return (std::uint64_t)(m >> 64);
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    double u = uniform();
+    // Inverse-CDF of an exponential, clamped to >= 1.
+    double v = 1.0 - std::log(1.0 - u) * (mean - 1.0);
+    if (v < 1.0)
+        v = 1.0;
+    if (v > 1e12)
+        v = 1e12;
+    return (std::uint64_t)v;
+}
+
+std::uint64_t
+Rng::hashString(const char *s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s; ++s) {
+        h ^= (unsigned char)*s;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace g5p

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic decision in gem5prof flows through a seeded
+ * xoshiro256** generator so that all experiments are bit-reproducible
+ * across runs and platforms. `std::mt19937` is avoided because its
+ * distributions are not guaranteed identical across standard libraries.
+ */
+
+#ifndef G5P_BASE_RANDOM_HH
+#define G5P_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace g5p
+{
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding. Deterministic, fast, and
+ * good enough statistical quality for workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Re-seed in place. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire reduction. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish positive sample with the given mean (used for
+     * synthetic function sizes / run lengths). Always >= 1.
+     */
+    std::uint64_t geometric(double mean);
+
+    /** Deterministic 64-bit hash of a string (FNV-1a). */
+    static std::uint64_t hashString(const char *s);
+
+  private:
+    std::uint64_t s_[4];
+
+    static std::uint64_t splitmix64(std::uint64_t &x);
+    static std::uint64_t rotl(std::uint64_t x, int k);
+};
+
+} // namespace g5p
+
+#endif // G5P_BASE_RANDOM_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every gem5prof subsystem.
+ *
+ * Mirrors gem5's `base/types.hh`: simulation time is a 64-bit tick
+ * count, guest physical/virtual addresses are 64-bit, and cycle counts
+ * on the host side are 64-bit as well.
+ */
+
+#ifndef G5P_BASE_TYPES_HH
+#define G5P_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace g5p
+{
+
+/** Simulated time: one Tick is one picosecond of guest time. */
+using Tick = std::uint64_t;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Guest (simulated) address, virtual or physical. */
+using Addr = std::uint64_t;
+
+/** Host-model cycle count. */
+using Cycles = std::uint64_t;
+
+/** Host-model code/data address in the synthetic address space. */
+using HostAddr = std::uint64_t;
+
+/** Guest register index. */
+using RegIndex = std::uint8_t;
+
+/** Number of ticks per simulated second (1 THz tick rate, as gem5). */
+constexpr Tick simTicksPerSecond = 1'000'000'000'000ULL;
+
+/** Convenience: ticks for one cycle of a clock at @p mhz megahertz. */
+constexpr Tick
+ticksForMHz(std::uint64_t mhz)
+{
+    return simTicksPerSecond / (mhz * 1'000'000ULL);
+}
+
+} // namespace g5p
+
+#endif // G5P_BASE_TYPES_HH

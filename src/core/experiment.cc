@@ -1,0 +1,155 @@
+#include "core/experiment.hh"
+
+#include "base/logging.hh"
+#include "trace/code_layout.hh"
+#include "trace/synthesizer.hh"
+
+namespace g5p::core
+{
+
+namespace
+{
+
+/**
+ * -O3 text shrink: dead cold code is eliminated, so the *padded*
+ * text span contracts (executed bytes are unchanged — the same
+ * instructions run, just packed into fewer pages).
+ */
+constexpr double o3PaddingScale = 0.85;
+
+/** Dynamic-instruction multiplier for -O3 builds. */
+constexpr double o3WorkScale = 0.995;
+
+/**
+ * Fraction of 2MB code chunks THP actually promotes: iodlr remaps
+ * the hot text but leaves tails, cold sections, and unaligned edges
+ * on base pages (the paper's ~63% iTLB-overhead reduction implies
+ * partial coverage).
+ */
+constexpr double thpCoverage = 0.55;
+
+} // namespace
+
+host::HostPlatformConfig
+effectivePlatform(const RunConfig &config)
+{
+    host::HostPlatformConfig platform =
+        host::applyCorun(config.platform, config.corun);
+    if (config.tuning.freqGHzOverride > 0)
+        platform.freqGHz = config.tuning.freqGHzOverride;
+    return platform;
+}
+
+RunResult
+runProfiledSimulation(const RunConfig &config)
+{
+    RunResult result;
+    result.workload = config.workload;
+    result.platform = config.platform.name;
+    result.cpuModel = config.cpuModel;
+    result.mode = config.mode;
+
+    // --- Guest machine (mg5) ---------------------------------------
+    sim::Simulator simulator("system");
+    auto workload = workloads::Registry::instance().create(
+        config.workload, config.workloadScale);
+
+    os::SystemConfig sys_cfg;
+    sys_cfg.cpuModel = config.cpuModel;
+    sys_cfg.mode = config.mode;
+    sys_cfg.numCpus = config.guestCpus;
+    sys_cfg.maxInstsPerCpu = config.maxGuestInsts;
+    os::System system(simulator, sys_cfg, *workload);
+
+    // --- Host model ------------------------------------------------
+    host::HostPlatformConfig platform = effectivePlatform(config);
+
+    trace::LayoutOptions layout_opts;
+    layout_opts.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+    if (config.tuning.optO3) {
+        layout_opts.paddingFactor *= o3PaddingScale;
+        // A different code layout entirely: -O3 relinks the binary,
+        // changing which functions conflict in the i-cache.
+        layout_opts.seed ^= 0x4f33;
+    }
+    trace::CodeLayout layout(trace::FuncRegistry::instance(),
+                             layout_opts);
+
+    host::PageSizePolicy policy(platform.pageBits);
+    if (config.tuning.thpCode || config.tuning.ehpCode) {
+        // Huge pages can only back the code segment region.
+        double coverage = config.tuning.ehpCode ? 1.0 : thpCoverage;
+        policy.addHugeRegion(layout_opts.codeBase,
+                             layout_opts.codeBase + (64ull << 20),
+                             coverage);
+    }
+
+    host::HostCore core(platform, policy);
+    trace::Synthesizer synth(layout, core, config.seed,
+                             config.tuning.optO3 ? o3WorkScale : 1.0);
+    FuncProfile profile;
+
+    trace::Recorder recorder;
+    recorder.addConsumer(&synth);
+    recorder.addConsumer(&profile);
+    recorder.activate();
+
+    sim::SimResult sim_result = system.run();
+    recorder.deactivate();
+
+    // --- Collect ---------------------------------------------------
+    result.counters = core.counters();
+    result.topdown = core.topdown();
+    result.hostSeconds = core.seconds(config.tuning.turbo);
+    result.ipc = result.counters.ipc();
+    result.hostInsts = result.counters.insts;
+    result.codeBytes = layout.totalCodeBytes();
+
+    result.guestInsts = system.totalInsts();
+    result.simTicks = sim_result.tick;
+    result.guestResult = system.result();
+    std::uint64_t expected =
+        workload->expectedResult(config.guestCpus);
+    result.resultChecked = expected != 0 && config.maxGuestInsts == 0;
+    result.resultOk =
+        !result.resultChecked || result.guestResult == expected;
+    if (result.resultChecked && !result.resultOk) {
+        g5p_warn("%s on %s: guest checksum mismatch "
+                 "(got %llx, want %llx)",
+                 config.workload.c_str(),
+                 os::cpuModelName(config.cpuModel),
+                 (unsigned long long)result.guestResult,
+                 (unsigned long long)expected);
+    }
+
+    result.functionCdf = FunctionCdf::build(synth.selfOps());
+    // All functions with self time, including the synthetic callees
+    // each instrumented scope expands to (what a VTune function
+    // profile of the whole binary would count).
+    result.distinctFunctions = result.functionCdf.size();
+    return result;
+}
+
+RunResult
+runSpecReference(const workloads::SpecStreamConfig &stream,
+                 const host::HostPlatformConfig &platform,
+                 std::uint64_t seed)
+{
+    RunResult result;
+    result.workload = stream.name;
+    result.platform = platform.name;
+
+    host::PageSizePolicy policy(platform.pageBits);
+    host::HostCore core(platform, policy);
+    workloads::SpecStreamGenerator generator(stream, seed);
+    generator.run(core);
+
+    result.counters = core.counters();
+    result.topdown = core.topdown();
+    result.hostSeconds = core.seconds();
+    result.ipc = result.counters.ipc();
+    result.hostInsts = result.counters.insts;
+    return result;
+}
+
+} // namespace g5p::core

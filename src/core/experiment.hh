@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiment harness: one call runs a complete profiled simulation —
+ * build an mg5 machine, run a workload on it, lower its dynamic trace
+ * to host instructions, and account them on a host-platform model —
+ * returning everything the paper's figures need. This is the
+ * top-level public API of the reproduction.
+ */
+
+#ifndef G5P_CORE_EXPERIMENT_HH
+#define G5P_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/func_profile.hh"
+#include "host/corun.hh"
+#include "host/host_core.hh"
+#include "os/system.hh"
+#include "workloads/spec_streams.hh"
+#include "workloads/workload.hh"
+
+namespace g5p::core
+{
+
+/** Host-side tuning knobs (paper §V-A). */
+struct TuningConfig
+{
+    /** Transparent huge pages over the code segment (~90% chunks). */
+    bool thpCode = false;
+
+    /** Explicit huge pages (libhugetlbfs-style, full coverage). */
+    bool ehpCode = false;
+
+    /** Compile with -O3: smaller code, slightly fewer instructions. */
+    bool optO3 = false;
+
+    /** Host frequency override in GHz (0 = platform default). */
+    double freqGHzOverride = 0.0;
+
+    /** TurboBoost enabled. */
+    bool turbo = false;
+};
+
+/** Everything a profiled run needs. */
+struct RunConfig
+{
+    std::string workload = "water_nsquared";
+    os::CpuModel cpuModel = os::CpuModel::Atomic;
+    os::SimMode mode = os::SimMode::SE;
+    unsigned guestCpus = 1;
+    double workloadScale = 1.0;
+    std::uint64_t maxGuestInsts = 0;
+
+    host::HostPlatformConfig platform;
+    host::CorunScenario corun;
+    TuningConfig tuning;
+
+    std::uint64_t seed = 1;
+};
+
+/** Results of one profiled run. */
+struct RunResult
+{
+    std::string workload;
+    std::string platform;
+    os::CpuModel cpuModel = os::CpuModel::Atomic;
+    os::SimMode mode = os::SimMode::SE;
+
+    /** @{ Host side. */
+    host::HostCounters counters;
+    host::TopdownBreakdown topdown;
+    double hostSeconds = 0;   ///< the paper's "simulation time"
+    double ipc = 0;
+    std::uint64_t hostInsts = 0;
+    std::uint64_t codeBytes = 0; ///< laid-out text footprint
+    /** @} */
+
+    /** @{ Guest side. */
+    std::uint64_t guestInsts = 0;
+    Tick simTicks = 0;
+    std::uint64_t guestResult = 0;
+    bool resultChecked = false;
+    bool resultOk = false;
+    /** @} */
+
+    /** @{ Function profile (Fig. 15). */
+    std::size_t distinctFunctions = 0;
+    FunctionCdf functionCdf;
+    /** @} */
+};
+
+/**
+ * Run one profiled simulation. Deterministic for a given config.
+ */
+RunResult runProfiledSimulation(const RunConfig &config);
+
+/**
+ * Run a SPEC reference stream (bare metal, no mg5) on a platform.
+ * Fills only the host-side fields.
+ */
+RunResult runSpecReference(const workloads::SpecStreamConfig &stream,
+                           const host::HostPlatformConfig &platform,
+                           std::uint64_t seed = 1);
+
+/**
+ * The effective platform a run executes on, after co-run contention
+ * and tuning adjustments (exposed for tests).
+ */
+host::HostPlatformConfig effectivePlatform(const RunConfig &config);
+
+} // namespace g5p::core
+
+#endif // G5P_CORE_EXPERIMENT_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Function-level profiling (paper Fig. 15): counts calls and distinct
+ * functions reached during a profiled simulation, and builds the
+ * hot-function CDF from the synthesizer's per-function self
+ * instruction counts.
+ */
+
+#ifndef G5P_CORE_FUNC_PROFILE_HH
+#define G5P_CORE_FUNC_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hh"
+
+namespace g5p::core
+{
+
+/** Call-count collector (a trace consumer). */
+class FuncProfile : public trace::TraceConsumer
+{
+  public:
+    void
+    funcEnter(trace::FuncId id) override
+    {
+        if (calls_.size() <= id)
+            calls_.resize(id + 1, 0);
+        ++calls_[id];
+    }
+
+    void funcExit(trace::FuncId id) override {}
+    void dataRef(HostAddr addr, std::uint32_t size,
+                 bool is_write) override {}
+
+    /** Number of distinct functions called at least once. */
+    std::size_t distinctFunctions() const;
+
+    /** Total dynamic calls. */
+    std::uint64_t totalCalls() const;
+
+    const std::vector<std::uint64_t> &calls() const { return calls_; }
+
+  private:
+    std::vector<std::uint64_t> calls_;
+};
+
+/** One row of the hot-function table. */
+struct HotFunction
+{
+    std::string name;
+    std::uint64_t selfOps; ///< instructions attributed to the body
+    double share;          ///< fraction of all instructions
+};
+
+/**
+ * Hot-function CDF built from per-function self instruction counts
+ * (CPU time proxy, as VTune's self-time ranking).
+ */
+class FunctionCdf
+{
+  public:
+    static FunctionCdf build(const std::vector<std::uint64_t>
+                                 &self_ops);
+
+    /** Functions sorted by descending share. */
+    const std::vector<HotFunction> &ranked() const { return ranked_; }
+
+    /** Share of the hottest function. */
+    double hottestShare() const;
+
+    /** Cumulative share of the @p n hottest functions. */
+    double cumulativeShare(std::size_t n) const;
+
+    /** Number of functions with nonzero time. */
+    std::size_t size() const { return ranked_.size(); }
+
+  private:
+    std::vector<HotFunction> ranked_;
+};
+
+} // namespace g5p::core
+
+#endif // G5P_CORE_FUNC_PROFILE_HH

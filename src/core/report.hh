@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Report formatting shared by the bench binaries: fixed-width tables
+ * and CSV series, so every figure's regeneration prints the same
+ * rows/series the paper plots.
+ */
+
+#ifndef G5P_CORE_REPORT_HH
+#define G5P_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g5p::core
+{
+
+/** A simple fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (stringified cells). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Print with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Print as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Section banner for bench output. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace g5p::core
+
+#endif // G5P_CORE_REPORT_HH

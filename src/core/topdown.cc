@@ -1,0 +1,77 @@
+#include "core/topdown.hh"
+
+#include "base/str.hh"
+
+namespace g5p::core
+{
+
+using host::TopdownBreakdown;
+
+std::vector<TopdownRow>
+levelOneRows(const TopdownBreakdown &topdown)
+{
+    return {
+        {"Retiring", topdown.retiring},
+        {"Front-End Bound", topdown.frontendBound()},
+        {"Bad Speculation", topdown.badSpeculation},
+        {"Back-End Bound", topdown.backendBound},
+    };
+}
+
+std::vector<TopdownRow>
+frontendSplitRows(const TopdownBreakdown &topdown)
+{
+    return {
+        {"Front-End Latency", topdown.frontendLatency},
+        {"Front-End Bandwidth", topdown.frontendBandwidth},
+    };
+}
+
+std::vector<TopdownRow>
+frontendLatencyRows(const TopdownBreakdown &topdown)
+{
+    return {
+        {"ICache Misses", topdown.feIcache},
+        {"ITLB Misses", topdown.feItlb},
+        {"Mispredict Resteers", topdown.feMispredictResteers},
+        {"Unknown Branches", topdown.feUnknownBranches},
+        {"Clear Resteers", topdown.feClearResteers},
+    };
+}
+
+std::vector<TopdownRow>
+frontendBandwidthRows(const TopdownBreakdown &topdown)
+{
+    return {
+        {"MITE", topdown.feMite},
+        {"DSB", topdown.feDsb},
+    };
+}
+
+void
+printTopdownTree(std::ostream &os, const TopdownBreakdown &topdown)
+{
+    auto line = [&os](int indent, const std::string &label,
+                      double frac) {
+        os << std::string(indent * 2, ' ')
+           << padRight(label, 28 - indent * 2) << " "
+           << padLeft(fmtPercent(frac), 7) << "\n";
+    };
+    line(0, "Retiring", topdown.retiring);
+    line(0, "Bad Speculation", topdown.badSpeculation);
+    line(0, "Front-End Bound", topdown.frontendBound());
+    line(1, "Front-End Latency", topdown.frontendLatency);
+    line(2, "ICache Misses", topdown.feIcache);
+    line(2, "ITLB Misses", topdown.feItlb);
+    line(2, "Mispredict Resteers", topdown.feMispredictResteers);
+    line(2, "Unknown Branches", topdown.feUnknownBranches);
+    line(2, "Clear Resteers", topdown.feClearResteers);
+    line(1, "Front-End Bandwidth", topdown.frontendBandwidth);
+    line(2, "MITE", topdown.feMite);
+    line(2, "DSB", topdown.feDsb);
+    line(0, "Back-End Bound", topdown.backendBound);
+    line(1, "Memory Bound", topdown.beMemory);
+    line(1, "Core Bound", topdown.beCore);
+}
+
+} // namespace g5p::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named views over the Top-Down breakdown matching the paper's figure
+ * categories, and pretty-printers for the level-1/level-2 trees.
+ */
+
+#ifndef G5P_CORE_TOPDOWN_HH
+#define G5P_CORE_TOPDOWN_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "host/counters.hh"
+
+namespace g5p::core
+{
+
+/** A (label, fraction) row of a stacked-bar figure. */
+struct TopdownRow
+{
+    std::string label;
+    double fraction;
+};
+
+/** Fig. 2: retiring / front-end / bad-speculation / back-end. */
+std::vector<TopdownRow> levelOneRows(
+    const host::TopdownBreakdown &topdown);
+
+/** Fig. 3: front-end latency vs bandwidth. */
+std::vector<TopdownRow> frontendSplitRows(
+    const host::TopdownBreakdown &topdown);
+
+/** Fig. 4: front-end latency breakdown. */
+std::vector<TopdownRow> frontendLatencyRows(
+    const host::TopdownBreakdown &topdown);
+
+/** Fig. 5: front-end bandwidth breakdown (MITE vs DSB). */
+std::vector<TopdownRow> frontendBandwidthRows(
+    const host::TopdownBreakdown &topdown);
+
+/** Print a whole Top-Down tree with indentation. */
+void printTopdownTree(std::ostream &os,
+                      const host::TopdownBreakdown &topdown);
+
+} // namespace g5p::core
+
+#endif // G5P_CORE_TOPDOWN_HH

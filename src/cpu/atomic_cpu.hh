@@ -1,0 +1,43 @@
+/**
+ * @file
+ * AtomicSimpleCPU equivalent: CPI = 1, memory accesses complete
+ * atomically through the cache hierarchy with no queuing or
+ * contention modeling. Used for fast-forwarding and cache warming.
+ */
+
+#ifndef G5P_CPU_ATOMIC_CPU_HH
+#define G5P_CPU_ATOMIC_CPU_HH
+
+#include "cpu/base_cpu.hh"
+#include "mem/physical.hh"
+
+namespace g5p::cpu
+{
+
+class AtomicCpu : public BaseCpu
+{
+  public:
+    AtomicCpu(sim::Simulator &sim, const std::string &name,
+              const sim::ClockDomain &domain, const CpuParams &params,
+              mem::PhysicalMemory &physmem);
+    ~AtomicCpu() override;
+
+    void activate() override;
+
+  protected:
+    isa::Fault execReadMem(Addr vaddr, unsigned size) override;
+    isa::Fault execWriteMem(Addr vaddr, unsigned size,
+                            std::uint64_t data) override;
+
+  private:
+    /** Fetch + execute one instruction, then reschedule. */
+    void tick();
+
+    mem::PhysicalMemory &physmem_;
+    CpuExecContext ctx_;
+    sim::EventFunctionWrapper tickEvent_;
+};
+
+} // namespace g5p::cpu
+
+#endif // G5P_CPU_ATOMIC_CPU_HH

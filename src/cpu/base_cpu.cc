@@ -1,0 +1,121 @@
+#include "cpu/base_cpu.hh"
+
+#include "trace/recorder.hh"
+
+namespace g5p::cpu
+{
+
+BaseCpu::BaseCpu(sim::Simulator &sim, const std::string &name,
+                 const sim::ClockDomain &domain,
+                 const CpuParams &params)
+    : sim::ClockedObject(sim, name, domain, nullptr,
+                         // Register file, PC, pipeline bookkeeping.
+                         isa::numArchRegs * 8 + 512),
+      params_(params),
+      pc_(params.resetPc),
+      icachePort_(*this, name + ".icache_port"),
+      dcachePort_(*this, name + ".dcache_port")
+{
+}
+
+BaseCpu::~BaseCpu() = default;
+
+void
+BaseCpu::setTlbs(mem::Tlb *itlb, mem::Tlb *dtlb)
+{
+    itlb_ = itlb;
+    dtlb_ = dtlb;
+}
+
+void
+BaseCpu::recvInstResp(mem::PacketPtr pkt)
+{
+    g5p_panic("%s: unexpected timing instruction response",
+              name().c_str());
+}
+
+void
+BaseCpu::recvDataResp(mem::PacketPtr pkt)
+{
+    g5p_panic("%s: unexpected timing data response", name().c_str());
+}
+
+void
+BaseCpu::doHalt()
+{
+    if (halted_)
+        return;
+    halted_ = true;
+    if (onHalt_)
+        onHalt_(*this);
+}
+
+void
+BaseCpu::doSyscall()
+{
+    G5P_TRACE_SCOPE("BaseCpu::doSyscall", Syscall, false);
+    g5p_assert(syscallHandler_, "%s: ECALL with no syscall handler",
+               name().c_str());
+    numSyscalls_ += 1;
+    syscallHandler_->handleSyscall(*this);
+}
+
+void
+BaseCpu::countCommit(const isa::StaticInst &inst)
+{
+    numInsts_ += 1;
+    const auto &flags = inst.flags();
+    if (flags.isLoad)
+        numLoads_ += 1;
+    if (flags.isStore)
+        numStores_ += 1;
+    if (flags.isControl)
+        numBranches_ += 1;
+}
+
+void
+BaseCpu::regStats()
+{
+    addStat(&numInsts_, "committedInsts", "instructions committed");
+    addStat(&numLoads_, "loads", "loads committed");
+    addStat(&numStores_, "stores", "stores committed");
+    addStat(&numBranches_, "branches", "control insts committed");
+    addStat(&numTakenBranches_, "takenBranches",
+            "taken control insts");
+    addStat(&numSyscalls_, "syscalls", "syscalls serviced");
+    addStat(&ipc_, "ipc", "committed instructions per cycle");
+    ipc_.functor([this] {
+        double cycles = (double)curCycle();
+        return cycles > 0 ? numInsts_.value() / cycles : 0.0;
+    });
+}
+
+void
+BaseCpu::serialize(sim::CheckpointOut &cp) const
+{
+    cp.param("pc", pc_);
+    cp.param("halted", (int)halted_);
+    std::vector<std::uint64_t> regs(regs_, regs_ + isa::numArchRegs);
+    cp.paramVector("regs", regs);
+}
+
+void
+BaseCpu::unserialize(const sim::CheckpointIn &cp)
+{
+    cp.param("pc", pc_);
+    int halted = 0;
+    cp.param("halted", halted);
+    halted_ = halted != 0;
+    std::vector<std::uint64_t> regs;
+    cp.paramVector("regs", regs);
+    g5p_assert(regs.size() == isa::numArchRegs,
+               "corrupt register checkpoint");
+    for (unsigned i = 0; i < isa::numArchRegs; ++i)
+        regs_[i] = regs[i];
+    if (itlb_)
+        itlb_->flush();
+    if (dtlb_)
+        dtlb_->flush();
+}
+
+} // namespace g5p::cpu

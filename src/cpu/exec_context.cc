@@ -1,0 +1,5 @@
+#include "cpu/base_cpu.hh"
+
+// CpuExecContext is header-only (it is on the per-instruction hot
+// path); this translation unit anchors the vtable-free adapter in the
+// build graph alongside the CPU models.

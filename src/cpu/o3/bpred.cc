@@ -1,0 +1,100 @@
+#include "cpu/o3/bpred.hh"
+
+#include "base/addr_utils.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::cpu
+{
+
+BranchPredictor::BranchPredictor(const BpredParams &params)
+    : params_(params),
+      counters_(1u << params.tableBits, 1), // weakly not-taken
+      btb_(params.btbEntries),
+      ras_(params.rasEntries, 0)
+{
+}
+
+std::size_t
+BranchPredictor::tableIndex(Addr pc) const
+{
+    std::uint64_t idx = (pc >> 3) ^ history_;
+    return idx & ((1u << params_.tableBits) - 1);
+}
+
+std::size_t
+BranchPredictor::btbIndex(Addr pc) const
+{
+    return (pc >> 3) % params_.btbEntries;
+}
+
+BranchPredictor::Prediction
+BranchPredictor::predict(Addr pc, const isa::StaticInst *inst)
+{
+    G5P_TRACE_SCOPE("BranchPredictor::predict", CpuDetailed, true);
+    ++lookups_;
+    Prediction pred;
+    pred.npc = pc + isa::instBytes;
+
+    const BtbEntry &btb = btb_[btbIndex(pc)];
+    pred.btbHit = btb.valid && btb.pc == pc;
+
+    if (inst && inst->flags().isIndirect) {
+        // JALR: returns pop the RAS; other indirects use the BTB.
+        if (inst->rs1() == isa::RegRa && rasTop_ > 0) {
+            pred.taken = true;
+            pred.npc = ras_[--rasTop_];
+            return pred;
+        }
+        if (pred.btbHit) {
+            pred.taken = true;
+            pred.npc = btb.target;
+        }
+        return pred;
+    }
+
+    if (inst && inst->flags().isControl && !inst->flags().isCondCtrl) {
+        // Direct jumps: taken if the target is known.
+        if (inst->flags().isCall && rasTop_ < params_.rasEntries)
+            ras_[rasTop_++] = pc + isa::instBytes;
+        if (pred.btbHit) {
+            pred.taken = true;
+            pred.npc = btb.target;
+        } else {
+            ++btbMisses_;
+        }
+        return pred;
+    }
+
+    // Conditional branches: gshare direction + BTB target.
+    bool taken = counters_[tableIndex(pc)] >= 2;
+    if (taken && pred.btbHit) {
+        pred.taken = true;
+        pred.npc = btb.target;
+    } else if (taken) {
+        ++btbMisses_;
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken, Addr target,
+                        const isa::StaticInst &inst)
+{
+    G5P_TRACE_SCOPE("BranchPredictor::update", CpuDetailed, true);
+    if (inst.flags().isCondCtrl) {
+        std::uint8_t &ctr = counters_[tableIndex(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & 0xffff;
+    }
+    if (taken) {
+        BtbEntry &btb = btb_[btbIndex(pc)];
+        btb.valid = true;
+        btb.pc = pc;
+        btb.target = target;
+    }
+}
+
+} // namespace g5p::cpu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dynamic-instruction record for the O3 CPU model.
+ *
+ * The O3 model is "oracle-execute at dispatch, out-of-order timing":
+ * right-path instructions execute functionally in program order when
+ * dispatched (so architectural state is always exact), while the
+ * pipeline models fetch/rename/issue/commit timing out of order.
+ * Wrong-path instructions (younger than a mispredicted branch) are
+ * fetched and occupy resources but never execute functionally; they
+ * are squashed when the branch resolves.
+ */
+
+#ifndef G5P_CPU_O3_DYN_INST_HH
+#define G5P_CPU_O3_DYN_INST_HH
+
+#include <memory>
+
+#include "isa/inst.hh"
+
+namespace g5p::cpu::o3
+{
+
+/** Pipeline position of a dynamic instruction. */
+enum class InstStage : std::uint8_t
+{
+    Dispatched, ///< in ROB/IQ, waiting for operands
+    Issued,     ///< executing on a functional unit / memory
+    Completed,  ///< result ready, waiting to commit
+};
+
+struct DynInst
+{
+    isa::StaticInstPtr inst;
+    Addr pc = 0;
+    Addr predNpc = 0;       ///< next PC fetch followed
+    Addr actualNpc = 0;     ///< oracle next PC (right path only)
+    std::uint64_t seq = 0;
+
+    InstStage stage = InstStage::Dispatched;
+    bool wrongPath = false;
+    bool mispredicted = false;
+
+    /** @{ Renaming (right path only; -1 = none). */
+    int destPhys = -1;
+    int prevDestPhys = -1;
+    int srcPhys1 = -1;
+    int srcPhys2 = -1;
+    /** @} */
+
+    /** @{ Memory state. */
+    Addr paddr = 0;
+    unsigned memSize = 0;
+    std::uint64_t loadData = 0; ///< oracle data (read at dispatch)
+    bool memIssued = false;
+    bool memDone = false;
+    bool forwarded = false;     ///< satisfied by store forwarding
+    Cycles dtlbLatency = 0;
+    /** @} */
+
+    Cycles completeCycle = 0;   ///< valid once Issued
+
+    bool isLoad() const { return inst->flags().isLoad; }
+    bool isStore() const { return inst->flags().isStore; }
+    bool isControl() const { return inst->flags().isControl; }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace g5p::cpu::o3
+
+#endif // G5P_CPU_O3_DYN_INST_HH

@@ -1,0 +1,27 @@
+#include "cpu/o3/iq.hh"
+
+namespace g5p::cpu::o3
+{
+
+void
+IssueQueue::squashAfter(std::uint64_t seq)
+{
+    insts_.remove_if([seq](const DynInstPtr &di) {
+        return di->seq > seq;
+    });
+}
+
+bool
+IssueQueue::operandsReady(const DynInst &di, Cycles now,
+                          const RenameMap &rename)
+{
+    if (di.wrongPath)
+        return true; // no renamed sources; timing filler
+    if (di.srcPhys1 >= 0 && rename.readyCycle(di.srcPhys1) > now)
+        return false;
+    if (di.srcPhys2 >= 0 && rename.readyCycle(di.srcPhys2) > now)
+        return false;
+    return true;
+}
+
+} // namespace g5p::cpu::o3

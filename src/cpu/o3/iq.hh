@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Issue queue: holds dispatched instructions until their operands are
+ * ready and a functional unit is free, then hands them to execute.
+ * Oldest-first selection, as gem5's O3 default.
+ */
+
+#ifndef G5P_CPU_O3_IQ_HH
+#define G5P_CPU_O3_IQ_HH
+
+#include <list>
+
+#include "cpu/o3/dyn_inst.hh"
+#include "cpu/o3/rename.hh"
+
+namespace g5p::cpu::o3
+{
+
+/** Functional-unit pool configuration. */
+struct FuPoolParams
+{
+    unsigned intAlu = 4;
+    unsigned mulDiv = 1;
+    unsigned fp = 2;
+    unsigned memPorts = 2;
+
+    Cycles intLatency = 1;
+    Cycles mulLatency = 3;
+    Cycles divLatency = 12;
+    Cycles fpLatency = 4;
+    Cycles fpDivLatency = 16;
+};
+
+class IssueQueue
+{
+  public:
+    IssueQueue(unsigned capacity, const FuPoolParams &fu)
+        : capacity_(capacity), fu_(fu)
+    {}
+
+    bool full() const { return insts_.size() >= capacity_; }
+    std::size_t size() const { return insts_.size(); }
+
+    void insert(const DynInstPtr &inst) { insts_.push_back(inst); }
+
+    /** Remove squashed instructions younger than @p seq. */
+    void squashAfter(std::uint64_t seq);
+
+    /**
+     * Select up to @p width ready instructions this cycle. Ready:
+     * both renamed sources available by @p now (wrong-path insts are
+     * always "ready") and an FU slot free. Selected instructions are
+     * removed and given an execute latency via @p out.
+     */
+    template <typename OnIssue>
+    unsigned
+    issue(Cycles now, unsigned width, const RenameMap &rename,
+          OnIssue &&out)
+    {
+        // Per-cycle FU occupancy.
+        unsigned int_used = 0, mul_used = 0, fp_used = 0, mem_used = 0;
+        unsigned issued = 0;
+
+        for (auto it = insts_.begin();
+             it != insts_.end() && issued < width;) {
+            DynInst &di = **it;
+            if (!operandsReady(di, now, rename)) {
+                ++it;
+                continue;
+            }
+
+            const auto &flags = di.inst->flags();
+            Cycles latency = fu_.intLatency;
+            bool ok = false;
+            if (flags.isMemRef) {
+                if (mem_used < fu_.memPorts) {
+                    ++mem_used;
+                    ok = true;
+                }
+            } else if (flags.isFloat) {
+                if (fp_used < fu_.fp) {
+                    ++fp_used;
+                    latency = flags.isDiv ? fu_.fpDivLatency
+                                          : fu_.fpLatency;
+                    ok = true;
+                }
+            } else if (flags.isMul || flags.isDiv) {
+                if (mul_used < fu_.mulDiv) {
+                    ++mul_used;
+                    latency = flags.isDiv ? fu_.divLatency
+                                          : fu_.mulLatency;
+                    ok = true;
+                }
+            } else {
+                if (int_used < fu_.intAlu) {
+                    ++int_used;
+                    ok = true;
+                }
+            }
+
+            if (!ok) {
+                ++it;
+                continue;
+            }
+            out(*it, latency);
+            it = insts_.erase(it);
+            ++issued;
+        }
+        return issued;
+    }
+
+  private:
+    static bool operandsReady(const DynInst &di, Cycles now,
+                              const RenameMap &rename);
+
+    unsigned capacity_;
+    FuPoolParams fu_;
+    std::list<DynInstPtr> insts_;
+};
+
+} // namespace g5p::cpu::o3
+
+#endif // G5P_CPU_O3_IQ_HH

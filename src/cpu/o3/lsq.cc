@@ -1,0 +1,48 @@
+#include "cpu/o3/lsq.hh"
+
+#include "trace/recorder.hh"
+
+namespace g5p::cpu::o3
+{
+
+bool
+Lsq::canForward(const DynInst &load) const
+{
+    G5P_TRACE_SCOPE("Lsq::canForward", CpuDetailed, false);
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        const DynInst &store = **it;
+        if (store.seq > load.seq || store.wrongPath)
+            continue;
+        if (store.paddr == load.paddr && store.memSize >= load.memSize)
+            return true;
+    }
+    return false;
+}
+
+void
+Lsq::commit(const DynInst &inst)
+{
+    auto drop = [&](std::deque<DynInstPtr> &q) {
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if ((*it)->seq == inst.seq) {
+                q.erase(it);
+                return;
+            }
+        }
+    };
+    if (inst.isLoad())
+        drop(loads_);
+    else if (inst.isStore())
+        drop(stores_);
+}
+
+void
+Lsq::squashAfter(std::uint64_t seq)
+{
+    while (!loads_.empty() && loads_.back()->seq > seq)
+        loads_.pop_back();
+    while (!stores_.empty() && stores_.back()->seq > seq)
+        stores_.pop_back();
+}
+
+} // namespace g5p::cpu::o3

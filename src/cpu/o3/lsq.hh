@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Load/store queue for the O3 model: tracks in-flight memory
+ * instructions, provides store-to-load forwarding, and bounds the
+ * number of loads and stores in flight (LQ/SQ entries, Table I).
+ */
+
+#ifndef G5P_CPU_O3_LSQ_HH
+#define G5P_CPU_O3_LSQ_HH
+
+#include <deque>
+
+#include "cpu/o3/dyn_inst.hh"
+
+namespace g5p::cpu::o3
+{
+
+class Lsq
+{
+  public:
+    Lsq(unsigned lq_entries, unsigned sq_entries)
+        : lqCapacity_(lq_entries), sqCapacity_(sq_entries)
+    {}
+
+    bool lqFull() const { return loads_.size() >= lqCapacity_; }
+    bool sqFull() const { return stores_.size() >= sqCapacity_; }
+
+    std::size_t numLoads() const { return loads_.size(); }
+    std::size_t numStores() const { return stores_.size(); }
+
+    /** Insert at dispatch (program order). */
+    void insertLoad(const DynInstPtr &inst) { loads_.push_back(inst); }
+    void insertStore(const DynInstPtr &inst)
+    { stores_.push_back(inst); }
+
+    /**
+     * Can an older in-flight store forward to this load? Exact
+     * address+size match, as gem5's simple forwarding check.
+     */
+    bool canForward(const DynInst &load) const;
+
+    /** Remove a committed load/store. */
+    void commit(const DynInst &inst);
+
+    /** Drop squashed (wrong-path) entries younger than @p seq. */
+    void squashAfter(std::uint64_t seq);
+
+  private:
+    unsigned lqCapacity_;
+    unsigned sqCapacity_;
+    std::deque<DynInstPtr> loads_;
+    std::deque<DynInstPtr> stores_;
+};
+
+} // namespace g5p::cpu::o3
+
+#endif // G5P_CPU_O3_LSQ_HH

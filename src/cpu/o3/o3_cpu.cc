@@ -1,0 +1,541 @@
+#include "cpu/o3/o3_cpu.hh"
+
+#include "base/addr_utils.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::cpu
+{
+
+using o3::DynInst;
+using o3::DynInstPtr;
+using o3::InstStage;
+
+namespace
+{
+
+/** Fetch-block size: 32 bytes = four 8-byte instructions. */
+constexpr unsigned fetchBlockBytes = 32;
+
+/** An idle stage still evaluates its (empty) activity list. */
+void
+stageIdleWork()
+{
+    G5P_TRACE_SCOPE("O3Cpu::stageIdle", Util, false);
+}
+
+} // namespace
+
+O3Cpu::O3Cpu(sim::Simulator &sim, const std::string &name,
+             const sim::ClockDomain &domain, const CpuParams &params,
+             const O3Params &o3_params, mem::PhysicalMemory &physmem)
+    : BaseCpu(sim, name, domain, params),
+      o3Params_(o3_params),
+      physmem_(physmem),
+      ctx_(*this),
+      bpred_(o3_params.bpred),
+      rob_(o3_params.robEntries),
+      iq_(o3_params.iqEntries, o3_params.fu),
+      lsq_(o3_params.lqEntries, o3_params.sqEntries),
+      rename_(o3_params.numPhysRegs),
+      fetchPc_(params.resetPc),
+      tickEvent_([this] { tick(); }, name + ".tick",
+                 sim::Event::CpuTickPri)
+{
+}
+
+O3Cpu::~O3Cpu()
+{
+    if (tickEvent_.scheduled())
+        deschedule(tickEvent_);
+}
+
+void
+O3Cpu::activate()
+{
+    schedule(tickEvent_, clockEdge());
+}
+
+void
+O3Cpu::maybeReschedule()
+{
+    if (!halted_ && !tickEvent_.scheduled())
+        schedule(tickEvent_, clockEdge(1));
+}
+
+void
+O3Cpu::tick()
+{
+    G5P_TRACE_SCOPE("O3Cpu::tick", CpuDetailed, true);
+    if (halted_)
+        return;
+    commitStage();
+    if (halted_)
+        return;
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    maybeReschedule();
+}
+
+void
+O3Cpu::commitStage()
+{
+    if (rob_.empty()) {
+        stageIdleWork();
+        return;
+    }
+    G5P_TRACE_SCOPE("O3Cpu::commit", CpuDetailed, true);
+    Cycles now = curCycle();
+    for (unsigned n = 0; n < o3Params_.commitWidth && !rob_.empty();
+         ++n) {
+        const DynInstPtr &head = rob_.head();
+        g5p_assert(!head->wrongPath,
+                   "wrong-path instruction at ROB head");
+        if (head->stage != InstStage::Completed ||
+            head->completeCycle > now)
+            break;
+
+        if (head->isStore()) {
+            if (outstandingStores_ >= o3Params_.maxOutstandingStores)
+                break; // store buffer full; stall commit
+            issueStore(*head);
+        }
+
+        if (head->destPhys >= 0 && head->prevDestPhys >= 0)
+            rename_.free(head->prevDestPhys);
+
+        lsq_.commit(*head);
+        countCommit(*head->inst);
+        if (head->isControl() && head->actualNpc !=
+            head->pc + isa::instBytes)
+            numTakenBranches_ += 1;
+        pc_ = head->actualNpc;
+
+        bool is_halt = head->inst->flags().isHalt;
+        rob_.popHead();
+
+        if (is_halt || instLimitReached()) {
+            stopping_ = true;
+            doHalt();
+            return;
+        }
+    }
+}
+
+void
+O3Cpu::writebackStage()
+{
+    if (rob_.empty()) {
+        stageIdleWork();
+        return;
+    }
+    G5P_TRACE_SCOPE("O3Cpu::writeback", CpuDetailed, true);
+    Cycles now = curCycle();
+    DynInstPtr resolve;
+    for (auto &di : rob_) {
+        if (di->stage != InstStage::Issued)
+            continue;
+        if (di->isLoad() && !di->wrongPath && !di->forwarded &&
+            !di->memDone)
+            continue; // dcache response pending
+        if (di->completeCycle > now)
+            continue;
+        di->stage = InstStage::Completed;
+        if (di->mispredicted && !resolve)
+            resolve = di;
+    }
+    if (resolve)
+        resolveMispredict(*resolve);
+}
+
+void
+O3Cpu::resolveMispredict(DynInst &branch)
+{
+    G5P_TRACE_SCOPE("O3Cpu::squash", CpuDetailed, false);
+    branchMispredicts_ += 1;
+    std::size_t squashed = rob_.squashAfter(branch.seq);
+    squashedInsts_ += (double)squashed;
+    iq_.squashAfter(branch.seq);
+    lsq_.squashAfter(branch.seq);
+    fetchQueue_.clear();
+    fetchReadyCycle_.clear();
+    ++fetchEpoch_;
+    fetchPc_ = branch.actualNpc;
+    branch.mispredicted = false; // resolved
+    wrongPathMode_ = false;
+}
+
+void
+O3Cpu::issueStage()
+{
+    if (iq_.size() == 0) {
+        stageIdleWork();
+        return;
+    }
+    G5P_TRACE_SCOPE("O3Cpu::issue", CpuDetailed, true);
+    Cycles now = curCycle();
+    iq_.issue(now, o3Params_.issueWidth, rename_,
+              [&](const DynInstPtr &di, Cycles fu_latency) {
+        di->stage = InstStage::Issued;
+
+        if (di->wrongPath) {
+            di->completeCycle = now + fu_latency;
+            return;
+        }
+
+        if (di->isLoad()) {
+            if (lsq_.canForward(*di)) {
+                di->forwarded = true;
+                storeForwards_ += 1;
+                di->completeCycle = now + 1 + di->dtlbLatency;
+            } else {
+                di->memIssued = true;
+                di->completeCycle = maxTick; // set at response
+                issueLoad(di);
+            }
+        } else if (di->isStore()) {
+            // Address generation; data goes to memory at commit.
+            di->completeCycle = now + 1 + di->dtlbLatency;
+        } else {
+            di->completeCycle = now + fu_latency;
+        }
+
+        if (di->destPhys >= 0 && di->completeCycle != maxTick)
+            rename_.setReadyCycle(di->destPhys, di->completeCycle);
+    });
+}
+
+void
+O3Cpu::issueLoad(const DynInstPtr &di)
+{
+    auto *holder = new DynInstPtr(di);
+    Addr paddr = di->paddr;
+    unsigned size = di->memSize;
+    Cycles delay = di->dtlbLatency;
+    auto issue = [this, holder, paddr, size] {
+        auto *pkt = new mem::Packet(mem::MemCmd::ReadReq, paddr, size);
+        pkt->setRequestorId(cpuId());
+        pkt->setSenderState(holder);
+        dcachePort_.sendTimingReq(pkt);
+    };
+    if (delay > 0) {
+        auto *ev = new sim::EventFunctionWrapper(issue,
+                                                 name() + ".dtlbWalk");
+        ev->setAutoDelete(true);
+        schedule(*ev, clockEdge(delay));
+    } else {
+        issue();
+    }
+}
+
+void
+O3Cpu::issueStore(const DynInst &di)
+{
+    ++outstandingStores_;
+    auto *pkt = new mem::Packet(mem::MemCmd::WriteReq, di.paddr,
+                                di.memSize);
+    pkt->setRequestorId(cpuId());
+    dcachePort_.sendTimingReq(pkt);
+}
+
+void
+O3Cpu::oracleExecute(DynInst &di)
+{
+    G5P_TRACE_SCOPE("O3Cpu::oracleExecute", CpuDetailed, false);
+    ctx_.beginInst(di.pc);
+    dispatchMem_.valid = false;
+    isa::Fault fault = di.inst->execute(ctx_);
+
+    switch (fault) {
+      case isa::Fault::None:
+        break;
+      case isa::Fault::Syscall:
+        doSyscall();
+        break;
+      case isa::Fault::Halt:
+        fetchStopped_ = true;
+        break;
+      default:
+        g5p_panic("%s: %s at pc %#llx", name().c_str(),
+                  isa::faultName(fault), (unsigned long long)di.pc);
+    }
+
+    di.actualNpc = ctx_.nextPc();
+    if (di.inst->flags().isMemRef) {
+        g5p_assert(dispatchMem_.valid, "memory inst without access");
+        di.paddr = dispatchMem_.paddr;
+        di.memSize = dispatchMem_.size;
+        di.dtlbLatency = dispatchMem_.tlbLatency;
+        if (di.isLoad()) {
+            di.loadData = dispatchMem_.data;
+            di.inst->completeAcc(ctx_, di.loadData);
+        }
+    }
+}
+
+void
+O3Cpu::dispatchStage()
+{
+    if (fetchQueue_.empty()) {
+        stageIdleWork();
+        return;
+    }
+    G5P_TRACE_SCOPE("O3Cpu::dispatch", CpuDetailed, true);
+    Cycles now = curCycle();
+    for (unsigned n = 0;
+         n < o3Params_.dispatchWidth && !fetchQueue_.empty(); ++n) {
+        if (fetchReadyCycle_.front() > now)
+            break; // still in the front-end pipeline
+        if (rob_.full()) {
+            robFullStalls_ += 1;
+            break;
+        }
+        if (iq_.full()) {
+            iqFullStalls_ += 1;
+            break;
+        }
+
+        DynInstPtr di = fetchQueue_.front();
+        const auto &flags = di->inst->flags();
+
+        if (!wrongPathMode_) {
+            if ((flags.isLoad && lsq_.lqFull()) ||
+                (flags.isStore && lsq_.sqFull()))
+                break;
+            if (flags.isNop) {
+                // NOPs retire in the frontend in real O3 cores; keep
+                // them out of the window but commit-count them.
+                fetchQueue_.pop_front();
+                fetchReadyCycle_.pop_front();
+                countCommit(*di->inst);
+                pc_ = di->pc + isa::instBytes;
+                continue;
+            }
+            if (di->inst->rd() != 0 && !rename_.canRename())
+                break; // no physical register; retry next cycle
+
+            oracleExecute(*di);
+
+            // Rename after oracle execution: sources first.
+            di->srcPhys1 = di->inst->rs1()
+                ? rename_.lookup(di->inst->rs1()) : -1;
+            di->srcPhys2 = di->inst->rs2()
+                ? rename_.lookup(di->inst->rs2()) : -1;
+            if (di->inst->rd() != 0) {
+                if (!rename_.canRename())
+                    break;
+                auto [next, prev] = rename_.rename(di->inst->rd());
+                di->destPhys = next;
+                di->prevDestPhys = prev;
+                rename_.setReadyCycle(next, maxTick);
+            }
+
+            if (flags.isControl) {
+                bool taken = di->actualNpc != di->pc + isa::instBytes;
+                bpred_.update(di->pc, taken, di->actualNpc,
+                              *di->inst);
+            }
+            if (di->actualNpc != di->predNpc) {
+                di->mispredicted = true;
+                wrongPathMode_ = true;
+            }
+
+            if (flags.isLoad)
+                lsq_.insertLoad(di);
+            if (flags.isStore)
+                lsq_.insertStore(di);
+            if (flags.isHalt) {
+                di->stage = InstStage::Completed;
+                di->completeCycle = now;
+                rob_.push(di);
+                fetchQueue_.pop_front();
+                fetchReadyCycle_.pop_front();
+                wrongPathMode_ = true; // nothing younger is real
+                continue;
+            }
+        } else {
+            di->wrongPath = true;
+        }
+
+        rob_.push(di);
+        iq_.insert(di);
+        fetchQueue_.pop_front();
+        fetchReadyCycle_.pop_front();
+    }
+}
+
+isa::Fault
+O3Cpu::execReadMem(Addr vaddr, unsigned size)
+{
+    auto tr = dtlb_->translate(vaddr);
+    if (!tr.translation.valid)
+        return isa::Fault::PageFault;
+    dispatchMem_ = PendingMem{tr.translation.paddr, size, tr.latency,
+                              physmem_.read(tr.translation.paddr,
+                                            size),
+                              true};
+    return isa::Fault::None;
+}
+
+isa::Fault
+O3Cpu::execWriteMem(Addr vaddr, unsigned size, std::uint64_t data)
+{
+    auto tr = dtlb_->translate(vaddr);
+    if (!tr.translation.valid || !tr.translation.writable)
+        return isa::Fault::PageFault;
+    physmem_.write(tr.translation.paddr, size, data);
+    dispatchMem_ = PendingMem{tr.translation.paddr, size, tr.latency,
+                              data, true};
+    return isa::Fault::None;
+}
+
+void
+O3Cpu::fetchStage()
+{
+    if (fetchStopped_ || fetchInFlight_)
+        return;
+    if (fetchQueue_.size() >= o3Params_.fetchQueueSize)
+        return;
+    G5P_TRACE_SCOPE("O3Cpu::fetch", CpuDetailed, true);
+
+    auto itr = itlb_->translate(fetchPc_);
+    g5p_assert(itr.translation.valid && itr.translation.executable,
+               "%s: ifetch page fault at %#llx", name().c_str(),
+               (unsigned long long)fetchPc_);
+
+    Addr block_end = alignDown(fetchPc_, fetchBlockBytes) +
+                     fetchBlockBytes;
+    unsigned bytes = (unsigned)(block_end - fetchPc_);
+    bytes = std::min(bytes, o3Params_.fetchWidth * isa::instBytes);
+
+    auto *block = new FetchBlock{fetchPc_, itr.translation.paddr,
+                                 bytes, fetchEpoch_};
+    fetchInFlight_ = true;
+    if (wrongPathMode_)
+        wrongPathFetches_ += 1;
+
+    auto issue = [this, block] {
+        auto *pkt = new mem::Packet(mem::MemCmd::ReadReq,
+                                    block->paddr, block->bytes);
+        pkt->setInstFetch(true);
+        pkt->setRequestorId(cpuId());
+        pkt->setSenderState(block);
+        icachePort_.sendTimingReq(pkt);
+    };
+    if (itr.latency > 0) {
+        auto *ev = new sim::EventFunctionWrapper(issue,
+                                                 name() + ".itlbWalk");
+        ev->setAutoDelete(true);
+        schedule(*ev, clockEdge(itr.latency));
+    } else {
+        issue();
+    }
+}
+
+void
+O3Cpu::recvInstResp(mem::PacketPtr pkt)
+{
+    G5P_TRACE_SCOPE("O3Cpu::recvInstResp", CpuDetailed, true);
+    auto *block = static_cast<FetchBlock *>(pkt->senderState());
+    delete pkt;
+    fetchInFlight_ = false;
+
+    if (halted_ || fetchStopped_ || block->epoch != fetchEpoch_) {
+        delete block;
+        maybeReschedule();
+        return;
+    }
+
+    Cycles ready = curCycle() + o3Params_.frontendDepth;
+    Addr vpc = block->vaddr;
+    Addr ppc = block->paddr;
+    Addr vend = block->vaddr + block->bytes;
+    Addr next_fetch = vend;
+
+    while (vpc < vend) {
+        std::uint64_t word = physmem_.read(ppc, isa::instBytes);
+        isa::StaticInstPtr inst = decoder_.decode(word);
+
+        Addr pred_npc = vpc + isa::instBytes;
+        if (inst->flags().isControl) {
+            auto pred = bpred_.predict(vpc, inst.get());
+            if (pred.taken) {
+                pred_npc = pred.npc;
+            } else if (!inst->flags().isIndirect &&
+                       !inst->flags().isCondCtrl) {
+                pred_npc = vpc + (std::int64_t)inst->imm();
+            }
+        }
+
+        trace::recordHeapAlloc(sizeof(DynInst) + 32);
+        auto di = std::make_shared<DynInst>();
+        di->inst = inst;
+        di->pc = vpc;
+        di->predNpc = pred_npc;
+        di->seq = nextSeq_++;
+        fetchQueue_.push_back(di);
+        fetchReadyCycle_.push_back(ready);
+
+        if (pred_npc != vpc + isa::instBytes) {
+            next_fetch = pred_npc; // redirect within the block
+            break;
+        }
+        vpc += isa::instBytes;
+        ppc += isa::instBytes;
+    }
+
+    fetchPc_ = next_fetch;
+    delete block;
+    maybeReschedule();
+}
+
+void
+O3Cpu::recvDataResp(mem::PacketPtr pkt)
+{
+    G5P_TRACE_SCOPE("O3Cpu::recvDataResp", CpuDetailed, true);
+    if (pkt->cmd() == mem::MemCmd::WriteResp) {
+        delete pkt;
+        g5p_assert(outstandingStores_ > 0, "%s: stray store response",
+                   name().c_str());
+        --outstandingStores_;
+        maybeReschedule();
+        return;
+    }
+
+    auto *holder = static_cast<DynInstPtr *>(pkt->senderState());
+    delete pkt;
+    DynInstPtr di = *holder;
+    delete holder;
+
+    if (halted_) {
+        maybeReschedule();
+        return;
+    }
+
+    di->memDone = true;
+    di->completeCycle = curCycle() + 1;
+    if (di->destPhys >= 0)
+        rename_.setReadyCycle(di->destPhys, di->completeCycle);
+    maybeReschedule();
+}
+
+void
+O3Cpu::regStats()
+{
+    BaseCpu::regStats();
+    addStat(&branchMispredicts_, "branchMispredicts",
+            "resolved mispredicted control insts");
+    addStat(&squashedInsts_, "squashedInsts",
+            "wrong-path instructions squashed");
+    addStat(&wrongPathFetches_, "wrongPathFetches",
+            "fetch blocks issued while on the wrong path");
+    addStat(&robFullStalls_, "robFullStalls",
+            "dispatch stalls due to a full ROB");
+    addStat(&iqFullStalls_, "iqFullStalls",
+            "dispatch stalls due to a full IQ");
+    addStat(&storeForwards_, "storeForwards",
+            "loads satisfied by store-to-load forwarding");
+}
+
+} // namespace g5p::cpu

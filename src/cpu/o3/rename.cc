@@ -1,0 +1,41 @@
+#include "cpu/o3/rename.hh"
+
+#include "base/logging.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::cpu::o3
+{
+
+RenameMap::RenameMap(unsigned num_phys)
+    : map_(isa::numArchRegs), ready_(num_phys, 0)
+{
+    g5p_assert(num_phys > isa::numArchRegs,
+               "need more physical than architectural registers");
+    // Identity-map the architectural registers; the rest are free.
+    for (unsigned i = 0; i < isa::numArchRegs; ++i)
+        map_[i] = (int)i;
+    for (unsigned p = isa::numArchRegs; p < num_phys; ++p)
+        freeList_.push_back((int)p);
+}
+
+std::pair<int, int>
+RenameMap::rename(RegIndex arch)
+{
+    G5P_TRACE_SCOPE("RenameMap::rename", CpuDetailed, false);
+    g5p_assert(!freeList_.empty(), "rename with empty free list");
+    int prev = map_[arch];
+    int next = freeList_.back();
+    freeList_.pop_back();
+    map_[arch] = next;
+    return {next, prev};
+}
+
+void
+RenameMap::free(int phys)
+{
+    g5p_assert(phys >= 0 && phys < (int)ready_.size(),
+               "freeing bad physical register %d", phys);
+    freeList_.push_back(phys);
+}
+
+} // namespace g5p::cpu::o3

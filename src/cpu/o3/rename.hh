@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Register renaming for the O3 model: an architectural-to-physical
+ * map table, a free list, and per-physical-register ready times.
+ *
+ * Physical registers carry *timing* only (the cycle their value
+ * becomes available); values come from the oracle execution at
+ * dispatch. Wrong-path instructions are never renamed, so no map
+ * checkpointing is required (see dyn_inst.hh).
+ */
+
+#ifndef G5P_CPU_O3_RENAME_HH
+#define G5P_CPU_O3_RENAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+
+namespace g5p::cpu::o3
+{
+
+class RenameMap
+{
+  public:
+    /** @param num_phys total physical registers (>= 32 + window). */
+    explicit RenameMap(unsigned num_phys);
+
+    /** Physical register currently mapped to @p arch. */
+    int lookup(RegIndex arch) const { return map_[arch]; }
+
+    /** True if a destination register can be allocated. */
+    bool canRename() const { return !freeList_.empty(); }
+
+    /**
+     * Allocate a new physical register for @p arch.
+     * @return {newPhys, prevPhys} — prevPhys is freed at commit.
+     */
+    std::pair<int, int> rename(RegIndex arch);
+
+    /** Return @p phys to the free list (at commit). */
+    void free(int phys);
+
+    /** @{ Ready-time tracking. */
+    Cycles readyCycle(int phys) const { return ready_[phys]; }
+    void setReadyCycle(int phys, Cycles cycle) { ready_[phys] = cycle; }
+    /** @} */
+
+    unsigned freeCount() const { return (unsigned)freeList_.size(); }
+
+  private:
+    std::vector<int> map_;        ///< arch -> phys
+    std::vector<int> freeList_;
+    std::vector<Cycles> ready_;   ///< phys -> ready cycle
+};
+
+} // namespace g5p::cpu::o3
+
+#endif // G5P_CPU_O3_RENAME_HH

@@ -1,0 +1,22 @@
+#include "cpu/o3/rob.hh"
+
+#include "base/logging.hh"
+
+namespace g5p::cpu::o3
+{
+
+std::size_t
+Rob::squashAfter(std::uint64_t seq)
+{
+    std::size_t squashed = 0;
+    while (!insts_.empty() && insts_.back()->seq > seq) {
+        g5p_assert(insts_.back()->wrongPath,
+                   "squashing a right-path instruction (seq %llu)",
+                   (unsigned long long)insts_.back()->seq);
+        insts_.pop_back();
+        ++squashed;
+    }
+    return squashed;
+}
+
+} // namespace g5p::cpu::o3

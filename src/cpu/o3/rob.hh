@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reorder buffer: in-order FIFO of in-flight dynamic instructions.
+ */
+
+#ifndef G5P_CPU_O3_ROB_HH
+#define G5P_CPU_O3_ROB_HH
+
+#include <deque>
+
+#include "cpu/o3/dyn_inst.hh"
+
+namespace g5p::cpu::o3
+{
+
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return insts_.size() >= capacity_; }
+    bool empty() const { return insts_.empty(); }
+    std::size_t size() const { return insts_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    void push(const DynInstPtr &inst) { insts_.push_back(inst); }
+
+    const DynInstPtr &head() const { return insts_.front(); }
+    void popHead() { insts_.pop_front(); }
+
+    /**
+     * Squash every instruction younger than @p seq; all of them must
+     * be wrong-path by construction. @return number squashed.
+     */
+    std::size_t squashAfter(std::uint64_t seq);
+
+    /** Iteration (oldest first) for the writeback scan. */
+    auto begin() { return insts_.begin(); }
+    auto end() { return insts_.end(); }
+
+  private:
+    unsigned capacity_;
+    std::deque<DynInstPtr> insts_;
+};
+
+} // namespace g5p::cpu::o3
+
+#endif // G5P_CPU_O3_ROB_HH

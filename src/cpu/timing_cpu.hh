@@ -1,0 +1,77 @@
+/**
+ * @file
+ * TimingSimpleCPU equivalent: CPI = 1 plus fully modeled memory
+ * timing. Instruction fetch and data accesses travel the timing
+ * protocol; the CPU sleeps between request and response, waking on
+ * recv*Resp, exactly like gem5's TimingSimpleCPU state machine.
+ */
+
+#ifndef G5P_CPU_TIMING_CPU_HH
+#define G5P_CPU_TIMING_CPU_HH
+
+#include "cpu/base_cpu.hh"
+#include "mem/physical.hh"
+
+namespace g5p::cpu
+{
+
+class TimingCpu : public BaseCpu
+{
+  public:
+    TimingCpu(sim::Simulator &sim, const std::string &name,
+              const sim::ClockDomain &domain, const CpuParams &params,
+              mem::PhysicalMemory &physmem);
+    ~TimingCpu() override;
+
+    void activate() override;
+
+    void regStats() override;
+
+  protected:
+    isa::Fault execReadMem(Addr vaddr, unsigned size) override;
+    isa::Fault execWriteMem(Addr vaddr, unsigned size,
+                            std::uint64_t data) override;
+
+    void recvInstResp(mem::PacketPtr pkt) override;
+    void recvDataResp(mem::PacketPtr pkt) override;
+
+  private:
+    enum class State
+    {
+        Idle,          ///< halted or not yet activated
+        FetchPending,  ///< ifetch in flight
+        DataPending,   ///< data access in flight
+    };
+
+    /** Issue the ifetch for the current PC (after I-TLB latency). */
+    void startFetch();
+
+    /** Finish the current instruction and start the next fetch. */
+    void completeInst();
+
+    mem::PhysicalMemory &physmem_;
+    CpuExecContext ctx_;
+    State state_ = State::Idle;
+
+    isa::StaticInstPtr curInst_;
+    Addr fetchPaddr_ = 0;
+
+    struct PendingMem
+    {
+        Addr paddr = 0;
+        unsigned size = 0;
+        bool isLoad = false;
+        std::uint64_t storeData = 0;
+    } pendingMem_;
+
+    sim::EventFunctionWrapper fetchEvent_;
+
+    sim::stats::Scalar fetchStallCycles_;
+    sim::stats::Scalar dataStallCycles_;
+    Tick fetchIssued_ = 0;
+    Tick dataIssued_ = 0;
+};
+
+} // namespace g5p::cpu
+
+#endif // G5P_CPU_TIMING_CPU_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Host back-end model: d-side TLB and L1, with L1 misses serviced by
+ * the shared Uncore. Load-miss latencies are partially hidden by the
+ * out-of-order engine; exposure factors per level come from the
+ * platform config.
+ */
+
+#ifndef G5P_HOST_BACKEND_HH
+#define G5P_HOST_BACKEND_HH
+
+#include "host/cache_model.hh"
+#include "host/counters.hh"
+#include "host/tlb_model.hh"
+#include "host/uncore.hh"
+#include "trace/synthesizer.hh"
+
+namespace g5p::host
+{
+
+class BackendModel
+{
+  public:
+    BackendModel(const HostPlatformConfig &config,
+                 const PageSizePolicy &policy, Uncore &uncore);
+
+    /** Account the memory/core costs of one op. */
+    void onOp(const trace::HostOp &op, HostCounters &counters);
+
+    const HostCache &dcache() const { return dcache_; }
+    const HostTlb &dtlb() const { return dtlb_; }
+
+  private:
+    const HostPlatformConfig &config_;
+    Uncore &uncore_;
+    HostCache dcache_;
+    HostTlb dtlb_;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_BACKEND_HH

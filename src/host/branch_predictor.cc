@@ -1,0 +1,138 @@
+#include "host/branch_predictor.hh"
+
+namespace g5p::host
+{
+
+using trace::HostOp;
+
+HostBranchPredictor::HostBranchPredictor(
+    const HostBpredGeometry &geometry)
+    : geometry_(geometry),
+      counters_(1u << geometry.tableBits, 1),
+      btb_(geometry.btbEntries),
+      indirect_(geometry.indirectEntries),
+      ras_(geometry.rasEntries, 0)
+{
+}
+
+std::size_t
+HostBranchPredictor::gshareIndex(HostAddr pc) const
+{
+    // Hashed-PC (bimodal) indexing. Synthetic streams carry per-site
+    // bias but no cross-branch correlation, so history bits would
+    // only alias well-biased sites apart; a large per-site table is
+    // the right stand-in for a modern TAGE-class predictor.
+    return ((pc >> 1) ^ ((pc >> 15) << 5)) &
+           ((1u << geometry_.tableBits) - 1);
+}
+
+BranchResolution
+HostBranchPredictor::resolve(const HostOp &op)
+{
+    ++branches_;
+    BranchResolution res;
+
+    // The RAS is circular: overflow overwrites the oldest entry, as
+    // real return stacks do, so deep call chains degrade gracefully
+    // instead of desynchronizing push/pop.
+    auto ras_push = [this](HostAddr addr) {
+        ras_[rasTop_ % geometry_.rasEntries] = addr;
+        ++rasTop_;
+    };
+    auto ras_pop = [this]() -> HostAddr {
+        if (rasTop_ == 0)
+            return 0;
+        --rasTop_;
+        return ras_[rasTop_ % geometry_.rasEntries];
+    };
+
+    if (op.isReturn) {
+        if (ras_pop() != op.target) {
+            res.mispredicted = true;
+            ++mispredicts_;
+            ++mispRet_;
+        }
+        return res;
+    }
+
+    if (op.indirect) {
+        // Per-PC tagged indirect-target table. Virtual call sites
+        // that dispatch to several receivers thrash their entry —
+        // the paper's "abundance of virtual functions" cost.
+        std::size_t idx = (op.pc >> 1) % geometry_.indirectEntries;
+        BtbEntry &entry = indirect_[idx];
+        bool correct = entry.valid && entry.pc == op.pc &&
+                       entry.target == op.target;
+        if (!correct) {
+            res.mispredicted = true;
+            ++mispredicts_;
+            ++mispInd_;
+        }
+        entry.valid = true;
+        entry.pc = op.pc;
+        entry.target = op.target;
+        if (op.isCall)
+            ras_push(op.pc + op.lenBytes);
+        return res;
+    }
+
+    if (op.isCall) {
+        // Direct call: always taken; needs a BTB target at fetch.
+        std::size_t idx = (op.pc >> 1) % geometry_.btbEntries;
+        BtbEntry &entry = btb_[idx];
+        if (!(entry.valid && entry.pc == op.pc)) {
+            res.unknownBranch = true;
+            ++unknown_;
+        }
+        entry.valid = true;
+        entry.pc = op.pc;
+        entry.target = op.target;
+        ras_push(op.pc + op.lenBytes);
+        return res;
+    }
+
+    // Conditional branch: gshare direction, BTB target when taken.
+    std::uint8_t &ctr = counters_[gshareIndex(op.pc)];
+    bool pred_taken = ctr >= 2;
+    if (pred_taken != op.taken) {
+        res.mispredicted = true;
+        ++mispredicts_;
+        ++mispCond_;
+    } else if (op.taken) {
+        std::size_t idx = (op.pc >> 1) % geometry_.btbEntries;
+        BtbEntry &entry = btb_[idx];
+        if (!(entry.valid && entry.pc == op.pc &&
+              entry.target == op.target)) {
+            res.unknownBranch = true;
+            ++unknown_;
+        }
+    }
+
+    // Train.
+    if (op.taken && ctr < 3)
+        ++ctr;
+    else if (!op.taken && ctr > 0)
+        --ctr;
+    if (op.taken) {
+        std::size_t idx = (op.pc >> 1) % geometry_.btbEntries;
+        btb_[idx] = BtbEntry{op.pc, op.target, true};
+    }
+    history_ = ((history_ << 1) | (op.taken ? 1 : 0)) & 0xffffff;
+
+    return res;
+}
+
+void
+HostBranchPredictor::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 1);
+    for (auto &entry : btb_)
+        entry.valid = false;
+    for (auto &entry : indirect_)
+        entry.valid = false;
+    rasTop_ = 0;
+    history_ = 0;
+    branches_ = mispredicts_ = unknown_ = 0;
+}
+
+} // namespace g5p::host

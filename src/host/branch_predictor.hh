@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host branch predictor: gshare direction table, BTB, return-address
+ * stack, and a tagged indirect-target predictor. Classifies each
+ * resolved branch into the paper's front-end latency categories:
+ * mispredict resteers, unknown branches (taken branches the BTB could
+ * not target at fetch), and correct predictions.
+ */
+
+#ifndef G5P_HOST_BRANCH_PREDICTOR_HH
+#define G5P_HOST_BRANCH_PREDICTOR_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "trace/synthesizer.hh"
+
+namespace g5p::host
+{
+
+/** Predictor geometry. */
+struct HostBpredGeometry
+{
+    unsigned tableBits = 14;     ///< gshare 2-bit counters
+    unsigned btbEntries = 4096;
+    unsigned rasEntries = 16;
+    unsigned indirectEntries = 512;
+};
+
+/** Classification of one resolved branch. */
+struct BranchResolution
+{
+    bool mispredicted = false;   ///< direction or target wrong
+    bool unknownBranch = false;  ///< taken, target unknown at fetch
+};
+
+class HostBranchPredictor
+{
+  public:
+    explicit HostBranchPredictor(const HostBpredGeometry &geometry);
+
+    /** Predict + train on one branch op; classify the outcome. */
+    BranchResolution resolve(const trace::HostOp &op);
+
+    /** @{ Counters. */
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    std::uint64_t unknownBranches() const { return unknown_; }
+    std::uint64_t condMispredicts() const { return mispCond_; }
+    std::uint64_t indirectMispredicts() const { return mispInd_; }
+    std::uint64_t returnMispredicts() const { return mispRet_; }
+    double
+    mispredictRate() const
+    {
+        return branches_ ? (double)mispredicts_ / (double)branches_
+                         : 0.0;
+    }
+    /** @} */
+
+    void reset();
+
+  private:
+    struct BtbEntry
+    {
+        HostAddr pc = 0;
+        HostAddr target = 0;
+        bool valid = false;
+    };
+
+    std::size_t gshareIndex(HostAddr pc) const;
+
+    HostBpredGeometry geometry_;
+    std::vector<std::uint8_t> counters_;
+    std::vector<BtbEntry> btb_;
+    std::vector<BtbEntry> indirect_;
+    std::vector<HostAddr> ras_;
+    std::size_t rasTop_ = 0;
+    std::uint64_t history_ = 0;
+
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t unknown_ = 0;
+    std::uint64_t mispCond_ = 0;
+    std::uint64_t mispInd_ = 0;
+    std::uint64_t mispRet_ = 0;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_BRANCH_PREDICTOR_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Counting cache model for the host side (the "real" machine that
+ * runs mg5). Unlike the guest's event-driven mem::Cache, this model
+ * tracks tags and hit/miss counts only; latency is charged by the
+ * HostCore's cycle accounting. Line size is configurable (64B Xeon,
+ * 128B Apple M1 — one of the paper's Fig. 8 explanations).
+ */
+
+#ifndef G5P_HOST_CACHE_MODEL_HH
+#define G5P_HOST_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace g5p::host
+{
+
+/** Geometry of one host cache level. */
+struct HostCacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+
+    std::uint64_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint64_t numSets() const { return numLines() / assoc; }
+};
+
+class HostCache
+{
+  public:
+    explicit HostCache(const HostCacheGeometry &geometry);
+
+    /** Look up @p addr; allocates on miss. @return hit. */
+    bool access(HostAddr addr, bool is_write);
+
+    /** Look up without allocating (probes). */
+    bool contains(HostAddr addr) const;
+
+    /** @{ Counters. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total ? (double)misses_ / (double)total : 0.0;
+    }
+    /** @} */
+
+    /** Currently valid lines (occupancy, Fig. 9). */
+    std::uint64_t validLines() const { return validLines_; }
+
+    /** Occupied bytes. */
+    std::uint64_t
+    occupancyBytes() const
+    {
+        return validLines_ * geometry_.lineBytes;
+    }
+
+    const HostCacheGeometry &geometry() const { return geometry_; }
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lastUsed = 0;
+    };
+
+    HostCacheGeometry geometry_;
+    unsigned setShift_;
+    unsigned tagShift_ = 0;
+    std::uint64_t setMask_;
+    std::vector<Line> lines_;
+    std::uint64_t lruCounter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t validLines_ = 0;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_CACHE_MODEL_HH

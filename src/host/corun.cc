@@ -1,0 +1,95 @@
+#include "host/corun.hh"
+
+#include <algorithm>
+
+#include "base/addr_utils.hh"
+
+namespace g5p::host
+{
+
+CorunScenario
+singleProcess()
+{
+    return CorunScenario{1, false};
+}
+
+CorunScenario
+perPhysicalCore(const HostPlatformConfig &config)
+{
+    return CorunScenario{config.physicalCores, false};
+}
+
+CorunScenario
+perHardwareThread(const HostPlatformConfig &config)
+{
+    return CorunScenario{config.hwThreads,
+                         config.hwThreads > config.physicalCores};
+}
+
+namespace
+{
+
+/** Halve/divide a cache's capacity via its associativity, keeping at
+ *  least one way (way partitioning). */
+HostCacheGeometry
+partitionCache(const HostCacheGeometry &geometry, unsigned share)
+{
+    if (share <= 1 || geometry.sizeBytes == 0)
+        return geometry;
+    HostCacheGeometry out = geometry;
+    unsigned ways = std::max(1u, geometry.assoc / share);
+    out.assoc = ways;
+    out.sizeBytes = geometry.sizeBytes / geometry.assoc * ways;
+    return out;
+}
+
+} // namespace
+
+HostPlatformConfig
+applyCorun(const HostPlatformConfig &config,
+           const CorunScenario &scenario)
+{
+    HostPlatformConfig out = config;
+    if (scenario.processes <= 1)
+        return out;
+
+    out.name = config.name + " x" +
+               std::to_string(scenario.processes) +
+               (scenario.smt ? " (SMT)" : "");
+
+    // Processes sharing each L2 / the LLC.
+    unsigned threads_per_core = scenario.smt ? 2 : 1;
+    unsigned cores_used = (scenario.processes + threads_per_core - 1)
+                          / threads_per_core;
+    cores_used = std::min(cores_used, config.physicalCores);
+
+    unsigned sharing_l2 =
+        std::max(1u, std::min(cores_used, config.coresPerL2) *
+                     threads_per_core);
+    unsigned sharing_llc =
+        std::max(1u, std::min(cores_used, config.coresPerLlc) *
+                     threads_per_core);
+
+    out.l2 = partitionCache(config.l2, sharing_l2);
+    out.llc = partitionCache(config.llc, sharing_llc);
+
+    if (scenario.smt) {
+        // Two threads split the core-private resources.
+        out.icache = partitionCache(config.icache, 2);
+        out.dcache = partitionCache(config.dcache, 2);
+        out.itlb.entries = std::max(out.itlb.assoc,
+                                    config.itlb.entries / 2);
+        out.dtlb.entries = std::max(out.dtlb.assoc,
+                                    config.dtlb.entries / 2);
+        out.dsb.windows = config.dsb.windows / 2;
+        // Fetch/decode bandwidth alternates between threads.
+        out.miteUopsPerCycle = config.miteUopsPerCycle / 2.0;
+        out.dsbUopsPerCycle = config.dsbUopsPerCycle / 2.0;
+    }
+
+    // Memory bandwidth per process (negligible for gem5, but modeled).
+    out.memBwGBs = config.memBwGBs / scenario.processes;
+    return out;
+}
+
+} // namespace g5p::host

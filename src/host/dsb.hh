@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DSB (Decoded Stream Buffer / µop cache) model.
+ *
+ * Real DSBs cache decoded µops for 32-byte code windows; fetch windows
+ * that hit skip the legacy decoders (MITE). The paper's Fig. 5/6 show
+ * gem5's DSB coverage is very low — its instruction working set is far
+ * larger than the DSB — which is reproduced here structurally: windows
+ * compete for a small set-associative array. On machines without a
+ * µop cache (Apple M1), construct with zero windows; every window then
+ * reports a miss and decode-bandwidth modeling falls entirely to the
+ * (wide) MITE path.
+ */
+
+#ifndef G5P_HOST_DSB_HH
+#define G5P_HOST_DSB_HH
+
+#include <vector>
+
+#include "base/types.hh"
+
+namespace g5p::host
+{
+
+/** DSB geometry (Cascade Lake-ish defaults). */
+struct DsbGeometry
+{
+    unsigned windows = 512; ///< total 32B-window entries (0 = none)
+    unsigned assoc = 8;
+
+    /**
+     * Fraction (percent) of code windows that can never live in the
+     * DSB: real µop caches reject windows exceeding their per-window
+     * µop/branch limits, which branchy simulator code hits often.
+     */
+    unsigned ineligiblePct = 25;
+};
+
+class DsbModel
+{
+  public:
+    explicit DsbModel(const DsbGeometry &geometry);
+
+    /** Window size covered by one entry. */
+    static constexpr unsigned windowBytes = 32;
+
+    /**
+     * Look up the window containing @p pc. A miss fills the entry
+     * (the window gets decoded by MITE and inserted). @return hit.
+     */
+    bool access(HostAddr pc);
+
+    bool enabled() const { return geometry_.windows > 0; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lastUsed = 0;
+    };
+
+    DsbGeometry geometry_;
+    unsigned numSets_ = 0;
+    unsigned tagShift_ = 0;
+    std::vector<Entry> entries_;
+    std::uint64_t lruCounter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_DSB_HH

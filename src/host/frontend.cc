@@ -1,0 +1,93 @@
+#include "host/frontend.hh"
+
+namespace g5p::host
+{
+
+using trace::HostOp;
+
+FrontendModel::FrontendModel(const HostPlatformConfig &config,
+                             const PageSizePolicy &policy,
+                             Uncore &uncore)
+    : config_(config),
+      uncore_(uncore),
+      icache_(config.icache),
+      itlb_(config.itlb, &policy),
+      bpred_(config.bpred),
+      dsb_(config.dsb)
+{
+}
+
+void
+FrontendModel::onOp(const HostOp &op, HostCounters &counters)
+{
+    // --- Fetch: new cache line => iCache (and maybe iTLB) lookup.
+    HostAddr line = op.pc / config_.lineBytes;
+    if (line != lastLine_) {
+        lastLine_ = line;
+        ++counters.icacheAccesses;
+        if (!icache_.access(op.pc, false)) {
+            ++counters.icacheMisses;
+            auto mem = uncore_.access(op.pc, false);
+            // The fetch queue and next-line prefetch hide part of an
+            // ifetch miss; the exposed fraction starves the decoder.
+            counters.feLatIcacheCycles +=
+                mem.latencyCycles * config_.icacheMissExposed;
+        }
+
+        HostAddr page = op.pc >> 12; // page transitions, checked at
+                                     // the finest granularity
+        if (page != lastPage_) {
+            lastPage_ = page;
+            ++counters.itlbAccesses;
+            if (!itlb_.access(op.pc)) {
+                ++counters.itlbMisses;
+                counters.feLatItlbCycles += config_.itlbWalkCycles;
+            }
+        }
+    }
+
+    // --- Decode source: DSB window hit or legacy MITE path.
+    HostAddr window = op.pc / DsbModel::windowBytes;
+    if (window != lastWindow_) {
+        lastWindow_ = window;
+        windowFromDsb_ = dsb_.access(op.pc);
+    }
+    double supply;
+    if (windowFromDsb_) {
+        counters.uopsFromDsb += op.uops;
+        supply = config_.dsbUopsPerCycle;
+    } else {
+        counters.uopsFromMite += op.uops;
+        supply = config_.miteUopsPerCycle;
+    }
+    if (supply > 0 && supply < config_.dispatchWidth) {
+        double penalty =
+            op.uops * (1.0 / supply - 1.0 / config_.dispatchWidth);
+        if (windowFromDsb_)
+            counters.feBwDsbCycles += penalty;
+        else
+            counters.feBwMiteCycles += penalty;
+    }
+
+    // --- Branch resolution and resteers.
+    if (op.kind == HostOp::Kind::Branch) {
+        ++counters.branches;
+        BranchResolution res = bpred_.resolve(op);
+        if (res.mispredicted) {
+            ++counters.mispredicts;
+            counters.badSpecCycles += config_.mispredictPenalty;
+            counters.feLatMispredictCycles += config_.resteerCycles;
+        } else if (res.unknownBranch) {
+            ++counters.unknownBranches;
+            counters.feLatUnknownCycles +=
+                config_.unknownBranchCycles;
+        }
+        if (op.taken) {
+            // Redirected fetch: next op starts a new line/window.
+            lastLine_ = ~HostAddr(0);
+            lastWindow_ = ~HostAddr(0);
+        }
+    }
+}
+
+} // namespace g5p::host

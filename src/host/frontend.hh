@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Host front-end model: instruction fetch (iCache/iTLB), decode
+ * sourcing (DSB vs MITE), and branch-resteer accounting. Produces the
+ * front-end rows of the Top-Down tree (paper Figs. 3–6).
+ */
+
+#ifndef G5P_HOST_FRONTEND_HH
+#define G5P_HOST_FRONTEND_HH
+
+#include "host/branch_predictor.hh"
+#include "host/cache_model.hh"
+#include "host/counters.hh"
+#include "host/dsb.hh"
+#include "host/tlb_model.hh"
+#include "host/uncore.hh"
+#include "trace/synthesizer.hh"
+
+namespace g5p::host
+{
+
+class FrontendModel
+{
+  public:
+    /**
+     * @param config platform parameters
+     * @param policy page-size policy (owned by the caller; encodes
+     *        THP/EHP code-backing decisions)
+     * @param uncore shared L2/LLC/DRAM for i-side misses
+     */
+    FrontendModel(const HostPlatformConfig &config,
+                  const PageSizePolicy &policy, Uncore &uncore);
+
+    /** Account the fetch/decode/branch costs of one op. */
+    void onOp(const trace::HostOp &op, HostCounters &counters);
+
+    const HostCache &icache() const { return icache_; }
+    const HostTlb &itlb() const { return itlb_; }
+    const HostBranchPredictor &bpred() const { return bpred_; }
+    const DsbModel &dsb() const { return dsb_; }
+
+  private:
+    const HostPlatformConfig &config_;
+    Uncore &uncore_;
+    HostCache icache_;
+    HostTlb itlb_;
+    HostBranchPredictor bpred_;
+    DsbModel dsb_;
+
+    HostAddr lastLine_ = ~HostAddr(0);
+    HostAddr lastPage_ = ~HostAddr(0);
+    HostAddr lastWindow_ = ~HostAddr(0);
+    bool windowFromDsb_ = false;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_FRONTEND_HH

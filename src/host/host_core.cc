@@ -1,0 +1,118 @@
+#include "host/host_core.hh"
+
+namespace g5p::host
+{
+
+HostCore::HostCore(const HostPlatformConfig &config,
+                   const PageSizePolicy &policy)
+    : config_(config),
+      uncore_(std::make_unique<Uncore>(config_)),
+      frontend_(std::make_unique<FrontendModel>(config_, policy,
+                                                *uncore_)),
+      backend_(std::make_unique<BackendModel>(config_, policy,
+                                              *uncore_))
+{
+}
+
+HostCore::~HostCore() = default;
+
+void
+HostCore::op(const trace::HostOp &op)
+{
+    ++counters_.insts;
+    counters_.uops += op.uops;
+    counters_.baseCycles +=
+        (double)op.uops / (double)config_.dispatchWidth;
+
+    frontend_->onOp(op, counters_);
+    backend_->onOp(op, counters_);
+}
+
+HostCounters
+HostCore::counters() const
+{
+    HostCounters out = counters_;
+    out.l2Misses = uncore_->l2Misses();
+    out.llcMisses = uncore_->llcMisses();
+    out.dramBytes = uncore_->dramBytes();
+    out.llcOccupancyBytes = uncore_->llcOccupancyPeakBytes();
+    return out;
+}
+
+TopdownBreakdown
+HostCore::topdown() const
+{
+    return computeTopdown(counters(), config_.dispatchWidth);
+}
+
+void
+HostCounters::add(const HostCounters &other)
+{
+    insts += other.insts;
+    uops += other.uops;
+    loads += other.loads;
+    stores += other.stores;
+    branches += other.branches;
+    baseCycles += other.baseCycles;
+    feLatIcacheCycles += other.feLatIcacheCycles;
+    feLatItlbCycles += other.feLatItlbCycles;
+    feLatMispredictCycles += other.feLatMispredictCycles;
+    feLatUnknownCycles += other.feLatUnknownCycles;
+    feLatClearCycles += other.feLatClearCycles;
+    feBwMiteCycles += other.feBwMiteCycles;
+    feBwDsbCycles += other.feBwDsbCycles;
+    badSpecCycles += other.badSpecCycles;
+    beMemCycles += other.beMemCycles;
+    beCoreCycles += other.beCoreCycles;
+    icacheAccesses += other.icacheAccesses;
+    icacheMisses += other.icacheMisses;
+    dcacheAccesses += other.dcacheAccesses;
+    dcacheMisses += other.dcacheMisses;
+    itlbAccesses += other.itlbAccesses;
+    itlbMisses += other.itlbMisses;
+    dtlbAccesses += other.dtlbAccesses;
+    dtlbMisses += other.dtlbMisses;
+    l2Misses += other.l2Misses;
+    llcMisses += other.llcMisses;
+    mispredicts += other.mispredicts;
+    unknownBranches += other.unknownBranches;
+    uopsFromDsb += other.uopsFromDsb;
+    uopsFromMite += other.uopsFromMite;
+    dramBytes += other.dramBytes;
+    if (other.llcOccupancyBytes > llcOccupancyBytes)
+        llcOccupancyBytes = other.llcOccupancyBytes;
+}
+
+TopdownBreakdown
+computeTopdown(const HostCounters &counters, unsigned width)
+{
+    TopdownBreakdown td;
+    double cycles = counters.totalCycles();
+    if (cycles <= 0)
+        return td;
+    double slots = cycles * (double)width;
+
+    td.retiring = (double)counters.uops / slots;
+    td.badSpeculation = counters.badSpecCycles * width / slots;
+
+    td.feIcache = counters.feLatIcacheCycles * width / slots;
+    td.feItlb = counters.feLatItlbCycles * width / slots;
+    td.feMispredictResteers =
+        counters.feLatMispredictCycles * width / slots;
+    td.feUnknownBranches = counters.feLatUnknownCycles * width / slots;
+    td.feClearResteers = counters.feLatClearCycles * width / slots;
+    td.frontendLatency = td.feIcache + td.feItlb +
+                         td.feMispredictResteers +
+                         td.feUnknownBranches + td.feClearResteers;
+
+    td.feMite = counters.feBwMiteCycles * width / slots;
+    td.feDsb = counters.feBwDsbCycles * width / slots;
+    td.frontendBandwidth = td.feMite + td.feDsb;
+
+    td.beMemory = counters.beMemCycles * width / slots;
+    td.beCore = counters.beCoreCycles * width / slots;
+    td.backendBound = td.beMemory + td.beCore;
+    return td;
+}
+
+} // namespace g5p::host

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * HostCore: the complete host-CPU model. Consumes the synthesized
+ * instruction stream (it is a HostInstSink), integrates the front-end
+ * and back-end models over a shared uncore, and produces the
+ * HostCounters / Top-Down breakdown the paper's figures are built
+ * from. One HostCore models one hardware context running one gem5
+ * process, exactly the paper's measurement unit.
+ */
+
+#ifndef G5P_HOST_HOST_CORE_HH
+#define G5P_HOST_HOST_CORE_HH
+
+#include <memory>
+
+#include "host/backend.hh"
+#include "host/frontend.hh"
+
+namespace g5p::host
+{
+
+class HostCore : public trace::HostInstSink
+{
+  public:
+    /**
+     * @param config the platform (possibly co-run adjusted)
+     * @param policy page-size policy; the caller configures huge-page
+     *        regions before the run
+     */
+    HostCore(const HostPlatformConfig &config,
+             const PageSizePolicy &policy);
+    ~HostCore() override;
+
+    /** HostInstSink: account one instruction. */
+    void op(const trace::HostOp &op) override;
+
+    /** Finalized counters (uncore fields folded in). */
+    HostCounters counters() const;
+
+    /** Top-Down breakdown at this platform's width. */
+    TopdownBreakdown topdown() const;
+
+    /** Cycles so far. */
+    double cycles() const { return counters_.totalCycles(); }
+
+    /** Wall-clock seconds at the platform frequency. */
+    double
+    seconds(bool turbo = false) const
+    {
+        return cycles() / config_.effectiveHz(turbo);
+    }
+
+    /** DRAM bandwidth in GB/s over the modeled run. */
+    double
+    dramBandwidthGBs(bool turbo = false) const
+    {
+        double s = seconds(turbo);
+        return s > 0 ? (double)uncore_->dramBytes() / 1e9 / s : 0.0;
+    }
+
+    const HostPlatformConfig &config() const { return config_; }
+    const FrontendModel &frontend() const { return *frontend_; }
+    const BackendModel &backend() const { return *backend_; }
+    const Uncore &uncore() const { return *uncore_; }
+
+  private:
+    HostPlatformConfig config_;
+    std::unique_ptr<Uncore> uncore_;
+    std::unique_ptr<FrontendModel> frontend_;
+    std::unique_ptr<BackendModel> backend_;
+    HostCounters counters_;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_HOST_CORE_HH

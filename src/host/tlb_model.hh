@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Host TLB model with mixed page sizes.
+ *
+ * A PageSizePolicy assigns each host virtual address a page size
+ * (base pages by default; 16KB on Apple M1; 2MB where huge pages back
+ * the mg5 binary — the paper's §V-A THP/EHP experiments). The TLB
+ * indexes by (page number, size class), so huge pages increase reach
+ * exactly as on real hardware.
+ */
+
+#ifndef G5P_HOST_TLB_MODEL_HH
+#define G5P_HOST_TLB_MODEL_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace g5p::host
+{
+
+/** Page-size classes the model distinguishes. */
+enum class PageClass : std::uint8_t
+{
+    Base,   ///< platform base page (4KB Xeon / 16KB M1)
+    Huge,   ///< 2MB huge page
+};
+
+/**
+ * Maps addresses to page sizes. `hugeCoverage` backs that fraction of
+ * the [start, end) region with huge pages, deterministically by page
+ * number — modeling THP's partial, chunk-granular remapping.
+ */
+class PageSizePolicy
+{
+  public:
+    /** @param base_page_bits log2 of the platform base page. */
+    explicit PageSizePolicy(unsigned base_page_bits = 12)
+        : basePageBits_(base_page_bits)
+    {}
+
+    /** Back [start,end) with huge pages at @p coverage in [0,1]. */
+    void addHugeRegion(HostAddr start, HostAddr end, double coverage);
+
+    /** Page bits for @p addr (base or 21 for 2MB). */
+    unsigned pageBits(HostAddr addr) const;
+
+    unsigned basePageBits() const { return basePageBits_; }
+
+  private:
+    struct Region
+    {
+        HostAddr start;
+        HostAddr end;
+        std::uint32_t coveragePct; ///< 0..100
+    };
+
+    unsigned basePageBits_;
+    std::vector<Region> regions_;
+};
+
+/** TLB geometry. */
+struct HostTlbGeometry
+{
+    unsigned entries = 128;
+    unsigned assoc = 8;
+};
+
+class HostTlb
+{
+  public:
+    HostTlb(const HostTlbGeometry &geometry,
+            const PageSizePolicy *policy);
+
+    /** Look up the page of @p addr; allocates on miss. @return hit. */
+    bool access(HostAddr addr);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total ? (double)misses_ / (double)total : 0.0;
+    }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        bool valid = false;
+        std::uint64_t lastUsed = 0;
+    };
+
+    HostTlbGeometry geometry_;
+    const PageSizePolicy *policy_;
+    unsigned numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t lruCounter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_TLB_MODEL_HH

@@ -1,0 +1,41 @@
+#include "host/uncore.hh"
+
+namespace g5p::host
+{
+
+Uncore::Uncore(const HostPlatformConfig &config)
+    : config_(config), l2_(config.l2)
+{
+    if (config.hasLlc && config.llc.sizeBytes > 0)
+        llc_ = std::make_unique<HostCache>(config.llc);
+}
+
+Uncore::MemResult
+Uncore::access(HostAddr addr, bool is_write)
+{
+    if (l2_.access(addr, is_write))
+        return {Level::L2, config_.l2LatencyCycles};
+
+    if (llc_) {
+        bool hit = llc_->access(addr, is_write);
+        if (llc_->occupancyBytes() > llcOccupancyPeak_)
+            llcOccupancyPeak_ = llc_->occupancyBytes();
+        if (hit)
+            return {Level::Llc, config_.llcLatencyCycles};
+    }
+
+    dramBytes_ += config_.lineBytes;
+    return {Level::Memory, config_.memLatencyCycles()};
+}
+
+void
+Uncore::reset()
+{
+    l2_.reset();
+    if (llc_)
+        llc_->reset();
+    dramBytes_ = 0;
+    llcOccupancyPeak_ = 0;
+}
+
+} // namespace g5p::host

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared uncore: L2, LLC, and the DRAM channel. One Uncore may be
+ * shared by several HostCores' L1-miss streams (co-run modeling), or
+ * dedicated to a single profiled process.
+ */
+
+#ifndef G5P_HOST_UNCORE_HH
+#define G5P_HOST_UNCORE_HH
+
+#include <memory>
+
+#include "host/cache_model.hh"
+#include "host/platforms.hh"
+
+namespace g5p::host
+{
+
+class Uncore
+{
+  public:
+    explicit Uncore(const HostPlatformConfig &config);
+
+    /** Where an L1 miss was satisfied. */
+    enum class Level : std::uint8_t { L2, Llc, Memory };
+
+    struct MemResult
+    {
+        Level level;
+        double latencyCycles;
+    };
+
+    /** Service one L1 miss. */
+    MemResult access(HostAddr addr, bool is_write);
+
+    /** @{ Counters. */
+    std::uint64_t l2Misses() const { return l2_.misses(); }
+    std::uint64_t
+    llcMisses() const
+    {
+        return llc_ ? llc_->misses() : l2_.misses();
+    }
+    std::uint64_t dramBytes() const { return dramBytes_; }
+
+    /** Peak LLC-resident footprint of this process (Fig. 9). */
+    std::uint64_t llcOccupancyPeakBytes() const
+    { return llcOccupancyPeak_; }
+    /** @} */
+
+    const HostCache &l2() const { return l2_; }
+    const HostCache *llc() const { return llc_.get(); }
+
+    void reset();
+
+  private:
+    const HostPlatformConfig config_;
+    HostCache l2_;
+    std::unique_ptr<HostCache> llc_;
+    std::uint64_t dramBytes_ = 0;
+    std::uint64_t llcOccupancyPeak_ = 0;
+};
+
+} // namespace g5p::host
+
+#endif // G5P_HOST_UNCORE_HH

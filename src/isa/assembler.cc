@@ -1,0 +1,155 @@
+#include "isa/assembler.hh"
+
+#include "base/logging.hh"
+
+namespace g5p::isa
+{
+
+Addr
+Program::symbol(const std::string &label) const
+{
+    auto it = symbols.find(label);
+    if (it == symbols.end())
+        g5p_fatal("undefined symbol '%s'", label.c_str());
+    return it->second;
+}
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    g5p_assert(!labels_.count(name), "duplicate label '%s'",
+               name.c_str());
+    labels_[name] = here();
+    return *this;
+}
+
+Assembler &
+Assembler::op3(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    words_.push_back(encode(op, rd, rs1, rs2, 0));
+    return *this;
+}
+
+Assembler &
+Assembler::opImm(Opcode op, RegIndex rd, RegIndex rs1,
+                 std::int32_t imm)
+{
+    words_.push_back(encode(op, rd, rs1, 0, imm));
+    return *this;
+}
+
+Assembler &
+Assembler::sd(RegIndex rs2, RegIndex rs1, std::int32_t imm)
+{
+    words_.push_back(encode(Opcode::Sd, 0, rs1, rs2, imm));
+    return *this;
+}
+
+Assembler &
+Assembler::sw(RegIndex rs2, RegIndex rs1, std::int32_t imm)
+{
+    words_.push_back(encode(Opcode::Sw, 0, rs1, rs2, imm));
+    return *this;
+}
+
+Assembler &
+Assembler::sb(RegIndex rs2, RegIndex rs1, std::int32_t imm)
+{
+    words_.push_back(encode(Opcode::Sb, 0, rs1, rs2, imm));
+    return *this;
+}
+
+Assembler &
+Assembler::branch(Opcode op, RegIndex rs1, RegIndex rs2,
+                  const std::string &l)
+{
+    fixups_.push_back(Fixup{words_.size(), l, true});
+    words_.push_back(encode(op, 0, rs1, rs2, 0));
+    return *this;
+}
+
+Assembler &
+Assembler::beq(RegIndex rs1, RegIndex rs2, const std::string &l)
+{
+    return branch(Opcode::Beq, rs1, rs2, l);
+}
+
+Assembler &
+Assembler::bne(RegIndex rs1, RegIndex rs2, const std::string &l)
+{
+    return branch(Opcode::Bne, rs1, rs2, l);
+}
+
+Assembler &
+Assembler::blt(RegIndex rs1, RegIndex rs2, const std::string &l)
+{
+    return branch(Opcode::Blt, rs1, rs2, l);
+}
+
+Assembler &
+Assembler::bge(RegIndex rs1, RegIndex rs2, const std::string &l)
+{
+    return branch(Opcode::Bge, rs1, rs2, l);
+}
+
+Assembler &
+Assembler::jal(RegIndex rd, const std::string &l)
+{
+    fixups_.push_back(Fixup{words_.size(), l, true});
+    words_.push_back(encode(Opcode::Jal, rd, 0, 0, 0));
+    return *this;
+}
+
+Assembler &
+Assembler::li(RegIndex rd, std::int64_t value)
+{
+    if (value >= INT32_MIN && value <= INT32_MAX)
+        return addi(rd, RegZero, (std::int32_t)value);
+
+    std::int64_t hi = value >> 14;
+    if (hi >= INT32_MIN && hi <= INT32_MAX) {
+        // lui loads imm << 14; patch the low 14 bits with addi.
+        std::int32_t lo = (std::int32_t)(value & 0x3fff);
+        opImm(Opcode::Lui, rd, 0, (std::int32_t)hi);
+        if (lo)
+            addi(rd, rd, lo);
+        return *this;
+    }
+
+    // Full 64-bit constant: top 8 bits, then four 14-bit chunks
+    // merged with shift+or — no scratch register needed.
+    std::uint64_t v = (std::uint64_t)value;
+    addi(rd, RegZero, (std::int32_t)(v >> 56));
+    for (int shift = 42; shift >= 0; shift -= 14) {
+        slli(rd, rd, 14);
+        std::int32_t chunk = (std::int32_t)((v >> shift) & 0x3fff);
+        if (chunk)
+            opImm(Opcode::Ori, rd, rd, chunk);
+    }
+    return *this;
+}
+
+Program
+Assembler::assemble()
+{
+    for (const Fixup &fix : fixups_) {
+        auto it = labels_.find(fix.label);
+        if (it == labels_.end())
+            g5p_fatal("undefined label '%s'", fix.label.c_str());
+        Addr inst_addr = base_ + fix.index * instBytes;
+        std::int64_t delta = (std::int64_t)it->second -
+                             (std::int64_t)inst_addr;
+        g5p_assert(delta >= INT32_MIN && delta <= INT32_MAX,
+                   "branch to '%s' out of range", fix.label.c_str());
+        words_[fix.index] =
+            (words_[fix.index] & ~0xffffffffULL) |
+            (std::uint64_t)(std::uint32_t)(std::int32_t)delta;
+    }
+    Program prog;
+    prog.base = base_;
+    prog.words = words_;
+    prog.symbols = labels_;
+    return prog;
+}
+
+} // namespace g5p::isa

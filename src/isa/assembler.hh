@@ -1,0 +1,162 @@
+/**
+ * @file
+ * In-process assembler for the MRV guest ISA.
+ *
+ * Workloads (src/workloads) are written against this builder API:
+ * instructions append in order, labels resolve forward and backward
+ * references, and assemble() produces the final image plus a symbol
+ * table. Pseudo-instructions (li, mv, j, call, ret) expand like a real
+ * assembler would.
+ */
+
+#ifndef G5P_ISA_ASSEMBLER_HH
+#define G5P_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace g5p::isa
+{
+
+/** An assembled program image. */
+struct Program
+{
+    Addr base = 0;                      ///< load address of word 0
+    std::vector<std::uint64_t> words;   ///< encoded instructions
+    std::map<std::string, Addr> symbols;///< label -> address
+
+    /** Size in bytes. */
+    std::size_t size() const { return words.size() * instBytes; }
+
+    /** Address just past the image. */
+    Addr end() const { return base + size(); }
+
+    /** Address of @p label; fatal if undefined. */
+    Addr symbol(const std::string &label) const;
+};
+
+/**
+ * Two-pass label-resolving assembler. All emit methods append one
+ * instruction; label operands may be defined later.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr base = 0x1000) : base_(base) {}
+
+    /** Define @p name at the current position. */
+    Assembler &label(const std::string &name);
+
+    /** @{ Raw emits (register/immediate forms). */
+    Assembler &op3(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2);
+    Assembler &opImm(Opcode op, RegIndex rd, RegIndex rs1,
+                     std::int32_t imm);
+    /** @} */
+
+    /** @{ ALU convenience wrappers. */
+    Assembler &add(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Add, rd, rs1, rs2); }
+    Assembler &sub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Sub, rd, rs1, rs2); }
+    Assembler &and_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::And, rd, rs1, rs2); }
+    Assembler &or_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Or, rd, rs1, rs2); }
+    Assembler &xor_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Xor, rd, rs1, rs2); }
+    Assembler &sll(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Sll, rd, rs1, rs2); }
+    Assembler &srl(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Srl, rd, rs1, rs2); }
+    Assembler &slt(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Slt, rd, rs1, rs2); }
+    Assembler &mul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Mul, rd, rs1, rs2); }
+    Assembler &div(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Div, rd, rs1, rs2); }
+    Assembler &rem(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Rem, rd, rs1, rs2); }
+    Assembler &fadd(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Fadd, rd, rs1, rs2); }
+    Assembler &fsub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Fsub, rd, rs1, rs2); }
+    Assembler &fmul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Fmul, rd, rs1, rs2); }
+    Assembler &fdiv(RegIndex rd, RegIndex rs1, RegIndex rs2)
+    { return op3(Opcode::Fdiv, rd, rs1, rs2); }
+    Assembler &addi(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Addi, rd, rs1, imm); }
+    Assembler &andi(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Andi, rd, rs1, imm); }
+    Assembler &slli(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Slli, rd, rs1, imm); }
+    Assembler &srli(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Srli, rd, rs1, imm); }
+    Assembler &slti(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Slti, rd, rs1, imm); }
+    /** @} */
+
+    /** @{ Memory. imm is the byte offset from rs1. */
+    Assembler &ld(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Ld, rd, rs1, imm); }
+    Assembler &lw(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Lw, rd, rs1, imm); }
+    Assembler &lb(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Lb, rd, rs1, imm); }
+    Assembler &sd(RegIndex rs2, RegIndex rs1, std::int32_t imm);
+    Assembler &sw(RegIndex rs2, RegIndex rs1, std::int32_t imm);
+    Assembler &sb(RegIndex rs2, RegIndex rs1, std::int32_t imm);
+    /** @} */
+
+    /** @{ Control flow to labels. */
+    Assembler &beq(RegIndex rs1, RegIndex rs2, const std::string &l);
+    Assembler &bne(RegIndex rs1, RegIndex rs2, const std::string &l);
+    Assembler &blt(RegIndex rs1, RegIndex rs2, const std::string &l);
+    Assembler &bge(RegIndex rs1, RegIndex rs2, const std::string &l);
+    Assembler &jal(RegIndex rd, const std::string &l);
+    Assembler &j(const std::string &l) { return jal(RegZero, l); }
+    Assembler &call(const std::string &l) { return jal(RegRa, l); }
+    Assembler &jalr(RegIndex rd, RegIndex rs1, std::int32_t imm)
+    { return opImm(Opcode::Jalr, rd, rs1, imm); }
+    Assembler &ret() { return jalr(RegZero, RegRa, 0); }
+    /** @} */
+
+    /** @{ Pseudo-instructions. */
+    Assembler &li(RegIndex rd, std::int64_t value);
+    Assembler &mv(RegIndex rd, RegIndex rs1)
+    { return addi(rd, rs1, 0); }
+    Assembler &nop() { return opImm(Opcode::Nop, 0, 0, 0); }
+    Assembler &ecall() { return opImm(Opcode::Ecall, 0, 0, 0); }
+    Assembler &halt() { return opImm(Opcode::Halt, 0, 0, 0); }
+    /** @} */
+
+    /** Current position (address of the next instruction). */
+    Addr here() const { return base_ + words_.size() * instBytes; }
+
+    /** Resolve labels and return the image; fatal on undefined. */
+    Program assemble();
+
+  private:
+    struct Fixup
+    {
+        std::size_t index;   ///< instruction word to patch
+        std::string label;
+        bool isBranch;       ///< pc-relative patch
+    };
+
+    Assembler &branch(Opcode op, RegIndex rs1, RegIndex rs2,
+                      const std::string &l);
+
+    Addr base_;
+    std::vector<std::uint64_t> words_;
+    std::map<std::string, Addr> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace g5p::isa
+
+#endif // G5P_ISA_ASSEMBLER_HH

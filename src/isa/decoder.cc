@@ -1,0 +1,133 @@
+#include "isa/decoder.hh"
+
+#include "base/logging.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::isa
+{
+
+namespace
+{
+
+struct Fields
+{
+    Opcode op;
+    RegIndex rd, rs1, rs2;
+    std::int32_t imm;
+};
+
+Fields
+unpack(std::uint64_t word)
+{
+    return Fields{
+        (Opcode)(word >> 56),
+        (RegIndex)((word >> 48) & 0xff),
+        (RegIndex)((word >> 40) & 0xff),
+        (RegIndex)((word >> 32) & 0xff),
+        (std::int32_t)(std::uint32_t)(word & 0xffffffffULL),
+    };
+}
+
+} // namespace
+
+StaticInstPtr
+Decoder::decodeOne(std::uint64_t word)
+{
+    auto [op, rd, rs1, rs2, imm] = unpack(word);
+    g5p_assert(op < Opcode::NumOpcodes,
+               "undecodable instruction word %#llx",
+               (unsigned long long)word);
+    g5p_assert(rd < numArchRegs && rs1 < numArchRegs &&
+               rs2 < numArchRegs,
+               "register index out of range in word %#llx",
+               (unsigned long long)word);
+
+    InstFlags flags;
+
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sltu: case Opcode::Addi: case Opcode::Andi:
+      case Opcode::Ori: case Opcode::Xori: case Opcode::Slli:
+      case Opcode::Srli: case Opcode::Srai: case Opcode::Slti:
+      case Opcode::Lui:
+        return std::make_shared<IntAluInst>(op, rd, rs1, rs2, imm, flags);
+
+      case Opcode::Mul: case Opcode::Mulh:
+        flags.isMul = true;
+        return std::make_shared<MulDivInst>(op, rd, rs1, rs2, imm, flags);
+      case Opcode::Div: case Opcode::Rem:
+        flags.isDiv = true;
+        return std::make_shared<MulDivInst>(op, rd, rs1, rs2, imm, flags);
+
+      case Opcode::Fadd: case Opcode::Fsub: case Opcode::Fmul:
+        flags.isFloat = true;
+        return std::make_shared<FloatInst>(op, rd, rs1, rs2, imm, flags);
+      case Opcode::Fdiv:
+        flags.isFloat = true;
+        flags.isDiv = true;
+        return std::make_shared<FloatInst>(op, rd, rs1, rs2, imm, flags);
+
+      case Opcode::Lb: case Opcode::Lh: case Opcode::Lw:
+      case Opcode::Ld: case Opcode::Lbu: case Opcode::Lhu:
+      case Opcode::Lwu:
+        flags.isMemRef = true;
+        flags.isLoad = true;
+        return std::make_shared<MemInst>(op, rd, rs1, rs2, imm, flags);
+      case Opcode::Sb: case Opcode::Sh: case Opcode::Sw:
+      case Opcode::Sd:
+        flags.isMemRef = true;
+        flags.isStore = true;
+        return std::make_shared<MemInst>(op, rd, rs1, rs2, imm, flags);
+
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        flags.isControl = true;
+        flags.isCondCtrl = true;
+        return std::make_shared<BranchInst>(op, rd, rs1, rs2, imm, flags);
+
+      case Opcode::Jal:
+        flags.isControl = true;
+        flags.isCall = (rd == RegRa);
+        return std::make_shared<JumpInst>(op, rd, rs1, rs2, imm, flags);
+      case Opcode::Jalr:
+        flags.isControl = true;
+        flags.isIndirect = true;
+        flags.isCall = (rd == RegRa);
+        return std::make_shared<JumpInst>(op, rd, rs1, rs2, imm, flags);
+
+      case Opcode::Ecall:
+        flags.isSyscall = true;
+        return std::make_shared<SysInst>(op, rd, rs1, rs2, imm, flags);
+      case Opcode::Halt:
+        flags.isHalt = true;
+        return std::make_shared<SysInst>(op, rd, rs1, rs2, imm, flags);
+      case Opcode::Nop:
+        flags.isNop = true;
+        return std::make_shared<SysInst>(op, rd, rs1, rs2, imm, flags);
+
+      default:
+        g5p_panic("unhandled opcode %u", (unsigned)op);
+    }
+}
+
+StaticInstPtr
+Decoder::decode(std::uint64_t word)
+{
+    // Each opcode's decode path is a distinct generated function in
+    // gem5; key the instrumentation the same way.
+    G5P_TRACE_SCOPE_KEYED("Decoder::decode", Decode, false,
+                          (std::uint32_t)(word >> 56));
+    ++numDecodes_;
+    auto it = cache_.find(word);
+    if (it != cache_.end()) {
+        ++numCacheHits_;
+        return it->second;
+    }
+    StaticInstPtr inst = decodeOne(word);
+    cache_.emplace(word, inst);
+    return inst;
+}
+
+} // namespace g5p::isa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Machine-word decoder with a gem5-style decode cache: every distinct
+ * raw instruction word is decoded once into a shared StaticInst.
+ */
+
+#ifndef G5P_ISA_DECODER_HH
+#define G5P_ISA_DECODER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/inst.hh"
+
+namespace g5p::isa
+{
+
+/**
+ * Decodes raw 64-bit words into StaticInst objects. Each CPU owns a
+ * Decoder; the cache makes repeated decode of hot code cheap, exactly
+ * as gem5's decode cache does.
+ */
+class Decoder
+{
+  public:
+    /** Decode @p word, reusing the cached StaticInst if present. */
+    StaticInstPtr decode(std::uint64_t word);
+
+    /** Number of distinct words decoded. */
+    std::size_t cacheSize() const { return cache_.size(); }
+
+    /** Total decode() calls. */
+    std::uint64_t numDecodes() const { return numDecodes_; }
+
+    /** Decode-cache hits. */
+    std::uint64_t numCacheHits() const { return numCacheHits_; }
+
+    /** Build a StaticInst without caching (tests, disassembly). */
+    static StaticInstPtr decodeOne(std::uint64_t word);
+
+  private:
+    std::unordered_map<std::uint64_t, StaticInstPtr> cache_;
+    std::uint64_t numDecodes_ = 0;
+    std::uint64_t numCacheHits_ = 0;
+};
+
+} // namespace g5p::isa
+
+#endif // G5P_ISA_DECODER_HH

@@ -1,0 +1,326 @@
+#include "mem/cache.hh"
+
+#include "base/addr_utils.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::mem
+{
+
+Cache::Cache(sim::Simulator &sim, const std::string &name,
+             const sim::ClockDomain &domain, const CacheParams &params)
+    : sim::ClockedObject(sim, name, domain, nullptr,
+                         // Host-side state: ~16B of tag metadata per
+                         // line, which is what mg5 actually touches.
+                         (params.sizeBytes / lineBytes) * 16),
+      params_(params),
+      numSets_((unsigned)(params.sizeBytes / lineBytes / params.assoc)),
+      cpuPort_(*this, name + ".cpu_side"),
+      memPort_(*this, name + ".mem_side")
+{
+    g5p_assert(isPowerOf2(numSets_) && numSets_ > 0,
+               "%s: sets (%u) must be a nonzero power of two",
+               name.c_str(), numSets_);
+    lines_.resize((std::size_t)numSets_ * params_.assoc);
+}
+
+Cache::~Cache()
+{
+    for (PacketPtr pkt : deferred_)
+        delete pkt;
+    for (Mshr &mshr : mshrs_)
+        for (PacketPtr pkt : mshr.targets)
+            delete pkt;
+}
+
+void
+Cache::touchTagState(const Line &line) const
+{
+    std::size_t index = (std::size_t)(&line - lines_.data());
+    touchState(index * 16, 16, false);
+}
+
+Cache::Line *
+Cache::lookup(Addr addr, bool update_lru)
+{
+    std::uint64_t set = cacheSetIndex(addr, lineBytes, numSets_);
+    std::uint64_t tag = cacheTag(addr, lineBytes, numSets_);
+    Line *base = &lines_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            if (update_lru)
+                line.lastUsed = ++lruCounter_;
+            touchTagState(line);
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::lookupConst(Addr addr) const
+{
+    return const_cast<Cache *>(this)->lookup(addr, false);
+}
+
+bool
+Cache::isCached(Addr addr) const
+{
+    return lookupConst(addr) != nullptr;
+}
+
+Cache::Line &
+Cache::victimFor(Addr addr)
+{
+    std::uint64_t set = cacheSetIndex(addr, lineBytes, numSets_);
+    Line *base = &lines_[set * params_.assoc];
+    Line *victim = base;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid)
+            return line;
+        if (line.lastUsed < victim->lastUsed)
+            victim = &line;
+    }
+    return *victim;
+}
+
+Cache::Line &
+Cache::insertLine(Addr addr, bool writable, bool timing)
+{
+    G5P_TRACE_SCOPE("Cache::insertLine", MemAccess, false);
+    std::uint64_t set = cacheSetIndex(addr, lineBytes, numSets_);
+    Line &victim = victimFor(addr);
+    if (victim.valid && victim.dirty) {
+        // Reconstruct the victim's address from tag and set.
+        Addr victim_addr =
+            ((victim.tag << floorLog2(numSets_)) | set) * lineBytes;
+        writebacks_ += 1;
+        if (timing) {
+            auto *wb = new Packet(MemCmd::WritebackDirty, victim_addr,
+                                  lineBytes);
+            memPort_.sendTimingReq(wb);
+        } else {
+            Packet wb(MemCmd::WritebackDirty, victim_addr, lineBytes);
+            memPort_.sendAtomic(wb);
+        }
+    }
+    victim.valid = true;
+    victim.dirty = false;
+    victim.writable = writable;
+    victim.tag = cacheTag(addr, lineBytes, numSets_);
+    victim.lastUsed = ++lruCounter_;
+    touchTagState(victim);
+    return victim;
+}
+
+void
+Cache::invalidateLine(Addr addr)
+{
+    if (Line *line = lookup(addr, false)) {
+        // Dirty data is functionally already in PhysicalMemory; the
+        // timing cost of the implied writeback is charged to the
+        // requester via the xbar's snoop latency.
+        line->valid = false;
+        invalidations_ += 1;
+    }
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line_addr)
+{
+    for (Mshr &m : mshrs_)
+        if (m.lineAddr == line_addr)
+            return &m;
+    return nullptr;
+}
+
+Tick
+Cache::recvAtomic(Packet &pkt)
+{
+    G5P_TRACE_SCOPE("Cache::recvAtomic", MemAtomic, true);
+
+    if (pkt.isWriteback()) {
+        Line *line = lookup(pkt.addr(), true);
+        if (!line)
+            line = &insertLine(pkt.addr(), true, false);
+        line->dirty = true;
+        return 0;
+    }
+    if (pkt.isInvalidate()) {
+        invalidateLine(pkt.addr());
+        return 0;
+    }
+
+    Tick lat = cyclesToTicks(params_.tagLatency);
+    Line *line = lookup(pkt.addr(), true);
+    bool upgrade = line && pkt.needsExclusive() && !line->writable;
+    if (line && !upgrade) {
+        hits_ += 1;
+        if (pkt.isWrite())
+            line->dirty = true;
+        return lat + cyclesToTicks(params_.dataLatency);
+    }
+
+    misses_ += 1;
+    if (upgrade) {
+        upgradeMisses_ += 1;
+        line->valid = false; // refetched with ownership below
+    }
+    MemCmd fill_cmd = pkt.needsExclusive() ? MemCmd::ReadExReq
+                                           : MemCmd::ReadReq;
+    Packet fill(fill_cmd, pkt.lineAddr(), lineBytes);
+    fill.setInstFetch(pkt.isInstFetch());
+    fill.setRequestorId(pkt.requestorId());
+    Tick fill_lat = memPort_.sendAtomic(fill);
+    Line &nl = insertLine(pkt.addr(), fill.writable(), false);
+    if (pkt.isWrite())
+        nl.dirty = true;
+    return lat + fill_lat + cyclesToTicks(params_.responseLatency);
+}
+
+void
+Cache::recvFunctional(Packet &pkt)
+{
+    memPort_.sendFunctional(pkt);
+}
+
+void
+Cache::recvTimingReq(PacketPtr pkt)
+{
+    G5P_TRACE_SCOPE("Cache::recvTimingReq", MemAccess, true);
+
+    if (pkt->isWriteback()) {
+        Line *line = lookup(pkt->addr(), true);
+        if (!line)
+            line = &insertLine(pkt->addr(), true, true);
+        line->dirty = true;
+        delete pkt;
+        return;
+    }
+    if (pkt->isInvalidate()) {
+        invalidateLine(pkt->addr());
+        delete pkt;
+        return;
+    }
+
+    // Model the tag-lookup pipeline stage, then decide hit/miss.
+    scheduleFn(params_.tagLatency, [this, pkt] { satisfyTiming(pkt); });
+}
+
+void
+Cache::satisfyTiming(PacketPtr pkt)
+{
+    G5P_TRACE_SCOPE("Cache::satisfyTiming", MemAccess, false);
+    Line *line = lookup(pkt->addr(), true);
+    bool upgrade = line && pkt->needsExclusive() && !line->writable;
+
+    if (line && !upgrade) {
+        hits_ += 1;
+        if (pkt->isWrite())
+            line->dirty = true;
+        scheduleFn(params_.dataLatency, [this, pkt] {
+            pkt->makeResponse();
+            cpuPort_.sendTimingResp(pkt);
+        });
+        return;
+    }
+
+    misses_ += 1;
+    if (upgrade) {
+        upgradeMisses_ += 1;
+        line->valid = false; // refilled with ownership
+    }
+
+    Addr line_addr = pkt->lineAddr();
+    if (Mshr *mshr = findMshr(line_addr)) {
+        mshrHits_ += 1;
+        mshr->needsExclusive |= pkt->needsExclusive();
+        mshr->targets.push_back(pkt);
+        return;
+    }
+
+    if (mshrs_.size() >= params_.numMshrs) {
+        // All MSHRs busy: defer the request until one frees (the
+        // real cache would exert back-pressure through the port).
+        mshrBlocked_ += 1;
+        deferred_.push_back(pkt);
+        return;
+    }
+    mshrs_.push_back(Mshr{line_addr, true, pkt->needsExclusive(),
+                          {pkt}});
+
+    MemCmd fill_cmd = pkt->needsExclusive() ? MemCmd::ReadExReq
+                                            : MemCmd::ReadReq;
+    auto *fill = new Packet(fill_cmd, line_addr, lineBytes);
+    fill->setInstFetch(pkt->isInstFetch());
+    fill->setRequestorId(pkt->requestorId());
+    memPort_.sendTimingReq(fill);
+}
+
+void
+Cache::recvTimingResp(PacketPtr pkt)
+{
+    G5P_TRACE_SCOPE("Cache::recvTimingResp", MemAccess, true);
+    Addr line_addr = pkt->lineAddr();
+    Mshr *mshr = findMshr(line_addr);
+    g5p_assert(mshr, "%s: fill response with no MSHR for %#llx",
+               name().c_str(), (unsigned long long)line_addr);
+
+    Line &line = insertLine(line_addr, pkt->writable(), true);
+
+    Cycles delay = params_.responseLatency;
+    for (PacketPtr target : mshr->targets) {
+        if (target->isWrite()) {
+            g5p_assert(line.writable, "write fill without ownership");
+            line.dirty = true;
+        }
+        scheduleFn(delay, [this, target] {
+            target->makeResponse();
+            cpuPort_.sendTimingResp(target);
+        });
+        // Consecutive coalesced targets drain one per cycle.
+        delay = delay + 1;
+    }
+    mshrs_.remove_if([line_addr](const Mshr &m) {
+        return m.lineAddr == line_addr;
+    });
+    delete pkt;
+
+    if (!deferred_.empty()) {
+        PacketPtr next = deferred_.front();
+        deferred_.pop_front();
+        scheduleFn(1, [this, next] { satisfyTiming(next); });
+    }
+}
+
+void
+Cache::scheduleFn(Cycles cycles, std::function<void()> fn)
+{
+    auto *ev = new sim::EventFunctionWrapper(std::move(fn),
+                                             name() + ".delayed");
+    ev->setAutoDelete(true);
+    schedule(*ev, clockEdge(cycles ? cycles : 1));
+}
+
+void
+Cache::regStats()
+{
+    addStat(&hits_, "hits", "demand hits");
+    addStat(&misses_, "misses", "demand misses");
+    addStat(&mshrHits_, "mshrHits", "misses coalesced into an MSHR");
+    addStat(&mshrBlocked_, "mshrBlocked",
+            "requests deferred for want of an MSHR");
+    addStat(&writebacks_, "writebacks", "dirty lines written back");
+    addStat(&invalidations_, "invalidations",
+            "lines invalidated by coherence");
+    addStat(&upgradeMisses_, "upgradeMisses",
+            "write hits on non-writable lines");
+    addStat(&missRate_, "missRate", "demand miss rate");
+    missRate_.functor([this] {
+        double total = hits_.value() + misses_.value();
+        return total > 0 ? misses_.value() / total : 0.0;
+    });
+}
+
+} // namespace g5p::mem

@@ -1,0 +1,102 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "trace/recorder.hh"
+
+namespace g5p::mem
+{
+
+DramCtrl::DramCtrl(sim::Simulator &sim, const std::string &name,
+                   const sim::ClockDomain &domain,
+                   PhysicalMemory &backing, const DramParams &params)
+    : sim::ClockedObject(sim, name, domain, nullptr, 2048),
+      backing_(backing),
+      params_(params),
+      port_(*this, name + ".port")
+{
+    if (params_.ticksPerByte == 0) {
+        // bandwidthGBs GB/s over 1e12 ticks/s.
+        double bytes_per_tick =
+            params_.bandwidthGBs * 1e9 / (double)simTicksPerSecond;
+        params_.ticksPerByte =
+            std::max<Tick>(1, (Tick)(1.0 / bytes_per_tick));
+        // ticksPerByte now holds ticks-per-byte; see serviceTicks.
+    }
+}
+
+DramCtrl::~DramCtrl() = default;
+
+Tick
+DramCtrl::serviceTicks(unsigned bytes) const
+{
+    return (Tick)bytes * params_.ticksPerByte;
+}
+
+Tick
+DramCtrl::access(Packet &pkt)
+{
+    G5P_TRACE_SCOPE("DramCtrl::access", MemAccess, true);
+    touchState(pkt.addr() % stateBytes(), 16, true);
+
+    Tick now = curTick();
+    Tick start = std::max(now, channelFreeAt_);
+    Tick busy = serviceTicks(pkt.size());
+    channelFreeAt_ = start + busy;
+    Tick queue_delay = start - now;
+    queueDelayTicks_ += (double)queue_delay;
+    bytesTransferred_ += pkt.size();
+
+    if (pkt.isRead())
+        reads_ += 1;
+    else
+        writes_ += 1;
+
+    return queue_delay + busy + params_.accessLatency;
+}
+
+Tick
+DramCtrl::recvAtomic(Packet &pkt)
+{
+    return access(pkt);
+}
+
+void
+DramCtrl::recvFunctional(Packet &pkt)
+{
+    // Functional accesses bypass timing entirely; data already lives
+    // in PhysicalMemory, so nothing to move.
+}
+
+void
+DramCtrl::recvTimingReq(PacketPtr pkt)
+{
+    G5P_TRACE_SCOPE("DramCtrl::recvTimingReq", MemAccess, true);
+    Tick delay = access(*pkt);
+
+    if (!pkt->needsResponse()) {
+        delete pkt; // writebacks are fire-and-forget
+        return;
+    }
+
+    auto *ev = new sim::EventFunctionWrapper(
+        [this, pkt] {
+            pkt->makeResponse();
+            port_.sendTimingResp(pkt);
+        },
+        name() + ".resp");
+    ev->setAutoDelete(true);
+    schedule(*ev, curTick() + delay);
+}
+
+void
+DramCtrl::regStats()
+{
+    addStat(&reads_, "reads", "read transactions");
+    addStat(&writes_, "writes", "write transactions");
+    addStat(&bytesTransferred_, "bytes", "bytes transferred");
+    addStat(&queueDelayTicks_, "queueDelay",
+            "cumulative channel queueing delay (ticks)");
+}
+
+} // namespace g5p::mem

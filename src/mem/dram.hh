@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simple DRAM controller: fixed device latency plus a bandwidth-limited
+ * channel with FCFS queuing, in the spirit of gem5's SimpleMemory.
+ */
+
+#ifndef G5P_MEM_DRAM_HH
+#define G5P_MEM_DRAM_HH
+
+#include "mem/packet.hh"
+#include "mem/physical.hh"
+#include "mem/port.hh"
+#include "sim/clocked_object.hh"
+
+namespace g5p::mem
+{
+
+/** DRAM timing parameters. */
+struct DramParams
+{
+    Tick accessLatency = 30'000;  ///< ~30ns device latency (ticks)
+    Tick ticksPerByte = 0;        ///< 0 = derive from bandwidthGBs
+    double bandwidthGBs = 12.8;   ///< channel bandwidth
+};
+
+class DramCtrl : public sim::ClockedObject
+{
+  public:
+    DramCtrl(sim::Simulator &sim, const std::string &name,
+             const sim::ClockDomain &domain, PhysicalMemory &backing,
+             const DramParams &params);
+    ~DramCtrl() override;
+
+    ResponsePort &port() { return port_; }
+
+    void regStats() override;
+
+    std::uint64_t reads() const
+    { return (std::uint64_t)reads_.value(); }
+    std::uint64_t writes() const
+    { return (std::uint64_t)writes_.value(); }
+
+  private:
+    class MemoryPort : public ResponsePort
+    {
+      public:
+        MemoryPort(DramCtrl &ctrl, const std::string &name)
+            : ResponsePort(name), ctrl_(ctrl)
+        {}
+        Tick recvAtomic(Packet &pkt) override
+        { return ctrl_.recvAtomic(pkt); }
+        void recvFunctional(Packet &pkt) override
+        { ctrl_.recvFunctional(pkt); }
+        void recvTimingReq(PacketPtr pkt) override
+        { ctrl_.recvTimingReq(pkt); }
+
+      private:
+        DramCtrl &ctrl_;
+    };
+
+    Tick recvAtomic(Packet &pkt);
+    void recvFunctional(Packet &pkt);
+    void recvTimingReq(PacketPtr pkt);
+
+    /** Occupancy cost of one transfer on the channel. */
+    Tick serviceTicks(unsigned bytes) const;
+
+    /** Account the access and return its completion delay. */
+    Tick access(Packet &pkt);
+
+    PhysicalMemory &backing_;
+    DramParams params_;
+    Tick channelFreeAt_ = 0;
+
+    MemoryPort port_;
+
+    sim::stats::Scalar reads_;
+    sim::stats::Scalar writes_;
+    sim::stats::Scalar bytesTransferred_;
+    sim::stats::Scalar queueDelayTicks_;
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_DRAM_HH

@@ -1,0 +1,43 @@
+#include "mem/packet.hh"
+
+#include "base/logging.hh"
+
+namespace g5p::mem
+{
+
+const char *
+memCmdName(MemCmd cmd)
+{
+    switch (cmd) {
+      case MemCmd::ReadReq:        return "ReadReq";
+      case MemCmd::ReadResp:       return "ReadResp";
+      case MemCmd::WriteReq:       return "WriteReq";
+      case MemCmd::WriteResp:      return "WriteResp";
+      case MemCmd::ReadExReq:      return "ReadExReq";
+      case MemCmd::ReadExResp:     return "ReadExResp";
+      case MemCmd::WritebackDirty: return "WritebackDirty";
+      case MemCmd::InvalidateReq:  return "InvalidateReq";
+    }
+    return "?";
+}
+
+void
+Packet::makeResponse()
+{
+    switch (cmd_) {
+      case MemCmd::ReadReq:   cmd_ = MemCmd::ReadResp; break;
+      case MemCmd::WriteReq:  cmd_ = MemCmd::WriteResp; break;
+      case MemCmd::ReadExReq: cmd_ = MemCmd::ReadExResp; break;
+      default:
+        g5p_panic("makeResponse on %s", memCmdName(cmd_));
+    }
+}
+
+std::string
+Packet::toString() const
+{
+    return std::string(memCmdName(cmd_)) + " @" +
+        std::to_string(addr_) + " sz" + std::to_string(size_);
+}
+
+} // namespace g5p::mem

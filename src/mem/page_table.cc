@@ -1,0 +1,50 @@
+#include "mem/page_table.hh"
+
+#include "base/logging.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::mem
+{
+
+void
+PageTable::map(Addr vaddr, Addr paddr, bool writable, bool executable)
+{
+    std::uint64_t vpn = vaddr >> guestPageShift;
+    entries_[vpn] = PageEntry{paddr >> guestPageShift, writable,
+                              executable};
+}
+
+void
+PageTable::mapRange(Addr vaddr, Addr paddr, std::uint64_t bytes,
+                    bool writable, bool executable)
+{
+    g5p_assert((vaddr & (guestPageBytes - 1)) ==
+               (paddr & (guestPageBytes - 1)),
+               "misaligned page mapping");
+    Addr v = vaddr & ~(Addr)(guestPageBytes - 1);
+    Addr p = paddr & ~(Addr)(guestPageBytes - 1);
+    Addr end = vaddr + bytes;
+    for (; v < end; v += guestPageBytes, p += guestPageBytes)
+        map(v, p, writable, executable);
+}
+
+void
+PageTable::unmap(Addr vaddr)
+{
+    entries_.erase(vaddr >> guestPageShift);
+}
+
+Translation
+PageTable::translate(Addr vaddr) const
+{
+    G5P_TRACE_SCOPE("PageTable::translate", TlbWalk, false);
+    auto it = entries_.find(vaddr >> guestPageShift);
+    if (it == entries_.end())
+        return Translation{};
+    const PageEntry &e = it->second;
+    return Translation{
+        (e.pfn << guestPageShift) | (vaddr & (guestPageBytes - 1)),
+        true, e.writable, e.executable};
+}
+
+} // namespace g5p::mem

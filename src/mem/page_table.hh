@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional guest page table (gem5 SE-mode style): a vpn -> pfn map
+ * managed by the Process (SE) or the FS-lite kernel (FS).
+ */
+
+#ifndef G5P_MEM_PAGE_TABLE_HH
+#define G5P_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace g5p::mem
+{
+
+/** Guest page size (4KB, as the paper's simulated ARM systems). */
+constexpr unsigned guestPageBytes = 4096;
+constexpr unsigned guestPageShift = 12;
+
+/** One translation entry. */
+struct PageEntry
+{
+    Addr pfn = 0;        ///< physical frame number
+    bool writable = true;
+    bool executable = true;
+};
+
+/** Result of a translation. */
+struct Translation
+{
+    Addr paddr = 0;
+    bool valid = false;
+    bool writable = false;
+    bool executable = false;
+};
+
+class PageTable
+{
+  public:
+    /** Map one page: vpn(vaddr) -> pfn(paddr). */
+    void map(Addr vaddr, Addr paddr, bool writable = true,
+             bool executable = true);
+
+    /** Map a contiguous range (sizes rounded up to pages). */
+    void mapRange(Addr vaddr, Addr paddr, std::uint64_t bytes,
+                  bool writable = true, bool executable = true);
+
+    /** Remove a mapping. */
+    void unmap(Addr vaddr);
+
+    /** Translate @p vaddr; invalid Translation if unmapped. */
+    Translation translate(Addr vaddr) const;
+
+    /** Number of mapped pages. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, PageEntry> entries_;
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_PAGE_TABLE_HH

@@ -1,0 +1,131 @@
+#include "mem/physical.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace g5p::mem
+{
+
+namespace
+{
+constexpr unsigned pageShift = 12; // 4KB guest pages
+} // namespace
+
+PhysicalMemory::PhysicalMemory(sim::Simulator &sim,
+                               const std::string &name,
+                               std::uint64_t size_bytes)
+    : sim::SimObject(sim, name, nullptr, /* descriptor only */ 128),
+      data_(size_bytes, 0),
+      touchedPages_((size_bytes >> pageShift) + 1, false)
+{
+    // The array itself is the dominant simulator data structure;
+    // register it so host-side data refs land inside it.
+    hostBase_ = trace::DataSpace::instance().alloc(size_bytes);
+}
+
+void
+PhysicalMemory::checkRange(Addr addr, unsigned size) const
+{
+    g5p_assert(size > 0 && size <= 8, "bad access size %u", size);
+    g5p_assert(addr + size <= data_.size(),
+               "physical access out of range: %#llx+%u > %#llx",
+               (unsigned long long)addr, size,
+               (unsigned long long)data_.size());
+}
+
+void
+PhysicalMemory::touch(Addr addr)
+{
+    std::uint64_t page = addr >> pageShift;
+    if (!touchedPages_[page]) {
+        touchedPages_[page] = true;
+        ++pagesTouched_;
+    }
+}
+
+std::uint64_t
+PhysicalMemory::read(Addr addr, unsigned size) const
+{
+    G5P_TRACE_SCOPE("PhysicalMemory::read", MemAccess, false);
+    checkRange(addr, size);
+    const_cast<PhysicalMemory *>(this)->touch(addr);
+    trace::recordData(hostBase_ + addr, size, false);
+    std::uint64_t v = 0;
+    std::memcpy(&v, data_.data() + addr, size);
+    statReads_ += 1;
+    return v;
+}
+
+void
+PhysicalMemory::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    G5P_TRACE_SCOPE("PhysicalMemory::write", MemAccess, false);
+    checkRange(addr, size);
+    touch(addr);
+    trace::recordData(hostBase_ + addr, size, true);
+    std::memcpy(data_.data() + addr, &value, size);
+    statWrites_ += 1;
+}
+
+void
+PhysicalMemory::writeBlock(Addr addr, const void *src, std::size_t len)
+{
+    g5p_assert(addr + len <= data_.size(),
+               "writeBlock out of range");
+    std::memcpy(data_.data() + addr, src, len);
+    for (Addr a = addr; a < addr + len; a += (1u << pageShift))
+        touch(a);
+}
+
+void
+PhysicalMemory::serialize(sim::CheckpointOut &cp) const
+{
+    // Store only touched pages, as gem5 compresses checkpoints.
+    cp.param("size", data_.size());
+    std::vector<std::uint64_t> pages;
+    for (std::uint64_t p = 0; p < touchedPages_.size(); ++p)
+        if (touchedPages_[p])
+            pages.push_back(p);
+    cp.paramVector("touchedPages", pages);
+    for (std::uint64_t p : pages) {
+        std::vector<std::uint64_t> words((1u << pageShift) / 8);
+        std::memcpy(words.data(), data_.data() + (p << pageShift),
+                    1u << pageShift);
+        cp.paramVector("page" + std::to_string(p), words);
+    }
+}
+
+void
+PhysicalMemory::unserialize(const sim::CheckpointIn &cp)
+{
+    std::uint64_t size = 0;
+    cp.param("size", size);
+    g5p_assert(size == data_.size(),
+               "checkpoint memory size mismatch");
+    std::vector<std::uint64_t> pages;
+    cp.paramVector("touchedPages", pages);
+    for (std::uint64_t p : pages) {
+        std::vector<std::uint64_t> words;
+        cp.paramVector("page" + std::to_string(p), words);
+        g5p_assert(words.size() == (1u << pageShift) / 8,
+                   "corrupt checkpoint page");
+        std::memcpy(data_.data() + (p << pageShift), words.data(),
+                    1u << pageShift);
+        touch(p << pageShift);
+    }
+}
+
+void
+PhysicalMemory::regStats()
+{
+    addStat(&statReads_, "reads", "functional reads");
+    addStat(&statWrites_, "writes", "functional writes");
+    addStat(&statPagesTouched_, "pagesTouched",
+            "distinct 4KB pages ever written or read");
+    statPagesTouched_.functor([this] {
+        return (double)pagesTouched_;
+    });
+}
+
+} // namespace g5p::mem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * PhysicalMemory: the functional backing store for guest memory.
+ *
+ * All byte data lives here (see mem/packet.hh for the timing/functional
+ * split). The backing array registers itself with the host-trace
+ * DataSpace, so every guest byte has a stable host address — when mg5
+ * touches guest memory, the host d-cache model sees the touch at the
+ * corresponding address. This reproduces the paper's observation that
+ * gem5's dynamic working set grows only as fast as the simulated
+ * workload touches new pages (§IV-A).
+ */
+
+#ifndef G5P_MEM_PHYSICAL_HH
+#define G5P_MEM_PHYSICAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace g5p::mem
+{
+
+class PhysicalMemory : public sim::SimObject
+{
+  public:
+    PhysicalMemory(sim::Simulator &sim, const std::string &name,
+                   std::uint64_t size_bytes);
+
+    std::uint64_t size() const { return data_.size(); }
+
+    /** Read up to 8 bytes (little endian) at @p addr. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write up to 8 bytes at @p addr. */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Bulk load (program images). */
+    void writeBlock(Addr addr, const void *src, std::size_t len);
+
+    /** Host address corresponding to guest physical @p addr. */
+    HostAddr hostAddr(Addr addr) const { return hostBase_ + addr; }
+
+    /** Number of distinct 4KB pages ever touched. */
+    std::uint64_t pagesTouched() const { return pagesTouched_; }
+
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
+    void regStats() override;
+
+  private:
+    void checkRange(Addr addr, unsigned size) const;
+    void touch(Addr addr);
+
+    mutable std::vector<std::uint8_t> data_;
+    mutable std::vector<bool> touchedPages_;
+    mutable std::uint64_t pagesTouched_ = 0;
+    HostAddr hostBase_;
+
+    mutable sim::stats::Scalar statReads_;
+    mutable sim::stats::Scalar statWrites_;
+    sim::stats::Formula statPagesTouched_;
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_PHYSICAL_HH

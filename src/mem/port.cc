@@ -1,0 +1,48 @@
+#include "mem/port.hh"
+
+namespace g5p::mem
+{
+
+void
+RequestPort::bind(ResponsePort &peer)
+{
+    g5p_assert(!peer_, "port '%s' already bound", name_.c_str());
+    g5p_assert(!peer.peer_, "port '%s' already bound",
+               peer.name().c_str());
+    peer_ = &peer;
+    peer.peer_ = this;
+}
+
+Tick
+RequestPort::sendAtomic(Packet &pkt)
+{
+    g5p_assert(peer_, "atomic access through unbound port '%s'",
+               name_.c_str());
+    return peer_->recvAtomic(pkt);
+}
+
+void
+RequestPort::sendFunctional(Packet &pkt)
+{
+    g5p_assert(peer_, "functional access through unbound port '%s'",
+               name_.c_str());
+    peer_->recvFunctional(pkt);
+}
+
+void
+RequestPort::sendTimingReq(PacketPtr pkt)
+{
+    g5p_assert(peer_, "timing access through unbound port '%s'",
+               name_.c_str());
+    peer_->recvTimingReq(pkt);
+}
+
+void
+ResponsePort::sendTimingResp(PacketPtr pkt)
+{
+    g5p_assert(peer_, "response through unbound port '%s'",
+               name_.c_str());
+    peer_->recvTimingResp(pkt);
+}
+
+} // namespace g5p::mem

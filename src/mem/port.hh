@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Master/slave (request/response) ports connecting memory objects,
+ * following gem5's port model with its three protocols:
+ *
+ *  - atomic: sendAtomic returns the full latency immediately (used by
+ *    the AtomicSimpleCPU);
+ *  - functional: data access with no timing side effects;
+ *  - timing: requests flow downstream, responses return later through
+ *    recvTimingResp, driven by events.
+ *
+ * mg5 simplifies gem5's flow control: timing requests are always
+ * accepted (queueing delays are modeled inside the receiving objects),
+ * so there is no retry protocol.
+ */
+
+#ifndef G5P_MEM_PORT_HH
+#define G5P_MEM_PORT_HH
+
+#include <string>
+
+#include "base/logging.hh"
+#include "mem/packet.hh"
+
+namespace g5p::mem
+{
+
+class ResponsePort;
+
+/** Upstream side: issues requests, receives responses. */
+class RequestPort
+{
+  public:
+    explicit RequestPort(std::string name) : name_(std::move(name)) {}
+    virtual ~RequestPort() = default;
+
+    /** Connect to the downstream port (one-to-one). */
+    void bind(ResponsePort &peer);
+
+    bool isBound() const { return peer_ != nullptr; }
+    const std::string &name() const { return name_; }
+
+    /** Atomic access: returns total latency in ticks. */
+    Tick sendAtomic(Packet &pkt);
+
+    /** Functional access: no timing. */
+    void sendFunctional(Packet &pkt);
+
+    /** Timing request: ownership of @p pkt passes downstream. */
+    void sendTimingReq(PacketPtr pkt);
+
+    /** Response delivery (called by the peer). */
+    virtual void recvTimingResp(PacketPtr pkt) = 0;
+
+  private:
+    std::string name_;
+    ResponsePort *peer_ = nullptr;
+};
+
+/** Downstream side: receives requests, issues responses. */
+class ResponsePort
+{
+  public:
+    explicit ResponsePort(std::string name) : name_(std::move(name)) {}
+    virtual ~ResponsePort() = default;
+
+    const std::string &name() const { return name_; }
+
+    virtual Tick recvAtomic(Packet &pkt) = 0;
+    virtual void recvFunctional(Packet &pkt) = 0;
+    virtual void recvTimingReq(PacketPtr pkt) = 0;
+
+    /** Deliver a response (or snoop) upstream. */
+    void sendTimingResp(PacketPtr pkt);
+
+  private:
+    friend class RequestPort;
+    std::string name_;
+    RequestPort *peer_ = nullptr;
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_PORT_HH

@@ -1,0 +1,91 @@
+#include "mem/tlb.hh"
+
+#include "base/addr_utils.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::mem
+{
+
+Tlb::Tlb(sim::Simulator &sim, const std::string &name,
+         const TlbParams &params)
+    : sim::SimObject(sim, name, nullptr, params.entries * 24),
+      params_(params),
+      numSets_(params.entries / params.assoc)
+{
+    g5p_assert(isPowerOf2(numSets_) && numSets_ > 0,
+               "%s: TLB sets must be a power of two", name.c_str());
+    entries_.resize(params.entries);
+}
+
+Tlb::Result
+Tlb::translate(Addr vaddr)
+{
+    G5P_TRACE_SCOPE("Tlb::translate", TlbWalk, true);
+    g5p_assert(pageTable_, "%s: no page table bound", name().c_str());
+
+    std::uint64_t vpn = vaddr >> guestPageShift;
+    std::uint64_t set = vpn & (numSets_ - 1);
+    Entry *base = &entries_[set * params_.assoc];
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.vpn == vpn) {
+            e.lastUsed = ++lruCounter_;
+            touchState((set * params_.assoc + w) * 24, 24, false);
+            hits_ += 1;
+            Translation t = e.translation;
+            t.paddr = (t.paddr & ~(Addr)(guestPageBytes - 1)) |
+                      (vaddr & (guestPageBytes - 1));
+            return Result{t, true, 0};
+        }
+    }
+
+    misses_ += 1;
+    {
+        // The walk itself is a distinct simulator function in gem5.
+        G5P_TRACE_SCOPE("Tlb::walk", TlbWalk, false);
+        Translation t = pageTable_->translate(vaddr);
+        if (!t.valid)
+            return Result{t, false, params_.walkLatency};
+
+        Entry *victim = base;
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            Entry &e = base[w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lastUsed < victim->lastUsed)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->vpn = vpn;
+        victim->translation = t;
+        victim->translation.paddr &= ~(Addr)(guestPageBytes - 1);
+        victim->lastUsed = ++lruCounter_;
+        touchState((std::size_t)(victim - entries_.data()) * 24, 24,
+                   true);
+        return Result{t, false, params_.walkLatency};
+    }
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+}
+
+void
+Tlb::regStats()
+{
+    addStat(&hits_, "hits", "TLB hits");
+    addStat(&misses_, "misses", "TLB misses");
+    addStat(&missRate_, "missRate", "TLB miss rate");
+    missRate_.functor([this] {
+        double total = hits_.value() + misses_.value();
+        return total > 0 ? misses_.value() / total : 0.0;
+    });
+}
+
+} // namespace g5p::mem

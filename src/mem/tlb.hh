@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Guest TLB: a set-associative translation cache in front of the
+ * functional page table, charging a fixed walk latency on misses.
+ * Each CPU has an I-TLB and a D-TLB, as gem5's ARM configurations do.
+ */
+
+#ifndef G5P_MEM_TLB_HH
+#define G5P_MEM_TLB_HH
+
+#include <vector>
+
+#include "mem/page_table.hh"
+#include "sim/sim_object.hh"
+
+namespace g5p::mem
+{
+
+/** TLB geometry. */
+struct TlbParams
+{
+    unsigned entries = 64;
+    unsigned assoc = 4;
+    Cycles walkLatency = 20; ///< miss penalty (functional walk)
+};
+
+class Tlb : public sim::SimObject
+{
+  public:
+    Tlb(sim::Simulator &sim, const std::string &name,
+        const TlbParams &params);
+
+    /** Bind the backing page table (Process or kernel owns it). */
+    void setPageTable(const PageTable *table) { pageTable_ = table; }
+
+    /** Result of a TLB lookup. */
+    struct Result
+    {
+        Translation translation;
+        bool hit = false;
+        Cycles latency = 0; ///< 0 on hit, walkLatency on miss
+    };
+
+    /** Translate @p vaddr (guest virtual). */
+    Result translate(Addr vaddr);
+
+    /** Drop all entries (context switch / checkpoint restore). */
+    void flush();
+
+    void regStats() override;
+
+    std::uint64_t hits() const
+    { return (std::uint64_t)hits_.value(); }
+    std::uint64_t misses() const
+    { return (std::uint64_t)misses_.value(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t vpn = 0;
+        Translation translation;
+        bool valid = false;
+        std::uint64_t lastUsed = 0;
+    };
+
+    TlbParams params_;
+    unsigned numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t lruCounter_ = 0;
+    const PageTable *pageTable_ = nullptr;
+
+    sim::stats::Scalar hits_;
+    sim::stats::Scalar misses_;
+    sim::stats::Formula missRate_;
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_TLB_HH

@@ -1,0 +1,149 @@
+#include "mem/xbar.hh"
+
+#include "trace/recorder.hh"
+
+namespace g5p::mem
+{
+
+CoherentXbar::CoherentXbar(sim::Simulator &sim, const std::string &name,
+                           const sim::ClockDomain &domain,
+                           const XbarParams &params)
+    : sim::ClockedObject(sim, name, domain, nullptr, 4096),
+      params_(params),
+      memPort_(*this, name + ".mem_side")
+{
+}
+
+CoherentXbar::~CoherentXbar() = default;
+
+ResponsePort &
+CoherentXbar::addUpstreamPort(Cache *snooper)
+{
+    unsigned index = (unsigned)upstreamPorts_.size();
+    g5p_assert(index < 32, "xbar supports at most 32 upstream ports");
+    upstreamPorts_.push_back(std::make_unique<UpstreamPort>(
+        *this, index, name() + ".cpu_side" + std::to_string(index)));
+    snoopers_.push_back(snooper);
+    return *upstreamPorts_.back();
+}
+
+unsigned
+CoherentXbar::processSnoops(Packet &pkt, unsigned from)
+{
+    G5P_TRACE_SCOPE("CoherentXbar::processSnoops", MemAccess, false);
+    Addr line = pkt.lineAddr();
+    std::uint32_t &holders = snoopFilter_[line];
+    touchState(line % stateBytes(), 8, true);
+
+    unsigned invalidated = 0;
+    if (pkt.isWriteback()) {
+        holders &= ~(1u << from);
+        if (!holders)
+            snoopFilter_.erase(line);
+        return 0;
+    }
+
+    std::uint32_t others = holders & ~(1u << from);
+    if (pkt.needsExclusive() && others) {
+        for (unsigned i = 0; i < snoopers_.size(); ++i) {
+            if ((others & (1u << i)) && snoopers_[i]) {
+                snoopers_[i]->invalidateLine(pkt.addr());
+                ++invalidated;
+            }
+        }
+        holders &= (1u << from);
+        snoopInvalidations_ += invalidated;
+    }
+
+    // Grant write permission when no sibling retains a copy.
+    others = holders & ~(1u << from);
+    pkt.setWritable(pkt.needsExclusive() || others == 0);
+    holders |= (1u << from);
+
+    if ((double)snoopFilter_.size() > filterEntriesPeak_.value())
+        filterEntriesPeak_ = (double)snoopFilter_.size();
+    return invalidated;
+}
+
+Tick
+CoherentXbar::recvAtomic(Packet &pkt, unsigned from)
+{
+    G5P_TRACE_SCOPE("CoherentXbar::recvAtomic", MemAtomic, true);
+    transactions_ += 1;
+    unsigned snoops = processSnoops(pkt, from);
+    bool writable = pkt.writable();
+    Tick lat = cyclesToTicks(params_.frontendLatency +
+                             snoops * params_.snoopLatency);
+    Tick down = memPort_.sendAtomic(pkt);
+    // The snoop decision, not the downstream path, owns writability.
+    pkt.setWritable(writable);
+    return lat + down + cyclesToTicks(params_.responseLatency);
+}
+
+void
+CoherentXbar::recvFunctional(Packet &pkt)
+{
+    memPort_.sendFunctional(pkt);
+}
+
+void
+CoherentXbar::recvTimingReq(PacketPtr pkt, unsigned from)
+{
+    G5P_TRACE_SCOPE("CoherentXbar::recvTimingReq", MemAccess, true);
+    transactions_ += 1;
+    unsigned snoops = processSnoops(*pkt, from);
+
+    if (!pkt->needsResponse()) {
+        // Writebacks just flow through after the crossbar latency.
+        scheduleFn(params_.frontendLatency,
+                   [this, pkt] { memPort_.sendTimingReq(pkt); });
+        return;
+    }
+
+    // Remember the return path and the granted permission in the
+    // packet itself; both survive the downstream round trip.
+    pkt->setSenderState(
+        reinterpret_cast<void *>((std::uintptr_t)(from + 1)));
+    bool writable = pkt->writable();
+    Cycles delay = params_.frontendLatency +
+                   snoops * params_.snoopLatency;
+    scheduleFn(delay, [this, pkt, writable] {
+        pkt->setWritable(writable);
+        memPort_.sendTimingReq(pkt);
+    });
+}
+
+void
+CoherentXbar::recvTimingResp(PacketPtr pkt)
+{
+    G5P_TRACE_SCOPE("CoherentXbar::recvTimingResp", MemAccess, true);
+    auto tagged = (std::uintptr_t)pkt->senderState();
+    g5p_assert(tagged >= 1 && tagged <= upstreamPorts_.size(),
+               "xbar response with unknown return path");
+    unsigned from = (unsigned)(tagged - 1);
+    pkt->setSenderState(nullptr);
+    scheduleFn(params_.responseLatency, [this, pkt, from] {
+        upstreamPorts_[from]->sendTimingResp(pkt);
+    });
+}
+
+void
+CoherentXbar::scheduleFn(Cycles cycles, std::function<void()> fn)
+{
+    auto *ev = new sim::EventFunctionWrapper(std::move(fn),
+                                             name() + ".delayed");
+    ev->setAutoDelete(true);
+    schedule(*ev, clockEdge(cycles ? cycles : 1));
+}
+
+void
+CoherentXbar::regStats()
+{
+    addStat(&transactions_, "transactions", "requests forwarded");
+    addStat(&snoopInvalidations_, "snoopInvalidations",
+            "sibling L1 lines invalidated");
+    addStat(&filterEntriesPeak_, "filterEntriesPeak",
+            "peak snoop-filter occupancy (lines)");
+}
+
+} // namespace g5p::mem

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Coherent crossbar connecting private L1 caches to a shared L2.
+ *
+ * Coherence follows gem5's "express snoop" approach: invalidations of
+ * sibling L1 copies happen as direct calls during request processing,
+ * with their latency charged to the requesting transaction. A snoop
+ * filter tracks which upstream caches may hold each line so that
+ * snoops are only charged when a sibling actually holds a copy.
+ */
+
+#ifndef G5P_MEM_XBAR_HH
+#define G5P_MEM_XBAR_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "sim/clocked_object.hh"
+
+namespace g5p::mem
+{
+
+/** Crossbar latency/width parameters. */
+struct XbarParams
+{
+    Cycles frontendLatency = 1; ///< request pass-through latency
+    Cycles responseLatency = 1; ///< response pass-through latency
+    Cycles snoopLatency = 1;    ///< added per sibling invalidation
+};
+
+class CoherentXbar : public sim::ClockedObject
+{
+  public:
+    CoherentXbar(sim::Simulator &sim, const std::string &name,
+                 const sim::ClockDomain &domain,
+                 const XbarParams &params);
+    ~CoherentXbar() override;
+
+    /**
+     * Create a new upstream port and associate it with @p snooper,
+     * the L1 cache whose mem-side will bind to it (nullptr for
+     * non-caching requestors). Returns the port.
+     */
+    ResponsePort &addUpstreamPort(Cache *snooper);
+
+    /** Downstream port (binds to the L2's cpu side). */
+    RequestPort &memSidePort() { return memPort_; }
+
+    void regStats() override;
+
+  private:
+    class UpstreamPort : public ResponsePort
+    {
+      public:
+        UpstreamPort(CoherentXbar &xbar, unsigned index,
+                     const std::string &name)
+            : ResponsePort(name), xbar_(xbar), index_(index)
+        {}
+        Tick recvAtomic(Packet &pkt) override
+        { return xbar_.recvAtomic(pkt, index_); }
+        void recvFunctional(Packet &pkt) override
+        { xbar_.recvFunctional(pkt); }
+        void recvTimingReq(PacketPtr pkt) override
+        { xbar_.recvTimingReq(pkt, index_); }
+
+      private:
+        CoherentXbar &xbar_;
+        unsigned index_;
+    };
+
+    class MemSidePort : public RequestPort
+    {
+      public:
+        MemSidePort(CoherentXbar &xbar, const std::string &name)
+            : RequestPort(name), xbar_(xbar)
+        {}
+        void recvTimingResp(PacketPtr pkt) override
+        { xbar_.recvTimingResp(pkt); }
+
+      private:
+        CoherentXbar &xbar_;
+    };
+
+    Tick recvAtomic(Packet &pkt, unsigned from);
+    void recvFunctional(Packet &pkt);
+    void recvTimingReq(PacketPtr pkt, unsigned from);
+    void recvTimingResp(PacketPtr pkt);
+
+    /**
+     * Snoop-filter update + sibling invalidation for one request.
+     * @return number of siblings invalidated (each costs
+     *         snoopLatency) — and sets pkt's writable flag.
+     */
+    unsigned processSnoops(Packet &pkt, unsigned from);
+
+    void scheduleFn(Cycles cycles, std::function<void()> fn);
+
+    XbarParams params_;
+    std::vector<std::unique_ptr<UpstreamPort>> upstreamPorts_;
+    std::vector<Cache *> snoopers_;
+    MemSidePort memPort_;
+
+    /** line address -> bitmask of upstream holders. */
+    std::unordered_map<Addr, std::uint32_t> snoopFilter_;
+
+    sim::stats::Scalar transactions_;
+    sim::stats::Scalar snoopInvalidations_;
+    sim::stats::Scalar filterEntriesPeak_;
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_XBAR_HH

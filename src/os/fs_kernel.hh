@@ -1,0 +1,83 @@
+/**
+ * @file
+ * FS-lite: full-system-mode extras on top of the SE substrate.
+ *
+ * Full-system gem5 boots a real kernel; mg5's FS mode models the three
+ * behaviours of FS simulation that matter for the host-side profile:
+ *
+ *  1. a guest boot sequence executed by CPU 0 before the workload
+ *     (BSS clearing, page-table construction, device probing) while
+ *     secondary CPUs spin on a boot flag;
+ *  2. periodic kernel timer activity (scheduler tick) driven by a
+ *     device-timer event, touching kernel data structures;
+ *  3. syscalls trapping *into the simulated kernel* (extra simulator
+ *     functions per call) instead of being emulated directly.
+ *
+ * This keeps FS runs distinguishable from SE runs in exactly the ways
+ * the paper's Fig. 1/2/9 distinguish them (more code touched, more
+ * events, larger footprint), without a full OS port.
+ */
+
+#ifndef G5P_OS_FS_KERNEL_HH
+#define G5P_OS_FS_KERNEL_HH
+
+#include "isa/assembler.hh"
+#include "os/process.hh"
+#include "sim/clocked_object.hh"
+
+namespace g5p::os
+{
+
+/** FS-mode knobs. */
+struct FsKernelParams
+{
+    Tick timerPeriod = 10'000'000; ///< 10us guest-time scheduler tick
+    unsigned bootTableEntries = 256; ///< boot-built page-table slots
+};
+
+class FsKernel : public sim::ClockedObject, public cpu::SyscallHandler
+{
+  public:
+    FsKernel(sim::Simulator &sim, const std::string &name,
+             const sim::ClockDomain &domain, Process &process,
+             mem::PhysicalMemory &physmem,
+             const FsKernelParams &params);
+    ~FsKernel() override;
+
+    /**
+     * Emit the guest boot prologue. Must be called before the
+     * workload's code; falls through to label "_start" when done.
+     * Guest registers: a0 = cpu id (set at reset).
+     */
+    void emitBoot(isa::Assembler &as) const;
+
+    /** Syscall path: kernel trap, then the shared emulator. */
+    void handleSyscall(cpu::BaseCpu &cpu) override;
+
+    void startup() override;
+
+    void regStats() override;
+
+    /** Guest address of the boot-completion flag. */
+    static constexpr Addr bootFlagAddr = 0xf00;
+
+    /** Guest address of the kernel's page-table scratch region. */
+    static constexpr Addr bootTableAddr = 0x4000;
+
+  private:
+    /** Periodic scheduler tick: kernel bookkeeping activity. */
+    void timerTick();
+
+    Process &process_;
+    mem::PhysicalMemory &physmem_;
+    FsKernelParams params_;
+    sim::EventFunctionWrapper timerEvent_;
+    bool stopped_ = false;
+
+    sim::stats::Scalar timerTicks_;
+    sim::stats::Scalar kernelSyscalls_;
+};
+
+} // namespace g5p::os
+
+#endif // G5P_OS_FS_KERNEL_HH

@@ -1,0 +1,47 @@
+#include "os/process.hh"
+
+#include "trace/recorder.hh"
+
+namespace g5p::os
+{
+
+Process::Process(sim::Simulator &sim, const std::string &name,
+                 mem::PhysicalMemory &physmem, std::uint64_t pid)
+    : sim::SimObject(sim, name, nullptr, 4096),
+      physmem_(physmem),
+      emulator_(physmem, pageTable_, pid)
+{
+}
+
+void
+Process::mapAll()
+{
+    pageTable_.mapRange(0, 0, physmem_.size(), true, true);
+}
+
+void
+Process::loadImage(const isa::Program &program)
+{
+    G5P_TRACE_SCOPE("Process::loadImage", Syscall, false);
+    g5p_assert(program.end() <= physmem_.size(),
+               "program image does not fit in guest memory");
+    physmem_.writeBlock(program.base, program.words.data(),
+                        program.size());
+}
+
+Addr
+Process::stackTop(unsigned cpu_id) const
+{
+    Addr top = physmem_.size() - cpu_id * stackBytes - 64;
+    return top & ~(Addr)15;
+}
+
+void
+Process::handleSyscall(cpu::BaseCpu &cpu)
+{
+    G5P_TRACE_SCOPE("Process::handleSyscall", Syscall, true);
+    touchState(0, 64, true);
+    emulator_.emulate(cpu);
+}
+
+} // namespace g5p::os

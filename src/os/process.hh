@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SE-mode guest process: owns the page table, the memory layout
+ * (text/data/heap/per-CPU stacks), the loaded program image, and the
+ * syscall emulator, mirroring gem5's Process object.
+ */
+
+#ifndef G5P_OS_PROCESS_HH
+#define G5P_OS_PROCESS_HH
+
+#include "cpu/base_cpu.hh"
+#include "isa/assembler.hh"
+#include "mem/page_table.hh"
+#include "mem/physical.hh"
+#include "os/syscalls.hh"
+#include "sim/sim_object.hh"
+
+namespace g5p::os
+{
+
+class Process : public sim::SimObject, public cpu::SyscallHandler
+{
+  public:
+    Process(sim::Simulator &sim, const std::string &name,
+            mem::PhysicalMemory &physmem, std::uint64_t pid);
+
+    /** Identity-map the whole physical memory (rwx). */
+    void mapAll();
+
+    /** Copy the program image into memory (text is read/execute). */
+    void loadImage(const isa::Program &program);
+
+    /** Stack top for CPU @p cpu_id (stacks grow down from memtop). */
+    Addr stackTop(unsigned cpu_id) const;
+
+    /** Configure the heap break range for the brk syscall. */
+    void setHeapRange(Addr base, Addr limit)
+    { emulator_.setBrkRange(base, limit); }
+
+    mem::PageTable &pageTable() { return pageTable_; }
+    const mem::PageTable &pageTable() const { return pageTable_; }
+
+    SyscallEmulator &emulator() { return emulator_; }
+
+    void handleSyscall(cpu::BaseCpu &cpu) override;
+
+    /** Bytes reserved per CPU stack. */
+    static constexpr std::uint64_t stackBytes = 64 * 1024;
+
+  private:
+    mem::PhysicalMemory &physmem_;
+    mem::PageTable pageTable_;
+    SyscallEmulator emulator_;
+};
+
+} // namespace g5p::os
+
+#endif // G5P_OS_PROCESS_HH

@@ -1,0 +1,92 @@
+#include "os/syscalls.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "cpu/base_cpu.hh"
+#include "sim/simulator.hh"
+#include "mem/page_table.hh"
+#include "mem/physical.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::os
+{
+
+void
+SyscallEmulator::emulate(cpu::BaseCpu &cpu)
+{
+    auto nr = (SyscallNr)cpu.readArchReg(isa::RegA7);
+    std::uint64_t a0 = cpu.readArchReg(isa::RegA0);
+    std::uint64_t a1 = cpu.readArchReg(isa::RegA1);
+    std::uint64_t a2 = cpu.readArchReg(isa::RegA2);
+
+    switch (nr) {
+      case SyscallNr::Exit: {
+        G5P_TRACE_SCOPE("Syscall::exit", Syscall, false);
+        exitStatus_ = a0;
+        cpu.setArchReg(isa::RegA0, 0);
+        cpu.requestHalt();
+        break;
+      }
+
+      case SyscallNr::Write: {
+        G5P_TRACE_SCOPE("Syscall::write", Syscall, false);
+        g5p_assert(a0 == 1 || a0 == 2,
+                   "write to unsupported fd %llu",
+                   (unsigned long long)a0);
+        for (std::uint64_t i = 0; i < a2; ++i) {
+            auto tr = pageTable_.translate(a1 + i);
+            if (!tr.valid)
+                break;
+            console_.push_back((char)physmem_.read(tr.paddr, 1));
+        }
+        cpu.setArchReg(isa::RegA0, a2);
+        break;
+      }
+
+      case SyscallNr::Brk: {
+        G5P_TRACE_SCOPE("Syscall::brk", Syscall, false);
+        if (a0 != 0 && a0 <= brkLimit_)
+            brk_ = a0;
+        cpu.setArchReg(isa::RegA0, brk_);
+        break;
+      }
+
+      case SyscallNr::ClockGetTime: {
+        G5P_TRACE_SCOPE("Syscall::clock_gettime", Syscall, false);
+        // Simulated nanoseconds (1000 ticks per ns at 1THz).
+        cpu.setArchReg(isa::RegA0, cpu.curTick() / 1000);
+        break;
+      }
+
+      case SyscallNr::GetPid:
+        cpu.setArchReg(isa::RegA0, pid_);
+        break;
+
+      case SyscallNr::GetCpu:
+        cpu.setArchReg(isa::RegA0, (std::uint64_t)cpu.cpuId());
+        break;
+
+      case SyscallNr::ResetStats: {
+        G5P_TRACE_SCOPE("Syscall::resetStats", Stats, false);
+        cpu.simulator().resetAllStats();
+        cpu.setArchReg(isa::RegA0, 0);
+        break;
+      }
+
+      case SyscallNr::DumpStats: {
+        G5P_TRACE_SCOPE("Syscall::dumpStats", Stats, false);
+        std::ostringstream dump;
+        cpu.simulator().dumpStats(dump);
+        statsDumps_.push_back(dump.str());
+        cpu.setArchReg(isa::RegA0, (std::uint64_t)statsDumps_.size());
+        break;
+      }
+
+      default:
+        g5p_fatal("unimplemented syscall %llu",
+                  (unsigned long long)nr);
+    }
+}
+
+} // namespace g5p::os

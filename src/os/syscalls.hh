@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Guest syscall ABI (RISC-V Linux flavored) and the SE-mode syscall
+ * emulation layer. In SE mode, syscalls bypass the simulated system
+ * and are serviced by mg5 itself — exactly gem5's system-call
+ * emulation mode, and one of the behavioural differences between the
+ * paper's SE and FS experiments.
+ */
+
+#ifndef G5P_OS_SYSCALLS_HH
+#define G5P_OS_SYSCALLS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g5p::cpu { class BaseCpu; }
+namespace g5p::mem { class PhysicalMemory; class PageTable; }
+
+namespace g5p::os
+{
+
+/** Syscall numbers (passed in a7). */
+enum class SyscallNr : std::uint64_t
+{
+    Exit = 93,      ///< a0 = status; halts the calling CPU
+    Write = 64,     ///< a0 = fd, a1 = buf vaddr, a2 = len
+    Brk = 214,      ///< a0 = new break (0 queries)
+    ClockGetTime = 113, ///< returns sim time in ns in a0
+    GetPid = 172,
+    GetCpu = 168,   ///< returns cpu id in a0
+
+    /**
+     * @{ m5ops-style pseudo-syscalls (gem5's `m5 resetstats` /
+     * `m5 dumpstats`): workloads bracket their region of interest so
+     * warmup is excluded from the statistics, exactly the paper's
+     * checkpoint-then-measure methodology.
+     */
+    ResetStats = 1000,
+    DumpStats = 1001,
+    /** @} */
+};
+
+/**
+ * Emulation engine shared by Process (SE) and FsKernel (FS). Decodes
+ * the registers of @p cpu and performs the call.
+ */
+class SyscallEmulator
+{
+  public:
+    SyscallEmulator(mem::PhysicalMemory &physmem,
+                    const mem::PageTable &page_table, std::uint64_t pid)
+        : physmem_(physmem), pageTable_(page_table), pid_(pid)
+    {}
+
+    /** Service the syscall pending on @p cpu; sets a0 to the result. */
+    void emulate(cpu::BaseCpu &cpu);
+
+    /** Everything written to fd 1/2 so far. */
+    const std::string &consoleOutput() const { return console_; }
+
+    /** Stats snapshots taken by DumpStats, in order. */
+    const std::vector<std::string> &statsDumps() const
+    { return statsDumps_; }
+
+    /** Exit status of the last Exit call. */
+    std::uint64_t exitStatus() const { return exitStatus_; }
+
+    /** @{ Heap-break bookkeeping (set up by the Process). */
+    void setBrkRange(std::uint64_t base, std::uint64_t limit)
+    {
+        brk_ = base;
+        brkLimit_ = limit;
+    }
+    std::uint64_t brk() const { return brk_; }
+    /** @} */
+
+  private:
+    mem::PhysicalMemory &physmem_;
+    const mem::PageTable &pageTable_;
+    std::uint64_t pid_;
+    std::string console_;
+    std::vector<std::string> statsDumps_;
+    std::uint64_t exitStatus_ = 0;
+    std::uint64_t brk_ = 0;
+    std::uint64_t brkLimit_ = 0;
+};
+
+} // namespace g5p::os
+
+#endif // G5P_OS_SYSCALLS_HH

@@ -1,0 +1,178 @@
+#include "os/system.hh"
+
+#include "base/addr_utils.hh"
+#include "base/logging.hh"
+
+namespace g5p::os
+{
+
+const char *
+cpuModelName(CpuModel model)
+{
+    switch (model) {
+      case CpuModel::Atomic: return "Atomic";
+      case CpuModel::Timing: return "Timing";
+      case CpuModel::Minor:  return "Minor";
+      case CpuModel::O3:     return "O3";
+    }
+    return "?";
+}
+
+const char *
+simModeName(SimMode mode)
+{
+    return mode == SimMode::SE ? "SE" : "FS";
+}
+
+System::System(sim::Simulator &sim, const SystemConfig &config,
+               const GuestWorkload &workload)
+    : sim_(sim), config_(config),
+      clock_(sim::ClockDomain::fromMHz(config.cpuMHz))
+{
+    build(workload);
+}
+
+System::~System() = default;
+
+std::unique_ptr<cpu::BaseCpu>
+System::makeCpu(unsigned i)
+{
+    cpu::CpuParams base;
+    base.cpuId = (int)i;
+    base.resetPc = 0x1000;
+    base.maxInsts = config_.maxInstsPerCpu;
+    std::string name = "cpu" + std::to_string(i);
+
+    switch (config_.cpuModel) {
+      case CpuModel::Atomic:
+        return std::make_unique<cpu::AtomicCpu>(sim_, name, clock_,
+                                                base, *physmem_);
+      case CpuModel::Timing:
+        return std::make_unique<cpu::TimingCpu>(sim_, name, clock_,
+                                                base, *physmem_);
+      case CpuModel::Minor:
+        return std::make_unique<cpu::MinorCpu>(sim_, name, clock_,
+                                               base, config_.minor,
+                                               *physmem_);
+      case CpuModel::O3:
+        return std::make_unique<cpu::O3Cpu>(sim_, name, clock_, base,
+                                            config_.o3, *physmem_);
+    }
+    g5p_panic("bad CPU model");
+}
+
+void
+System::build(const GuestWorkload &workload)
+{
+    g5p_assert(config_.numCpus >= 1 && config_.numCpus <= 16,
+               "unsupported CPU count %u", config_.numCpus);
+
+    physmem_ = std::make_unique<mem::PhysicalMemory>(
+        sim_, "physmem", config_.memBytes);
+    dram_ = std::make_unique<mem::DramCtrl>(sim_, "dram", clock_,
+                                            *physmem_, config_.dram);
+    l2_ = std::make_unique<mem::Cache>(sim_, "l2", clock_,
+                                       config_.l2);
+    xbar_ = std::make_unique<mem::CoherentXbar>(sim_, "xbar", clock_,
+                                                config_.xbar);
+
+    l2_->memSidePort().bind(dram_->port());
+    xbar_->memSidePort().bind(l2_->cpuSidePort());
+
+    process_ = std::make_unique<Process>(sim_, "process", *physmem_,
+                                         100);
+    process_->mapAll();
+
+    if (config_.mode == SimMode::FS) {
+        fsKernel_ = std::make_unique<FsKernel>(
+            sim_, "kernel", clock_, *process_, *physmem_, config_.fs);
+    }
+
+    for (unsigned i = 0; i < config_.numCpus; ++i) {
+        auto idx = std::to_string(i);
+        l1is_.push_back(std::make_unique<mem::Cache>(
+            sim_, "cpu" + idx + ".icache", clock_, config_.l1i));
+        l1ds_.push_back(std::make_unique<mem::Cache>(
+            sim_, "cpu" + idx + ".dcache", clock_, config_.l1d));
+        itlbs_.push_back(std::make_unique<mem::Tlb>(
+            sim_, "cpu" + idx + ".itlb", config_.itlb));
+        dtlbs_.push_back(std::make_unique<mem::Tlb>(
+            sim_, "cpu" + idx + ".dtlb", config_.dtlb));
+
+        itlbs_[i]->setPageTable(&process_->pageTable());
+        dtlbs_[i]->setPageTable(&process_->pageTable());
+
+        auto cpu = makeCpu(i);
+        cpu->setTlbs(itlbs_[i].get(), dtlbs_[i].get());
+        cpu->setSyscallHandler(config_.mode == SimMode::FS
+                                   ? (cpu::SyscallHandler *)
+                                         fsKernel_.get()
+                                   : process_.get());
+        cpu->setHaltCallback([this](cpu::BaseCpu &) {
+            if (++haltedCount_ == cpus_.size())
+                sim_.exitSimLoop("workload complete");
+        });
+
+        cpu->icachePort().bind(l1is_[i]->cpuSidePort());
+        cpu->dcachePort().bind(l1ds_[i]->cpuSidePort());
+        l1is_[i]->memSidePort().bind(
+            xbar_->addUpstreamPort(l1is_[i].get()));
+        l1ds_[i]->memSidePort().bind(
+            xbar_->addUpstreamPort(l1ds_[i].get()));
+
+        cpus_.push_back(std::move(cpu));
+    }
+
+    // Assemble the guest image: optional FS boot prologue first.
+    isa::Assembler as(0x1000);
+    if (config_.mode == SimMode::FS)
+        fsKernel_->emitBoot(as);
+    workload.emit(as, config_.numCpus, config_.mode);
+    program_ = as.assemble();
+
+    process_->loadImage(program_);
+    workload.initMemory(*physmem_);
+
+    // Heap: from just past the image (page aligned) to below stacks.
+    Addr heap_base = alignUp(program_.end(), mem::guestPageBytes);
+    Addr heap_limit = config_.memBytes -
+                      config_.numCpus * Process::stackBytes;
+    process_->setHeapRange(heap_base, heap_limit);
+
+    // Reset state: pc at image base, a0 = cpu id, sp = stack top.
+    for (unsigned i = 0; i < config_.numCpus; ++i) {
+        cpus_[i]->setPc(program_.base);
+        cpus_[i]->setArchReg(isa::RegA0, i);
+        cpus_[i]->setArchReg(isa::RegSp, process_->stackTop(i));
+    }
+}
+
+sim::SimResult
+System::run(Tick tick_limit)
+{
+    if (!activated_) {
+        activated_ = true;
+        sim::SimResult first = sim_.run(0); // init/startup phases
+        (void)first;
+        for (auto &cpu : cpus_)
+            cpu->activate();
+    }
+    return sim_.run(tick_limit);
+}
+
+std::uint64_t
+System::result() const
+{
+    return physmem_->read(GuestWorkload::resultAddr, 8);
+}
+
+std::uint64_t
+System::totalInsts() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cpu : cpus_)
+        total += cpu->numInsts();
+    return total;
+}
+
+} // namespace g5p::os

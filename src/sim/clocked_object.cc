@@ -1,0 +1,5 @@
+#include "sim/clocked_object.hh"
+
+// ClockedObject is header-only; this translation unit exists to give
+// the library a home for future out-of-line definitions and to keep
+// the build graph uniform (one .cc per header in src/sim).

@@ -1,0 +1,171 @@
+#include "sim/eventq.hh"
+
+#include "trace/recorder.hh"
+
+namespace g5p::sim
+{
+
+Event::~Event()
+{
+    // Destroying a scheduled event would leave a dangling heap entry.
+    g5p_assert(!scheduled_, "event destroyed while scheduled");
+}
+
+EventQueue::EventQueue(std::string name)
+    : name_(std::move(name))
+{
+}
+
+EventQueue::~EventQueue()
+{
+    // Release every live event so auto-delete events are not leaked
+    // and member events can be destroyed without tripping the
+    // assert. Dead entries may refer to freed events; never touch
+    // them.
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.top();
+        heap_.pop();
+        if (deadSeqs_.count(top.sequence))
+            continue;
+        top.event->scheduled_ = false;
+        if (top.event->autoDelete())
+            delete top.event;
+    }
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    G5P_TRACE_SCOPE("EventQueue::schedule", EventLoop, false);
+    g5p_assert(event, "scheduling null event");
+    g5p_assert(!event->scheduled_, "event '%s' already scheduled",
+               event->name().c_str());
+    g5p_assert(when >= curTick_,
+               "scheduling event '%s' in the past (%llu < %llu)",
+               event->name().c_str(),
+               (unsigned long long)when,
+               (unsigned long long)curTick_);
+
+    event->when_ = when;
+    event->sequence_ = nextSequence_++;
+    event->scheduled_ = true;
+    heap_.push(HeapEntry{when, event->priority_, event->sequence_, event});
+    ++liveCount_;
+    ++numScheduled_;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    g5p_assert(event && event->scheduled_,
+               "descheduling an unscheduled event");
+    event->scheduled_ = false;
+    deadSeqs_.insert(event->sequence_);
+    --liveCount_;
+    // Heap entries are reclaimed lazily in purgeSquashed(); when
+    // dead entries dominate (heavy deschedule/reschedule churn with
+    // no intervening service), compact the heap so memory stays
+    // proportional to the live event count.
+    if (deadSeqs_.size() > 64 && deadSeqs_.size() > 2 * liveCount_)
+        compact();
+}
+
+void
+EventQueue::compact()
+{
+    std::vector<HeapEntry> live;
+    live.reserve(liveCount_);
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.top();
+        if (!deadSeqs_.count(top.sequence))
+            live.push_back(top);
+        heap_.pop();
+    }
+    heap_ = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                std::greater<HeapEntry>>(
+        std::greater<HeapEntry>(), std::move(live));
+    deadSeqs_.clear();
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->scheduled_)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::purgeSquashed()
+{
+    while (!heap_.empty()) {
+        // Dead entries (descheduled or superseded by a reschedule)
+        // are identified by sequence number alone; their event may
+        // already be freed.
+        auto it = deadSeqs_.find(heap_.top().sequence);
+        if (it == deadSeqs_.end())
+            break;
+        deadSeqs_.erase(it);
+        heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    const_cast<EventQueue *>(this)->purgeSquashed();
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+Event *
+EventQueue::serviceOne()
+{
+    G5P_TRACE_SCOPE("EventQueue::serviceOne", EventLoop, false);
+    purgeSquashed();
+    if (heap_.empty())
+        return nullptr;
+
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    Event *event = top.event;
+
+    g5p_assert(top.when >= curTick_, "event queue went backwards");
+    curTick_ = top.when;
+    event->scheduled_ = false;
+    --liveCount_;
+    ++numServiced_;
+
+    bool auto_delete = event->autoDelete();
+    event->process();
+    if (auto_delete && !event->scheduled())
+        delete event;
+    return event;
+}
+
+std::uint64_t
+EventQueue::serviceUntil(Tick limit)
+{
+    G5P_TRACE_SCOPE("EventQueue::serviceUntil", EventLoop, false);
+    std::uint64_t serviced = 0;
+    while (true) {
+        Tick next = nextTick();
+        if (next == maxTick || next > limit)
+            break;
+        serviceOne();
+        ++serviced;
+    }
+    if (curTick_ < limit && liveCount_ == 0) {
+        // Nothing left; time does not advance past the last event.
+    }
+    return serviced;
+}
+
+void
+EventQueue::setCurTick(Tick tick)
+{
+    g5p_assert(empty() || nextTick() >= tick,
+               "setCurTick would pass pending events");
+    curTick_ = tick;
+}
+
+} // namespace g5p::sim

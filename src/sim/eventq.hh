@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Discrete-event queue, the core of the mg5 architectural simulator.
+ *
+ * Mirrors gem5's event model: events carry a (when, priority, sequence)
+ * key; the queue services them in key order, advancing simulated time
+ * (curTick) to each event's scheduled tick. The paper (§VI) notes that
+ * gem5's "core, which is the event queue and event scheduler, has been
+ * the same for many years" — this module is that core.
+ */
+
+#ifndef G5P_SIM_EVENTQ_HH
+#define G5P_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::sim
+{
+
+class EventQueue;
+
+/**
+ * Abstract scheduled event. Subclasses implement process(). Events do
+ * not own their memory unless flags say so; the common pattern (as in
+ * gem5) is an event member inside the owning SimObject.
+ */
+class Event
+{
+  public:
+    /** Standard priorities, lower runs earlier at the same tick. */
+    enum Priority : std::int16_t
+    {
+        MinimumPri     = -100,
+        DebugEnablePri = -90,
+        CpuTickPri     = 50,
+        DefaultPri     = 0,
+        CacheRespPri   = 10,
+        StatDumpPri    = 90,
+        SimExitPri     = 100,
+        MaximumPri     = 120,
+    };
+
+    explicit Event(Priority prio = DefaultPri) : priority_(prio) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** The event's action; runs with curTick == when(). */
+    virtual void process() = 0;
+
+    /** Diagnostic name. */
+    virtual std::string name() const { return "event"; }
+
+    /** Scheduled tick (valid only while scheduled). */
+    Tick when() const { return when_; }
+
+    /** Scheduling priority. */
+    std::int16_t priority() const { return priority_; }
+
+    /** True while on a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** If set, the queue deletes the event after process(). */
+    void setAutoDelete(bool v) { autoDelete_ = v; }
+
+    /** @see setAutoDelete */
+    bool autoDelete() const { return autoDelete_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+    std::int16_t priority_;
+    bool scheduled_ = false;
+    bool autoDelete_ = false;
+};
+
+/** Event wrapping an arbitrary callback, like gem5's version. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name,
+                         Priority prio = DefaultPri)
+        : Event(prio), callback_(std::move(callback)),
+          name_(std::move(name))
+    {
+        trace::recordHeapAlloc(96); // dynamic events churn the heap
+    }
+
+    void process() override { callback_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * A single-threaded discrete-event queue with its own curTick.
+ *
+ * Deschedule is O(1): the entry's sequence number is recorded as
+ * dead and the heap slot is reclaimed lazily at pop time (or by a
+ * compaction pass when dead entries dominate). Dead entries are
+ * never dereferenced, so events may be destroyed immediately after
+ * being descheduled.
+ */
+class EventQueue
+{
+  public:
+    explicit EventQueue(std::string name = "eventq");
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time of this queue. */
+    Tick curTick() const { return curTick_; }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** Schedule @p event at absolute tick @p when (>= curTick). */
+    void schedule(Event *event, Tick when);
+
+    /** Remove a scheduled event. */
+    void deschedule(Event *event);
+
+    /** Deschedule + schedule at a new tick. */
+    void reschedule(Event *event, Tick when);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveCount_ == 0; }
+
+    /** Number of live (non-squashed) events. */
+    std::size_t size() const { return liveCount_; }
+
+    /** Tick of the next live event; maxTick if empty. */
+    Tick nextTick() const;
+
+    /**
+     * Service exactly one event: advance curTick to its tick and run
+     * process(). Returns the serviced event, or nullptr if empty.
+     * The returned pointer is dangling if the event auto-deleted.
+     */
+    Event *serviceOne();
+
+    /**
+     * Run until the queue is empty or curTick would exceed @p limit.
+     * @return number of events serviced.
+     */
+    std::uint64_t serviceUntil(Tick limit);
+
+    /** Force curTick (checkpoint restore only). */
+    void setCurTick(Tick tick);
+
+    /** Total events serviced over the queue's lifetime. */
+    std::uint64_t numServiced() const { return numServiced_; }
+
+    /** Total schedule() calls over the queue's lifetime. */
+    std::uint64_t numScheduled() const { return numScheduled_; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::int16_t priority;
+        std::uint64_t sequence;
+        Event *event;
+
+        bool
+        operator>(const HeapEntry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return sequence > o.sequence;
+        }
+    };
+
+    /** Pop squashed entries off the heap top. */
+    void purgeSquashed();
+
+    /** Rebuild the heap without squashed/stale entries. */
+    void compact();
+
+    std::string name_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t numServiced_ = 0;
+    std::uint64_t numScheduled_ = 0;
+    std::size_t liveCount_ = 0;
+
+    /** Sequence numbers of descheduled (dead) heap entries. */
+    std::unordered_set<std::uint64_t> deadSeqs_;
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap_;
+};
+
+/**
+ * Mixin giving SimObjects convenient scheduling helpers bound to one
+ * queue (gem5's EventManager).
+ */
+class EventManager
+{
+  public:
+    explicit EventManager(EventQueue &eventq) : eventq_(eventq) {}
+
+    EventQueue &eventQueue() const { return eventq_; }
+
+    Tick curTick() const { return eventq_.curTick(); }
+
+    void
+    schedule(Event &event, Tick when)
+    {
+        eventq_.schedule(&event, when);
+    }
+
+    void
+    deschedule(Event &event)
+    {
+        eventq_.deschedule(&event);
+    }
+
+    void
+    reschedule(Event &event, Tick when)
+    {
+        eventq_.reschedule(&event, when);
+    }
+
+  private:
+    EventQueue &eventq_;
+};
+
+} // namespace g5p::sim
+
+#endif // G5P_SIM_EVENTQ_HH

@@ -1,0 +1,141 @@
+#include "sim/serialize.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace g5p::sim
+{
+
+void
+CheckpointOut::pushSection(const std::string &name)
+{
+    sectionStack_.push_back(name);
+}
+
+void
+CheckpointOut::popSection()
+{
+    g5p_assert(!sectionStack_.empty(), "popSection on empty stack");
+    sectionStack_.pop_back();
+}
+
+std::string
+CheckpointOut::currentSection() const
+{
+    std::string s;
+    for (const auto &part : sectionStack_) {
+        if (!s.empty())
+            s += ".";
+        s += part;
+    }
+    return s.empty() ? "root" : s;
+}
+
+void
+CheckpointOut::set(const std::string &key, const std::string &value)
+{
+    sections_[currentSection()][key] = value;
+}
+
+std::string
+CheckpointOut::toText() const
+{
+    std::ostringstream os;
+    for (const auto &[section, kv] : sections_) {
+        os << "[" << section << "]\n";
+        for (const auto &[k, v] : kv)
+            os << k << "=" << v << "\n";
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+CheckpointOut::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        g5p_fatal("cannot write checkpoint '%s'", path.c_str());
+    out << toText();
+}
+
+CheckpointIn
+CheckpointIn::fromText(const std::string &text)
+{
+    CheckpointIn cp;
+    std::istringstream is(text);
+    std::string line, section;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line.front() == '[' && line.back() == ']') {
+            section = line.substr(1, line.size() - 2);
+            continue;
+        }
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            continue;
+        cp.sections_[section][line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    return cp;
+}
+
+CheckpointIn
+CheckpointIn::readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        g5p_fatal("cannot read checkpoint '%s'", path.c_str());
+    std::ostringstream os;
+    os << in.rdbuf();
+    return fromText(os.str());
+}
+
+void
+CheckpointIn::pushSection(const std::string &name)
+{
+    sectionStack_.push_back(name);
+}
+
+void
+CheckpointIn::popSection()
+{
+    g5p_assert(!sectionStack_.empty(), "popSection on empty stack");
+    sectionStack_.pop_back();
+}
+
+std::string
+CheckpointIn::currentSection() const
+{
+    std::string s;
+    for (const auto &part : sectionStack_) {
+        if (!s.empty())
+            s += ".";
+        s += part;
+    }
+    return s.empty() ? "root" : s;
+}
+
+bool
+CheckpointIn::has(const std::string &key) const
+{
+    auto sec = sections_.find(currentSection());
+    return sec != sections_.end() && sec->second.count(key) > 0;
+}
+
+std::string
+CheckpointIn::get(const std::string &key) const
+{
+    auto sec = sections_.find(currentSection());
+    if (sec == sections_.end())
+        g5p_fatal("checkpoint missing section '%s'",
+                  currentSection().c_str());
+    auto kv = sec->second.find(key);
+    if (kv == sec->second.end())
+        g5p_fatal("checkpoint missing key '%s.%s'",
+                  currentSection().c_str(), key.c_str());
+    return kv->second;
+}
+
+} // namespace g5p::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Checkpointing: serialize simulator state to an INI-like key/value
+ * store, mirroring gem5's m5.ckpt format in spirit.
+ *
+ * The paper's Boot-Exit methodology relies on checkpoints ("M1 ... used
+ * to recover from checkpoints taken by Intel_Xeon"); mg5 supports the
+ * same take-on-one-run / restore-on-another flow.
+ */
+
+#ifndef G5P_SIM_SERIALIZE_HH
+#define G5P_SIM_SERIALIZE_HH
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace g5p::sim
+{
+
+/** Writable checkpoint: section -> key -> value. */
+class CheckpointOut
+{
+  public:
+    /** Enter a (sub)section; sections nest with '.' separators. */
+    void pushSection(const std::string &name);
+
+    /** Leave the current section. */
+    void popSection();
+
+    /** Store one value in the current section. */
+    template <typename T>
+    void
+    param(const std::string &key, const T &value)
+    {
+        std::ostringstream os;
+        os << value;
+        set(key, os.str());
+    }
+
+    /** Store a vector as a space-separated list. */
+    template <typename T>
+    void
+    paramVector(const std::string &key, const std::vector<T> &values)
+    {
+        std::ostringstream os;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i)
+                os << " ";
+            os << values[i];
+        }
+        set(key, os.str());
+    }
+
+    /** Serialize to the INI-like text format. */
+    std::string toText() const;
+
+    /** Write to a file; fatal on I/O error. */
+    void writeFile(const std::string &path) const;
+
+    const std::map<std::string, std::map<std::string, std::string>> &
+    sections() const { return sections_; }
+
+  private:
+    void set(const std::string &key, const std::string &value);
+    std::string currentSection() const;
+
+    std::vector<std::string> sectionStack_;
+    std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+/** Readable checkpoint. */
+class CheckpointIn
+{
+  public:
+    /** Parse the text format produced by CheckpointOut. */
+    static CheckpointIn fromText(const std::string &text);
+
+    /** Read from a file; fatal on I/O error. */
+    static CheckpointIn readFile(const std::string &path);
+
+    void pushSection(const std::string &name);
+    void popSection();
+
+    /** Fetch one value; fatal if missing (corrupt checkpoint). */
+    template <typename T>
+    void
+    param(const std::string &key, T &value) const
+    {
+        std::istringstream is(get(key));
+        is >> value;
+    }
+
+    /** Fetch a vector stored by paramVector. */
+    template <typename T>
+    void
+    paramVector(const std::string &key, std::vector<T> &values) const
+    {
+        values.clear();
+        std::istringstream is(get(key));
+        T v;
+        while (is >> v)
+            values.push_back(v);
+    }
+
+    /** True if the current section has @p key. */
+    bool has(const std::string &key) const;
+
+  private:
+    std::string get(const std::string &key) const;
+    std::string currentSection() const;
+
+    std::vector<std::string> sectionStack_;
+    std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+/** Interface for checkpointable objects. */
+class Serializable
+{
+  public:
+    virtual ~Serializable() = default;
+
+    /** Save state into the current checkpoint section. */
+    virtual void serialize(CheckpointOut &cp) const = 0;
+
+    /** Restore state from the current checkpoint section. */
+    virtual void unserialize(const CheckpointIn &cp) = 0;
+};
+
+} // namespace g5p::sim
+
+#endif // G5P_SIM_SERIALIZE_HH

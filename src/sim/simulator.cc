@@ -1,0 +1,173 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "sim/sim_object.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::sim
+{
+
+const char *
+exitCauseName(ExitCause cause)
+{
+    switch (cause) {
+      case ExitCause::Finished:        return "finished";
+      case ExitCause::TickLimit:       return "tick limit reached";
+      case ExitCause::EventQueueEmpty: return "event queue empty";
+      case ExitCause::User:            return "user exit";
+    }
+    return "unknown";
+}
+
+/** Internal event that makes run() return at a chosen tick. */
+class Simulator::ExitEvent : public Event
+{
+  public:
+    ExitEvent(Simulator &sim, std::string message, ExitCause cause)
+        : Event(SimExitPri), sim_(sim), message_(std::move(message)),
+          cause_(cause)
+    {}
+
+    void
+    process() override
+    {
+        sim_.exitRequested_ = true;
+        sim_.exitCause_ = cause_;
+        sim_.exitMessage_ = message_;
+    }
+
+    std::string name() const override { return "exit-event"; }
+
+  private:
+    Simulator &sim_;
+    std::string message_;
+    ExitCause cause_;
+};
+
+Simulator::Simulator(const std::string &name)
+    : stats::Group(nullptr, name), eventq_(name + ".eventq")
+{
+    // Objects built under this simulator get addresses from its own
+    // data space, so identical configurations lay out identically
+    // regardless of what ran earlier in the process.
+    trace::DataSpace::setCurrent(&dataSpace_);
+}
+
+Simulator::~Simulator()
+{
+    // Exit events may still be scheduled; deschedule them before their
+    // unique_ptrs die so Event's "not scheduled" invariant holds.
+    for (auto &ev : pendingExits_)
+        if (ev->scheduled())
+            eventq_.deschedule(ev.get());
+}
+
+void
+Simulator::registerObject(SimObject *obj)
+{
+    objects_.push_back(obj);
+}
+
+void
+Simulator::unregisterObject(SimObject *obj)
+{
+    objects_.erase(std::remove(objects_.begin(), objects_.end(), obj),
+                   objects_.end());
+}
+
+void
+Simulator::initPhase()
+{
+    if (initDone_)
+        return;
+    // Phases match gem5: init, regStats, startup, in registration
+    // order. Objects constructed later are picked up on the next
+    // run() call because initPhase only runs once; mg5 configurations
+    // construct everything before the first run.
+    for (auto *obj : objects_)
+        obj->init();
+    for (auto *obj : objects_)
+        obj->regStats();
+    for (auto *obj : objects_)
+        obj->startup();
+    initDone_ = true;
+}
+
+SimResult
+Simulator::run(Tick tick_limit)
+{
+    G5P_TRACE_SCOPE("Simulator::run", EventLoop, false);
+    initPhase();
+    exitRequested_ = false;
+
+    while (!exitRequested_) {
+        Tick next = eventq_.nextTick();
+        if (next == maxTick)
+            return {ExitCause::EventQueueEmpty, eventq_.curTick(), ""};
+        if (next > tick_limit) {
+            // Advance to the limit, but never rewind (a checkpoint
+            // restore may have set curTick past a small limit).
+            if (tick_limit > eventq_.curTick())
+                eventq_.setCurTick(tick_limit);
+            return {ExitCause::TickLimit, eventq_.curTick(), ""};
+        }
+        eventq_.serviceOne();
+        ++eventsServiced_;
+    }
+    return {exitCause_, eventq_.curTick(), exitMessage_};
+}
+
+void
+Simulator::exitSimLoop(const std::string &message, ExitCause cause,
+                       Tick when)
+{
+    Tick at = std::max(when, eventq_.curTick());
+    auto ev = std::make_unique<ExitEvent>(*this, message, cause);
+    eventq_.schedule(ev.get(), at);
+    pendingExits_.push_back(std::move(ev));
+}
+
+void
+Simulator::dumpStats(std::ostream &os) const
+{
+    stats::Group::dumpStats(os);
+}
+
+void
+Simulator::resetAllStats()
+{
+    resetStats();
+}
+
+void
+Simulator::takeCheckpoint(CheckpointOut &cp) const
+{
+    cp.pushSection(groupName());
+    cp.param("curTick", eventq_.curTick());
+    for (const auto *obj : objects_) {
+        cp.pushSection(obj->name());
+        obj->serialize(cp);
+        cp.popSection();
+    }
+    cp.popSection();
+}
+
+void
+Simulator::restoreCheckpoint(const CheckpointIn &in)
+{
+    auto &cp = const_cast<CheckpointIn &>(in);
+    cp.pushSection(groupName());
+    Tick tick = 0;
+    cp.param("curTick", tick);
+    eventq_.setCurTick(tick);
+    for (auto *obj : objects_) {
+        cp.pushSection(obj->name());
+        obj->unserialize(cp);
+        cp.popSection();
+    }
+    cp.popSection();
+}
+
+} // namespace g5p::sim

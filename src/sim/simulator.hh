@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulator: the root object owning the event queue and the SimObject
+ * list; runs the main simulation loop (gem5's simulate()).
+ */
+
+#ifndef G5P_SIM_SIMULATOR_HH
+#define G5P_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/serialize.hh"
+#include "sim/stats.hh"
+
+namespace g5p::sim
+{
+
+class SimObject;
+
+/** Why the simulation loop returned. */
+enum class ExitCause
+{
+    Finished,       ///< a workload/exit event fired
+    TickLimit,      ///< the caller's tick limit was reached
+    EventQueueEmpty,///< nothing left to do
+    User,           ///< user-requested exit (m5 exit equivalent)
+};
+
+/** Human-readable exit-cause name. */
+const char *exitCauseName(ExitCause cause);
+
+/** Result of Simulator::run(). */
+struct SimResult
+{
+    ExitCause cause;
+    Tick tick;          ///< curTick when the loop returned
+    std::string message;///< exit message (e.g. workload status)
+};
+
+/**
+ * The simulation root. Owns the event queue, tracks all SimObjects,
+ * drives the init/regStats/startup phases, and runs the event loop.
+ */
+class Simulator : public stats::Group
+{
+  public:
+    explicit Simulator(const std::string &name = "system");
+    ~Simulator() override;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** The single event queue (mg5 is single threaded, as gem5). */
+    EventQueue &eventq() { return eventq_; }
+
+    Tick curTick() const { return eventq_.curTick(); }
+
+    /** Called by the SimObject constructor. */
+    void registerObject(SimObject *obj);
+    void unregisterObject(SimObject *obj);
+
+    /**
+     * Run init/regStats/startup once, then service events until an
+     * exit is requested, the queue empties, or @p tick_limit passes.
+     * May be called repeatedly to continue a simulation.
+     */
+    SimResult run(Tick tick_limit = maxTick);
+
+    /**
+     * Request the loop to return at @p when (now if 0). Mirrors
+     * gem5's exitSimLoop().
+     */
+    void exitSimLoop(const std::string &message,
+                     ExitCause cause = ExitCause::Finished,
+                     Tick when = 0);
+
+    /** Dump all statistics in stats.txt format. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Reset all statistics (gem5 m5 resetstats). */
+    void resetAllStats();
+
+    /** Serialize every object plus the current tick. */
+    void takeCheckpoint(CheckpointOut &cp) const;
+
+    /** Restore every object plus the current tick. */
+    void restoreCheckpoint(const CheckpointIn &cp);
+
+    /** All registered objects (init order). */
+    const std::vector<SimObject *> &objects() const { return objects_; }
+
+    /** Total events serviced by run() so far. */
+    std::uint64_t eventsServiced() const { return eventsServiced_; }
+
+  private:
+    class ExitEvent;
+
+    void initPhase();
+
+    /** Per-simulator synthetic data segment (determinism). */
+    trace::DataSpace dataSpace_;
+
+    EventQueue eventq_;
+    std::vector<SimObject *> objects_;
+    bool initDone_ = false;
+    std::uint64_t eventsServiced_ = 0;
+
+    bool exitRequested_ = false;
+    ExitCause exitCause_ = ExitCause::Finished;
+    std::string exitMessage_;
+    std::vector<std::unique_ptr<ExitEvent>> pendingExits_;
+};
+
+} // namespace g5p::sim
+
+#endif // G5P_SIM_SIMULATOR_HH

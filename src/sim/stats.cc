@@ -1,0 +1,137 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "trace/recorder.hh"
+
+namespace g5p::sim::stats
+{
+
+void
+Info::setInfo(std::string name, std::string desc)
+{
+    name_ = std::move(name);
+    desc_ = std::move(desc);
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Vector::setSubnames(std::vector<std::string> names)
+{
+    subnames_ = std::move(names);
+}
+
+double
+Vector::total() const
+{
+    double sum = 0;
+    for (double v : values_)
+        sum += v;
+    return sum;
+}
+
+void
+Vector::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+void
+Vector::print(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        std::string sub = i < subnames_.size()
+            ? subnames_[i] : std::to_string(i);
+        os << prefix << name() << "::" << sub << " " << values_[i]
+           << " # " << desc() << "\n";
+    }
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << total() << " # " << desc() << "\n";
+}
+
+Group::Group(Group *parent, std::string name)
+    : parent_(parent), groupName_(std::move(name))
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+Group::~Group()
+{
+    if (parent_) {
+        auto &sibs = parent_->children_;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this),
+                   sibs.end());
+    }
+}
+
+void
+Group::addStat(Info *stat, const std::string &name,
+               const std::string &desc)
+{
+    g5p_assert(stat, "null stat registered in group '%s'",
+               groupName_.c_str());
+    stat->setInfo(name, desc);
+    stats_.push_back(stat);
+}
+
+std::string
+Group::statPrefix() const
+{
+    std::string prefix;
+    if (parent_)
+        prefix = parent_->statPrefix();
+    if (!groupName_.empty())
+        prefix += groupName_ + ".";
+    return prefix;
+}
+
+void
+Group::dumpStats(std::ostream &os) const
+{
+    G5P_TRACE_SCOPE("stats::Group::dumpStats", Stats, false);
+    std::string prefix = statPrefix();
+    for (const Info *stat : stats_)
+        stat->print(os, prefix);
+    for (const Group *child : children_)
+        child->dumpStats(os);
+}
+
+void
+Group::resetStats()
+{
+    for (Info *stat : stats_)
+        stat->reset();
+    for (Group *child : children_)
+        child->resetStats();
+}
+
+const Info *
+Group::findStat(const std::string &dotted) const
+{
+    auto dot = dotted.find('.');
+    if (dot == std::string::npos) {
+        for (const Info *stat : stats_)
+            if (stat->name() == dotted)
+                return stat;
+        return nullptr;
+    }
+    std::string head = dotted.substr(0, dot);
+    std::string rest = dotted.substr(dot + 1);
+    for (const Group *child : children_)
+        if (child->groupName() == head)
+            return child->findStat(rest);
+    return nullptr;
+}
+
+} // namespace g5p::sim::stats

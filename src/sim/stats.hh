@@ -1,0 +1,156 @@
+/**
+ * @file
+ * gem5-style statistics package.
+ *
+ * Statistics are declared as members of a stats::Group (every SimObject
+ * is one), registered with name and description, and dumped as
+ * "group.name value # desc" lines, matching gem5's stats.txt format.
+ */
+
+#ifndef G5P_SIM_STATS_HH
+#define G5P_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g5p::sim::stats
+{
+
+class Group;
+
+/** Base class for all statistic values. */
+class Info
+{
+  public:
+    virtual ~Info() = default;
+
+    /** Register name/description (called via Group::addStat). */
+    void setInfo(std::string name, std::string desc);
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Scalar reduction of the stat (sum for vectors). */
+    virtual double total() const = 0;
+
+    /** Reset to zero. */
+    virtual void reset() = 0;
+
+    /** Print one or more stats.txt lines with @p prefix. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+  private:
+    std::string name_ = "?";
+    std::string desc_;
+};
+
+/** A single accumulating value. */
+class Scalar : public Info
+{
+  public:
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+    double total() const override { return value_; }
+    void reset() override { value_ = 0; }
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+
+  private:
+    double value_ = 0;
+};
+
+/** A fixed-length vector of accumulating values. */
+class Vector : public Info
+{
+  public:
+    /** Size the vector (must be called before use). */
+    void init(std::size_t n) { values_.assign(n, 0.0); }
+
+    double &operator[](std::size_t i) { return values_[i]; }
+    double operator[](std::size_t i) const { return values_[i]; }
+
+    std::size_t size() const { return values_.size(); }
+
+    /** Optional per-element names for printing. */
+    void setSubnames(std::vector<std::string> names);
+
+    double total() const override;
+    void reset() override;
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+
+  private:
+    std::vector<double> values_;
+    std::vector<std::string> subnames_;
+};
+
+/** A derived value computed on demand from other stats. */
+class Formula : public Info
+{
+  public:
+    /** Bind the computation. */
+    void functor(std::function<double()> fn) { fn_ = std::move(fn); }
+
+    double total() const override { return fn_ ? fn_() : 0.0; }
+    void reset() override {}
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics, hierarchical via parent pointers.
+ * SimObject derives from Group, giving "cpu0.dcache.hits"-style names.
+ */
+class Group
+{
+  public:
+    explicit Group(Group *parent = nullptr, std::string name = "");
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Register @p stat under this group. */
+    void addStat(Info *stat, const std::string &name,
+                 const std::string &desc);
+
+    /** Fully qualified prefix like "system.cpu0.". */
+    std::string statPrefix() const;
+
+    const std::string &groupName() const { return groupName_; }
+
+    /** Dump this group and all children in registration order. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Reset this group and all children. */
+    void resetStats();
+
+    /** Hook for subclasses to register stats lazily (gem5 regStats). */
+    virtual void regStats() {}
+
+    const std::vector<Info *> &statList() const { return stats_; }
+    const std::vector<Group *> &childGroups() const { return children_; }
+
+    /** Look up a stat by dotted suffix within this subtree. */
+    const Info *findStat(const std::string &dotted) const;
+
+  private:
+    Group *parent_;
+    std::string groupName_;
+    std::vector<Info *> stats_;
+    std::vector<Group *> children_;
+};
+
+} // namespace g5p::sim::stats
+
+#endif // G5P_SIM_STATS_HH

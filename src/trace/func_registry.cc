@@ -1,0 +1,72 @@
+#include "trace/func_registry.hh"
+
+#include "base/logging.hh"
+
+namespace g5p::trace
+{
+
+const char *
+funcKindName(FuncKind kind)
+{
+    switch (kind) {
+      case FuncKind::EventLoop:    return "EventLoop";
+      case FuncKind::EventHandler: return "EventHandler";
+      case FuncKind::CpuSimple:    return "CpuSimple";
+      case FuncKind::CpuDetailed:  return "CpuDetailed";
+      case FuncKind::InstExecute:  return "InstExecute";
+      case FuncKind::Decode:       return "Decode";
+      case FuncKind::MemAccess:    return "MemAccess";
+      case FuncKind::MemAtomic:    return "MemAtomic";
+      case FuncKind::TlbWalk:      return "TlbWalk";
+      case FuncKind::Syscall:      return "Syscall";
+      case FuncKind::KernelSim:    return "KernelSim";
+      case FuncKind::Stats:        return "Stats";
+      case FuncKind::Util:         return "Util";
+      default:                     return "Unknown";
+    }
+}
+
+FuncRegistry &
+FuncRegistry::instance()
+{
+    static FuncRegistry reg;
+    return reg;
+}
+
+FuncId
+FuncRegistry::lookup(const std::string &name, FuncKind kind,
+                     bool is_virtual)
+{
+    return lookupKeyed(name, kind, 0, is_virtual);
+}
+
+FuncId
+FuncRegistry::lookupKeyed(const std::string &name, FuncKind kind,
+                          std::uint32_t key, bool is_virtual)
+{
+    std::string full = key ? name + "#" + std::to_string(key) : name;
+    auto it = byName_.find(full);
+    if (it != byName_.end())
+        return it->second;
+    FuncId id = (FuncId)funcs_.size();
+    funcs_.push_back(FuncInfo{std::move(full), kind, is_virtual, key});
+    byName_.emplace(funcs_.back().name, id);
+    return id;
+}
+
+const FuncInfo &
+FuncRegistry::info(FuncId id) const
+{
+    g5p_assert(id < funcs_.size(), "bad FuncId %u", id);
+    return funcs_[id];
+}
+
+void
+FuncRegistry::resetForTest()
+{
+    funcs_.clear();
+    byName_.clear();
+    ++generation_;
+}
+
+} // namespace g5p::trace

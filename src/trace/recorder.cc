@@ -1,0 +1,80 @@
+#include "trace/recorder.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace g5p::trace
+{
+
+Recorder *Recorder::active_ = nullptr;
+
+Recorder::~Recorder()
+{
+    deactivate();
+}
+
+void
+Recorder::addConsumer(TraceConsumer *consumer)
+{
+    g5p_assert(consumer, "null trace consumer");
+    consumers_.push_back(consumer);
+}
+
+void
+Recorder::removeConsumer(TraceConsumer *consumer)
+{
+    consumers_.erase(
+        std::remove(consumers_.begin(), consumers_.end(), consumer),
+        consumers_.end());
+}
+
+void
+Recorder::activate()
+{
+    active_ = this;
+}
+
+void
+Recorder::deactivate()
+{
+    if (active_ == this)
+        active_ = nullptr;
+}
+
+DataSpace *DataSpace::current_ = nullptr;
+
+DataSpace &
+DataSpace::instance()
+{
+    static DataSpace global;
+    return current_ ? *current_ : global;
+}
+
+DataSpace::~DataSpace()
+{
+    if (current_ == this)
+        current_ = nullptr;
+}
+
+void
+DataSpace::setCurrent(DataSpace *space)
+{
+    current_ = space;
+}
+
+HostAddr
+DataSpace::alloc(std::size_t size)
+{
+    HostAddr addr = next_;
+    next_ += (size + 63) & ~std::size_t(63);
+    return addr;
+}
+
+void
+DataSpace::resetForTest()
+{
+    next_ = base_;
+}
+
+} // namespace g5p::trace

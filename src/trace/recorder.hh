@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Run-time capture of mg5's dynamic behaviour.
+ *
+ * The Recorder is the bridge between the guest-level simulator (mg5)
+ * and the host-microarchitecture model. While a profiled simulation
+ * runs, every instrumented simulator function reports entry/exit and
+ * every simulator data-structure access reports a host data address.
+ * Consumers (the host pipeline model, the Fig-15 function profiler)
+ * subscribe to this stream.
+ *
+ * When no Recorder is active the instrumentation reduces to one
+ * predictable branch per scope, so un-profiled simulations run at full
+ * speed — the same property perf-style sampling has on real gem5.
+ */
+
+#ifndef G5P_TRACE_RECORDER_HH
+#define G5P_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "trace/func_registry.hh"
+
+namespace g5p::trace
+{
+
+/**
+ * Sink interface for the dynamic trace stream. Callbacks arrive in
+ * program order: funcEnter/funcExit properly nested, dataRef inside
+ * the scope that performed the access.
+ */
+class TraceConsumer
+{
+  public:
+    virtual ~TraceConsumer() = default;
+
+    /** A simulation function was entered. */
+    virtual void funcEnter(FuncId id) = 0;
+
+    /** The matching scope exited. */
+    virtual void funcExit(FuncId id) = 0;
+
+    /** The current scope touched simulator state at @p addr. */
+    virtual void dataRef(HostAddr addr, std::uint32_t size,
+                         bool is_write) = 0;
+};
+
+/**
+ * Dispatches the instrumentation stream to registered consumers.
+ * Exactly one Recorder may be active at a time (mg5 is single
+ * threaded, like gem5).
+ */
+class Recorder
+{
+  public:
+    Recorder() = default;
+    ~Recorder();
+
+    Recorder(const Recorder &) = delete;
+    Recorder &operator=(const Recorder &) = delete;
+
+    /** Add a consumer; not owned. */
+    void addConsumer(TraceConsumer *consumer);
+
+    /** Remove a consumer. */
+    void removeConsumer(TraceConsumer *consumer);
+
+    /** Make this recorder the active one (replaces any other). */
+    void activate();
+
+    /** Stop recording (no-op if this recorder is not active). */
+    void deactivate();
+
+    /** The active recorder, or nullptr. */
+    static Recorder *active() { return active_; }
+
+    /** @{ Stream entry points used by the instrumentation macros. */
+    void
+    funcEnter(FuncId id)
+    {
+        for (auto *c : consumers_)
+            c->funcEnter(id);
+        ++enterCount_;
+    }
+
+    void
+    funcExit(FuncId id)
+    {
+        for (auto *c : consumers_)
+            c->funcExit(id);
+    }
+
+    void
+    dataRef(HostAddr addr, std::uint32_t size, bool is_write)
+    {
+        for (auto *c : consumers_)
+            c->dataRef(addr, size, is_write);
+        ++dataCount_;
+    }
+    /** @} */
+
+    /**
+     * Record a heap allocation: mg5 (like gem5) allocates packets,
+     * events, and dynamic instructions at high rate, and that churn
+     * is a significant part of the simulator's d-side working set.
+     * Allocations cycle through a bounded arena, as a real allocator
+     * reusing freed chunks does.
+     */
+    void
+    heapAlloc(std::uint32_t size)
+    {
+        dataRef(heapBase + heapCursor_, size > 64 ? 64 : size, true);
+        heapCursor_ = (heapCursor_ + ((size + 63u) & ~63u)) %
+                      heapSpan;
+    }
+
+    /** Total scopes entered while active (sanity statistics). */
+    std::uint64_t enterCount() const { return enterCount_; }
+
+    /** Total data references recorded. */
+    std::uint64_t dataCount() const { return dataCount_; }
+
+    /** Synthetic heap arena (between the data and stack segments). */
+    static constexpr HostAddr heapBase = 0x6000'0000ULL;
+    static constexpr std::uint64_t heapSpan = 1ull << 20;
+
+  private:
+    static Recorder *active_;
+
+    std::vector<TraceConsumer *> consumers_;
+    std::uint64_t enterCount_ = 0;
+    std::uint64_t dataCount_ = 0;
+    std::uint64_t heapCursor_ = 0;
+};
+
+/**
+ * RAII guard emitting funcEnter/funcExit around an instrumented scope.
+ */
+class ScopeGuard
+{
+  public:
+    explicit ScopeGuard(FuncId id)
+        : id_(id), rec_(Recorder::active())
+    {
+        if (rec_)
+            rec_->funcEnter(id_);
+    }
+
+    ~ScopeGuard()
+    {
+        if (rec_)
+            rec_->funcExit(id_);
+    }
+
+    ScopeGuard(const ScopeGuard &) = delete;
+    ScopeGuard &operator=(const ScopeGuard &) = delete;
+
+  private:
+    FuncId id_;
+    Recorder *rec_;
+};
+
+/**
+ * Per-call-site cache of a FuncRegistry lookup, generation-checked so
+ * FuncRegistry::resetForTest() invalidates it.
+ */
+class SiteCache
+{
+  public:
+    FuncId
+    id(const char *name, FuncKind kind, bool is_virtual)
+    {
+        auto &reg = FuncRegistry::instance();
+        if (gen_ != reg.generation()) {
+            id_ = reg.lookup(name, kind, is_virtual);
+            gen_ = reg.generation();
+        }
+        return id_;
+    }
+
+  private:
+    FuncId id_ = invalidFuncId;
+    std::uint64_t gen_ = 0;
+};
+
+/**
+ * Per-call-site cache for keyed specializations (one FuncId per small
+ * integer key, e.g. per opcode).
+ */
+class KeyedSiteCache
+{
+  public:
+    FuncId
+    id(const char *name, FuncKind kind, bool is_virtual,
+       std::uint32_t key)
+    {
+        auto &reg = FuncRegistry::instance();
+        if (gen_ != reg.generation()) {
+            ids_.clear();
+            gen_ = reg.generation();
+        }
+        if (key >= ids_.size())
+            ids_.resize(key + 1, invalidFuncId);
+        if (ids_[key] == invalidFuncId)
+            ids_[key] = reg.lookupKeyed(name, kind, key + 1, is_virtual);
+        return ids_[key];
+    }
+
+  private:
+    std::vector<FuncId> ids_;
+    std::uint64_t gen_ = 0;
+};
+
+/** Record a data reference from the current scope (if recording). */
+inline void
+recordData(HostAddr addr, std::uint32_t size, bool is_write)
+{
+    if (auto *rec = Recorder::active())
+        rec->dataRef(addr, size, is_write);
+}
+
+/** Record a heap allocation (if recording). @see Recorder::heapAlloc */
+inline void
+recordHeapAlloc(std::uint32_t size)
+{
+    if (auto *rec = Recorder::active())
+        rec->heapAlloc(size);
+}
+
+/**
+ * Bump allocator assigning host data addresses to simulator state
+ * (SimObject fields, the guest physical-memory backing array, ...).
+ * The resulting address map is what the host d-side cache model sees.
+ */
+class DataSpace
+{
+  public:
+    DataSpace() = default;
+    ~DataSpace();
+
+    /**
+     * The active data space. Each sim::Simulator owns one and makes
+     * it current for its lifetime, so repeated runs in one process
+     * assign identical (deterministic) addresses; a process-global
+     * fallback serves code running outside any simulator.
+     */
+    static DataSpace &instance();
+
+    /** Make @p space current (nullptr restores the global one). */
+    static void setCurrent(DataSpace *space);
+
+    /** Allocate @p size bytes, 64-byte aligned. */
+    HostAddr alloc(std::size_t size);
+
+    /** Bytes allocated so far. */
+    std::uint64_t used() const { return next_ - base_; }
+
+    /** Reset (tests only). */
+    void resetForTest();
+
+    /** Base of the synthetic data segment. */
+    static constexpr HostAddr dataBase = 0x2000'0000ULL;
+
+  private:
+    static DataSpace *current_;
+
+    HostAddr base_ = dataBase;
+    HostAddr next_ = dataBase;
+};
+
+} // namespace g5p::trace
+
+/** Instrument a scope as one simulation function. */
+#define G5P_TRACE_SCOPE(name, kind, is_virtual) \
+    static ::g5p::trace::SiteCache g5p_site_cache_; \
+    ::g5p::trace::ScopeGuard g5p_scope_guard_( \
+        g5p_site_cache_.id(name, ::g5p::trace::FuncKind::kind, \
+                           is_virtual))
+
+/** Instrument a scope specialised by a small runtime key. */
+#define G5P_TRACE_SCOPE_KEYED(name, kind, is_virtual, key) \
+    static ::g5p::trace::KeyedSiteCache g5p_keyed_site_cache_; \
+    ::g5p::trace::ScopeGuard g5p_scope_guard_( \
+        g5p_keyed_site_cache_.id(name, ::g5p::trace::FuncKind::kind, \
+                                 is_virtual, key))
+
+#endif // G5P_TRACE_RECORDER_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Compiler-flag tuning (paper §V-A, Fig. 12): rebuilding gem5 with
+ * "-O3" shrinks the binary and the dynamic instruction count slightly
+ * — but relinking also reshuffles the code layout, so individual
+ * workloads can regress (the paper observes a few such cases).
+ */
+
+#ifndef G5P_TUNING_OPTFLAG_HH
+#define G5P_TUNING_OPTFLAG_HH
+
+#include "core/experiment.hh"
+
+namespace g5p::tuning
+{
+
+/** Enable the -O3 build in a run's tuning config. */
+void applyO3(core::TuningConfig &tuning, bool enabled = true);
+
+/** Percent speedup of the -O3 build over the base build. */
+double o3SpeedupPercent(const core::RunResult &base,
+                        const core::RunResult &o3);
+
+} // namespace g5p::tuning
+
+#endif // G5P_TUNING_OPTFLAG_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Boot-Exit: boot "Linux" in FS mode and immediately exit (paper
+ * §III). The interesting work is the FS boot prologue emitted by
+ * FsKernel; the workload body just publishes a magic checksum.
+ */
+
+#include "workloads/workload.hh"
+
+namespace g5p::workloads
+{
+
+using namespace isa;
+
+namespace
+{
+
+class BootExit : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "boot-exit"; }
+
+    static constexpr std::uint64_t magic = 0xb007e817;
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        emitPartition(as, 1, num_cpus);
+        as.bne(RegA0, RegZero, "epilogue");
+        as.li(RegS1, (std::int64_t)magic);
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        return magic;
+    }
+};
+
+RegisterWorkload regBootExit("boot-exit", [](double s) {
+    return std::make_unique<BootExit>(s);
+});
+
+} // namespace
+
+/** Anchor so the linker keeps this TU's static registrations. */
+void
+linkBootExitWorkload()
+{
+}
+
+} // namespace g5p::workloads

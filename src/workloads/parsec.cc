@@ -1,0 +1,434 @@
+/**
+ * @file
+ * PARSEC 3.0 stand-in kernels: canneal, blackscholes, dedup,
+ * streamcluster. Each reproduces its namesake's dominant pattern and
+ * carries a C++ golden model so every CPU model can be checked for
+ * architectural correctness against the same expected checksum.
+ */
+
+#include "workloads/workload.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace g5p::workloads
+{
+
+using namespace isa;
+
+namespace
+{
+
+/** Integer bits of a double (the guest sees registers as raw bits). */
+std::uint64_t
+bitsOf(double d)
+{
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+// ---------------------------------------------------------------
+// blackscholes: streaming FP on an option array. High IPC, very
+// regular (the PARSEC paper's compute-bound extreme).
+// ---------------------------------------------------------------
+
+class Blackscholes : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "blackscholes"; }
+
+    std::uint64_t numOptions() const { return scaled(1536); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        std::uint64_t n = numOptions();
+        emitPartition(as, n, num_cpus);
+
+        as.mv(RegS0, RegT2);               // i = start
+        as.beq(RegS0, RegT3, "epilogue");  // empty partition
+        as.label("bs_loop");
+        as.slli(RegT0, RegS0, 5);          // 32B per option
+        as.li(RegT1, (std::int64_t)dataBase);
+        as.add(RegT0, RegT0, RegT1);
+        as.ld(18, RegT0, 0);               // S
+        as.ld(19, RegT0, 8);               // K
+        as.ld(20, RegT0, 16);              // r
+        as.fmul(21, 18, 19);               // v = S*K
+        as.fadd(21, 21, 20);               // v += r
+        as.fdiv(21, 21, 18);               // v /= S
+        as.fmul(21, 21, 21);               // v *= v
+        as.sd(21, RegT0, 24);              // store the price
+        as.add(RegS1, RegS1, 21);          // checksum += bits(v)
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "bs_loop");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("blackscholes"));
+        for (std::uint64_t i = 0; i < numOptions(); ++i) {
+            Addr a = dataBase + i * 32;
+            physmem.write(a, 8, bitsOf(1.0 + rng.uniform()));
+            physmem.write(a + 8, 8, bitsOf(1.0 + rng.uniform()));
+            physmem.write(a + 16, 8, bitsOf(0.01 * rng.uniform()));
+            physmem.write(a + 24, 8, 0);
+        }
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        Rng rng(Rng::hashString("blackscholes"));
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < numOptions(); ++i) {
+            double s = 1.0 + rng.uniform();
+            double k = 1.0 + rng.uniform();
+            double r = 0.01 * rng.uniform();
+            double v = s * k;
+            v += r;
+            v /= s;
+            v *= v;
+            sum += bitsOf(v);
+        }
+        return sum;
+    }
+};
+
+RegisterWorkload regBlackscholes("blackscholes", [](double s) {
+    return std::make_unique<Blackscholes>(s);
+});
+
+// ---------------------------------------------------------------
+// canneal: pointer-chasing random swaps over a large element array
+// (cache-hostile, the PARSEC paper's memory-bound extreme). Each CPU
+// walks a private segment so the checksum is schedule-independent.
+// ---------------------------------------------------------------
+
+class Canneal : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "canneal"; }
+
+    static constexpr std::uint64_t lcgA = 25214903917ULL;
+    static constexpr std::uint64_t lcgC = 11;
+    static constexpr std::uint64_t seedMul = 2654435761ULL;
+
+    /** Element count; kept a power of two for the index mask. */
+    std::uint64_t
+    numElements() const
+    {
+        std::uint64_t n = 8192;
+        while (n < scaled(32768))
+            n <<= 1;
+        return n;
+    }
+
+    std::uint64_t numIterations() const { return scaled(6144); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        g5p_assert((num_cpus & (num_cpus - 1)) == 0,
+                   "canneal needs a power-of-two CPU count");
+        std::uint64_t n = numElements();
+        std::uint64_t seg = n / num_cpus;
+        emitPartition(as, numIterations(), num_cpus);
+
+        // x22 = LCG state, x23 = segment base address.
+        as.addi(18, RegT2, 1);
+        as.li(RegT0, (std::int64_t)seedMul);
+        as.mul(22, 18, RegT0);             // x = (start+1)*seedMul
+        as.li(RegT0, (std::int64_t)(seg * 8));
+        as.mul(23, RegA0, RegT0);
+        as.li(RegT0, (std::int64_t)dataBase);
+        as.add(23, 23, RegT0);             // segment base
+
+        as.mv(RegS0, RegT2);
+        as.beq(RegS0, RegT3, "epilogue");
+        as.label("ca_loop");
+        as.li(RegT0, (std::int64_t)lcgA);
+        as.mul(22, 22, RegT0);
+        as.addi(22, 22, (std::int32_t)lcgC);
+        as.srli(RegT0, 22, 16);
+        as.andi(RegT0, RegT0, (std::int32_t)(seg - 1));
+        as.slli(RegT0, RegT0, 3);
+        as.add(RegT0, RegT0, 23);          // element address
+        as.ld(RegT1, RegT0, 0);
+        as.add(RegS1, RegS1, RegT1);       // checksum += element
+        as.xor_(RegT1, RegT1, 22);
+        as.sd(RegT1, RegT0, 0);            // swap-like update
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "ca_loop");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("canneal"));
+        for (std::uint64_t i = 0; i < numElements(); ++i)
+            physmem.write(dataBase + i * 8, 8, rng.next());
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        std::uint64_t n = numElements();
+        std::uint64_t seg = n / num_cpus;
+        std::vector<std::uint64_t> elems(n);
+        Rng rng(Rng::hashString("canneal"));
+        for (auto &e : elems)
+            e = rng.next();
+
+        std::uint64_t sum = 0;
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto [start, end] =
+                partitionOf(numIterations(), num_cpus, cpu);
+            std::uint64_t x = (start + 1) * seedMul;
+            std::uint64_t base = (std::uint64_t)cpu * seg;
+            for (std::uint64_t i = start; i < end; ++i) {
+                x = x * lcgA + lcgC;
+                std::uint64_t idx = base + ((x >> 16) & (seg - 1));
+                sum += elems[idx];
+                elems[idx] ^= x;
+            }
+        }
+        return sum;
+    }
+};
+
+RegisterWorkload regCanneal("canneal", [](double s) {
+    return std::make_unique<Canneal>(s);
+});
+
+// ---------------------------------------------------------------
+// dedup: rolling FNV-style hashing over a byte stream with scattered
+// hash-table bucket writes (the PARSEC pipeline kernel's hot loop).
+// ---------------------------------------------------------------
+
+class Dedup : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "dedup"; }
+
+    static constexpr std::uint64_t fnvPrime = 1099511628211ULL;
+    static constexpr std::uint64_t hashInit = 1469598103ULL;
+    static constexpr std::uint64_t numBuckets = 1024;
+
+    std::uint64_t streamBytes() const { return scaled(24576); }
+
+    Addr tableBase() const { return dataBase + (1u << 20); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        emitPartition(as, streamBytes(), num_cpus);
+
+        as.li(22, (std::int64_t)hashInit); // h
+        as.mv(RegS0, RegT2);
+        as.beq(RegS0, RegT3, "epilogue");
+        as.label("dd_loop");
+        as.li(RegT0, (std::int64_t)dataBase);
+        as.add(RegT0, RegT0, RegS0);
+        as.opImm(Opcode::Lbu, RegT1, RegT0, 0); // byte
+        as.xor_(22, 22, RegT1);
+        as.li(RegT0, (std::int64_t)fnvPrime);
+        as.mul(22, 22, RegT0);
+        as.add(RegS1, RegS1, 22);          // checksum += h
+
+        // Every 64 bytes, publish the chunk hash to its bucket.
+        as.andi(RegT0, RegS0, 63);
+        as.bne(RegT0, RegZero, "dd_nobucket");
+        as.srli(RegT0, 22, 20);
+        as.andi(RegT0, RegT0, (std::int32_t)(numBuckets - 1));
+        as.slli(RegT0, RegT0, 3);
+        as.li(RegT1, (std::int64_t)tableBase());
+        as.add(RegT0, RegT0, RegT1);
+        as.sd(22, RegT0, 0);
+        as.label("dd_nobucket");
+
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "dd_loop");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("dedup"));
+        for (std::uint64_t i = 0; i < streamBytes(); ++i)
+            physmem.write(dataBase + i, 1, rng.below(256));
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        std::vector<std::uint8_t> stream(streamBytes());
+        Rng rng(Rng::hashString("dedup"));
+        for (auto &b : stream)
+            b = (std::uint8_t)rng.below(256);
+
+        std::uint64_t sum = 0;
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto [start, end] =
+                partitionOf(streamBytes(), num_cpus, cpu);
+            std::uint64_t h = hashInit;
+            for (std::uint64_t i = start; i < end; ++i) {
+                h = (h ^ stream[i]) * fnvPrime;
+                sum += h;
+            }
+        }
+        return sum;
+    }
+};
+
+RegisterWorkload regDedup("dedup", [](double s) {
+    return std::make_unique<Dedup>(s);
+});
+
+// ---------------------------------------------------------------
+// streamcluster: nearest-center search — a branchy FP reduction with
+// a data-dependent min update (mispredict-heavy inner loop).
+// ---------------------------------------------------------------
+
+class Streamcluster : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "streamcluster"; }
+
+    static constexpr unsigned dims = 8;
+    static constexpr unsigned numCenters = 8;
+
+    std::uint64_t numPoints() const { return scaled(384); }
+
+    Addr centersBase() const { return dataBase + (2u << 20); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        emitPartition(as, numPoints(), num_cpus);
+
+        as.mv(RegS0, RegT2);
+        as.beq(RegS0, RegT3, "epilogue");
+        as.label("sc_point");
+        // x18 = point base address
+        as.li(RegT0, (std::int64_t)(dims * 8));
+        as.mul(18, RegS0, RegT0);
+        as.li(RegT0, (std::int64_t)dataBase);
+        as.add(18, 18, RegT0);
+
+        as.li(19, (std::int64_t)bitsOf(1e30)); // best (positive)
+        as.li(20, 0);                          // k
+        as.label("sc_center");
+        // x21 = center base address
+        as.li(RegT0, (std::int64_t)(dims * 8));
+        as.mul(21, 20, RegT0);
+        as.li(RegT0, (std::int64_t)centersBase());
+        as.add(21, 21, RegT0);
+
+        as.li(22, 0);                          // dist bits (0.0)
+        as.li(23, 0);                          // d
+        as.label("sc_dim");
+        as.slli(RegT0, 23, 3);
+        as.add(RegT1, 18, RegT0);
+        as.ld(24, RegT1, 0);                   // p[d]
+        as.add(RegT1, 21, RegT0);
+        as.ld(25, RegT1, 0);                   // c[d]
+        as.fsub(24, 24, 25);
+        as.fmul(24, 24, 24);
+        as.fadd(22, 22, 24);
+        as.addi(23, 23, 1);
+        as.slti(RegT0, 23, dims);
+        as.bne(RegT0, RegZero, "sc_dim");
+
+        // min update: positive doubles compare correctly as ints.
+        as.slt(RegT0, 22, 19);
+        as.beq(RegT0, RegZero, "sc_nomin");
+        as.mv(19, 22);
+        as.label("sc_nomin");
+        as.addi(20, 20, 1);
+        as.slti(RegT0, 20, numCenters);
+        as.bne(RegT0, RegZero, "sc_center");
+
+        as.add(RegS1, RegS1, 19);              // checksum += best
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "sc_point");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("streamcluster"));
+        for (std::uint64_t i = 0; i < numPoints() * dims; ++i)
+            physmem.write(dataBase + i * 8, 8,
+                          bitsOf(rng.uniform() * 10.0));
+        for (std::uint64_t i = 0; i < numCenters * dims; ++i)
+            physmem.write(centersBase() + i * 8, 8,
+                          bitsOf(rng.uniform() * 10.0));
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        Rng rng(Rng::hashString("streamcluster"));
+        std::vector<double> pts(numPoints() * dims);
+        std::vector<double> ctr(numCenters * dims);
+        for (auto &v : pts)
+            v = rng.uniform() * 10.0;
+        for (auto &v : ctr)
+            v = rng.uniform() * 10.0;
+
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < numPoints(); ++i) {
+            std::uint64_t best = bitsOf(1e30);
+            for (unsigned k = 0; k < numCenters; ++k) {
+                double dist = 0.0;
+                for (unsigned d = 0; d < dims; ++d) {
+                    double t = pts[i * dims + d] - ctr[k * dims + d];
+                    t *= t;
+                    dist += t;
+                }
+                std::uint64_t db = bitsOf(dist);
+                if ((std::int64_t)db < (std::int64_t)best)
+                    best = db;
+            }
+            sum += best;
+        }
+        return sum;
+    }
+};
+
+RegisterWorkload regStreamcluster("streamcluster", [](double s) {
+    return std::make_unique<Streamcluster>(s);
+});
+
+} // namespace
+
+/** Anchor so the linker keeps this TU's static registrations. */
+void
+linkParsecWorkloads()
+{
+}
+
+} // namespace g5p::workloads

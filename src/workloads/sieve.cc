@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sieve of Eratosthenes — the "simple C++ program" the paper runs on
+ * gem5-on-FireSim for the Fig. 14 cache-sensitivity sweep (FireSim is
+ * too slow for PARSEC). Single-threaded: secondary CPUs go straight
+ * to the epilogue.
+ */
+
+#include "workloads/workload.hh"
+
+namespace g5p::workloads
+{
+
+using namespace isa;
+
+namespace
+{
+
+class Sieve : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "sieve"; }
+
+    std::uint64_t limit() const { return scaled(16384); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        std::uint64_t n = limit();
+        emitPartition(as, 1, num_cpus); // sets up s1 = 0
+        as.bne(RegA0, RegZero, "epilogue"); // workers contribute 0
+
+        as.li(18, (std::int64_t)dataBase);  // arr base
+        as.li(19, (std::int64_t)n);         // N
+        as.li(20, 2);                       // p
+
+        as.label("sv_outer");
+        as.mul(RegT0, 20, 20);              // p*p
+        as.bge(RegT0, 19, "sv_count");
+        as.add(RegT1, 18, 20);
+        as.lb(RegT1, RegT1, 0);             // arr[p]
+        as.bne(RegT1, RegZero, "sv_next");
+
+        as.mul(21, 20, 20);                 // m = p*p
+        as.li(RegT2, 1);
+        as.label("sv_mark");
+        as.add(RegT0, 18, 21);
+        as.sb(RegT2, RegT0, 0);             // arr[m] = 1
+        as.add(21, 21, 20);                 // m += p
+        as.blt(21, 19, "sv_mark");
+
+        as.label("sv_next");
+        as.addi(20, 20, 1);
+        as.j("sv_outer");
+
+        // Count the primes (zero entries from index 2).
+        as.label("sv_count");
+        as.li(20, 2);
+        as.label("sv_cloop");
+        as.add(RegT0, 18, 20);
+        as.lb(RegT1, RegT0, 0);
+        as.bne(RegT1, RegZero, "sv_nc");
+        as.addi(RegS1, RegS1, 1);
+        as.label("sv_nc");
+        as.addi(20, 20, 1);
+        as.blt(20, 19, "sv_cloop");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        for (std::uint64_t i = 0; i < limit(); ++i)
+            physmem.write(dataBase + i, 1, 0);
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        std::uint64_t n = limit();
+        std::vector<bool> composite(n, false);
+        std::uint64_t count = 0;
+        for (std::uint64_t p = 2; p * p < n; ++p) {
+            if (composite[p])
+                continue;
+            for (std::uint64_t m = p * p; m < n; m += p)
+                composite[m] = true;
+        }
+        for (std::uint64_t i = 2; i < n; ++i)
+            if (!composite[i])
+                ++count;
+        return count;
+    }
+};
+
+RegisterWorkload regSieve("sieve", [](double s) {
+    return std::make_unique<Sieve>(s);
+});
+
+} // namespace
+
+/** Anchor so the linker keeps this TU's static registrations. */
+void
+linkSieveWorkload()
+{
+}
+
+} // namespace g5p::workloads

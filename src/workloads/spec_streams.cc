@@ -1,0 +1,179 @@
+#include "workloads/spec_streams.hh"
+
+namespace g5p::workloads
+{
+
+using trace::HostOp;
+
+SpecStreamConfig
+specX264()
+{
+    SpecStreamConfig cfg;
+    cfg.name = "525.x264_r";
+    cfg.codeFootprintBytes = 7 * 1024;    // tight SIMD-ish kernels
+    cfg.instsPerBranch = 9.0;             // long straight runs
+    cfg.biasedBranchFraction = 0.985;
+    cfg.loadFraction = 0.28;
+    cfg.storeFraction = 0.12;
+    cfg.hotDataBytes = 24 * 1024;         // L1-resident macroblocks
+    cfg.coldDataBytes = 6ull << 20;       // reference frames
+    cfg.coldAccessFraction = 0.001;
+    cfg.longLatencyOpFraction = 0.0;
+    return cfg;
+}
+
+SpecStreamConfig
+specDeepsjeng()
+{
+    SpecStreamConfig cfg;
+    cfg.name = "531.deepsjeng_r";
+    cfg.codeFootprintBytes = 48 * 1024;   // big evaluation functions
+    cfg.instsPerBranch = 5.0;
+    cfg.biasedBranchFraction = 0.93;
+    cfg.loadFraction = 0.27;
+    cfg.storeFraction = 0.07;
+    cfg.hotDataBytes = 256 * 1024;
+    cfg.coldDataBytes = 700ull << 20;     // huge transposition table
+    cfg.coldAccessFraction = 0.008;       // highest L3 miss rate
+    cfg.longLatencyOpFraction = 0.002;
+    return cfg;
+}
+
+SpecStreamConfig
+specMcf()
+{
+    SpecStreamConfig cfg;
+    cfg.name = "505.mcf_r";
+    cfg.codeFootprintBytes = 20 * 1024;
+    cfg.instsPerBranch = 4.5;
+    cfg.biasedBranchFraction = 0.88;      // data-dependent branches
+    cfg.loadFraction = 0.33;              // pointer chasing
+    cfg.storeFraction = 0.09;
+    cfg.hotDataBytes = 64 * 1024;
+    cfg.coldDataBytes = 2048ull << 20;    // network spans DRAM
+    cfg.coldAccessFraction = 0.017;       // pointer chases to DRAM
+    cfg.longLatencyOpFraction = 0.001;
+    return cfg;
+}
+
+std::vector<SpecStreamConfig>
+specReferenceStreams()
+{
+    return {specX264(), specDeepsjeng(), specMcf()};
+}
+
+SpecStreamGenerator::SpecStreamGenerator(const SpecStreamConfig &config,
+                                         std::uint64_t seed)
+    : config_(config),
+      rng_(seed ^ Rng::hashString(config.name.c_str()))
+{
+}
+
+void
+SpecStreamGenerator::run(trace::HostInstSink &sink)
+{
+    // Address regions, disjoint from mg5's synthetic segments.
+    constexpr HostAddr code_base = 0x1000'0000ULL;
+    constexpr HostAddr hot_base = 0x8000'0000ULL;
+    constexpr HostAddr cold_base = 0x1'0000'0000ULL;
+
+    // Per-site code typing: what each *address* is — branch, load,
+    // store, ALU — plus branch bias and target, are fixed properties
+    // of the site, as in real machine code. Only data-dependent
+    // outcomes (directions, cold-pointer values) draw randomness.
+    auto site_hash = [](HostAddr pc) {
+        std::uint64_t z = pc * 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        return z ^ (z >> 31);
+    };
+
+    HostAddr code_end = code_base + config_.codeFootprintBytes;
+    HostAddr pc = code_base;
+    HostAddr hot_cursor = 0;
+
+    double branch_pct = 100.0 / config_.instsPerBranch;
+    double load_pct = config_.loadFraction * 100.0;
+    double store_pct = config_.storeFraction * 100.0;
+
+    for (std::uint64_t i = 0; i < config_.insts; ++i) {
+        std::uint64_t site = site_hash(pc);
+        HostOp op;
+        op.pc = pc;
+        op.lenBytes = 4;
+        op.uops = (site >> 5) % 10 == 0 ? 2 : 1;
+
+        HostAddr next = pc + op.lenBytes;
+        if (next >= code_end) {
+            // Outer-loop back edge.
+            op.kind = HostOp::Kind::Branch;
+            op.conditional = true;
+            op.taken = true;
+            op.target = code_base;
+            pc = code_base;
+            sink.op(op);
+            continue;
+        }
+
+        double sel = (double)((site >> 16) % 10000) / 100.0;
+        if (sel < branch_pct) {
+            op.kind = HostOp::Kind::Branch;
+            op.conditional = true;
+            // Site bias: biasedBranchFraction of sites are nearly
+            // deterministic; the rest are data-dependent.
+            std::uint64_t bias_sel = (site >> 33) % 1000;
+            auto biased =
+                (std::uint64_t)(config_.biasedBranchFraction * 1000);
+            double taken_prob;
+            if (bias_sel < biased / 2)
+                taken_prob = 0.002;
+            else if (bias_sel < biased)
+                taken_prob = 0.998;
+            else
+                taken_prob = 0.5;
+            bool taken = rng_.chance(taken_prob);
+            HostAddr target = pc + 8 + ((site >> 40) % 48);
+            if (target >= code_end)
+                target = code_base;
+            op.taken = taken;
+            op.target = taken ? target : next;
+            pc = op.target;
+            sink.op(op);
+            continue;
+        }
+
+        if (sel < branch_pct + load_pct) {
+            op.kind = HostOp::Kind::Load;
+            op.dataSize = 8;
+            bool cold = config_.coldDataBytes &&
+                        rng_.chance(config_.coldAccessFraction);
+            if (cold) {
+                op.dataAddr = cold_base +
+                    (rng_.below(config_.coldDataBytes) & ~7ull);
+            } else if (rng_.chance(0.10)) {
+                // Occasional scattered touch of the full hot set.
+                op.dataAddr = hot_base +
+                    (rng_.below(config_.hotDataBytes) & ~7ull);
+            } else {
+                // High temporal reuse inside a 4KB working block
+                // that slides slowly through the hot set.
+                ++hot_cursor;
+                std::uint64_t block =
+                    (hot_cursor / 2048) * 4096 % config_.hotDataBytes;
+                op.dataAddr = hot_base + block +
+                    (rng_.below(4096) & ~7ull);
+            }
+        } else if (sel < branch_pct + load_pct + store_pct) {
+            op.kind = HostOp::Kind::Store;
+            op.dataSize = 8;
+            op.dataAddr = hot_base +
+                (((site >> 13) * 8) % config_.hotDataBytes);
+        } else if (rng_.chance(config_.longLatencyOpFraction)) {
+            op.uops = 4; // div-like: extra back-end pressure
+        }
+
+        pc = next;
+        sink.op(op);
+    }
+}
+
+} // namespace g5p::workloads

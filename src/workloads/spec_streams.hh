@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SPEC CPU2017 reference streams (paper §III).
+ *
+ * The paper runs 525.x264_r, 531.deepsjeng_r, and 505.mcf_r on bare
+ * metal, purely as reference points for gem5's Top-Down profile. Here
+ * each is a parameterized synthetic host-instruction stream with the
+ * published characteristics: x264 — the suite's highest IPC, small
+ * hot loops; deepsjeng — large footprint, the suite's highest L3 miss
+ * rate; mcf — the lowest IPC, heavy back-end stalls from cache misses
+ * and branch mispredicts.
+ */
+
+#ifndef G5P_WORKLOADS_SPEC_STREAMS_HH
+#define G5P_WORKLOADS_SPEC_STREAMS_HH
+
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "trace/synthesizer.hh"
+
+namespace g5p::workloads
+{
+
+/** Stream parameters (all host-level, no guest simulation). */
+struct SpecStreamConfig
+{
+    std::string name;
+    std::uint64_t insts = 2'000'000;
+
+    std::uint64_t codeFootprintBytes = 16 * 1024;
+    double instsPerBranch = 6.0;
+    double biasedBranchFraction = 0.97; ///< strongly predictable sites
+    double loadFraction = 0.25;
+    double storeFraction = 0.08;
+    std::uint64_t hotDataBytes = 24 * 1024;   ///< L1-resident set
+    std::uint64_t coldDataBytes = 0;          ///< big set (0 = none)
+    double coldAccessFraction = 0.0;          ///< loads going cold
+    double longLatencyOpFraction = 0.0;       ///< div-like FU stalls
+};
+
+/** 525.x264_r: highest IPC in SPEC 2017. */
+SpecStreamConfig specX264();
+
+/** 531.deepsjeng_r: highest L3 miss rate in SPEC 2017. */
+SpecStreamConfig specDeepsjeng();
+
+/** 505.mcf_r: lowest IPC; front+back-end stalls from misses. */
+SpecStreamConfig specMcf();
+
+/** The three reference streams, in the paper's order. */
+std::vector<SpecStreamConfig> specReferenceStreams();
+
+/** Emits a configured stream into a host model. Deterministic. */
+class SpecStreamGenerator
+{
+  public:
+    explicit SpecStreamGenerator(const SpecStreamConfig &config,
+                                 std::uint64_t seed = 12345);
+
+    /** Generate config.insts instructions into @p sink. */
+    void run(trace::HostInstSink &sink);
+
+  private:
+    SpecStreamConfig config_;
+    Rng rng_;
+};
+
+} // namespace g5p::workloads
+
+#endif // G5P_WORKLOADS_SPEC_STREAMS_HH

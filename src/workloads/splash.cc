@@ -1,0 +1,465 @@
+/**
+ * @file
+ * SPLASH-2x stand-in kernels: water_nsquared (N^2 pair interactions),
+ * water_spatial (cell-neighbor interactions), ocean_cp (row-major
+ * 5-point stencil), ocean_ncp (column-major stencil — the
+ * non-contiguous-partition variant), and fmm (irregular gather).
+ */
+
+#include "workloads/workload.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace g5p::workloads
+{
+
+using namespace isa;
+
+namespace
+{
+
+std::uint64_t
+bitsOf(double d)
+{
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+// ---------------------------------------------------------------
+// water_nsquared: all-pairs molecular interactions. The paper's
+// representative workload for its Top-Down deep dives (§IV footnote).
+// ---------------------------------------------------------------
+
+class WaterNsquared : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "water_nsquared"; }
+
+    std::uint64_t numMolecules() const { return scaled(48); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        std::uint64_t n = numMolecules();
+        emitPartition(as, n, num_cpus);
+
+        as.mv(RegS0, RegT2);
+        as.beq(RegS0, RegT3, "epilogue");
+        as.label("wn_outer");
+        as.slli(RegT0, RegS0, 5);          // 32B per molecule
+        as.li(RegT1, (std::int64_t)dataBase);
+        as.add(RegT0, RegT0, RegT1);
+        as.ld(18, RegT0, 0);               // xi
+        as.ld(19, RegT0, 8);               // yi
+        as.ld(20, RegT0, 16);              // zi
+        as.li(26, 0);                      // acc = 0.0
+        as.li(27, 0);                      // j
+
+        as.label("wn_inner");
+        as.slli(RegT0, 27, 5);
+        as.li(RegT1, (std::int64_t)dataBase);
+        as.add(RegT0, RegT0, RegT1);
+        as.ld(21, RegT0, 0);
+        as.ld(22, RegT0, 8);
+        as.ld(23, RegT0, 16);
+        as.fsub(21, 18, 21);
+        as.fmul(21, 21, 21);
+        as.fsub(22, 19, 22);
+        as.fmul(22, 22, 22);
+        as.fsub(23, 20, 23);
+        as.fmul(23, 23, 23);
+        as.fadd(21, 21, 22);
+        as.fadd(21, 21, 23);               // dist^2
+        as.fadd(26, 26, 21);               // acc += dist^2
+        as.addi(27, 27, 1);
+        as.li(RegT0, (std::int64_t)n);
+        as.blt(27, RegT0, "wn_inner");
+
+        as.add(RegS1, RegS1, 26);          // checksum += bits(acc)
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "wn_outer");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("water"));
+        for (std::uint64_t i = 0; i < numMolecules(); ++i) {
+            Addr a = dataBase + i * 32;
+            for (unsigned d = 0; d < 3; ++d)
+                physmem.write(a + d * 8, 8,
+                              bitsOf(rng.uniform() * 4.0));
+            physmem.write(a + 24, 8, 0);
+        }
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        std::uint64_t n = numMolecules();
+        Rng rng(Rng::hashString("water"));
+        std::vector<double> pos(n * 3);
+        for (auto &v : pos)
+            v = rng.uniform() * 4.0;
+
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            double acc = 0.0;
+            for (std::uint64_t j = 0; j < n; ++j) {
+                double dx = pos[i * 3] - pos[j * 3];
+                dx *= dx;
+                double dy = pos[i * 3 + 1] - pos[j * 3 + 1];
+                dy *= dy;
+                double dz = pos[i * 3 + 2] - pos[j * 3 + 2];
+                dz *= dz;
+                double dist = dx + dy;
+                dist += dz;
+                acc += dist;
+            }
+            sum += bitsOf(acc);
+        }
+        return sum;
+    }
+};
+
+RegisterWorkload regWaterN("water_nsquared", [](double s) {
+    return std::make_unique<WaterNsquared>(s);
+});
+
+// ---------------------------------------------------------------
+// water_spatial: cell-list interactions with strided neighbors.
+// ---------------------------------------------------------------
+
+class WaterSpatial : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "water_spatial"; }
+
+    /** Cell count, power of two for neighbor wrap-around masks. */
+    std::uint64_t
+    numCells() const
+    {
+        std::uint64_t n = 256;
+        while (n < scaled(1024))
+            n <<= 1;
+        return n;
+    }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        std::uint64_t n = numCells();
+        std::uint64_t row = 16; // cells per "row" of the grid
+        emitPartition(as, n, num_cpus);
+
+        as.mv(RegS0, RegT2);
+        as.beq(RegS0, RegT3, "epilogue");
+        as.label("ws_loop");
+        // neighbor indices: (i+1) & (n-1), (i+row) & (n-1)
+        as.addi(18, RegS0, 1);
+        as.andi(18, 18, (std::int32_t)(n - 1));
+        as.addi(19, RegS0, (std::int32_t)row);
+        as.andi(19, 19, (std::int32_t)(n - 1));
+
+        as.li(RegT1, (std::int64_t)dataBase);
+        as.slli(RegT0, RegS0, 5);
+        as.add(RegT0, RegT0, RegT1);       // cell i
+        as.ld(20, RegT0, 0);               // m0[i]
+        as.ld(21, RegT0, 8);               // m1[i]
+        as.mv(25, RegT0);                  // keep for the store
+
+        as.slli(RegT0, 18, 5);
+        as.add(RegT0, RegT0, RegT1);
+        as.ld(22, RegT0, 0);               // m0[n1]
+        as.slli(RegT0, 19, 5);
+        as.add(RegT0, RegT0, RegT1);
+        as.ld(23, RegT0, 8);               // m1[n2]
+
+        as.fmul(20, 20, 22);
+        as.fmul(21, 21, 23);
+        as.fadd(20, 20, 21);               // v
+        as.sd(20, 25, 24);                 // m3[i] = v
+        as.add(RegS1, RegS1, 20);          // checksum += bits(v)
+
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "ws_loop");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("water_spatial"));
+        for (std::uint64_t i = 0; i < numCells(); ++i) {
+            Addr a = dataBase + i * 32;
+            physmem.write(a, 8, bitsOf(rng.uniform() + 0.5));
+            physmem.write(a + 8, 8, bitsOf(rng.uniform() + 0.5));
+            physmem.write(a + 16, 8, 0);
+            physmem.write(a + 24, 8, 0);
+        }
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        std::uint64_t n = numCells();
+        Rng rng(Rng::hashString("water_spatial"));
+        std::vector<double> m0(n), m1(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            m0[i] = rng.uniform() + 0.5;
+            m1[i] = rng.uniform() + 0.5;
+        }
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t n1 = (i + 1) & (n - 1);
+            std::uint64_t n2 = (i + 16) & (n - 1);
+            double a = m0[i] * m0[n1];
+            double b = m1[i] * m1[n2];
+            sum += bitsOf(a + b);
+        }
+        return sum;
+    }
+};
+
+RegisterWorkload regWaterS("water_spatial", [](double s) {
+    return std::make_unique<WaterSpatial>(s);
+});
+
+// ---------------------------------------------------------------
+// ocean: 5-point Jacobi stencil. _cp partitions contiguous rows;
+// _ncp walks column-major (the non-contiguous-partition variant),
+// trading cache/TLB locality exactly as the original pair does.
+// ---------------------------------------------------------------
+
+class OceanBase : public WorkloadBase
+{
+  public:
+    OceanBase(double scale, bool contiguous)
+        : WorkloadBase(scale), contiguous_(contiguous)
+    {}
+
+    std::string
+    name() const override
+    {
+        return contiguous_ ? "ocean_cp" : "ocean_ncp";
+    }
+
+    static constexpr std::uint64_t cols = 64;
+
+    std::uint64_t rows() const { return scaled(48) + 2; }
+
+    Addr outBase() const { return dataBase + (4u << 20); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        std::uint64_t r = rows();
+        std::uint64_t outer_total = contiguous_ ? r : cols;
+        std::uint64_t inner_total = contiguous_ ? cols : r;
+        // Row-major strides: along a row 8B, along a column cols*8.
+        std::int64_t outer_stride = contiguous_ ? (std::int64_t)cols * 8
+                                                : 8;
+        std::int64_t inner_stride = contiguous_ ? 8
+                                                : (std::int64_t)cols * 8;
+
+        emitPartition(as, outer_total, num_cpus);
+        as.li(24, (std::int64_t)bitsOf(0.2)); // stencil weight
+
+        as.mv(RegS0, RegT2);
+        as.beq(RegS0, RegT3, "epilogue");
+        as.label("oc_outer");
+        // Skip the boundary lines.
+        as.beq(RegS0, RegZero, "oc_next");
+        as.li(RegT0, (std::int64_t)(outer_total - 1));
+        as.beq(RegS0, RegT0, "oc_next");
+
+        as.li(25, 1); // inner index
+        as.label("oc_inner");
+        // address = base + outer*outer_stride + inner*inner_stride
+        as.li(RegT0, outer_stride);
+        as.mul(RegT0, RegS0, RegT0);
+        as.li(RegT1, inner_stride);
+        as.mul(RegT1, 25, RegT1);
+        as.add(RegT0, RegT0, RegT1);
+        as.li(RegT1, (std::int64_t)dataBase);
+        as.add(26, RegT0, RegT1);          // input cell address
+
+        as.ld(18, 26, 0);                  // center
+        as.ld(19, 26, 8);                  // east
+        as.ld(20, 26, -8);                 // west
+        as.li(RegT1, (std::int64_t)(cols * 8));
+        as.add(RegT0, 26, RegT1);
+        as.ld(21, RegT0, 0);               // south
+        as.sub(RegT0, 26, RegT1);
+        as.ld(22, RegT0, 0);               // north
+
+        as.fadd(18, 18, 19);
+        as.fadd(18, 18, 20);
+        as.fadd(18, 18, 21);
+        as.fadd(18, 18, 22);
+        as.fmul(18, 18, 24);               // v = 0.2 * sum
+
+        as.li(RegT1,
+              (std::int64_t)(outBase() - dataBase));
+        as.add(RegT0, 26, RegT1);
+        as.sd(18, RegT0, 0);
+        as.add(RegS1, RegS1, 18);          // checksum += bits(v)
+
+        as.addi(25, 25, 1);
+        as.li(RegT0, (std::int64_t)(inner_total - 1));
+        as.blt(25, RegT0, "oc_inner");
+
+        as.label("oc_next");
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "oc_outer");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("ocean"));
+        for (std::uint64_t i = 0; i < rows() * cols; ++i)
+            physmem.write(dataBase + i * 8, 8,
+                          bitsOf(rng.uniform()));
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        std::uint64_t r = rows();
+        Rng rng(Rng::hashString("ocean"));
+        std::vector<double> grid(r * cols);
+        for (auto &v : grid)
+            v = rng.uniform();
+
+        auto cell = [&](std::uint64_t row, std::uint64_t col) {
+            return grid[row * cols + col];
+        };
+
+        std::uint64_t sum = 0;
+        std::uint64_t outer_total = contiguous_ ? r : cols;
+        std::uint64_t inner_total = contiguous_ ? cols : r;
+        for (std::uint64_t o = 1; o + 1 < outer_total; ++o) {
+            for (std::uint64_t i = 1; i + 1 < inner_total; ++i) {
+                std::uint64_t row = contiguous_ ? o : i;
+                std::uint64_t col = contiguous_ ? i : o;
+                double v = cell(row, col);
+                v += cell(row, col + 1);
+                v += cell(row, col - 1);
+                v += cell(row + 1, col);
+                v += cell(row - 1, col);
+                v *= 0.2;
+                sum += bitsOf(v);
+            }
+        }
+        return sum;
+    }
+
+  private:
+    bool contiguous_;
+};
+
+RegisterWorkload regOceanCp("ocean_cp", [](double s) {
+    return std::make_unique<OceanBase>(s, true);
+});
+RegisterWorkload regOceanNcp("ocean_ncp", [](double s) {
+    return std::make_unique<OceanBase>(s, false);
+});
+
+// ---------------------------------------------------------------
+// fmm: irregular gather through an interaction list (the tree-walk
+// phase's memory behaviour). Read-only so multi-CPU interleaving
+// cannot perturb the checksum.
+// ---------------------------------------------------------------
+
+class Fmm : public WorkloadBase
+{
+  public:
+    using WorkloadBase::WorkloadBase;
+
+    std::string name() const override { return "fmm"; }
+
+    std::uint64_t numBodies() const { return scaled(8192); }
+    std::uint64_t listLength() const { return scaled(6144); }
+
+    Addr listBase() const { return dataBase + (8u << 20); }
+
+    void
+    emit(isa::Assembler &as, unsigned num_cpus,
+         os::SimMode mode) const override
+    {
+        emitPartition(as, listLength(), num_cpus);
+
+        as.mv(RegS0, RegT2);
+        as.beq(RegS0, RegT3, "epilogue");
+        as.label("fm_loop");
+        as.slli(RegT0, RegS0, 3);
+        as.li(RegT1, (std::int64_t)listBase());
+        as.add(RegT0, RegT0, RegT1);
+        as.ld(18, RegT0, 0);               // j = list[k]
+        as.slli(18, 18, 3);
+        as.li(RegT1, (std::int64_t)dataBase);
+        as.add(18, 18, RegT1);
+        as.ld(19, 18, 0);                  // body[j]
+        as.srli(20, 19, 7);
+        as.xor_(19, 19, 20);               // mix
+        as.add(RegS1, RegS1, 19);
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "fm_loop");
+        as.j("epilogue");
+        emitEpilogue(as, num_cpus);
+    }
+
+    void
+    initMemory(mem::PhysicalMemory &physmem) const override
+    {
+        Rng rng(Rng::hashString("fmm"));
+        for (std::uint64_t i = 0; i < numBodies(); ++i)
+            physmem.write(dataBase + i * 8, 8, rng.next());
+        for (std::uint64_t k = 0; k < listLength(); ++k)
+            physmem.write(listBase() + k * 8, 8,
+                          rng.below(numBodies()));
+    }
+
+    std::uint64_t
+    expectedResult(unsigned num_cpus) const override
+    {
+        Rng rng(Rng::hashString("fmm"));
+        std::vector<std::uint64_t> bodies(numBodies());
+        for (auto &b : bodies)
+            b = rng.next();
+        std::uint64_t sum = 0;
+        for (std::uint64_t k = 0; k < listLength(); ++k) {
+            std::uint64_t v = bodies[rng.below(numBodies())];
+            sum += v ^ (v >> 7);
+        }
+        return sum;
+    }
+};
+
+RegisterWorkload regFmm("fmm", [](double s) {
+    return std::make_unique<Fmm>(s);
+});
+
+} // namespace
+
+/** Anchor so the linker keeps this TU's static registrations. */
+void
+linkSplashWorkloads()
+{
+}
+
+} // namespace g5p::workloads

@@ -1,0 +1,132 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace g5p::workloads
+{
+
+using namespace isa;
+
+void
+WorkloadBase::emitPartition(isa::Assembler &as, std::uint64_t total,
+                            unsigned num_cpus) const
+{
+    std::uint64_t chunk = total / num_cpus;
+    as.label("_start");
+    as.li(RegT0, (std::int64_t)chunk);
+    as.mul(RegT2, RegA0, RegT0);      // t2 = start
+    as.add(RegT3, RegT2, RegT0);      // t3 = start + chunk
+    as.li(RegT4, (std::int64_t)(num_cpus - 1));
+    as.bne(RegA0, RegT4, "part_done");
+    as.li(RegT3, (std::int64_t)total); // last CPU takes the remainder
+    as.label("part_done");
+    as.li(RegS1, 0);                  // checksum accumulator
+}
+
+void
+WorkloadBase::emitEpilogue(isa::Assembler &as,
+                           unsigned num_cpus) const
+{
+    // Publish this CPU's partial checksum.
+    as.label("epilogue");
+    as.li(RegT0, (std::int64_t)partialAddr(0));
+    as.slli(RegT1, RegA0, 3);
+    as.add(RegT0, RegT0, RegT1);
+    as.sd(RegS1, RegT0, 0);
+
+    as.bne(RegA0, RegZero, "worker_done");
+
+    // CPU 0: wait for every worker's done flag.
+    for (unsigned w = 1; w < num_cpus; ++w) {
+        std::string lbl = "wait_cpu" + std::to_string(w);
+        as.li(RegT0, (std::int64_t)doneFlagAddr(w));
+        as.label(lbl);
+        as.ld(RegT1, RegT0, 0);
+        as.beq(RegT1, RegZero, lbl);
+    }
+
+    // Sum the partials into the result slot.
+    as.li(RegS1, 0);
+    as.li(RegT0, (std::int64_t)partialAddr(0));
+    as.li(RegT2, 0);
+    as.li(RegT3, (std::int64_t)num_cpus);
+    as.label("sum_partials");
+    as.ld(RegT1, RegT0, 0);
+    as.add(RegS1, RegS1, RegT1);
+    as.addi(RegT0, RegT0, 8);
+    as.addi(RegT2, RegT2, 1);
+    as.blt(RegT2, RegT3, "sum_partials");
+
+    as.li(RegT0, (std::int64_t)resultAddr);
+    as.sd(RegS1, RegT0, 0);
+    as.halt();
+
+    // Workers: raise the done flag, then halt.
+    as.label("worker_done");
+    as.li(RegT0, (std::int64_t)doneFlagAddr(0));
+    as.slli(RegT1, RegA0, 3);
+    as.add(RegT0, RegT0, RegT1);
+    as.li(RegT1, 1);
+    as.sd(RegT1, RegT0, 0);
+    as.halt();
+}
+
+// Anchors defined in the kernel translation units; referencing them
+// forces the linker to pull those objects (and their static
+// workload registrations) out of the archive.
+void linkParsecWorkloads();
+void linkSplashWorkloads();
+void linkSieveWorkload();
+void linkBootExitWorkload();
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    linkParsecWorkloads();
+    linkSplashWorkloads();
+    linkSieveWorkload();
+    linkBootExitWorkload();
+    return registry;
+}
+
+void
+Registry::add(const std::string &name, WorkloadFactory factory)
+{
+    g5p_assert(!factories_.count(name), "duplicate workload '%s'",
+               name.c_str());
+    factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<os::GuestWorkload>
+Registry::create(const std::string &name, double scale) const
+{
+    auto it = factories_.find(name);
+    if (it == factories_.end())
+        g5p_fatal("unknown workload '%s'", name.c_str());
+    return it->second(scale);
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, _] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+const std::vector<std::string> &
+Registry::parsecSplashNames()
+{
+    static const std::vector<std::string> names = {
+        "canneal", "blackscholes", "dedup", "streamcluster",
+        "water_nsquared", "water_spatial", "ocean_cp", "ocean_ncp",
+        "fmm",
+    };
+    return names;
+}
+
+} // namespace g5p::workloads

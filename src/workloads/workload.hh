@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Guest-workload framework: the common prologue/epilogue emission
+ * (work partitioning across CPUs, the done-flag barrier, checksum
+ * collection) and the workload registry.
+ *
+ * Substitution note (see DESIGN.md §2): these kernels stand in for
+ * PARSEC 3.0 / SPLASH-2x with the `simmedium` input class. Each kernel
+ * reproduces the dominant access/compute pattern of its namesake
+ * (pointer chasing for canneal, FP streaming for blackscholes, N^2
+ * pair interactions for water_nsquared, ...). What the profiling study
+ * needs from them is the *simulator-side* behaviour they induce, which
+ * is driven by instruction mix, memory locality, and branch behaviour.
+ */
+
+#ifndef G5P_WORKLOADS_WORKLOAD_HH
+#define G5P_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "os/system.hh"
+
+namespace g5p::workloads
+{
+
+/**
+ * Base class factoring the multi-CPU conventions out of the kernels.
+ *
+ * Emitted guest-code structure (every kernel):
+ *   _start:  partition -> t2 = first item, t3 = one-past-last item
+ *   <kernel loop, accumulating a checksum in s1>
+ *   epilogue: publish partial, barrier on CPU0, store checksum, halt
+ */
+class WorkloadBase : public os::GuestWorkload
+{
+  public:
+    /** @param scale input-size multiplier (1.0 = simmedium). */
+    explicit WorkloadBase(double scale = 1.0) : scale_(scale) {}
+
+    /** Guest address where workload arrays live. */
+    static constexpr Addr dataBase = 0x200000;
+
+    /** Guest address of CPU @p cpu's partial checksum. */
+    static constexpr Addr
+    partialAddr(unsigned cpu)
+    {
+        return 0xa00 + cpu * 8;
+    }
+
+  protected:
+    /** Scale an item count by the input class. */
+    std::uint64_t
+    scaled(std::uint64_t n) const
+    {
+        auto v = (std::uint64_t)((double)n * scale_);
+        return v < 1 ? 1 : v;
+    }
+
+    double scale() const { return scale_; }
+
+    /**
+     * Emit "_start" and the partition computation:
+     * t2 = a0 * (total/num_cpus), t3 = end (last CPU absorbs the
+     * remainder). Clobbers t0, t4.
+     */
+    void emitPartition(isa::Assembler &as, std::uint64_t total,
+                       unsigned num_cpus) const;
+
+    /**
+     * Emit the epilogue: store s1 to the partial slot; workers set
+     * their done flag and halt; CPU 0 spin-waits on every worker,
+     * sums the partials into resultAddr, and halts.
+     */
+    void emitEpilogue(isa::Assembler &as, unsigned num_cpus) const;
+
+  public:
+    /** Host-side mirror of the partition for golden models. */
+    static std::pair<std::uint64_t, std::uint64_t>
+    partitionOf(std::uint64_t total, unsigned num_cpus, unsigned cpu)
+    {
+        std::uint64_t chunk = total / num_cpus;
+        std::uint64_t start = chunk * cpu;
+        std::uint64_t end = (cpu == num_cpus - 1) ? total
+                                                  : start + chunk;
+        return {start, end};
+    }
+
+  private:
+    double scale_;
+};
+
+/** Factory signature for registry entries. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<os::GuestWorkload>(double scale)>;
+
+/**
+ * Name -> factory registry for all guest workloads. Names match the
+ * paper: canneal, blackscholes, dedup, streamcluster (PARSEC);
+ * water_nsquared, water_spatial, ocean_cp, ocean_ncp, fmm
+ * (SPLASH-2x); plus boot-exit and sieve.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    void add(const std::string &name, WorkloadFactory factory);
+
+    /** Instantiate @p name; fatal if unknown. */
+    std::unique_ptr<os::GuestWorkload>
+    create(const std::string &name, double scale = 1.0) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** The nine PARSEC/SPLASH-2x benchmark names (paper Fig. 1). */
+    static const std::vector<std::string> &parsecSplashNames();
+
+  private:
+    std::map<std::string, WorkloadFactory> factories_;
+};
+
+/** Static registration helper. */
+struct RegisterWorkload
+{
+    RegisterWorkload(const std::string &name, WorkloadFactory factory)
+    {
+        Registry::instance().add(name, std::move(factory));
+    }
+};
+
+} // namespace g5p::workloads
+
+#endif // G5P_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Property tests over the Fig. 14 host-cache sweep: growing the L1s
+ * must never slow the simulation down, every configuration keeps the
+ * VIPT set count, and the guest result is unaffected by host
+ * configuration (the profiler is an observer).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace g5p;
+using namespace g5p::core;
+
+namespace
+{
+
+RunResult
+runOn(const host::HostPlatformConfig &platform, os::CpuModel model)
+{
+    RunConfig cfg;
+    cfg.workload = "sieve";
+    cfg.workloadScale = 0.15;
+    cfg.maxGuestInsts = 6000;
+    cfg.cpuModel = model;
+    cfg.platform = platform;
+    return runProfiledSimulation(cfg);
+}
+
+} // namespace
+
+/** L1 size ladder, paper Fig. 14 style (64 sets kept throughout). */
+class CacheSweep : public ::testing::TestWithParam<os::CpuModel>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, CacheSweep,
+    ::testing::Values(os::CpuModel::Atomic, os::CpuModel::Timing,
+                      os::CpuModel::O3),
+    [](const auto &info) { return os::cpuModelName(info.param); });
+
+TEST_P(CacheSweep, BiggerL1NeverHurts)
+{
+    const unsigned ladder[][2] = {{8, 2}, {16, 4}, {32, 8}, {64, 16}};
+    double prev_seconds = 0;
+    std::uint64_t guest_insts = 0;
+    for (const auto &[kb, assoc] : ladder) {
+        auto platform =
+            host::firesimCacheConfig(kb, assoc, kb, assoc, 512, 8);
+        auto run = runOn(platform, GetParam());
+        if (guest_insts == 0)
+            guest_insts = run.guestInsts;
+        // Same guest work on every host configuration.
+        EXPECT_EQ(run.guestInsts, guest_insts);
+        if (prev_seconds > 0) {
+            EXPECT_LE(run.hostSeconds, prev_seconds * 1.02)
+                << kb << "KB L1s slower than the previous step";
+        }
+        prev_seconds = run.hostSeconds;
+    }
+}
+
+TEST_P(CacheSweep, SpeedupSaturates)
+{
+    // The 8->16KB step must buy more than the 32->64KB step
+    // (diminishing returns, visible in the paper's Fig. 14).
+    auto t8 = runOn(host::firesimCacheConfig(8, 2, 8, 2, 512, 8),
+                    GetParam()).hostSeconds;
+    auto t16 = runOn(host::firesimCacheConfig(16, 4, 16, 4, 512, 8),
+                     GetParam()).hostSeconds;
+    auto t32 = runOn(host::firesimCacheConfig(32, 8, 32, 8, 512, 8),
+                     GetParam()).hostSeconds;
+    auto t64 = runOn(host::firesimCacheConfig(64, 16, 64, 16, 512, 8),
+                     GetParam()).hostSeconds;
+    double first_step = t8 / t16;
+    double last_step = t32 / t64;
+    EXPECT_GT(first_step, 1.0);
+    EXPECT_GT(first_step + 0.02, last_step);
+}
+
+TEST(CacheSweepInvariants, HostConfigCannotChangeGuestResult)
+{
+    auto a = runOn(host::firesimCacheConfig(8, 2, 8, 2, 512, 8),
+                   os::CpuModel::Timing);
+    auto b = runOn(host::firesimCacheConfig(64, 16, 64, 16, 2048, 16),
+                   os::CpuModel::Timing);
+    EXPECT_EQ(a.guestResult, b.guestResult);
+    EXPECT_EQ(a.guestInsts, b.guestInsts);
+    EXPECT_EQ(a.simTicks, b.simTicks);
+    EXPECT_EQ(a.hostInsts, b.hostInsts); // same stream, other costs
+}

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit and property tests for the MRV guest ISA: encode/decode round
+ * trips across every opcode, flag classification, execution semantics
+ * against a scratch context, and the assembler's label resolution and
+ * 64-bit constant synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+
+#include "isa/assembler.hh"
+#include "isa/decoder.hh"
+#include "isa/inst.hh"
+
+using namespace g5p;
+using namespace g5p::isa;
+
+namespace
+{
+
+/** Minimal ExecContext over plain arrays for semantic tests. */
+class ScratchContext : public ExecContext
+{
+  public:
+    std::uint64_t regs[numArchRegs] = {};
+    std::map<Addr, std::uint64_t> memory;
+    Addr curPc = 0x1000;
+    Addr npc = 0;
+    std::uint64_t lastLoad = 0;
+
+    std::uint64_t
+    readReg(RegIndex reg) const override
+    {
+        return reg == 0 ? 0 : regs[reg];
+    }
+
+    void
+    setReg(RegIndex reg, std::uint64_t value) override
+    {
+        if (reg)
+            regs[reg] = value;
+    }
+
+    Addr pc() const override { return curPc; }
+    void setNextPc(Addr v) override { npc = v; }
+
+    Fault
+    readMem(Addr addr, unsigned size) override
+    {
+        auto it = memory.find(addr);
+        lastLoad = it == memory.end() ? 0 : it->second;
+        if (size < 8)
+            lastLoad &= (1ULL << (size * 8)) - 1;
+        return Fault::None;
+    }
+
+    Fault
+    writeMem(Addr addr, unsigned size, std::uint64_t data) override
+    {
+        memory[addr] = data;
+        return Fault::None;
+    }
+
+    std::uint64_t memData() const override { return lastLoad; }
+};
+
+} // namespace
+
+/** Round-trip every opcode through encode + decode. */
+class OpcodeRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(OpcodeRoundTrip, FieldsSurvive)
+{
+    auto op = (Opcode)GetParam();
+    std::uint64_t word = encode(op, 5, 6, 7, -12345);
+    StaticInstPtr inst = Decoder::decodeOne(word);
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(inst->opcode(), op);
+    EXPECT_EQ(inst->rd(), 5);
+    EXPECT_EQ(inst->rs1(), 6);
+    EXPECT_EQ(inst->rs2(), 7);
+    EXPECT_EQ(inst->imm(), -12345);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, (int)Opcode::NumOpcodes));
+
+TEST(IsaFlags, Classification)
+{
+    auto flags = [](Opcode op) {
+        return Decoder::decodeOne(encode(op, 1, 2, 3, 0))->flags();
+    };
+    EXPECT_TRUE(flags(Opcode::Ld).isLoad);
+    EXPECT_TRUE(flags(Opcode::Ld).isMemRef);
+    EXPECT_TRUE(flags(Opcode::Sd).isStore);
+    EXPECT_FALSE(flags(Opcode::Sd).isLoad);
+    EXPECT_TRUE(flags(Opcode::Beq).isCondCtrl);
+    EXPECT_TRUE(flags(Opcode::Jal).isControl);
+    EXPECT_FALSE(flags(Opcode::Jal).isIndirect);
+    EXPECT_TRUE(flags(Opcode::Jalr).isIndirect);
+    EXPECT_TRUE(flags(Opcode::Mul).isMul);
+    EXPECT_TRUE(flags(Opcode::Div).isDiv);
+    EXPECT_TRUE(flags(Opcode::Fadd).isFloat);
+    EXPECT_TRUE(flags(Opcode::Fdiv).isDiv);
+    EXPECT_TRUE(flags(Opcode::Ecall).isSyscall);
+    EXPECT_TRUE(flags(Opcode::Halt).isHalt);
+    EXPECT_TRUE(flags(Opcode::Nop).isNop);
+}
+
+TEST(IsaFlags, CallDetection)
+{
+    auto jal_ra = Decoder::decodeOne(encode(Opcode::Jal, RegRa, 0, 0,
+                                            64));
+    EXPECT_TRUE(jal_ra->flags().isCall);
+    auto jal_x0 = Decoder::decodeOne(encode(Opcode::Jal, RegZero, 0,
+                                            0, 64));
+    EXPECT_FALSE(jal_x0->flags().isCall);
+}
+
+TEST(IsaExec, IntegerAlu)
+{
+    ScratchContext ctx;
+    ctx.regs[2] = 20;
+    ctx.regs[3] = 7;
+    auto run = [&](Opcode op, std::int32_t imm = 0) {
+        auto inst = Decoder::decodeOne(encode(op, 1, 2, 3, imm));
+        EXPECT_EQ(inst->execute(ctx), Fault::None);
+        return ctx.regs[1];
+    };
+    EXPECT_EQ(run(Opcode::Add), 27u);
+    EXPECT_EQ(run(Opcode::Sub), 13u);
+    EXPECT_EQ(run(Opcode::And), 4u);
+    EXPECT_EQ(run(Opcode::Or), 23u);
+    EXPECT_EQ(run(Opcode::Xor), 19u);
+    EXPECT_EQ(run(Opcode::Slt), 0u);
+    EXPECT_EQ(run(Opcode::Addi, -5), 15u);
+    EXPECT_EQ(run(Opcode::Slli, 3), 160u);
+    EXPECT_EQ(run(Opcode::Mul), 140u);
+    EXPECT_EQ(run(Opcode::Div), 2u);
+    EXPECT_EQ(run(Opcode::Rem), 6u);
+}
+
+TEST(IsaExec, SignedArithmetic)
+{
+    ScratchContext ctx;
+    ctx.regs[2] = (std::uint64_t)-40;
+    ctx.regs[3] = 7;
+    auto inst = Decoder::decodeOne(encode(Opcode::Div, 1, 2, 3, 0));
+    inst->execute(ctx);
+    EXPECT_EQ((std::int64_t)ctx.regs[1], -5);
+
+    inst = Decoder::decodeOne(encode(Opcode::Sra, 1, 2, 3, 0));
+    ctx.regs[3] = 2;
+    inst->execute(ctx);
+    EXPECT_EQ((std::int64_t)ctx.regs[1], -10);
+
+    // Division by zero follows the RISC-V convention.
+    ctx.regs[3] = 0;
+    inst = Decoder::decodeOne(encode(Opcode::Div, 1, 2, 3, 0));
+    inst->execute(ctx);
+    EXPECT_EQ(ctx.regs[1], ~0ULL);
+}
+
+TEST(IsaExec, FloatingPoint)
+{
+    ScratchContext ctx;
+    ctx.regs[2] = std::bit_cast<std::uint64_t>(1.5);
+    ctx.regs[3] = std::bit_cast<std::uint64_t>(2.0);
+    auto run = [&](Opcode op) {
+        Decoder::decodeOne(encode(op, 1, 2, 3, 0))->execute(ctx);
+        return std::bit_cast<double>(ctx.regs[1]);
+    };
+    EXPECT_DOUBLE_EQ(run(Opcode::Fadd), 3.5);
+    EXPECT_DOUBLE_EQ(run(Opcode::Fsub), -0.5);
+    EXPECT_DOUBLE_EQ(run(Opcode::Fmul), 3.0);
+    EXPECT_DOUBLE_EQ(run(Opcode::Fdiv), 0.75);
+}
+
+TEST(IsaExec, LoadsSignExtend)
+{
+    ScratchContext ctx;
+    ctx.regs[2] = 0x100;
+    ctx.memory[0x100] = 0xff; // -1 as a byte
+
+    auto lb = Decoder::decodeOne(encode(Opcode::Lb, 1, 2, 0, 0));
+    EXPECT_EQ(lb->execute(ctx), Fault::None);
+    lb->completeAcc(ctx, ctx.memData());
+    EXPECT_EQ((std::int64_t)ctx.regs[1], -1);
+
+    auto lbu = Decoder::decodeOne(encode(Opcode::Lbu, 1, 2, 0, 0));
+    lbu->execute(ctx);
+    lbu->completeAcc(ctx, ctx.memData());
+    EXPECT_EQ(ctx.regs[1], 0xffu);
+}
+
+TEST(IsaExec, StoreWritesNarrow)
+{
+    ScratchContext ctx;
+    ctx.regs[2] = 0x200;
+    ctx.regs[3] = 0x1234567890abcdefULL;
+    auto sw = Decoder::decodeOne(encode(Opcode::Sw, 0, 2, 3, 8));
+    EXPECT_EQ(sw->execute(ctx), Fault::None);
+    EXPECT_EQ(ctx.memory[0x208], 0x90abcdefu);
+}
+
+TEST(IsaExec, BranchesAndJumps)
+{
+    ScratchContext ctx;
+    ctx.curPc = 0x1000;
+    ctx.regs[2] = 5;
+    ctx.regs[3] = 5;
+
+    auto beq = Decoder::decodeOne(encode(Opcode::Beq, 0, 2, 3, 80));
+    ctx.npc = 0;
+    beq->execute(ctx);
+    EXPECT_EQ(ctx.npc, 0x1050u);
+
+    ctx.regs[3] = 6;
+    ctx.npc = 0;
+    beq->execute(ctx);
+    EXPECT_EQ(ctx.npc, 0u); // not taken: nextPc untouched
+
+    auto jal = Decoder::decodeOne(encode(Opcode::Jal, RegRa, 0, 0,
+                                         -16));
+    jal->execute(ctx);
+    EXPECT_EQ(ctx.npc, 0x0ff0u);
+    EXPECT_EQ(ctx.regs[RegRa], 0x1008u);
+
+    ctx.regs[5] = 0x2004; // unaligned target is rounded down
+    auto jalr = Decoder::decodeOne(encode(Opcode::Jalr, 1, 5, 0, 4));
+    jalr->execute(ctx);
+    EXPECT_EQ(ctx.npc, 0x2008u);
+}
+
+TEST(IsaExec, SystemFaults)
+{
+    ScratchContext ctx;
+    EXPECT_EQ(Decoder::decodeOne(encode(Opcode::Ecall, 0, 0, 0, 0))
+                  ->execute(ctx),
+              Fault::Syscall);
+    EXPECT_EQ(Decoder::decodeOne(encode(Opcode::Halt, 0, 0, 0, 0))
+                  ->execute(ctx),
+              Fault::Halt);
+    EXPECT_EQ(Decoder::decodeOne(encode(Opcode::Nop, 0, 0, 0, 0))
+                  ->execute(ctx),
+              Fault::None);
+}
+
+TEST(Decoder, CacheSharesInstances)
+{
+    Decoder decoder;
+    std::uint64_t word = encode(Opcode::Add, 1, 2, 3, 0);
+    auto a = decoder.decode(word);
+    auto b = decoder.decode(word);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(decoder.cacheSize(), 1u);
+    EXPECT_EQ(decoder.numDecodes(), 2u);
+    EXPECT_EQ(decoder.numCacheHits(), 1u);
+}
+
+TEST(Disassemble, Readable)
+{
+    auto dis = [](std::uint64_t word) {
+        return Decoder::decodeOne(word)->disassemble();
+    };
+    EXPECT_EQ(dis(encode(Opcode::Add, 1, 2, 3, 0)), "add x1, x2, x3");
+    EXPECT_EQ(dis(encode(Opcode::Addi, 1, 2, 0, -5)),
+              "addi x1, x2, -5");
+    EXPECT_EQ(dis(encode(Opcode::Ld, 1, 2, 0, 16)), "ld x1, 16(x2)");
+    EXPECT_EQ(dis(encode(Opcode::Beq, 0, 1, 2, 8)),
+              "beq x1, x2, 8");
+    EXPECT_EQ(dis(encode(Opcode::Halt, 0, 0, 0, 0)), "halt");
+}
+
+// ---------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    Assembler as(0x1000);
+    as.label("top");
+    as.addi(5, 5, 1);
+    as.beq(5, 6, "done");   // forward
+    as.j("top");            // backward
+    as.label("done");
+    as.halt();
+    Program prog = as.assemble();
+
+    ASSERT_EQ(prog.words.size(), 4u);
+    auto beq = Decoder::decodeOne(prog.words[1]);
+    // beq at 0x1008, done at 0x1018 -> offset +16
+    EXPECT_EQ(beq->imm(), 16);
+    auto j = Decoder::decodeOne(prog.words[2]);
+    // j at 0x1010, top at 0x1000 -> offset -16
+    EXPECT_EQ(j->imm(), -16);
+    EXPECT_EQ(prog.symbol("top"), 0x1000u);
+    EXPECT_EQ(prog.symbol("done"), 0x1018u);
+}
+
+/** li must synthesize any 64-bit constant exactly. */
+class LiConstants : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(LiConstants, SynthesizesExactValue)
+{
+    std::int64_t value = GetParam();
+    Assembler as(0x1000);
+    as.li(9, value);
+    as.halt();
+    Program prog = as.assemble();
+
+    ScratchContext ctx;
+    Addr pc = prog.base;
+    for (std::uint64_t word : prog.words) {
+        auto inst = Decoder::decodeOne(word);
+        if (inst->flags().isHalt)
+            break;
+        ctx.curPc = pc;
+        inst->execute(ctx);
+        pc += instBytes;
+    }
+    EXPECT_EQ(ctx.regs[9], (std::uint64_t)value)
+        << "li " << value << " produced " << ctx.regs[9];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, LiConstants,
+    ::testing::Values(0, 1, -1, 42, -12345, 0x3fff, 0x4000,
+                      INT32_MAX, INT32_MIN, (std::int64_t)1 << 33,
+                      (std::int64_t)25214903917LL,
+                      (std::int64_t)0x46293e5939a08ceaLL,
+                      INT64_MAX, INT64_MIN + 1,
+                      (std::int64_t)0x8000000000000001ULL));
+
+TEST(Assembler, HereTracksPosition)
+{
+    Assembler as(0x1000);
+    EXPECT_EQ(as.here(), 0x1000u);
+    as.nop();
+    EXPECT_EQ(as.here(), 0x1008u);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(AssemblerDeath, UndefinedLabelIsFatal)
+{
+    Assembler as(0x1000);
+    as.j("nowhere");
+    EXPECT_EXIT(as.assemble(), ::testing::ExitedWithCode(1),
+                "undefined label");
+}
+
+TEST(AssemblerDeath, DuplicateLabelPanics)
+{
+    Assembler as(0x1000);
+    as.label("x");
+    EXPECT_DEATH(as.label("x"), "duplicate label");
+}
+#endif

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the guest memory system: physical memory, caches
+ * (atomic + timing protocols, LRU, MSHRs, writebacks), the coherent
+ * crossbar's snooping, DRAM, TLBs, and page tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/page_table.hh"
+#include "mem/physical.hh"
+#include "mem/tlb.hh"
+#include "mem/xbar.hh"
+#include "sim/simulator.hh"
+
+using namespace g5p;
+using namespace g5p::mem;
+using g5p::sim::ClockDomain;
+using g5p::sim::Simulator;
+
+namespace
+{
+
+/** Collects timing responses for test assertions. */
+class SinkPort : public RequestPort
+{
+  public:
+    SinkPort() : RequestPort("test.sink") {}
+
+    void
+    recvTimingResp(PacketPtr pkt) override
+    {
+        responses.push_back(pkt->cmd());
+        lastAddr = pkt->addr();
+        delete pkt;
+    }
+
+    std::vector<MemCmd> responses;
+    Addr lastAddr = 0;
+};
+
+/** A full little memory system: L1 -> xbar -> L2 -> DRAM. */
+struct MemHarness
+{
+    Simulator sim{"system"};
+    ClockDomain clock = ClockDomain::fromMHz(1000); // 1000 ticks
+    PhysicalMemory physmem{sim, "physmem", 1 << 20};
+    DramCtrl dram{sim, "dram", clock, physmem, DramParams{}};
+    Cache l2{sim, "l2", clock,
+             CacheParams{64 * 1024, 8, 2, 2, 1, 16, false}};
+    CoherentXbar xbar{sim, "xbar", clock, XbarParams{}};
+    Cache l1a{sim, "l1a", clock,
+              CacheParams{4 * 1024, 2, 1, 1, 1, 4, true}};
+    Cache l1b{sim, "l1b", clock,
+              CacheParams{4 * 1024, 2, 1, 1, 1, 4, true}};
+    SinkPort cpu_a, cpu_b;
+
+    MemHarness()
+    {
+        l2.memSidePort().bind(dram.port());
+        xbar.memSidePort().bind(l2.cpuSidePort());
+        l1a.memSidePort().bind(xbar.addUpstreamPort(&l1a));
+        l1b.memSidePort().bind(xbar.addUpstreamPort(&l1b));
+        cpu_a.bind(l1a.cpuSidePort());
+        cpu_b.bind(l1b.cpuSidePort());
+        sim.run(0); // init phases
+    }
+
+    /** Atomic access through L1 A; returns the latency. */
+    Tick
+    atomicA(MemCmd cmd, Addr addr)
+    {
+        Packet pkt(cmd, addr, 8);
+        return cpu_a.sendAtomic(pkt);
+    }
+};
+
+} // namespace
+
+TEST(PhysicalMemory, ReadWriteRoundTrip)
+{
+    Simulator sim("system");
+    PhysicalMemory mem(sim, "physmem", 64 * 1024);
+    mem.write(0x100, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read(0x100, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read(0x100, 4), 0x55667788ULL);
+    EXPECT_EQ(mem.read(0x104, 4), 0x11223344ULL);
+    mem.write(0x104, 1, 0xff);
+    EXPECT_EQ(mem.read(0x104, 1), 0xffULL);
+}
+
+TEST(PhysicalMemory, TracksTouchedPages)
+{
+    Simulator sim("system");
+    PhysicalMemory mem(sim, "physmem", 64 * 1024);
+    EXPECT_EQ(mem.pagesTouched(), 0u);
+    mem.write(0x0, 1, 1);
+    mem.write(0x10, 1, 1);   // same page
+    mem.write(0x1000, 1, 1); // next page
+    EXPECT_EQ(mem.pagesTouched(), 2u);
+}
+
+TEST(PhysicalMemory, CheckpointRestoresData)
+{
+    sim::CheckpointOut out;
+    {
+        Simulator sim("system");
+        PhysicalMemory mem(sim, "physmem", 64 * 1024);
+        mem.write(0x2345, 8, 0xabcdef);
+        out.pushSection("m");
+        mem.serialize(out);
+        out.popSection();
+    }
+    Simulator sim2("system");
+    PhysicalMemory mem2(sim2, "physmem", 64 * 1024);
+    auto in = sim::CheckpointIn::fromText(out.toText());
+    in.pushSection("m");
+    mem2.unserialize(in);
+    EXPECT_EQ(mem2.read(0x2345, 8), 0xabcdefULL);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(PhysicalMemoryDeath, OutOfRangePanics)
+{
+    Simulator sim("system");
+    PhysicalMemory mem(sim, "physmem", 4096);
+    EXPECT_DEATH(mem.read(4096, 8), "out of range");
+}
+#endif
+
+TEST(Cache, AtomicMissThenHit)
+{
+    MemHarness h;
+    Tick miss = h.atomicA(MemCmd::ReadReq, 0x1000);
+    Tick hit = h.atomicA(MemCmd::ReadReq, 0x1008); // same line
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(h.l1a.hits(), 1u);
+    EXPECT_EQ(h.l1a.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    MemHarness h;
+    // 4KB, 2-way, 64B lines -> 32 sets; set 0 addresses stride 2KB.
+    h.atomicA(MemCmd::ReadReq, 0x0000);
+    h.atomicA(MemCmd::ReadReq, 0x0800);
+    h.atomicA(MemCmd::ReadReq, 0x0000); // refresh LRU of line 0
+    h.atomicA(MemCmd::ReadReq, 0x1000); // evicts 0x0800
+    EXPECT_TRUE(h.l1a.isCached(0x0000));
+    EXPECT_FALSE(h.l1a.isCached(0x0800));
+    EXPECT_TRUE(h.l1a.isCached(0x1000));
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    MemHarness h;
+    h.atomicA(MemCmd::WriteReq, 0x0000);
+    h.atomicA(MemCmd::ReadReq, 0x0800);
+    h.atomicA(MemCmd::ReadReq, 0x1000); // evicts dirty 0x0000
+    EXPECT_GE(h.l1a.writebacks(), 1u);
+    // The L2 should now hold the written-back line dirty.
+    EXPECT_TRUE(h.l2.isCached(0x0000));
+}
+
+TEST(Cache, TimingMissProducesResponse)
+{
+    MemHarness h;
+    auto *pkt = new Packet(MemCmd::ReadReq, 0x4000, 8);
+    h.cpu_a.sendTimingReq(pkt);
+    h.sim.run(); // drain all events
+    ASSERT_EQ(h.cpu_a.responses.size(), 1u);
+    EXPECT_EQ(h.cpu_a.responses[0], MemCmd::ReadResp);
+    EXPECT_TRUE(h.l1a.isCached(0x4000));
+}
+
+TEST(Cache, TimingHitFasterThanMiss)
+{
+    MemHarness h;
+    auto *p1 = new Packet(MemCmd::ReadReq, 0x4000, 8);
+    h.cpu_a.sendTimingReq(p1);
+    h.sim.run();
+    Tick miss_done = h.sim.curTick();
+
+    auto *p2 = new Packet(MemCmd::ReadReq, 0x4000, 8);
+    h.cpu_a.sendTimingReq(p2);
+    h.sim.run();
+    Tick hit_latency = h.sim.curTick() - miss_done;
+    EXPECT_LT(hit_latency, miss_done);
+    EXPECT_EQ(h.cpu_a.responses.size(), 2u);
+}
+
+TEST(Cache, MshrCoalescesSameLine)
+{
+    MemHarness h;
+    h.cpu_a.sendTimingReq(new Packet(MemCmd::ReadReq, 0x4000, 8));
+    h.cpu_a.sendTimingReq(new Packet(MemCmd::ReadReq, 0x4008, 8));
+    h.sim.run();
+    EXPECT_EQ(h.cpu_a.responses.size(), 2u);
+    // One fill served both requests.
+    EXPECT_EQ(h.l2.misses() + h.l2.hits(), 1u);
+}
+
+TEST(Cache, DeferredRequestsSurviveMshrPressure)
+{
+    MemHarness h; // l1a has 4 MSHRs
+    for (int i = 0; i < 8; ++i) {
+        h.cpu_a.sendTimingReq(
+            new Packet(MemCmd::ReadReq, 0x8000 + i * 64, 8));
+    }
+    h.sim.run();
+    EXPECT_EQ(h.cpu_a.responses.size(), 8u);
+}
+
+TEST(Xbar, WriteInvalidatesSibling)
+{
+    MemHarness h;
+    // Both L1s read the same line (shared).
+    h.atomicA(MemCmd::ReadReq, 0x5000);
+    Packet read_b(MemCmd::ReadReq, 0x5000, 8);
+    h.cpu_b.sendAtomic(read_b);
+    EXPECT_TRUE(h.l1a.isCached(0x5000));
+    EXPECT_TRUE(h.l1b.isCached(0x5000));
+
+    // A write from B invalidates A's copy.
+    Packet write_b(MemCmd::WriteReq, 0x5000, 8);
+    h.cpu_b.sendAtomic(write_b);
+    EXPECT_FALSE(h.l1a.isCached(0x5000));
+    EXPECT_TRUE(h.l1b.isCached(0x5000));
+}
+
+TEST(Xbar, SharedLineNotWritable)
+{
+    MemHarness h;
+    h.atomicA(MemCmd::ReadReq, 0x6000);
+    Packet read_b(MemCmd::ReadReq, 0x6000, 8);
+    h.cpu_b.sendAtomic(read_b);
+
+    // B's write upgrade must invalidate A even though B had a copy.
+    Packet write_b(MemCmd::WriteReq, 0x6000, 8);
+    h.cpu_b.sendAtomic(write_b);
+    EXPECT_FALSE(h.l1a.isCached(0x6000));
+}
+
+TEST(Xbar, TimingWriteInvalidatesSibling)
+{
+    MemHarness h;
+    h.cpu_a.sendTimingReq(new Packet(MemCmd::ReadReq, 0x7000, 8));
+    h.cpu_b.sendTimingReq(new Packet(MemCmd::ReadReq, 0x7000, 8));
+    h.sim.run();
+    EXPECT_TRUE(h.l1a.isCached(0x7000));
+
+    h.cpu_b.sendTimingReq(new Packet(MemCmd::WriteReq, 0x7000, 8));
+    h.sim.run();
+    EXPECT_FALSE(h.l1a.isCached(0x7000));
+    EXPECT_EQ(h.cpu_b.responses.size(), 2u);
+}
+
+TEST(Dram, BandwidthQueueing)
+{
+    Simulator sim("system");
+    ClockDomain clock = ClockDomain::fromMHz(1000);
+    PhysicalMemory physmem(sim, "physmem", 1 << 20);
+    DramParams params;
+    params.accessLatency = 1000;
+    params.ticksPerByte = 10; // 64B line -> 640 ticks occupancy
+    DramCtrl dram(sim, "dram", clock, physmem, params);
+    sim.run(0);
+
+    Packet p1(MemCmd::ReadReq, 0, 64);
+    Packet p2(MemCmd::ReadReq, 64, 64);
+    Tick l1 = dram.port().recvAtomic(p1);
+    Tick l2 = dram.port().recvAtomic(p2);
+    EXPECT_EQ(l1, 1000u + 640u);
+    // Second access queues behind the first transfer.
+    EXPECT_GT(l2, l1);
+    EXPECT_EQ(dram.reads(), 2u);
+}
+
+TEST(PageTable, MapTranslateUnmap)
+{
+    PageTable pt;
+    pt.map(0x5000, 0x9000, true, false);
+    auto t = pt.translate(0x5123);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.paddr, 0x9123u);
+    EXPECT_TRUE(t.writable);
+    EXPECT_FALSE(t.executable);
+
+    EXPECT_FALSE(pt.translate(0x6000).valid);
+    pt.unmap(0x5000);
+    EXPECT_FALSE(pt.translate(0x5123).valid);
+}
+
+TEST(PageTable, MapRangeCoversAllPages)
+{
+    PageTable pt;
+    pt.mapRange(0x10000, 0x10000, 3 * guestPageBytes + 5);
+    EXPECT_TRUE(pt.translate(0x10000).valid);
+    EXPECT_TRUE(pt.translate(0x13004).valid);
+    EXPECT_FALSE(pt.translate(0x14000).valid);
+}
+
+TEST(Tlb, MissThenHit)
+{
+    Simulator sim("system");
+    PageTable pt;
+    pt.mapRange(0, 0, 1 << 20);
+    Tlb tlb(sim, "tlb", TlbParams{16, 4, 20});
+    tlb.setPageTable(&pt);
+
+    auto r1 = tlb.translate(0x1234);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_EQ(r1.latency, 20u);
+    EXPECT_TRUE(r1.translation.valid);
+    EXPECT_EQ(r1.translation.paddr, 0x1234u);
+
+    auto r2 = tlb.translate(0x1567); // same page
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(r2.latency, 0u);
+    EXPECT_EQ(r2.translation.paddr, 0x1567u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Simulator sim("system");
+    PageTable pt;
+    pt.mapRange(0, 0, 1 << 24);
+    Tlb tlb(sim, "tlb", TlbParams{4, 4, 20}); // one set, 4 ways
+    tlb.setPageTable(&pt);
+
+    for (Addr page = 0; page < 5; ++page)
+        tlb.translate(page * guestPageBytes);
+    // Page 0 was LRU and must have been evicted.
+    auto r = tlb.translate(0);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    Simulator sim("system");
+    PageTable pt;
+    pt.mapRange(0, 0, 1 << 20);
+    Tlb tlb(sim, "tlb", TlbParams{16, 4, 20});
+    tlb.setPageTable(&pt);
+    tlb.translate(0x1000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.translate(0x1000).hit);
+}
+
+TEST(Tlb, UnmappedAddressInvalid)
+{
+    Simulator sim("system");
+    PageTable pt;
+    Tlb tlb(sim, "tlb", TlbParams{16, 4, 20});
+    tlb.setPageTable(&pt);
+    auto r = tlb.translate(0xdead000);
+    EXPECT_FALSE(r.translation.valid);
+    // Failed walks must not cache the bogus translation.
+    EXPECT_FALSE(tlb.translate(0xdead000).hit);
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Direct unit tests for the O3 pipeline components: reorder buffer,
+ * rename map, issue queue (operand readiness + FU pool), and the
+ * load/store queue's forwarding and squashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/o3/iq.hh"
+#include "cpu/o3/lsq.hh"
+#include "cpu/o3/rename.hh"
+#include "cpu/o3/rob.hh"
+#include "isa/decoder.hh"
+
+using namespace g5p;
+using namespace g5p::cpu::o3;
+using namespace g5p::isa;
+
+namespace
+{
+
+DynInstPtr
+makeInst(Opcode op, std::uint64_t seq, RegIndex rd = 1,
+         RegIndex rs1 = 2, RegIndex rs2 = 3)
+{
+    auto di = std::make_shared<DynInst>();
+    di->inst = Decoder::decodeOne(encode(op, rd, rs1, rs2, 0));
+    di->seq = seq;
+    di->pc = 0x1000 + seq * instBytes;
+    return di;
+}
+
+} // namespace
+
+TEST(Rob, FifoOrderAndCapacity)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    for (std::uint64_t s = 1; s <= 4; ++s)
+        rob.push(makeInst(Opcode::Add, s));
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.head()->seq, 1u);
+    rob.popHead();
+    EXPECT_EQ(rob.head()->seq, 2u);
+    EXPECT_FALSE(rob.full());
+    EXPECT_EQ(rob.size(), 3u);
+}
+
+TEST(Rob, SquashRemovesYoungerWrongPath)
+{
+    Rob rob(16);
+    rob.push(makeInst(Opcode::Add, 1));
+    rob.push(makeInst(Opcode::Beq, 2));
+    for (std::uint64_t s = 3; s <= 6; ++s) {
+        auto wp = makeInst(Opcode::Add, s);
+        wp->wrongPath = true;
+        rob.push(wp);
+    }
+    EXPECT_EQ(rob.squashAfter(2), 4u);
+    EXPECT_EQ(rob.size(), 2u);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(RobDeath, SquashingRightPathPanics)
+{
+    Rob rob(16);
+    rob.push(makeInst(Opcode::Add, 1));
+    rob.push(makeInst(Opcode::Add, 2)); // right path!
+    EXPECT_DEATH(rob.squashAfter(1), "right-path");
+}
+#endif
+
+TEST(RenameMap, AllocatesAndRecyclesPhysRegs)
+{
+    RenameMap map(40); // 32 arch + 8 spare
+    EXPECT_EQ(map.freeCount(), 8u);
+
+    int before = map.lookup(5);
+    auto [next, prev] = map.rename(5);
+    EXPECT_EQ(prev, before);
+    EXPECT_NE(next, before);
+    EXPECT_EQ(map.lookup(5), next);
+    EXPECT_EQ(map.freeCount(), 7u);
+
+    map.free(prev); // commit frees the previous mapping
+    EXPECT_EQ(map.freeCount(), 8u);
+}
+
+TEST(RenameMap, ExhaustionIsDetectable)
+{
+    RenameMap map(34);
+    EXPECT_TRUE(map.canRename());
+    map.rename(1);
+    map.rename(2);
+    EXPECT_FALSE(map.canRename());
+}
+
+TEST(RenameMap, ReadyCycleTracking)
+{
+    RenameMap map(40);
+    auto [phys, prev] = map.rename(7);
+    map.setReadyCycle(phys, 100);
+    EXPECT_EQ(map.readyCycle(phys), 100u);
+}
+
+TEST(IssueQueue, IssuesOnlyReadyInstructions)
+{
+    RenameMap rename(64);
+    FuPoolParams fu;
+    IssueQueue iq(8, fu);
+
+    // Producer writes p; consumer reads it.
+    auto producer = makeInst(Opcode::Add, 1, 5, 2, 3);
+    auto [p, _] = rename.rename(5);
+    producer->destPhys = p;
+    producer->srcPhys1 = -1;
+    producer->srcPhys2 = -1;
+    rename.setReadyCycle(p, 10); // ready at cycle 10
+
+    auto consumer = makeInst(Opcode::Add, 2, 6, 5, 0);
+    consumer->srcPhys1 = p;
+    consumer->srcPhys2 = -1;
+
+    iq.insert(producer);
+    iq.insert(consumer);
+
+    std::vector<std::uint64_t> issued;
+    auto grab = [&](const DynInstPtr &di, Cycles) {
+        issued.push_back(di->seq);
+    };
+
+    // At cycle 5 the consumer's source is not ready.
+    iq.issue(5, 4, rename, grab);
+    EXPECT_EQ(issued, (std::vector<std::uint64_t>{1}));
+
+    // At cycle 10 it is.
+    iq.issue(10, 4, rename, grab);
+    EXPECT_EQ(issued, (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_EQ(iq.size(), 0u);
+}
+
+TEST(IssueQueue, RespectsIssueWidthAndFuPool)
+{
+    RenameMap rename(64);
+    FuPoolParams fu;
+    fu.mulDiv = 1;
+    IssueQueue iq(16, fu);
+
+    // Three ready multiplies but only one multiplier.
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+        auto di = makeInst(Opcode::Mul, s);
+        di->srcPhys1 = -1;
+        di->srcPhys2 = -1;
+        iq.insert(di);
+    }
+    unsigned issued = iq.issue(0, 8, rename,
+                               [](const DynInstPtr &, Cycles) {});
+    EXPECT_EQ(issued, 1u);
+
+    // Plenty of ALUs, but width caps total issue.
+    for (std::uint64_t s = 10; s < 20; ++s) {
+        auto di = makeInst(Opcode::Add, s);
+        di->srcPhys1 = -1;
+        di->srcPhys2 = -1;
+        iq.insert(di);
+    }
+    issued = iq.issue(1, 2, rename,
+                      [](const DynInstPtr &, Cycles) {});
+    EXPECT_EQ(issued, 2u);
+}
+
+TEST(IssueQueue, FuLatenciesDifferByClass)
+{
+    RenameMap rename(64);
+    FuPoolParams fu;
+    IssueQueue iq(8, fu);
+
+    auto add = makeInst(Opcode::Add, 1);
+    add->srcPhys1 = add->srcPhys2 = -1;
+    auto div = makeInst(Opcode::Div, 2);
+    div->srcPhys1 = div->srcPhys2 = -1;
+    auto fdiv = makeInst(Opcode::Fdiv, 3);
+    fdiv->srcPhys1 = fdiv->srcPhys2 = -1;
+
+    iq.insert(add);
+    iq.insert(div);
+    iq.insert(fdiv);
+
+    std::map<std::uint64_t, Cycles> latency;
+    iq.issue(0, 8, rename, [&](const DynInstPtr &di, Cycles lat) {
+        latency[di->seq] = lat;
+    });
+    EXPECT_EQ(latency[1], fu.intLatency);
+    EXPECT_EQ(latency[2], fu.divLatency);
+    EXPECT_EQ(latency[3], fu.fpDivLatency);
+}
+
+TEST(IssueQueue, SquashDropsYounger)
+{
+    RenameMap rename(64);
+    IssueQueue iq(8, FuPoolParams{});
+    for (std::uint64_t s = 1; s <= 5; ++s)
+        iq.insert(makeInst(Opcode::Add, s));
+    iq.squashAfter(2);
+    EXPECT_EQ(iq.size(), 2u);
+}
+
+TEST(Lsq, ForwardingRequiresOlderCoveringStore)
+{
+    Lsq lsq(8, 8);
+
+    auto store = makeInst(Opcode::Sd, 1);
+    store->paddr = 0x1000;
+    store->memSize = 8;
+    lsq.insertStore(store);
+
+    auto load = makeInst(Opcode::Ld, 2);
+    load->paddr = 0x1000;
+    load->memSize = 8;
+    lsq.insertLoad(load);
+    EXPECT_TRUE(lsq.canForward(*load));
+
+    // Different address: no forwarding.
+    load->paddr = 0x2000;
+    EXPECT_FALSE(lsq.canForward(*load));
+
+    // A younger store cannot forward to an older load.
+    auto old_load = makeInst(Opcode::Ld, 0);
+    old_load->paddr = 0x1000;
+    old_load->memSize = 8;
+    EXPECT_FALSE(lsq.canForward(*old_load));
+
+    // A narrower store cannot cover a wider load.
+    load->paddr = 0x1000;
+    store->memSize = 4;
+    EXPECT_FALSE(lsq.canForward(*load));
+}
+
+TEST(Lsq, CapacityAndCommit)
+{
+    Lsq lsq(2, 2);
+    auto l1 = makeInst(Opcode::Ld, 1);
+    auto l2 = makeInst(Opcode::Ld, 2);
+    lsq.insertLoad(l1);
+    lsq.insertLoad(l2);
+    EXPECT_TRUE(lsq.lqFull());
+    lsq.commit(*l1);
+    EXPECT_FALSE(lsq.lqFull());
+    EXPECT_EQ(lsq.numLoads(), 1u);
+}
+
+TEST(Lsq, SquashAfterDropsWrongPathTail)
+{
+    Lsq lsq(8, 8);
+    for (std::uint64_t s = 1; s <= 4; ++s) {
+        lsq.insertLoad(makeInst(Opcode::Ld, s));
+        lsq.insertStore(makeInst(Opcode::Sd, s + 10));
+    }
+    lsq.squashAfter(2);
+    EXPECT_EQ(lsq.numLoads(), 2u);
+    EXPECT_EQ(lsq.numStores(), 0u); // all stores were seq > 2
+}

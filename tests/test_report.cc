@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the reporting layer: table formatting, CSV output,
+ * Top-Down row extraction, and the printed tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/report.hh"
+#include "core/topdown.hh"
+
+using namespace g5p;
+using namespace g5p::core;
+
+namespace
+{
+
+host::TopdownBreakdown
+sampleBreakdown()
+{
+    host::TopdownBreakdown td;
+    td.retiring = 0.50;
+    td.badSpeculation = 0.10;
+    td.feIcache = 0.12;
+    td.feItlb = 0.03;
+    td.feMispredictResteers = 0.05;
+    td.feUnknownBranches = 0.02;
+    td.feClearResteers = 0.0;
+    td.frontendLatency = 0.22;
+    td.feMite = 0.07;
+    td.feDsb = 0.01;
+    td.frontendBandwidth = 0.08;
+    td.beMemory = 0.06;
+    td.beCore = 0.04;
+    td.backendBound = 0.10;
+    return td;
+}
+
+} // namespace
+
+TEST(Report, TableAlignsColumns)
+{
+    Table table({"Name", "Value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "23456"});
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("23456"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Report, TablePadsMissingCells)
+{
+    Table table({"A", "B", "C"});
+    table.addRow({"only"});
+    std::ostringstream os;
+    table.print(os); // must not crash; short rows padded
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Report, CsvOutput)
+{
+    Table table({"x", "y"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Report, Banner)
+{
+    std::ostringstream os;
+    printBanner(os, "Title");
+    EXPECT_NE(os.str().find("=== Title ==="), std::string::npos);
+}
+
+TEST(TopdownRows, LevelOneSumsToOne)
+{
+    auto rows = levelOneRows(sampleBreakdown());
+    ASSERT_EQ(rows.size(), 4u);
+    double total = 0;
+    for (const auto &row : rows)
+        total += row.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_EQ(rows[0].label, "Retiring");
+    EXPECT_DOUBLE_EQ(rows[0].fraction, 0.50);
+}
+
+TEST(TopdownRows, FrontendSplitsAreConsistent)
+{
+    auto td = sampleBreakdown();
+    auto split = frontendSplitRows(td);
+    ASSERT_EQ(split.size(), 2u);
+    EXPECT_NEAR(split[0].fraction + split[1].fraction,
+                td.frontendBound(), 1e-12);
+
+    auto latency = frontendLatencyRows(td);
+    double lat_total = 0;
+    for (const auto &row : latency)
+        lat_total += row.fraction;
+    EXPECT_NEAR(lat_total, td.frontendLatency, 1e-12);
+
+    auto bandwidth = frontendBandwidthRows(td);
+    double bw_total = 0;
+    for (const auto &row : bandwidth)
+        bw_total += row.fraction;
+    EXPECT_NEAR(bw_total, td.frontendBandwidth, 1e-12);
+}
+
+TEST(TopdownRows, TreePrintsEveryCategory)
+{
+    std::ostringstream os;
+    printTopdownTree(os, sampleBreakdown());
+    std::string out = os.str();
+    for (const char *needle :
+         {"Retiring", "Bad Speculation", "Front-End Bound",
+          "ICache Misses", "ITLB Misses", "Mispredict Resteers",
+          "Unknown Branches", "MITE", "DSB", "Back-End Bound",
+          "Memory Bound", "Core Bound", "50.0%"}) {
+        EXPECT_NE(out.find(needle), std::string::npos)
+            << "missing " << needle;
+    }
+}

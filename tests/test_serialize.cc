@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for checkpoint serialization (INI-style round trips).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/serialize.hh"
+
+using namespace g5p::sim;
+
+TEST(Serialize, ScalarRoundTrip)
+{
+    CheckpointOut out;
+    out.pushSection("cpu");
+    out.param("pc", 0x1234u);
+    out.param("name", std::string("hello"));
+    out.popSection();
+
+    CheckpointIn in = CheckpointIn::fromText(out.toText());
+    in.pushSection("cpu");
+    unsigned pc = 0;
+    std::string name;
+    in.param("pc", pc);
+    in.param("name", name);
+    EXPECT_EQ(pc, 0x1234u);
+    EXPECT_EQ(name, "hello");
+}
+
+TEST(Serialize, VectorRoundTrip)
+{
+    CheckpointOut out;
+    out.pushSection("regs");
+    std::vector<std::uint64_t> values{1, 2, 3, 0xdeadbeef};
+    out.paramVector("r", values);
+    out.popSection();
+
+    CheckpointIn in = CheckpointIn::fromText(out.toText());
+    in.pushSection("regs");
+    std::vector<std::uint64_t> loaded;
+    in.paramVector("r", loaded);
+    EXPECT_EQ(loaded, values);
+}
+
+TEST(Serialize, NestedSections)
+{
+    CheckpointOut out;
+    out.pushSection("system");
+    out.pushSection("cpu0");
+    out.param("x", 1);
+    out.popSection();
+    out.pushSection("cpu1");
+    out.param("x", 2);
+    out.popSection();
+    out.popSection();
+
+    CheckpointIn in = CheckpointIn::fromText(out.toText());
+    in.pushSection("system");
+    in.pushSection("cpu0");
+    int x = 0;
+    in.param("x", x);
+    EXPECT_EQ(x, 1);
+    in.popSection();
+    in.pushSection("cpu1");
+    in.param("x", x);
+    EXPECT_EQ(x, 2);
+}
+
+TEST(Serialize, HasDetectsPresence)
+{
+    CheckpointOut out;
+    out.pushSection("s");
+    out.param("present", 1);
+    CheckpointIn in = CheckpointIn::fromText(out.toText());
+    in.pushSection("s");
+    EXPECT_TRUE(in.has("present"));
+    EXPECT_FALSE(in.has("absent"));
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    CheckpointOut out;
+    out.pushSection("m");
+    out.param("v", 77);
+    std::string path = ::testing::TempDir() + "/g5p_ckpt_test.ini";
+    out.writeFile(path);
+
+    CheckpointIn in = CheckpointIn::readFile(path);
+    in.pushSection("m");
+    int v = 0;
+    in.param("v", v);
+    EXPECT_EQ(v, 77);
+}
+
+TEST(Serialize, EmptyVector)
+{
+    CheckpointOut out;
+    out.pushSection("s");
+    out.paramVector("empty", std::vector<int>{});
+    CheckpointIn in = CheckpointIn::fromText(out.toText());
+    in.pushSection("s");
+    std::vector<int> loaded{1, 2};
+    in.paramVector("empty", loaded);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, CommentsAndBlanksIgnored)
+{
+    CheckpointIn in = CheckpointIn::fromText(
+        "# comment\n\n[sec]\nkey=42\n# more\n");
+    in.pushSection("sec");
+    int v = 0;
+    in.param("key", v);
+    EXPECT_EQ(v, 42);
+}

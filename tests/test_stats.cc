@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the gem5-style statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace g5p::sim::stats;
+
+TEST(Stats, ScalarAccumulates)
+{
+    Scalar s;
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, VectorTotalAndReset)
+{
+    Vector v;
+    v.init(3);
+    v[0] = 1;
+    v[2] = 4;
+    EXPECT_DOUBLE_EQ(v.total(), 5.0);
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+TEST(Stats, FormulaComputesOnDemand)
+{
+    Scalar hits, misses;
+    Formula rate;
+    rate.functor([&] {
+        double t = hits.value() + misses.value();
+        return t ? misses.value() / t : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(rate.total(), 0.0);
+    hits += 3;
+    misses += 1;
+    EXPECT_DOUBLE_EQ(rate.total(), 0.25);
+}
+
+TEST(Stats, GroupHierarchyPrefixes)
+{
+    Group root(nullptr, "system");
+    Group cpu(&root, "cpu0");
+    Group dcache(&cpu, "dcache");
+    EXPECT_EQ(dcache.statPrefix(), "system.cpu0.dcache.");
+}
+
+TEST(Stats, DumpFormat)
+{
+    Group root(nullptr, "sys");
+    Scalar s;
+    root.addStat(&s, "count", "number of things");
+    s += 7;
+
+    std::ostringstream os;
+    root.dumpStats(os);
+    EXPECT_EQ(os.str(), "sys.count 7 # number of things\n");
+}
+
+TEST(Stats, DumpRecursesIntoChildren)
+{
+    Group root(nullptr, "sys");
+    Group child(&root, "cpu");
+    Scalar a, b;
+    root.addStat(&a, "a", "top");
+    child.addStat(&b, "b", "nested");
+    a += 1;
+    b += 2;
+
+    std::ostringstream os;
+    root.dumpStats(os);
+    EXPECT_NE(os.str().find("sys.a 1"), std::string::npos);
+    EXPECT_NE(os.str().find("sys.cpu.b 2"), std::string::npos);
+}
+
+TEST(Stats, VectorPrintsSubnames)
+{
+    Group root(nullptr, "g");
+    Vector v;
+    v.init(2);
+    v.setSubnames({"read", "write"});
+    root.addStat(&v, "ops", "operation counts");
+    v[0] = 5;
+    v[1] = 6;
+
+    std::ostringstream os;
+    root.dumpStats(os);
+    EXPECT_NE(os.str().find("g.ops::read 5"), std::string::npos);
+    EXPECT_NE(os.str().find("g.ops::write 6"), std::string::npos);
+}
+
+TEST(Stats, ResetRecurses)
+{
+    Group root(nullptr, "sys");
+    Group child(&root, "cpu");
+    Scalar a, b;
+    root.addStat(&a, "a", "");
+    child.addStat(&b, "b", "");
+    a += 1;
+    b += 2;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Stats, FindStatByDottedPath)
+{
+    Group root(nullptr, "sys");
+    Group cpu(&root, "cpu");
+    Scalar insts;
+    cpu.addStat(&insts, "insts", "");
+    insts += 9;
+
+    const Info *found = root.findStat("cpu.insts");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->total(), 9.0);
+    EXPECT_EQ(root.findStat("cpu.nope"), nullptr);
+    EXPECT_EQ(root.findStat("gpu.insts"), nullptr);
+}
+
+TEST(Stats, ChildUnregistersOnDestruction)
+{
+    Group root(nullptr, "sys");
+    {
+        Group child(&root, "temp");
+        EXPECT_EQ(root.childGroups().size(), 1u);
+    }
+    EXPECT_TRUE(root.childGroups().empty());
+}

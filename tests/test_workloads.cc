@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Workload tests: every registered kernel must produce its golden
+ * checksum on every CPU model, in both modes, at several CPU counts —
+ * the strongest cross-cutting property the guest side has.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "os/system.hh"
+#include "workloads/workload.hh"
+
+using namespace g5p;
+using namespace g5p::os;
+using namespace g5p::workloads;
+
+namespace
+{
+
+constexpr double testScale = 0.12; // keep runs fast
+
+std::uint64_t
+runWorkload(const std::string &name, CpuModel model, SimMode mode,
+            unsigned cpus)
+{
+    sim::Simulator sim("system");
+    auto wl = Registry::instance().create(name, testScale);
+    SystemConfig cfg;
+    cfg.cpuModel = model;
+    cfg.mode = mode;
+    cfg.numCpus = cpus;
+    System system(sim, cfg, *wl);
+    auto res = system.run(5'000'000'000'000ULL);
+    EXPECT_EQ(res.cause, sim::ExitCause::Finished)
+        << name << " on " << cpuModelName(model);
+    return system.result();
+}
+
+} // namespace
+
+TEST(Registry, KnowsAllPaperWorkloads)
+{
+    auto names = Registry::instance().names();
+    for (const auto &needed : Registry::parsecSplashNames()) {
+        EXPECT_NE(std::find(names.begin(), names.end(), needed),
+                  names.end())
+            << "missing " << needed;
+    }
+    EXPECT_NE(std::find(names.begin(), names.end(), "sieve"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "boot-exit"),
+              names.end());
+    EXPECT_EQ(Registry::parsecSplashNames().size(), 9u);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(Registry, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(Registry::instance().create("no-such-workload"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+#endif
+
+TEST(Workloads, GoldenModelsAreNontrivial)
+{
+    for (const auto &name : Registry::instance().names()) {
+        auto wl = Registry::instance().create(name, testScale);
+        EXPECT_NE(wl->expectedResult(1), 0u)
+            << name << " should define a golden checksum";
+        EXPECT_EQ(wl->name(), name);
+    }
+}
+
+TEST(Workloads, PartitionCoversAllWork)
+{
+    // partitionOf must tile [0, total) exactly for any CPU count.
+    for (unsigned cpus : {1u, 2u, 3u, 4u, 7u, 16u}) {
+        std::uint64_t covered = 0;
+        std::uint64_t prev_end = 0;
+        for (unsigned c = 0; c < cpus; ++c) {
+            auto [start, end] =
+                WorkloadBase::partitionOf(1000, cpus, c);
+            EXPECT_EQ(start, prev_end);
+            covered += end - start;
+            prev_end = end;
+        }
+        EXPECT_EQ(covered, 1000u);
+        EXPECT_EQ(prev_end, 1000u);
+    }
+}
+
+/** The big sweep: workload x CPU model, SE mode, 1 CPU. */
+class WorkloadOnModel
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, CpuModel>>
+{};
+
+TEST_P(WorkloadOnModel, ChecksumMatchesGolden)
+{
+    auto [name, model] = GetParam();
+    auto wl = Registry::instance().create(name, testScale);
+    std::uint64_t expected = wl->expectedResult(1);
+    EXPECT_EQ(runWorkload(name, model, SimMode::SE, 1), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadOnModel,
+    ::testing::Combine(
+        ::testing::Values("canneal", "blackscholes", "dedup",
+                          "streamcluster", "water_nsquared",
+                          "water_spatial", "ocean_cp", "ocean_ncp",
+                          "fmm", "sieve", "boot-exit"),
+        ::testing::Values(CpuModel::Atomic, CpuModel::Timing,
+                          CpuModel::Minor, CpuModel::O3)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_" +
+               cpuModelName(std::get<1>(info.param));
+    });
+
+/** Multi-CPU + FS-mode correctness on a representative subset. */
+class WorkloadModes
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadModes, FourCpusAndFsAgree)
+{
+    const std::string &name = GetParam();
+    auto wl = Registry::instance().create(name, testScale);
+    std::uint64_t expected = wl->expectedResult(4);
+    EXPECT_EQ(runWorkload(name, CpuModel::Atomic, SimMode::SE, 4),
+              expected);
+    EXPECT_EQ(runWorkload(name, CpuModel::Timing, SimMode::FS, 4),
+              expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Subset, WorkloadModes,
+    ::testing::Values("canneal", "blackscholes", "ocean_cp", "fmm"));
+
+TEST(Workloads, ScaleChangesWorkSize)
+{
+    auto small = Registry::instance().create("sieve", 0.1);
+    auto large = Registry::instance().create("sieve", 1.0);
+    // Different limits produce different prime counts.
+    EXPECT_NE(small->expectedResult(1), large->expectedResult(1));
+}
+
+TEST(Workloads, DeterministicAcrossRuns)
+{
+    auto a = runWorkload("canneal", CpuModel::Atomic, SimMode::SE, 1);
+    auto b = runWorkload("canneal", CpuModel::Atomic, SimMode::SE, 1);
+    EXPECT_EQ(a, b);
+}
