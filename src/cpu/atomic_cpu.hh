@@ -35,7 +35,7 @@ class AtomicCpu : public BaseCpu
 
     mem::PhysicalMemory &physmem_;
     CpuExecContext ctx_;
-    sim::EventFunctionWrapper tickEvent_;
+    sim::MemberEventWrapper<&AtomicCpu::tick> tickEvent_;
 };
 
 } // namespace g5p::cpu

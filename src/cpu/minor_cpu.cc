@@ -33,8 +33,7 @@ MinorCpu::MinorCpu(sim::Simulator &sim, const std::string &name,
       ctx_(*this),
       bpred_(minor_params.bpred),
       fetchPc_(params.resetPc),
-      tickEvent_([this] { tick(); }, name + ".tick",
-                 sim::Event::CpuTickPri)
+      tickEvent_(this, sim::Event::CpuTickPri)
 {
 }
 
@@ -203,10 +202,8 @@ MinorCpu::tryFetch()
         icachePort_.sendTimingReq(pkt);
     };
     if (itr.latency > 0) {
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".itlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(itr.latency));
+        scheduleCallback(clockEdge(itr.latency), issue,
+                         name() + ".itlbWalk");
     } else {
         issue();
     }
@@ -289,10 +286,8 @@ MinorCpu::execReadMem(Addr vaddr, unsigned size)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".dtlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(tr.latency));
+        scheduleCallback(clockEdge(tr.latency), issue,
+                         name() + ".dtlbWalk");
     } else {
         issue();
     }
@@ -317,10 +312,8 @@ MinorCpu::execWriteMem(Addr vaddr, unsigned size, std::uint64_t data)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".dtlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(tr.latency));
+        scheduleCallback(clockEdge(tr.latency), issue,
+                         name() + ".dtlbWalk");
     } else {
         issue();
     }

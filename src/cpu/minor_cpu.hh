@@ -107,7 +107,7 @@ class MinorCpu : public BaseCpu
     /** Set when execute stops the machine (halt). */
     bool stopping_ = false;
 
-    sim::EventFunctionWrapper tickEvent_;
+    sim::MemberEventWrapper<&MinorCpu::tick> tickEvent_;
 
     sim::stats::Scalar branchMispredicts_;
     sim::stats::Scalar loadUseStalls_;

@@ -38,8 +38,7 @@ O3Cpu::O3Cpu(sim::Simulator &sim, const std::string &name,
       lsq_(o3_params.lqEntries, o3_params.sqEntries),
       rename_(o3_params.numPhysRegs),
       fetchPc_(params.resetPc),
-      tickEvent_([this] { tick(); }, name + ".tick",
-                 sim::Event::CpuTickPri)
+      tickEvent_(this, sim::Event::CpuTickPri)
 {
 }
 
@@ -220,10 +219,8 @@ O3Cpu::issueLoad(const DynInstPtr &di)
         dcachePort_.sendTimingReq(pkt);
     };
     if (delay > 0) {
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".dtlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(delay));
+        scheduleCallback(clockEdge(delay), issue,
+                         name() + ".dtlbWalk");
     } else {
         issue();
     }
@@ -424,10 +421,8 @@ O3Cpu::fetchStage()
         icachePort_.sendTimingReq(pkt);
     };
     if (itr.latency > 0) {
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".itlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(itr.latency));
+        scheduleCallback(clockEdge(itr.latency), issue,
+                         name() + ".itlbWalk");
     } else {
         issue();
     }

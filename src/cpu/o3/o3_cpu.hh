@@ -128,7 +128,7 @@ class O3Cpu : public BaseCpu
         bool valid = false;
     } dispatchMem_;
 
-    sim::EventFunctionWrapper tickEvent_;
+    sim::MemberEventWrapper<&O3Cpu::tick> tickEvent_;
 
     sim::stats::Scalar branchMispredicts_;
     sim::stats::Scalar squashedInsts_;

@@ -12,8 +12,7 @@ TimingCpu::TimingCpu(sim::Simulator &sim, const std::string &name,
     : BaseCpu(sim, name, domain, params),
       physmem_(physmem),
       ctx_(*this),
-      fetchEvent_([this] { startFetch(); }, name + ".fetch",
-                  sim::Event::CpuTickPri)
+      fetchEvent_(this, sim::Event::CpuTickPri)
 {
 }
 
@@ -57,10 +56,8 @@ TimingCpu::startFetch()
 
     if (itr.latency > 0) {
         // I-TLB walk delays the fetch issue.
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".itlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(itr.latency));
+        scheduleCallback(clockEdge(itr.latency), issue,
+                         name() + ".itlbWalk");
     } else {
         issue();
     }
@@ -122,10 +119,8 @@ TimingCpu::execReadMem(Addr vaddr, unsigned size)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".dtlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(tr.latency));
+        scheduleCallback(clockEdge(tr.latency), issue,
+                         name() + ".dtlbWalk");
     } else {
         issue();
     }
@@ -151,10 +146,8 @@ TimingCpu::execWriteMem(Addr vaddr, unsigned size, std::uint64_t data)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        auto *ev = new sim::EventFunctionWrapper(issue,
-                                                 name() + ".dtlbWalk");
-        ev->setAutoDelete(true);
-        schedule(*ev, clockEdge(tr.latency));
+        scheduleCallback(clockEdge(tr.latency), issue,
+                         name() + ".dtlbWalk");
     } else {
         issue();
     }

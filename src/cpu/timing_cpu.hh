@@ -64,7 +64,7 @@ class TimingCpu : public BaseCpu
         std::uint64_t storeData = 0;
     } pendingMem_;
 
-    sim::EventFunctionWrapper fetchEvent_;
+    sim::MemberEventWrapper<&TimingCpu::startFetch> fetchEvent_;
 
     sim::stats::Scalar fetchStallCycles_;
     sim::stats::Scalar dataStallCycles_;

@@ -120,14 +120,17 @@ Decoder::decode(std::uint64_t word)
     G5P_TRACE_SCOPE_KEYED("Decoder::decode", Decode, false,
                           (std::uint32_t)(word >> 56));
     ++numDecodes_;
-    auto it = cache_.find(word);
-    if (it != cache_.end()) {
+    if (cache_.empty())
+        cache_.reserve(initialCacheBuckets);
+    // Single hash per miss: try_emplace reserves the slot up front
+    // and only a genuinely new word pays for decodeOne().
+    auto [it, inserted] = cache_.try_emplace(word);
+    if (!inserted) {
         ++numCacheHits_;
         return it->second;
     }
-    StaticInstPtr inst = decodeOne(word);
-    cache_.emplace(word, inst);
-    return inst;
+    it->second = decodeOne(word);
+    return it->second;
 }
 
 } // namespace g5p::isa

@@ -35,10 +35,22 @@ class Decoder
     /** Decode-cache hits. */
     std::uint64_t numCacheHits() const { return numCacheHits_; }
 
+    /** Fraction of decode() calls served from the cache. */
+    double
+    cacheHitRate() const
+    {
+        return numDecodes_ ? (double)numCacheHits_ /
+                             (double)numDecodes_ : 0.0;
+    }
+
     /** Build a StaticInst without caching (tests, disassembly). */
     static StaticInstPtr decodeOne(std::uint64_t word);
 
   private:
+    /** Pre-sized for a typical hot working set of distinct words,
+     *  avoiding rehash storms while the cache warms up. */
+    static constexpr std::size_t initialCacheBuckets = 1024;
+
     std::unordered_map<std::uint64_t, StaticInstPtr> cache_;
     std::uint64_t numDecodes_ = 0;
     std::uint64_t numCacheHits_ = 0;

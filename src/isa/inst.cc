@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <limits>
 
 #include "base/logging.hh"
 #include "trace/recorder.hh"
@@ -182,16 +183,27 @@ MulDivInst::execute(ExecContext &ctx) const
     std::uint64_t r = 0;
     switch (op_) {
       case Opcode::Mul:
-        r = (std::uint64_t)(a * b);
+        // Unsigned multiply for defined wraparound; same low 64 bits.
+        r = (std::uint64_t)a * (std::uint64_t)b;
         break;
       case Opcode::Mulh:
         r = (std::uint64_t)(((__int128)a * b) >> 64);
         break;
       case Opcode::Div:
-        r = b ? (std::uint64_t)(a / b) : ~0ULL; // RISC-V div-by-zero
+        if (!b)
+            r = ~0ULL; // RISC-V div-by-zero
+        else if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+            r = (std::uint64_t)a; // RISC-V signed-overflow case
+        else
+            r = (std::uint64_t)(a / b);
         break;
       case Opcode::Rem:
-        r = b ? (std::uint64_t)(a % b) : (std::uint64_t)a;
+        if (!b)
+            r = (std::uint64_t)a;
+        else if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+            r = 0; // RISC-V signed-overflow case
+        else
+            r = (std::uint64_t)(a % b);
         break;
       default:
         g5p_panic("bad MulDiv opcode %s", opcodeName(op_));

@@ -79,14 +79,13 @@ DramCtrl::recvTimingReq(PacketPtr pkt)
         return;
     }
 
-    auto *ev = new sim::EventFunctionWrapper(
+    scheduleCallback(
+        curTick() + delay,
         [this, pkt] {
             pkt->makeResponse();
             port_.sendTimingResp(pkt);
         },
         name() + ".resp");
-    ev->setAutoDelete(true);
-    schedule(*ev, curTick() + delay);
 }
 
 void

@@ -130,10 +130,8 @@ CoherentXbar::recvTimingResp(PacketPtr pkt)
 void
 CoherentXbar::scheduleFn(Cycles cycles, std::function<void()> fn)
 {
-    auto *ev = new sim::EventFunctionWrapper(std::move(fn),
-                                             name() + ".delayed");
-    ev->setAutoDelete(true);
-    schedule(*ev, clockEdge(cycles ? cycles : 1));
+    scheduleCallback(clockEdge(cycles ? cycles : 1), std::move(fn),
+                     name() + ".delayed");
 }
 
 void

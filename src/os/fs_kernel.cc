@@ -15,7 +15,7 @@ FsKernel::FsKernel(sim::Simulator &sim, const std::string &name,
       process_(process),
       physmem_(physmem),
       params_(params),
-      timerEvent_([this] { timerTick(); }, name + ".timer")
+      timerEvent_(this)
 {
 }
 

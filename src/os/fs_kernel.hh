@@ -71,7 +71,7 @@ class FsKernel : public sim::ClockedObject, public cpu::SyscallHandler
     Process &process_;
     mem::PhysicalMemory &physmem_;
     FsKernelParams params_;
-    sim::EventFunctionWrapper timerEvent_;
+    sim::MemberEventWrapper<&FsKernel::timerTick> timerEvent_;
     bool stopped_ = false;
 
     sim::stats::Scalar timerTicks_;

@@ -1,5 +1,7 @@
 #include "sim/eventq.hh"
 
+#include <new>
+
 #include "trace/recorder.hh"
 
 namespace g5p::sim
@@ -7,9 +9,101 @@ namespace g5p::sim
 
 Event::~Event()
 {
-    // Destroying a scheduled event would leave a dangling heap entry.
-    g5p_assert(!scheduled_, "event destroyed while scheduled");
+    // Destroying a scheduled event would leave a dangling heap slot.
+    g5p_assert(!scheduled(), "event destroyed while scheduled");
 }
+
+namespace
+{
+
+/**
+ * Process-global free list of EventPool blocks. Slabs are retained
+ * for the process lifetime (the simulator is single threaded and the
+ * working set is the peak dynamic-event count, a few KiB).
+ */
+struct PoolState
+{
+    /** Intrusive free-list node living inside an unused block. */
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    FreeNode *freeList = nullptr;
+    std::size_t outstanding = 0;
+    std::size_t slabs = 0;
+
+    void
+    grow()
+    {
+        auto *slab = static_cast<unsigned char *>(::operator new(
+            EventPool::blockSize * EventPool::slabBlocks));
+        ++slabs;
+        for (std::size_t i = 0; i < EventPool::slabBlocks; ++i) {
+            auto *node = reinterpret_cast<FreeNode *>(
+                slab + i * EventPool::blockSize);
+            node->next = freeList;
+            freeList = node;
+        }
+    }
+
+    static PoolState &
+    instance()
+    {
+        static PoolState state;
+        return state;
+    }
+};
+
+} // namespace
+
+void *
+EventPool::allocate(std::size_t size)
+{
+    if (size > blockSize)
+        return ::operator new(size); // oversized subclass: bypass
+    // The host-side model charges every dynamic event the same
+    // (small) allocator cost regardless of pool state — slab growth
+    // depends on what ran earlier in the process, and recording it
+    // would make otherwise-identical runs diverge.
+    trace::recordHeapAlloc((std::uint32_t)blockSize);
+    auto &pool = PoolState::instance();
+    if (!pool.freeList)
+        pool.grow();
+    auto *node = pool.freeList;
+    pool.freeList = node->next;
+    ++pool.outstanding;
+    return node;
+}
+
+void
+EventPool::deallocate(void *p, std::size_t size) noexcept
+{
+    if (size > blockSize) {
+        ::operator delete(p);
+        return;
+    }
+    auto &pool = PoolState::instance();
+    auto *node = static_cast<PoolState::FreeNode *>(p);
+    node->next = pool.freeList;
+    pool.freeList = node;
+    --pool.outstanding;
+}
+
+std::size_t
+EventPool::outstanding()
+{
+    return PoolState::instance().outstanding;
+}
+
+std::size_t
+EventPool::slabsAllocated()
+{
+    return PoolState::instance().slabs;
+}
+
+static_assert(sizeof(EventFunctionWrapper) <= EventPool::blockSize,
+              "EventFunctionWrapper must fit an EventPool block");
 
 EventQueue::EventQueue(std::string name)
     : name_(std::move(name))
@@ -18,19 +112,57 @@ EventQueue::EventQueue(std::string name)
 
 EventQueue::~EventQueue()
 {
-    // Release every live event so auto-delete events are not leaked
-    // and member events can be destroyed without tripping the
-    // assert. Dead entries may refer to freed events; never touch
-    // them.
-    while (!heap_.empty()) {
-        HeapEntry top = heap_.top();
-        heap_.pop();
-        if (deadSeqs_.count(top.sequence))
-            continue;
-        top.event->scheduled_ = false;
-        if (top.event->autoDelete())
-            delete top.event;
+    // Release every event so auto-delete events are not leaked and
+    // member events can be destroyed without tripping the assert.
+    // Order is irrelevant; nothing runs.
+    for (const HeapNode &node : heap_) {
+        node.event->heapIndex_ = Event::invalidIndex;
+        if (node.event->autoDelete())
+            delete node.event;
     }
+    heap_.clear();
+}
+
+void
+EventQueue::siftUp(std::size_t slot)
+{
+    HeapNode node = heap_[slot];
+    while (slot > 0) {
+        std::size_t parent = (slot - 1) / arity;
+        if (!before(node, heap_[parent]))
+            break;
+        heap_[slot] = heap_[parent];
+        heap_[slot].event->heapIndex_ = slot;
+        slot = parent;
+    }
+    heap_[slot] = node;
+    node.event->heapIndex_ = slot;
+}
+
+void
+EventQueue::siftDown(std::size_t slot)
+{
+    HeapNode node = heap_[slot];
+    const std::size_t count = heap_.size();
+    while (true) {
+        std::size_t first = slot * arity + 1;
+        if (first >= count)
+            break;
+        std::size_t last = first + arity < count ? first + arity
+                                                 : count;
+        std::size_t best = first;
+        for (std::size_t child = first + 1; child < last; ++child) {
+            if (before(heap_[child], heap_[best]))
+                best = child;
+        }
+        if (!before(heap_[best], node))
+            break;
+        heap_[slot] = heap_[best];
+        heap_[slot].event->heapIndex_ = slot;
+        slot = best;
+    }
+    heap_[slot] = node;
+    node.event->heapIndex_ = slot;
 }
 
 void
@@ -38,7 +170,7 @@ EventQueue::schedule(Event *event, Tick when)
 {
     G5P_TRACE_SCOPE("EventQueue::schedule", EventLoop, false);
     g5p_assert(event, "scheduling null event");
-    g5p_assert(!event->scheduled_, "event '%s' already scheduled",
+    g5p_assert(!event->scheduled(), "event '%s' already scheduled",
                event->name().c_str());
     g5p_assert(when >= curTick_,
                "scheduling event '%s' in the past (%llu < %llu)",
@@ -48,91 +180,106 @@ EventQueue::schedule(Event *event, Tick when)
 
     event->when_ = when;
     event->sequence_ = nextSequence_++;
-    event->scheduled_ = true;
-    heap_.push(HeapEntry{when, event->priority_, event->sequence_, event});
-    ++liveCount_;
+    event->heapIndex_ = heap_.size();
+    heap_.push_back(HeapNode{when, event->sequence_, event,
+                             event->priority_});
+    siftUp(event->heapIndex_);
     ++numScheduled_;
 }
 
 void
 EventQueue::deschedule(Event *event)
 {
-    g5p_assert(event && event->scheduled_,
+    g5p_assert(event && event->scheduled(),
                "descheduling an unscheduled event");
-    event->scheduled_ = false;
-    deadSeqs_.insert(event->sequence_);
-    --liveCount_;
-    // Heap entries are reclaimed lazily in purgeSquashed(); when
-    // dead entries dominate (heavy deschedule/reschedule churn with
-    // no intervening service), compact the heap so memory stays
-    // proportional to the live event count.
-    if (deadSeqs_.size() > 64 && deadSeqs_.size() > 2 * liveCount_)
-        compact();
-}
+    std::size_t slot = event->heapIndex_;
+    g5p_assert(slot < heap_.size() && heap_[slot].event == event,
+               "event '%s' not on this queue",
+               event->name().c_str());
+    event->heapIndex_ = Event::invalidIndex;
 
-void
-EventQueue::compact()
-{
-    std::vector<HeapEntry> live;
-    live.reserve(liveCount_);
-    while (!heap_.empty()) {
-        const HeapEntry &top = heap_.top();
-        if (!deadSeqs_.count(top.sequence))
-            live.push_back(top);
-        heap_.pop();
+    HeapNode last = heap_.back();
+    heap_.pop_back();
+    if (last.event != event) {
+        // Refill the vacated slot in place; the replacement may need
+        // to move either direction.
+        heap_[slot] = last;
+        last.event->heapIndex_ = slot;
+        siftUp(slot);
+        siftDown(last.event->heapIndex_);
     }
-    heap_ = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                                std::greater<HeapEntry>>(
-        std::greater<HeapEntry>(), std::move(live));
-    deadSeqs_.clear();
 }
 
 void
 EventQueue::reschedule(Event *event, Tick when)
 {
-    if (event->scheduled_)
-        deschedule(event);
-    schedule(event, when);
+    g5p_assert(event, "rescheduling null event");
+    if (!event->scheduled()) {
+        schedule(event, when);
+        return;
+    }
+    g5p_assert(when >= curTick_,
+               "rescheduling event '%s' in the past (%llu < %llu)",
+               event->name().c_str(),
+               (unsigned long long)when,
+               (unsigned long long)curTick_);
+
+    // In-place re-key. The fresh sequence number reproduces the
+    // classic deschedule+schedule FIFO behavior bit-for-bit: a
+    // rescheduled event always ties after events already queued at
+    // the same (when, priority).
+    event->when_ = when;
+    event->sequence_ = nextSequence_++;
+    HeapNode &node = heap_[event->heapIndex_];
+    node.when = when;
+    node.sequence = event->sequence_;
+    siftUp(event->heapIndex_);
+    siftDown(event->heapIndex_);
+    ++numScheduled_;
 }
 
 void
-EventQueue::purgeSquashed()
+EventQueue::popTop()
 {
-    while (!heap_.empty()) {
-        // Dead entries (descheduled or superseded by a reschedule)
-        // are identified by sequence number alone; their event may
-        // already be freed.
-        auto it = deadSeqs_.find(heap_.top().sequence);
-        if (it == deadSeqs_.end())
+    heap_.front().event->heapIndex_ = Event::invalidIndex;
+    HeapNode last = heap_.back();
+    heap_.pop_back();
+    const std::size_t count = heap_.size();
+    if (count == 0)
+        return;
+    // Bottom-up pop: walk the hole to a leaf along the min-child path
+    // (no compares against the replacement), then drop the replacement
+    // in and sift it up. The replacement came from the bottom of the
+    // heap, so the sift-up almost always stops immediately.
+    std::size_t hole = 0;
+    while (true) {
+        std::size_t first = hole * arity + 1;
+        if (first >= count)
             break;
-        deadSeqs_.erase(it);
-        heap_.pop();
+        std::size_t end = first + arity < count ? first + arity
+                                                : count;
+        std::size_t best = first;
+        for (std::size_t child = first + 1; child < end; ++child) {
+            if (before(heap_[child], heap_[best]))
+                best = child;
+        }
+        heap_[hole] = heap_[best];
+        heap_[hole].event->heapIndex_ = hole;
+        hole = best;
     }
-}
-
-Tick
-EventQueue::nextTick() const
-{
-    const_cast<EventQueue *>(this)->purgeSquashed();
-    return heap_.empty() ? maxTick : heap_.top().when;
+    heap_[hole] = last;
+    last.event->heapIndex_ = hole;
+    siftUp(hole);
 }
 
 Event *
-EventQueue::serviceOne()
+EventQueue::serviceTop()
 {
-    G5P_TRACE_SCOPE("EventQueue::serviceOne", EventLoop, false);
-    purgeSquashed();
-    if (heap_.empty())
-        return nullptr;
-
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    Event *event = top.event;
-
-    g5p_assert(top.when >= curTick_, "event queue went backwards");
-    curTick_ = top.when;
-    event->scheduled_ = false;
-    --liveCount_;
+    Event *event = heap_.front().event;
+    Tick when = heap_.front().when;
+    g5p_assert(when >= curTick_, "event queue went backwards");
+    popTop();
+    curTick_ = when;
     ++numServiced_;
 
     bool auto_delete = event->autoDelete();
@@ -142,20 +289,25 @@ EventQueue::serviceOne()
     return event;
 }
 
+Event *
+EventQueue::serviceOne()
+{
+    G5P_TRACE_SCOPE("EventQueue::serviceOne", EventLoop, false);
+    if (heap_.empty())
+        return nullptr;
+    return serviceTop();
+}
+
 std::uint64_t
 EventQueue::serviceUntil(Tick limit)
 {
     G5P_TRACE_SCOPE("EventQueue::serviceUntil", EventLoop, false);
     std::uint64_t serviced = 0;
-    while (true) {
-        Tick next = nextTick();
-        if (next == maxTick || next > limit)
-            break;
-        serviceOne();
+    // One top inspection per event: the loop condition reads the heap
+    // root directly and serviceTop() consumes exactly that event.
+    while (!heap_.empty() && heap_.front().when <= limit) {
+        serviceTop();
         ++serviced;
-    }
-    if (curTick_ < limit && liveCount_ == 0) {
-        // Nothing left; time does not advance past the last event.
     }
     return serviced;
 }

@@ -7,16 +7,20 @@
  * (curTick) to each event's scheduled tick. The paper (§VI) notes that
  * gem5's "core, which is the event queue and event scheduler, has been
  * the same for many years" — this module is that core.
+ *
+ * The queue is an intrusive indexed 4-ary min-heap: each Event stores
+ * its own heap slot, so deschedule and reschedule fix the heap in
+ * place (no lazy dead entries, no per-pop hash lookups, no compaction
+ * stalls). See DESIGN.md §"Event queue internals".
  */
 
 #ifndef G5P_SIM_EVENTQ_HH
 #define G5P_SIM_EVENTQ_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "base/logging.hh"
@@ -68,7 +72,7 @@ class Event
     std::int16_t priority() const { return priority_; }
 
     /** True while on a queue. */
-    bool scheduled() const { return scheduled_; }
+    bool scheduled() const { return heapIndex_ != invalidIndex; }
 
     /** If set, the queue deletes the event after process(). */
     void setAutoDelete(bool v) { autoDelete_ = v; }
@@ -79,11 +83,45 @@ class Event
   private:
     friend class EventQueue;
 
+    /** Sentinel heap slot meaning "not scheduled". */
+    static constexpr std::size_t invalidIndex = ~std::size_t{0};
+
     Tick when_ = 0;
     std::uint64_t sequence_ = 0;
+    /** Slot in the owning queue's heap array (intrusive index). */
+    std::size_t heapIndex_ = invalidIndex;
     std::int16_t priority_;
-    bool scheduled_ = false;
     bool autoDelete_ = false;
+};
+
+/**
+ * Free-list pool for dynamically allocated callback events.
+ *
+ * Dynamic events (cache/xbar/dram responses, TLB-walk continuations)
+ * are allocated and freed at simulation-event rate; routing them
+ * through the global heap is pure churn. The pool carves fixed-size
+ * blocks out of slabs and recycles them through an intrusive free
+ * list, so steady-state event allocation touches no allocator at all.
+ */
+class EventPool
+{
+  public:
+    /** Block size covering EventFunctionWrapper and friends. */
+    static constexpr std::size_t blockSize = 128;
+    /** Blocks carved per slab. */
+    static constexpr std::size_t slabBlocks = 64;
+
+    /** Pop a block (grows by one slab when the free list is empty). */
+    static void *allocate(std::size_t size);
+
+    /** Push a block back onto the free list. */
+    static void deallocate(void *p, std::size_t size) noexcept;
+
+    /** Total blocks handed out and not yet returned. */
+    static std::size_t outstanding();
+
+    /** Slabs obtained from the global heap over the process lifetime. */
+    static std::size_t slabsAllocated();
 };
 
 /** Event wrapping an arbitrary callback, like gem5's version. */
@@ -96,7 +134,19 @@ class EventFunctionWrapper : public Event
         : Event(prio), callback_(std::move(callback)),
           name_(std::move(name))
     {
-        trace::recordHeapAlloc(96); // dynamic events churn the heap
+    }
+
+    /** Dynamic wrappers recycle through the event pool. */
+    static void *
+    operator new(std::size_t size)
+    {
+        return EventPool::allocate(size);
+    }
+
+    static void
+    operator delete(void *p, std::size_t size) noexcept
+    {
+        EventPool::deallocate(p, size);
     }
 
     void process() override { callback_(); }
@@ -108,13 +158,43 @@ class EventFunctionWrapper : public Event
 };
 
 /**
+ * Non-allocating event bound to a member function at compile time
+ * (gem5's MemberEventWrapper). The common "tick event member inside
+ * the owning object" pattern needs neither a std::function nor a
+ * name string allocation:
+ *
+ *   MemberEventWrapper<&MyCpu::tick> tickEvent_{this, CpuTickPri};
+ */
+template <auto F>
+class MemberEventWrapper;
+
+template <typename T, void (T::*F)()>
+class MemberEventWrapper<F> : public Event
+{
+  public:
+    explicit MemberEventWrapper(T *object, Priority prio = DefaultPri)
+        : Event(prio), object_(object)
+    {
+    }
+
+    void process() override { (object_->*F)(); }
+
+  private:
+    T *object_;
+};
+
+/**
  * A single-threaded discrete-event queue with its own curTick.
  *
- * Deschedule is O(1): the entry's sequence number is recorded as
- * dead and the heap slot is reclaimed lazily at pop time (or by a
- * compaction pass when dead entries dominate). Dead entries are
- * never dereferenced, so events may be destroyed immediately after
- * being descheduled.
+ * Layout: a 4-ary min-heap of (key, Event*) nodes ordered by the
+ * strict (when, priority, sequence) key. The key is stored inline in
+ * the heap node so sift comparisons never chase the Event pointer;
+ * heap_[i].event->heapIndex_ == i at all times. Deschedule removes
+ * the event's slot in place (O(log n)
+ * sifts, O(1) for the common leaf case) and reschedule is an in-place
+ * decrease/increase-key — there are no dead entries, so every pop and
+ * top inspection is branch-light and events may be destroyed the
+ * moment they are descheduled.
  */
 class EventQueue
 {
@@ -134,20 +214,29 @@ class EventQueue
     /** Schedule @p event at absolute tick @p when (>= curTick). */
     void schedule(Event *event, Tick when);
 
-    /** Remove a scheduled event. */
+    /** Remove a scheduled event (in place, no lazy entries). */
     void deschedule(Event *event);
 
-    /** Deschedule + schedule at a new tick. */
+    /**
+     * Move a scheduled event to a new tick in place, or schedule it
+     * if idle. The event is re-sequenced, exactly as a
+     * deschedule+schedule pair would be, so FIFO ties behave
+     * identically to the classic implementation.
+     */
     void reschedule(Event *event, Tick when);
 
-    /** True if no live events remain. */
-    bool empty() const { return liveCount_ == 0; }
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
 
-    /** Number of live (non-squashed) events. */
-    std::size_t size() const { return liveCount_; }
+    /** Number of scheduled events. */
+    std::size_t size() const { return heap_.size(); }
 
-    /** Tick of the next live event; maxTick if empty. */
-    Tick nextTick() const;
+    /** Tick of the next event; maxTick if empty. O(1). */
+    Tick
+    nextTick() const
+    {
+        return heap_.empty() ? maxTick : heap_.front().when;
+    }
 
     /**
      * Service exactly one event: advance curTick to its tick and run
@@ -158,6 +247,7 @@ class EventQueue
 
     /**
      * Run until the queue is empty or curTick would exceed @p limit.
+     * Inspects the heap top once per serviced event.
      * @return number of events serviced.
      */
     std::uint64_t serviceUntil(Tick limit);
@@ -168,46 +258,56 @@ class EventQueue
     /** Total events serviced over the queue's lifetime. */
     std::uint64_t numServiced() const { return numServiced_; }
 
-    /** Total schedule() calls over the queue's lifetime. */
+    /** Total schedule()/reschedule() calls over the lifetime. */
     std::uint64_t numScheduled() const { return numScheduled_; }
 
   private:
-    struct HeapEntry
+    /** Children per heap node; 4-ary keeps the tree shallow and the
+     *  child scan within adjacent cache lines. */
+    static constexpr std::size_t arity = 4;
+
+    /**
+     * Heap slot: the full sort key plus the event it stands for. The
+     * key is duplicated from the Event so the hot sift loops compare
+     * against contiguous memory instead of dereferencing every
+     * candidate.
+     */
+    struct HeapNode
     {
         Tick when;
-        std::int16_t priority;
         std::uint64_t sequence;
         Event *event;
-
-        bool
-        operator>(const HeapEntry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            if (priority != o.priority)
-                return priority > o.priority;
-            return sequence > o.sequence;
-        }
+        std::int16_t priority;
     };
 
-    /** Pop squashed entries off the heap top. */
-    void purgeSquashed();
+    /** Strict service order: (when, priority, sequence). */
+    static bool
+    before(const HeapNode &a, const HeapNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.sequence < b.sequence;
+    }
 
-    /** Rebuild the heap without squashed/stale entries. */
-    void compact();
+    void siftUp(std::size_t slot);
+    void siftDown(std::size_t slot);
+
+    /** Detach the root and restore the heap. */
+    void popTop();
+
+    /** Pop + advance time + run the root event (heap non-empty). */
+    Event *serviceTop();
 
     std::string name_;
     Tick curTick_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t numServiced_ = 0;
     std::uint64_t numScheduled_ = 0;
-    std::size_t liveCount_ = 0;
 
-    /** Sequence numbers of descheduled (dead) heap entries. */
-    std::unordered_set<std::uint64_t> deadSeqs_;
-
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>> heap_;
+    /** 4-ary min-heap; heap_[i].event->heapIndex_ == i. */
+    std::vector<HeapNode> heap_;
 };
 
 /**
@@ -239,6 +339,22 @@ class EventManager
     reschedule(Event &event, Tick when)
     {
         eventq_.reschedule(&event, when);
+    }
+
+    /**
+     * Schedule a one-shot callback at absolute tick @p when. The
+     * event comes from the pool and frees itself after firing — the
+     * standard "delayed response" pattern in caches, crossbars, DRAM
+     * and TLB walks.
+     */
+    void
+    scheduleCallback(Tick when, std::function<void()> fn,
+                     std::string name)
+    {
+        auto *ev = new EventFunctionWrapper(std::move(fn),
+                                            std::move(name));
+        ev->setAutoDelete(true);
+        eventq_.schedule(ev, when);
     }
 
   private:

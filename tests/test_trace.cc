@@ -197,8 +197,9 @@ TEST(CodeLayout, FunctionsDoNotOverlap)
     CodeLayout layout(reg);
     FuncId a = reg.lookup("Test::olA", FuncKind::Util);
     FuncId b = reg.lookup("Test::olB", FuncKind::Util);
-    const auto &ca = layout.code(a);
-    const auto &cb = layout.code(b);
+    // Copies: code() inserts lazily and may invalidate prior refs.
+    const auto ca = layout.code(a);
+    const auto cb = layout.code(b);
     // Whichever was placed first must end before the other begins.
     if (ca.addr < cb.addr)
         EXPECT_LE(ca.addr + ca.sizeBytes, cb.addr);
