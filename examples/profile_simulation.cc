@@ -6,15 +6,27 @@
  * hottest simulator functions (VTune's view, reproduced).
  *
  * Usage: profile_simulation [workload] [cpu-model] [scale]
+ *                           [--checkpoint <path> [--at <tick>]]
+ *                           [--restore <path>]
  *   cpu-model: atomic | timing | minor | o3
+ *
+ * With --checkpoint, the guest run is interrupted at the given tick,
+ * serialized to <path>, then resumed in-process to completion. With
+ * --restore, a fresh machine resumes from <path>. Both print the
+ * guest-side summary instead of the host profile; the restored run
+ * finishes bit-identical to an uninterrupted one.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "base/str.hh"
 #include "core/experiment.hh"
 #include "core/topdown.hh"
+#include "workloads/workload.hh"
 
 using namespace g5p;
 
@@ -36,16 +48,91 @@ parseModel(const std::string &name)
               name.c_str());
 }
 
+void
+printGuestSummary(sim::Simulator &sim, os::System &system,
+                  const sim::SimResult &res)
+{
+    std::cout << "exit               : " << res.message << "\n"
+              << "final tick         : " << res.tick << "\n"
+              << "guest instructions : " << system.totalInsts() << "\n"
+              << "guest result       : " << system.result() << "\n"
+              << "memory digest      : " << std::hex
+              << system.physmem().contentDigest() << std::dec
+              << "\n";
+}
+
+/** The --checkpoint / --restore demo: drive mg5 directly. */
+int
+runCheckpointDemo(const core::RunConfig &cfg,
+                  const std::string &ckptPath,
+                  const std::string &restorePath, Tick ckptAt)
+{
+    auto wl = workloads::Registry::instance().create(
+        cfg.workload, cfg.workloadScale);
+    os::SystemConfig scfg;
+    scfg.cpuModel = cfg.cpuModel;
+    scfg.mode = cfg.mode;
+
+    sim::Simulator sim("system");
+    os::System system(sim, scfg, *wl);
+
+    if (!restorePath.empty()) {
+        sim.restore(restorePath);
+        std::cout << "restored '" << restorePath << "' at tick "
+                  << sim.curTick() << "; resuming...\n\n";
+        auto res = system.run();
+        printGuestSummary(sim, system, res);
+        return 0;
+    }
+
+    auto part = system.run(ckptAt);
+    if (part.cause != sim::ExitCause::TickLimit) {
+        std::cout << "workload finished before tick " << ckptAt
+                  << "; nothing to checkpoint\n";
+        printGuestSummary(sim, system, part);
+        return 0;
+    }
+    sim.checkpoint(ckptPath);
+    std::cout << "checkpoint written to '" << ckptPath
+              << "' at tick " << sim.curTick()
+              << "; continuing in-process...\n\n";
+    auto res = system.run();
+    printGuestSummary(sim, system, res);
+    std::cout << "\nresume it with: --restore " << ckptPath << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     core::RunConfig cfg;
-    cfg.workload = argc > 1 ? argv[1] : "water_nsquared";
-    cfg.cpuModel = parseModel(argc > 2 ? argv[2] : "o3");
-    cfg.workloadScale = argc > 3 ? std::atof(argv[3]) : 0.25;
+    std::string ckptPath, restorePath;
+    Tick ckptAt = 1'000'000;
+
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--checkpoint" && i + 1 < argc) {
+            ckptPath = argv[++i];
+        } else if (arg == "--restore" && i + 1 < argc) {
+            restorePath = argv[++i];
+        } else if (arg == "--at" && i + 1 < argc) {
+            ckptAt = std::strtoull(argv[++i], nullptr, 0);
+        } else {
+            pos.push_back(arg);
+        }
+    }
+
+    cfg.workload = pos.size() > 0 ? pos[0] : "water_nsquared";
+    cfg.cpuModel = parseModel(pos.size() > 1 ? pos[1] : "o3");
+    cfg.workloadScale = pos.size() > 2 ? std::atof(pos[2].c_str())
+                                       : 0.25;
     cfg.platform = host::xeonConfig();
+
+    if (!ckptPath.empty() || !restorePath.empty())
+        return runCheckpointDemo(cfg, ckptPath, restorePath, ckptAt);
 
     std::cout << "Profiling mg5: " << cfg.workload << " on the "
               << os::cpuModelName(cfg.cpuModel)

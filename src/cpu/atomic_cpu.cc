@@ -14,19 +14,23 @@ AtomicCpu::AtomicCpu(sim::Simulator &sim, const std::string &name,
       ctx_(*this),
       tickEvent_(this, sim::Event::CpuTickPri)
 {
+    eventQueue().registerSerial(name + ".tick", &tickEvent_);
 }
 
 AtomicCpu::~AtomicCpu()
 {
     if (tickEvent_.scheduled())
         deschedule(tickEvent_);
+    eventQueue().unregisterSerial(name() + ".tick");
 }
 
 void
 AtomicCpu::activate()
 {
-    g5p_assert(!tickEvent_.scheduled(), "%s already active",
-               name().c_str());
+    // Idempotent: a restored CPU's tick event is already re-scheduled
+    // from the checkpoint (or the CPU halted before it was taken).
+    if (halted_ || tickEvent_.scheduled())
+        return;
     schedule(tickEvent_, clockEdge());
 }
 
@@ -93,7 +97,7 @@ AtomicCpu::tick()
         doSyscall();
         break;
       case isa::Fault::Halt:
-        countCommit(*inst);
+        countCommit(*inst, pc_);
         doHalt();
         return;
       default:
@@ -101,7 +105,7 @@ AtomicCpu::tick()
                   isa::faultName(fault), (unsigned long long)pc_);
     }
 
-    countCommit(*inst);
+    countCommit(*inst, pc_);
     if (ctx_.branched())
         numTakenBranches_ += 1;
     pc_ = ctx_.nextPc();

@@ -61,7 +61,7 @@ BaseCpu::doSyscall()
 }
 
 void
-BaseCpu::countCommit(const isa::StaticInst &inst)
+BaseCpu::countCommit(const isa::StaticInst &inst, Addr pc)
 {
     numInsts_ += 1;
     const auto &flags = inst.flags();
@@ -71,6 +71,8 @@ BaseCpu::countCommit(const isa::StaticInst &inst)
         numStores_ += 1;
     if (flags.isControl)
         numBranches_ += 1;
+    if (commitHook_)
+        commitHook_(curTick(), pc, inst);
 }
 
 void
@@ -97,6 +99,12 @@ BaseCpu::serialize(sim::CheckpointOut &cp) const
     cp.param("halted", (int)halted_);
     std::vector<std::uint64_t> regs(regs_, regs_ + isa::numArchRegs);
     cp.paramVector("regs", regs);
+    cp.param("memData", memData_);
+    // The decode cache is reconstructed word-by-word on restore so
+    // cacheSize/hit-rate stats stay bit-identical.
+    cp.paramVector("decoderWords", decoder_.cachedWords());
+    cp.param("decoderDecodes", decoder_.numDecodes());
+    cp.param("decoderHits", decoder_.numCacheHits());
 }
 
 void
@@ -112,10 +120,15 @@ BaseCpu::unserialize(const sim::CheckpointIn &cp)
                "corrupt register checkpoint");
     for (unsigned i = 0; i < isa::numArchRegs; ++i)
         regs_[i] = regs[i];
-    if (itlb_)
-        itlb_->flush();
-    if (dtlb_)
-        dtlb_->flush();
+    cp.param("memData", memData_);
+    std::vector<std::uint64_t> words;
+    cp.paramVector("decoderWords", words);
+    for (auto word : words)
+        decoder_.decodeQuiet(word);
+    std::uint64_t decodes = 0, hits = 0;
+    cp.param("decoderDecodes", decodes);
+    cp.param("decoderHits", hits);
+    decoder_.setCounters(decodes, hits);
 }
 
 } // namespace g5p::cpu

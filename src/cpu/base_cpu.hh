@@ -68,6 +68,17 @@ class BaseCpu : public sim::ClockedObject
     void setHaltCallback(std::function<void(BaseCpu &)> cb)
     { onHalt_ = std::move(cb); }
 
+    /**
+     * Hook fired at every architectural commit with the commit tick,
+     * the instruction's PC, and the decoded instruction. Used by the
+     * checkpoint tests to compare commit traces across a
+     * checkpoint/restore boundary.
+     */
+    using CommitHook =
+        std::function<void(Tick, Addr, const isa::StaticInst &)>;
+    void setCommitHook(CommitHook hook)
+    { commitHook_ = std::move(hook); }
+
     /** Begin execution at the reset PC (schedules the first event). */
     virtual void activate() = 0;
 
@@ -127,7 +138,7 @@ class BaseCpu : public sim::ClockedObject
     void doSyscall();
 
     /** Post-commit bookkeeping shared by all models. */
-    void countCommit(const isa::StaticInst &inst);
+    void countCommit(const isa::StaticInst &inst, Addr pc);
 
     /** True once the per-CPU instruction limit is hit. */
     bool
@@ -172,6 +183,7 @@ class BaseCpu : public sim::ClockedObject
     mem::Tlb *dtlb_ = nullptr;
     SyscallHandler *syscallHandler_ = nullptr;
     std::function<void(BaseCpu &)> onHalt_;
+    CommitHook commitHook_;
     bool halted_ = false;
 
     IcachePort icachePort_;

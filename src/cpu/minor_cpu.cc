@@ -1,5 +1,7 @@
 #include "cpu/minor_cpu.hh"
 
+#include <sstream>
+
 #include "trace/recorder.hh"
 
 namespace g5p::cpu
@@ -35,17 +37,23 @@ MinorCpu::MinorCpu(sim::Simulator &sim, const std::string &name,
       fetchPc_(params.resetPc),
       tickEvent_(this, sim::Event::CpuTickPri)
 {
+    eventQueue().registerSerial(name + ".tick", &tickEvent_);
 }
 
 MinorCpu::~MinorCpu()
 {
     if (tickEvent_.scheduled())
         deschedule(tickEvent_);
+    eventQueue().unregisterSerial(name() + ".tick");
 }
 
 void
 MinorCpu::activate()
 {
+    // Idempotent: a restored CPU's tick event is already re-scheduled
+    // from the checkpoint (or the CPU halted before it was taken).
+    if (halted_ || stopping_ || tickEvent_.scheduled())
+        return;
     schedule(tickEvent_, clockEdge());
 }
 
@@ -127,7 +135,7 @@ MinorCpu::tryExecute()
         doSyscall();
         break;
       case isa::Fault::Halt:
-        countCommit(inst);
+        countCommit(inst, head.pc);
         stopping_ = true;
         doHalt();
         return;
@@ -151,7 +159,7 @@ MinorCpu::tryExecute()
         bpred_.update(head.pc, ctx_.branched(), ctx_.nextPc(), inst);
     }
 
-    countCommit(inst);
+    countCommit(inst, head.pc);
     pc_ = ctx_.nextPc();
 
     if (instLimitReached()) {
@@ -341,6 +349,82 @@ MinorCpu::recvDataResp(mem::PacketPtr pkt)
         --outstandingStores_;
     }
     maybeReschedule();
+}
+
+void
+MinorCpu::serialize(sim::CheckpointOut &cp) const
+{
+    // Quiescence (no pending transient events) implies no in-flight
+    // fetches or memory accesses; anything else is a checkpoint bug.
+    g5p_assert(fetchesInFlight_ == 0 && outstandingLoads_ == 0 &&
+               outstandingStores_ == 0,
+               "%s: cannot checkpoint with accesses in flight",
+               name().c_str());
+    for (bool busy : scoreboard_)
+        g5p_assert(!busy, "%s: scoreboard busy at checkpoint",
+                   name().c_str());
+
+    BaseCpu::serialize(cp);
+    cp.param("fetchPc", fetchPc_);
+    cp.param("fetchEpoch", fetchEpoch_);
+    cp.param("stopping", (int)stopping_);
+
+    // Decoded-but-unexecuted instructions: store each one's raw word
+    // so restore can re-decode without re-reading guest memory.
+    cp.param("numInput", inputBuffer_.size());
+    std::size_t i = 0;
+    for (const auto &fi : inputBuffer_) {
+        auto tr = itlb_->pageTable()->translate(fi.pc);
+        g5p_assert(tr.valid, "%s: unmapped pc %#llx in input buffer",
+                   name().c_str(), (unsigned long long)fi.pc);
+        std::uint64_t word = physmem_.peek(tr.paddr, isa::instBytes);
+        std::ostringstream os;
+        os << fi.pc << " " << fi.predNpc << " " << fi.epoch << " "
+           << word;
+        cp.param("input" + std::to_string(i++), os.str());
+    }
+
+    cp.pushSection("bpred");
+    bpred_.serialize(cp);
+    cp.popSection();
+}
+
+void
+MinorCpu::unserialize(const sim::CheckpointIn &cp)
+{
+    BaseCpu::unserialize(cp);
+    cp.param("fetchPc", fetchPc_);
+    cp.param("fetchEpoch", fetchEpoch_);
+    int stopping = 0;
+    cp.param("stopping", stopping);
+    stopping_ = stopping != 0;
+
+    std::size_t num_input = 0;
+    cp.param("numInput", num_input);
+    inputBuffer_.clear();
+    for (std::size_t i = 0; i < num_input; ++i) {
+        std::string record;
+        cp.param("input" + std::to_string(i), record);
+        std::istringstream is(record);
+        FetchedInst fi;
+        std::uint64_t word = 0;
+        is >> fi.pc >> fi.predNpc >> fi.epoch >> word;
+        g5p_assert(!is.fail(), "%s: corrupt input-buffer record",
+                   name().c_str());
+        fi.inst = decoder_.decodeQuiet(word);
+        inputBuffer_.push_back(std::move(fi));
+    }
+
+    for (bool &busy : scoreboard_)
+        busy = false;
+    fetchesInFlight_ = 0;
+    outstandingLoads_ = 0;
+    outstandingStores_ = 0;
+    pendingLoadInst_.reset();
+
+    cp.pushSection("bpred");
+    bpred_.unserialize(cp);
+    cp.popSection();
 }
 
 void

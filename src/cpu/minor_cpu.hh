@@ -49,6 +49,9 @@ class MinorCpu : public BaseCpu
 
     void regStats() override;
 
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
   protected:
     isa::Fault execReadMem(Addr vaddr, unsigned size) override;
     isa::Fault execWriteMem(Addr vaddr, unsigned size,

@@ -1,6 +1,8 @@
 #include "cpu/o3/bpred.hh"
 
 #include "base/addr_utils.hh"
+#include "base/logging.hh"
+#include "sim/serialize.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::cpu
@@ -95,6 +97,59 @@ BranchPredictor::update(Addr pc, bool taken, Addr target,
         btb.pc = pc;
         btb.target = target;
     }
+}
+
+void
+BranchPredictor::serialize(sim::CheckpointOut &cp) const
+{
+    // uint8_t would stream as a character; widen the counters.
+    std::vector<unsigned> counters(counters_.begin(), counters_.end());
+    cp.paramVector("counters", counters);
+    std::vector<Addr> btb_pc, btb_target;
+    std::vector<int> btb_valid;
+    for (const auto &e : btb_) {
+        btb_pc.push_back(e.pc);
+        btb_target.push_back(e.target);
+        btb_valid.push_back(e.valid ? 1 : 0);
+    }
+    cp.paramVector("btbPc", btb_pc);
+    cp.paramVector("btbTarget", btb_target);
+    cp.paramVector("btbValid", btb_valid);
+    cp.paramVector("ras", ras_);
+    cp.param("rasTop", rasTop_);
+    cp.param("history", history_);
+    cp.param("lookups", lookups_);
+    cp.param("btbMisses", btbMisses_);
+}
+
+void
+BranchPredictor::unserialize(const sim::CheckpointIn &cp)
+{
+    std::vector<unsigned> counters;
+    cp.paramVector("counters", counters);
+    g5p_assert(counters.size() == counters_.size(),
+               "branch-predictor geometry changed since checkpoint");
+    for (std::size_t i = 0; i < counters.size(); ++i)
+        counters_[i] = (std::uint8_t)counters[i];
+    std::vector<Addr> btb_pc, btb_target;
+    std::vector<int> btb_valid;
+    cp.paramVector("btbPc", btb_pc);
+    cp.paramVector("btbTarget", btb_target);
+    cp.paramVector("btbValid", btb_valid);
+    g5p_assert(btb_pc.size() == btb_.size() &&
+               btb_target.size() == btb_.size() &&
+               btb_valid.size() == btb_.size(),
+               "BTB geometry changed since checkpoint");
+    for (std::size_t i = 0; i < btb_.size(); ++i)
+        btb_[i] = BtbEntry{btb_pc[i], btb_target[i],
+                           btb_valid[i] != 0};
+    cp.paramVector("ras", ras_);
+    g5p_assert(ras_.size() == params_.rasEntries,
+               "RAS geometry changed since checkpoint");
+    cp.param("rasTop", rasTop_);
+    cp.param("history", history_);
+    cp.param("lookups", lookups_);
+    cp.param("btbMisses", btbMisses_);
 }
 
 } // namespace g5p::cpu

@@ -14,6 +14,12 @@
 #include "base/types.hh"
 #include "isa/inst.hh"
 
+namespace g5p::sim
+{
+class CheckpointIn;
+class CheckpointOut;
+} // namespace g5p::sim
+
 namespace g5p::cpu
 {
 
@@ -52,6 +58,11 @@ class BranchPredictor
     /** @{ Counters. */
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t btbMisses() const { return btbMisses_; }
+    /** @} */
+
+    /** @{ Checkpointing: write/read into the current section. */
+    void serialize(sim::CheckpointOut &cp) const;
+    void unserialize(const sim::CheckpointIn &cp);
     /** @} */
 
   private:

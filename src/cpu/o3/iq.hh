@@ -43,6 +43,12 @@ class IssueQueue
 
     void insert(const DynInstPtr &inst) { insts_.push_back(inst); }
 
+    /** Queue contents, oldest first (checkpointing). */
+    const std::list<DynInstPtr> &contents() const { return insts_; }
+
+    /** Drop everything (checkpoint restore). */
+    void clear() { insts_.clear(); }
+
     /** Remove squashed instructions younger than @p seq. */
     void squashAfter(std::uint64_t seq);
 

@@ -45,6 +45,19 @@ class Lsq
     /** Drop squashed (wrong-path) entries younger than @p seq. */
     void squashAfter(std::uint64_t seq);
 
+    /** @{ Queue contents, program order (checkpointing). */
+    const std::deque<DynInstPtr> &loads() const { return loads_; }
+    const std::deque<DynInstPtr> &stores() const { return stores_; }
+    /** @} */
+
+    /** Drop everything (checkpoint restore). */
+    void
+    clear()
+    {
+        loads_.clear();
+        stores_.clear();
+    }
+
   private:
     unsigned lqCapacity_;
     unsigned sqCapacity_;

@@ -1,5 +1,8 @@
 #include "cpu/o3/o3_cpu.hh"
 
+#include <sstream>
+#include <unordered_map>
+
 #include "base/addr_utils.hh"
 #include "trace/recorder.hh"
 
@@ -40,17 +43,23 @@ O3Cpu::O3Cpu(sim::Simulator &sim, const std::string &name,
       fetchPc_(params.resetPc),
       tickEvent_(this, sim::Event::CpuTickPri)
 {
+    eventQueue().registerSerial(name + ".tick", &tickEvent_);
 }
 
 O3Cpu::~O3Cpu()
 {
     if (tickEvent_.scheduled())
         deschedule(tickEvent_);
+    eventQueue().unregisterSerial(name() + ".tick");
 }
 
 void
 O3Cpu::activate()
 {
+    // Idempotent: a restored CPU's tick event is already re-scheduled
+    // from the checkpoint (or the CPU halted before it was taken).
+    if (halted_ || tickEvent_.scheduled())
+        return;
     schedule(tickEvent_, clockEdge());
 }
 
@@ -105,7 +114,7 @@ O3Cpu::commitStage()
             rename_.free(head->prevDestPhys);
 
         lsq_.commit(*head);
-        countCommit(*head->inst);
+        countCommit(*head->inst, head->pc);
         if (head->isControl() && head->actualNpc !=
             head->pc + isa::instBytes)
             numTakenBranches_ += 1;
@@ -305,7 +314,7 @@ O3Cpu::dispatchStage()
                 // them out of the window but commit-count them.
                 fetchQueue_.pop_front();
                 fetchReadyCycle_.pop_front();
-                countCommit(*di->inst);
+                countCommit(*di->inst, di->pc);
                 pc_ = di->pc + isa::instBytes;
                 continue;
             }
@@ -513,6 +522,181 @@ O3Cpu::recvDataResp(mem::PacketPtr pkt)
     if (di->destPhys >= 0)
         rename_.setReadyCycle(di->destPhys, di->completeCycle);
     maybeReschedule();
+}
+
+std::string
+O3Cpu::encodeDynInst(const DynInst &di) const
+{
+    // The raw word travels with the record so restore can rebuild
+    // the StaticInst without touching (or depending on the restore
+    // order of) guest memory.
+    auto tr = itlb_->pageTable()->translate(di.pc);
+    g5p_assert(tr.valid, "%s: unmapped pc %#llx in pipeline",
+               name().c_str(), (unsigned long long)di.pc);
+    std::uint64_t word = physmem_.peek(tr.paddr, isa::instBytes);
+
+    std::ostringstream os;
+    os << di.seq << ' ' << di.pc << ' ' << di.predNpc << ' '
+       << di.actualNpc << ' ' << word << ' ' << (int)di.stage << ' '
+       << (int)di.wrongPath << ' ' << (int)di.mispredicted << ' '
+       << di.destPhys << ' ' << di.prevDestPhys << ' '
+       << di.srcPhys1 << ' ' << di.srcPhys2 << ' ' << di.paddr << ' '
+       << di.memSize << ' ' << di.loadData << ' '
+       << (int)di.memIssued << ' ' << (int)di.memDone << ' '
+       << (int)di.forwarded << ' ' << di.dtlbLatency << ' '
+       << di.completeCycle;
+    return os.str();
+}
+
+DynInstPtr
+O3Cpu::decodeDynInst(const std::string &record)
+{
+    std::istringstream is(record);
+    std::uint64_t word = 0;
+    int stage = 0, wrong_path = 0, mispredicted = 0;
+    int mem_issued = 0, mem_done = 0, forwarded = 0;
+    auto di = std::make_shared<DynInst>();
+    is >> di->seq >> di->pc >> di->predNpc >> di->actualNpc >> word
+       >> stage >> wrong_path >> mispredicted >> di->destPhys
+       >> di->prevDestPhys >> di->srcPhys1 >> di->srcPhys2
+       >> di->paddr >> di->memSize >> di->loadData >> mem_issued
+       >> mem_done >> forwarded >> di->dtlbLatency
+       >> di->completeCycle;
+    g5p_assert(!is.fail(), "%s: corrupt DynInst record",
+               name().c_str());
+    di->stage = (InstStage)stage;
+    di->wrongPath = wrong_path != 0;
+    di->mispredicted = mispredicted != 0;
+    di->memIssued = mem_issued != 0;
+    di->memDone = mem_done != 0;
+    di->forwarded = forwarded != 0;
+    di->inst = decoder_.decodeQuiet(word);
+    return di;
+}
+
+void
+O3Cpu::serialize(sim::CheckpointOut &cp) const
+{
+    // Quiescence (no pending transient events) means no in-flight
+    // fetch, loads, or stores; the in-window pipeline state below is
+    // everything the machine needs to resume exactly.
+    g5p_assert(!fetchInFlight_ && outstandingStores_ == 0,
+               "%s: cannot checkpoint with accesses in flight",
+               name().c_str());
+    for (const auto &di : rob_)
+        g5p_assert(di->wrongPath || !di->memIssued || di->memDone,
+                   "%s: load in flight at checkpoint",
+                   name().c_str());
+
+    BaseCpu::serialize(cp);
+    cp.param("fetchPc", fetchPc_);
+    cp.param("fetchEpoch", fetchEpoch_);
+    cp.param("fetchStopped", (int)fetchStopped_);
+    cp.param("nextSeq", nextSeq_);
+    cp.param("wrongPathMode", (int)wrongPathMode_);
+    cp.param("stopping", (int)stopping_);
+
+    cp.param("numRob", rob_.size());
+    std::size_t i = 0;
+    for (const auto &di : rob_)
+        cp.param("rob" + std::to_string(i++), encodeDynInst(*di));
+
+    cp.param("numFetch", fetchQueue_.size());
+    i = 0;
+    for (const auto &di : fetchQueue_)
+        cp.param("fetch" + std::to_string(i++), encodeDynInst(*di));
+    std::vector<Cycles> ready(fetchReadyCycle_.begin(),
+                              fetchReadyCycle_.end());
+    cp.paramVector("fetchReady", ready);
+
+    // IQ and LSQ hold the same DynInsts; reference them by sequence
+    // number rather than duplicating the records.
+    std::vector<std::uint64_t> seqs;
+    for (const auto &di : iq_.contents())
+        seqs.push_back(di->seq);
+    cp.paramVector("iqSeqs", seqs);
+    seqs.clear();
+    for (const auto &di : lsq_.loads())
+        seqs.push_back(di->seq);
+    cp.paramVector("lqSeqs", seqs);
+    seqs.clear();
+    for (const auto &di : lsq_.stores())
+        seqs.push_back(di->seq);
+    cp.paramVector("sqSeqs", seqs);
+
+    cp.pushSection("rename");
+    rename_.serialize(cp);
+    cp.popSection();
+    cp.pushSection("bpred");
+    bpred_.serialize(cp);
+    cp.popSection();
+}
+
+void
+O3Cpu::unserialize(const sim::CheckpointIn &cp)
+{
+    BaseCpu::unserialize(cp);
+    cp.param("fetchPc", fetchPc_);
+    cp.param("fetchEpoch", fetchEpoch_);
+    int fetch_stopped = 0, wrong_path = 0, stopping = 0;
+    cp.param("fetchStopped", fetch_stopped);
+    fetchStopped_ = fetch_stopped != 0;
+    cp.param("nextSeq", nextSeq_);
+    cp.param("wrongPathMode", wrong_path);
+    wrongPathMode_ = wrong_path != 0;
+    cp.param("stopping", stopping);
+    stopping_ = stopping != 0;
+
+    std::unordered_map<std::uint64_t, DynInstPtr> by_seq;
+    auto read_record = [&](const std::string &key) {
+        std::string record;
+        cp.param(key, record);
+        DynInstPtr di = decodeDynInst(record);
+        by_seq.emplace(di->seq, di);
+        return di;
+    };
+
+    std::size_t num_rob = 0;
+    cp.param("numRob", num_rob);
+    rob_.clear();
+    for (std::size_t i = 0; i < num_rob; ++i)
+        rob_.push(read_record("rob" + std::to_string(i)));
+
+    std::size_t num_fetch = 0;
+    cp.param("numFetch", num_fetch);
+    fetchQueue_.clear();
+    for (std::size_t i = 0; i < num_fetch; ++i)
+        fetchQueue_.push_back(
+            read_record("fetch" + std::to_string(i)));
+    std::vector<Cycles> ready;
+    cp.paramVector("fetchReady", ready);
+    g5p_assert(ready.size() == fetchQueue_.size(),
+               "%s: fetch-queue checkpoint mismatch", name().c_str());
+    fetchReadyCycle_.assign(ready.begin(), ready.end());
+
+    std::vector<std::uint64_t> seqs;
+    cp.paramVector("iqSeqs", seqs);
+    iq_.clear();
+    for (auto seq : seqs)
+        iq_.insert(by_seq.at(seq));
+    cp.paramVector("lqSeqs", seqs);
+    lsq_.clear();
+    for (auto seq : seqs)
+        lsq_.insertLoad(by_seq.at(seq));
+    cp.paramVector("sqSeqs", seqs);
+    for (auto seq : seqs)
+        lsq_.insertStore(by_seq.at(seq));
+
+    fetchInFlight_ = false;
+    outstandingStores_ = 0;
+    dispatchMem_.valid = false;
+
+    cp.pushSection("rename");
+    rename_.unserialize(cp);
+    cp.popSection();
+    cp.pushSection("bpred");
+    bpred_.unserialize(cp);
+    cp.popSection();
 }
 
 void

@@ -56,6 +56,9 @@ class O3Cpu : public BaseCpu
 
     void regStats() override;
 
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
   protected:
     isa::Fault execReadMem(Addr vaddr, unsigned size) override;
     isa::Fault execWriteMem(Addr vaddr, unsigned size,
@@ -94,6 +97,12 @@ class O3Cpu : public BaseCpu
     void issueStore(const o3::DynInst &di);
 
     void maybeReschedule();
+
+    /** One-line textual record of a DynInst (checkpointing). */
+    std::string encodeDynInst(const o3::DynInst &di) const;
+
+    /** Inverse of encodeDynInst; re-decodes via the decode cache. */
+    o3::DynInstPtr decodeDynInst(const std::string &record);
 
     O3Params o3Params_;
     mem::PhysicalMemory &physmem_;

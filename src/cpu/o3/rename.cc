@@ -1,6 +1,7 @@
 #include "cpu/o3/rename.hh"
 
 #include "base/logging.hh"
+#include "sim/serialize.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::cpu::o3
@@ -36,6 +37,30 @@ RenameMap::free(int phys)
     g5p_assert(phys >= 0 && phys < (int)ready_.size(),
                "freeing bad physical register %d", phys);
     freeList_.push_back(phys);
+}
+
+void
+RenameMap::serialize(sim::CheckpointOut &cp) const
+{
+    cp.paramVector("map", map_);
+    cp.paramVector("freeList", freeList_);
+    cp.paramVector("ready", ready_);
+}
+
+void
+RenameMap::unserialize(const sim::CheckpointIn &cp)
+{
+    std::vector<int> map, free_list;
+    std::vector<Cycles> ready;
+    cp.paramVector("map", map);
+    cp.paramVector("freeList", free_list);
+    cp.paramVector("ready", ready);
+    g5p_assert(map.size() == map_.size() &&
+               ready.size() == ready_.size(),
+               "rename-map geometry changed since checkpoint");
+    map_ = std::move(map);
+    freeList_ = std::move(free_list);
+    ready_ = std::move(ready);
 }
 
 } // namespace g5p::cpu::o3

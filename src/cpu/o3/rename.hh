@@ -18,6 +18,12 @@
 #include "base/types.hh"
 #include "isa/inst.hh"
 
+namespace g5p::sim
+{
+class CheckpointIn;
+class CheckpointOut;
+} // namespace g5p::sim
+
 namespace g5p::cpu::o3
 {
 
@@ -48,6 +54,11 @@ class RenameMap
     /** @} */
 
     unsigned freeCount() const { return (unsigned)freeList_.size(); }
+
+    /** @{ Checkpointing: write/read into the current section. */
+    void serialize(sim::CheckpointOut &cp) const;
+    void unserialize(const sim::CheckpointIn &cp);
+    /** @} */
 
   private:
     std::vector<int> map_;        ///< arch -> phys

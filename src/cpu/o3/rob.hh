@@ -37,6 +37,11 @@ class Rob
     /** Iteration (oldest first) for the writeback scan. */
     auto begin() { return insts_.begin(); }
     auto end() { return insts_.end(); }
+    auto begin() const { return insts_.begin(); }
+    auto end() const { return insts_.end(); }
+
+    /** Drop everything (checkpoint restore). */
+    void clear() { insts_.clear(); }
 
   private:
     unsigned capacity_;

@@ -14,17 +14,23 @@ TimingCpu::TimingCpu(sim::Simulator &sim, const std::string &name,
       ctx_(*this),
       fetchEvent_(this, sim::Event::CpuTickPri)
 {
+    eventQueue().registerSerial(name + ".tick", &fetchEvent_);
 }
 
 TimingCpu::~TimingCpu()
 {
     if (fetchEvent_.scheduled())
         deschedule(fetchEvent_);
+    eventQueue().unregisterSerial(name() + ".tick");
 }
 
 void
 TimingCpu::activate()
 {
+    // Idempotent: a restored CPU's fetch event is already
+    // re-scheduled from the checkpoint (or the CPU halted).
+    if (halted_ || fetchEvent_.scheduled())
+        return;
     g5p_assert(state_ == State::Idle, "%s already active",
                name().c_str());
     schedule(fetchEvent_, clockEdge());
@@ -90,7 +96,7 @@ TimingCpu::recvInstResp(mem::PacketPtr pkt)
         completeInst();
         return;
       case isa::Fault::Halt:
-        countCommit(*curInst_);
+        countCommit(*curInst_, pc_);
         state_ = State::Idle;
         doHalt();
         return;
@@ -177,7 +183,7 @@ void
 TimingCpu::completeInst()
 {
     G5P_TRACE_SCOPE("TimingCpu::completeInst", CpuSimple, false);
-    countCommit(*curInst_);
+    countCommit(*curInst_, pc_);
     if (ctx_.branched())
         numTakenBranches_ += 1;
     pc_ = ctx_.nextPc();
@@ -188,6 +194,25 @@ TimingCpu::completeInst()
         return;
     }
     schedule(fetchEvent_, clockEdge(1));
+}
+
+void
+TimingCpu::serialize(sim::CheckpointOut &cp) const
+{
+    // A timing CPU is only checkpointable between instructions: any
+    // in-flight fetch or data access holds a transient event, so the
+    // queue-quiescence check in the Simulator guarantees Idle here.
+    g5p_assert(state_ == State::Idle,
+               "%s: cannot checkpoint with an access in flight",
+               name().c_str());
+    BaseCpu::serialize(cp);
+}
+
+void
+TimingCpu::unserialize(const sim::CheckpointIn &cp)
+{
+    BaseCpu::unserialize(cp);
+    state_ = State::Idle;
 }
 
 void

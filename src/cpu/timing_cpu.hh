@@ -27,6 +27,9 @@ class TimingCpu : public BaseCpu
 
     void regStats() override;
 
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
   protected:
     isa::Fault execReadMem(Addr vaddr, unsigned size) override;
     isa::Fault execWriteMem(Addr vaddr, unsigned size,

@@ -1,5 +1,7 @@
 #include "isa/decoder.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "trace/recorder.hh"
 
@@ -131,6 +133,28 @@ Decoder::decode(std::uint64_t word)
     }
     it->second = decodeOne(word);
     return it->second;
+}
+
+StaticInstPtr
+Decoder::decodeQuiet(std::uint64_t word)
+{
+    if (cache_.empty())
+        cache_.reserve(initialCacheBuckets);
+    auto [it, inserted] = cache_.try_emplace(word);
+    if (inserted)
+        it->second = decodeOne(word);
+    return it->second;
+}
+
+std::vector<std::uint64_t>
+Decoder::cachedWords() const
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(cache_.size());
+    for (const auto &[word, inst] : cache_)
+        words.push_back(word);
+    std::sort(words.begin(), words.end());
+    return words;
 }
 
 } // namespace g5p::isa

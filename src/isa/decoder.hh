@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/inst.hh"
 
@@ -45,6 +46,24 @@ class Decoder
 
     /** Build a StaticInst without caching (tests, disassembly). */
     static StaticInstPtr decodeOne(std::uint64_t word);
+
+    /**
+     * Cache-filling decode that leaves the hit/decode counters
+     * untouched. Checkpoint restore re-decodes pipeline contents
+     * through this path, then restores the counters exactly.
+     */
+    StaticInstPtr decodeQuiet(std::uint64_t word);
+
+    /** All cached words, sorted (checkpointing). */
+    std::vector<std::uint64_t> cachedWords() const;
+
+    /** Force the counters (checkpoint restore). */
+    void
+    setCounters(std::uint64_t decodes, std::uint64_t hits)
+    {
+        numDecodes_ = decodes;
+        numCacheHits_ = hits;
+    }
 
   private:
     /** Pre-sized for a typical hot working set of distinct words,

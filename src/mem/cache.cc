@@ -302,6 +302,58 @@ Cache::scheduleFn(Cycles cycles, std::function<void()> fn)
 }
 
 void
+Cache::serialize(sim::CheckpointOut &cp) const
+{
+    g5p_assert(mshrs_.empty() && deferred_.empty(),
+               "%s: cannot checkpoint with in-flight misses",
+               name().c_str());
+    cp.param("lruCounter", lruCounter_);
+    std::vector<std::uint64_t> idx, tags, flags, lastUsed;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const Line &line = lines_[i];
+        if (!line.valid)
+            continue;
+        idx.push_back(i);
+        tags.push_back(line.tag);
+        flags.push_back((line.dirty ? 1u : 0u) |
+                        (line.writable ? 2u : 0u));
+        lastUsed.push_back(line.lastUsed);
+    }
+    cp.paramVector("lineIdx", idx);
+    cp.paramVector("lineTag", tags);
+    cp.paramVector("lineFlags", flags);
+    cp.paramVector("lineLastUsed", lastUsed);
+}
+
+void
+Cache::unserialize(const sim::CheckpointIn &cp)
+{
+    cp.param("lruCounter", lruCounter_);
+    std::vector<std::uint64_t> idx, tags, flags, lastUsed;
+    cp.paramVector("lineIdx", idx);
+    cp.paramVector("lineTag", tags);
+    cp.paramVector("lineFlags", flags);
+    cp.paramVector("lineLastUsed", lastUsed);
+    g5p_assert(idx.size() == tags.size() &&
+               idx.size() == flags.size() &&
+               idx.size() == lastUsed.size(),
+               "%s: corrupt cache checkpoint", name().c_str());
+    for (Line &line : lines_)
+        line = Line{};
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        g5p_assert(idx[i] < lines_.size(),
+                   "%s: cache checkpoint line out of range",
+                   name().c_str());
+        Line &line = lines_[idx[i]];
+        line.valid = true;
+        line.tag = tags[i];
+        line.dirty = (flags[i] & 1u) != 0;
+        line.writable = (flags[i] & 2u) != 0;
+        line.lastUsed = lastUsed[i];
+    }
+}
+
+void
 Cache::regStats()
 {
     addStat(&hits_, "hits", "demand hits");

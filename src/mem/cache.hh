@@ -58,6 +58,13 @@ class Cache : public sim::ClockedObject
     /** Coherence: drop the line (invalidate from a sibling). */
     void invalidateLine(Addr addr);
 
+    /**
+     * Checkpoint tags, line state and LRU clock. MSHRs and deferred
+     * requests must be drained (quiescent point); asserted.
+     */
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
     void regStats() override;
 
     /** @{ Raw counters for tests and reports. */

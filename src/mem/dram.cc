@@ -89,6 +89,18 @@ DramCtrl::recvTimingReq(PacketPtr pkt)
 }
 
 void
+DramCtrl::serialize(sim::CheckpointOut &cp) const
+{
+    cp.param("channelFreeAt", channelFreeAt_);
+}
+
+void
+DramCtrl::unserialize(const sim::CheckpointIn &cp)
+{
+    cp.param("channelFreeAt", channelFreeAt_);
+}
+
+void
 DramCtrl::regStats()
 {
     addStat(&reads_, "reads", "read transactions");

@@ -33,6 +33,9 @@ class DramCtrl : public sim::ClockedObject
 
     ResponsePort &port() { return port_; }
 
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
     void regStats() override;
 
     std::uint64_t reads() const

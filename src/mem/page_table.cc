@@ -1,6 +1,9 @@
 #include "mem/page_table.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
+#include "sim/serialize.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::mem
@@ -45,6 +48,42 @@ PageTable::translate(Addr vaddr) const
     return Translation{
         (e.pfn << guestPageShift) | (vaddr & (guestPageBytes - 1)),
         true, e.writable, e.executable};
+}
+
+void
+PageTable::serialize(sim::CheckpointOut &cp) const
+{
+    std::vector<std::uint64_t> vpns, pfns, flags;
+    vpns.reserve(entries_.size());
+    for (const auto &[vpn, entry] : entries_)
+        vpns.push_back(vpn);
+    std::sort(vpns.begin(), vpns.end());
+    for (std::uint64_t vpn : vpns) {
+        const PageEntry &e = entries_.at(vpn);
+        pfns.push_back(e.pfn);
+        flags.push_back((e.writable ? 1u : 0u) |
+                        (e.executable ? 2u : 0u));
+    }
+    cp.paramVector("ptVpns", vpns);
+    cp.paramVector("ptPfns", pfns);
+    cp.paramVector("ptFlags", flags);
+}
+
+void
+PageTable::unserialize(const sim::CheckpointIn &cp)
+{
+    std::vector<std::uint64_t> vpns, pfns, flags;
+    cp.paramVector("ptVpns", vpns);
+    cp.paramVector("ptPfns", pfns);
+    cp.paramVector("ptFlags", flags);
+    g5p_assert(vpns.size() == pfns.size() &&
+               vpns.size() == flags.size(),
+               "corrupt page-table checkpoint");
+    entries_.clear();
+    for (std::size_t i = 0; i < vpns.size(); ++i)
+        entries_[vpns[i]] = PageEntry{pfns[i],
+                                      (flags[i] & 1u) != 0,
+                                      (flags[i] & 2u) != 0};
 }
 
 } // namespace g5p::mem

@@ -13,6 +13,12 @@
 
 #include "base/types.hh"
 
+namespace g5p::sim
+{
+class CheckpointIn;
+class CheckpointOut;
+} // namespace g5p::sim
+
 namespace g5p::mem
 {
 
@@ -56,6 +62,12 @@ class PageTable
 
     /** Number of mapped pages. */
     std::size_t size() const { return entries_.size(); }
+
+    /** Write all mappings (sorted by vpn) into the current section. */
+    void serialize(sim::CheckpointOut &cp) const;
+
+    /** Replace all mappings with the checkpointed set. */
+    void unserialize(const sim::CheckpointIn &cp);
 
   private:
     std::unordered_map<std::uint64_t, PageEntry> entries_;

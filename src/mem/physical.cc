@@ -1,5 +1,6 @@
 #include "mem/physical.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/logging.hh"
@@ -66,6 +67,37 @@ PhysicalMemory::write(Addr addr, unsigned size, std::uint64_t value)
     trace::recordData(hostBase_ + addr, size, true);
     std::memcpy(data_.data() + addr, &value, size);
     statWrites_ += 1;
+}
+
+std::uint64_t
+PhysicalMemory::peek(Addr addr, unsigned size) const
+{
+    checkRange(addr, size);
+    std::uint64_t v = 0;
+    std::memcpy(&v, data_.data() + addr, size);
+    return v;
+}
+
+std::uint64_t
+PhysicalMemory::contentDigest() const
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    auto mix = [&hash](std::uint8_t byte) {
+        hash = (hash ^ byte) * 1099511628211ULL;
+    };
+    for (std::uint64_t p = 0; p < touchedPages_.size(); ++p) {
+        if (!touchedPages_[p])
+            continue;
+        for (unsigned i = 0; i < 8; ++i)
+            mix((std::uint8_t)(p >> (8 * i)));
+        const std::uint8_t *page = data_.data() + (p << pageShift);
+        std::uint64_t bytes = std::min<std::uint64_t>(
+            std::uint64_t{1} << pageShift,
+            data_.size() - (p << pageShift));
+        for (std::uint64_t i = 0; i < bytes; ++i)
+            mix(page[i]);
+    }
+    return hash;
 }
 
 void

@@ -39,6 +39,20 @@ class PhysicalMemory : public sim::SimObject
     /** Bulk load (program images). */
     void writeBlock(Addr addr, const void *src, std::size_t len);
 
+    /**
+     * Non-instrumented read: no stats, no page touch, no host-trace
+     * record. For checkpoint restore (re-decoding pipeline contents)
+     * and test digests, where an observing read must not perturb the
+     * simulation.
+     */
+    std::uint64_t peek(Addr addr, unsigned size) const;
+
+    /**
+     * FNV-1a digest over every touched page (index and bytes).
+     * Non-instrumented, like peek().
+     */
+    std::uint64_t contentDigest() const;
+
     /** Host address corresponding to guest physical @p addr. */
     HostAddr hostAddr(Addr addr) const { return hostBase_ + addr; }
 

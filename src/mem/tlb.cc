@@ -77,6 +77,61 @@ Tlb::flush()
 }
 
 void
+Tlb::serialize(sim::CheckpointOut &cp) const
+{
+    cp.param("lruCounter", lruCounter_);
+    std::vector<std::uint64_t> idx, vpns, paddrs, flags, lastUsed;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (!e.valid)
+            continue;
+        idx.push_back(i);
+        vpns.push_back(e.vpn);
+        paddrs.push_back(e.translation.paddr);
+        flags.push_back((e.translation.writable ? 1u : 0u) |
+                        (e.translation.executable ? 2u : 0u));
+        lastUsed.push_back(e.lastUsed);
+    }
+    cp.paramVector("entryIdx", idx);
+    cp.paramVector("entryVpn", vpns);
+    cp.paramVector("entryPaddr", paddrs);
+    cp.paramVector("entryFlags", flags);
+    cp.paramVector("entryLastUsed", lastUsed);
+}
+
+void
+Tlb::unserialize(const sim::CheckpointIn &cp)
+{
+    cp.param("lruCounter", lruCounter_);
+    std::vector<std::uint64_t> idx, vpns, paddrs, flags, lastUsed;
+    cp.paramVector("entryIdx", idx);
+    cp.paramVector("entryVpn", vpns);
+    cp.paramVector("entryPaddr", paddrs);
+    cp.paramVector("entryFlags", flags);
+    cp.paramVector("entryLastUsed", lastUsed);
+    g5p_assert(idx.size() == vpns.size() &&
+               idx.size() == paddrs.size() &&
+               idx.size() == flags.size() &&
+               idx.size() == lastUsed.size(),
+               "%s: corrupt TLB checkpoint", name().c_str());
+    for (Entry &e : entries_)
+        e = Entry{};
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        g5p_assert(idx[i] < entries_.size(),
+                   "%s: TLB checkpoint entry out of range",
+                   name().c_str());
+        Entry &e = entries_[idx[i]];
+        e.valid = true;
+        e.vpn = vpns[i];
+        e.translation.valid = true;
+        e.translation.paddr = paddrs[i];
+        e.translation.writable = (flags[i] & 1u) != 0;
+        e.translation.executable = (flags[i] & 2u) != 0;
+        e.lastUsed = lastUsed[i];
+    }
+}
+
+void
 Tlb::regStats()
 {
     addStat(&hits_, "hits", "TLB hits");

@@ -33,6 +33,9 @@ class Tlb : public sim::SimObject
     /** Bind the backing page table (Process or kernel owns it). */
     void setPageTable(const PageTable *table) { pageTable_ = table; }
 
+    /** The bound page table (e.g. for functional re-translation). */
+    const PageTable *pageTable() const { return pageTable_; }
+
     /** Result of a TLB lookup. */
     struct Result
     {
@@ -44,8 +47,11 @@ class Tlb : public sim::SimObject
     /** Translate @p vaddr (guest virtual). */
     Result translate(Addr vaddr);
 
-    /** Drop all entries (context switch / checkpoint restore). */
+    /** Drop all entries (context switch). */
     void flush();
+
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
 
     void regStats() override;
 

@@ -1,5 +1,7 @@
 #include "mem/xbar.hh"
 
+#include <algorithm>
+
 #include "trace/recorder.hh"
 
 namespace g5p::mem
@@ -132,6 +134,33 @@ CoherentXbar::scheduleFn(Cycles cycles, std::function<void()> fn)
 {
     scheduleCallback(clockEdge(cycles ? cycles : 1), std::move(fn),
                      name() + ".delayed");
+}
+
+void
+CoherentXbar::serialize(sim::CheckpointOut &cp) const
+{
+    std::vector<std::uint64_t> addrs, masks;
+    addrs.reserve(snoopFilter_.size());
+    for (const auto &[addr, mask] : snoopFilter_)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    for (std::uint64_t addr : addrs)
+        masks.push_back(snoopFilter_.at(addr));
+    cp.paramVector("filterAddr", addrs);
+    cp.paramVector("filterMask", masks);
+}
+
+void
+CoherentXbar::unserialize(const sim::CheckpointIn &cp)
+{
+    std::vector<std::uint64_t> addrs, masks;
+    cp.paramVector("filterAddr", addrs);
+    cp.paramVector("filterMask", masks);
+    g5p_assert(addrs.size() == masks.size(),
+               "%s: corrupt snoop-filter checkpoint", name().c_str());
+    snoopFilter_.clear();
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        snoopFilter_[addrs[i]] = (std::uint32_t)masks[i];
 }
 
 void

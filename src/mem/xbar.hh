@@ -50,6 +50,9 @@ class CoherentXbar : public sim::ClockedObject
     /** Downstream port (binds to the L2's cpu side). */
     RequestPort &memSidePort() { return memPort_; }
 
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
     void regStats() override;
 
   private:

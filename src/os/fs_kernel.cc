@@ -17,12 +17,16 @@ FsKernel::FsKernel(sim::Simulator &sim, const std::string &name,
       params_(params),
       timerEvent_(this)
 {
+    // The timer survives checkpoints: restore re-schedules it by tag
+    // (see EventQueue::registerSerial).
+    eventQueue().registerSerial(name + ".timer", &timerEvent_);
 }
 
 FsKernel::~FsKernel()
 {
     if (timerEvent_.scheduled())
         deschedule(timerEvent_);
+    eventQueue().unregisterSerial(name() + ".timer");
 }
 
 void
@@ -124,6 +128,20 @@ FsKernel::timerTick()
 
     if (!stopped_)
         schedule(timerEvent_, curTick() + params_.timerPeriod);
+}
+
+void
+FsKernel::serialize(sim::CheckpointOut &cp) const
+{
+    cp.param("stopped", (int)stopped_);
+}
+
+void
+FsKernel::unserialize(const sim::CheckpointIn &cp)
+{
+    int stopped = 0;
+    cp.param("stopped", stopped);
+    stopped_ = stopped != 0;
 }
 
 void

@@ -56,6 +56,9 @@ class FsKernel : public sim::ClockedObject, public cpu::SyscallHandler
 
     void startup() override;
 
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
     void regStats() override;
 
     /** Guest address of the boot-completion flag. */

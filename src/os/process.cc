@@ -44,4 +44,18 @@ Process::handleSyscall(cpu::BaseCpu &cpu)
     emulator_.emulate(cpu);
 }
 
+void
+Process::serialize(sim::CheckpointOut &cp) const
+{
+    pageTable_.serialize(cp);
+    emulator_.serialize(cp);
+}
+
+void
+Process::unserialize(const sim::CheckpointIn &cp)
+{
+    pageTable_.unserialize(cp);
+    emulator_.unserialize(cp);
+}
+
 } // namespace g5p::os

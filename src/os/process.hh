@@ -44,6 +44,10 @@ class Process : public sim::SimObject, public cpu::SyscallHandler
 
     void handleSyscall(cpu::BaseCpu &cpu) override;
 
+    /** Checkpoint the page table and the syscall-emulator state. */
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
     /** Bytes reserved per CPU stack. */
     static constexpr std::uint64_t stackBytes = 64 * 1024;
 

@@ -89,4 +89,35 @@ SyscallEmulator::emulate(cpu::BaseCpu &cpu)
     }
 }
 
+void
+SyscallEmulator::serialize(sim::CheckpointOut &cp) const
+{
+    // Console text and stats dumps embed newlines; the checkpoint
+    // text format escapes them (see sim/serialize.hh).
+    cp.param("console", console_);
+    cp.param("numStatsDumps", statsDumps_.size());
+    for (std::size_t i = 0; i < statsDumps_.size(); ++i)
+        cp.param("statsDump" + std::to_string(i), statsDumps_[i]);
+    cp.param("exitStatus", exitStatus_);
+    cp.param("brk", brk_);
+    cp.param("brkLimit", brkLimit_);
+}
+
+void
+SyscallEmulator::unserialize(const sim::CheckpointIn &cp)
+{
+    cp.param("console", console_);
+    std::size_t dumps = 0;
+    cp.param("numStatsDumps", dumps);
+    statsDumps_.clear();
+    for (std::size_t i = 0; i < dumps; ++i) {
+        std::string dump;
+        cp.param("statsDump" + std::to_string(i), dump);
+        statsDumps_.push_back(std::move(dump));
+    }
+    cp.param("exitStatus", exitStatus_);
+    cp.param("brk", brk_);
+    cp.param("brkLimit", brkLimit_);
+}
+
 } // namespace g5p::os

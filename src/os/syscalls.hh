@@ -16,6 +16,7 @@
 
 namespace g5p::cpu { class BaseCpu; }
 namespace g5p::mem { class PhysicalMemory; class PageTable; }
+namespace g5p::sim { class CheckpointIn; class CheckpointOut; }
 
 namespace g5p::os
 {
@@ -74,6 +75,10 @@ class SyscallEmulator
     }
     std::uint64_t brk() const { return brk_; }
     /** @} */
+
+    /** Checkpoint console output, stats dumps and break state. */
+    void serialize(sim::CheckpointOut &cp) const;
+    void unserialize(const sim::CheckpointIn &cp);
 
   private:
     mem::PhysicalMemory &physmem_;

@@ -152,10 +152,21 @@ System::run(Tick tick_limit)
 {
     if (!activated_) {
         activated_ = true;
-        sim::SimResult first = sim_.run(0); // init/startup phases
-        (void)first;
-        for (auto &cpu : cpus_)
-            cpu->activate();
+        if (sim_.restored()) {
+            // A restored machine resumes from the checkpointed event
+            // queue: the CPU tick events are already re-scheduled, so
+            // activating here would perturb timing. Just rebuild the
+            // halt tally the checkpointed callbacks had accumulated.
+            haltedCount_ = 0;
+            for (auto &cpu : cpus_)
+                if (cpu->halted())
+                    ++haltedCount_;
+        } else {
+            sim::SimResult first = sim_.run(0); // init/startup phases
+            (void)first;
+            for (auto &cpu : cpus_)
+                cpu->activate();
+        }
     }
     return sim_.run(tick_limit);
 }

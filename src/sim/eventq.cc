@@ -1,7 +1,9 @@
 #include "sim/eventq.hh"
 
+#include <algorithm>
 #include <new>
 
+#include "sim/serialize.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::sim
@@ -185,6 +187,8 @@ EventQueue::schedule(Event *event, Tick when)
                              event->priority_});
     siftUp(event->heapIndex_);
     ++numScheduled_;
+    if (event->autoDelete_)
+        ++transientScheduled_;
 }
 
 void
@@ -197,6 +201,8 @@ EventQueue::deschedule(Event *event)
                "event '%s' not on this queue",
                event->name().c_str());
     event->heapIndex_ = Event::invalidIndex;
+    if (event->autoDelete_)
+        --transientScheduled_;
 
     HeapNode last = heap_.back();
     heap_.pop_back();
@@ -241,6 +247,8 @@ EventQueue::reschedule(Event *event, Tick when)
 void
 EventQueue::popTop()
 {
+    if (heap_.front().event->autoDelete_)
+        --transientScheduled_;
     heap_.front().event->heapIndex_ = Event::invalidIndex;
     HeapNode last = heap_.back();
     heap_.pop_back();
@@ -318,6 +326,122 @@ EventQueue::setCurTick(Tick tick)
     g5p_assert(empty() || nextTick() >= tick,
                "setCurTick would pass pending events");
     curTick_ = tick;
+}
+
+void
+EventQueue::registerSerial(const std::string &tag, Event *event)
+{
+    g5p_assert(event, "registering null event");
+    auto [it, inserted] = serialRegistry_.emplace(tag, event);
+    g5p_assert(inserted, "event tag '%s' registered twice",
+               tag.c_str());
+}
+
+void
+EventQueue::unregisterSerial(const std::string &tag)
+{
+    serialRegistry_.erase(tag);
+}
+
+void
+EventQueue::serializeEvents(CheckpointOut &cp) const
+{
+    // Reverse map for tag lookup; the registry is small (one entry
+    // per CPU tick event plus a handful of timers/exits).
+    std::map<const Event *, std::string> tags;
+    for (const auto &[tag, event] : serialRegistry_)
+        tags.emplace(event, tag);
+
+    struct Record
+    {
+        Tick when;
+        std::int16_t priority;
+        std::uint64_t sequence;
+        std::string tag;
+    };
+    std::vector<Record> records;
+    records.reserve(heap_.size());
+    for (const HeapNode &node : heap_) {
+        g5p_assert(!node.event->autoDelete_,
+                   "cannot checkpoint: transient event '%s' pending "
+                   "(queue not quiescent)",
+                   node.event->name().c_str());
+        auto it = tags.find(node.event);
+        if (it == tags.end())
+            g5p_fatal("cannot checkpoint: pending event '%s' has no "
+                      "serial registration",
+                      node.event->name().c_str());
+        records.push_back(Record{node.when, node.priority,
+                                 node.sequence, it->second});
+    }
+    // Strict service order; restore re-schedules in this order so
+    // fresh sequence numbers reproduce the same tie-breaks.
+    std::sort(records.begin(), records.end(),
+              [](const Record &a, const Record &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.priority != b.priority)
+                      return a.priority < b.priority;
+                  return a.sequence < b.sequence;
+              });
+
+    cp.param("numEvents", records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        std::ostringstream os;
+        os << records[i].when << " " << records[i].tag;
+        cp.param("ev" + std::to_string(i), os.str());
+    }
+    cp.param("numServiced", numServiced_);
+    cp.param("numScheduled", numScheduled_);
+    cp.param("nextSequence", nextSequence_);
+}
+
+void
+EventQueue::unserializeEvents(const CheckpointIn &cp)
+{
+    std::size_t count = 0;
+    cp.param("numEvents", count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string record;
+        cp.param("ev" + std::to_string(i), record);
+        std::istringstream is(record);
+        Tick when = 0;
+        std::string tag;
+        is >> when >> tag;
+        auto it = serialRegistry_.find(tag);
+        if (it == serialRegistry_.end()) {
+            g5p_warn("checkpoint event tag '%s' unknown in this "
+                     "machine; skipping", tag.c_str());
+            continue;
+        }
+        if (it->second->scheduled()) {
+            g5p_warn("checkpoint event tag '%s' already scheduled; "
+                     "skipping", tag.c_str());
+            continue;
+        }
+        schedule(it->second, when);
+    }
+    // Restore lifetime counters last (scheduling above bumped them);
+    // nextSequence_ from the original run is >= anything assigned
+    // here, so relative order of future events is unaffected.
+    cp.param("numServiced", numServiced_);
+    cp.param("numScheduled", numScheduled_);
+    std::uint64_t next_seq = nextSequence_;
+    cp.param("nextSequence", next_seq);
+    if (next_seq > nextSequence_)
+        nextSequence_ = next_seq;
+}
+
+void
+EventQueue::clear()
+{
+    for (const HeapNode &node : heap_) {
+        node.event->heapIndex_ = Event::invalidIndex;
+        if (node.event->autoDelete())
+            delete node.event;
+    }
+    heap_.clear();
+    transientScheduled_ = 0;
 }
 
 } // namespace g5p::sim

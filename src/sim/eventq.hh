@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@
 namespace g5p::sim
 {
 
+class CheckpointIn;
+class CheckpointOut;
 class EventQueue;
 
 /**
@@ -74,8 +77,15 @@ class Event
     /** True while on a queue. */
     bool scheduled() const { return heapIndex_ != invalidIndex; }
 
-    /** If set, the queue deletes the event after process(). */
-    void setAutoDelete(bool v) { autoDelete_ = v; }
+    /** If set, the queue deletes the event after process(). Must not
+     *  change while scheduled (the queue counts transient events). */
+    void
+    setAutoDelete(bool v)
+    {
+        g5p_assert(!scheduled(),
+                   "setAutoDelete on a scheduled event");
+        autoDelete_ = v;
+    }
 
     /** @see setAutoDelete */
     bool autoDelete() const { return autoDelete_; }
@@ -261,6 +271,51 @@ class EventQueue
     /** Total schedule()/reschedule() calls over the lifetime. */
     std::uint64_t numScheduled() const { return numScheduled_; }
 
+    /** Scheduled auto-delete (transient callback) events. */
+    std::size_t numTransient() const { return transientScheduled_; }
+
+    /**
+     * True when no transient events are pending. Every in-flight
+     * memory transaction (cache/xbar/DRAM hop, TLB walk, deferred
+     * MSHR target) holds exactly one pending auto-delete callback, so
+     * a quiescent queue means no transaction is in flight anywhere —
+     * the precondition for taking a checkpoint.
+     */
+    bool quiescent() const { return transientScheduled_ == 0; }
+
+    /**
+     * Register a checkpointable event under a unique tag (e.g.
+     * "cpu0.tick"). Only registered events may be pending when a
+     * checkpoint is taken; the tag is what restore uses to find the
+     * equivalent event in the freshly built machine.
+     */
+    void registerSerial(const std::string &tag, Event *event);
+
+    /** Drop a registration (owning object is being destroyed). */
+    void unregisterSerial(const std::string &tag);
+
+    /**
+     * Write every pending event as (service order, tick, tag) into
+     * the current checkpoint section. Fatal if a pending event is
+     * transient (queue not quiescent) or unregistered.
+     */
+    void serializeEvents(CheckpointOut &cp) const;
+
+    /**
+     * Re-schedule checkpointed events in recorded service order, so
+     * freshly assigned sequence numbers reproduce same-(tick,
+     * priority) ties exactly. Unknown tags warn and are skipped
+     * (graceful degradation when the machine shape changed).
+     */
+    void unserializeEvents(const CheckpointIn &cp);
+
+    /**
+     * Deschedule everything (deleting auto-delete events), e.g. to
+     * clear startup-scheduled events before a restore repopulates
+     * the queue. Registrations are kept.
+     */
+    void clear();
+
   private:
     /** Children per heap node; 4-ary keeps the tree shallow and the
      *  child scan within adjacent cache lines. */
@@ -305,9 +360,14 @@ class EventQueue
     std::uint64_t nextSequence_ = 0;
     std::uint64_t numServiced_ = 0;
     std::uint64_t numScheduled_ = 0;
+    /** Pending auto-delete events (see quiescent()). */
+    std::size_t transientScheduled_ = 0;
 
     /** 4-ary min-heap; heap_[i].event->heapIndex_ == i. */
     std::vector<HeapNode> heap_;
+
+    /** Checkpoint tag -> event (see registerSerial). */
+    std::map<std::string, Event *> serialRegistry_;
 };
 
 /**

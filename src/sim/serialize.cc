@@ -1,11 +1,101 @@
 #include "sim/serialize.hh"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 
 #include "base/logging.hh"
 
 namespace g5p::sim
 {
+
+namespace detail
+{
+
+std::string
+encodeDouble(double v)
+{
+    // %a prints an exact hex-float; buffer is ample for any double.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+double
+decodeDouble(const std::string &s)
+{
+    return std::strtod(s.c_str(), nullptr);
+}
+
+} // namespace detail
+
+namespace
+{
+
+/**
+ * Escape a payload for one `key=value` line. Values only need the
+ * characters that would corrupt the line structure (backslash,
+ * newline, CR); keys also hide '=' (the first '=' splits the line),
+ * '#' (comment marker) and '[' (section marker).
+ */
+std::string
+escapeText(const std::string &s, bool is_key)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '=':
+            if (is_key) { out += "\\e"; break; }
+            out += c;
+            break;
+          case '#':
+            if (is_key) { out += "\\h"; break; }
+            out += c;
+            break;
+          case '[':
+            if (is_key) { out += "\\b"; break; }
+            out += c;
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeText(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 'e': out += '='; break;
+          case 'h': out += '#'; break;
+          case 'b': out += '['; break;
+          default:
+            // Unknown escape: keep both characters (graceful reads of
+            // checkpoints written by a newer format revision).
+            out += '\\';
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 void
 CheckpointOut::pushSection(const std::string &name)
@@ -45,7 +135,8 @@ CheckpointOut::toText() const
     for (const auto &[section, kv] : sections_) {
         os << "[" << section << "]\n";
         for (const auto &[k, v] : kv)
-            os << k << "=" << v << "\n";
+            os << escapeText(k, true) << "="
+               << escapeText(v, false) << "\n";
         os << "\n";
     }
     return os.str();
@@ -76,7 +167,8 @@ CheckpointIn::fromText(const std::string &text)
         auto eq = line.find('=');
         if (eq == std::string::npos)
             continue;
-        cp.sections_[section][line.substr(0, eq)] = line.substr(eq + 1);
+        cp.sections_[section][unescapeText(line.substr(0, eq))] =
+            unescapeText(line.substr(eq + 1));
     }
     return cp;
 }
@@ -93,13 +185,13 @@ CheckpointIn::readFile(const std::string &path)
 }
 
 void
-CheckpointIn::pushSection(const std::string &name)
+CheckpointIn::pushSection(const std::string &name) const
 {
     sectionStack_.push_back(name);
 }
 
 void
-CheckpointIn::popSection()
+CheckpointIn::popSection() const
 {
     g5p_assert(!sectionStack_.empty(), "popSection on empty stack");
     sectionStack_.pop_back();
@@ -124,17 +216,43 @@ CheckpointIn::has(const std::string &key) const
     return sec != sections_.end() && sec->second.count(key) > 0;
 }
 
+bool
+CheckpointIn::hasSection(const std::string &name) const
+{
+    std::string full = sectionStack_.empty()
+        ? name
+        : currentSection() + "." + name;
+    if (sections_.count(full))
+        return true;
+    // A section with only subsections has no entry of its own.
+    std::string prefix = full + ".";
+    auto it = sections_.lower_bound(prefix);
+    return it != sections_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string>
+CheckpointIn::sectionNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(sections_.size());
+    for (const auto &[section, kv] : sections_)
+        names.push_back(section);
+    return names;
+}
+
 std::string
 CheckpointIn::get(const std::string &key) const
 {
     auto sec = sections_.find(currentSection());
     if (sec == sections_.end())
-        g5p_fatal("checkpoint missing section '%s'",
-                  currentSection().c_str());
+        throw std::runtime_error(
+            "checkpoint missing section '" + currentSection() + "'");
     auto kv = sec->second.find(key);
     if (kv == sec->second.end())
-        g5p_fatal("checkpoint missing key '%s.%s'",
-                  currentSection().c_str(), key.c_str());
+        throw std::runtime_error(
+            "checkpoint missing key '" + key + "' in section '" +
+            currentSection() + "'");
     return kv->second;
 }
 

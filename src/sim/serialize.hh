@@ -6,6 +6,14 @@
  * The paper's Boot-Exit methodology relies on checkpoints ("M1 ... used
  * to recover from checkpoints taken by Intel_Xeon"); mg5 supports the
  * same take-on-one-run / restore-on-another flow.
+ *
+ * Format notes:
+ *  - One `[section]` header per dotted section name, `key=value` lines.
+ *  - Values round-trip arbitrary bytes: backslash, newline and CR are
+ *    escaped (`\\`, `\n`, `\r`); keys additionally escape `=`, `#`
+ *    and `[` so the line parser can never misread them.
+ *  - Floating-point params are stored as C99 hex-floats (`%a`) so
+ *    doubles restore bit-exactly.
  */
 
 #ifndef G5P_SIM_SERIALIZE_HH
@@ -15,10 +23,22 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace g5p::sim
 {
+
+namespace detail
+{
+
+/** Exact textual encoding of a double (C99 %a hex-float). */
+std::string encodeDouble(double v);
+
+/** Inverse of encodeDouble (also accepts plain decimal floats). */
+double decodeDouble(const std::string &s);
+
+} // namespace detail
 
 /** Writable checkpoint: section -> key -> value. */
 class CheckpointOut
@@ -35,9 +55,13 @@ class CheckpointOut
     void
     param(const std::string &key, const T &value)
     {
-        std::ostringstream os;
-        os << value;
-        set(key, os.str());
+        if constexpr (std::is_floating_point_v<T>) {
+            set(key, detail::encodeDouble(value));
+        } else {
+            std::ostringstream os;
+            os << value;
+            set(key, os.str());
+        }
     }
 
     /** Store a vector as a space-separated list. */
@@ -49,7 +73,10 @@ class CheckpointOut
         for (std::size_t i = 0; i < values.size(); ++i) {
             if (i)
                 os << " ";
-            os << values[i];
+            if constexpr (std::is_floating_point_v<T>)
+                os << detail::encodeDouble(values[i]);
+            else
+                os << values[i];
         }
         set(key, os.str());
     }
@@ -71,6 +98,15 @@ class CheckpointOut
     std::map<std::string, std::map<std::string, std::string>> sections_;
 };
 
+/** Strings are stored verbatim, not via operator<<. */
+template <>
+inline void
+CheckpointOut::param<std::string>(const std::string &key,
+                                  const std::string &value)
+{
+    set(key, value);
+}
+
 /** Readable checkpoint. */
 class CheckpointIn
 {
@@ -81,16 +117,27 @@ class CheckpointIn
     /** Read from a file; fatal on I/O error. */
     static CheckpointIn readFile(const std::string &path);
 
-    void pushSection(const std::string &name);
-    void popSection();
+    /**
+     * Section navigation mirrors CheckpointOut. The stack is mutable
+     * so restore code can walk a const checkpoint.
+     */
+    void pushSection(const std::string &name) const;
+    void popSection() const;
 
-    /** Fetch one value; fatal if missing (corrupt checkpoint). */
+    /**
+     * Fetch one value; throws std::runtime_error naming the section
+     * and key if absent (corrupt or truncated checkpoint).
+     */
     template <typename T>
     void
     param(const std::string &key, T &value) const
     {
-        std::istringstream is(get(key));
-        is >> value;
+        if constexpr (std::is_floating_point_v<T>) {
+            value = static_cast<T>(detail::decodeDouble(get(key)));
+        } else {
+            std::istringstream is(get(key));
+            is >> value;
+        }
     }
 
     /** Fetch a vector stored by paramVector. */
@@ -100,21 +147,43 @@ class CheckpointIn
     {
         values.clear();
         std::istringstream is(get(key));
-        T v;
-        while (is >> v)
-            values.push_back(v);
+        if constexpr (std::is_floating_point_v<T>) {
+            std::string tok;
+            while (is >> tok)
+                values.push_back(
+                    static_cast<T>(detail::decodeDouble(tok)));
+        } else {
+            T v;
+            while (is >> v)
+                values.push_back(v);
+        }
     }
 
     /** True if the current section has @p key. */
     bool has(const std::string &key) const;
 
+    /** True if @p name is a (sub)section of the current section. */
+    bool hasSection(const std::string &name) const;
+
+    /** All fully qualified section names in the checkpoint. */
+    std::vector<std::string> sectionNames() const;
+
   private:
     std::string get(const std::string &key) const;
     std::string currentSection() const;
 
-    std::vector<std::string> sectionStack_;
+    mutable std::vector<std::string> sectionStack_;
     std::map<std::string, std::map<std::string, std::string>> sections_;
 };
+
+/** Strings come back verbatim (operator>> would stop at whitespace). */
+template <>
+inline void
+CheckpointIn::param<std::string>(const std::string &key,
+                                 std::string &value) const
+{
+    value = get(key);
+}
 
 /** Interface for checkpointable objects. */
 class Serializable

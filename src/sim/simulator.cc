@@ -25,10 +25,15 @@ exitCauseName(ExitCause cause)
 class Simulator::ExitEvent : public Event
 {
   public:
-    ExitEvent(Simulator &sim, std::string message, ExitCause cause)
+    ExitEvent(Simulator &sim, std::string message, ExitCause cause,
+              std::string tag)
         : Event(SimExitPri), sim_(sim), message_(std::move(message)),
-          cause_(cause)
-    {}
+          cause_(cause), tag_(std::move(tag))
+    {
+        sim_.eventq_.registerSerial(tag_, this);
+    }
+
+    ~ExitEvent() override { sim_.eventq_.unregisterSerial(tag_); }
 
     void
     process() override
@@ -40,19 +45,27 @@ class Simulator::ExitEvent : public Event
 
     std::string name() const override { return "exit-event"; }
 
+    const std::string &tag() const { return tag_; }
+    const std::string &message() const { return message_; }
+    ExitCause cause() const { return cause_; }
+
   private:
     Simulator &sim_;
     std::string message_;
     ExitCause cause_;
+    /** Checkpoint tag (see EventQueue::registerSerial). */
+    std::string tag_;
 };
 
 Simulator::Simulator(const std::string &name)
-    : stats::Group(nullptr, name), eventq_(name + ".eventq")
+    : stats::Group(nullptr, name), eventq_(name + ".eventq"),
+      autoCkptEvent_(this, Event::StatDumpPri)
 {
     // Objects built under this simulator get addresses from its own
     // data space, so identical configurations lay out identically
     // regardless of what ran earlier in the process.
     trace::DataSpace::setCurrent(&dataSpace_);
+    eventq_.registerSerial("sim.autockpt", &autoCkptEvent_);
 }
 
 Simulator::~Simulator()
@@ -62,6 +75,8 @@ Simulator::~Simulator()
     for (auto &ev : pendingExits_)
         if (ev->scheduled())
             eventq_.deschedule(ev.get());
+    if (autoCkptEvent_.scheduled())
+        eventq_.deschedule(&autoCkptEvent_);
 }
 
 void
@@ -115,6 +130,8 @@ Simulator::run(Tick tick_limit)
         }
         eventq_.serviceOne();
         ++eventsServiced_;
+        if (autoCkptPending_)
+            doAutoCheckpoint();
     }
     return {exitCause_, eventq_.curTick(), exitMessage_};
 }
@@ -124,7 +141,8 @@ Simulator::exitSimLoop(const std::string &message, ExitCause cause,
                        Tick when)
 {
     Tick at = std::max(when, eventq_.curTick());
-    auto ev = std::make_unique<ExitEvent>(*this, message, cause);
+    auto ev = std::make_unique<ExitEvent>(
+        *this, message, cause, "exit" + std::to_string(nextExitId_++));
     eventq_.schedule(ev.get(), at);
     pendingExits_.push_back(std::move(ev));
 }
@@ -141,33 +159,262 @@ Simulator::resetAllStats()
     resetStats();
 }
 
-void
-Simulator::takeCheckpoint(CheckpointOut &cp) const
+bool
+Simulator::advanceToQuiescence(std::uint64_t max_events)
 {
-    cp.pushSection(groupName());
-    cp.param("curTick", eventq_.curTick());
-    for (const auto *obj : objects_) {
-        cp.pushSection(obj->name());
-        obj->serialize(cp);
-        cp.popSection();
+    initPhase();
+    exitRequested_ = false;
+    std::uint64_t serviced = 0;
+    while (!eventq_.quiescent()) {
+        // Transient events are heap-resident, so the queue cannot be
+        // empty here. Servicing counts toward eventsServiced_ exactly
+        // as run() would — the seek is indistinguishable from a
+        // normal run continuing.
+        eventq_.serviceOne();
+        ++eventsServiced_;
+        if (exitRequested_)
+            return false;
+        if (++serviced >= max_events)
+            g5p_fatal("no quiescent point within %llu events",
+                      (unsigned long long)max_events);
+    }
+    return true;
+}
+
+void
+Simulator::checkpoint(const std::string &path)
+{
+    if (!advanceToQuiescence())
+        g5p_fatal("cannot checkpoint '%s': simulation exited before "
+                  "reaching a quiescent point (checkpoint earlier)",
+                  path.c_str());
+    CheckpointOut cp;
+    takeCheckpoint(cp);
+    cp.writeFile(path);
+}
+
+void
+Simulator::restore(const std::string &path)
+{
+    CheckpointIn cp = CheckpointIn::readFile(path);
+    restoreCheckpoint(cp);
+}
+
+void
+Simulator::enableAutoCheckpoint(Tick period, std::string prefix)
+{
+    g5p_assert(period > 0, "auto-checkpoint period must be non-zero");
+    autoCkptPeriod_ = period;
+    autoCkptPrefix_ = std::move(prefix);
+    eventq_.reschedule(&autoCkptEvent_, eventq_.curTick() + period);
+}
+
+void
+Simulator::doAutoCheckpoint()
+{
+    autoCkptPending_ = false;
+    if (autoCkptPeriod_ == 0) {
+        // A restored checkpoint can carry a scheduled auto-checkpoint
+        // event into a simulator that never enabled the feature.
+        g5p_warn("auto-checkpoint event fired but auto-checkpointing "
+                 "is not configured; ignoring");
+        return;
+    }
+    if (exitRequested_)
+        return; // the loop is about to return; nothing to resume
+    if (!advanceToQuiescence()) {
+        g5p_warn("auto-checkpoint skipped: simulation exited before "
+                 "reaching a quiescent point");
+        return;
+    }
+    std::string path = autoCkptPrefix_ + "-" +
+                       std::to_string(eventq_.curTick()) + ".ckpt";
+    CheckpointOut cp;
+    takeCheckpoint(cp);
+    cp.writeFile(path);
+    g5p_inform("auto-checkpoint written to '%s'", path.c_str());
+    eventq_.schedule(&autoCkptEvent_,
+                     eventq_.curTick() + autoCkptPeriod_);
+}
+
+namespace
+{
+
+/** Write the non-derived stats of @p group as a "stats" subsection. */
+void
+serializeGroupStats(const stats::Group &group, CheckpointOut &cp)
+{
+    cp.pushSection("stats");
+    for (const stats::Info *stat : group.statList()) {
+        std::vector<double> vals = stat->snapshotValues();
+        if (!vals.empty())
+            cp.paramVector(stat->name(), vals);
     }
     cp.popSection();
 }
 
+/** Inverse of serializeGroupStats; missing stats keep fresh values. */
 void
-Simulator::restoreCheckpoint(const CheckpointIn &in)
+unserializeGroupStats(stats::Group &group, const CheckpointIn &cp)
 {
-    auto &cp = const_cast<CheckpointIn &>(in);
-    cp.pushSection(groupName());
-    Tick tick = 0;
-    cp.param("curTick", tick);
-    eventq_.setCurTick(tick);
-    for (auto *obj : objects_) {
-        cp.pushSection(obj->name());
-        obj->unserialize(cp);
-        cp.popSection();
+    if (!cp.hasSection("stats"))
+        return;
+    cp.pushSection("stats");
+    for (stats::Info *stat : group.statList()) {
+        if (!cp.has(stat->name()))
+            continue;
+        std::vector<double> vals;
+        cp.paramVector(stat->name(), vals);
+        stat->restoreValues(vals);
     }
     cp.popSection();
+}
+
+} // namespace
+
+void
+Simulator::takeCheckpoint(CheckpointOut &cp) const
+{
+    g5p_assert(eventq_.quiescent(),
+               "takeCheckpoint requires a quiescent event queue "
+               "(use Simulator::checkpoint)");
+    cp.pushSection(groupName());
+
+    cp.pushSection("meta");
+    cp.param("version", checkpointVersion);
+    cp.param("curTick", eventq_.curTick());
+    cp.param("eventsServiced", eventsServiced_);
+    cp.param("nextExitId", nextExitId_);
+    cp.popSection();
+
+    // Pending exit requests: the payload lives here, the scheduled
+    // tick (keyed by tag) in the eventq section.
+    cp.pushSection("exits");
+    std::size_t live = 0;
+    for (const auto &ev : pendingExits_) {
+        if (!ev->scheduled())
+            continue;
+        std::string key = "exit" + std::to_string(live++);
+        cp.param(key + "_tag", ev->tag());
+        cp.param(key + "_msg", ev->message());
+        cp.param(key + "_cause", static_cast<int>(ev->cause()));
+    }
+    cp.param("numExits", live);
+    cp.popSection();
+
+    for (const auto *obj : objects_) {
+        cp.pushSection(obj->name());
+        obj->serialize(cp);
+        serializeGroupStats(*obj, cp);
+        cp.popSection();
+    }
+
+    cp.pushSection("eventq");
+    eventq_.serializeEvents(cp);
+    cp.popSection();
+
+    cp.popSection();
+}
+
+void
+Simulator::restoreCheckpoint(const CheckpointIn &cp)
+{
+    // The freshly built machine must be fully initialized (regStats,
+    // startup) before state is overwritten; startup-scheduled events
+    // are then cleared and replaced by the checkpointed set.
+    initPhase();
+    eventq_.clear();
+    pendingExits_.clear();
+
+    cp.pushSection(groupName());
+
+    Tick tick = 0;
+    if (cp.hasSection("meta")) {
+        cp.pushSection("meta");
+        unsigned version = 0;
+        cp.param("version", version);
+        if (version > checkpointVersion)
+            g5p_warn("checkpoint version %u is newer than supported "
+                     "%u; restoring best-effort", version,
+                     checkpointVersion);
+        cp.param("curTick", tick);
+        cp.param("eventsServiced", eventsServiced_);
+        cp.param("nextExitId", nextExitId_);
+        cp.popSection();
+    } else {
+        // Pre-versioned layout kept curTick at the top level.
+        g5p_warn("checkpoint has no meta section; assuming legacy "
+                 "layout");
+        if (cp.has("curTick"))
+            cp.param("curTick", tick);
+    }
+    eventq_.setCurTick(tick);
+
+    if (cp.hasSection("exits")) {
+        cp.pushSection("exits");
+        std::size_t count = 0;
+        cp.param("numExits", count);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::string key = "exit" + std::to_string(i);
+            std::string tag, msg;
+            int cause = 0;
+            cp.param(key + "_tag", tag);
+            cp.param(key + "_msg", msg);
+            cp.param(key + "_cause", cause);
+            // Recreate (and re-register) the event; the eventq
+            // section below schedules it at the recorded tick.
+            pendingExits_.push_back(std::make_unique<ExitEvent>(
+                *this, msg, static_cast<ExitCause>(cause), tag));
+        }
+        cp.popSection();
+    }
+
+    for (auto *obj : objects_) {
+        if (!cp.hasSection(obj->name())) {
+            g5p_warn("checkpoint has no section for '%s'; keeping "
+                     "freshly built state", obj->name().c_str());
+            continue;
+        }
+        cp.pushSection(obj->name());
+        obj->unserialize(cp);
+        unserializeGroupStats(*obj, cp);
+        cp.popSection();
+    }
+
+    if (cp.hasSection("eventq")) {
+        cp.pushSection("eventq");
+        eventq_.unserializeEvents(cp);
+        cp.popSection();
+    }
+
+    cp.popSection();
+
+    // Graceful degradation: report checkpoint content this machine
+    // did not consume (e.g. an object that no longer exists).
+    const std::string prefix = groupName() + ".";
+    for (const std::string &section : cp.sectionNames()) {
+        if (section.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        std::string rest = section.substr(prefix.size());
+        auto matches = [&rest](const std::string &known) {
+            return rest == known ||
+                   (rest.size() > known.size() &&
+                    rest.compare(0, known.size(), known) == 0 &&
+                    rest[known.size()] == '.');
+        };
+        bool known = matches("meta") || matches("exits") ||
+                     matches("eventq");
+        for (const auto *obj : objects_) {
+            if (known)
+                break;
+            known = matches(obj->name());
+        }
+        if (!known)
+            g5p_warn("unknown checkpoint section '%s' ignored",
+                     section.c_str());
+    }
+
+    restored_ = true;
 }
 
 } // namespace g5p::sim

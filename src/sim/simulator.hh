@@ -84,11 +84,56 @@ class Simulator : public stats::Group
     /** Reset all statistics (gem5 m5 resetstats). */
     void resetAllStats();
 
-    /** Serialize every object plus the current tick. */
+    /** Checkpoint format revision written into the meta section. */
+    static constexpr unsigned checkpointVersion = 1;
+
+    /**
+     * Service events normally until the queue is quiescent (no
+     * transient callback events pending, i.e. no memory transaction
+     * in flight anywhere). Because this is exactly what run() would
+     * do next, seeking a quiescent point does not perturb the
+     * simulation — a run that checkpoints mid-way produces the same
+     * final state as one that never did.
+     *
+     * @return false if an exit event fired before a quiescent point
+     *         was found (the simulation ended); true otherwise.
+     */
+    bool advanceToQuiescence(std::uint64_t max_events = 100'000'000);
+
+    /**
+     * Advance to a quiescent point, then serialize the whole machine
+     * to @p path. Fatal if the simulation exits during the seek.
+     */
+    void checkpoint(const std::string &path);
+
+    /** Restore a checkpoint written by checkpoint(). */
+    void restore(const std::string &path);
+
+    /**
+     * Serialize every object, pending events, and stats counters.
+     * The queue must already be quiescent (see checkpoint()).
+     */
     void takeCheckpoint(CheckpointOut &cp) const;
 
-    /** Restore every object plus the current tick. */
+    /**
+     * Restore into a freshly built, identically configured machine.
+     * Runs the init phase first, clears startup-scheduled events,
+     * then restores objects, stats and pending events. Unknown
+     * checkpoint sections warn; objects missing from the checkpoint
+     * keep their freshly built state.
+     */
     void restoreCheckpoint(const CheckpointIn &cp);
+
+    /** True once restoreCheckpoint() has run (skip CPU activation). */
+    bool restored() const { return restored_; }
+
+    /**
+     * Write an automatic checkpoint every @p period ticks to
+     * "<prefix>-<tick>.ckpt". Taken from the run() loop at the first
+     * quiescent point after each period boundary, never from inside
+     * event processing.
+     */
+    void enableAutoCheckpoint(Tick period, std::string prefix);
 
     /** All registered objects (init order). */
     const std::vector<SimObject *> &objects() const { return objects_; }
@@ -100,6 +145,12 @@ class Simulator : public stats::Group
     class ExitEvent;
 
     void initPhase();
+
+    /** Auto-checkpoint event action: mark a checkpoint as due. */
+    void autoCkptDue() { autoCkptPending_ = true; }
+
+    /** Take the pending auto-checkpoint (called from run()). */
+    void doAutoCheckpoint();
 
     /** Per-simulator synthetic data segment (determinism). */
     trace::DataSpace dataSpace_;
@@ -113,6 +164,15 @@ class Simulator : public stats::Group
     ExitCause exitCause_ = ExitCause::Finished;
     std::string exitMessage_;
     std::vector<std::unique_ptr<ExitEvent>> pendingExits_;
+    /** Monotonic id making exit-event checkpoint tags unique. */
+    std::uint64_t nextExitId_ = 0;
+
+    bool restored_ = false;
+
+    Tick autoCkptPeriod_ = 0;
+    std::string autoCkptPrefix_;
+    bool autoCkptPending_ = false;
+    MemberEventWrapper<&Simulator::autoCkptDue> autoCkptEvent_;
 };
 
 } // namespace g5p::sim

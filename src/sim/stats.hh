@@ -43,6 +43,15 @@ class Info
     virtual void print(std::ostream &os,
                        const std::string &prefix) const = 0;
 
+    /**
+     * Raw sample values for checkpointing. Empty means the stat holds
+     * no state of its own (Formula) and is skipped on restore.
+     */
+    virtual std::vector<double> snapshotValues() const { return {}; }
+
+    /** Inverse of snapshotValues; ignores mismatched shapes. */
+    virtual void restoreValues(const std::vector<double> &) {}
+
   private:
     std::string name_ = "?";
     std::string desc_;
@@ -61,6 +70,19 @@ class Scalar : public Info
     void reset() override { value_ = 0; }
     void print(std::ostream &os,
                const std::string &prefix) const override;
+
+    std::vector<double>
+    snapshotValues() const override
+    {
+        return {value_};
+    }
+
+    void
+    restoreValues(const std::vector<double> &v) override
+    {
+        if (v.size() == 1)
+            value_ = v[0];
+    }
 
   private:
     double value_ = 0;
@@ -85,6 +107,19 @@ class Vector : public Info
     void reset() override;
     void print(std::ostream &os,
                const std::string &prefix) const override;
+
+    std::vector<double>
+    snapshotValues() const override
+    {
+        return values_;
+    }
+
+    void
+    restoreValues(const std::vector<double> &v) override
+    {
+        if (v.size() == values_.size())
+            values_ = v;
+    }
 
   private:
     std::vector<double> values_;

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Full-system checkpoint/restore: every CPU model must resume
+ * bit-identically. Three runs per model:
+ *
+ *   A  uninterrupted reference run;
+ *   B  checkpoints mid-run, then continues — must equal A in every
+ *      observable (proves taking a checkpoint perturbs nothing);
+ *   C  a freshly built machine restored from B's checkpoint — final
+ *      stats, instruction counts, memory image, and the post-restore
+ *      commit trace must match A exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "os/system.hh"
+#include "sim/serialize.hh"
+
+using namespace g5p;
+using namespace g5p::isa;
+using namespace g5p::os;
+
+namespace
+{
+
+/** Workload built from a lambda, for ad-hoc guest programs. */
+class InlineWorkload : public GuestWorkload
+{
+  public:
+    using EmitFn = std::function<void(Assembler &, unsigned)>;
+
+    InlineWorkload(std::string name, EmitFn emit)
+        : name_(std::move(name)), emit_(std::move(emit))
+    {}
+
+    std::string name() const override { return name_; }
+
+    void
+    emit(Assembler &as, unsigned num_cpus, SimMode mode) const override
+    {
+        emit_(as, num_cpus);
+    }
+
+  private:
+    std::string name_;
+    EmitFn emit_;
+};
+
+/** Store s1 to the result slot and halt (single-CPU programs). */
+void
+emitFinish(Assembler &as)
+{
+    as.li(RegT0, (std::int64_t)GuestWorkload::resultAddr);
+    as.sd(RegS1, RegT0, 0);
+    as.halt();
+}
+
+/**
+ * A loop with stores, dependent loads, and branches: enough traffic
+ * to populate caches, TLBs, the decode cache, and (on Minor/O3) the
+ * branch predictor and pipeline structures.
+ */
+const InlineWorkload &
+ckptWorkload()
+{
+    static InlineWorkload wl("ckpt-loop", [](Assembler &as, unsigned) {
+        as.label("_start");
+        as.li(RegS1, 0);
+        as.li(RegS0, 0);
+        as.li(RegT3, 1500);
+        as.li(RegT2, 0x200000);
+        as.label("loop");
+        as.andi(RegT0, RegS0, 255);
+        as.slli(RegT0, RegT0, 3);
+        as.add(RegT0, RegT0, RegT2);
+        as.sd(RegS0, RegT0, 0);
+        as.ld(RegT1, RegT0, 0);
+        as.add(RegS1, RegS1, RegT1);
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "loop");
+        emitFinish(as);
+    });
+    return wl;
+}
+
+/** Everything we compare across the three runs. */
+struct Artifacts
+{
+    std::string stats;
+    std::uint64_t result = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t memDigest = 0;
+    Tick finalTick = 0;
+    std::string console;
+};
+
+using CommitTrace = std::vector<std::pair<Tick, Addr>>;
+
+SystemConfig
+makeCfg(CpuModel model, SimMode mode, unsigned cpus)
+{
+    SystemConfig cfg;
+    cfg.cpuModel = model;
+    cfg.mode = mode;
+    cfg.numCpus = cpus;
+    return cfg;
+}
+
+/** One machine instance with a commit-trace hook on every CPU. */
+struct Machine
+{
+    sim::Simulator sim{"system"};
+    System system;
+    CommitTrace trace;
+
+    explicit Machine(CpuModel model,
+                     const GuestWorkload &wl = ckptWorkload(),
+                     SimMode mode = SimMode::SE, unsigned cpus = 1)
+        : system(sim, makeCfg(model, mode, cpus), wl)
+    {
+        for (unsigned i = 0; i < system.numCpus(); ++i)
+            system.cpu(i).setCommitHook(
+                [this](Tick t, Addr pc, const isa::StaticInst &) {
+                    trace.emplace_back(t, pc);
+                });
+    }
+
+    /** Run to completion and capture the comparison artifacts. */
+    Artifacts
+    finish(Tick tick_limit = maxTick)
+    {
+        auto res = system.run(tick_limit);
+        EXPECT_EQ(res.cause, sim::ExitCause::Finished);
+        Artifacts a;
+        // Stats first: System::result() reads guest memory through
+        // the instrumented path and would bump physmem counters.
+        std::ostringstream stats;
+        sim.dumpStats(stats);
+        a.stats = stats.str();
+        a.result = system.result();
+        a.insts = system.totalInsts();
+        a.memDigest = system.physmem().contentDigest();
+        a.finalTick = res.tick;
+        a.console = system.process().emulator().consoleOutput();
+        return a;
+    }
+};
+
+std::string
+ckptPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "/g5p_" + tag + ".ckpt";
+}
+
+void
+expectSameArtifacts(const Artifacts &a, const Artifacts &b)
+{
+    EXPECT_EQ(a.result, b.result);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.finalTick, b.finalTick);
+    EXPECT_EQ(a.memDigest, b.memDigest);
+    EXPECT_EQ(a.console, b.console);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+class BitIdenticalResume : public ::testing::TestWithParam<CpuModel>
+{};
+
+TEST_P(BitIdenticalResume, AllObservablesSurviveRestore)
+{
+    CpuModel model = GetParam();
+    std::string path =
+        ckptPath(std::string("resume_") + cpuModelName(model));
+
+    // Run A: the uninterrupted reference.
+    Machine ma(model);
+    Artifacts a = ma.finish();
+    CommitTrace trace_a = ma.trace;
+    ASSERT_GT(a.finalTick, 0u);
+
+    // Run B: checkpoint halfway, then continue to completion. The
+    // checkpoint itself must not perturb anything downstream.
+    Tick mid = a.finalTick / 2;
+    std::size_t trace_len_at_ckpt = 0;
+    {
+        Machine mb(model);
+        auto part = mb.system.run(mid);
+        ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
+        ASSERT_FALSE(mb.system.allHalted())
+            << "workload too short to checkpoint mid-run";
+        mb.sim.checkpoint(path);
+        trace_len_at_ckpt = mb.trace.size();
+        Artifacts b = mb.finish();
+        expectSameArtifacts(a, b);
+        EXPECT_EQ(trace_a, mb.trace);
+    }
+    ASSERT_GT(trace_len_at_ckpt, 0u);
+    ASSERT_LT(trace_len_at_ckpt, trace_a.size());
+
+    // Run C: restore into a freshly built machine; everything after
+    // the checkpoint must replay exactly, including the commit trace.
+    {
+        Machine mc(model);
+        mc.sim.restore(path);
+        Artifacts c = mc.finish();
+        expectSameArtifacts(a, c);
+        CommitTrace expected(trace_a.begin() +
+                                 (std::ptrdiff_t)trace_len_at_ckpt,
+                             trace_a.end());
+        EXPECT_EQ(expected, mc.trace);
+    }
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, BitIdenticalResume, ::testing::ValuesIn(allCpuModels),
+    [](const auto &info) {
+        return std::string(cpuModelName(info.param));
+    });
+
+TEST(CheckpointResume, FsModeTimerSurvives)
+{
+    // FS mode adds the kernel timer event: its schedule (and the
+    // jiffies counter it bumps in guest memory) must survive restore.
+    std::string path = ckptPath("fs_timer");
+
+    Machine ma(CpuModel::Atomic, ckptWorkload(), SimMode::FS);
+    Artifacts a = ma.finish();
+
+    Tick mid = a.finalTick / 2;
+    {
+        Machine mb(CpuModel::Atomic, ckptWorkload(), SimMode::FS);
+        auto part = mb.system.run(mid);
+        ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
+        mb.sim.checkpoint(path);
+    }
+    {
+        Machine mc(CpuModel::Atomic, ckptWorkload(), SimMode::FS);
+        mc.sim.restore(path);
+        Artifacts c = mc.finish();
+        expectSameArtifacts(a, c);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, MultiCoreResume)
+{
+    std::string path = ckptPath("multicore");
+    InlineWorkload wl("mc", [](Assembler &as, unsigned num_cpus) {
+        // Each CPU sums into its own slot; CPU0 spins for workers,
+        // then collects. Worker completion flags use doneFlagAddr.
+        as.label("_start");
+        as.li(RegS1, 0);
+        as.li(RegS0, 0);
+        as.li(RegT3, 400);
+        as.label("loop");
+        as.add(RegS1, RegS1, RegS0);
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "loop");
+
+        as.li(RegT0, 0xa00);
+        as.slli(RegT1, RegA0, 3);
+        as.add(RegT0, RegT0, RegT1);
+        as.sd(RegS1, RegT0, 0);
+        as.bne(RegA0, RegZero, "worker");
+
+        for (unsigned w = 1; w < num_cpus; ++w) {
+            std::string lbl = "wait" + std::to_string(w);
+            as.li(RegT0,
+                  (std::int64_t)GuestWorkload::doneFlagAddr(w));
+            as.label(lbl);
+            as.ld(RegT1, RegT0, 0);
+            as.beq(RegT1, RegZero, lbl);
+        }
+        as.li(RegS1, 0);
+        for (unsigned w = 0; w < num_cpus; ++w) {
+            as.li(RegT0, (std::int64_t)(0xa00 + w * 8));
+            as.ld(RegT1, RegT0, 0);
+            as.add(RegS1, RegS1, RegT1);
+        }
+        emitFinish(as);
+
+        as.label("worker");
+        // flag address = doneFlagAddr(0) + cpu*8
+        as.li(RegT1, 1);
+        as.slli(RegT2, RegA0, 3);
+        as.li(RegT0, (std::int64_t)GuestWorkload::doneFlagAddr(0));
+        as.add(RegT0, RegT0, RegT2);
+        as.sd(RegT1, RegT0, 0);
+        as.halt();
+    });
+
+    Machine ma(CpuModel::Timing, wl, SimMode::SE, 2);
+    Artifacts a = ma.finish();
+
+    Tick mid = a.finalTick / 2;
+    {
+        Machine mb(CpuModel::Timing, wl, SimMode::SE, 2);
+        auto part = mb.system.run(mid);
+        ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
+        mb.sim.checkpoint(path);
+    }
+    {
+        Machine mc(CpuModel::Timing, wl, SimMode::SE, 2);
+        mc.sim.restore(path);
+        Artifacts c = mc.finish();
+        expectSameArtifacts(a, c);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, AutoCheckpointPeriodic)
+{
+    // Periodic auto-checkpoints are taken from the run loop; the last
+    // one written before completion must itself restore correctly.
+    Machine ma(CpuModel::Atomic);
+    Artifacts a = ma.finish();
+
+    std::string prefix = ::testing::TempDir() + "/g5p_auto";
+    Tick period = a.finalTick / 3;
+    ASSERT_GT(period, 0u);
+
+    // Clear leftovers from any previous (failed) run first.
+    {
+        namespace fs = std::filesystem;
+        std::string stem = fs::path(prefix).filename().string();
+        for (const auto &ent :
+             fs::directory_iterator(fs::path(prefix).parent_path())) {
+            std::string name = ent.path().filename().string();
+            if (name.rfind(stem + "-", 0) == 0)
+                fs::remove(ent.path());
+        }
+    }
+
+    std::vector<std::string> written;
+    {
+        Machine mb(CpuModel::Atomic);
+        mb.sim.enableAutoCheckpoint(period, prefix);
+        Artifacts b = mb.finish();
+        EXPECT_EQ(a.result, b.result);
+        EXPECT_EQ(a.insts, b.insts);
+        // Auto-checkpoints land at the first quiescent tick at or
+        // after each period boundary; collect whatever was written.
+        namespace fs = std::filesystem;
+        std::string stem = fs::path(prefix).filename().string();
+        for (const auto &ent :
+             fs::directory_iterator(fs::path(prefix).parent_path())) {
+            std::string name = ent.path().filename().string();
+            if (name.rfind(stem + "-", 0) == 0 &&
+                name.size() > 5 &&
+                name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+                written.push_back(ent.path().string());
+            }
+        }
+        std::sort(written.begin(), written.end(),
+                  [&](const std::string &x, const std::string &y) {
+                      auto tick = [&](const std::string &p) {
+                          std::string n =
+                              fs::path(p).filename().string();
+                          return std::stoull(n.substr(
+                              stem.size() + 1,
+                              n.size() - stem.size() - 6));
+                      };
+                      return tick(x) < tick(y);
+                  });
+    }
+    ASSERT_GE(written.size(), 2u) << "expected periodic checkpoints";
+
+    {
+        Machine mc(CpuModel::Atomic);
+        mc.sim.restore(written.back());
+        Artifacts c = mc.finish();
+        EXPECT_EQ(a.result, c.result);
+        EXPECT_EQ(a.insts, c.insts);
+        EXPECT_EQ(a.memDigest, c.memDigest);
+        EXPECT_EQ(a.stats, c.stats);
+    }
+    for (const auto &path : written)
+        std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, UnknownSectionWarnsAndRestores)
+{
+    // Graceful degradation: sections this machine doesn't know are
+    // skipped with a warning, not fatal.
+    Machine ma(CpuModel::Atomic);
+    Artifacts a = ma.finish();
+
+    sim::CheckpointOut out;
+    {
+        Machine mb(CpuModel::Atomic);
+        mb.system.run(a.finalTick / 2);
+        ASSERT_TRUE(mb.sim.advanceToQuiescence());
+        mb.sim.takeCheckpoint(out);
+    }
+    std::string text = out.toText() +
+                       "\n[system.flux_capacitor]\ngigawatts=1.21\n";
+    {
+        Machine mc(CpuModel::Atomic);
+        auto in = sim::CheckpointIn::fromText(text);
+        mc.sim.restoreCheckpoint(in);
+        Artifacts c = mc.finish();
+        EXPECT_EQ(a.result, c.result);
+        EXPECT_EQ(a.insts, c.insts);
+    }
+}
+
+TEST(CheckpointResume, MissingSectionKeepsFreshState)
+{
+    // A checkpoint missing a component's section restores everything
+    // else; the component keeps its freshly built (cold) state. For
+    // Atomic CPUs caches are timing-neutral, so the architectural
+    // outcome is unchanged.
+    Machine ma(CpuModel::Atomic);
+    Artifacts a = ma.finish();
+
+    sim::CheckpointOut out;
+    {
+        Machine mb(CpuModel::Atomic);
+        mb.system.run(a.finalTick / 2);
+        ASSERT_TRUE(mb.sim.advanceToQuiescence());
+        mb.sim.takeCheckpoint(out);
+    }
+
+    // Strip the L1 icache section from the text form.
+    std::istringstream is(out.toText());
+    std::ostringstream os;
+    std::string line;
+    bool dropping = false;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.front() == '[')
+            dropping = line.rfind("[system.cpu0.icache", 0) == 0;
+        if (!dropping)
+            os << line << "\n";
+    }
+    {
+        Machine mc(CpuModel::Atomic);
+        auto in = sim::CheckpointIn::fromText(os.str());
+        mc.sim.restoreCheckpoint(in);
+        Artifacts c = mc.finish();
+        EXPECT_EQ(a.result, c.result);
+        EXPECT_EQ(a.insts, c.insts);
+    }
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Differential testing across CPU models: the architectural outcome
+ * of a workload (guest checksum, retired instruction count, final
+ * memory image) must not depend on the timing model. Atomic is the
+ * reference; every other model must agree exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "os/system.hh"
+
+using namespace g5p;
+using namespace g5p::isa;
+using namespace g5p::os;
+
+namespace
+{
+
+class DiffWorkload : public GuestWorkload
+{
+  public:
+    using EmitFn = std::function<void(Assembler &, unsigned)>;
+
+    DiffWorkload(std::string name, EmitFn emit)
+        : name_(std::move(name)), emit_(std::move(emit))
+    {}
+
+    std::string name() const override { return name_; }
+
+    void
+    emit(Assembler &as, unsigned num_cpus, SimMode mode) const override
+    {
+        emit_(as, num_cpus);
+    }
+
+  private:
+    std::string name_;
+    EmitFn emit_;
+};
+
+struct ArchOutcome
+{
+    std::uint64_t result;
+    std::uint64_t insts;
+    std::uint64_t memDigest;
+    std::string console;
+};
+
+ArchOutcome
+runArch(CpuModel model, const GuestWorkload &wl)
+{
+    sim::Simulator sim("system");
+    SystemConfig cfg;
+    cfg.cpuModel = model;
+    System system(sim, cfg, wl);
+    auto res = system.run(5'000'000'000'000ULL);
+    EXPECT_EQ(res.cause, sim::ExitCause::Finished)
+        << cpuModelName(model);
+    ArchOutcome out;
+    out.result = system.result();
+    out.insts = system.totalInsts();
+    out.memDigest = system.physmem().contentDigest();
+    out.console = system.process().emulator().consoleOutput();
+    return out;
+}
+
+void
+expectArchEqual(const GuestWorkload &wl, CpuModel model)
+{
+    ArchOutcome ref = runArch(CpuModel::Atomic, wl);
+    ArchOutcome got = runArch(model, wl);
+    EXPECT_EQ(ref.result, got.result) << cpuModelName(model);
+    EXPECT_EQ(ref.insts, got.insts) << cpuModelName(model);
+    EXPECT_EQ(ref.memDigest, got.memDigest) << cpuModelName(model);
+    EXPECT_EQ(ref.console, got.console) << cpuModelName(model);
+}
+
+const DiffWorkload &
+mixedWorkload()
+{
+    // Arithmetic, shifts, dependent loads/stores with aliasing
+    // offsets, and data-dependent branches: the cases where a
+    // pipeline bug (bad forwarding, wrong-path leakage, stale store
+    // data) would diverge from the atomic reference.
+    static DiffWorkload wl("mixed", [](Assembler &as, unsigned) {
+        as.label("_start");
+        as.li(RegS1, 0);
+        as.li(RegS0, 0);
+        as.li(RegT3, 900);
+        as.li(RegT2, 0x300000);
+        as.label("loop");
+        as.mul(RegT0, RegS0, RegS0);
+        as.xor_(RegT0, RegT0, RegS1);
+        as.andi(RegT1, RegS0, 127);
+        as.slli(RegT1, RegT1, 3);
+        as.add(RegT1, RegT1, RegT2);
+        as.sd(RegT0, RegT1, 0);
+        as.ld(RegT0, RegT1, 0);
+        as.andi(RegT4, RegS0, 1);
+        as.beq(RegT4, RegZero, "even");
+        as.add(RegS1, RegS1, RegT0);
+        as.j("next");
+        as.label("even");
+        as.sub(RegS1, RegS1, RegT0);
+        as.label("next");
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "loop");
+        as.li(RegT0, (std::int64_t)GuestWorkload::resultAddr);
+        as.sd(RegS1, RegT0, 0);
+        as.halt();
+    });
+    return wl;
+}
+
+const DiffWorkload &
+divRemWorkload()
+{
+    static DiffWorkload wl("divrem", [](Assembler &as, unsigned) {
+        as.label("_start");
+        as.li(RegS1, 0);
+        as.li(RegS0, 1);
+        as.li(RegT3, 300);
+        as.label("loop");
+        as.li(RegT0, 982451653);
+        as.div(RegT1, RegT0, RegS0);
+        as.rem(RegT2, RegT0, RegS0);
+        as.add(RegS1, RegS1, RegT1);
+        as.add(RegS1, RegS1, RegT2);
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "loop");
+        as.li(RegT0, (std::int64_t)GuestWorkload::resultAddr);
+        as.sd(RegS1, RegT0, 0);
+        as.halt();
+    });
+    return wl;
+}
+
+class DiffCpus : public ::testing::TestWithParam<CpuModel>
+{};
+
+TEST_P(DiffCpus, MixedAluMemBranchAgreesWithAtomic)
+{
+    expectArchEqual(mixedWorkload(), GetParam());
+}
+
+TEST_P(DiffCpus, DivRemAgreesWithAtomic)
+{
+    expectArchEqual(divRemWorkload(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, DiffCpus,
+    ::testing::Values(CpuModel::Timing, CpuModel::Minor, CpuModel::O3),
+    [](const auto &info) {
+        return std::string(cpuModelName(info.param));
+    });
+
+} // namespace

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Golden-run regression harness: each CPU model runs a fixed workload
+ * and the complete stats dump is reduced to an FNV-1a digest over the
+ * sorted (name, value) pairs. The digest is compared against a
+ * checked-in fixture in tests/golden/; any drift — a changed counter,
+ * a renamed stat, a perturbed timing model — fails the test with a
+ * line-level diff against the fixture.
+ *
+ * Intentional changes are blessed by re-running with --update-golden,
+ * which rewrites the fixtures in the source tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "os/system.hh"
+
+using namespace g5p;
+using namespace g5p::isa;
+using namespace g5p::os;
+
+namespace
+{
+
+bool updateGolden = false;
+
+class GoldenWorkload : public GuestWorkload
+{
+  public:
+    std::string name() const override { return "golden"; }
+
+    void
+    emit(Assembler &as, unsigned num_cpus, SimMode mode) const override
+    {
+        // A mix of ALU ops, strided stores, dependent loads, and a
+        // data-dependent branch: enough to give every stat in the
+        // machine a nonzero, model-specific value.
+        as.label("_start");
+        as.li(RegS1, 0);
+        as.li(RegS0, 0);
+        as.li(RegT3, 1200);
+        as.li(RegT2, 0x400000);
+        as.label("loop");
+        as.mul(RegT0, RegS0, RegS0);
+        as.andi(RegT1, RegS0, 255);
+        as.slli(RegT1, RegT1, 3);
+        as.add(RegT1, RegT1, RegT2);
+        as.sd(RegT0, RegT1, 0);
+        as.ld(RegT0, RegT1, 0);
+        as.andi(RegT4, RegS0, 3);
+        as.bne(RegT4, RegZero, "skip");
+        as.add(RegS1, RegS1, RegT0);
+        as.label("skip");
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "loop");
+        as.li(RegT0, (std::int64_t)resultAddr);
+        as.sd(RegS1, RegT0, 0);
+        as.halt();
+    }
+};
+
+/** "name value" pairs from a stats dump, "# desc" stripped. */
+std::vector<std::string>
+statLines(const std::string &dump)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(dump);
+    std::string line;
+    while (std::getline(is, line)) {
+        auto hash_pos = line.find(" # ");
+        if (hash_pos != std::string::npos)
+            line.erase(hash_pos);
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+std::uint64_t
+fnv1a(const std::vector<std::string> &lines)
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (const std::string &line : lines) {
+        for (unsigned char c : line)
+            hash = (hash ^ c) * 1099511628211ULL;
+        hash = (hash ^ (unsigned char)'\n') * 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::string
+goldenPath(CpuModel model)
+{
+    return std::string(G5P_GOLDEN_DIR) + "/" + cpuModelName(model) +
+           ".txt";
+}
+
+void
+writeFixture(const std::string &path, std::uint64_t digest,
+             const std::vector<std::string> &lines)
+{
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write fixture " << path;
+    os << "digest " << std::hex << digest << std::dec << "\n";
+    for (const auto &line : lines)
+        os << line << "\n";
+}
+
+struct Fixture
+{
+    bool present = false;
+    std::uint64_t digest = 0;
+    std::vector<std::string> lines;
+};
+
+Fixture
+readFixture(const std::string &path)
+{
+    Fixture fx;
+    std::ifstream is(path);
+    if (!is.good())
+        return fx;
+    std::string word;
+    is >> word >> std::hex >> fx.digest >> std::dec;
+    if (word != "digest") {
+        ADD_FAILURE() << "malformed fixture " << path;
+        return fx;
+    }
+    std::string line;
+    std::getline(is, line); // rest of the digest line
+    while (std::getline(is, line))
+        if (!line.empty())
+            fx.lines.push_back(line);
+    fx.present = true;
+    return fx;
+}
+
+/** First few fixture-vs-run line differences, for the failure text. */
+std::string
+diffLines(const std::vector<std::string> &want,
+          const std::vector<std::string> &got)
+{
+    std::ostringstream os;
+    int shown = 0;
+    std::size_t i = 0, j = 0;
+    while ((i < want.size() || j < got.size()) && shown < 12) {
+        if (i < want.size() && j < got.size() &&
+            want[i] == got[j]) {
+            ++i, ++j;
+        } else if (j >= got.size() ||
+                   (i < want.size() && want[i] < got[j])) {
+            os << "  - " << want[i++] << "\n";
+            ++shown;
+        } else {
+            os << "  + " << got[j++] << "\n";
+            ++shown;
+        }
+    }
+    if (i < want.size() || j < got.size())
+        os << "  ... (more differences)\n";
+    return os.str();
+}
+
+class GoldenRun : public ::testing::TestWithParam<CpuModel>
+{};
+
+TEST_P(GoldenRun, StatsDigestMatchesFixture)
+{
+    CpuModel model = GetParam();
+    GoldenWorkload wl;
+
+    sim::Simulator sim("system");
+    SystemConfig cfg;
+    cfg.cpuModel = model;
+    System system(sim, cfg, wl);
+    auto res = system.run(5'000'000'000'000ULL);
+    ASSERT_EQ(res.cause, sim::ExitCause::Finished);
+
+    std::ostringstream dump;
+    sim.dumpStats(dump);
+    std::vector<std::string> lines = statLines(dump.str());
+    std::uint64_t digest = fnv1a(lines);
+    std::string path = goldenPath(model);
+
+    if (updateGolden) {
+        writeFixture(path, digest, lines);
+        std::printf("updated %s\n", path.c_str());
+        return;
+    }
+
+    Fixture fx = readFixture(path);
+    ASSERT_TRUE(fx.present)
+        << "no golden fixture at " << path
+        << "; run test_golden --update-golden to create it";
+    EXPECT_EQ(fx.digest, digest)
+        << "stats drifted from golden run for " << cpuModelName(model)
+        << "; if intentional, bless with --update-golden.\n"
+        << "Line diff (- fixture, + this run):\n"
+        << diffLines(fx.lines, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, GoldenRun, ::testing::ValuesIn(allCpuModels),
+    [](const auto &info) {
+        return std::string(cpuModelName(info.param));
+    });
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strip our flag before gtest parses the rest.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden") {
+            updateGolden = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Configure, build, and run the test suite under ASan + UBSan using
+# the `sanitize` CMake preset (build-sanitize/, G5P_SANITIZE=ON).
+#
+# Usage:
+#   tools/run_sanitize.sh                 # whole suite, sanitized
+#   tools/run_sanitize.sh -R Checkpoint   # ctest filter passthrough
+#   G5P_SANITIZE_JOBS=4 tools/run_sanitize.sh
+#
+# Any arguments are forwarded to ctest (e.g. -R <regex>, -j N,
+# --rerun-failed). Exit status is ctest's, so this wires directly
+# into CI as a sanitizer job.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="${G5P_SANITIZE_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== configure (preset: sanitize) =="
+cmake --preset sanitize
+
+echo "== build (-j ${jobs}) =="
+cmake --build --preset sanitize -j "$jobs"
+
+# The sanitize test preset sets ASAN_OPTIONS=detect_leaks=0 (events
+# in flight at simulator teardown are reclaimed by the pool, not
+# freed individually) and UBSAN halt_on_error so any UB fails the
+# run loudly.
+echo "== ctest (preset: sanitize) =="
+ctest --preset sanitize "$@"
