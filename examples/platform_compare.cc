@@ -10,14 +10,18 @@
 
 #include <iostream>
 
+#include "base/sim_error.hh"
 #include "base/str.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
 
 using namespace g5p;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     core::RunConfig cfg;
     cfg.workload = argc > 1 ? argv[1] : "water_nsquared";
@@ -56,4 +60,12 @@ main(int argc, char **argv)
         "128B lines (half the compulsory misses), and an\n8-wide "
         "front-end with no legacy-decode bottleneck.\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runGuarded([&] { return runMain(argc, argv); });
 }

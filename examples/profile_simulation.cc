@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sim_error.hh"
 #include "base/str.hh"
 #include "core/experiment.hh"
 #include "core/topdown.hh"
@@ -44,7 +45,8 @@ parseModel(const std::string &name)
         return os::CpuModel::Minor;
     if (name == "o3")
         return os::CpuModel::O3;
-    g5p_fatal("unknown CPU model '%s' (use atomic|timing|minor|o3)",
+    g5p_throw(ConfigError, "cli", 0,
+              "unknown CPU model '%s' (use atomic|timing|minor|o3)",
               name.c_str());
 }
 
@@ -102,10 +104,8 @@ runCheckpointDemo(const core::RunConfig &cfg,
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     core::RunConfig cfg;
     std::string ckptPath, restorePath;
@@ -175,4 +175,15 @@ main(int argc, char **argv)
               << fmtPercent(r.functionCdf.cumulativeShare(50))
               << " (no killer function)\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Typed errors escape library code; the guard maps them onto the
+    // historical process contract (fatal -> exit 1, invariant ->
+    // abort) so scripts keep seeing the same exit codes.
+    return runGuarded([&] { return runMain(argc, argv); });
 }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "base/sim_error.hh"
 #include "base/str.hh"
 #include "core/report.hh"
 #include "os/system.hh"
@@ -16,8 +17,11 @@
 
 using namespace g5p;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     std::string workload_name = argc > 1 ? argv[1] : "sieve";
     double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
@@ -64,4 +68,12 @@ main(int argc, char **argv)
     std::cout << "\nAll four CPU models computed the same "
               << "architectural result at different timing detail.\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runGuarded([&] { return runMain(argc, argv); });
 }

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "base/sim_error.hh"
 #include "base/str.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
@@ -19,8 +20,11 @@
 
 using namespace g5p;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     core::RunConfig cfg;
     cfg.workload = argc > 1 ? argv[1] : "water_nsquared";
@@ -80,4 +84,12 @@ main(int argc, char **argv)
         "and frequency scales\nsimulation time almost linearly — "
         "all without touching gem5 itself.\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runGuarded([&] { return runMain(argc, argv); });
 }

@@ -1,0 +1,67 @@
+#include "base/sim_error.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace g5p
+{
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Config:     return "ConfigError";
+      case SimErrorKind::Invariant:  return "InvariantError";
+      case SimErrorKind::Checkpoint: return "CheckpointError";
+      case SimErrorKind::Workload:   return "WorkloadError";
+    }
+    return "SimError";
+}
+
+namespace
+{
+
+/** Full what() text: kind, object@tick, message, file:line. */
+std::string
+decorate(SimErrorKind kind, const std::string &object, Tick tick,
+         const char *file, int line, const std::string &summary)
+{
+    std::ostringstream os;
+    os << simErrorKindName(kind) << " [" << object;
+    if (tick)
+        os << " @ tick " << tick;
+    os << "]: " << summary << " (" << file << ":" << line << ")";
+    return os.str();
+}
+
+} // namespace
+
+SimError::SimError(SimErrorKind kind, std::string object, Tick tick,
+                   const char *file, int line, std::string summary)
+    : std::runtime_error(
+          decorate(kind, object, tick, file, line, summary)),
+      kind_(kind), object_(std::move(object)), tick_(tick),
+      file_(file), line_(line), summary_(std::move(summary))
+{
+}
+
+int
+runGuarded(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const InvariantError &e) {
+        // Invariant violations keep the g5p_panic contract: loud
+        // abort so a debugger/core dump captures the broken state.
+        Logger::log(LogLevel::Panic, e.what());
+        std::abort();
+    } catch (const SimError &e) {
+        Logger::log(LogLevel::Fatal, e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        Logger::log(LogLevel::Fatal, e.what());
+        return 1;
+    }
+}
+
+} // namespace g5p

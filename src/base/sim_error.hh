@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Typed, recoverable simulation errors.
+ *
+ * The original gem5-style reporting (`g5p_panic` aborts, `g5p_fatal`
+ * calls `exit(1)`) kills the whole process — acceptable for a
+ * five-minute run, fatal for a multi-hour profiling campaign where the
+ * driver wants to salvage partial results or recover from the last
+ * checkpoint. Error paths that a supervisor can reasonably react to
+ * now throw a `SimError` subclass instead:
+ *
+ *  - `ConfigError`     user/configuration mistakes (bad CLI flag,
+ *                      malformed parameter);
+ *  - `InvariantError`  internal invariants violated (the recoverable
+ *                      subset of what used to be `g5p_panic`);
+ *  - `CheckpointError` checkpoint I/O, format, or content problems;
+ *  - `WorkloadError`   guest-workload problems (unknown name, bad
+ *                      image).
+ *
+ * Every error carries the reporting object's name, the simulated tick,
+ * and the throwing file:line, so a failed run is diagnosable from the
+ * exception alone. `runGuarded()` is the top-level handler for
+ * executables: it preserves the historical process contract (fatal
+ * class errors exit(1), invariant violations abort) while letting
+ * library code stay exception-clean.
+ *
+ * Truly unrecoverable states (heap corruption detected mid-sift, a
+ * dangling event) still use `g5p_panic`/`g5p_assert`.
+ */
+
+#ifndef G5P_BASE_SIM_ERROR_HH
+#define G5P_BASE_SIM_ERROR_HH
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace g5p
+{
+
+/** Coarse classification of a SimError (see class docs above). */
+enum class SimErrorKind { Config, Invariant, Checkpoint, Workload };
+
+/** Kind name ("ConfigError", ...). */
+const char *simErrorKindName(SimErrorKind kind);
+
+/**
+ * Base of the typed error hierarchy. what() contains the full
+ * decorated message; the accessors expose the parts.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, std::string object, Tick tick,
+             const char *file, int line, std::string summary);
+
+    SimErrorKind kind() const { return kind_; }
+
+    /** Name of the SimObject/component that raised the error. */
+    const std::string &object() const { return object_; }
+
+    /** Simulated tick at the throw site (0 if outside a run). */
+    Tick tick() const { return tick_; }
+
+    /** Throwing source file (static string from __FILE__). */
+    const char *file() const { return file_; }
+
+    /** Throwing source line. */
+    int line() const { return line_; }
+
+    /** The undecorated message. */
+    const std::string &summary() const { return summary_; }
+
+  private:
+    SimErrorKind kind_;
+    std::string object_;
+    Tick tick_;
+    const char *file_;
+    int line_;
+    std::string summary_;
+};
+
+/** User/configuration error (what used to be a plain g5p_fatal). */
+class ConfigError : public SimError
+{
+  public:
+    ConfigError(std::string object, Tick tick, const char *file,
+                int line, std::string summary)
+        : SimError(SimErrorKind::Config, std::move(object), tick, file,
+                   line, std::move(summary))
+    {}
+};
+
+/** Recoverable internal invariant violation. */
+class InvariantError : public SimError
+{
+  public:
+    InvariantError(std::string object, Tick tick, const char *file,
+                   int line, std::string summary)
+        : SimError(SimErrorKind::Invariant, std::move(object), tick,
+                   file, line, std::move(summary))
+    {}
+};
+
+/** Checkpoint write/read/format failure. */
+class CheckpointError : public SimError
+{
+  public:
+    CheckpointError(std::string object, Tick tick, const char *file,
+                    int line, std::string summary)
+        : SimError(SimErrorKind::Checkpoint, std::move(object), tick,
+                   file, line, std::move(summary))
+    {}
+};
+
+/** Guest-workload failure (unknown name, bad image, bad result). */
+class WorkloadError : public SimError
+{
+  public:
+    WorkloadError(std::string object, Tick tick, const char *file,
+                  int line, std::string summary)
+        : SimError(SimErrorKind::Workload, std::move(object), tick,
+                   file, line, std::move(summary))
+    {}
+};
+
+/**
+ * Top-level supervisor for executables: run @p body, mapping escaped
+ * errors onto the historical process contract. `ConfigError`,
+ * `CheckpointError`, `WorkloadError` and any other std::exception log
+ * through the Fatal channel and return exit code 1 (exactly what
+ * `g5p_fatal` produced); `InvariantError` logs through the Panic
+ * channel and aborts (exactly what `g5p_panic` produced).
+ */
+int runGuarded(const std::function<int()> &body);
+
+} // namespace g5p
+
+/**
+ * Throw a typed simulation error with file:line context:
+ *
+ *   g5p_throw(CheckpointError, name(), curTick(),
+ *             "cannot write '%s'", path.c_str());
+ */
+#define g5p_throw(ErrorType, object_name, tick_now, ...) \
+    throw ::g5p::ErrorType((object_name), (tick_now), __FILE__, \
+                           __LINE__, \
+                           ::g5p::detail::vformat(__VA_ARGS__))
+
+#endif // G5P_BASE_SIM_ERROR_HH

@@ -1,0 +1,172 @@
+#include "mem/fault_injector.hh"
+
+#include "base/sim_error.hh"
+#include "mem/packet.hh"
+#include "mem/physical.hh"
+#include "sim/simulator.hh"
+
+namespace g5p::mem
+{
+
+FaultInjector::FaultInjector(sim::Simulator &sim,
+                             const std::string &name,
+                             const FaultInjectorParams &params)
+    : sim::SimObject(sim, name, nullptr, 256),
+      params_(params),
+      rng_(params.seed),
+      writeFailsLeft_(params.failWrites),
+      readFailsLeft_(params.failReads),
+      io_(*this),
+      flipEvent_(this)
+{
+    prevHook_ = TimingFaultHook::install(this);
+    prevIo_ = sim::CheckpointIo::install(&io_);
+}
+
+FaultInjector::~FaultInjector()
+{
+    sim::CheckpointIo::install(prevIo_);
+    TimingFaultHook::install(prevHook_);
+    if (flipEvent_.scheduled())
+        deschedule(flipEvent_);
+    eventQueue().unregisterSerial(name() + ".flip");
+}
+
+void
+FaultInjector::init()
+{
+    eventQueue().registerSerial(name() + ".flip", &flipEvent_);
+}
+
+void
+FaultInjector::startup()
+{
+    if (params_.bitFlips > 0)
+        schedule(flipEvent_, params_.firstFlipAt);
+}
+
+void
+FaultInjector::doFlip()
+{
+    if (!mem_) {
+        g5p_warn("%s: bit flip due but no memory attached; disabling",
+                 name().c_str());
+        return;
+    }
+    std::uint64_t span = params_.flipBytes
+        ? params_.flipBytes
+        : mem_->size() - params_.flipBase;
+    Addr addr = params_.flipBase + rng_.below(span);
+    unsigned bit = (unsigned)rng_.below(8);
+    mem_->flipBit(addr, bit);
+    ++flipsDone_;
+    statFlips_ += 1;
+    g5p_inform("%s: flipped bit %u of byte %#llx at tick %llu",
+               name().c_str(), bit, (unsigned long long)addr,
+               (unsigned long long)curTick());
+    if (flipsDone_ < params_.bitFlips)
+        schedule(flipEvent_, curTick() + params_.flipPeriod);
+}
+
+bool
+FaultInjector::onTimingResp(ResponsePort &src, RequestPort &dst,
+                            PacketPtr pkt)
+{
+    if (!pkt->isResponse())
+        return true;
+    unsigned injected = dropsDone_ + delaysDone_;
+    if (params_.respFaultMax && injected >= params_.respFaultMax)
+        return true;
+
+    if (params_.dropChance > 0.0 && rng_.chance(params_.dropChance)) {
+        ++dropsDone_;
+        statDrops_ += 1;
+        g5p_warn("%s: dropping response %s from '%s' at tick %llu",
+                 name().c_str(), pkt->toString().c_str(),
+                 src.name().c_str(),
+                 (unsigned long long)curTick());
+        delete pkt;
+        return false;
+    }
+
+    if (params_.delayChance > 0.0 &&
+        rng_.chance(params_.delayChance)) {
+        ++delaysDone_;
+        statDelays_ += 1;
+        RequestPort *target = &dst;
+        scheduleCallback(curTick() + params_.delayTicks,
+                         [target, pkt] {
+                             target->recvTimingResp(pkt);
+                         },
+                         name() + ".delayedResp");
+        return false;
+    }
+    return true;
+}
+
+void
+FaultInjector::FaultyIo::writeText(const std::string &path,
+                                   const std::string &text)
+{
+    if (owner_.writeFailsLeft_ > 0) {
+        --owner_.writeFailsLeft_;
+        ++owner_.ioFaultsDone_;
+        owner_.statIoFaults_ += 1;
+        g5p_throw(CheckpointError, owner_.name(), owner_.curTick(),
+                  "injected write failure for '%s' (%u more to come)",
+                  path.c_str(), owner_.writeFailsLeft_);
+    }
+    CheckpointIo::writeText(path, text);
+}
+
+std::string
+FaultInjector::FaultyIo::readText(const std::string &path)
+{
+    if (owner_.readFailsLeft_ > 0) {
+        --owner_.readFailsLeft_;
+        ++owner_.ioFaultsDone_;
+        owner_.statIoFaults_ += 1;
+        g5p_throw(CheckpointError, owner_.name(), owner_.curTick(),
+                  "injected read failure for '%s' (%u more to come)",
+                  path.c_str(), owner_.readFailsLeft_);
+    }
+    return CheckpointIo::readText(path);
+}
+
+void
+FaultInjector::serialize(sim::CheckpointOut &cp) const
+{
+    cp.param("flipsDone", flipsDone_);
+    cp.param("dropsDone", dropsDone_);
+    cp.param("delaysDone", delaysDone_);
+    cp.param("ioFaultsDone", ioFaultsDone_);
+    cp.param("writeFailsLeft", writeFailsLeft_);
+    cp.param("readFailsLeft", readFailsLeft_);
+}
+
+void
+FaultInjector::unserialize(const sim::CheckpointIn &cp)
+{
+    cp.param("flipsDone", flipsDone_);
+    cp.param("dropsDone", dropsDone_);
+    cp.param("delaysDone", delaysDone_);
+    cp.param("ioFaultsDone", ioFaultsDone_);
+    cp.param("writeFailsLeft", writeFailsLeft_);
+    cp.param("readFailsLeft", readFailsLeft_);
+    // The raw xoshiro state is not checkpointed; re-derive a
+    // deterministic (though different from uninterrupted) stream so
+    // restored runs are still replayable against each other.
+    rng_.seed(params_.seed + flipsDone_ + dropsDone_ + delaysDone_);
+}
+
+void
+FaultInjector::regStats()
+{
+    addStat(&statFlips_, "bitFlips", "DRAM bit flips injected");
+    addStat(&statDrops_, "respDrops", "timing responses dropped");
+    addStat(&statDelays_, "respDelays", "timing responses delayed");
+    addStat(&statIoFaults_, "ioFaults",
+            "checkpoint I/O failures injected");
+}
+
+} // namespace g5p::mem

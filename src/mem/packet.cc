@@ -1,6 +1,6 @@
 #include "mem/packet.hh"
 
-#include "base/logging.hh"
+#include "base/sim_error.hh"
 
 namespace g5p::mem
 {
@@ -29,7 +29,11 @@ Packet::makeResponse()
       case MemCmd::WriteReq:  cmd_ = MemCmd::WriteResp; break;
       case MemCmd::ReadExReq: cmd_ = MemCmd::ReadExResp; break;
       default:
-        g5p_panic("makeResponse on %s", memCmdName(cmd_));
+        // A response command here means a packet came back through a
+        // request path — a protocol violation (or injected fault), so
+        // let the supervisor decide instead of aborting outright.
+        g5p_throw(InvariantError, "packet", 0,
+                  "makeResponse on %s", memCmdName(cmd_));
     }
 }
 

@@ -78,6 +78,15 @@ PhysicalMemory::peek(Addr addr, unsigned size) const
     return v;
 }
 
+std::uint8_t
+PhysicalMemory::flipBit(Addr addr, unsigned bit)
+{
+    checkRange(addr, 1);
+    g5p_assert(bit < 8, "flipBit: bit index %u out of range", bit);
+    data_[addr] ^= (std::uint8_t)(1u << bit);
+    return data_[addr];
+}
+
 std::uint64_t
 PhysicalMemory::contentDigest() const
 {

@@ -53,6 +53,14 @@ class PhysicalMemory : public sim::SimObject
      */
     std::uint64_t contentDigest() const;
 
+    /**
+     * Flip one bit of the backing store without stats, page touch or
+     * host-trace side effects: models a soft error striking DRAM
+     * behind the simulation's back (used by the FaultInjector).
+     * @return the byte value after the flip.
+     */
+    std::uint8_t flipBit(Addr addr, unsigned bit);
+
     /** Host address corresponding to guest physical @p addr. */
     HostAddr hostAddr(Addr addr) const { return hostBase_ + addr; }
 

@@ -3,6 +3,27 @@
 namespace g5p::mem
 {
 
+namespace
+{
+
+TimingFaultHook *installedHook = nullptr;
+
+} // namespace
+
+TimingFaultHook *
+TimingFaultHook::install(TimingFaultHook *hook)
+{
+    TimingFaultHook *prev = installedHook;
+    installedHook = hook;
+    return prev;
+}
+
+TimingFaultHook *
+TimingFaultHook::current()
+{
+    return installedHook;
+}
+
 void
 RequestPort::bind(ResponsePort &peer)
 {
@@ -42,6 +63,9 @@ ResponsePort::sendTimingResp(PacketPtr pkt)
 {
     g5p_assert(peer_, "response through unbound port '%s'",
                name_.c_str());
+    if (installedHook &&
+        !installedHook->onTimingResp(*this, *peer_, pkt))
+        return;
     peer_->recvTimingResp(pkt);
 }
 

@@ -25,7 +25,37 @@
 namespace g5p::mem
 {
 
+class RequestPort;
 class ResponsePort;
+
+/**
+ * Interposer on the timing-response path, consulted by every
+ * ResponsePort::sendTimingResp before delivery. The one installation
+ * point covers DRAM, caches and crossbars alike, so a FaultInjector
+ * can drop or delay any response in the machine without the memory
+ * objects knowing. At most one hook is installed at a time (mg5 is
+ * single threaded); install(nullptr) removes it.
+ */
+class TimingFaultHook
+{
+  public:
+    virtual ~TimingFaultHook() = default;
+
+    /**
+     * Called with the response about to be delivered from @p src to
+     * @p dst. Return true to let delivery proceed; return false to
+     * swallow the packet (the hook then owns @p pkt and must delete
+     * it or deliver it later via dst.recvTimingResp).
+     */
+    virtual bool onTimingResp(ResponsePort &src, RequestPort &dst,
+                              PacketPtr pkt) = 0;
+
+    /** Install a hook (nullptr to remove); returns the previous one. */
+    static TimingFaultHook *install(TimingFaultHook *hook);
+
+    /** The installed hook, or nullptr. */
+    static TimingFaultHook *current();
+};
 
 /** Upstream side: issues requests, receives responses. */
 class RequestPort

@@ -1,5 +1,7 @@
 #include "os/system.hh"
 
+#include <sstream>
+
 #include "base/addr_utils.hh"
 #include "base/logging.hh"
 
@@ -32,7 +34,13 @@ System::System(sim::Simulator &sim, const SystemConfig &config,
     build(workload);
 }
 
-System::~System() = default;
+System::~System()
+{
+    // The probes capture `this`; the Simulator outlives the System in
+    // every configuration, so remove them before our members go away.
+    sim_.setActivityProbe(nullptr);
+    sim_.setDiagProbe(nullptr);
+}
 
 std::unique_ptr<cpu::BaseCpu>
 System::makeCpu(unsigned i)
@@ -145,6 +153,26 @@ System::build(const GuestWorkload &workload)
         cpus_[i]->setArchReg(isa::RegA0, i);
         cpus_[i]->setArchReg(isa::RegSp, process_->stackTop(i));
     }
+
+    // Supervision: an empty event queue while CPUs are running but
+    // not all halted means the machine wedged (e.g. a lost memory
+    // response), not that the workload finished.
+    sim_.setActivityProbe([this] {
+        return cpusActivated_ && !allHalted();
+    });
+    sim_.setDiagProbe([this] {
+        std::ostringstream os;
+        os << "machine state (" << cpus_.size() << " CPUs, "
+           << haltedCount_ << " halted):\n";
+        for (const auto &cpu : cpus_) {
+            os << "  " << cpu->name() << ": pc=0x" << std::hex
+               << cpu->pc() << std::dec << " insts="
+               << cpu->numInsts()
+               << (cpu->halted() ? " [halted]" : " [running]")
+               << "\n";
+        }
+        return os.str();
+    });
 }
 
 sim::SimResult
@@ -167,6 +195,7 @@ System::run(Tick tick_limit)
             for (auto &cpu : cpus_)
                 cpu->activate();
         }
+        cpusActivated_ = true;
     }
     return sim_.run(tick_limit);
 }

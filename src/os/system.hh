@@ -185,6 +185,11 @@ class System
     isa::Program program_;
     unsigned haltedCount_ = 0;
     bool activated_ = false;
+    /** True once the CPUs are really ticking (set after activate(),
+     *  or on resume of a restored machine). Gates the deadlock probe
+     *  so the init-phase run(0) — queue legitimately empty — is not
+     *  reported as a deadlock. */
+    bool cpusActivated_ = false;
 };
 
 } // namespace g5p::os

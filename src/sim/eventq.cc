@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <new>
+#include <ostream>
 
+#include "base/sim_error.hh"
 #include "sim/serialize.hh"
 #include "trace/recorder.hh"
 
@@ -297,6 +299,31 @@ EventQueue::serviceTop()
     return event;
 }
 
+void
+EventQueue::dumpPending(std::ostream &os, std::size_t max) const
+{
+    // Sort a copy of the heap keys: the dump is cold diagnostic code
+    // and service order is what a human debugging a wedge wants.
+    std::vector<HeapNode> nodes(heap_);
+    std::sort(nodes.begin(), nodes.end(),
+              [](const HeapNode &a, const HeapNode &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.priority != b.priority)
+                      return a.priority < b.priority;
+                  return a.sequence < b.sequence;
+              });
+    os << "pending events (" << nodes.size() << "):\n";
+    for (std::size_t i = 0; i < nodes.size() && i < max; ++i) {
+        os << "  @" << nodes[i].when << " prio " << nodes[i].priority
+           << " '" << nodes[i].event->name() << "'"
+           << (nodes[i].event->autoDelete() ? " [transient]" : "")
+           << "\n";
+    }
+    if (nodes.size() > max)
+        os << "  ... " << (nodes.size() - max) << " more\n";
+}
+
 Event *
 EventQueue::serviceOne()
 {
@@ -333,8 +360,9 @@ EventQueue::registerSerial(const std::string &tag, Event *event)
 {
     g5p_assert(event, "registering null event");
     auto [it, inserted] = serialRegistry_.emplace(tag, event);
-    g5p_assert(inserted, "event tag '%s' registered twice",
-               tag.c_str());
+    if (!inserted)
+        g5p_throw(InvariantError, name_, curTick_,
+                  "event tag '%s' registered twice", tag.c_str());
 }
 
 void
@@ -362,13 +390,15 @@ EventQueue::serializeEvents(CheckpointOut &cp) const
     std::vector<Record> records;
     records.reserve(heap_.size());
     for (const HeapNode &node : heap_) {
-        g5p_assert(!node.event->autoDelete_,
-                   "cannot checkpoint: transient event '%s' pending "
-                   "(queue not quiescent)",
-                   node.event->name().c_str());
+        if (node.event->autoDelete_)
+            g5p_throw(CheckpointError, name_, curTick_,
+                      "cannot checkpoint: transient event '%s' "
+                      "pending (queue not quiescent)",
+                      node.event->name().c_str());
         auto it = tags.find(node.event);
         if (it == tags.end())
-            g5p_fatal("cannot checkpoint: pending event '%s' has no "
+            g5p_throw(CheckpointError, name_, curTick_,
+                      "cannot checkpoint: pending event '%s' has no "
                       "serial registration",
                       node.event->name().c_str());
         records.push_back(Record{node.when, node.priority,

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -249,6 +250,24 @@ class EventQueue
     }
 
     /**
+     * The next event to be serviced (heap root); nullptr if empty.
+     * Used by the watchdog flight recorder to label events before
+     * servicing (the pointer may dangle afterwards).
+     */
+    const Event *
+    peekTop() const
+    {
+        return heap_.empty() ? nullptr : heap_.front().event;
+    }
+
+    /**
+     * Diagnostic dump of up to @p max pending events in service
+     * order: "tick prio name [transient]". Part of the watchdog's
+     * deadlock/livelock report.
+     */
+    void dumpPending(std::ostream &os, std::size_t max = 16) const;
+
+    /**
      * Service exactly one event: advance curTick to its tick and run
      * process(). Returns the serviced event, or nullptr if empty.
      * The returned pointer is dangling if the event auto-deleted.
@@ -287,7 +306,8 @@ class EventQueue
      * Register a checkpointable event under a unique tag (e.g.
      * "cpu0.tick"). Only registered events may be pending when a
      * checkpoint is taken; the tag is what restore uses to find the
-     * equivalent event in the freshly built machine.
+     * equivalent event in the freshly built machine. Throws
+     * InvariantError on a tag collision.
      */
     void registerSerial(const std::string &tag, Event *event);
 
@@ -296,8 +316,9 @@ class EventQueue
 
     /**
      * Write every pending event as (service order, tick, tag) into
-     * the current checkpoint section. Fatal if a pending event is
-     * transient (queue not quiescent) or unregistered.
+     * the current checkpoint section. Throws CheckpointError if a
+     * pending event is transient (queue not quiescent) or
+     * unregistered.
      */
     void serializeEvents(CheckpointOut &cp) const;
 

@@ -1,11 +1,15 @@
 #include "sim/serialize.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "base/logging.hh"
+#include "base/sim_error.hh"
 
 namespace g5p::sim
 {
@@ -29,6 +33,85 @@ decodeDouble(const std::string &s)
 }
 
 } // namespace detail
+
+std::uint64_t
+checkpointDigest(const std::string &text)
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (unsigned char byte : text)
+        hash = (hash ^ byte) * 1099511628211ULL;
+    return hash;
+}
+
+namespace
+{
+
+/** Footer line prefix; a comment so fromText() skips it unchanged. */
+constexpr const char *footerPrefix = "#checksum=";
+
+/** "checkpoint" — errors raised outside any SimObject context. */
+constexpr const char *ioObject = "checkpoint";
+
+CheckpointIo *installedIo = nullptr;
+
+} // namespace
+
+void
+CheckpointIo::writeText(const std::string &path,
+                        const std::string &text)
+{
+    // Never write through the live file: a crash (or a disk-full
+    // error) mid-write must leave either the old checkpoint or none,
+    // not a truncated hybrid. POSIX rename over an existing path is
+    // atomic.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            g5p_throw(CheckpointError, ioObject, 0,
+                      "cannot open '%s' for writing", tmp.c_str());
+        out << text;
+        out.flush();
+        if (!out)
+            g5p_throw(CheckpointError, ioObject, 0,
+                      "short write to '%s'", tmp.c_str());
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        g5p_throw(CheckpointError, ioObject, 0,
+                  "cannot rename '%s' over '%s': %s", tmp.c_str(),
+                  path.c_str(), ec.message().c_str());
+    }
+}
+
+std::string
+CheckpointIo::readText(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        g5p_throw(CheckpointError, ioObject, 0,
+                  "cannot read checkpoint '%s'", path.c_str());
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+CheckpointIo &
+CheckpointIo::current()
+{
+    static CheckpointIo defaultIo;
+    return installedIo ? *installedIo : defaultIo;
+}
+
+CheckpointIo *
+CheckpointIo::install(CheckpointIo *io)
+{
+    CheckpointIo *prev = installedIo;
+    installedIo = io;
+    return prev;
+}
 
 namespace
 {
@@ -143,12 +226,33 @@ CheckpointOut::toText() const
 }
 
 void
-CheckpointOut::writeFile(const std::string &path) const
+CheckpointOut::writeFile(const std::string &path,
+                         unsigned max_attempts) const
 {
-    std::ofstream out(path);
-    if (!out)
-        g5p_fatal("cannot write checkpoint '%s'", path.c_str());
-    out << toText();
+    std::string text = toText();
+    char footer[32];
+    std::snprintf(footer, sizeof(footer), "%s%016llx\n", footerPrefix,
+                  (unsigned long long)checkpointDigest(text));
+    text += footer;
+
+    if (max_attempts == 0)
+        max_attempts = 1;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            CheckpointIo::current().writeText(path, text);
+            return;
+        } catch (const CheckpointError &e) {
+            if (attempt >= max_attempts)
+                throw;
+            g5p_warn("checkpoint write attempt %u/%u failed (%s); "
+                     "retrying", attempt, max_attempts,
+                     e.summary().c_str());
+            // Short exponential backoff: transient I/O conditions
+            // (NFS hiccup, fd pressure) usually clear in milliseconds.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1u << (attempt - 1)));
+        }
+    }
 }
 
 CheckpointIn
@@ -176,12 +280,30 @@ CheckpointIn::fromText(const std::string &text)
 CheckpointIn
 CheckpointIn::readFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        g5p_fatal("cannot read checkpoint '%s'", path.c_str());
-    std::ostringstream os;
-    os << in.rdbuf();
-    return fromText(os.str());
+    std::string text = CheckpointIo::current().readText(path);
+
+    // The checksum footer is the last line; its absence means the
+    // file was truncated (the footer is written last) or produced by
+    // something that is not CheckpointOut::writeFile.
+    const std::string prefix = footerPrefix;
+    auto pos = text.rfind(prefix);
+    if (pos == std::string::npos ||
+        text.find('\n', pos) == std::string::npos)
+        g5p_throw(CheckpointError, ioObject, 0,
+                  "checkpoint '%s' has no checksum footer (file "
+                  "truncated or not a checkpoint)", path.c_str());
+
+    std::string body = text.substr(0, pos);
+    std::uint64_t recorded = std::strtoull(
+        text.c_str() + pos + prefix.size(), nullptr, 16);
+    std::uint64_t actual = checkpointDigest(body);
+    if (recorded != actual)
+        g5p_throw(CheckpointError, ioObject, 0,
+                  "checkpoint '%s' is corrupt: checksum %016llx "
+                  "recorded, %016llx computed", path.c_str(),
+                  (unsigned long long)recorded,
+                  (unsigned long long)actual);
+    return fromText(body);
 }
 
 void
@@ -246,13 +368,14 @@ CheckpointIn::get(const std::string &key) const
 {
     auto sec = sections_.find(currentSection());
     if (sec == sections_.end())
-        throw std::runtime_error(
-            "checkpoint missing section '" + currentSection() + "'");
+        g5p_throw(CheckpointError, ioObject, 0,
+                  "checkpoint missing section '%s'",
+                  currentSection().c_str());
     auto kv = sec->second.find(key);
     if (kv == sec->second.end())
-        throw std::runtime_error(
-            "checkpoint missing key '" + key + "' in section '" +
-            currentSection() + "'");
+        g5p_throw(CheckpointError, ioObject, 0,
+                  "checkpoint missing key '%s' in section '%s'",
+                  key.c_str(), currentSection().c_str());
     return kv->second;
 }
 

@@ -14,6 +14,19 @@
  *    and `[` so the line parser can never misread them.
  *  - Floating-point params are stored as C99 hex-floats (`%a`) so
  *    doubles restore bit-exactly.
+ *
+ * Durability guarantees (see DESIGN.md §"Error handling"):
+ *  - `CheckpointOut::writeFile` is atomic: the text is written to
+ *    `<path>.tmp`, flushed, and renamed over `<path>`, so a crash
+ *    mid-write never leaves a half-written checkpoint at the target
+ *    path. Transient I/O failures are retried with bounded backoff.
+ *  - Every file carries a `#checksum=` FNV-1a footer;
+ *    `CheckpointIn::readFile` rejects files with a missing or
+ *    mismatched footer (truncation, corruption) with a typed
+ *    `CheckpointError` naming the file.
+ *  - All checkpoint file traffic flows through the injectable
+ *    `CheckpointIo` shim so tests can fault the I/O layer
+ *    deterministically.
  */
 
 #ifndef G5P_SIM_SERIALIZE_HH
@@ -39,6 +52,42 @@ std::string encodeDouble(double v);
 double decodeDouble(const std::string &s);
 
 } // namespace detail
+
+/**
+ * Pluggable checkpoint file I/O. The default implementation performs
+ * the atomic tmp+rename write and a plain read; tests and the
+ * FaultInjector install shims that fail deterministically so the
+ * retry/degradation paths can be exercised without touching a real
+ * failing filesystem. Both methods throw CheckpointError on failure.
+ */
+class CheckpointIo
+{
+  public:
+    virtual ~CheckpointIo() = default;
+
+    /**
+     * Durably write @p text to @p path: write `<path>.tmp`, flush,
+     * rename over @p path. Throws CheckpointError on any failure; the
+     * tmp file is removed on a failed rename.
+     */
+    virtual void writeText(const std::string &path,
+                           const std::string &text);
+
+    /** Read the whole file; throws CheckpointError if unreadable. */
+    virtual std::string readText(const std::string &path);
+
+    /** The active I/O implementation (default unless installed). */
+    static CheckpointIo &current();
+
+    /**
+     * Install a replacement (nullptr restores the default). Returns
+     * the previous shim so callers can chain/restore.
+     */
+    static CheckpointIo *install(CheckpointIo *io);
+};
+
+/** FNV-1a digest of a byte string (the checkpoint footer hash). */
+std::uint64_t checkpointDigest(const std::string &text);
 
 /** Writable checkpoint: section -> key -> value. */
 class CheckpointOut
@@ -84,8 +133,14 @@ class CheckpointOut
     /** Serialize to the INI-like text format. */
     std::string toText() const;
 
-    /** Write to a file; fatal on I/O error. */
-    void writeFile(const std::string &path) const;
+    /**
+     * Write atomically (tmp + rename via CheckpointIo) with a
+     * `#checksum=` footer, retrying transient I/O failures up to
+     * @p max_attempts with short exponential backoff. Throws
+     * CheckpointError once every attempt has failed.
+     */
+    void writeFile(const std::string &path,
+                   unsigned max_attempts = 3) const;
 
     const std::map<std::string, std::map<std::string, std::string>> &
     sections() const { return sections_; }
@@ -114,7 +169,12 @@ class CheckpointIn
     /** Parse the text format produced by CheckpointOut. */
     static CheckpointIn fromText(const std::string &text);
 
-    /** Read from a file; fatal on I/O error. */
+    /**
+     * Read from a file via CheckpointIo and verify the `#checksum=`
+     * footer. Throws CheckpointError naming the file if it is
+     * missing, unreadable, truncated (no footer), or corrupt
+     * (footer mismatch).
+     */
     static CheckpointIn readFile(const std::string &path);
 
     /**
@@ -125,8 +185,8 @@ class CheckpointIn
     void popSection() const;
 
     /**
-     * Fetch one value; throws std::runtime_error naming the section
-     * and key if absent (corrupt or truncated checkpoint).
+     * Fetch one value; throws CheckpointError naming the section and
+     * key if absent (corrupt or truncated checkpoint).
      */
     template <typename T>
     void

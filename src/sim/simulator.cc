@@ -1,8 +1,11 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "base/sim_error.hh"
 #include "sim/sim_object.hh"
 #include "trace/recorder.hh"
 
@@ -17,8 +20,19 @@ exitCauseName(ExitCause cause)
       case ExitCause::TickLimit:       return "tick limit reached";
       case ExitCause::EventQueueEmpty: return "event queue empty";
       case ExitCause::User:            return "user exit";
+      case ExitCause::Deadlock:        return "deadlock detected";
+      case ExitCause::Livelock:        return "livelock detected";
+      case ExitCause::WatchdogTimeout: return "watchdog timeout";
     }
     return "unknown";
+}
+
+bool
+isSupervisedExit(ExitCause cause)
+{
+    return cause == ExitCause::Deadlock ||
+           cause == ExitCause::Livelock ||
+           cause == ExitCause::WatchdogTimeout;
 }
 
 /** Internal event that makes run() return at a chosen tick. */
@@ -110,6 +124,69 @@ Simulator::initPhase()
     initDone_ = true;
 }
 
+void
+Simulator::setWatchdog(const WatchdogConfig &config)
+{
+    watchdog_ = config;
+    watchdogEnabled_ = true;
+    flight_.clear();
+    flightNext_ = 0;
+}
+
+void
+Simulator::recordFlight(Tick when, std::int16_t priority,
+                        std::string name)
+{
+    if (flight_.size() < watchdog_.flightRecorderDepth) {
+        flight_.push_back({when, priority, std::move(name)});
+        flightNext_ = flight_.size() % watchdog_.flightRecorderDepth;
+    } else {
+        flight_[flightNext_] = {when, priority, std::move(name)};
+        flightNext_ = (flightNext_ + 1) % flight_.size();
+    }
+}
+
+std::vector<FlightRecord>
+Simulator::flightRecords() const
+{
+    // Unroll the ring: oldest entry first.
+    std::vector<FlightRecord> out;
+    out.reserve(flight_.size());
+    for (std::size_t i = 0; i < flight_.size(); ++i)
+        out.push_back(flight_[(flightNext_ + i) % flight_.size()]);
+    return out;
+}
+
+std::string
+Simulator::diagnosticDump() const
+{
+    std::ostringstream os;
+    os << "=== " << groupName() << " diagnostic @ tick "
+       << eventq_.curTick() << " (" << eventsServiced_
+       << " events serviced) ===\n";
+    eventq_.dumpPending(os);
+    if (diagProbe_)
+        os << diagProbe_();
+    if (!flight_.empty()) {
+        os << "last " << flight_.size()
+           << " serviced events (oldest first):\n";
+        for (const FlightRecord &r : flightRecords())
+            os << "  @" << r.tick << " prio " << r.priority << " '"
+               << r.name << "'\n";
+    }
+    return os.str();
+}
+
+SimResult
+Simulator::supervisedExit(ExitCause cause, std::string message)
+{
+    std::string diag = diagnosticDump();
+    g5p_warn("%s at tick %llu: %s", exitCauseName(cause),
+             (unsigned long long)eventq_.curTick(), message.c_str());
+    return {cause, eventq_.curTick(), std::move(message),
+            std::move(diag)};
+}
+
 SimResult
 Simulator::run(Tick tick_limit)
 {
@@ -117,10 +194,24 @@ Simulator::run(Tick tick_limit)
     initPhase();
     exitRequested_ = false;
 
+    // Watchdog bookkeeping is per-run(): a fresh call gets a fresh
+    // wall clock and budget even when continuing a simulation.
+    const bool wd = watchdogEnabled_;
+    std::uint64_t runEvents = 0;
+    std::uint64_t sameTickEvents = 0;
+    Tick lastTick = eventq_.curTick();
+    const auto wallStart = std::chrono::steady_clock::now();
+
     while (!exitRequested_) {
         Tick next = eventq_.nextTick();
-        if (next == maxTick)
+        if (next == maxTick) {
+            if (activityProbe_ && activityProbe_())
+                return supervisedExit(
+                    ExitCause::Deadlock,
+                    "event queue empty while the machine still "
+                    "expects progress");
             return {ExitCause::EventQueueEmpty, eventq_.curTick(), ""};
+        }
         if (next > tick_limit) {
             // Advance to the limit, but never rewind (a checkpoint
             // restore may have set curTick past a small limit).
@@ -128,8 +219,52 @@ Simulator::run(Tick tick_limit)
                 eventq_.setCurTick(tick_limit);
             return {ExitCause::TickLimit, eventq_.curTick(), ""};
         }
+        if (wd && watchdog_.flightRecorderDepth > 0) {
+            const Event *top = eventq_.peekTop();
+            recordFlight(next, top->priority(), top->name());
+        }
         eventq_.serviceOne();
         ++eventsServiced_;
+        if (wd) {
+            ++runEvents;
+            if (eventq_.curTick() != lastTick) {
+                lastTick = eventq_.curTick();
+                sameTickEvents = 0;
+            } else if (watchdog_.livelockEvents &&
+                       ++sameTickEvents >= watchdog_.livelockEvents) {
+                return supervisedExit(
+                    ExitCause::Livelock,
+                    g5p::detail::vformat(
+                        "curTick %llu unchanged across %llu "
+                        "consecutively serviced events",
+                        (unsigned long long)lastTick,
+                        (unsigned long long)sameTickEvents));
+            }
+            if (watchdog_.maxEvents &&
+                runEvents >= watchdog_.maxEvents) {
+                return supervisedExit(
+                    ExitCause::WatchdogTimeout,
+                    g5p::detail::vformat(
+                        "event budget of %llu serviced events "
+                        "exhausted",
+                        (unsigned long long)watchdog_.maxEvents));
+            }
+            // The wall clock is only sampled every 4096 events: a
+            // syscall-rate check would dominate the loop.
+            if (watchdog_.maxWallSeconds > 0 &&
+                (runEvents & 0xfff) == 0) {
+                std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - wallStart;
+                if (elapsed.count() >= watchdog_.maxWallSeconds)
+                    return supervisedExit(
+                        ExitCause::WatchdogTimeout,
+                        g5p::detail::vformat(
+                            "wall-clock budget of %.3f s exhausted "
+                            "after %.3f s",
+                            watchdog_.maxWallSeconds,
+                            elapsed.count()));
+            }
+        }
         if (autoCkptPending_)
             doAutoCheckpoint();
     }
@@ -175,22 +310,28 @@ Simulator::advanceToQuiescence(std::uint64_t max_events)
         if (exitRequested_)
             return false;
         if (++serviced >= max_events)
-            g5p_fatal("no quiescent point within %llu events",
+            g5p_throw(InvariantError, groupName(), eventq_.curTick(),
+                      "no quiescent point within %llu events",
                       (unsigned long long)max_events);
     }
     return true;
 }
 
-void
+bool
 Simulator::checkpoint(const std::string &path)
 {
-    if (!advanceToQuiescence())
-        g5p_fatal("cannot checkpoint '%s': simulation exited before "
-                  "reaching a quiescent point (checkpoint earlier)",
-                  path.c_str());
+    if (!advanceToQuiescence()) {
+        // Not a failure: the workload simply finished during the
+        // quiescence seek. The caller sees the exit on its next
+        // run()/result inspection; nothing was written.
+        g5p_warn("checkpoint '%s' skipped: simulation exited before "
+                 "reaching a quiescent point", path.c_str());
+        return false;
+    }
     CheckpointOut cp;
     takeCheckpoint(cp);
     cp.writeFile(path);
+    return true;
 }
 
 void
@@ -229,10 +370,19 @@ Simulator::doAutoCheckpoint()
     }
     std::string path = autoCkptPrefix_ + "-" +
                        std::to_string(eventq_.curTick()) + ".ckpt";
-    CheckpointOut cp;
-    takeCheckpoint(cp);
-    cp.writeFile(path);
-    g5p_inform("auto-checkpoint written to '%s'", path.c_str());
+    try {
+        CheckpointOut cp;
+        takeCheckpoint(cp);
+        cp.writeFile(path);
+        g5p_inform("auto-checkpoint written to '%s'", path.c_str());
+    } catch (const CheckpointError &e) {
+        // Degrade gracefully: a failed periodic checkpoint must not
+        // kill a healthy simulation. Keep running; the next period
+        // retries (and the last good checkpoint stays valid thanks
+        // to the atomic tmp+rename write).
+        g5p_warn("auto-checkpoint to '%s' failed (%s); continuing "
+                 "without it", path.c_str(), e.summary().c_str());
+    }
     eventq_.schedule(&autoCkptEvent_,
                      eventq_.curTick() + autoCkptPeriod_);
 }

@@ -7,6 +7,7 @@
 #ifndef G5P_SIM_SIMULATOR_HH
 #define G5P_SIM_SIMULATOR_HH
 
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -28,10 +29,16 @@ enum class ExitCause
     TickLimit,      ///< the caller's tick limit was reached
     EventQueueEmpty,///< nothing left to do
     User,           ///< user-requested exit (m5 exit equivalent)
+    Deadlock,       ///< queue empty but the machine expects progress
+    Livelock,       ///< events serviced but curTick stopped advancing
+    WatchdogTimeout,///< wall-clock or event budget exhausted
 };
 
 /** Human-readable exit-cause name. */
 const char *exitCauseName(ExitCause cause);
+
+/** True for the supervision causes (Deadlock/Livelock/Timeout). */
+bool isSupervisedExit(ExitCause cause);
 
 /** Result of Simulator::run(). */
 struct SimResult
@@ -39,6 +46,42 @@ struct SimResult
     ExitCause cause;
     Tick tick;          ///< curTick when the loop returned
     std::string message;///< exit message (e.g. workload status)
+    /** Watchdog report (pending events, machine state, flight
+     *  recorder); empty unless isSupervisedExit(cause). */
+    std::string diagnostic;
+};
+
+/**
+ * Watchdog knobs for Simulator::run(). All limits default to off;
+ * deadlock detection additionally needs an activity probe (installed
+ * automatically by os::System).
+ */
+struct WatchdogConfig
+{
+    /**
+     * Declare livelock after this many consecutively serviced events
+     * with curTick unchanged (0 = off). Same-tick bursts are normal —
+     * every CPU and cache response at one tick — so set this well
+     * above the machine's per-tick event fan-out (thousands).
+     */
+    std::uint64_t livelockEvents = 0;
+
+    /** Event budget for one run() call (0 = unlimited). */
+    std::uint64_t maxEvents = 0;
+
+    /** Wall-clock budget for one run() call (0 = unlimited). */
+    double maxWallSeconds = 0.0;
+
+    /** Last-N serviced events kept for the diagnostic dump. */
+    std::size_t flightRecorderDepth = 64;
+};
+
+/** One flight-recorder entry: an event the loop serviced. */
+struct FlightRecord
+{
+    Tick tick;
+    std::int16_t priority;
+    std::string name;
 };
 
 /**
@@ -67,8 +110,48 @@ class Simulator : public stats::Group
      * Run init/regStats/startup once, then service events until an
      * exit is requested, the queue empties, or @p tick_limit passes.
      * May be called repeatedly to continue a simulation.
+     *
+     * With a watchdog configured (setWatchdog) the loop additionally
+     * returns Livelock / WatchdogTimeout; with an activity probe
+     * installed (setActivityProbe) an empty queue while the machine
+     * still expects progress returns Deadlock. Supervised exits carry
+     * a diagnostic dump instead of hanging or aborting.
      */
     SimResult run(Tick tick_limit = maxTick);
+
+    /** Enable/replace the run() watchdog (see WatchdogConfig). */
+    void setWatchdog(const WatchdogConfig &config);
+
+    /** The active watchdog configuration. */
+    const WatchdogConfig &watchdog() const { return watchdog_; }
+
+    /**
+     * Install the deadlock probe: returns true while the machine
+     * still expects progress (e.g. CPUs activated but not all
+     * halted). An empty event queue with the probe returning true is
+     * a deadlock, not a normal end-of-simulation. Pass nullptr to
+     * remove.
+     */
+    void setActivityProbe(std::function<bool()> probe)
+    { activityProbe_ = std::move(probe); }
+
+    /**
+     * Install the machine-state reporter appended to diagnostic
+     * dumps (per-CPU PC/halt/instruction state). Pass nullptr to
+     * remove.
+     */
+    void setDiagProbe(std::function<std::string()> probe)
+    { diagProbe_ = std::move(probe); }
+
+    /**
+     * The watchdog report: pending events, the diag probe's machine
+     * state, and the flight-recorder tail. Also callable directly
+     * for ad-hoc debugging.
+     */
+    std::string diagnosticDump() const;
+
+    /** Flight-recorder contents, oldest first. */
+    std::vector<FlightRecord> flightRecords() const;
 
     /**
      * Request the loop to return at @p when (now if 0). Mirrors
@@ -95,6 +178,9 @@ class Simulator : public stats::Group
      * simulation — a run that checkpoints mid-way produces the same
      * final state as one that never did.
      *
+     * Throws InvariantError if no quiescent point is found within
+     * @p max_events (a wedged or pathological machine).
+     *
      * @return false if an exit event fired before a quiescent point
      *         was found (the simulation ended); true otherwise.
      */
@@ -102,9 +188,14 @@ class Simulator : public stats::Group
 
     /**
      * Advance to a quiescent point, then serialize the whole machine
-     * to @p path. Fatal if the simulation exits during the seek.
+     * to @p path.
+     *
+     * @return true if the checkpoint was written; false if the
+     *         simulation exited during the quiescence seek (it
+     *         simply finished — not an error, nothing was written).
+     * Throws CheckpointError on I/O failure after bounded retries.
      */
-    void checkpoint(const std::string &path);
+    bool checkpoint(const std::string &path);
 
     /** Restore a checkpoint written by checkpoint(). */
     void restore(const std::string &path);
@@ -146,6 +237,13 @@ class Simulator : public stats::Group
 
     void initPhase();
 
+    /** Append one serviced event to the flight-recorder ring. */
+    void recordFlight(Tick when, std::int16_t priority,
+                      std::string name);
+
+    /** Build the SimResult for a watchdog-detected condition. */
+    SimResult supervisedExit(ExitCause cause, std::string message);
+
     /** Auto-checkpoint event action: mark a checkpoint as due. */
     void autoCkptDue() { autoCkptPending_ = true; }
 
@@ -168,6 +266,16 @@ class Simulator : public stats::Group
     std::uint64_t nextExitId_ = 0;
 
     bool restored_ = false;
+
+    WatchdogConfig watchdog_;
+    /** True once setWatchdog() ran; gates the per-event checks. */
+    bool watchdogEnabled_ = false;
+    std::function<bool()> activityProbe_;
+    std::function<std::string()> diagProbe_;
+
+    /** Flight recorder: ring of the last-N serviced events. */
+    std::vector<FlightRecord> flight_;
+    std::size_t flightNext_ = 0;
 
     Tick autoCkptPeriod_ = 0;
     std::string autoCkptPrefix_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/sim_error.hh"
 
 namespace g5p::workloads
 {
@@ -104,8 +105,14 @@ std::unique_ptr<os::GuestWorkload>
 Registry::create(const std::string &name, double scale) const
 {
     auto it = factories_.find(name);
-    if (it == factories_.end())
-        g5p_fatal("unknown workload '%s'", name.c_str());
+    if (it == factories_.end()) {
+        std::string known;
+        for (const auto &[n, _] : factories_)
+            known += (known.empty() ? "" : ", ") + n;
+        g5p_throw(WorkloadError, "workloads", 0,
+                  "unknown workload '%s' (known: %s)", name.c_str(),
+                  known.c_str());
+    }
     return it->second(scale);
 }
 

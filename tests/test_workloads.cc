@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "base/sim_error.hh"
 #include "os/system.hh"
 #include "workloads/workload.hh"
 
@@ -55,13 +56,16 @@ TEST(Registry, KnowsAllPaperWorkloads)
     EXPECT_EQ(Registry::parsecSplashNames().size(), 9u);
 }
 
-#ifdef GTEST_HAS_DEATH_TEST
-TEST(Registry, UnknownWorkloadIsFatal)
+TEST(Registry, UnknownWorkloadThrowsTyped)
 {
-    EXPECT_EXIT(Registry::instance().create("no-such-workload"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    try {
+        Registry::instance().create("no-such-workload");
+        FAIL() << "expected WorkloadError";
+    } catch (const WorkloadError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown workload"),
+                  std::string::npos) << e.what();
+    }
 }
-#endif
 
 TEST(Workloads, GoldenModelsAreNontrivial)
 {

@@ -30,3 +30,13 @@ cmake --build --preset sanitize -j "$jobs"
 # run loudly.
 echo "== ctest (preset: sanitize) =="
 ctest --preset sanitize "$@"
+
+# The fault-injection/robustness suite doubles as a sanitizer stress
+# test: dropped/delayed responses, injected I/O failures and watchdog
+# exits walk the error paths normal runs never take, exactly where
+# leaks and UB hide. Run it explicitly even when a filter narrowed
+# the main pass.
+if [ "$#" -gt 0 ]; then
+    echo "== ctest robustness suite (preset: sanitize) =="
+    ctest --preset sanitize -R '^(Watchdog|FaultInjection|CrashSafety|TypedErrors)'
+fi
