@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Shared command-line parsing for the mg5 examples. Every example
+ * accepts the same positionals ([workload] ([cpu-model]) [scale])
+ * and the same observability / run-control flags, assembled straight
+ * into a sim::RunOptions:
+ *
+ *   --profile=<trace.json>     self-profile the run, write a Chrome
+ *                              trace (open in Perfetto)
+ *   --profile-batch=<n>        clock read granularity in batch mode
+ *   --metrics=<out.jsonl>      live JSONL metrics stream (tail -f)
+ *   --cpu=<model>              atomic|timing|minor|o3
+ *   --watchdog-events=<n>      supervise: livelock threshold
+ *   --max-wall-seconds=<s>     supervise: wall-clock budget
+ *   --auto-checkpoint=<ticks>  periodic crash-safe checkpoints
+ *   --auto-checkpoint-prefix=<p>
+ *   --fault-seed=<n>           seed injected memory faults
+ *   --help
+ *
+ * Example-specific value flags (e.g. profile_simulation's
+ * --checkpoint) are declared in CliSpec::extraFlags and surfaced in
+ * CliOptions::extra. Flags accept both --flag=value and --flag value.
+ */
+
+#ifndef G5P_EXAMPLES_COMMON_CLI_HH
+#define G5P_EXAMPLES_COMMON_CLI_HH
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/sim_error.hh"
+#include "os/system.hh"
+#include "sim/run_options.hh"
+
+namespace g5p::examples
+{
+
+/** What an example accepts beyond the shared surface. */
+struct CliSpec
+{
+    /** Positional synopsis for --help, e.g. "[workload] [scale]". */
+    std::string usage = "[workload] [scale]";
+
+    /** Second positional is a CPU model (profile_simulation). */
+    bool cpuModelPositional = false;
+
+    std::string defaultWorkload = "water_nsquared";
+    os::CpuModel defaultCpuModel = os::CpuModel::O3;
+    double defaultScale = 0.25;
+
+    /** Example-specific flags that take a value (with leading --). */
+    std::vector<std::string> extraFlags;
+};
+
+/** Parsed command line. */
+struct CliOptions
+{
+    std::string workload;
+    os::CpuModel cpuModel = os::CpuModel::O3;
+    double scale = 0.25;
+
+    /** Run-control knobs assembled from the shared flags; hand it to
+     *  Simulator::configure / System::run / RunConfig. */
+    sim::RunOptions run;
+
+    /** Shorthand for run.profiler.tracePath. */
+    std::string profilePath;
+
+    /** Values of CliSpec::extraFlags, keyed by flag name. */
+    std::map<std::string, std::string> extra;
+
+    bool profiling() const { return run.profiler.enabled; }
+};
+
+inline os::CpuModel
+parseCpuModel(const std::string &name)
+{
+    if (name == "atomic")
+        return os::CpuModel::Atomic;
+    if (name == "timing")
+        return os::CpuModel::Timing;
+    if (name == "minor")
+        return os::CpuModel::Minor;
+    if (name == "o3")
+        return os::CpuModel::O3;
+    g5p_throw(ConfigError, "cli", 0,
+              "unknown CPU model '%s' (use atomic|timing|minor|o3)",
+              name.c_str());
+}
+
+inline void
+printCliUsage(std::ostream &os, const char *argv0,
+              const CliSpec &spec)
+{
+    os << "usage: " << argv0 << " " << spec.usage << " [flags]\n"
+       << "flags:\n"
+          "  --profile=<trace.json>       self-profile, write a "
+          "Chrome trace\n"
+          "  --profile-batch=<n>          events per clock read "
+          "(batch mode)\n"
+          "  --metrics=<out.jsonl>        live JSONL metrics stream\n"
+          "  --cpu=<atomic|timing|minor|o3>\n"
+          "  --watchdog-events=<n>        livelock watchdog "
+          "threshold\n"
+          "  --max-wall-seconds=<s>       wall-clock budget "
+          "(supervised)\n"
+          "  --auto-checkpoint=<ticks>    periodic checkpoint "
+          "period\n"
+          "  --auto-checkpoint-prefix=<p> checkpoint path prefix\n"
+          "  --fault-seed=<n>             seed injected memory "
+          "faults\n"
+          "  --help\n";
+    for (const auto &flag : spec.extraFlags)
+        os << "  " << flag << " <value>\n";
+}
+
+/**
+ * Parse @p argv against @p spec. Exits 0 on --help; throws
+ * ConfigError (mapped to exit 1 by runGuarded) on bad input.
+ */
+inline CliOptions
+parseCli(int argc, char **argv, const CliSpec &spec = {})
+{
+    CliOptions opts;
+    std::vector<std::string> pos;
+    bool cpu_flag_given = false;
+
+    auto is_extra = [&](const std::string &flag) {
+        return std::find(spec.extraFlags.begin(),
+                         spec.extraFlags.end(),
+                         flag) != spec.extraFlags.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos.push_back(arg);
+            continue;
+        }
+
+        std::string flag = arg, value;
+        bool has_value = false;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flag = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            has_value = true;
+        }
+
+        if (flag == "--help") {
+            printCliUsage(std::cout, argv[0], spec);
+            std::exit(0);
+        }
+
+        // Every remaining flag takes a value.
+        if (!has_value) {
+            if (i + 1 >= argc)
+                g5p_throw(ConfigError, "cli", 0,
+                          "flag '%s' needs a value", flag.c_str());
+            value = argv[++i];
+        }
+
+        if (flag == "--profile") {
+            opts.run.profiler.enabled = true;
+            opts.run.profiler.tracePath = value;
+            opts.run.profiler.traceSlices = true;
+            opts.profilePath = value;
+        } else if (flag == "--profile-batch") {
+            opts.run.profiler.batchEvents =
+                (std::uint32_t)std::strtoul(value.c_str(), nullptr,
+                                            0);
+        } else if (flag == "--metrics") {
+            opts.run.profiler.enabled = true;
+            opts.run.profiler.metricsPath = value;
+        } else if (flag == "--cpu") {
+            opts.cpuModel = parseCpuModel(value);
+            cpu_flag_given = true;
+        } else if (flag == "--watchdog-events") {
+            opts.run.supervise = true;
+            opts.run.watchdog.livelockEvents =
+                std::strtoull(value.c_str(), nullptr, 0);
+        } else if (flag == "--max-wall-seconds") {
+            opts.run.supervise = true;
+            opts.run.watchdog.maxWallSeconds =
+                std::atof(value.c_str());
+        } else if (flag == "--auto-checkpoint") {
+            opts.run.autoCheckpointPeriod =
+                std::strtoull(value.c_str(), nullptr, 0);
+        } else if (flag == "--auto-checkpoint-prefix") {
+            opts.run.autoCheckpointPrefix = value;
+        } else if (flag == "--fault-seed") {
+            opts.run.faultSeed =
+                std::strtoull(value.c_str(), nullptr, 0);
+        } else if (is_extra(flag)) {
+            opts.extra[flag] = value;
+        } else {
+            g5p_throw(ConfigError, "cli", 0,
+                      "unknown flag '%s' (try --help)", flag.c_str());
+        }
+    }
+
+    opts.workload = !pos.empty() ? pos[0] : spec.defaultWorkload;
+    std::size_t scale_at = 1;
+    if (!cpu_flag_given)
+        opts.cpuModel = spec.defaultCpuModel;
+    if (spec.cpuModelPositional) {
+        if (pos.size() > 1 && !cpu_flag_given)
+            opts.cpuModel = parseCpuModel(pos[1]);
+        scale_at = 2;
+    }
+    opts.scale = pos.size() > scale_at
+                     ? std::atof(pos[scale_at].c_str())
+                     : spec.defaultScale;
+    if (pos.size() > scale_at + 1)
+        g5p_throw(ConfigError, "cli", 0,
+                  "unexpected argument '%s' (usage: %s)",
+                  pos[scale_at + 1].c_str(), spec.usage.c_str());
+    return opts;
+}
+
+} // namespace g5p::examples
+
+#endif // G5P_EXAMPLES_COMMON_CLI_HH

@@ -12,8 +12,10 @@
 
 #include "base/sim_error.hh"
 #include "base/str.hh"
+#include "common/cli.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/telemetry.hh"
 
 using namespace g5p;
 
@@ -23,10 +25,23 @@ namespace
 int
 runMain(int argc, char **argv)
 {
+    examples::CliSpec spec;
+    spec.usage = "[workload] [scale]";
+    examples::CliOptions opts = examples::parseCli(argc, argv, spec);
+
     core::RunConfig cfg;
-    cfg.workload = argc > 1 ? argv[1] : "water_nsquared";
-    cfg.workloadScale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    cfg.workload = opts.workload;
+    cfg.workloadScale = opts.scale;
     cfg.cpuModel = os::CpuModel::O3;
+    cfg.run = opts.run;
+
+    // One profiler across the whole campaign: each platform's run
+    // becomes a labelled span in a single trace.
+    sim::Profiler campaignProfiler(opts.run.profiler);
+    if (opts.profiling()) {
+        cfg.run.profiler = {};
+        cfg.profiler = &campaignProfiler;
+    }
 
     std::cout << "Same gem5 simulation (" << cfg.workload << ", "
               << "O3 CPU) on the three evaluation platforms:\n\n";
@@ -59,6 +74,21 @@ runMain(int argc, char **argv)
         "(192KB vs 32KB), 4x the L1D,\n16KB pages (4x iTLB reach), "
         "128B lines (half the compulsory misses), and an\n8-wide "
         "front-end with no legacy-decode bottleneck.\n";
+
+    if (opts.profiling()) {
+        campaignProfiler.disarm();
+        core::printHostProfile(
+            std::cout,
+            "self-profile (all platforms, wall clock by event class)",
+            core::hostProfileFromSelf(campaignProfiler), 10);
+        if (!opts.profilePath.empty() &&
+            core::writeChromeTraceFile(
+                opts.profilePath,
+                {{"platform_compare", &campaignProfiler}})) {
+            std::cout << "\nChrome trace written to '"
+                      << opts.profilePath << "'\n";
+        }
+    }
     return 0;
 }
 

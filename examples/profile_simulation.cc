@@ -7,8 +7,13 @@
  *
  * Usage: profile_simulation [workload] [cpu-model] [scale]
  *                           [--checkpoint <path> [--at <tick>]]
- *                           [--restore <path>]
+ *                           [--restore <path>]  [flags; see --help]
  *   cpu-model: atomic | timing | minor | o3
+ *
+ * With --profile=trace.json the run is *also* self-profiled for
+ * real: the modeled hot-function CDF and the measured wall-clock
+ * event attribution print through the same ranked-share pipeline,
+ * and a Chrome trace is written.
  *
  * With --checkpoint, the guest run is interrupted at the given tick,
  * serialized to <path>, then resumed in-process to completion. With
@@ -25,7 +30,9 @@
 
 #include "base/sim_error.hh"
 #include "base/str.hh"
+#include "common/cli.hh"
 #include "core/experiment.hh"
+#include "core/telemetry.hh"
 #include "core/topdown.hh"
 #include "workloads/workload.hh"
 
@@ -33,22 +40,6 @@ using namespace g5p;
 
 namespace
 {
-
-os::CpuModel
-parseModel(const std::string &name)
-{
-    if (name == "atomic")
-        return os::CpuModel::Atomic;
-    if (name == "timing")
-        return os::CpuModel::Timing;
-    if (name == "minor")
-        return os::CpuModel::Minor;
-    if (name == "o3")
-        return os::CpuModel::O3;
-    g5p_throw(ConfigError, "cli", 0,
-              "unknown CPU model '%s' (use atomic|timing|minor|o3)",
-              name.c_str());
-}
 
 void
 printGuestSummary(sim::Simulator &sim, os::System &system,
@@ -61,6 +52,22 @@ printGuestSummary(sim::Simulator &sim, os::System &system,
               << "memory digest      : " << std::hex
               << system.physmem().contentDigest() << std::dec
               << "\n";
+}
+
+/** Write the demo run's trace if --profile was given. */
+void
+maybeWriteTrace(sim::Simulator &sim, const core::RunConfig &cfg)
+{
+    sim::Profiler *prof = sim.profiler();
+    if (!prof || cfg.run.profiler.tracePath.empty())
+        return;
+    prof->disarm();
+    if (core::writeChromeTraceFile(
+            cfg.run.profiler.tracePath,
+            {{os::cpuModelName(cfg.cpuModel), prof}})) {
+        std::cout << "\nChrome trace written to '"
+                  << cfg.run.profiler.tracePath << "'\n";
+    }
 }
 
 /** The --checkpoint / --restore demo: drive mg5 directly. */
@@ -82,16 +89,18 @@ runCheckpointDemo(const core::RunConfig &cfg,
         sim.restore(restorePath);
         std::cout << "restored '" << restorePath << "' at tick "
                   << sim.curTick() << "; resuming...\n\n";
-        auto res = system.run();
+        auto res = system.run(cfg.run);
         printGuestSummary(sim, system, res);
+        maybeWriteTrace(sim, cfg);
         return 0;
     }
 
-    auto part = system.run(ckptAt);
+    auto part = system.run(cfg.run, ckptAt);
     if (part.cause != sim::ExitCause::TickLimit) {
         std::cout << "workload finished before tick " << ckptAt
                   << "; nothing to checkpoint\n";
         printGuestSummary(sim, system, part);
+        maybeWriteTrace(sim, cfg);
         return 0;
     }
     sim.checkpoint(ckptPath);
@@ -100,6 +109,7 @@ runCheckpointDemo(const core::RunConfig &cfg,
               << "; continuing in-process...\n\n";
     auto res = system.run();
     printGuestSummary(sim, system, res);
+    maybeWriteTrace(sim, cfg);
     std::cout << "\nresume it with: --restore " << ckptPath << "\n";
     return 0;
 }
@@ -107,32 +117,36 @@ runCheckpointDemo(const core::RunConfig &cfg,
 int
 runMain(int argc, char **argv)
 {
-    core::RunConfig cfg;
-    std::string ckptPath, restorePath;
-    Tick ckptAt = 1'000'000;
+    examples::CliSpec spec;
+    spec.usage = "[workload] [cpu-model] [scale]";
+    spec.cpuModelPositional = true;
+    spec.extraFlags = {"--checkpoint", "--restore", "--at"};
+    examples::CliOptions opts = examples::parseCli(argc, argv, spec);
 
-    std::vector<std::string> pos;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--checkpoint" && i + 1 < argc) {
-            ckptPath = argv[++i];
-        } else if (arg == "--restore" && i + 1 < argc) {
-            restorePath = argv[++i];
-        } else if (arg == "--at" && i + 1 < argc) {
-            ckptAt = std::strtoull(argv[++i], nullptr, 0);
-        } else {
-            pos.push_back(arg);
-        }
+    core::RunConfig cfg;
+    cfg.workload = opts.workload;
+    cfg.cpuModel = opts.cpuModel;
+    cfg.workloadScale = opts.scale;
+    cfg.platform = host::xeonConfig();
+    cfg.run = opts.run;
+
+    if (opts.extra.count("--checkpoint") ||
+        opts.extra.count("--restore")) {
+        Tick ckptAt = 1'000'000;
+        if (opts.extra.count("--at"))
+            ckptAt = std::strtoull(opts.extra["--at"].c_str(),
+                                   nullptr, 0);
+        return runCheckpointDemo(cfg, opts.extra["--checkpoint"],
+                                 opts.extra["--restore"], ckptAt);
     }
 
-    cfg.workload = pos.size() > 0 ? pos[0] : "water_nsquared";
-    cfg.cpuModel = parseModel(pos.size() > 1 ? pos[1] : "o3");
-    cfg.workloadScale = pos.size() > 2 ? std::atof(pos[2].c_str())
-                                       : 0.25;
-    cfg.platform = host::xeonConfig();
-
-    if (!ckptPath.empty() || !restorePath.empty())
-        return runCheckpointDemo(cfg, ckptPath, restorePath, ckptAt);
+    // Self-profile through an external collector so the data
+    // outlives the run's Simulator.
+    sim::Profiler selfProfiler(opts.run.profiler);
+    if (opts.profiling()) {
+        cfg.run.profiler = {};
+        cfg.profiler = &selfProfiler;
+    }
 
     std::cout << "Profiling mg5: " << cfg.workload << " on the "
               << os::cpuModelName(cfg.cpuModel)
@@ -164,16 +178,34 @@ runMain(int argc, char **argv)
     std::cout << "Top-Down breakdown (slots):\n";
     core::printTopdownTree(std::cout, r.topdown);
 
-    std::cout << "\nHottest simulator functions ("
-              << r.distinctFunctions << " total):\n";
-    const auto &ranked = r.functionCdf.ranked();
-    for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
-        std::cout << "  " << padLeft(fmtPercent(ranked[i].share), 7)
-                  << "  " << ranked[i].name << "\n";
-    }
-    std::cout << "  cumulative share of top 50: "
+    // The paper's modeled view and (optionally) the real measured
+    // view report through the same ranked-share pipeline.
+    core::HostProfile modeled =
+        core::hostProfileFromCdf(r.functionCdf);
+    core::printHostProfile(
+        std::cout,
+        "hottest simulator functions (modeled, " +
+            std::to_string(r.distinctFunctions) + " total)",
+        modeled, 10);
+    std::cout << "cumulative share of top 50: "
               << fmtPercent(r.functionCdf.cumulativeShare(50))
               << " (no killer function)\n";
+
+    if (opts.profiling()) {
+        selfProfiler.disarm();
+        core::printHostProfile(
+            std::cout,
+            "self-profile (measured wall clock by event class)",
+            core::hostProfileFromSelf(selfProfiler), 10);
+        if (!opts.profilePath.empty() &&
+            core::writeChromeTraceFile(
+                opts.profilePath,
+                {{os::cpuModelName(cfg.cpuModel), &selfProfiler}})) {
+            std::cout << "\nChrome trace written to '"
+                      << opts.profilePath
+                      << "' — open in Perfetto.\n";
+        }
+    }
     return 0;
 }
 

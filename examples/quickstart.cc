@@ -4,14 +4,22 @@
  * model, and print gem5-style statistics — the mg5 equivalent of
  * "hello world" in gem5's Learning-gem5 tutorial.
  *
- * Usage: quickstart [workload] [scale]
+ * Usage: quickstart [workload] [scale] [flags]  (see --help)
+ *
+ * With --profile=trace.json the simulator profiles itself: all four
+ * runs land in one Chrome trace (one trace process per CPU model),
+ * and the hottest event classes print per model.
  */
 
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "base/sim_error.hh"
 #include "base/str.hh"
+#include "common/cli.hh"
 #include "core/report.hh"
+#include "core/telemetry.hh"
 #include "os/system.hh"
 #include "workloads/workload.hh"
 
@@ -23,19 +31,27 @@ namespace
 int
 runMain(int argc, char **argv)
 {
-    std::string workload_name = argc > 1 ? argv[1] : "sieve";
-    double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    examples::CliSpec spec;
+    spec.usage = "[workload] [scale]";
+    spec.defaultWorkload = "sieve";
+    examples::CliOptions opts = examples::parseCli(argc, argv, spec);
 
-    std::cout << "mg5 quickstart: running '" << workload_name
-              << "' (scale " << scale << ") on all four CPU models\n";
+    std::cout << "mg5 quickstart: running '" << opts.workload
+              << "' (scale " << opts.scale
+              << ") on all four CPU models\n";
 
     core::Table table({"CPU model", "guest insts", "sim ticks",
                        "guest IPC", "checksum", "ok"});
 
+    // One profiler per model, kept alive past its Simulator so the
+    // four runs become four processes in a single trace file.
+    std::vector<std::unique_ptr<sim::Profiler>> profilers;
+    std::vector<core::TraceSession> sessions;
+
     for (os::CpuModel model : os::allCpuModels) {
         sim::Simulator simulator("system");
         auto workload = workloads::Registry::instance().create(
-            workload_name, scale);
+            opts.workload, opts.scale);
 
         os::SystemConfig cfg;
         cfg.cpuModel = model;
@@ -43,12 +59,32 @@ runMain(int argc, char **argv)
         cfg.numCpus = 1;
         os::System system(simulator, cfg, *workload);
 
+        // Run-control knobs minus the profiler, which this example
+        // manages itself (externally, so data outlives the machine).
+        sim::RunOptions run = opts.run;
+        run.profiler = {};
+        simulator.configure(run);
+
+        if (opts.profiling()) {
+            sim::ProfilerConfig pc = opts.run.profiler;
+            if (!pc.metricsPath.empty())
+                pc.metricsPath += std::string(".") +
+                                  os::cpuModelName(model);
+            profilers.push_back(
+                std::make_unique<sim::Profiler>(pc));
+            simulator.attachProfiler(*profilers.back());
+            sessions.push_back({os::cpuModelName(model),
+                                profilers.back().get()});
+        }
+
         sim::SimResult result = system.run();
         if (result.cause != sim::ExitCause::Finished) {
             std::cerr << "unexpected exit: "
                       << sim::exitCauseName(result.cause) << "\n";
             return 1;
         }
+        if (opts.profiling())
+            profilers.back()->disarm();
 
         auto &cpu = system.cpu(0);
         double ipc = cpu.numInsts() /
@@ -67,6 +103,22 @@ runMain(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\nAll four CPU models computed the same "
               << "architectural result at different timing detail.\n";
+
+    if (opts.profiling()) {
+        for (const auto &session : sessions) {
+            core::printHostProfile(
+                std::cout,
+                std::string("self-profile: ") + session.label +
+                    " (wall clock by event class)",
+                core::hostProfileFromSelf(*session.profiler), 5);
+        }
+        if (!opts.profilePath.empty() &&
+            core::writeChromeTraceFile(opts.profilePath, sessions)) {
+            std::cout << "\nChrome trace (all four models) written "
+                      << "to '" << opts.profilePath
+                      << "' — open in Perfetto.\n";
+        }
+    }
     return 0;
 }
 

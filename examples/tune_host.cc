@@ -12,8 +12,10 @@
 
 #include "base/sim_error.hh"
 #include "base/str.hh"
+#include "common/cli.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/telemetry.hh"
 #include "tuning/dvfs.hh"
 #include "tuning/hugepages.hh"
 #include "tuning/optflag.hh"
@@ -26,11 +28,24 @@ namespace
 int
 runMain(int argc, char **argv)
 {
+    examples::CliSpec spec;
+    spec.usage = "[workload] [scale]";
+    examples::CliOptions opts = examples::parseCli(argc, argv, spec);
+
     core::RunConfig cfg;
-    cfg.workload = argc > 1 ? argv[1] : "water_nsquared";
-    cfg.workloadScale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    cfg.workload = opts.workload;
+    cfg.workloadScale = opts.scale;
     cfg.cpuModel = os::CpuModel::O3;
     cfg.platform = host::xeonConfig();
+    cfg.run = opts.run;
+
+    // One profiler shared by the base run and every knob run; each
+    // configuration shows up as its own span in the trace.
+    sim::Profiler campaignProfiler(opts.run.profiler);
+    if (opts.profiling()) {
+        cfg.run.profiler = {};
+        cfg.profiler = &campaignProfiler;
+    }
 
     std::cout << "Host tuning for gem5 (" << cfg.workload
               << ", O3 CPU, Intel_Xeon):\n\n";
@@ -83,6 +98,21 @@ runMain(int argc, char **argv)
         "\nPaper §V-A: huge pages buy up to 5.9%, -O3 about 1.4%, "
         "and frequency scales\nsimulation time almost linearly — "
         "all without touching gem5 itself.\n";
+
+    if (opts.profiling()) {
+        campaignProfiler.disarm();
+        core::printHostProfile(
+            std::cout,
+            "self-profile (all knob runs, wall clock by event class)",
+            core::hostProfileFromSelf(campaignProfiler), 10);
+        if (!opts.profilePath.empty() &&
+            core::writeChromeTraceFile(
+                opts.profilePath,
+                {{"tune_host", &campaignProfiler}})) {
+            std::cout << "\nChrome trace written to '"
+                      << opts.profilePath << "'\n";
+        }
+    }
     return 0;
 }
 

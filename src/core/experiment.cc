@@ -94,8 +94,19 @@ runProfiledSimulation(const RunConfig &config)
     recorder.addConsumer(&profile);
     recorder.activate();
 
+    simulator.configure(config.run);
+    if (config.profiler) {
+        simulator.attachProfiler(*config.profiler);
+        config.profiler->beginSpan(config.workload + " on " +
+                                   platform.name + "/" +
+                                   os::cpuModelName(config.cpuModel));
+    }
+
     sim::SimResult sim_result = system.run();
     recorder.deactivate();
+
+    if (config.profiler)
+        config.profiler->endSpan();
 
     // --- Collect ---------------------------------------------------
     result.counters = core.counters();

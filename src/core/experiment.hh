@@ -16,6 +16,7 @@
 #include "host/corun.hh"
 #include "host/host_core.hh"
 #include "os/system.hh"
+#include "sim/run_options.hh"
 #include "workloads/spec_streams.hh"
 #include "workloads/workload.hh"
 
@@ -56,6 +57,15 @@ struct RunConfig
     TuningConfig tuning;
 
     std::uint64_t seed = 1;
+
+    /** Run-control knobs (watchdog, auto-checkpoint, fault seed,
+     *  owned profiler) applied to the run's Simulator. */
+    sim::RunOptions run;
+
+    /** Caller-owned self-profiler to attach for this run (e.g. one
+     *  shared across a campaign); the run is wrapped in a span named
+     *  after the workload/platform. Overrides run.profiler. */
+    sim::Profiler *profiler = nullptr;
 };
 
 /** Results of one profiled run. */

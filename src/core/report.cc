@@ -66,4 +66,38 @@ printBanner(std::ostream &os, const std::string &title)
     os << "\n=== " << title << " ===\n\n";
 }
 
+namespace
+{
+
+class CollectVisitor : public sim::stats::Visitor
+{
+  public:
+    explicit CollectVisitor(
+        std::vector<std::pair<std::string, double>> &out)
+        : out_(out)
+    {
+    }
+
+    void
+    value(const std::string &dotted, double value,
+          const sim::stats::Info &) override
+    {
+        out_.emplace_back(dotted, value);
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> &out_;
+};
+
+} // namespace
+
+std::vector<std::pair<std::string, double>>
+collectStatValues(const sim::stats::Group &root)
+{
+    std::vector<std::pair<std::string, double>> out;
+    CollectVisitor v(out);
+    root.visit(v);
+    return out;
+}
+
 } // namespace g5p::core

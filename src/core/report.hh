@@ -10,7 +10,10 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "sim/stats.hh"
 
 namespace g5p::core
 {
@@ -37,6 +40,14 @@ class Table
 
 /** Section banner for bench output. */
 void printBanner(std::ostream &os, const std::string &title);
+
+/**
+ * Flatten a stats tree into (dotted name, value) pairs via the stats
+ * visitor — the one collection step behind golden digests, telemetry
+ * export, and ad-hoc reporting.
+ */
+std::vector<std::pair<std::string, double>>
+collectStatValues(const sim::stats::Group &root);
 
 } // namespace g5p::core
 

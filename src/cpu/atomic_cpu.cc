@@ -12,7 +12,7 @@ AtomicCpu::AtomicCpu(sim::Simulator &sim, const std::string &name,
     : BaseCpu(sim, name, domain, params),
       physmem_(physmem),
       ctx_(*this),
-      tickEvent_(this, sim::Event::CpuTickPri)
+      tickEvent_(this, name + ".tick", sim::Event::CpuTickPri)
 {
     eventQueue().registerSerial(name + ".tick", &tickEvent_);
 }

@@ -35,7 +35,7 @@ MinorCpu::MinorCpu(sim::Simulator &sim, const std::string &name,
       ctx_(*this),
       bpred_(minor_params.bpred),
       fetchPc_(params.resetPc),
-      tickEvent_(this, sim::Event::CpuTickPri)
+      tickEvent_(this, name + ".tick", sim::Event::CpuTickPri)
 {
     eventQueue().registerSerial(name + ".tick", &tickEvent_);
 }

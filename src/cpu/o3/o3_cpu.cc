@@ -41,7 +41,7 @@ O3Cpu::O3Cpu(sim::Simulator &sim, const std::string &name,
       lsq_(o3_params.lqEntries, o3_params.sqEntries),
       rename_(o3_params.numPhysRegs),
       fetchPc_(params.resetPc),
-      tickEvent_(this, sim::Event::CpuTickPri)
+      tickEvent_(this, name + ".tick", sim::Event::CpuTickPri)
 {
     eventQueue().registerSerial(name + ".tick", &tickEvent_);
 }

@@ -12,7 +12,7 @@ TimingCpu::TimingCpu(sim::Simulator &sim, const std::string &name,
     : BaseCpu(sim, name, domain, params),
       physmem_(physmem),
       ctx_(*this),
-      fetchEvent_(this, sim::Event::CpuTickPri)
+      fetchEvent_(this, name + ".tick", sim::Event::CpuTickPri)
 {
     eventQueue().registerSerial(name + ".tick", &fetchEvent_);
 }

@@ -17,8 +17,14 @@ FaultInjector::FaultInjector(sim::Simulator &sim,
       writeFailsLeft_(params.failWrites),
       readFailsLeft_(params.failReads),
       io_(*this),
-      flipEvent_(this)
+      flipEvent_(this, name + ".flip")
 {
+    // RunOptions is the one place run control lives: a nonzero
+    // faultSeed there re-seeds the whole campaign.
+    if (sim.runOptions().faultSeed != 0) {
+        params_.seed = sim.runOptions().faultSeed;
+        rng_.seed(params_.seed);
+    }
     prevHook_ = TimingFaultHook::install(this);
     prevIo_ = sim::CheckpointIo::install(&io_);
 }

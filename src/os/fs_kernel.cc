@@ -15,7 +15,7 @@ FsKernel::FsKernel(sim::Simulator &sim, const std::string &name,
       process_(process),
       physmem_(physmem),
       params_(params),
-      timerEvent_(this)
+      timerEvent_(this, name + ".timer")
 {
     // The timer survives checkpoints: restore re-schedules it by tag
     // (see EventQueue::registerSerial).

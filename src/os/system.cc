@@ -176,6 +176,13 @@ System::build(const GuestWorkload &workload)
 }
 
 sim::SimResult
+System::run(const sim::RunOptions &options, Tick tick_limit)
+{
+    sim_.configure(options);
+    return run(tick_limit);
+}
+
+sim::SimResult
 System::run(Tick tick_limit)
 {
     if (!activated_) {

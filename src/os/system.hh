@@ -137,6 +137,11 @@ class System
     /** Activate the CPUs (first call) and run to completion. */
     sim::SimResult run(Tick tick_limit = maxTick);
 
+    /** Same, applying @p options (watchdog, auto-checkpoint,
+     *  profiler, fault seed) to the simulator first. */
+    sim::SimResult run(const sim::RunOptions &options,
+                       Tick tick_limit = maxTick);
+
     /** @{ Component access. */
     sim::Simulator &simulator() { return sim_; }
     cpu::BaseCpu &cpu(unsigned i) { return *cpus_.at(i); }

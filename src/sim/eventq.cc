@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "base/sim_error.hh"
+#include "sim/profiler.hh"
 #include "sim/serialize.hh"
 #include "trace/recorder.hh"
 
@@ -288,12 +289,18 @@ EventQueue::serviceTop()
     Event *event = heap_.front().event;
     Tick when = heap_.front().when;
     g5p_assert(when >= curTick_, "event queue went backwards");
+    // Attribution key resolution must happen while the event is
+    // alive; auto-delete events dangle after process().
+    if (profiler_)
+        profiler_->beginService(*event, when, heap_.size());
     popTop();
     curTick_ = when;
     ++numServiced_;
 
     bool auto_delete = event->autoDelete();
     event->process();
+    if (profiler_)
+        profiler_->endService();
     if (auto_delete && !event->scheduled())
         delete event;
     return event;

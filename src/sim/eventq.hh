@@ -35,6 +35,7 @@ namespace g5p::sim
 class CheckpointIn;
 class CheckpointOut;
 class EventQueue;
+class Profiler;
 
 /**
  * Abstract scheduled event. Subclasses implement process(). Events do
@@ -93,6 +94,7 @@ class Event
 
   private:
     friend class EventQueue;
+    friend class Profiler;
 
     /** Sentinel heap slot meaning "not scheduled". */
     static constexpr std::size_t invalidIndex = ~std::size_t{0};
@@ -101,6 +103,9 @@ class Event
     std::uint64_t sequence_ = 0;
     /** Slot in the owning queue's heap array (intrusive index). */
     std::size_t heapIndex_ = invalidIndex;
+    /** Profiler's cached event-class key (0 = unresolved). Fits the
+     *  tail padding, so profiling support costs no event bytes. */
+    std::uint32_t profKey_ = 0;
     std::int16_t priority_;
     bool autoDelete_ = false;
 };
@@ -175,6 +180,10 @@ class EventFunctionWrapper : public Event
  * name string allocation:
  *
  *   MemberEventWrapper<&MyCpu::tick> tickEvent_{this, CpuTickPri};
+ *
+ * Passing a name ("cpu0.tick") keeps the no-std::function layout but
+ * gives the profiler and diagnostics a real label; the "owner.type"
+ * convention is what wall-clock attribution splits on.
  */
 template <auto F>
 class MemberEventWrapper;
@@ -188,10 +197,23 @@ class MemberEventWrapper<F> : public Event
     {
     }
 
+    MemberEventWrapper(T *object, std::string name,
+                       Priority prio = DefaultPri)
+        : Event(prio), object_(object), name_(std::move(name))
+    {
+    }
+
     void process() override { (object_->*F)(); }
+
+    std::string
+    name() const override
+    {
+        return name_.empty() ? Event::name() : name_;
+    }
 
   private:
     T *object_;
+    std::string name_;
 };
 
 /**
@@ -337,6 +359,17 @@ class EventQueue
      */
     void clear();
 
+    /**
+     * Install (or remove, with nullptr) the self-profiler whose
+     * beginService/endService bracket every serviced event. The
+     * queue does not own the profiler; the caller keeps it alive
+     * while installed. Cost when null: one pointer test per event.
+     */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
+    /** The installed self-profiler (may be null). */
+    Profiler *profiler() const { return profiler_; }
+
   private:
     /** Children per heap node; 4-ary keeps the tree shallow and the
      *  child scan within adjacent cache lines. */
@@ -386,6 +419,9 @@ class EventQueue
 
     /** 4-ary min-heap; heap_[i].event->heapIndex_ == i. */
     std::vector<HeapNode> heap_;
+
+    /** Optional self-profiler (see setProfiler). */
+    Profiler *profiler_ = nullptr;
 
     /** Checkpoint tag -> event (see registerSerial). */
     std::map<std::string, Event *> serialRegistry_;

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * RunOptions: the one bundle of run-control knobs consumed by
+ * Simulator::configure()/run() and os::System::run().
+ *
+ * PRs 1-3 accrued setters one at a time — setWatchdog(),
+ * enableAutoCheckpoint(), a fault seed buried in
+ * mem::FaultInjectorParams — and the profiler would have added more.
+ * This struct replaces them: build one RunOptions, hand it to the
+ * simulator (or System::run), done. The old setters survive as thin
+ * [[deprecated]] shims, covered only by the equivalence test.
+ */
+
+#ifndef G5P_SIM_RUN_OPTIONS_HH
+#define G5P_SIM_RUN_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "sim/profiler.hh"
+
+namespace g5p::sim
+{
+
+/**
+ * Watchdog knobs for the run loop. All limits default to off;
+ * deadlock detection additionally needs an activity probe (installed
+ * automatically by os::System).
+ */
+struct WatchdogConfig
+{
+    /**
+     * Declare livelock after this many consecutively serviced events
+     * with curTick unchanged (0 = off). Same-tick bursts are normal —
+     * every CPU and cache response at one tick — so set this well
+     * above the machine's per-tick event fan-out (thousands).
+     */
+    std::uint64_t livelockEvents = 0;
+
+    /** Event budget for one run() call (0 = unlimited). */
+    std::uint64_t maxEvents = 0;
+
+    /** Wall-clock budget for one run() call (0 = unlimited). */
+    double maxWallSeconds = 0.0;
+
+    /** Last-N serviced events kept for the diagnostic dump. */
+    std::size_t flightRecorderDepth = 64;
+};
+
+/** Everything that controls how a simulation runs (not what it is). */
+struct RunOptions
+{
+    /** Enable the watchdog with the budgets below. */
+    bool supervise = false;
+    WatchdogConfig watchdog;
+
+    /** Write an automatic checkpoint every this many ticks to
+     *  "<autoCheckpointPrefix>-<tick>.ckpt" (0 = off). */
+    Tick autoCheckpointPeriod = 0;
+    std::string autoCheckpointPrefix = "auto";
+
+    /** Overrides mem::FaultInjectorParams::seed when nonzero, so a
+     *  fault campaign is re-seeded from the run control in one place. */
+    std::uint64_t faultSeed = 0;
+
+    /** Self-profiler knobs (see sim/profiler.hh). */
+    ProfilerConfig profiler;
+};
+
+} // namespace g5p::sim
+
+#endif // G5P_SIM_RUN_OPTIONS_HH

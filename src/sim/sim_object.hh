@@ -53,6 +53,17 @@ class SimObject : public EventManager, public stats::Group,
     /** Instance name. */
     const std::string &name() const { return name_; }
 
+    /**
+     * Stable per-simulator numeric id, assigned in registration
+     * (construction) order starting at 1; 0 is the simulator root.
+     * Identical configurations get identical ids, so telemetry can
+     * key trace tracks on them across runs.
+     */
+    std::uint32_t id() const { return id_; }
+
+    /** Fully qualified hierarchical name ("system.cpu0"). */
+    std::string fullName() const;
+
     /** Phase 1: resolve inter-object references. */
     virtual void init() {}
 
@@ -86,8 +97,12 @@ class SimObject : public EventManager, public stats::Group,
     std::size_t stateBytes() const { return stateBytes_; }
 
   private:
+    friend class Simulator;
+
     Simulator &sim_;
     std::string name_;
+    /** Assigned by Simulator::registerObject. */
+    std::uint32_t id_ = 0;
     HostAddr stateBase_;
     std::size_t stateBytes_;
 };

@@ -73,7 +73,7 @@ class Simulator::ExitEvent : public Event
 
 Simulator::Simulator(const std::string &name)
     : stats::Group(nullptr, name), eventq_(name + ".eventq"),
-      autoCkptEvent_(this, Event::StatDumpPri)
+      autoCkptEvent_(this, "sim.autockpt", Event::StatDumpPri)
 {
     // Objects built under this simulator get addresses from its own
     // data space, so identical configurations lay out identically
@@ -96,7 +96,10 @@ Simulator::~Simulator()
 void
 Simulator::registerObject(SimObject *obj)
 {
+    obj->id_ = nextObjectId_++;
     objects_.push_back(obj);
+    if (profiler_)
+        profiler_->registerOwner(obj->name(), obj->id_);
 }
 
 void
@@ -125,12 +128,86 @@ Simulator::initPhase()
 }
 
 void
-Simulator::setWatchdog(const WatchdogConfig &config)
+Simulator::applyWatchdog(const WatchdogConfig &config, bool enabled)
 {
     watchdog_ = config;
-    watchdogEnabled_ = true;
+    watchdogEnabled_ = enabled;
     flight_.clear();
     flightNext_ = 0;
+}
+
+void
+Simulator::applyAutoCheckpoint(Tick period, std::string prefix)
+{
+    autoCkptPeriod_ = period;
+    autoCkptPrefix_ = std::move(prefix);
+    autoCkptPending_ = false;
+    if (period == 0) {
+        if (autoCkptEvent_.scheduled())
+            eventq_.deschedule(&autoCkptEvent_);
+        return;
+    }
+    eventq_.reschedule(&autoCkptEvent_, eventq_.curTick() + period);
+}
+
+void
+Simulator::installProfiler(Profiler *profiler, bool owned)
+{
+    if (!owned && ownedProfiler_ && ownedProfiler_->armed())
+        ownedProfiler_->disarm();
+    profiler_ = profiler;
+    eventq_.setProfiler(profiler);
+    if (profiler) {
+        for (const auto *obj : objects_)
+            profiler->registerOwner(obj->name(), obj->id());
+    }
+}
+
+void
+Simulator::applyProfiler(const ProfilerConfig &config)
+{
+    if (!config.enabled) {
+        if (profiler_ && profiler_ == ownedProfiler_.get())
+            ownedProfiler_->disarm();
+        profiler_ = nullptr;
+        eventq_.setProfiler(nullptr);
+        return;
+    }
+    if (!ownedProfiler_)
+        ownedProfiler_ = std::make_unique<Profiler>();
+    else if (ownedProfiler_->armed())
+        ownedProfiler_->disarm();
+    ownedProfiler_->configure(config);
+    installProfiler(ownedProfiler_.get(), true);
+    ownedProfiler_->arm();
+}
+
+void
+Simulator::configure(const RunOptions &options)
+{
+    runOptions_ = options;
+    applyWatchdog(options.watchdog, options.supervise);
+    applyAutoCheckpoint(options.autoCheckpointPeriod,
+                        options.autoCheckpointPrefix);
+    applyProfiler(options.profiler);
+}
+
+void
+Simulator::attachProfiler(Profiler &profiler)
+{
+    installProfiler(&profiler, false);
+    if (!profiler.armed())
+        profiler.arm();
+}
+
+void
+Simulator::setWatchdog(const WatchdogConfig &config)
+{
+    // Deprecated shim: equivalent to configure() with supervise set
+    // and everything else kept.
+    runOptions_.supervise = true;
+    runOptions_.watchdog = config;
+    applyWatchdog(config, true);
 }
 
 void
@@ -183,14 +260,52 @@ Simulator::supervisedExit(ExitCause cause, std::string message)
     std::string diag = diagnosticDump();
     g5p_warn("%s at tick %llu: %s", exitCauseName(cause),
              (unsigned long long)eventq_.curTick(), message.c_str());
+    if (profiler_ && profiler_->armed()) {
+        // Flight-recorder dump into the trace: the last events the
+        // loop serviced ride along with the error instant.
+        std::vector<std::string> recent;
+        for (const FlightRecord &r : flightRecords())
+            recent.push_back("@" + std::to_string(r.tick) + " '" +
+                             r.name + "'");
+        profiler_->noteError(
+            std::string(exitCauseName(cause)) + ": " + message,
+            recent);
+    }
     return {cause, eventq_.curTick(), std::move(message),
             std::move(diag)};
 }
+
+namespace
+{
+
+/** RAII profiler span; no-op when @p profiler is null/disarmed. */
+class SpanGuard
+{
+  public:
+    SpanGuard(Profiler *profiler, const char *name)
+        : profiler_(profiler)
+    {
+        if (profiler_)
+            profiler_->beginSpan(name);
+    }
+
+    ~SpanGuard()
+    {
+        if (profiler_)
+            profiler_->endSpan();
+    }
+
+  private:
+    Profiler *profiler_;
+};
+
+} // namespace
 
 SimResult
 Simulator::run(Tick tick_limit)
 {
     G5P_TRACE_SCOPE("Simulator::run", EventLoop, false);
+    SpanGuard runSpan(profiler_, "run");
     initPhase();
     exitRequested_ = false;
 
@@ -320,6 +435,7 @@ Simulator::advanceToQuiescence(std::uint64_t max_events)
 bool
 Simulator::checkpoint(const std::string &path)
 {
+    SpanGuard span(profiler_, "checkpoint");
     if (!advanceToQuiescence()) {
         // Not a failure: the workload simply finished during the
         // quiescence seek. The caller sees the exit on its next
@@ -337,6 +453,7 @@ Simulator::checkpoint(const std::string &path)
 void
 Simulator::restore(const std::string &path)
 {
+    SpanGuard span(profiler_, "restore");
     CheckpointIn cp = CheckpointIn::readFile(path);
     restoreCheckpoint(cp);
 }
@@ -345,14 +462,16 @@ void
 Simulator::enableAutoCheckpoint(Tick period, std::string prefix)
 {
     g5p_assert(period > 0, "auto-checkpoint period must be non-zero");
-    autoCkptPeriod_ = period;
-    autoCkptPrefix_ = std::move(prefix);
-    eventq_.reschedule(&autoCkptEvent_, eventq_.curTick() + period);
+    // Deprecated shim over the RunOptions path.
+    runOptions_.autoCheckpointPeriod = period;
+    runOptions_.autoCheckpointPrefix = prefix;
+    applyAutoCheckpoint(period, std::move(prefix));
 }
 
 void
 Simulator::doAutoCheckpoint()
 {
+    SpanGuard span(profiler_, "auto-checkpoint");
     autoCkptPending_ = false;
     if (autoCkptPeriod_ == 0) {
         // A restored checkpoint can carry a scheduled auto-checkpoint
@@ -390,16 +509,56 @@ Simulator::doAutoCheckpoint()
 namespace
 {
 
+/** Snapshot visitor: each non-derived stat becomes one paramVector
+ *  keyed by its group-relative dotted name. */
+class StatSnapshotVisitor : public stats::Visitor
+{
+  public:
+    explicit StatSnapshotVisitor(CheckpointOut &cp) : cp_(cp) {}
+
+    void
+    stat(stats::Info &stat, const std::string &dotted) override
+    {
+        std::vector<double> vals = stat.snapshotValues();
+        if (!vals.empty())
+            cp_.paramVector(dotted, vals);
+    }
+
+  private:
+    CheckpointOut &cp_;
+};
+
+/** Restore visitor: stats missing from the checkpoint keep their
+ *  freshly built values. */
+class StatRestoreVisitor : public stats::Visitor
+{
+  public:
+    explicit StatRestoreVisitor(const CheckpointIn &cp) : cp_(cp) {}
+
+    void
+    stat(stats::Info &stat, const std::string &dotted) override
+    {
+        if (!cp_.has(dotted))
+            return;
+        std::vector<double> vals;
+        cp_.paramVector(dotted, vals);
+        stat.restoreValues(vals);
+    }
+
+  private:
+    const CheckpointIn &cp_;
+};
+
 /** Write the non-derived stats of @p group as a "stats" subsection. */
 void
 serializeGroupStats(const stats::Group &group, CheckpointOut &cp)
 {
     cp.pushSection("stats");
-    for (const stats::Info *stat : group.statList()) {
-        std::vector<double> vals = stat->snapshotValues();
-        if (!vals.empty())
-            cp.paramVector(stat->name(), vals);
-    }
+    StatSnapshotVisitor snapshot(cp);
+    // Relative root: keys stay group-local ("hits", not
+    // "system.cpu0.hits") exactly as the pre-visitor format wrote
+    // them, keeping checkpoints compatible.
+    group.visit(snapshot, "");
     cp.popSection();
 }
 
@@ -410,13 +569,8 @@ unserializeGroupStats(stats::Group &group, const CheckpointIn &cp)
     if (!cp.hasSection("stats"))
         return;
     cp.pushSection("stats");
-    for (stats::Info *stat : group.statList()) {
-        if (!cp.has(stat->name()))
-            continue;
-        std::vector<double> vals;
-        cp.paramVector(stat->name(), vals);
-        stat->restoreValues(vals);
-    }
+    StatRestoreVisitor restore(cp);
+    group.visit(restore, "");
     cp.popSection();
 }
 

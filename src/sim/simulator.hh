@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/eventq.hh"
+#include "sim/run_options.hh"
 #include "sim/serialize.hh"
 #include "sim/stats.hh"
 
@@ -49,31 +50,6 @@ struct SimResult
     /** Watchdog report (pending events, machine state, flight
      *  recorder); empty unless isSupervisedExit(cause). */
     std::string diagnostic;
-};
-
-/**
- * Watchdog knobs for Simulator::run(). All limits default to off;
- * deadlock detection additionally needs an activity probe (installed
- * automatically by os::System).
- */
-struct WatchdogConfig
-{
-    /**
-     * Declare livelock after this many consecutively serviced events
-     * with curTick unchanged (0 = off). Same-tick bursts are normal —
-     * every CPU and cache response at one tick — so set this well
-     * above the machine's per-tick event fan-out (thousands).
-     */
-    std::uint64_t livelockEvents = 0;
-
-    /** Event budget for one run() call (0 = unlimited). */
-    std::uint64_t maxEvents = 0;
-
-    /** Wall-clock budget for one run() call (0 = unlimited). */
-    double maxWallSeconds = 0.0;
-
-    /** Last-N serviced events kept for the diagnostic dump. */
-    std::size_t flightRecorderDepth = 64;
 };
 
 /** One flight-recorder entry: an event the loop serviced. */
@@ -119,7 +95,40 @@ class Simulator : public stats::Group
      */
     SimResult run(Tick tick_limit = maxTick);
 
-    /** Enable/replace the run() watchdog (see WatchdogConfig). */
+    /**
+     * Apply a full RunOptions bundle: watchdog, auto-checkpoint,
+     * fault seed, profiler. Idempotent; a later call replaces the
+     * earlier one wholesale (so `configure({})` returns the
+     * simulator to its unsupervised defaults). The one way run
+     * control is meant to be set since PR 4.
+     */
+    void configure(const RunOptions &options);
+
+    /** Convenience: configure() then run(). */
+    SimResult
+    run(const RunOptions &options, Tick tick_limit = maxTick)
+    {
+        configure(options);
+        return run(tick_limit);
+    }
+
+    /** The options applied by the last configure() (default-built
+     *  until then). FaultInjector reads faultSeed from here. */
+    const RunOptions &runOptions() const { return runOptions_; }
+
+    /**
+     * Install a caller-owned profiler into the event loop (replacing
+     * any RunOptions-owned one) and register all current objects as
+     * owners. Arms it if not yet armed. The caller keeps it alive
+     * until the simulator is destroyed or another profiler (or a
+     * profiler-less configure()) replaces it.
+     */
+    void attachProfiler(Profiler &profiler);
+
+    /** The active profiler (owned or attached); null if none. */
+    Profiler *profiler() const { return profiler_; }
+
+    [[deprecated("use Simulator::configure(RunOptions)")]]
     void setWatchdog(const WatchdogConfig &config);
 
     /** The active watchdog configuration. */
@@ -224,6 +233,8 @@ class Simulator : public stats::Group
      * quiescent point after each period boundary, never from inside
      * event processing.
      */
+    [[deprecated("use Simulator::configure(RunOptions) with "
+                 "autoCheckpointPeriod")]]
     void enableAutoCheckpoint(Tick period, std::string prefix);
 
     /** All registered objects (init order). */
@@ -236,6 +247,14 @@ class Simulator : public stats::Group
     class ExitEvent;
 
     void initPhase();
+
+    /** configure() internals, shared with the deprecated shims. */
+    void applyWatchdog(const WatchdogConfig &config, bool enabled);
+    void applyAutoCheckpoint(Tick period, std::string prefix);
+    void applyProfiler(const ProfilerConfig &config);
+
+    /** Install @p profiler into the event loop. */
+    void installProfiler(Profiler *profiler, bool owned);
 
     /** Append one serviced event to the flight-recorder ring. */
     void recordFlight(Tick when, std::int16_t priority,
@@ -281,6 +300,18 @@ class Simulator : public stats::Group
     std::string autoCkptPrefix_;
     bool autoCkptPending_ = false;
     MemberEventWrapper<&Simulator::autoCkptDue> autoCkptEvent_;
+
+    /** Last options handed to configure() (or shim-updated). */
+    RunOptions runOptions_;
+
+    /** Profiler created by configure() when profiler.enabled. */
+    std::unique_ptr<Profiler> ownedProfiler_;
+    /** The installed profiler: ownedProfiler_.get() or an attached
+     *  caller-owned one; null when profiling is off. */
+    Profiler *profiler_ = nullptr;
+
+    /** Next SimObject id (0 is this root). */
+    std::uint32_t nextObjectId_ = 1;
 };
 
 } // namespace g5p::sim

@@ -16,9 +16,9 @@ Info::setInfo(std::string name, std::string desc)
 }
 
 void
-Scalar::print(std::ostream &os, const std::string &prefix) const
+Scalar::visitValues(Visitor &v, const std::string &dotted) const
 {
-    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+    v.value(dotted, value_, *this);
 }
 
 void
@@ -43,20 +43,19 @@ Vector::reset()
 }
 
 void
-Vector::print(std::ostream &os, const std::string &prefix) const
+Vector::visitValues(Visitor &v, const std::string &dotted) const
 {
     for (std::size_t i = 0; i < values_.size(); ++i) {
         std::string sub = i < subnames_.size()
             ? subnames_[i] : std::to_string(i);
-        os << prefix << name() << "::" << sub << " " << values_[i]
-           << " # " << desc() << "\n";
+        v.value(dotted + "::" + sub, values_[i], *this);
     }
 }
 
 void
-Formula::print(std::ostream &os, const std::string &prefix) const
+Formula::visitValues(Visitor &v, const std::string &dotted) const
 {
-    os << prefix << name() << " " << total() << " # " << desc() << "\n";
+    v.value(dotted, total(), *this);
 }
 
 Group::Group(Group *parent, std::string name)
@@ -97,14 +96,56 @@ Group::statPrefix() const
 }
 
 void
+Group::visit(Visitor &v) const
+{
+    visit(v, statPrefix());
+}
+
+void
+Group::visit(Visitor &v, const std::string &rootPath) const
+{
+    v.beginGroup(*this, rootPath);
+    for (Info *stat : stats_) {
+        std::string dotted = rootPath + stat->name();
+        v.stat(*stat, dotted);
+        stat->visitValues(v, dotted);
+    }
+    for (const Group *child : children_) {
+        child->visit(v, child->groupName().empty()
+                            ? rootPath
+                            : rootPath + child->groupName() + ".");
+    }
+    v.endGroup(*this);
+}
+
+namespace
+{
+
+/** stats.txt formatting: "name value # desc", one line per value. */
+class TextDumpVisitor : public Visitor
+{
+  public:
+    explicit TextDumpVisitor(std::ostream &os) : os_(os) {}
+
+    void
+    value(const std::string &dotted, double value,
+          const Info &stat) override
+    {
+        os_ << dotted << " " << value << " # " << stat.desc() << "\n";
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace
+
+void
 Group::dumpStats(std::ostream &os) const
 {
     G5P_TRACE_SCOPE("stats::Group::dumpStats", Stats, false);
-    std::string prefix = statPrefix();
-    for (const Info *stat : stats_)
-        stat->print(os, prefix);
-    for (const Group *child : children_)
-        child->dumpStats(os);
+    TextDumpVisitor dump(os);
+    visit(dump);
 }
 
 void

@@ -20,6 +20,44 @@ namespace g5p::sim::stats
 {
 
 class Group;
+class Info;
+
+/**
+ * The one traversal over a stats hierarchy. Every consumer — the
+ * stats.txt dump, checkpoint snapshots, golden-fixture digests, the
+ * telemetry exporter — implements this instead of walking
+ * statList()/childGroups() by hand, so dotted naming and visit order
+ * are defined in exactly one place (Group::visit).
+ *
+ * Order: a group's own stats in registration order (stat() then its
+ * value() calls), then its children recursively.
+ */
+class Visitor
+{
+  public:
+    virtual ~Visitor() = default;
+
+    /** Entering @p group; @p path is its dotted prefix, e.g.
+     *  "system.cpu0." (empty at a relative-visit root). */
+    virtual void beginGroup(const Group &group,
+                            const std::string &path)
+    {
+    }
+
+    virtual void endGroup(const Group &group) {}
+
+    /** One registered stat; @p dotted is path + name (mutable so
+     *  restore-style visitors work from the same traversal). */
+    virtual void stat(Info &stat, const std::string &dotted) {}
+
+    /** One printable value of a stat: scalars and formulas once
+     *  under their dotted name, vectors once per element under
+     *  "dotted::subname". */
+    virtual void value(const std::string &dotted, double value,
+                       const Info &stat)
+    {
+    }
+};
 
 /** Base class for all statistic values. */
 class Info
@@ -39,9 +77,10 @@ class Info
     /** Reset to zero. */
     virtual void reset() = 0;
 
-    /** Print one or more stats.txt lines with @p prefix. */
-    virtual void print(std::ostream &os,
-                       const std::string &prefix) const = 0;
+    /** Emit this stat's printable values to @p v (see
+     *  Visitor::value). */
+    virtual void visitValues(Visitor &v,
+                             const std::string &dotted) const = 0;
 
     /**
      * Raw sample values for checkpointing. Empty means the stat holds
@@ -68,8 +107,8 @@ class Scalar : public Info
     double value() const { return value_; }
     double total() const override { return value_; }
     void reset() override { value_ = 0; }
-    void print(std::ostream &os,
-               const std::string &prefix) const override;
+    void visitValues(Visitor &v,
+                     const std::string &dotted) const override;
 
     std::vector<double>
     snapshotValues() const override
@@ -105,8 +144,8 @@ class Vector : public Info
 
     double total() const override;
     void reset() override;
-    void print(std::ostream &os,
-               const std::string &prefix) const override;
+    void visitValues(Visitor &v,
+                     const std::string &dotted) const override;
 
     std::vector<double>
     snapshotValues() const override
@@ -135,8 +174,8 @@ class Formula : public Info
 
     double total() const override { return fn_ ? fn_() : 0.0; }
     void reset() override {}
-    void print(std::ostream &os,
-               const std::string &prefix) const override;
+    void visitValues(Visitor &v,
+                     const std::string &dotted) const override;
 
   private:
     std::function<double()> fn_;
@@ -163,6 +202,20 @@ class Group
     std::string statPrefix() const;
 
     const std::string &groupName() const { return groupName_; }
+
+    /**
+     * Walk this subtree with fully qualified dotted names (rooted at
+     * statPrefix()). The single traversal every stats consumer is
+     * built on.
+     */
+    void visit(Visitor &v) const;
+
+    /**
+     * Walk with names relative to @p rootPath instead — pass "" for
+     * group-relative names (checkpoint sections name stats relative
+     * to their object). @p rootPath must be empty or end in '.'.
+     */
+    void visit(Visitor &v, const std::string &rootPath) const;
 
     /** Dump this group and all children in registration order. */
     void dumpStats(std::ostream &os) const;

@@ -342,7 +342,10 @@ TEST(CheckpointResume, AutoCheckpointPeriodic)
     std::vector<std::string> written;
     {
         Machine mb(CpuModel::Atomic);
-        mb.sim.enableAutoCheckpoint(period, prefix);
+        sim::RunOptions run;
+        run.autoCheckpointPeriod = period;
+        run.autoCheckpointPrefix = prefix;
+        mb.sim.configure(run);
         Artifacts b = mb.finish();
         EXPECT_EQ(a.result, b.result);
         EXPECT_EQ(a.insts, b.insts);

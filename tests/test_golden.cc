@@ -66,24 +66,33 @@ class GoldenWorkload : public GuestWorkload
     }
 };
 
-/** "name value" pairs from a stats dump, "# desc" stripped. */
-std::vector<std::string>
-statLines(const std::string &dump)
+/**
+ * Sorted "name value" pairs straight off the stats visitor — the
+ * same reduction the text dump used to be re-parsed into (default
+ * ostream double formatting keeps the digests fixture-compatible).
+ */
+class LineVisitor : public sim::stats::Visitor
 {
-    std::vector<std::string> lines;
-    std::istringstream is(dump);
-    std::string line;
-    while (std::getline(is, line)) {
-        auto hash_pos = line.find(" # ");
-        if (hash_pos != std::string::npos)
-            line.erase(hash_pos);
-        while (!line.empty() && line.back() == ' ')
-            line.pop_back();
-        if (!line.empty())
-            lines.push_back(line);
+  public:
+    void
+    value(const std::string &dotted, double value,
+          const sim::stats::Info &) override
+    {
+        std::ostringstream os;
+        os << dotted << " " << value;
+        lines.push_back(os.str());
     }
-    std::sort(lines.begin(), lines.end());
-    return lines;
+
+    std::vector<std::string> lines;
+};
+
+std::vector<std::string>
+statLines(const sim::stats::Group &root)
+{
+    LineVisitor v;
+    root.visit(v);
+    std::sort(v.lines.begin(), v.lines.end());
+    return v.lines;
 }
 
 std::uint64_t
@@ -186,9 +195,7 @@ TEST_P(GoldenRun, StatsDigestMatchesFixture)
     auto res = system.run(5'000'000'000'000ULL);
     ASSERT_EQ(res.cause, sim::ExitCause::Finished);
 
-    std::ostringstream dump;
-    sim.dumpStats(dump);
-    std::vector<std::string> lines = statLines(dump.str());
+    std::vector<std::string> lines = statLines(sim);
     std::uint64_t digest = fnv1a(lines);
     std::string path = goldenPath(model);
 

@@ -175,8 +175,11 @@ TEST(Watchdog, LivelockDetected)
         [&] { q.schedule(&ev, q.curTick()); }, "spin");
     q.schedule(&ev, 0);
 
-    simr.setWatchdog({.livelockEvents = 64,
-                      .flightRecorderDepth = 16});
+    sim::RunOptions run;
+    run.supervise = true;
+    run.watchdog.livelockEvents = 64;
+    run.watchdog.flightRecorderDepth = 16;
+    simr.configure(run);
     auto res = simr.run();
 
     EXPECT_EQ(res.cause, sim::ExitCause::Livelock);
@@ -199,7 +202,10 @@ TEST(Watchdog, EventBudgetExhausted)
         [&] { q.schedule(&ev, q.curTick() + 1); }, "ticker");
     q.schedule(&ev, 0);
 
-    simr.setWatchdog({.maxEvents = 500});
+    sim::RunOptions run;
+    run.supervise = true;
+    run.watchdog.maxEvents = 500;
+    simr.configure(run);
     auto res = simr.run();
 
     EXPECT_EQ(res.cause, sim::ExitCause::WatchdogTimeout);
@@ -218,7 +224,10 @@ TEST(Watchdog, WallClockBudgetExhausted)
         [&] { q.schedule(&ev, q.curTick() + 1); }, "ticker");
     q.schedule(&ev, 0);
 
-    simr.setWatchdog({.maxWallSeconds = 0.02});
+    sim::RunOptions run;
+    run.supervise = true;
+    run.watchdog.maxWallSeconds = 0.02;
+    simr.configure(run);
     auto res = simr.run();
 
     EXPECT_EQ(res.cause, sim::ExitCause::WatchdogTimeout);
@@ -253,8 +262,11 @@ TEST(Watchdog, CleanRunUnaffected)
 {
     // A watchdog with generous limits must not perturb a healthy run.
     Machine m(CpuModel::Timing);
-    m.sim.setWatchdog({.livelockEvents = 1u << 20,
-                       .maxEvents = 1ull << 40});
+    sim::RunOptions run;
+    run.supervise = true;
+    run.watchdog.livelockEvents = 1u << 20;
+    run.watchdog.maxEvents = 1ull << 40;
+    m.sim.configure(run);
     Artifacts a = m.finish();
     EXPECT_EQ(a.result, reference(CpuModel::Timing).result);
     EXPECT_EQ(a.finalTick, reference(CpuModel::Timing).finalTick);
@@ -379,7 +391,10 @@ TEST(FaultInjection, AutoCheckpointSurvivesIoFailure)
 
     Machine m(CpuModel::Atomic, &fp);
     std::string prefix = ::testing::TempDir() + "/g5p_rb_autofail";
-    m.sim.enableAutoCheckpoint(ref.finalTick / 2, prefix);
+    sim::RunOptions run;
+    run.autoCheckpointPeriod = ref.finalTick / 2;
+    run.autoCheckpointPrefix = prefix;
+    m.sim.configure(run);
     Artifacts a = m.finish();
 
     EXPECT_EQ(a.result, ref.result);
@@ -497,7 +512,10 @@ TEST(CrashSafety, KillAndRecoverBitIdentical)
 
     {
         Machine killed(CpuModel::Atomic);
-        killed.sim.enableAutoCheckpoint(ref.finalTick / 4, prefix);
+        sim::RunOptions run;
+        run.autoCheckpointPeriod = ref.finalTick / 4;
+        run.autoCheckpointPrefix = prefix;
+        killed.sim.configure(run);
         auto part = killed.system.run(ref.finalTick * 6 / 10);
         ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
         // The machine is destroyed here with work outstanding — the

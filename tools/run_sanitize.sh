@@ -40,3 +40,15 @@ if [ "$#" -gt 0 ]; then
     echo "== ctest robustness suite (preset: sanitize) =="
     ctest --preset sanitize -R '^(Watchdog|FaultInjection|CrashSafety|TypedErrors)'
 fi
+
+# Profiler pass: the self-observability layer instruments the event
+# loop's hottest path (beginService/endService) and the trace writer
+# round-trips every stat and event name through JSON escaping. Run the
+# profiler suite and the overhead gate sanitized so that slice-ring
+# bookkeeping, span nesting across checkpoint/restore and the string
+# paths are exercised under ASan/UBSan even when a filter narrowed the
+# main pass.
+if [ "$#" -gt 0 ]; then
+    echo "== ctest profiler suite (preset: sanitize) =="
+    ctest --preset sanitize -R '^(Profiler|RunOptionsApi|ProfilerOverheadGate)'
+fi
