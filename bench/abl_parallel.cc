@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Ablation: the parallel experiment harness and batched trace->host
+ * delivery.
+ *
+ * Part 1 — worker-pool scaling: one fixed sweep of profiled runs,
+ * executed serially and on 2- and 4-thread pools. Reports wall-clock
+ * speedup and verifies every pooled result is byte-identical to its
+ * serial reference (doubles compared as bit patterns) — the paper
+ * co-runs one gem5 process per hardware thread (§II, 4.15x aggregate
+ * throughput at 40 processes), and this harness reproduces that
+ * methodology in-process.
+ *
+ * Part 2 — batched sink delivery: record one run's synthesized op
+ * stream, then hand the same stream to fresh HostCores through the
+ * two delivery contracts — one virtual op() call per instruction
+ * (the pre-batching path, what HostInstSink shims still do) versus
+ * one ops() call per 4096-instruction span. This measures the sink
+ * boundary itself; both deliveries must produce bit-identical
+ * counters. End-to-end wall clock for full runs under each contract
+ * is also reported (there the guest simulator and synthesizer,
+ * identical in both, dilute the delivery difference).
+ *
+ * Writes BENCH_parallel.json. Gates: batched delivery >= 1.15x the
+ * per-op sink throughput, and (only when the host has >= 4 hardware
+ * threads — scaling cannot exist on fewer) >= 3x at 4 threads.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "host/host_core.hh"
+#include "os/system.hh"
+#include "sim/simulator.hh"
+#include "trace/code_layout.hh"
+#include "trace/recorder.hh"
+#include "trace/synthesizer.hh"
+
+using namespace g5p;
+using namespace g5p::core;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return (double)std::chrono::duration_cast<
+               std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start)
+               .count() /
+           1e9;
+}
+
+/** Every result field that matters, doubles as raw bit patterns. */
+std::string
+signatureOf(const RunResult &r)
+{
+    std::ostringstream os;
+    auto bits = [&os](double v) {
+        os << std::bit_cast<std::uint64_t>(v) << ',';
+    };
+    os << r.workload << '|' << r.platform << '|' << r.hostInsts
+       << ',' << r.guestInsts << ',' << r.codeBytes << ','
+       << r.simTicks << ',' << r.guestResult << ','
+       << r.distinctFunctions << ',' << r.counters.insts << ','
+       << r.counters.uops << ',' << r.counters.icacheMisses << ','
+       << r.counters.dcacheMisses << ',' << r.counters.mispredicts
+       << ',' << r.counters.llcMisses << '|';
+    bits(r.hostSeconds);
+    bits(r.ipc);
+    bits(r.counters.baseCycles);
+    bits(r.counters.beMemCycles);
+    bits(r.topdown.retiring);
+    bits(r.topdown.backendBound);
+    bits(r.topdown.frontendLatency);
+    return os.str();
+}
+
+/** Captures a run's op stream (bounded) for replay. */
+struct RecordingSink : trace::HostInstSink
+{
+    explicit RecordingSink(std::size_t cap) { stream.reserve(cap); }
+
+    void
+    op(const trace::HostOp &op) override
+    {
+        if (stream.size() < stream.capacity())
+            stream.push_back(op);
+    }
+
+    std::vector<trace::HostOp> stream;
+};
+
+/** Counter signature of a replayed stream, doubles as bit patterns. */
+std::string
+coreSignature(const host::HostCore &core)
+{
+    host::HostCounters c = core.counters();
+    host::TopdownBreakdown td = core.topdown();
+    std::ostringstream os;
+    auto bits = [&os](double v) {
+        os << std::bit_cast<std::uint64_t>(v) << ',';
+    };
+    os << c.insts << ',' << c.uops << ',' << c.loads << ','
+       << c.stores << ',' << c.branches << ',' << c.icacheMisses
+       << ',' << c.dcacheMisses << ',' << c.itlbMisses << ','
+       << c.dtlbMisses << ',' << c.mispredicts << ','
+       << c.unknownBranches << ',' << c.l2Misses << ','
+       << c.llcMisses << ',' << c.dramBytes << '|';
+    bits(c.baseCycles);
+    bits(c.beMemCycles);
+    bits(c.beCoreCycles);
+    bits(c.badSpecCycles);
+    bits(td.retiring);
+    bits(td.frontendLatency);
+    bits(td.frontendBandwidth);
+    bits(td.backendBound);
+    return os.str();
+}
+
+/**
+ * Deliver the stream one op at a time through the virtual sink
+ * interface — the pre-batching contract. noinline so the compiler
+ * cannot devirtualize against the concrete core the caller built,
+ * which would not be possible at the real call site either (the
+ * synthesizer only ever sees a HostInstSink&).
+ */
+__attribute__((noinline)) void
+replayPerOp(trace::HostInstSink &sink,
+            const std::vector<trace::HostOp> &stream)
+{
+    for (const trace::HostOp &op : stream)
+        sink.op(op);
+}
+
+/** Deliver the stream in 4096-op spans through ops(). */
+__attribute__((noinline)) void
+replayBatched(trace::HostInstSink &sink,
+              const std::vector<trace::HostOp> &stream)
+{
+    constexpr std::size_t span = trace::Synthesizer::defaultBatchOps;
+    for (std::size_t i = 0; i < stream.size(); i += span)
+        sink.ops(stream.data() + i,
+                 std::min(span, stream.size() - i));
+}
+
+/**
+ * Synthesize one run's op stream into a recording sink: the same
+ * guest simulation runProfiledSimulation drives, minus the host
+ * model, so the replays below exercise delivery alone.
+ */
+std::vector<trace::HostOp>
+recordStream(const RunConfig &config, std::size_t cap)
+{
+    sim::Simulator simulator("system");
+    auto workload = workloads::Registry::instance().create(
+        config.workload, config.workloadScale);
+    os::SystemConfig sys_cfg;
+    sys_cfg.cpuModel = config.cpuModel;
+    sys_cfg.maxInstsPerCpu = config.maxGuestInsts;
+    os::System system(simulator, sys_cfg, *workload);
+
+    trace::LayoutOptions layout_opts;
+    layout_opts.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+    trace::CodeLayout layout(trace::FuncRegistry::instance(),
+                             layout_opts);
+    RecordingSink sink(cap);
+    trace::Synthesizer synth(layout, sink, config.seed);
+    trace::Recorder recorder;
+    recorder.addConsumer(&synth);
+    recorder.activate();
+    system.run();
+    recorder.deactivate();
+    synth.flush();
+    return std::move(sink.stream);
+}
+
+/** The scaling sweep: all four models x two workloads. */
+std::vector<RunConfig>
+sweepConfigs(double scale)
+{
+    std::vector<RunConfig> configs;
+    for (os::CpuModel model : os::allCpuModels) {
+        for (const char *wl : {"water_nsquared", "blackscholes"}) {
+            RunConfig cfg;
+            cfg.workload = wl;
+            cfg.workloadScale = scale;
+            cfg.maxGuestInsts = 16000;
+            cfg.cpuModel = model;
+            cfg.platform = host::xeonConfig();
+            configs.push_back(cfg);
+        }
+    }
+    return configs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = 0.25;
+    std::string json_path = "BENCH_parallel.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--scale" && i + 1 < argc)
+            scale = std::atof(argv[++i]);
+        else if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg == "--help") {
+            std::printf("options: --scale <f> | --json <path>\n");
+            return 0;
+        }
+    }
+
+    const unsigned hw = ParallelExecutor::hardwareJobs();
+    std::printf("# abl_parallel: worker-pool sweeps and batched "
+                "trace->host delivery (%u hw thread%s)\n",
+                hw, hw == 1 ? "" : "s");
+
+    // ----------------------------------------------------------
+    // Part 1: pool scaling, byte-identical to serial.
+    // ----------------------------------------------------------
+    std::vector<RunConfig> configs = sweepConfigs(scale);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<RunResult> serial = runExperiments(configs, 1);
+    double serial_s = secondsSince(t0);
+
+    std::vector<std::string> reference;
+    for (const RunResult &r : serial)
+        reference.push_back(signatureOf(r));
+
+    bool identical = true;
+    std::printf("\n%-28s %10s %10s %10s\n", "pool",
+                "wall s", "speedup", "identical");
+    std::printf("%-28s %10.3f %10s %10s\n", "serial (reference)",
+                serial_s, "1.00x", "-");
+
+    struct Point
+    {
+        unsigned jobs;
+        double seconds;
+        bool identical;
+    };
+    std::vector<Point> points;
+    for (unsigned jobs : {2u, 4u}) {
+        t0 = std::chrono::steady_clock::now();
+        std::vector<RunResult> pooled = runExperiments(configs, jobs);
+        double pooled_s = secondsSince(t0);
+        bool same = pooled.size() == reference.size();
+        for (std::size_t i = 0; same && i < pooled.size(); ++i)
+            same = signatureOf(pooled[i]) == reference[i];
+        identical = identical && same;
+        points.push_back(Point{jobs, pooled_s, same});
+        std::printf("%-28s %10.3f %9.2fx %10s\n",
+                    (std::to_string(jobs) + " threads").c_str(),
+                    pooled_s, serial_s / pooled_s,
+                    same ? "yes" : "NO");
+    }
+
+    // ----------------------------------------------------------
+    // Part 2: batched vs per-op sink delivery. Record one run's op
+    // stream, then replay the identical stream into fresh HostCores
+    // through each delivery contract, best-of-5.
+    // ----------------------------------------------------------
+    RunConfig single;
+    single.workload = "water_nsquared";
+    single.workloadScale = scale;
+    single.cpuModel = os::CpuModel::O3;
+    single.platform = host::xeonConfig();
+
+    constexpr std::size_t streamCap = 2'000'000;
+    std::vector<trace::HostOp> stream = recordStream(single,
+                                                     streamCap);
+
+    // Interleave the two contracts round by round so transient host
+    // load hits both paths alike; best-of-7 each.
+    auto timed_replay = [&](bool batched, std::string &sig) {
+        host::PageSizePolicy policy(single.platform.pageBits);
+        host::HostCore core(single.platform, policy);
+        auto start = std::chrono::steady_clock::now();
+        if (batched)
+            replayBatched(core, stream);
+        else
+            replayPerOp(core, stream);
+        double s = secondsSince(start);
+        sig = coreSignature(core);
+        return s;
+    };
+    std::string batched_sig, per_op_sig;
+    double per_op_s = 1e30, batched_s = 1e30;
+    for (int r = 0; r < 7; ++r) {
+        per_op_s = std::min(per_op_s,
+                            timed_replay(false, per_op_sig));
+        batched_s = std::min(batched_s,
+                             timed_replay(true, batched_sig));
+    }
+    bool batch_identical = batched_sig == per_op_sig;
+    double batch_speedup = per_op_s / batched_s;
+    double ops_m = (double)stream.size() / 1e6;
+
+    std::printf("\n%-28s %10s %10s %10s\n",
+                "sink delivery", "wall s", "Mops/s", "speedup");
+    std::printf("%-28s %10.3f %10.1f %10s\n",
+                "per-op virtual (ablation)", per_op_s,
+                ops_m / per_op_s, "1.00x");
+    std::printf("%-28s %10.3f %10.1f %9.2fx  identical: %s\n",
+                "batched (4096-op spans)", batched_s,
+                ops_m / batched_s, batch_speedup,
+                batch_identical ? "yes" : "NO");
+
+    // End-to-end context: the same contract difference inside full
+    // runs, where the (identical) guest simulator and synthesizer
+    // dominate. Reported, not gated.
+    auto best_run = [](RunConfig cfg, int reps) {
+        double best = 1e30;
+        for (int r = 0; r < reps; ++r) {
+            auto start = std::chrono::steady_clock::now();
+            runProfiledSimulation(cfg);
+            best = std::min(best, secondsSince(start));
+        }
+        return best;
+    };
+    double run_batched_s = best_run(single, 3);
+    RunConfig per_op_cfg = single;
+    per_op_cfg.sinkBatchOps = 1;
+    double run_per_op_s = best_run(per_op_cfg, 3);
+    std::printf("%-28s %10.3f %10s %9.2fx  (reported only)\n",
+                "full run, per-op vs batch", run_batched_s, "-",
+                run_per_op_s / run_batched_s);
+
+    // ----------------------------------------------------------
+    // JSON + gates.
+    // ----------------------------------------------------------
+    std::ofstream json(json_path);
+    json << "{\n  \"hardware_threads\": " << hw << ",\n"
+         << "  \"sweep_runs\": " << configs.size() << ",\n"
+         << "  \"serial_seconds\": " << serial_s << ",\n"
+         << "  \"scaling\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"jobs\": %u, \"seconds\": %.6f, "
+                      "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                      points[i].jobs, points[i].seconds,
+                      serial_s / points[i].seconds,
+                      points[i].identical ? "true" : "false",
+                      i + 1 < points.size() ? "," : "");
+        json << buf;
+    }
+    json << "  ],\n"
+         << "  \"delivery_ops\": " << stream.size() << ",\n"
+         << "  \"batched_seconds\": " << batched_s << ",\n"
+         << "  \"per_op_seconds\": " << per_op_s << ",\n"
+         << "  \"batched_mops\": " << ops_m / batched_s << ",\n"
+         << "  \"per_op_mops\": " << ops_m / per_op_s << ",\n"
+         << "  \"batched_speedup\": " << batch_speedup << ",\n"
+         << "  \"batched_identical\": "
+         << (batch_identical ? "true" : "false") << ",\n"
+         << "  \"full_run_batched_seconds\": " << run_batched_s
+         << ",\n"
+         << "  \"full_run_per_op_seconds\": " << run_per_op_s
+         << "\n}\n";
+    if (!json) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+
+    bool ok = true;
+    if (!identical || !batch_identical) {
+        std::printf("FAIL: pooled or batched results diverged from "
+                    "the serial reference\n");
+        ok = false;
+    }
+    if (batch_speedup < 1.15) {
+        std::printf("FAIL: batched delivery %.2fx < 1.15x over the "
+                    "per-op path\n", batch_speedup);
+        ok = false;
+    }
+    // Scaling needs hardware to scale onto; a 1-core container can
+    // only time-slice, so the gate applies when 4 threads exist.
+    if (hw >= 4) {
+        double x4 = serial_s / points.back().seconds;
+        if (x4 < 3.0) {
+            std::printf("FAIL: 4-thread speedup %.2fx < 3.0x\n", x4);
+            ok = false;
+        }
+    } else {
+        std::printf("note: %u hw thread%s — the 3x/4-thread scaling "
+                    "gate needs >= 4 and is reported, not "
+                    "enforced\n", hw, hw == 1 ? "" : "s");
+    }
+    return ok ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 #ifndef G5P_BENCH_COMMON_HH
 #define G5P_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -21,6 +22,7 @@
 
 #include "base/str.hh"
 #include "core/experiment.hh"
+#include "core/parallel.hh"
 #include "core/report.hh"
 #include "core/topdown.hh"
 #include "tuning/dvfs.hh"
@@ -46,6 +48,14 @@ struct BenchOptions
      */
     std::uint64_t maxGuestInsts = 16000;
 
+    /**
+     * Worker threads for sweep prefetches (RunCache::prefetch).
+     * 1 = serial; 0 = one per hardware thread. Results are
+     * byte-identical either way (see core/parallel.hh), so --jobs is
+     * purely a wall-clock knob.
+     */
+    unsigned jobs = 1;
+
     static BenchOptions
     parse(int argc, char **argv)
     {
@@ -64,10 +74,12 @@ struct BenchOptions
                 opts.csv = true;
             } else if (arg == "--scale" && i + 1 < argc) {
                 opts.scale = std::atof(argv[++i]);
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                opts.jobs = (unsigned)std::atoi(argv[++i]);
             } else if (arg == "--help") {
                 std::cout <<
                     "options: --quick | --full | --csv | "
-                    "--scale <f>\n";
+                    "--scale <f> | --jobs <n>\n";
                 std::exit(0);
             }
         }
@@ -84,9 +96,63 @@ class RunCache
     const core::RunResult &
     get(core::RunConfig cfg)
     {
+        normalize(cfg);
+        std::string key = keyOf(cfg);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        std::cerr << "  running " << key << " ...\n";
+        auto [pos, _] =
+            cache_.emplace(key, core::runProfiledSimulation(cfg));
+        return pos->second;
+    }
+
+    /**
+     * Fill the cache for a whole sweep on the worker pool (--jobs N)
+     * before the figure's loops read it back with get(). Duplicate
+     * and already-cached points are skipped; with jobs <= 1 this is
+     * exactly the serial runs get() would have done, in the same
+     * order, so figures are byte-identical regardless of --jobs.
+     */
+    void
+    prefetch(std::vector<core::RunConfig> configs)
+    {
+        std::vector<core::RunConfig> pending;
+        std::vector<std::string> keys;
+        for (core::RunConfig &cfg : configs) {
+            normalize(cfg);
+            std::string key = keyOf(cfg);
+            if (cache_.count(key) ||
+                std::find(keys.begin(), keys.end(), key) !=
+                    keys.end())
+                continue;
+            pending.push_back(cfg);
+            keys.push_back(std::move(key));
+        }
+        if (pending.empty())
+            return;
+        std::cerr << "  prefetching " << pending.size()
+                  << " runs on " << (opts_.jobs ? opts_.jobs :
+                      core::ParallelExecutor::hardwareJobs())
+                  << " worker(s) ...\n";
+        std::vector<core::RunResult> results =
+            core::runExperiments(pending, opts_.jobs);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            cache_.emplace(keys[i], std::move(results[i]));
+    }
+
+  private:
+    void
+    normalize(core::RunConfig &cfg) const
+    {
         cfg.workloadScale = opts_.scale;
         cfg.maxGuestInsts = opts_.maxGuestInsts;
-        std::string key = cfg.workload + "|" +
+    }
+
+    std::string
+    keyOf(const core::RunConfig &cfg) const
+    {
+        return cfg.workload + "|" +
             os::cpuModelName(cfg.cpuModel) + "|" +
             os::simModeName(cfg.mode) + "|" + cfg.platform.name +
             "|" + std::to_string(cfg.corun.processes) +
@@ -97,16 +163,8 @@ class RunCache
             "|f" + fmtDouble(cfg.tuning.freqGHzOverride, 2) +
             "|t" + std::to_string(cfg.tuning.turbo) +
             "|seed" + std::to_string(cfg.seed);
-        auto it = cache_.find(key);
-        if (it != cache_.end())
-            return it->second;
-        std::cerr << "  running " << key << " ...\n";
-        auto [pos, _] =
-            cache_.emplace(key, core::runProfiledSimulation(cfg));
-        return pos->second;
     }
 
-  private:
     BenchOptions opts_;
     std::map<std::string, core::RunResult> cache_;
 };

@@ -70,6 +70,35 @@ main(int argc, char **argv)
     if (opts.quick)
         scenarios.pop_back();
 
+    // The whole sweep is known up front: hand it to the worker pool
+    // (--jobs N) so the loops below read back cached results.
+    {
+        std::vector<core::RunConfig> sweep;
+        for (const auto &scenario : scenarios) {
+            for (os::SimMode mode : modes) {
+                for (os::CpuModel model : models) {
+                    for (const auto &platform : platforms) {
+                        for (const auto &wl : benchWorkloads(opts)) {
+                            core::RunConfig cfg;
+                            cfg.workload = wl;
+                            cfg.cpuModel = model;
+                            cfg.mode = mode;
+                            cfg.platform = platform;
+                            if (scenario.per_core)
+                                cfg.corun =
+                                    host::perPhysicalCore(platform);
+                            else if (scenario.per_thread)
+                                cfg.corun =
+                                    host::perHardwareThread(platform);
+                            sweep.push_back(cfg);
+                        }
+                    }
+                }
+            }
+        }
+        cache.prefetch(std::move(sweep));
+    }
+
     core::printBanner(os,
         "Fig. 1: simulation time normalized to Intel_Xeon "
         "(geomean over workloads; < 1 is faster)");

@@ -21,6 +21,24 @@ main(int argc, char **argv)
         "Fig. 12: speedup from the -O3 build (Timing CPU)");
 
     auto platforms = host::tableIIPlatforms();
+
+    // Prefetch the base/-O3 pairs on the worker pool (--jobs N).
+    {
+        std::vector<core::RunConfig> sweep;
+        for (const auto &wl : benchWorkloads(opts)) {
+            for (const auto &platform : platforms) {
+                core::RunConfig cfg;
+                cfg.workload = wl;
+                cfg.cpuModel = os::CpuModel::Timing;
+                cfg.platform = platform;
+                sweep.push_back(cfg);
+                tuning::applyO3(cfg.tuning);
+                sweep.push_back(cfg);
+            }
+        }
+        cache.prefetch(std::move(sweep));
+    }
+
     std::vector<std::string> headers{"Workload"};
     for (const auto &platform : platforms)
         headers.push_back(platform.name);

@@ -56,6 +56,25 @@ main(int argc, char **argv)
         {64, 16, 64, 16, 512, 8},   // best in the paper
     };
 
+    // Prefetch the geometry x model sweep on the worker pool
+    // (--jobs N).
+    {
+        std::vector<core::RunConfig> points;
+        for (const auto &p : sweep) {
+            for (auto model : {os::CpuModel::Atomic,
+                               os::CpuModel::Timing,
+                               os::CpuModel::O3}) {
+                core::RunConfig cfg;
+                cfg.workload = "sieve";
+                cfg.cpuModel = model;
+                cfg.platform = host::firesimCacheConfig(
+                    p.i_kb, p.i_w, p.d_kb, p.d_w, p.l2_kb, p.l2_w);
+                points.push_back(cfg);
+            }
+        }
+        cache.prefetch(std::move(points));
+    }
+
     core::printBanner(os,
         "Fig. 14: simulation speedup vs the 8KB/2:8KB/2:512KB/8 "
         "baseline (sieve)");

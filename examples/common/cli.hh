@@ -15,6 +15,9 @@
  *   --auto-checkpoint=<ticks>  periodic crash-safe checkpoints
  *   --auto-checkpoint-prefix=<p>
  *   --fault-seed=<n>           seed injected memory faults
+ *   --jobs=<n>                 worker threads for multi-run sweeps
+ *                              (0 = all hardware threads); results
+ *                              are byte-identical to --jobs=1
  *   --help
  *
  * Example-specific value flags (e.g. profile_simulation's
@@ -67,6 +70,10 @@ struct CliOptions
      *  Simulator::configure / System::run / RunConfig. */
     sim::RunOptions run;
 
+    /** Worker threads for examples that sweep over several runs
+     *  (core::runExperiments); 1 = serial, 0 = hardware threads. */
+    unsigned jobs = 1;
+
     /** Shorthand for run.profiler.tracePath. */
     std::string profilePath;
 
@@ -113,6 +120,8 @@ printCliUsage(std::ostream &os, const char *argv0,
           "  --auto-checkpoint-prefix=<p> checkpoint path prefix\n"
           "  --fault-seed=<n>             seed injected memory "
           "faults\n"
+          "  --jobs=<n>                   worker threads for sweep "
+          "examples (0 = all)\n"
           "  --help\n";
     for (const auto &flag : spec.extraFlags)
         os << "  " << flag << " <value>\n";
@@ -195,6 +204,9 @@ parseCli(int argc, char **argv, const CliSpec &spec = {})
         } else if (flag == "--fault-seed") {
             opts.run.faultSeed =
                 std::strtoull(value.c_str(), nullptr, 0);
+        } else if (flag == "--jobs") {
+            opts.jobs =
+                (unsigned)std::strtoul(value.c_str(), nullptr, 0);
         } else if (is_extra(flag)) {
             opts.extra[flag] = value;
         } else {

@@ -14,6 +14,7 @@
 #include "base/str.hh"
 #include "common/cli.hh"
 #include "core/experiment.hh"
+#include "core/parallel.hh"
 #include "core/report.hh"
 #include "core/telemetry.hh"
 
@@ -48,10 +49,24 @@ runMain(int argc, char **argv)
 
     core::Table table({"Platform", "sim time", "speedup", "IPC",
                        "L1I miss%", "iTLB miss%", "mispredict%"});
-    double xeon_time = 0;
-    for (const auto &platform : host::tableIIPlatforms()) {
+
+    // The three platform runs are independent: fan them out on the
+    // worker pool (--jobs). A shared campaign profiler pins the runs
+    // to one thread, so profiling forces serial.
+    auto platforms = host::tableIIPlatforms();
+    std::vector<core::RunConfig> cfgs;
+    for (const auto &platform : platforms) {
         cfg.platform = platform;
-        core::RunResult r = core::runProfiledSimulation(cfg);
+        cfgs.push_back(cfg);
+    }
+    unsigned jobs = opts.profiling() ? 1 : opts.jobs;
+    std::vector<core::RunResult> results =
+        core::runExperiments(cfgs, jobs);
+
+    double xeon_time = 0;
+    for (std::size_t i = 0; i < platforms.size(); ++i) {
+        const auto &platform = platforms[i];
+        const core::RunResult &r = results[i];
         if (platform.name == "Intel_Xeon")
             xeon_time = r.hostSeconds;
         const auto &c = r.counters;

@@ -87,6 +87,8 @@ runProfiledSimulation(const RunConfig &config)
     host::HostCore core(platform, policy);
     trace::Synthesizer synth(layout, core, config.seed,
                              config.tuning.optO3 ? o3WorkScale : 1.0);
+    if (config.sinkBatchOps)
+        synth.setBatchOps(config.sinkBatchOps);
     FuncProfile profile;
 
     trace::Recorder recorder;
@@ -104,6 +106,8 @@ runProfiledSimulation(const RunConfig &config)
 
     sim::SimResult sim_result = system.run();
     recorder.deactivate();
+    // Deliver the buffered tail before reading core counters.
+    synth.flush();
 
     if (config.profiler)
         config.profiler->endSpan();

@@ -45,9 +45,15 @@ FunctionCdf::build(const std::vector<std::uint64_t> &self_ops)
             name, self_ops[id],
             (double)self_ops[id] / (double)total});
     }
+    // Tie-break by name: std::sort is unstable and FuncId assignment
+    // order differs between serial and pooled runs (lazy registration
+    // interleaves across threads), so equal self-counts must order on
+    // a run-independent key for byte-identical reports.
     std::sort(cdf.ranked_.begin(), cdf.ranked_.end(),
               [](const HotFunction &a, const HotFunction &b) {
-                  return a.selfOps > b.selfOps;
+                  if (a.selfOps != b.selfOps)
+                      return a.selfOps > b.selfOps;
+                  return a.name < b.name;
               });
     return cdf;
 }

@@ -1,0 +1,134 @@
+#include "core/parallel.hh"
+
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "base/logging.hh"
+
+namespace g5p::core
+{
+
+namespace
+{
+
+/**
+ * One worker's job queue. The owner pops from the front (FIFO over
+ * its round-robin share, so early jobs start early); thieves take
+ * from the back (the jobs the owner would reach last, minimizing
+ * contention on the front). A plain mutex per queue is plenty: jobs
+ * are whole simulations, so queue operations are nanoseconds against
+ * job runtimes of milliseconds and up.
+ */
+struct WorkQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+
+    bool
+    popFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.front();
+        jobs.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.back();
+        jobs.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+ParallelExecutor::ParallelExecutor(unsigned jobs)
+    : jobs_(jobs ? jobs : hardwareJobs())
+{
+}
+
+unsigned
+ParallelExecutor::hardwareJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<RunResult>
+ParallelExecutor::run(const std::vector<RunConfig> &configs)
+{
+    const std::size_t count = configs.size();
+    std::vector<RunResult> results(count);
+    if (count == 0)
+        return results;
+
+    const unsigned workers =
+        (unsigned)std::min<std::size_t>(jobs_, count);
+    std::vector<WorkQueue> queues(workers);
+    for (std::size_t i = 0; i < count; ++i)
+        queues[i % workers].jobs.push_back(i);
+
+    // First failure by submission index; rethrown after the drain so
+    // every non-failing job still completes (and later calls see a
+    // consistent pool state).
+    std::vector<std::exception_ptr> errors(count);
+
+    auto work = [&](unsigned self) {
+        std::size_t job;
+        while (true) {
+            bool found = queues[self].popFront(job);
+            // No job ever enqueues another, so one empty sweep over
+            // all queues means the pool is drained for good.
+            for (unsigned v = 1; !found && v < workers; ++v)
+                found = queues[(self + v) % workers].stealBack(job);
+            if (!found)
+                return;
+            try {
+                results[job] = runProfiledSimulation(configs[job]);
+            } catch (...) {
+                errors[job] = std::current_exception();
+            }
+        }
+    };
+
+    if (workers == 1) {
+        // Degenerate pool: run inline, no thread spawn.
+        work(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads.emplace_back(work, w);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    for (std::size_t i = 0; i < count; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    return results;
+}
+
+std::vector<RunResult>
+runExperiments(const std::vector<RunConfig> &configs, unsigned jobs)
+{
+    if (jobs <= 1) {
+        std::vector<RunResult> results;
+        results.reserve(configs.size());
+        for (const RunConfig &config : configs)
+            results.push_back(runProfiledSimulation(config));
+        return results;
+    }
+    return ParallelExecutor(jobs).run(configs);
+}
+
+} // namespace g5p::core

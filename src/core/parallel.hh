@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parallel experiment harness: a work-stealing worker pool running
+ * independent profiled simulations concurrently across host threads.
+ *
+ * The paper's methodology is embarrassingly parallel (Fig. 1 alone is
+ * 9 workloads x 4 CPU models x 3 platforms, and the paper co-runs up
+ * to one gem5 process per hardware thread at 4.15x aggregate
+ * throughput), so the harness maps one RunConfig to one job and one
+ * job to one worker thread at a time.
+ *
+ * Isolation contract — what makes results byte-identical to serial:
+ *
+ *  - every job builds its own Simulator, EventQueue, HostCore,
+ *    Synthesizer, and DataSpace; nothing mutable is shared between
+ *    jobs (the retired process-globals — the active Recorder, the
+ *    current DataSpace, the EventPool arena, the checkpoint-I/O and
+ *    timing-fault hooks — are all thread-local now);
+ *  - each job's RNG streams are seeded from its RunConfig alone;
+ *  - the shared trace::FuncRegistry is append-only with idempotent
+ *    registration and lock-free reads, and every result quantity is
+ *    independent of FuncId *values* (layout addresses are assigned in
+ *    per-run first-use order, code sizes/structure are keyed by
+ *    function name, profiles are ranked with name tie-breaks), so it
+ *    does not matter which thread registers a name first.
+ *
+ * Scheduling order therefore cannot leak into results; the pool is
+ * free to steal aggressively.
+ *
+ * The one sharing hazard left is opt-in: RunConfig::profiler lets a
+ * caller attach one self-profiler to several runs. A sim::Profiler
+ * instance is not concurrency-safe, so configs sharing a profiler
+ * must go through runExperiments with jobs <= 1 (as the examples
+ * do when --profile is given).
+ */
+
+#ifndef G5P_CORE_PARALLEL_HH
+#define G5P_CORE_PARALLEL_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace g5p::core
+{
+
+/**
+ * Work-stealing pool over runProfiledSimulation jobs.
+ *
+ * Jobs are dealt round-robin onto per-worker queues; a worker drains
+ * its own queue from the front and, when empty, steals from the back
+ * of a victim's queue. Results come back in submission order
+ * regardless of completion order.
+ */
+class ParallelExecutor
+{
+  public:
+    /** @param jobs worker threads; 0 = hardwareJobs(). */
+    explicit ParallelExecutor(unsigned jobs = 0);
+
+    ParallelExecutor(const ParallelExecutor &) = delete;
+    ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+    /**
+     * Run every config through runProfiledSimulation on the pool and
+     * return results in submission order. Blocks until all jobs
+     * finish. If any job throws, the first failure (in submission
+     * order) is rethrown after every worker has drained.
+     */
+    std::vector<RunResult> run(const std::vector<RunConfig> &configs);
+
+    /** Worker threads this executor uses. */
+    unsigned jobs() const { return jobs_; }
+
+    /** Usable hardware concurrency (never 0). */
+    static unsigned hardwareJobs();
+
+  private:
+    unsigned jobs_;
+};
+
+/**
+ * Convenience entry point for sweep loops: serial in submission
+ * order when @p jobs <= 1 (the reference path, no pool involved),
+ * pooled otherwise. Both paths return byte-identical results.
+ */
+std::vector<RunResult>
+runExperiments(const std::vector<RunConfig> &configs, unsigned jobs);
+
+} // namespace g5p::core
+
+#endif // G5P_CORE_PARALLEL_HH

@@ -18,47 +18,7 @@ BackendModel::BackendModel(const HostPlatformConfig &config,
 void
 BackendModel::onOp(const HostOp &op, HostCounters &counters)
 {
-    // Dependency/functional-unit pressure: small per-µop cost.
-    counters.beCoreCycles += op.uops * config_.beCorePerUop;
-
-    bool is_load = op.kind == HostOp::Kind::Load;
-    bool is_store = op.kind == HostOp::Kind::Store;
-    if (!is_load && !is_store)
-        return;
-
-    if (is_load)
-        ++counters.loads;
-    else
-        ++counters.stores;
-
-    ++counters.dtlbAccesses;
-    if (!dtlb_.access(op.dataAddr)) {
-        ++counters.dtlbMisses;
-        // Walks overlap with execution about half the time.
-        counters.beMemCycles += config_.dtlbWalkCycles * 0.5;
-    }
-
-    ++counters.dcacheAccesses;
-    if (dcache_.access(op.dataAddr, is_store))
-        return;
-    ++counters.dcacheMisses;
-
-    auto mem = uncore_.access(op.dataAddr, is_store);
-    double exposed;
-    switch (mem.level) {
-      case Uncore::Level::L2:
-        exposed = config_.l2Exposed;
-        break;
-      case Uncore::Level::Llc:
-        exposed = config_.llcExposed;
-        break;
-      default:
-        exposed = config_.memExposed;
-        break;
-    }
-    if (is_store)
-        exposed = config_.storeExposed; // hidden by the store buffer
-    counters.beMemCycles += mem.latencyCycles * exposed;
+    onOpInline(op, counters);
 }
 
 } // namespace g5p::host

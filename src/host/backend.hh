@@ -24,8 +24,16 @@ class BackendModel
     BackendModel(const HostPlatformConfig &config,
                  const PageSizePolicy &policy, Uncore &uncore);
 
-    /** Account the memory/core costs of one op. */
+    /**
+     * Account the memory/core costs of one op. Out-of-line wrapper
+     * around onOpInline() for the per-op sink path (HostCore::op) —
+     * the pre-batching cross-TU call the ablation measures.
+     */
     void onOp(const trace::HostOp &op, HostCounters &counters);
+
+    /** The same accounting, inline below for the batched sink loop.
+     *  Bit-identical to onOp(). */
+    void onOpInline(const trace::HostOp &op, HostCounters &counters);
 
     const HostCache &dcache() const { return dcache_; }
     const HostTlb &dtlb() const { return dtlb_; }
@@ -36,6 +44,55 @@ class BackendModel
     HostCache dcache_;
     HostTlb dtlb_;
 };
+
+inline void
+BackendModel::onOpInline(const trace::HostOp &op,
+                         HostCounters &counters)
+{
+    using trace::HostOp;
+
+    // Dependency/functional-unit pressure: small per-µop cost.
+    counters.beCoreCycles += op.uops * config_.beCorePerUop;
+
+    bool is_load = op.kind == HostOp::Kind::Load;
+    bool is_store = op.kind == HostOp::Kind::Store;
+    if (!is_load && !is_store)
+        return;
+
+    if (is_load)
+        ++counters.loads;
+    else
+        ++counters.stores;
+
+    ++counters.dtlbAccesses;
+    if (!dtlb_.access(op.dataAddr)) {
+        ++counters.dtlbMisses;
+        // Walks overlap with execution about half the time.
+        counters.beMemCycles += config_.dtlbWalkCycles * 0.5;
+    }
+
+    ++counters.dcacheAccesses;
+    if (dcache_.access(op.dataAddr, is_store))
+        return;
+    ++counters.dcacheMisses;
+
+    auto mem = uncore_.access(op.dataAddr, is_store);
+    double exposed;
+    switch (mem.level) {
+      case Uncore::Level::L2:
+        exposed = config_.l2Exposed;
+        break;
+      case Uncore::Level::Llc:
+        exposed = config_.llcExposed;
+        break;
+      default:
+        exposed = config_.memExposed;
+        break;
+    }
+    if (is_store)
+        exposed = config_.storeExposed; // hidden by the store buffer
+    counters.beMemCycles += mem.latencyCycles * exposed;
+}
 
 } // namespace g5p::host
 

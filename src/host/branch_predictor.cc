@@ -1,33 +1,35 @@
 #include "host/branch_predictor.hh"
 
+#include <algorithm>
+
+#include "base/addr_utils.hh"
+#include "base/logging.hh"
+
 namespace g5p::host
 {
-
-using trace::HostOp;
 
 HostBranchPredictor::HostBranchPredictor(
     const HostBpredGeometry &geometry)
     : geometry_(geometry),
+      btbMask_(geometry.btbEntries - 1),
+      indirectMask_(geometry.indirectEntries - 1),
+      rasMask_(geometry.rasEntries - 1),
       counters_(1u << geometry.tableBits, 1),
       btb_(geometry.btbEntries),
       indirect_(geometry.indirectEntries),
       ras_(geometry.rasEntries, 0)
 {
-}
-
-std::size_t
-HostBranchPredictor::gshareIndex(HostAddr pc) const
-{
-    // Hashed-PC (bimodal) indexing. Synthetic streams carry per-site
-    // bias but no cross-branch correlation, so history bits would
-    // only alias well-biased sites apart; a large per-site table is
-    // the right stand-in for a modern TAGE-class predictor.
-    return ((pc >> 1) ^ ((pc >> 15) << 5)) &
-           ((1u << geometry_.tableBits) - 1);
+    g5p_assert(isPowerOf2(geometry.btbEntries) &&
+                   isPowerOf2(geometry.indirectEntries) &&
+                   isPowerOf2(geometry.rasEntries),
+               "predictor table sizes must be powers of two "
+               "(btb %u, indirect %u, ras %u)",
+               geometry.btbEntries, geometry.indirectEntries,
+               geometry.rasEntries);
 }
 
 BranchResolution
-HostBranchPredictor::resolve(const HostOp &op)
+HostBranchPredictor::resolve(const trace::HostOp &op)
 {
     ++branches_;
     BranchResolution res;
@@ -36,14 +38,14 @@ HostBranchPredictor::resolve(const HostOp &op)
     // real return stacks do, so deep call chains degrade gracefully
     // instead of desynchronizing push/pop.
     auto ras_push = [this](HostAddr addr) {
-        ras_[rasTop_ % geometry_.rasEntries] = addr;
+        ras_[rasTop_ & rasMask_] = addr;
         ++rasTop_;
     };
     auto ras_pop = [this]() -> HostAddr {
         if (rasTop_ == 0)
             return 0;
         --rasTop_;
-        return ras_[rasTop_ % geometry_.rasEntries];
+        return ras_[rasTop_ & rasMask_];
     };
 
     if (op.isReturn) {
@@ -59,7 +61,7 @@ HostBranchPredictor::resolve(const HostOp &op)
         // Per-PC tagged indirect-target table. Virtual call sites
         // that dispatch to several receivers thrash their entry —
         // the paper's "abundance of virtual functions" cost.
-        std::size_t idx = (op.pc >> 1) % geometry_.indirectEntries;
+        std::size_t idx = (op.pc >> 1) & indirectMask_;
         BtbEntry &entry = indirect_[idx];
         bool correct = entry.valid && entry.pc == op.pc &&
                        entry.target == op.target;
@@ -78,7 +80,7 @@ HostBranchPredictor::resolve(const HostOp &op)
 
     if (op.isCall) {
         // Direct call: always taken; needs a BTB target at fetch.
-        std::size_t idx = (op.pc >> 1) % geometry_.btbEntries;
+        std::size_t idx = (op.pc >> 1) & btbMask_;
         BtbEntry &entry = btb_[idx];
         if (!(entry.valid && entry.pc == op.pc)) {
             res.unknownBranch = true;
@@ -99,7 +101,7 @@ HostBranchPredictor::resolve(const HostOp &op)
         ++mispredicts_;
         ++mispCond_;
     } else if (op.taken) {
-        std::size_t idx = (op.pc >> 1) % geometry_.btbEntries;
+        std::size_t idx = (op.pc >> 1) & btbMask_;
         BtbEntry &entry = btb_[idx];
         if (!(entry.valid && entry.pc == op.pc &&
               entry.target == op.target)) {
@@ -114,7 +116,7 @@ HostBranchPredictor::resolve(const HostOp &op)
     else if (!op.taken && ctr > 0)
         --ctr;
     if (op.taken) {
-        std::size_t idx = (op.pc >> 1) % geometry_.btbEntries;
+        std::size_t idx = (op.pc >> 1) & btbMask_;
         btb_[idx] = BtbEntry{op.pc, op.target, true};
     }
     history_ = ((history_ << 1) | (op.taken ? 1 : 0)) & 0xffffff;

@@ -39,7 +39,12 @@ class HostBranchPredictor
   public:
     explicit HostBranchPredictor(const HostBpredGeometry &geometry);
 
-    /** Predict + train on one branch op; classify the outcome. */
+    /**
+     * Predict + train on one branch op; classify the outcome.
+     * Deliberately out-of-line: only ~a quarter of ops are branches,
+     * and inlining this large body into the batched sink loop bloats
+     * the loop past the host's own µop cache (measured slower).
+     */
     BranchResolution resolve(const trace::HostOp &op);
 
     /** @{ Counters. */
@@ -70,6 +75,12 @@ class HostBranchPredictor
     std::size_t gshareIndex(HostAddr pc) const;
 
     HostBpredGeometry geometry_;
+    /** @{ Entry counts are asserted powers of two at construction so
+     *  the per-branch table indexing is a mask, not a division. */
+    std::size_t btbMask_;
+    std::size_t indirectMask_;
+    std::size_t rasMask_;
+    /** @} */
     std::vector<std::uint8_t> counters_;
     std::vector<BtbEntry> btb_;
     std::vector<BtbEntry> indirect_;
@@ -84,6 +95,17 @@ class HostBranchPredictor
     std::uint64_t mispInd_ = 0;
     std::uint64_t mispRet_ = 0;
 };
+
+inline std::size_t
+HostBranchPredictor::gshareIndex(HostAddr pc) const
+{
+    // Hashed-PC (bimodal) indexing. Synthetic streams carry per-site
+    // bias but no cross-branch correlation, so history bits would
+    // only alias well-biased sites apart; a large per-site table is
+    // the right stand-in for a modern TAGE-class predictor.
+    return ((pc >> 1) ^ ((pc >> 15) << 5)) &
+           ((1u << geometry_.tableBits) - 1);
+}
 
 } // namespace g5p::host
 

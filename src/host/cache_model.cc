@@ -25,39 +25,6 @@ HostCache::HostCache(const HostCacheGeometry &geometry)
 }
 
 bool
-HostCache::access(HostAddr addr, bool is_write)
-{
-    std::uint64_t line_no = addr >> setShift_;
-    std::uint64_t set = line_no & setMask_;
-    std::uint64_t tag = line_no >> tagShift_;
-
-    Line *base = &lines_[set * geometry_.assoc];
-    Line *victim = base;
-    for (unsigned w = 0; w < geometry_.assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUsed = ++lruCounter_;
-            ++hits_;
-            return true;
-        }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid &&
-                   line.lastUsed < victim->lastUsed) {
-            victim = &line;
-        }
-    }
-
-    ++misses_;
-    if (!victim->valid)
-        ++validLines_;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUsed = ++lruCounter_;
-    return false;
-}
-
-bool
 HostCache::contains(HostAddr addr) const
 {
     std::uint64_t line_no = addr >> setShift_;

@@ -34,7 +34,14 @@ class HostCache
   public:
     explicit HostCache(const HostCacheGeometry &geometry);
 
-    /** Look up @p addr; allocates on miss. @return hit. */
+    /**
+     * Look up @p addr; allocates on miss. @return hit.
+     *
+     * Defined inline below: this is the innermost step of the
+     * per-instruction model chain, and the batched sink loop
+     * (HostCore::ops) relies on the whole chain being visible for
+     * inlining.
+     */
     bool access(HostAddr addr, bool is_write);
 
     /** Look up without allocating (probes). */
@@ -83,6 +90,39 @@ class HostCache
     std::uint64_t misses_ = 0;
     std::uint64_t validLines_ = 0;
 };
+
+inline bool
+HostCache::access(HostAddr addr, bool is_write)
+{
+    std::uint64_t line_no = addr >> setShift_;
+    std::uint64_t set = line_no & setMask_;
+    std::uint64_t tag = line_no >> tagShift_;
+
+    Line *base = &lines_[set * geometry_.assoc];
+    Line *victim = base;
+    for (unsigned w = 0; w < geometry_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUsed = ++lruCounter_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid &&
+                   line.lastUsed < victim->lastUsed) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    if (!victim->valid)
+        ++validLines_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUsed = ++lruCounter_;
+    return false;
+}
 
 } // namespace g5p::host
 

@@ -18,50 +18,6 @@ DsbModel::DsbModel(const DsbGeometry &geometry)
     entries_.resize(geometry.windows);
 }
 
-bool
-DsbModel::access(HostAddr pc)
-{
-    if (!enabled()) {
-        ++misses_;
-        return false;
-    }
-
-    std::uint64_t window = pc / windowBytes;
-
-    // Per-window eligibility is a fixed property of the code.
-    std::uint64_t h = window * 0x9e3779b97f4a7c15ULL;
-    if ((h >> 33) % 100 < geometry_.ineligiblePct) {
-        ++misses_;
-        return false;
-    }
-
-    std::uint64_t set = window & (numSets_ - 1);
-    std::uint64_t tag = window >> tagShift_;
-
-    Entry *base = &entries_[set * geometry_.assoc];
-    Entry *victim = base;
-    for (unsigned w = 0; w < geometry_.assoc; ++w) {
-        Entry &entry = base[w];
-        if (entry.valid && entry.tag == tag) {
-            entry.lastUsed = ++lruCounter_;
-            ++hits_;
-            return true;
-        }
-        if (!entry.valid) {
-            victim = &entry;
-        } else if (victim->valid &&
-                   entry.lastUsed < victim->lastUsed) {
-            victim = &entry;
-        }
-    }
-
-    ++misses_;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUsed = ++lruCounter_;
-    return false;
-}
-
 void
 DsbModel::reset()
 {

@@ -47,6 +47,7 @@ class DsbModel
     /**
      * Look up the window containing @p pc. A miss fills the entry
      * (the window gets decoded by MITE and inserted). @return hit.
+     * Inline below so the batched sink loop can fuse it.
      */
     bool access(HostAddr pc);
 
@@ -73,6 +74,50 @@ class DsbModel
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };
+
+inline bool
+DsbModel::access(HostAddr pc)
+{
+    if (!enabled()) {
+        ++misses_;
+        return false;
+    }
+
+    std::uint64_t window = pc / windowBytes;
+
+    // Per-window eligibility is a fixed property of the code.
+    std::uint64_t h = window * 0x9e3779b97f4a7c15ULL;
+    if ((h >> 33) % 100 < geometry_.ineligiblePct) {
+        ++misses_;
+        return false;
+    }
+
+    std::uint64_t set = window & (numSets_ - 1);
+    std::uint64_t tag = window >> tagShift_;
+
+    Entry *base = &entries_[set * geometry_.assoc];
+    Entry *victim = base;
+    for (unsigned w = 0; w < geometry_.assoc; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.tag == tag) {
+            entry.lastUsed = ++lruCounter_;
+            ++hits_;
+            return true;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid &&
+                   entry.lastUsed < victim->lastUsed) {
+            victim = &entry;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUsed = ++lruCounter_;
+    return false;
+}
 
 } // namespace g5p::host
 

@@ -1,9 +1,26 @@
 #include "host/frontend.hh"
 
+#include "base/addr_utils.hh"
+#include "base/logging.hh"
+
 namespace g5p::host
 {
 
 using trace::HostOp;
+
+namespace
+{
+
+/** The per-op decode penalty factor, computed once per supply path. */
+double
+bwPenaltyPerUop(double supply, unsigned dispatch_width)
+{
+    if (supply > 0 && supply < dispatch_width)
+        return 1.0 / supply - 1.0 / dispatch_width;
+    return 0.0;
+}
+
+} // namespace
 
 FrontendModel::FrontendModel(const HostPlatformConfig &config,
                              const PageSizePolicy &policy,
@@ -13,81 +30,22 @@ FrontendModel::FrontendModel(const HostPlatformConfig &config,
       icache_(config.icache),
       itlb_(config.itlb, &policy),
       bpred_(config.bpred),
-      dsb_(config.dsb)
+      dsb_(config.dsb),
+      lineShift_(floorLog2(config.lineBytes)),
+      dsbPenaltyPerUop_(bwPenaltyPerUop(config.dsbUopsPerCycle,
+                                        config.dispatchWidth)),
+      mitePenaltyPerUop_(bwPenaltyPerUop(config.miteUopsPerCycle,
+                                         config.dispatchWidth))
 {
+    g5p_assert(isPowerOf2(config.lineBytes),
+               "fetch line size must be a power of two (%u)",
+               config.lineBytes);
 }
 
 void
 FrontendModel::onOp(const HostOp &op, HostCounters &counters)
 {
-    // --- Fetch: new cache line => iCache (and maybe iTLB) lookup.
-    HostAddr line = op.pc / config_.lineBytes;
-    if (line != lastLine_) {
-        lastLine_ = line;
-        ++counters.icacheAccesses;
-        if (!icache_.access(op.pc, false)) {
-            ++counters.icacheMisses;
-            auto mem = uncore_.access(op.pc, false);
-            // The fetch queue and next-line prefetch hide part of an
-            // ifetch miss; the exposed fraction starves the decoder.
-            counters.feLatIcacheCycles +=
-                mem.latencyCycles * config_.icacheMissExposed;
-        }
-
-        HostAddr page = op.pc >> 12; // page transitions, checked at
-                                     // the finest granularity
-        if (page != lastPage_) {
-            lastPage_ = page;
-            ++counters.itlbAccesses;
-            if (!itlb_.access(op.pc)) {
-                ++counters.itlbMisses;
-                counters.feLatItlbCycles += config_.itlbWalkCycles;
-            }
-        }
-    }
-
-    // --- Decode source: DSB window hit or legacy MITE path.
-    HostAddr window = op.pc / DsbModel::windowBytes;
-    if (window != lastWindow_) {
-        lastWindow_ = window;
-        windowFromDsb_ = dsb_.access(op.pc);
-    }
-    double supply;
-    if (windowFromDsb_) {
-        counters.uopsFromDsb += op.uops;
-        supply = config_.dsbUopsPerCycle;
-    } else {
-        counters.uopsFromMite += op.uops;
-        supply = config_.miteUopsPerCycle;
-    }
-    if (supply > 0 && supply < config_.dispatchWidth) {
-        double penalty =
-            op.uops * (1.0 / supply - 1.0 / config_.dispatchWidth);
-        if (windowFromDsb_)
-            counters.feBwDsbCycles += penalty;
-        else
-            counters.feBwMiteCycles += penalty;
-    }
-
-    // --- Branch resolution and resteers.
-    if (op.kind == HostOp::Kind::Branch) {
-        ++counters.branches;
-        BranchResolution res = bpred_.resolve(op);
-        if (res.mispredicted) {
-            ++counters.mispredicts;
-            counters.badSpecCycles += config_.mispredictPenalty;
-            counters.feLatMispredictCycles += config_.resteerCycles;
-        } else if (res.unknownBranch) {
-            ++counters.unknownBranches;
-            counters.feLatUnknownCycles +=
-                config_.unknownBranchCycles;
-        }
-        if (op.taken) {
-            // Redirected fetch: next op starts a new line/window.
-            lastLine_ = ~HostAddr(0);
-            lastWindow_ = ~HostAddr(0);
-        }
-    }
+    onOpInline(op, counters);
 }
 
 } // namespace g5p::host

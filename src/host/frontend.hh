@@ -31,8 +31,23 @@ class FrontendModel
     FrontendModel(const HostPlatformConfig &config,
                   const PageSizePolicy &policy, Uncore &uncore);
 
-    /** Account the fetch/decode/branch costs of one op. */
+    /**
+     * Account the fetch/decode/branch costs of one op. Out-of-line
+     * wrapper around onOpInline(): the per-op sink path (HostCore::op)
+     * calls this across the TU boundary, which is exactly the
+     * pre-batching delivery cost the ablation measures.
+     */
     void onOp(const trace::HostOp &op, HostCounters &counters);
+
+    /**
+     * The same accounting, defined inline below. The batched sink
+     * loop (HostCore::ops) calls this so the compiler can fuse the
+     * whole model chain — front-end, back-end, caches, TLBs, DSB,
+     * predictor, uncore — into one loop body and keep the hot state
+     * in registers across ops. Identical statements in identical
+     * order as onOp(), so results are bit-identical.
+     */
+    void onOpInline(const trace::HostOp &op, HostCounters &counters);
 
     const HostCache &icache() const { return icache_; }
     const HostTlb &itlb() const { return itlb_; }
@@ -47,11 +62,97 @@ class FrontendModel
     HostBranchPredictor bpred_;
     DsbModel dsb_;
 
+    /** log2(config.lineBytes): fetch-line numbering by shift, not a
+     *  per-op 64-bit division. */
+    unsigned lineShift_;
+
+    /**
+     * @{ Decode-bandwidth penalty per µop for each supply path,
+     * precomputed once as exactly the per-op expression
+     * `1.0 / supply - 1.0 / dispatchWidth` (0 when the path supplies
+     * at least the dispatch width, where the original never charged).
+     * Multiplying by the same factor the per-op code recomputed every
+     * instruction keeps the charged cycles bit-identical while
+     * removing two FP divisions per instruction.
+     */
+    double dsbPenaltyPerUop_ = 0.0;
+    double mitePenaltyPerUop_ = 0.0;
+    /** @} */
+
     HostAddr lastLine_ = ~HostAddr(0);
     HostAddr lastPage_ = ~HostAddr(0);
     HostAddr lastWindow_ = ~HostAddr(0);
     bool windowFromDsb_ = false;
 };
+
+inline void
+FrontendModel::onOpInline(const trace::HostOp &op,
+                          HostCounters &counters)
+{
+    using trace::HostOp;
+
+    // --- Fetch: new cache line => iCache (and maybe iTLB) lookup.
+    HostAddr line = op.pc >> lineShift_;
+    if (line != lastLine_) {
+        lastLine_ = line;
+        ++counters.icacheAccesses;
+        if (!icache_.access(op.pc, false)) {
+            ++counters.icacheMisses;
+            auto mem = uncore_.access(op.pc, false);
+            // The fetch queue and next-line prefetch hide part of an
+            // ifetch miss; the exposed fraction starves the decoder.
+            counters.feLatIcacheCycles +=
+                mem.latencyCycles * config_.icacheMissExposed;
+        }
+
+        HostAddr page = op.pc >> 12; // page transitions, checked at
+                                     // the finest granularity
+        if (page != lastPage_) {
+            lastPage_ = page;
+            ++counters.itlbAccesses;
+            if (!itlb_.access(op.pc)) {
+                ++counters.itlbMisses;
+                counters.feLatItlbCycles += config_.itlbWalkCycles;
+            }
+        }
+    }
+
+    // --- Decode source: DSB window hit or legacy MITE path.
+    HostAddr window = op.pc / DsbModel::windowBytes;
+    if (window != lastWindow_) {
+        lastWindow_ = window;
+        windowFromDsb_ = dsb_.access(op.pc);
+    }
+    if (windowFromDsb_) {
+        counters.uopsFromDsb += op.uops;
+        if (dsbPenaltyPerUop_ > 0)
+            counters.feBwDsbCycles += op.uops * dsbPenaltyPerUop_;
+    } else {
+        counters.uopsFromMite += op.uops;
+        if (mitePenaltyPerUop_ > 0)
+            counters.feBwMiteCycles += op.uops * mitePenaltyPerUop_;
+    }
+
+    // --- Branch resolution and resteers.
+    if (op.kind == HostOp::Kind::Branch) {
+        ++counters.branches;
+        BranchResolution res = bpred_.resolve(op);
+        if (res.mispredicted) {
+            ++counters.mispredicts;
+            counters.badSpecCycles += config_.mispredictPenalty;
+            counters.feLatMispredictCycles += config_.resteerCycles;
+        } else if (res.unknownBranch) {
+            ++counters.unknownBranches;
+            counters.feLatUnknownCycles +=
+                config_.unknownBranchCycles;
+        }
+        if (op.taken) {
+            // Redirected fetch: next op starts a new line/window.
+            lastLine_ = ~HostAddr(0);
+            lastWindow_ = ~HostAddr(0);
+        }
+    }
+}
 
 } // namespace g5p::host
 

@@ -11,6 +11,7 @@
 #ifndef G5P_HOST_HOST_CORE_HH
 #define G5P_HOST_HOST_CORE_HH
 
+#include <array>
 #include <memory>
 
 #include "host/backend.hh"
@@ -33,6 +34,14 @@ class HostCore : public trace::HostInstSink
 
     /** HostInstSink: account one instruction. */
     void op(const trace::HostOp &op) override;
+
+    /**
+     * HostInstSink: account a batch. Same per-op arithmetic in the
+     * same order as op() — results are bit-identical — but one
+     * virtual call amortized over the whole batch with the model
+     * pointers hoisted out of the loop.
+     */
+    void ops(const trace::HostOp *batch, std::size_t count) override;
 
     /** Finalized counters (uncore fields folded in). */
     HostCounters counters() const;
@@ -69,6 +78,15 @@ class HostCore : public trace::HostInstSink
     std::unique_ptr<FrontendModel> frontend_;
     std::unique_ptr<BackendModel> backend_;
     HostCounters counters_;
+
+    /**
+     * baseCycles charged per op, indexed by its µop count. Each entry
+     * is exactly `(double)uops / (double)dispatchWidth` — the value
+     * the per-op code used to divide out on every instruction — so
+     * the accumulated cycles are bit-identical with one FP division
+     * per core instead of one per op.
+     */
+    std::array<double, 256> uopCycles_;
 };
 
 } // namespace g5p::host

@@ -6,11 +6,6 @@
 namespace g5p::host
 {
 
-namespace
-{
-constexpr unsigned hugePageBits = 21; // 2MB
-} // namespace
-
 void
 PageSizePolicy::addHugeRegion(HostAddr start, HostAddr end,
                               double coverage)
@@ -21,27 +16,6 @@ PageSizePolicy::addHugeRegion(HostAddr start, HostAddr end,
         coverage = 1;
     regions_.push_back(
         Region{start, end, (std::uint32_t)(coverage * 100.0 + 0.5)});
-}
-
-unsigned
-PageSizePolicy::pageBits(HostAddr addr) const
-{
-    for (const Region &region : regions_) {
-        if (addr < region.start || addr >= region.end)
-            continue;
-        if (region.coveragePct >= 100)
-            return hugePageBits;
-        // Which text got promoted is decided at iodlr-region
-        // granularity (finer than 2MB: our modeled binaries are
-        // orders of magnitude smaller than gem5's ~100MB text, so
-        // per-2MB-chunk coverage would round to all-or-nothing).
-        std::uint64_t chunk = addr >> 17; // 128KB decision regions
-        std::uint64_t h = chunk * 0x9e3779b97f4a7c15ULL;
-        if ((h >> 32) % 100 < region.coveragePct)
-            return hugePageBits;
-        return basePageBits_;
-    }
-    return basePageBits_;
 }
 
 HostTlb::HostTlb(const HostTlbGeometry &geometry,
@@ -55,39 +29,6 @@ HostTlb::HostTlb(const HostTlbGeometry &geometry,
                "TLB sets must be a power of two (%u entries / %u "
                "ways)", geometry.entries, geometry.assoc);
     entries_.resize(geometry.entries);
-}
-
-bool
-HostTlb::access(HostAddr addr)
-{
-    unsigned bits = policy_->pageBits(addr);
-    // Key: page number tagged with its size class so a 2MB entry is
-    // distinct from 4KB entries over the same range.
-    std::uint64_t key = ((addr >> bits) << 6) | bits;
-    std::uint64_t set = (key >> 6) & (numSets_ - 1);
-
-    Entry *base = &entries_[set * geometry_.assoc];
-    Entry *victim = base;
-    for (unsigned w = 0; w < geometry_.assoc; ++w) {
-        Entry &entry = base[w];
-        if (entry.valid && entry.key == key) {
-            entry.lastUsed = ++lruCounter_;
-            ++hits_;
-            return true;
-        }
-        if (!entry.valid) {
-            victim = &entry;
-        } else if (victim->valid &&
-                   entry.lastUsed < victim->lastUsed) {
-            victim = &entry;
-        }
-    }
-
-    ++misses_;
-    victim->valid = true;
-    victim->key = key;
-    victim->lastUsed = ++lruCounter_;
-    return false;
 }
 
 void

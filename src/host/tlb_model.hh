@@ -43,10 +43,14 @@ class PageSizePolicy
     /** Back [start,end) with huge pages at @p coverage in [0,1]. */
     void addHugeRegion(HostAddr start, HostAddr end, double coverage);
 
-    /** Page bits for @p addr (base or 21 for 2MB). */
+    /** Page bits for @p addr (base or hugePageBits for 2MB).
+     *  Inline below: runs on every TLB lookup. */
     unsigned pageBits(HostAddr addr) const;
 
     unsigned basePageBits() const { return basePageBits_; }
+
+    /** log2 of a 2MB huge page. */
+    static constexpr unsigned hugePageBits = 21;
 
   private:
     struct Region
@@ -73,7 +77,8 @@ class HostTlb
     HostTlb(const HostTlbGeometry &geometry,
             const PageSizePolicy *policy);
 
-    /** Look up the page of @p addr; allocates on miss. @return hit. */
+    /** Look up the page of @p addr; allocates on miss. @return hit.
+     *  Inline below so the batched sink loop can fuse it. */
     bool access(HostAddr addr);
 
     std::uint64_t hits() const { return hits_; }
@@ -104,6 +109,60 @@ class HostTlb
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };
+
+inline unsigned
+PageSizePolicy::pageBits(HostAddr addr) const
+{
+    for (const Region &region : regions_) {
+        if (addr < region.start || addr >= region.end)
+            continue;
+        if (region.coveragePct >= 100)
+            return hugePageBits;
+        // Which text got promoted is decided at iodlr-region
+        // granularity (finer than 2MB: our modeled binaries are
+        // orders of magnitude smaller than gem5's ~100MB text, so
+        // per-2MB-chunk coverage would round to all-or-nothing).
+        std::uint64_t chunk = addr >> 17; // 128KB decision regions
+        std::uint64_t h = chunk * 0x9e3779b97f4a7c15ULL;
+        if ((h >> 32) % 100 < region.coveragePct)
+            return hugePageBits;
+        return basePageBits_;
+    }
+    return basePageBits_;
+}
+
+inline bool
+HostTlb::access(HostAddr addr)
+{
+    unsigned bits = policy_->pageBits(addr);
+    // Key: page number tagged with its size class so a 2MB entry is
+    // distinct from 4KB entries over the same range.
+    std::uint64_t key = ((addr >> bits) << 6) | bits;
+    std::uint64_t set = (key >> 6) & (numSets_ - 1);
+
+    Entry *base = &entries_[set * geometry_.assoc];
+    Entry *victim = base;
+    for (unsigned w = 0; w < geometry_.assoc; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.key == key) {
+            entry.lastUsed = ++lruCounter_;
+            ++hits_;
+            return true;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid &&
+                   entry.lastUsed < victim->lastUsed) {
+            victim = &entry;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->key = key;
+    victim->lastUsed = ++lruCounter_;
+    return false;
+}
 
 } // namespace g5p::host
 

@@ -30,7 +30,9 @@ class Uncore
         double latencyCycles;
     };
 
-    /** Service one L1 miss. */
+    /** Service one L1 miss. Out-of-line on purpose: L1 misses are
+     *  the cold path, and keeping this out of the batched sink loop
+     *  keeps that loop compact. */
     MemResult access(HostAddr addr, bool is_write);
 
     /** @{ Counters. */

@@ -6,7 +6,9 @@ namespace g5p::mem
 namespace
 {
 
-TimingFaultHook *installedHook = nullptr;
+// Thread-local: a FaultInjector interposes on its own run only;
+// concurrent clean runs on other threads must not see its hook.
+thread_local TimingFaultHook *installedHook = nullptr;
 
 } // namespace
 

@@ -22,9 +22,12 @@ namespace
 {
 
 /**
- * Process-global free list of EventPool blocks. Slabs are retained
- * for the process lifetime (the simulator is single threaded and the
- * working set is the peak dynamic-event count, a few KiB).
+ * Per-thread free list of EventPool blocks. Each simulation is
+ * confined to one thread, so allocate and free always hit the same
+ * arena and the pool needs no locking even when the parallel harness
+ * runs many simulations at once. Slabs are retained for the thread
+ * lifetime (the working set is the peak dynamic-event count, a few
+ * KiB) and released at thread exit once no block is outstanding.
  */
 struct PoolState
 {
@@ -36,14 +39,14 @@ struct PoolState
 
     FreeNode *freeList = nullptr;
     std::size_t outstanding = 0;
-    std::size_t slabs = 0;
+    std::vector<void *> slabs;
 
     void
     grow()
     {
         auto *slab = static_cast<unsigned char *>(::operator new(
             EventPool::blockSize * EventPool::slabBlocks));
-        ++slabs;
+        slabs.push_back(slab);
         for (std::size_t i = 0; i < EventPool::slabBlocks; ++i) {
             auto *node = reinterpret_cast<FreeNode *>(
                 slab + i * EventPool::blockSize);
@@ -52,10 +55,21 @@ struct PoolState
         }
     }
 
+    ~PoolState()
+    {
+        // A block still outstanding at thread exit would mean an
+        // event outlived its thread; leak the slabs rather than
+        // free memory someone may still hold.
+        if (outstanding != 0)
+            return;
+        for (void *slab : slabs)
+            ::operator delete(slab);
+    }
+
     static PoolState &
     instance()
     {
-        static PoolState state;
+        static thread_local PoolState state;
         return state;
     }
 };
@@ -104,7 +118,7 @@ EventPool::outstanding()
 std::size_t
 EventPool::slabsAllocated()
 {
-    return PoolState::instance().slabs;
+    return PoolState::instance().slabs.size();
 }
 
 static_assert(sizeof(EventFunctionWrapper) <= EventPool::blockSize,
@@ -120,12 +134,7 @@ EventQueue::~EventQueue()
     // Release every event so auto-delete events are not leaked and
     // member events can be destroyed without tripping the assert.
     // Order is irrelevant; nothing runs.
-    for (const HeapNode &node : heap_) {
-        node.event->heapIndex_ = Event::invalidIndex;
-        if (node.event->autoDelete())
-            delete node.event;
-    }
-    heap_.clear();
+    clear();
 }
 
 void
@@ -185,13 +194,57 @@ EventQueue::schedule(Event *event, Tick when)
 
     event->when_ = when;
     event->sequence_ = nextSequence_++;
-    event->heapIndex_ = heap_.size();
-    heap_.push_back(HeapNode{when, event->sequence_, event,
-                             event->priority_});
-    siftUp(event->heapIndex_);
+    Event *tail = lastScheduled_;
+    if (tail && tail->when_ == when &&
+        tail->priority_ == event->priority_) {
+        // Same key as the immediately preceding schedule: append to
+        // its chain instead of taking a heap slot. Because appends
+        // are consecutive schedules, a chain always holds a
+        // contiguous sequence run — the invariant that keeps chain
+        // promotion order-exact.
+        event->heapIndex_ = Event::chainedIndex;
+        event->chainPrev_ = tail;
+        tail->chainNext_ = event;
+        ++chainedCount_;
+    } else {
+        event->heapIndex_ = heap_.size();
+        heap_.push_back(HeapNode{when, event->sequence_, event,
+                                 event->priority_});
+        siftUp(event->heapIndex_);
+    }
+    lastScheduled_ = event;
     ++numScheduled_;
     if (event->autoDelete_)
         ++transientScheduled_;
+}
+
+void
+EventQueue::promoteChained(Event *head, std::size_t slot)
+{
+    // The successor shares head's (when, priority) and, because chain
+    // sequence runs are contiguous, precedes every other equal-key
+    // event still in the heap — dropping it into head's old slot
+    // cannot violate heap order in either direction.
+    Event *next = head->chainNext_;
+    head->chainNext_ = nullptr;
+    next->chainPrev_ = nullptr;
+    --chainedCount_;
+    next->heapIndex_ = slot;
+    heap_[slot] = HeapNode{next->when_, next->sequence_, next,
+                           next->priority_};
+}
+
+void
+EventQueue::unlinkChained(Event *event)
+{
+    Event *prev = event->chainPrev_; // never null: the head is in-heap
+    prev->chainNext_ = event->chainNext_;
+    if (event->chainNext_)
+        event->chainNext_->chainPrev_ = prev;
+    event->chainNext_ = nullptr;
+    event->chainPrev_ = nullptr;
+    event->heapIndex_ = Event::invalidIndex;
+    --chainedCount_;
 }
 
 void
@@ -199,13 +252,22 @@ EventQueue::deschedule(Event *event)
 {
     g5p_assert(event && event->scheduled(),
                "descheduling an unscheduled event");
+    forgetMemo(event);
+    if (event->autoDelete_)
+        --transientScheduled_;
+    if (event->heapIndex_ == Event::chainedIndex) {
+        unlinkChained(event);
+        return;
+    }
     std::size_t slot = event->heapIndex_;
     g5p_assert(slot < heap_.size() && heap_[slot].event == event,
                "event '%s' not on this queue",
                event->name().c_str());
     event->heapIndex_ = Event::invalidIndex;
-    if (event->autoDelete_)
-        --transientScheduled_;
+    if (event->chainNext_) {
+        promoteChained(event, slot);
+        return;
+    }
 
     HeapNode last = heap_.back();
     heap_.pop_back();
@@ -233,10 +295,21 @@ EventQueue::reschedule(Event *event, Tick when)
                (unsigned long long)when,
                (unsigned long long)curTick_);
 
+    // Chain members (and chain heads) take the generic path: their
+    // key is pinned to the chain's, so a re-key means leaving it.
+    if (event->heapIndex_ == Event::chainedIndex ||
+        event->chainNext_) {
+        deschedule(event);
+        schedule(event, when);
+        return;
+    }
+
     // In-place re-key. The fresh sequence number reproduces the
     // classic deschedule+schedule FIFO behavior bit-for-bit: a
     // rescheduled event always ties after events already queued at
-    // the same (when, priority).
+    // the same (when, priority). The event also becomes the
+    // consecutive-schedule memo, exactly as deschedule+schedule
+    // would make it — required for chain-run contiguity.
     event->when_ = when;
     event->sequence_ = nextSequence_++;
     HeapNode &node = heap_[event->heapIndex_];
@@ -244,15 +317,23 @@ EventQueue::reschedule(Event *event, Tick when)
     node.sequence = event->sequence_;
     siftUp(event->heapIndex_);
     siftDown(event->heapIndex_);
+    lastScheduled_ = event;
     ++numScheduled_;
 }
 
 void
 EventQueue::popTop()
 {
-    if (heap_.front().event->autoDelete_)
+    Event *top = heap_.front().event;
+    if (top->autoDelete_)
         --transientScheduled_;
-    heap_.front().event->heapIndex_ = Event::invalidIndex;
+    top->heapIndex_ = Event::invalidIndex;
+    forgetMemo(top);
+    if (top->chainNext_) {
+        // Burst drain: the chain successor takes the root in O(1).
+        promoteChained(top, 0);
+        return;
+    }
     HeapNode last = heap_.back();
     heap_.pop_back();
     const std::size_t count = heap_.size();
@@ -292,7 +373,7 @@ EventQueue::serviceTop()
     // Attribution key resolution must happen while the event is
     // alive; auto-delete events dangle after process().
     if (profiler_)
-        profiler_->beginService(*event, when, heap_.size());
+        profiler_->beginService(*event, when, size());
     popTop();
     curTick_ = when;
     ++numServiced_;
@@ -309,9 +390,15 @@ EventQueue::serviceTop()
 void
 EventQueue::dumpPending(std::ostream &os, std::size_t max) const
 {
-    // Sort a copy of the heap keys: the dump is cold diagnostic code
-    // and service order is what a human debugging a wedge wants.
-    std::vector<HeapNode> nodes(heap_);
+    // Sort a copy of the pending keys (heap plus chains): the dump is
+    // cold diagnostic code and service order is what a human
+    // debugging a wedge wants.
+    std::vector<HeapNode> nodes;
+    nodes.reserve(size());
+    for (const HeapNode &head : heap_)
+        for (Event *ev = head.event; ev; ev = ev->chainNext_)
+            nodes.push_back(HeapNode{ev->when_, ev->sequence_, ev,
+                                     ev->priority_});
     std::sort(nodes.begin(), nodes.end(),
               [](const HeapNode &a, const HeapNode &b) {
                   if (a.when != b.when)
@@ -395,21 +482,24 @@ EventQueue::serializeEvents(CheckpointOut &cp) const
         std::string tag;
     };
     std::vector<Record> records;
-    records.reserve(heap_.size());
+    records.reserve(size());
     for (const HeapNode &node : heap_) {
-        if (node.event->autoDelete_)
-            g5p_throw(CheckpointError, name_, curTick_,
-                      "cannot checkpoint: transient event '%s' "
-                      "pending (queue not quiescent)",
-                      node.event->name().c_str());
-        auto it = tags.find(node.event);
-        if (it == tags.end())
-            g5p_throw(CheckpointError, name_, curTick_,
-                      "cannot checkpoint: pending event '%s' has no "
-                      "serial registration",
-                      node.event->name().c_str());
-        records.push_back(Record{node.when, node.priority,
-                                 node.sequence, it->second});
+        // Chained events are pending too: walk each head's chain.
+        for (Event *ev = node.event; ev; ev = ev->chainNext_) {
+            if (ev->autoDelete_)
+                g5p_throw(CheckpointError, name_, curTick_,
+                          "cannot checkpoint: transient event '%s' "
+                          "pending (queue not quiescent)",
+                          ev->name().c_str());
+            auto it = tags.find(ev);
+            if (it == tags.end())
+                g5p_throw(CheckpointError, name_, curTick_,
+                          "cannot checkpoint: pending event '%s' has "
+                          "no serial registration",
+                          ev->name().c_str());
+            records.push_back(Record{ev->when_, ev->priority_,
+                                     ev->sequence_, it->second});
+        }
     }
     // Strict service order; restore re-schedules in this order so
     // fresh sequence numbers reproduce the same tie-breaks.
@@ -473,12 +563,21 @@ void
 EventQueue::clear()
 {
     for (const HeapNode &node : heap_) {
-        node.event->heapIndex_ = Event::invalidIndex;
-        if (node.event->autoDelete())
-            delete node.event;
+        Event *ev = node.event;
+        while (ev) {
+            Event *next = ev->chainNext_;
+            ev->chainNext_ = nullptr;
+            ev->chainPrev_ = nullptr;
+            ev->heapIndex_ = Event::invalidIndex;
+            if (ev->autoDelete())
+                delete ev;
+            ev = next;
+        }
     }
     heap_.clear();
+    chainedCount_ = 0;
     transientScheduled_ = 0;
+    lastScheduled_ = nullptr;
 }
 
 } // namespace g5p::sim

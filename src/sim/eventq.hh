@@ -99,10 +99,19 @@ class Event
     /** Sentinel heap slot meaning "not scheduled". */
     static constexpr std::size_t invalidIndex = ~std::size_t{0};
 
+    /** Sentinel heap slot meaning "scheduled, but parked on another
+     *  event's equal-key chain rather than in the heap". */
+    static constexpr std::size_t chainedIndex = ~std::size_t{0} - 1;
+
     Tick when_ = 0;
     std::uint64_t sequence_ = 0;
     /** Slot in the owning queue's heap array (intrusive index). */
     std::size_t heapIndex_ = invalidIndex;
+    /** Equal-key FIFO chain links (see EventQueue's burst chains):
+     *  events scheduled back-to-back at the same (when, priority)
+     *  hang off the first one instead of occupying heap slots. */
+    Event *chainNext_ = nullptr;
+    Event *chainPrev_ = nullptr;
     /** Profiler's cached event-class key (0 = unresolved). Fits the
      *  tail padding, so profiling support costs no event bytes. */
     std::uint32_t profKey_ = 0;
@@ -118,6 +127,10 @@ class Event
  * through the global heap is pure churn. The pool carves fixed-size
  * blocks out of slabs and recycles them through an intrusive free
  * list, so steady-state event allocation touches no allocator at all.
+ *
+ * Arenas are thread-local: a simulation is confined to one thread
+ * (the parallel harness runs one whole simulation per worker), so
+ * allocate/free pair up within a thread and need no locking.
  */
 class EventPool
 {
@@ -133,10 +146,10 @@ class EventPool
     /** Push a block back onto the free list. */
     static void deallocate(void *p, std::size_t size) noexcept;
 
-    /** Total blocks handed out and not yet returned. */
+    /** Blocks handed out and not yet returned (calling thread). */
     static std::size_t outstanding();
 
-    /** Slabs obtained from the global heap over the process lifetime. */
+    /** Slabs this thread obtained from the global heap so far. */
     static std::size_t slabsAllocated();
 };
 
@@ -228,6 +241,17 @@ class MemberEventWrapper<F> : public Event
  * decrease/increase-key — there are no dead entries, so every pop and
  * top inspection is branch-light and events may be destroyed the
  * moment they are descheduled.
+ *
+ * Equal-key burst chains (gem5's event "bins", adapted): clocked
+ * systems schedule whole bursts — every CPU, cache and DRAM event of
+ * a cycle — back-to-back at one (when, priority). Consecutive
+ * schedules with a key equal to the immediately preceding schedule
+ * append to an intrusive FIFO chain on that event instead of taking
+ * heap slots; popping a chain head promotes its successor into the
+ * vacated slot in O(1). Service order is unchanged: chain members
+ * hold a contiguous run of sequence numbers (appends are consecutive
+ * schedules by construction), so among equal (when, priority) keys
+ * the promoted member always precedes every in-heap event.
  */
 class EventQueue
 {
@@ -258,11 +282,12 @@ class EventQueue
      */
     void reschedule(Event *event, Tick when);
 
-    /** True if no events remain. */
+    /** True if no events remain (chains hang off in-heap heads, so
+     *  an empty heap means nothing is chained either). */
     bool empty() const { return heap_.empty(); }
 
-    /** Number of scheduled events. */
-    std::size_t size() const { return heap_.size(); }
+    /** Number of scheduled events (in-heap plus chained). */
+    std::size_t size() const { return heap_.size() + chainedCount_; }
 
     /** Tick of the next event; maxTick if empty. O(1). */
     Tick
@@ -406,6 +431,20 @@ class EventQueue
     /** Detach the root and restore the heap. */
     void popTop();
 
+    /** Move @p head's chain successor into heap slot @p slot. */
+    void promoteChained(Event *head, std::size_t slot);
+
+    /** Remove a chained (not in-heap) event from its chain. */
+    void unlinkChained(Event *event);
+
+    /** Drop the consecutive-schedule memo if it points at @p ev. */
+    void
+    forgetMemo(const Event *ev)
+    {
+        if (lastScheduled_ == ev)
+            lastScheduled_ = nullptr;
+    }
+
     /** Pop + advance time + run the root event (heap non-empty). */
     Event *serviceTop();
 
@@ -419,6 +458,18 @@ class EventQueue
 
     /** 4-ary min-heap; heap_[i].event->heapIndex_ == i. */
     std::vector<HeapNode> heap_;
+
+    /**
+     * The most recently scheduled event, while it is still on this
+     * queue (every path that removes an event clears the memo via
+     * forgetMemo). A schedule whose (when, priority) equals the
+     * memo's chains onto it in O(1); the consecutive-schedule
+     * requirement is what keeps chain sequence runs contiguous.
+     */
+    Event *lastScheduled_ = nullptr;
+
+    /** Events parked on chains (scheduled but not in the heap). */
+    std::size_t chainedCount_ = 0;
 
     /** Optional self-profiler (see setProfiler). */
     Profiler *profiler_ = nullptr;

@@ -1,5 +1,6 @@
 #include "sim/profiler.hh"
 
+#include <atomic>
 #include <chrono>
 
 #include "base/logging.hh"
@@ -25,12 +26,13 @@ steadyNowNs()
 }
 
 /** Process-wide instance tags so keys cached in pooled (recycled)
- *  Event memory never alias across profiler instances. */
+ *  Event memory never alias across profiler instances. Atomic:
+ *  profilers may be constructed concurrently by parallel runs. */
 std::uint32_t
 nextInstanceTag()
 {
-    static std::uint32_t counter = 0;
-    return 1 + counter++ % 255;
+    static std::atomic<std::uint32_t> counter{0};
+    return 1 + counter.fetch_add(1, std::memory_order_relaxed) % 255;
 }
 
 } // namespace

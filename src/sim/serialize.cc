@@ -52,7 +52,9 @@ constexpr const char *footerPrefix = "#checksum=";
 /** "checkpoint" — errors raised outside any SimObject context. */
 constexpr const char *ioObject = "checkpoint";
 
-CheckpointIo *installedIo = nullptr;
+// Thread-local: fault-injecting tests swap the I/O shim for one run,
+// and a pooled run on another thread must keep the default.
+thread_local CheckpointIo *installedIo = nullptr;
 
 } // namespace
 

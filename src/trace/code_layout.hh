@@ -13,6 +13,7 @@
 #ifndef G5P_TRACE_CODE_LAYOUT_HH
 #define G5P_TRACE_CODE_LAYOUT_HH
 
+#include <unordered_map>
 #include <vector>
 
 #include "base/random.hh"
@@ -129,6 +130,13 @@ class CodeLayout
     HostAddr base_;
     HostAddr nextAddr_;
     std::vector<FuncCode> codes_;
+
+    /**
+     * (parent, idx) -> child FuncId cache. childFunc() is on the
+     * synthesizer's per-call-site path; without the cache every
+     * child call builds a name string and takes the registry mutex.
+     */
+    std::unordered_map<std::uint64_t, FuncId> childIds_;
 };
 
 } // namespace g5p::trace

@@ -45,28 +45,48 @@ FuncRegistry::lookupKeyed(const std::string &name, FuncKind kind,
                           std::uint32_t key, bool is_virtual)
 {
     std::string full = key ? name + "#" + std::to_string(key) : name;
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = byName_.find(full);
     if (it != byName_.end())
         return it->second;
-    FuncId id = (FuncId)funcs_.size();
-    funcs_.push_back(FuncInfo{std::move(full), kind, is_virtual, key});
-    byName_.emplace(funcs_.back().name, id);
+
+    FuncId id = count_.load(std::memory_order_relaxed);
+    g5p_assert(id < maxChunks * chunkEntries,
+               "function registry full (%u entries)", id);
+    std::size_t chunk = id >> chunkShift;
+    FuncInfo *entries = chunks_[chunk].load(std::memory_order_relaxed);
+    if (!entries) {
+        entries = new FuncInfo[chunkEntries];
+        chunks_[chunk].store(entries, std::memory_order_relaxed);
+    }
+    entries[id & (chunkEntries - 1)] =
+        FuncInfo{std::move(full), kind, is_virtual, key};
+    byName_.emplace(entries[id & (chunkEntries - 1)].name, id);
+    // Publish: readers acquire on count_, which orders the chunk
+    // pointer store and the entry construction above.
+    count_.store(id + 1, std::memory_order_release);
     return id;
 }
 
-const FuncInfo &
-FuncRegistry::info(FuncId id) const
+void
+FuncRegistry::g5p_registry_check(FuncId id) const
 {
-    g5p_assert(id < funcs_.size(), "bad FuncId %u", id);
-    return funcs_[id];
+    g5p_assert(id < count_.load(std::memory_order_acquire),
+               "bad FuncId %u", id);
 }
 
 void
 FuncRegistry::resetForTest()
 {
-    funcs_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint32_t count = count_.load(std::memory_order_relaxed);
+    count_.store(0, std::memory_order_release);
+    for (std::uint32_t id = 0; id < count; ++id)
+        chunks_[id >> chunkShift]
+            .load(std::memory_order_relaxed)[id & (chunkEntries - 1)] =
+            FuncInfo{};
     byName_.clear();
-    ++generation_;
+    generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 } // namespace g5p::trace

@@ -26,10 +26,12 @@
 #ifndef G5P_TRACE_FUNC_REGISTRY_HH
 #define G5P_TRACE_FUNC_REGISTRY_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 namespace g5p::trace
 {
@@ -78,9 +80,17 @@ struct FuncInfo
 };
 
 /**
- * Process-wide function registry. Registration is idempotent per
- * (name, key): repeated lookups return the same FuncId, so static
- * call-site caches are safe.
+ * Process-wide function registry, shared by every concurrent run.
+ *
+ * Registration is idempotent per (name, key): repeated lookups return
+ * the same FuncId, so static call-site caches are safe. Entries are
+ * append-only and immutable once published — a FuncId handed out to
+ * any thread stays valid, and the FuncInfo behind it never changes —
+ * which is what makes the hot read path (info(), called once per
+ * synthesized call frame) lock-free: storage is chunked so published
+ * entries never move, and an acquire load of the entry count is the
+ * only synchronization a reader needs. New registrations (rare after
+ * the first run warms the call-site caches) take a mutex.
  */
 class FuncRegistry
 {
@@ -104,27 +114,60 @@ class FuncRegistry
     FuncId lookupKeyed(const std::string &name, FuncKind kind,
                        std::uint32_t key, bool is_virtual = false);
 
-    /** Metadata for @p id. */
-    const FuncInfo &info(FuncId id) const;
+    /** Metadata for @p id. Lock-free; safe from any thread. */
+    const FuncInfo &
+    info(FuncId id) const
+    {
+        g5p_registry_check(id);
+        return chunks_[id >> chunkShift]
+            .load(std::memory_order_relaxed)[id & (chunkEntries - 1)];
+    }
 
-    /** Number of registered functions. */
-    std::size_t size() const { return funcs_.size(); }
+    /** Number of registered functions (lock-free snapshot). */
+    std::size_t
+    size() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
 
     /**
-     * Reset the registry (tests only). Invalidates all FuncIds and
-     * static call-site caches, so never call it from library code.
+     * Reset the registry (tests only; never while another thread is
+     * running). Invalidates all FuncIds and call-site caches, so
+     * never call it from library code.
      */
     void resetForTest();
 
     /** Generation counter bumped by resetForTest(). */
-    std::uint64_t generation() const { return generation_; }
+    std::uint64_t
+    generation() const
+    {
+        return generation_.load(std::memory_order_acquire);
+    }
+
+    /** @{ Chunked storage geometry (entries never move). */
+    static constexpr std::size_t chunkShift = 10;
+    static constexpr std::size_t chunkEntries = 1u << chunkShift;
+    static constexpr std::size_t maxChunks = 4096;
+    /** @} */
 
   private:
     FuncRegistry() = default;
 
-    std::vector<FuncInfo> funcs_;
+    /** Out-of-line assert so the header needn't pull in logging. */
+    void g5p_registry_check(FuncId id) const;
+
+    /**
+     * Chunk pointers are published with the count's release store;
+     * readers order on count_ (acquire) so the pointer load itself
+     * can be relaxed.
+     */
+    std::array<std::atomic<FuncInfo *>, maxChunks> chunks_{};
+    std::atomic<std::uint32_t> count_{0};
+    std::atomic<std::uint64_t> generation_{1};
+
+    /** Serializes registration and byName_ access. */
+    mutable std::mutex mutex_;
     std::unordered_map<std::string, FuncId> byName_;
-    std::uint64_t generation_ = 1;
 };
 
 } // namespace g5p::trace

@@ -7,7 +7,7 @@
 namespace g5p::trace
 {
 
-Recorder *Recorder::active_ = nullptr;
+thread_local Recorder *Recorder::active_ = nullptr;
 
 Recorder::~Recorder()
 {
@@ -42,13 +42,16 @@ Recorder::deactivate()
         active_ = nullptr;
 }
 
-DataSpace *DataSpace::current_ = nullptr;
+thread_local DataSpace *DataSpace::current_ = nullptr;
 
 DataSpace &
 DataSpace::instance()
 {
-    static DataSpace global;
-    return current_ ? *current_ : global;
+    // Per-thread fallback: allocations made outside any simulator on
+    // one thread must not perturb the address stream of a run on
+    // another (the byte-identical-results contract).
+    static thread_local DataSpace fallback;
+    return current_ ? *current_ : fallback;
 }
 
 DataSpace::~DataSpace()

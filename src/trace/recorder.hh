@@ -17,6 +17,7 @@
 #ifndef G5P_TRACE_RECORDER_HH
 #define G5P_TRACE_RECORDER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -49,8 +50,11 @@ class TraceConsumer
 
 /**
  * Dispatches the instrumentation stream to registered consumers.
- * Exactly one Recorder may be active at a time (mg5 is single
- * threaded, like gem5).
+ * Exactly one Recorder may be active *per thread* (each mg5
+ * simulation is single threaded, like gem5; the parallel harness
+ * runs one whole simulation per worker thread, and activation is
+ * thread-local so concurrent runs never observe each other's
+ * streams).
  */
 class Recorder
 {
@@ -73,7 +77,7 @@ class Recorder
     /** Stop recording (no-op if this recorder is not active). */
     void deactivate();
 
-    /** The active recorder, or nullptr. */
+    /** The calling thread's active recorder, or nullptr. */
     static Recorder *active() { return active_; }
 
     /** @{ Stream entry points used by the instrumentation macros. */
@@ -127,7 +131,7 @@ class Recorder
     static constexpr std::uint64_t heapSpan = 1ull << 20;
 
   private:
-    static Recorder *active_;
+    static thread_local Recorder *active_;
 
     std::vector<TraceConsumer *> consumers_;
     std::uint64_t enterCount_ = 0;
@@ -165,6 +169,13 @@ class ScopeGuard
 /**
  * Per-call-site cache of a FuncRegistry lookup, generation-checked so
  * FuncRegistry::resetForTest() invalidates it.
+ *
+ * The cache is a process-wide static shared by every thread running
+ * through the site, so it is built from atomics: concurrent first
+ * uses race benignly (registration is idempotent, both threads store
+ * the same id), and the release store of gen_ publishes id_ to
+ * readers that acquire-load it. Constant-initialized, so the macro
+ * expansion carries no static-init guard on the hot path.
  */
 class SiteCache
 {
@@ -172,22 +183,29 @@ class SiteCache
     FuncId
     id(const char *name, FuncKind kind, bool is_virtual)
     {
-        auto &reg = FuncRegistry::instance();
-        if (gen_ != reg.generation()) {
-            id_ = reg.lookup(name, kind, is_virtual);
-            gen_ = reg.generation();
+        std::uint64_t gen = FuncRegistry::instance().generation();
+        if (gen_.load(std::memory_order_acquire) != gen) {
+            FuncId fresh =
+                FuncRegistry::instance().lookup(name, kind,
+                                                is_virtual);
+            id_.store(fresh, std::memory_order_relaxed);
+            gen_.store(gen, std::memory_order_release);
+            return fresh;
         }
-        return id_;
+        return id_.load(std::memory_order_relaxed);
     }
 
   private:
-    FuncId id_ = invalidFuncId;
-    std::uint64_t gen_ = 0;
+    std::atomic<FuncId> id_{invalidFuncId};
+    std::atomic<std::uint64_t> gen_{0};
 };
 
 /**
  * Per-call-site cache for keyed specializations (one FuncId per small
- * integer key, e.g. per opcode).
+ * integer key, e.g. per opcode). Holds a growable vector, so the
+ * macro declares it `static thread_local`: each thread keeps its own
+ * copy and no locking is needed (ids are identical across threads —
+ * registration is idempotent).
  */
 class KeyedSiteCache
 {
@@ -241,14 +259,17 @@ class DataSpace
     ~DataSpace();
 
     /**
-     * The active data space. Each sim::Simulator owns one and makes
-     * it current for its lifetime, so repeated runs in one process
-     * assign identical (deterministic) addresses; a process-global
-     * fallback serves code running outside any simulator.
+     * The calling thread's active data space. Each sim::Simulator
+     * owns one and makes it current for its lifetime, so repeated
+     * runs in one process assign identical (deterministic) addresses
+     * and concurrent runs on different threads never share an
+     * allocation cursor; a thread-local fallback serves code running
+     * outside any simulator.
      */
     static DataSpace &instance();
 
-    /** Make @p space current (nullptr restores the global one). */
+    /** Make @p space current on this thread (nullptr restores the
+     *  fallback). */
     static void setCurrent(DataSpace *space);
 
     /** Allocate @p size bytes, 64-byte aligned. */
@@ -264,7 +285,7 @@ class DataSpace
     static constexpr HostAddr dataBase = 0x2000'0000ULL;
 
   private:
-    static DataSpace *current_;
+    static thread_local DataSpace *current_;
 
     HostAddr base_ = dataBase;
     HostAddr next_ = dataBase;
@@ -281,7 +302,8 @@ class DataSpace
 
 /** Instrument a scope specialised by a small runtime key. */
 #define G5P_TRACE_SCOPE_KEYED(name, kind, is_virtual, key) \
-    static ::g5p::trace::KeyedSiteCache g5p_keyed_site_cache_; \
+    static thread_local ::g5p::trace::KeyedSiteCache \
+        g5p_keyed_site_cache_; \
     ::g5p::trace::ScopeGuard g5p_scope_guard_( \
         g5p_keyed_site_cache_.id(name, ::g5p::trace::FuncKind::kind, \
                                  is_virtual, key))

@@ -22,6 +22,30 @@ Synthesizer::Synthesizer(CodeLayout &layout, HostInstSink &sink,
       workScale_(work_scale)
 {
     stack_.reserve(96);
+    batch_.reserve(defaultBatchOps);
+}
+
+Synthesizer::~Synthesizer()
+{
+    flush();
+}
+
+void
+Synthesizer::setBatchOps(std::size_t n)
+{
+    flush();
+    batchCap_ = n < 1 ? 1 : n;
+    if (batchCap_ > 1)
+        batch_.reserve(batchCap_);
+}
+
+void
+Synthesizer::flush()
+{
+    if (batch_.empty())
+        return;
+    sink_.ops(batch_.data(), batch_.size());
+    batch_.clear();
 }
 
 HostAddr
@@ -62,8 +86,7 @@ Synthesizer::pushFrame(FuncId id, unsigned depth)
     push.kind = HostOp::Kind::Store;
     push.dataAddr = stackSlot(0);
     push.dataSize = 8;
-    sink_.op(push);
-    ++opsEmitted_;
+    emit(push);
     countSelf(id, 1);
 
     HostAddr cursor = code.addr;
@@ -92,8 +115,7 @@ Synthesizer::popFrame()
     ret.isReturn = true;
     stack_.pop_back();
     ret.target = stack_.empty() ? 0 : stack_.back().cursor;
-    sink_.op(ret);
-    ++opsEmitted_;
+    emit(ret);
     countSelf(id, 1);
 }
 
@@ -116,8 +138,7 @@ Synthesizer::emitChildCall(unsigned child_idx, bool is_virtual)
     caller.cursor += call.lenBytes;
     if (caller.cursor >= caller.end)
         caller.cursor = caller.entry;
-    sink_.op(call);
-    ++opsEmitted_;
+    emit(call);
     countSelf(caller.id, 1);
 
     unsigned depth = caller.depth + 1;
@@ -150,8 +171,7 @@ Synthesizer::emitBodyInst()
         op.taken = true;
         op.target = frame.entry;
         frame.cursor = frame.entry;
-        sink_.op(op);
-        ++opsEmitted_;
+        emit(op);
         countSelf(frame.id, 1);
         return;
     }
@@ -191,8 +211,7 @@ Synthesizer::emitBodyInst()
         op.taken = taken;
         op.target = taken ? target : next;
         frame.cursor = op.target;
-        sink_.op(op);
-        ++opsEmitted_;
+        emit(op);
         countSelf(frame.id, 1);
         return;
     }
@@ -234,8 +253,7 @@ Synthesizer::emitBodyInst()
     }
 
     frame.cursor = next;
-    sink_.op(op);
-    ++opsEmitted_;
+    emit(op);
     countSelf(frame.id, 1);
 }
 
@@ -288,8 +306,7 @@ Synthesizer::funcEnter(FuncId id)
         caller.cursor = call_pc + call.lenBytes;
         if (caller.cursor >= caller.end)
             caller.cursor = caller.entry;
-        sink_.op(call);
-        ++opsEmitted_;
+        emit(call);
         countSelf(caller.id, 1);
     }
 
@@ -331,8 +348,7 @@ Synthesizer::dataRef(HostAddr addr, std::uint32_t size,
     frame.cursor += op.lenBytes;
     if (frame.cursor >= frame.end)
         frame.cursor = frame.entry;
-    sink_.op(op);
-    ++opsEmitted_;
+    emit(op);
     countSelf(frame.id, 1);
 }
 

@@ -61,6 +61,21 @@ class HostInstSink
 
     /** Deliver one host instruction, in program order. */
     virtual void op(const HostOp &op) = 0;
+
+    /**
+     * Deliver a contiguous batch of host instructions, in program
+     * order. The synthesizer buffers its stream and delivers through
+     * this entry point (one virtual call per ~4096 instructions
+     * instead of one per instruction). The default implementation is
+     * a shim looping over op(), so existing single-op sinks keep
+     * working unchanged and produce identical results.
+     */
+    virtual void
+    ops(const HostOp *batch, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            op(batch[i]);
+    }
 };
 
 /**
@@ -79,12 +94,33 @@ class Synthesizer : public TraceConsumer
                 std::uint64_t seed = 0x5f3759df,
                 double work_scale = 1.0);
 
+    /** Flushes any buffered tail to the sink. */
+    ~Synthesizer() override;
+
     /** @{ TraceConsumer interface. */
     void funcEnter(FuncId id) override;
     void funcExit(FuncId id) override;
     void dataRef(HostAddr addr, std::uint32_t size,
                  bool is_write) override;
     /** @} */
+
+    /** Default instructions buffered per ops() delivery. */
+    static constexpr std::size_t defaultBatchOps = 4096;
+
+    /**
+     * Set the delivery granularity. @p n <= 1 selects the unbatched
+     * path (one virtual op() call per instruction — the pre-batching
+     * behavior, kept for the ablation); larger values buffer @p n
+     * instructions per ops() call. Flushes any buffered tail first.
+     */
+    void setBatchOps(std::size_t n);
+
+    /**
+     * Deliver any buffered instructions to the sink now. Call before
+     * reading sink-side state (counters) mid-run; the destructor
+     * flushes the final tail automatically.
+     */
+    void flush();
 
     /** Total host instructions emitted. */
     std::uint64_t opsEmitted() const { return opsEmitted_; }
@@ -138,11 +174,33 @@ class Synthesizer : public TraceConsumer
 
     HostAddr stackSlot(std::uint32_t offset) const;
 
+    /**
+     * Hand one instruction to the delivery path: buffered (batched
+     * ops() calls) or straight through op() when batching is off.
+     */
+    void
+    emit(const HostOp &op)
+    {
+        ++opsEmitted_;
+        if (batchCap_ <= 1) {
+            sink_.op(op);
+            return;
+        }
+        batch_.push_back(op);
+        if (batch_.size() >= batchCap_)
+            flush();
+    }
+
     CodeLayout &layout_;
     HostInstSink &sink_;
     Rng rng_;
     double workScale_;
     std::vector<Frame> stack_;
+
+    /** @{ Delivery buffer (emit/flush). */
+    std::vector<HostOp> batch_;
+    std::size_t batchCap_ = defaultBatchOps;
+    /** @} */
 
     /**
      * Per-function resume point: successive invocations continue

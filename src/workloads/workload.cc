@@ -96,6 +96,7 @@ Registry::instance()
 void
 Registry::add(const std::string &name, WorkloadFactory factory)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     g5p_assert(!factories_.count(name), "duplicate workload '%s'",
                name.c_str());
     factories_[name] = std::move(factory);
@@ -104,21 +105,29 @@ Registry::add(const std::string &name, WorkloadFactory factory)
 std::unique_ptr<os::GuestWorkload>
 Registry::create(const std::string &name, double scale) const
 {
-    auto it = factories_.find(name);
-    if (it == factories_.end()) {
-        std::string known;
-        for (const auto &[n, _] : factories_)
-            known += (known.empty() ? "" : ", ") + n;
-        g5p_throw(WorkloadError, "workloads", 0,
-                  "unknown workload '%s' (known: %s)", name.c_str(),
-                  known.c_str());
+    WorkloadFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = factories_.find(name);
+        if (it == factories_.end()) {
+            std::string known;
+            for (const auto &[n, _] : factories_)
+                known += (known.empty() ? "" : ", ") + n;
+            g5p_throw(WorkloadError, "workloads", 0,
+                      "unknown workload '%s' (known: %s)",
+                      name.c_str(), known.c_str());
+        }
+        factory = it->second;
     }
-    return it->second(scale);
+    // Build outside the lock: workload construction assembles guest
+    // code and is the expensive part.
+    return factory(scale);
 }
 
 std::vector<std::string>
 Registry::names() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
     for (const auto &[name, _] : factories_)
         out.push_back(name);

@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "base/random.hh"
@@ -121,6 +122,13 @@ class Registry
     static const std::vector<std::string> &parsecSplashNames();
 
   private:
+    /**
+     * Registration happens at static-init time, but create()/names()
+     * are called from parallel-harness workers; the mutex makes the
+     * map safe against a late add() (e.g. a test registering a
+     * custom workload) racing those readers.
+     */
+    mutable std::mutex mutex_;
     std::map<std::string, WorkloadFactory> factories_;
 };
 

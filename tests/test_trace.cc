@@ -237,6 +237,7 @@ TEST(Synthesizer, BalancedStreamEmitsCallsAndReturns)
         synth.funcExit(inner);
     }
     synth.funcExit(outer);
+    synth.flush();
 
     EXPECT_EQ(synth.depth(), 0u);
     EXPECT_GT(sink.ops, 200u);
@@ -260,6 +261,7 @@ TEST(Synthesizer, DeterministicForSeed)
             synth.funcEnter(f);
             synth.funcExit(f);
         }
+        synth.flush();
         return sink.ops;
     };
     EXPECT_EQ(run(7), run(7));
@@ -279,6 +281,7 @@ TEST(Synthesizer, WorkScaleShrinksStream)
             synth.funcEnter(f);
             synth.funcExit(f);
         }
+        synth.flush();
         return sink.ops;
     };
     auto base = run(1.0);

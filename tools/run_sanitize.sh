@@ -52,3 +52,24 @@ if [ "$#" -gt 0 ]; then
     echo "== ctest profiler suite (preset: sanitize) =="
     ctest --preset sanitize -R '^(Profiler|RunOptionsApi|ProfilerOverheadGate)'
 fi
+
+# TSan pass: the parallel harness runs whole simulations on pool
+# threads, so data races (not just leaks/UB) are the failure mode that
+# matters there. TSan and ASan cannot share a build, so this is a
+# separate preset (build-tsan/, G5P_THREADS=ON). Skippable for quick
+# iteration with G5P_SKIP_TSAN=1; CI should always run it.
+if [ "${G5P_SKIP_TSAN:-0}" != "1" ]; then
+    echo "== configure (preset: tsan) =="
+    cmake --preset tsan
+
+    echo "== build (-j ${jobs}) =="
+    cmake --build --preset tsan -j "$jobs"
+
+    # Only the thread-bearing suites: the parallel determinism and
+    # isolation tests exercise every cross-thread edge (registry
+    # reads, pooled recorders, result hand-back), and the checkpoint
+    # suite covers restore inside a pooled job. The rest of the suite
+    # is single-threaded and adds nothing under TSan but runtime.
+    echo "== ctest parallel suites (preset: tsan) =="
+    ctest --preset tsan -R '^(Parallel|Checkpoint)'
+fi
