@@ -339,8 +339,57 @@ main(int argc, char **argv)
                 run_per_op_s / run_batched_s);
 
     // ----------------------------------------------------------
-    // JSON + gates.
+    // Gates first (so the JSON can record their status), then JSON.
+    // Every gate is recorded whether it applies or not: a gate that
+    // cannot run on this host (the 3x/4-thread scaling gate needs
+    // hardware to scale onto) is an explicit skip in the JSON and
+    // the output, never a silent pass.
     // ----------------------------------------------------------
+    struct Gate
+    {
+        const char *name;
+        bool applies;
+        bool passed;         // meaningful only when applies
+        std::string detail;
+    };
+    std::vector<Gate> gates;
+
+    char detail[160];
+    gates.push_back({"pooled_and_batched_identical", true,
+                     identical && batch_identical,
+                     "pooled sweeps and batched delivery byte-equal "
+                     "to the serial reference"});
+    std::snprintf(detail, sizeof detail,
+                  "batched delivery %.2fx over per-op (gate 1.15x)",
+                  batch_speedup);
+    gates.push_back({"batched_speedup_1.15x", true,
+                     batch_speedup >= 1.15, detail});
+    {
+        bool applies = hw >= 4;
+        double x4 = serial_s / points.back().seconds;
+        if (applies)
+            std::snprintf(detail, sizeof detail,
+                          "4-thread speedup %.2fx (gate 3.0x)", x4);
+        else
+            std::snprintf(detail, sizeof detail,
+                          "needs >= 4 hardware threads, host has %u "
+                          "(speedup %.2fx reported only)", hw, x4);
+        gates.push_back({"scaling_3x_at_4_threads", applies,
+                         applies && x4 >= 3.0, detail});
+    }
+
+    bool ok = true;
+    std::printf("\ngates:\n");
+    for (const Gate &g : gates) {
+        const char *status = !g.applies ? "SKIP"
+                             : g.passed ? "pass"
+                                        : "FAIL";
+        std::printf("  %-32s %s  (%s)\n", g.name, status,
+                    g.detail.c_str());
+        if (g.applies && !g.passed)
+            ok = false;
+    }
+
     std::ofstream json(json_path);
     json << "{\n  \"hardware_threads\": " << hw << ",\n"
          << "  \"sweep_runs\": " << configs.size() << ",\n"
@@ -369,37 +418,28 @@ main(int argc, char **argv)
          << "  \"full_run_batched_seconds\": " << run_batched_s
          << ",\n"
          << "  \"full_run_per_op_seconds\": " << run_per_op_s
-         << "\n}\n";
+         << ",\n"
+         << "  \"gates\": [\n";
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        // Per-scenario style (BENCH_eventq.json): one object per
+        // gate; a skipped gate says so instead of faking a pass.
+        json << "    {\"name\": \"" << g.name << "\", \"applies\": "
+             << (g.applies ? "true" : "false") << ", ";
+        if (g.applies)
+            json << "\"passed\": " << (g.passed ? "true" : "false");
+        else
+            json << "\"passed\": null, \"skipped_reason\": \""
+                 << g.detail << "\"";
+        json << ", \"detail\": \"" << g.detail << "\"}"
+             << (i + 1 < gates.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
     if (!json) {
         std::fprintf(stderr, "error: cannot write %s\n",
                      json_path.c_str());
         return 1;
     }
     std::printf("\nwrote %s\n", json_path.c_str());
-
-    bool ok = true;
-    if (!identical || !batch_identical) {
-        std::printf("FAIL: pooled or batched results diverged from "
-                    "the serial reference\n");
-        ok = false;
-    }
-    if (batch_speedup < 1.15) {
-        std::printf("FAIL: batched delivery %.2fx < 1.15x over the "
-                    "per-op path\n", batch_speedup);
-        ok = false;
-    }
-    // Scaling needs hardware to scale onto; a 1-core container can
-    // only time-slice, so the gate applies when 4 threads exist.
-    if (hw >= 4) {
-        double x4 = serial_s / points.back().seconds;
-        if (x4 < 3.0) {
-            std::printf("FAIL: 4-thread speedup %.2fx < 3.0x\n", x4);
-            ok = false;
-        }
-    } else {
-        std::printf("note: %u hw thread%s — the 3x/4-thread scaling "
-                    "gate needs >= 4 and is reported, not "
-                    "enforced\n", hw, hw == 1 ? "" : "s");
-    }
     return ok ? 0 : 1;
 }

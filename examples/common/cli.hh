@@ -18,6 +18,20 @@
  *   --jobs=<n>                 worker threads for multi-run sweeps
  *                              (0 = all hardware threads); results
  *                              are byte-identical to --jobs=1
+ *   --fast-forward=<insts>     run the first N guest instructions on
+ *                              Atomic, then drain-and-switch to the
+ *                              detailed model
+ *   --switch-cpu=<model>       the model to switch into at the
+ *                              fast-forward boundary (defaults to
+ *                              --cpu / the positional model)
+ *   --sample=<K,W[,seed]>      SimPoint-style sampling: estimate the
+ *                              whole run from K detailed intervals of
+ *                              W instructions (checkpoint farm +
+ *                              parallel detail via --jobs)
+ *   --sample-warmup=<insts>    detailed instructions run before each
+ *                              measured window to re-warm the branch
+ *                              predictor and pipeline state the
+ *                              Atomic fast-forward does not model
  *   --help
  *
  * Example-specific value flags (e.g. profile_simulation's
@@ -74,6 +88,25 @@ struct CliOptions
      *  (core::runExperiments); 1 = serial, 0 = hardware threads. */
     unsigned jobs = 1;
 
+    /** Atomic fast-forward length before the drain-and-switch
+     *  (RunConfig::fastForwardInsts); 0 = no fast-forward. */
+    std::uint64_t fastForwardInsts = 0;
+
+    /** Post-boundary model from --switch-cpu; when given it becomes
+     *  the detailed model (cpuModel) and implies fast-forwarding. */
+    bool switchCpuGiven = false;
+    os::CpuModel switchCpu = os::CpuModel::O3;
+
+    /** @{ Interval sampling from --sample=K,W[,seed]; K == 0 means
+     *  a plain (unsampled) run. */
+    unsigned sampleK = 0;
+    std::uint64_t sampleW = 0;
+    std::uint64_t sampleSeed = 1;
+    std::uint64_t sampleWarmup = 0;
+    /** @} */
+
+    bool sampling() const { return sampleK > 0; }
+
     /** Shorthand for run.profiler.tracePath. */
     std::string profilePath;
 
@@ -122,6 +155,14 @@ printCliUsage(std::ostream &os, const char *argv0,
           "faults\n"
           "  --jobs=<n>                   worker threads for sweep "
           "examples (0 = all)\n"
+          "  --fast-forward=<insts>       Atomic to the boundary, "
+          "then switch to the detailed model\n"
+          "  --switch-cpu=<model>         model to switch into at "
+          "the boundary\n"
+          "  --sample=<K,W[,seed]>        estimate the run from K "
+          "detailed W-inst intervals\n"
+          "  --sample-warmup=<insts>      detailed warmup before "
+          "each measured window\n"
           "  --help\n";
     for (const auto &flag : spec.extraFlags)
         os << "  " << flag << " <value>\n";
@@ -207,6 +248,30 @@ parseCli(int argc, char **argv, const CliSpec &spec = {})
         } else if (flag == "--jobs") {
             opts.jobs =
                 (unsigned)std::strtoul(value.c_str(), nullptr, 0);
+        } else if (flag == "--fast-forward") {
+            opts.fastForwardInsts =
+                std::strtoull(value.c_str(), nullptr, 0);
+        } else if (flag == "--switch-cpu") {
+            opts.switchCpu = parseCpuModel(value);
+            opts.switchCpuGiven = true;
+        } else if (flag == "--sample") {
+            // K,W[,seed]
+            char *end = nullptr;
+            opts.sampleK =
+                (unsigned)std::strtoul(value.c_str(), &end, 0);
+            if (!end || *end != ',')
+                g5p_throw(ConfigError, "cli", 0,
+                          "--sample needs K,W[,seed], got '%s'",
+                          value.c_str());
+            opts.sampleW = std::strtoull(end + 1, &end, 0);
+            if (end && *end == ',')
+                opts.sampleSeed = std::strtoull(end + 1, nullptr, 0);
+            if (opts.sampleK == 0 || opts.sampleW == 0)
+                g5p_throw(ConfigError, "cli", 0,
+                          "--sample needs K >= 1 and W >= 1");
+        } else if (flag == "--sample-warmup") {
+            opts.sampleWarmup =
+                std::strtoull(value.c_str(), nullptr, 0);
         } else if (is_extra(flag)) {
             opts.extra[flag] = value;
         } else {
@@ -231,6 +296,14 @@ parseCli(int argc, char **argv, const CliSpec &spec = {})
         g5p_throw(ConfigError, "cli", 0,
                   "unexpected argument '%s' (usage: %s)",
                   pos[scale_at + 1].c_str(), spec.usage.c_str());
+    if (opts.switchCpuGiven) {
+        if (opts.fastForwardInsts == 0)
+            g5p_throw(ConfigError, "cli", 0,
+                      "--switch-cpu needs --fast-forward=<insts> "
+                      "to place the boundary");
+        // The switch target is the detailed (post-boundary) model.
+        opts.cpuModel = opts.switchCpu;
+    }
     return opts;
 }
 

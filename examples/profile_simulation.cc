@@ -7,8 +7,26 @@
  *
  * Usage: profile_simulation [workload] [cpu-model] [scale]
  *                           [--checkpoint <path> [--at <tick>]]
- *                           [--restore <path>]  [flags; see --help]
+ *                           [--restore <path>]
+ *                           [--fast-forward <insts>
+ *                            [--switch-cpu <model>]]
+ *                           [--sample <K,W[,seed]>
+ *                            [--sample-warmup <insts>] [--jobs <n>]]
+ *                           [flags; see --help]
  *   cpu-model: atomic | timing | minor | o3
+ *
+ * With --fast-forward=N the first N guest instructions run on the
+ * Atomic model, then the machine drain-and-switches to the detailed
+ * model (--switch-cpu, or the cpu-model argument) in place.
+ *
+ * With --sample=K,W the whole run is *estimated* from K detailed
+ * W-instruction intervals restored from an Atomic checkpoint farm
+ * built in a single pass (and reused by later runs with the same
+ * workload, scale and W). --sample-warmup runs each interval for a
+ * few thousand detailed instructions before measuring, re-warming
+ * the branch predictor the fast-forward does not model. --jobs
+ * parallelizes the intervals; the report is byte-identical to a
+ * serial run.
  *
  * With --profile=trace.json the run is *also* self-profiled for
  * real: the modeled hot-function CDF and the measured wall-clock
@@ -32,6 +50,7 @@
 #include "base/str.hh"
 #include "common/cli.hh"
 #include "core/experiment.hh"
+#include "core/sampling.hh"
 #include "core/telemetry.hh"
 #include "core/topdown.hh"
 #include "workloads/workload.hh"
@@ -127,8 +146,28 @@ runMain(int argc, char **argv)
     cfg.workload = opts.workload;
     cfg.cpuModel = opts.cpuModel;
     cfg.workloadScale = opts.scale;
+    cfg.fastForwardInsts = opts.fastForwardInsts;
     cfg.platform = host::xeonConfig();
     cfg.run = opts.run;
+
+    if (opts.sampling()) {
+        core::SamplingConfig scfg;
+        scfg.workload = opts.workload;
+        scfg.scale = opts.scale;
+        scfg.detailModel = opts.cpuModel;
+        scfg.K = opts.sampleK;
+        scfg.W = opts.sampleW;
+        scfg.warmup = opts.sampleWarmup;
+        scfg.seed = opts.sampleSeed;
+        scfg.jobs = opts.jobs;
+        std::cout << "Sampled simulation: " << scfg.workload
+                  << ", K=" << scfg.K << " x W=" << scfg.W
+                  << " on the " << os::cpuModelName(scfg.detailModel)
+                  << " CPU model\n\n";
+        core::SamplingResult sr = core::runSampledSimulation(scfg);
+        core::printSamplingReport(std::cout, sr);
+        return 0;
+    }
 
     if (opts.extra.count("--checkpoint") ||
         opts.extra.count("--restore")) {
@@ -151,7 +190,13 @@ runMain(int argc, char **argv)
     std::cout << "Profiling mg5: " << cfg.workload << " on the "
               << os::cpuModelName(cfg.cpuModel)
               << " CPU model, host = " << cfg.platform.name
-              << "\n\n";
+              << "\n";
+    if (cfg.fastForwardInsts) {
+        std::cout << "fast-forward: first " << cfg.fastForwardInsts
+                  << " guest insts on Atomic, then drain-and-switch"
+                  << "\n";
+    }
+    std::cout << "\n";
 
     core::RunResult r = core::runProfiledSimulation(cfg);
 

@@ -1,23 +1,5 @@
 #include "base/addr_utils.hh"
 
-#include "base/logging.hh"
-
-namespace g5p
-{
-
-std::uint64_t
-cacheSetIndex(Addr a, unsigned line_bytes, unsigned num_sets)
-{
-    g5p_assert(isPowerOf2(line_bytes) && isPowerOf2(num_sets),
-               "cache geometry must be power of two (%u lines, %u sets)",
-               line_bytes, num_sets);
-    return (a / line_bytes) & (num_sets - 1);
-}
-
-std::uint64_t
-cacheTag(Addr a, unsigned line_bytes, unsigned num_sets)
-{
-    return (a / line_bytes) >> floorLog2(num_sets);
-}
-
-} // namespace g5p
+// All helpers are inline in the header: address arithmetic sits on the
+// per-access hot path of every cache and TLB model, and out-of-line
+// calls here showed up in whole-run profiles.

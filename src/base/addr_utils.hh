@@ -6,6 +6,7 @@
 #ifndef G5P_BASE_ADDR_UTILS_HH
 #define G5P_BASE_ADDR_UTILS_HH
 
+#include <bit>
 #include <cstdint>
 
 #include "base/types.hh"
@@ -51,11 +52,26 @@ alignUp(Addr a, std::uint64_t align)
     return (a + align - 1) & ~(align - 1);
 }
 
-/** Extract the set index for a cache with the given geometry. */
-std::uint64_t cacheSetIndex(Addr a, unsigned line_bytes, unsigned num_sets);
+/**
+ * Extract the set index for a cache with the given geometry. Both
+ * dimensions must be nonzero powers of two — every cache/TLB asserts
+ * that at construction, so the per-access path is pure shift/mask
+ * (one guest memory access runs several of these; a hardware divide
+ * here was a top-ten profile entry).
+ */
+inline std::uint64_t
+cacheSetIndex(Addr a, unsigned line_bytes, unsigned num_sets)
+{
+    return (a >> std::countr_zero(line_bytes)) & (num_sets - 1);
+}
 
 /** Extract the tag for a cache with the given geometry. */
-std::uint64_t cacheTag(Addr a, unsigned line_bytes, unsigned num_sets);
+inline std::uint64_t
+cacheTag(Addr a, unsigned line_bytes, unsigned num_sets)
+{
+    return a >> (std::countr_zero(line_bytes) +
+                 std::countr_zero(num_sets));
+}
 
 /** Page number at the given power-of-two page size. */
 constexpr std::uint64_t

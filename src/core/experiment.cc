@@ -54,8 +54,12 @@ runProfiledSimulation(const RunConfig &config)
     auto workload = workloads::Registry::instance().create(
         config.workload, config.workloadScale);
 
+    bool fast_forward = config.fastForwardInsts > 0 &&
+                        config.cpuModel != os::CpuModel::Atomic;
+
     os::SystemConfig sys_cfg;
-    sys_cfg.cpuModel = config.cpuModel;
+    sys_cfg.cpuModel = fast_forward ? os::CpuModel::Atomic
+                                    : config.cpuModel;
     sys_cfg.mode = config.mode;
     sys_cfg.numCpus = config.guestCpus;
     sys_cfg.maxInstsPerCpu = config.maxGuestInsts;
@@ -104,7 +108,26 @@ runProfiledSimulation(const RunConfig &config)
                                    os::cpuModelName(config.cpuModel));
     }
 
-    sim::SimResult sim_result = system.run();
+    sim::SimResult sim_result;
+    if (fast_forward) {
+        // Atomic to the boundary (cpu0's committed-inst count), then
+        // drain-and-switch to the detailed model for the remainder.
+        system.cpu(0).setInstMilestone(
+            config.fastForwardInsts, [&simulator] {
+                simulator.exitSimLoop("fast-forward boundary",
+                                      sim::ExitCause::User);
+            });
+        sim_result = system.run();
+        if (sim_result.cause == sim::ExitCause::User) {
+            // A false return means the workload finished during the
+            // drain; the follow-up run() then surfaces the final
+            // tick without perturbing anything.
+            system.switchCpu(config.cpuModel);
+            sim_result = system.run();
+        }
+    } else {
+        sim_result = system.run();
+    }
     recorder.deactivate();
     // Deliver the buffered tail before reading core counters.
     synth.flush();

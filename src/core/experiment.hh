@@ -52,6 +52,14 @@ struct RunConfig
     double workloadScale = 1.0;
     std::uint64_t maxGuestInsts = 0;
 
+    /**
+     * Fast-forward: run the first N guest instructions on the Atomic
+     * model, then drain-and-switch (os::System::switchCpu) to
+     * cpuModel for the rest of the run. 0 runs cpuModel throughout.
+     * No effect when cpuModel is already Atomic.
+     */
+    std::uint64_t fastForwardInsts = 0;
+
     host::HostPlatformConfig platform;
     host::CorunScenario corun;
     TuningConfig tuning;

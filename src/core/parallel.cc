@@ -63,13 +63,12 @@ ParallelExecutor::hardwareJobs()
     return hw ? hw : 1;
 }
 
-std::vector<RunResult>
-ParallelExecutor::run(const std::vector<RunConfig> &configs)
+void
+ParallelExecutor::forEach(std::size_t count,
+                          const std::function<void(std::size_t)> &job)
 {
-    const std::size_t count = configs.size();
-    std::vector<RunResult> results(count);
     if (count == 0)
-        return results;
+        return;
 
     const unsigned workers =
         (unsigned)std::min<std::size_t>(jobs_, count);
@@ -83,19 +82,19 @@ ParallelExecutor::run(const std::vector<RunConfig> &configs)
     std::vector<std::exception_ptr> errors(count);
 
     auto work = [&](unsigned self) {
-        std::size_t job;
+        std::size_t index;
         while (true) {
-            bool found = queues[self].popFront(job);
+            bool found = queues[self].popFront(index);
             // No job ever enqueues another, so one empty sweep over
             // all queues means the pool is drained for good.
             for (unsigned v = 1; !found && v < workers; ++v)
-                found = queues[(self + v) % workers].stealBack(job);
+                found = queues[(self + v) % workers].stealBack(index);
             if (!found)
                 return;
             try {
-                results[job] = runProfiledSimulation(configs[job]);
+                job(index);
             } catch (...) {
-                errors[job] = std::current_exception();
+                errors[index] = std::current_exception();
             }
         }
     };
@@ -115,6 +114,15 @@ ParallelExecutor::run(const std::vector<RunConfig> &configs)
     for (std::size_t i = 0; i < count; ++i)
         if (errors[i])
             std::rethrow_exception(errors[i]);
+}
+
+std::vector<RunResult>
+ParallelExecutor::run(const std::vector<RunConfig> &configs)
+{
+    std::vector<RunResult> results(configs.size());
+    forEach(configs.size(), [&](std::size_t i) {
+        results[i] = runProfiledSimulation(configs[i]);
+    });
     return results;
 }
 

@@ -37,6 +37,7 @@
 #ifndef G5P_CORE_PARALLEL_HH
 #define G5P_CORE_PARALLEL_HH
 
+#include <functional>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -68,6 +69,18 @@ class ParallelExecutor
      * order) is rethrown after every worker has drained.
      */
     std::vector<RunResult> run(const std::vector<RunConfig> &configs);
+
+    /**
+     * Generic form: run @p job for every index in [0, count) on the
+     * pool, same dealing/stealing/error policy as run(). The job
+     * writes its own results (typically into a pre-sized vector slot
+     * at its index, which needs no locking); the same isolation
+     * contract applies — a job must touch no mutable state shared
+     * with other jobs. The sampling driver runs its detailed
+     * intervals through this.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &job);
 
     /** Worker threads this executor uses. */
     unsigned jobs() const { return jobs_; }

@@ -1,0 +1,501 @@
+#include "core/sampling.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/sim_error.hh"
+#include "core/parallel.hh"
+#include "sim/clocked_object.hh"
+#include "sim/serialize.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "workloads/workload.hh"
+
+namespace g5p::core
+{
+
+namespace
+{
+
+/**
+ * A complete single-CPU guest machine for one sampling phase. The
+ * Simulator, workload and System must share a lifetime, and each
+ * phase (and each detailed interval) needs a fresh one.
+ */
+struct Machine
+{
+    sim::Simulator sim{"system"};
+    std::unique_ptr<os::GuestWorkload> workload;
+    std::unique_ptr<os::System> system;
+
+    Machine(const SamplingConfig &cfg, os::CpuModel model)
+    {
+        workload = workloads::Registry::instance().create(
+            cfg.workload, cfg.scale);
+        os::SystemConfig sys = cfg.base;
+        sys.cpuModel = model;
+        sys.numCpus = 1;        // sampling is single-CPU (see header)
+        sys.maxInstsPerCpu = 0; // boundaries come from milestones
+        system = std::make_unique<os::System>(sim, sys, *workload);
+    }
+};
+
+/** Every printable stat value under its dotted name. */
+class TotalsVisitor : public sim::stats::Visitor
+{
+  public:
+    void
+    value(const std::string &dotted, double v,
+          const sim::stats::Info &) override
+    {
+        totals[dotted] = v;
+    }
+
+    std::map<std::string, double> totals;
+};
+
+/** after - before for one dotted counter (absent counts as 0). */
+double
+delta(const TotalsVisitor &before, const TotalsVisitor &after,
+      const std::string &name)
+{
+    auto get = [&](const TotalsVisitor &v) {
+        auto it = v.totals.find(name);
+        return it == v.totals.end() ? 0.0 : it->second;
+    };
+    return get(after) - get(before);
+}
+
+/** misses / (hits + misses) over the window, 0 when idle. */
+double
+missRate(const TotalsVisitor &before, const TotalsVisitor &after,
+         const std::string &unit)
+{
+    double hits = delta(before, after, unit + ".hits");
+    double misses = delta(before, after, unit + ".misses");
+    double accesses = hits + misses;
+    return accesses > 0 ? misses / accesses : 0.0;
+}
+
+/**
+ * The K sampled boundaries: evenly strided over the usable farm
+ * boundaries (interval 0 never has a checkpoint — the machine's cold
+ * start is the Atomic pass's job), with the seed rotating the phase
+ * within the stride. Operating on the boundary *list* keeps the old
+ * dense-farm behavior bit-for-bit when the farm stride is 1.
+ */
+std::vector<std::size_t>
+pickIntervals(const std::vector<std::size_t> &boundaries, unsigned k,
+              std::uint64_t seed)
+{
+    std::size_t usable =
+        std::min<std::size_t>(k, boundaries.size());
+    std::size_t stride = boundaries.size() / usable;
+    std::size_t first = (std::size_t)(seed % stride);
+    std::vector<std::size_t> picks;
+    picks.reserve(usable);
+    for (std::size_t j = 0; j < usable; ++j)
+        picks.push_back(boundaries[first + j * stride]);
+    return picks;
+}
+
+std::string
+farmPath(const SamplingConfig &cfg, std::size_t k)
+{
+    return cfg.farmPrefix + "-" + std::to_string(k) + ".ckpt";
+}
+
+std::string
+manifestPath(const SamplingConfig &cfg)
+{
+    return cfg.farmPrefix + "-manifest.ckpt";
+}
+
+constexpr unsigned farmManifestVersion = 1;
+
+/** One staged farm checkpoint: boundary index b (start = b * W). */
+struct FarmEntry
+{
+    std::size_t b = 0;
+    sim::CheckpointOut cp;
+};
+
+/**
+ * Build the checkpoint farm and the whole-run totals in ONE Atomic
+ * pass: run to completion, exiting at every current-stride boundary
+ * (exact on Atomic) to stage a checkpoint in memory; when the farm
+ * exceeds cfg.maxFarm, drop every odd-stride entry and double the
+ * stride. Fills r's totals, writes the surviving checkpoints plus the
+ * manifest, and returns the surviving boundary indices.
+ */
+std::vector<std::size_t>
+buildFarm(const SamplingConfig &cfg, SamplingResult &r)
+{
+    std::vector<FarmEntry> farm;
+    std::size_t stride = 1;
+
+    Machine m(cfg, os::CpuModel::Atomic);
+    cpu::BaseCpu &cpu = m.system->cpu(0);
+    std::size_t next = 1;
+    sim::SimResult fin;
+    for (;;) {
+        cpu.setInstMilestone(next * cfg.W, [&m] {
+            m.sim.exitSimLoop("sampling boundary",
+                              sim::ExitCause::User);
+        });
+        sim::SimResult res = m.system->run();
+        if (res.cause != sim::ExitCause::User) {
+            // The workload outran the next boundary: the pass is
+            // done (any other cause shows up as a checksum failure).
+            fin = res;
+            break;
+        }
+        if (!m.sim.advanceToQuiescence()) {
+            // Finished during the quiescence seek: drain the exit.
+            fin = m.system->run();
+            break;
+        }
+        FarmEntry e;
+        e.b = next;
+        m.sim.takeCheckpoint(e.cp);
+        farm.push_back(std::move(e));
+        if (farm.size() > cfg.maxFarm) {
+            std::size_t doubled = stride * 2;
+            std::erase_if(farm, [doubled](const FarmEntry &fe) {
+                return fe.b % doubled != 0;
+            });
+            stride = doubled;
+        }
+        next = (next / stride + 1) * stride;
+    }
+
+    r.totalInsts = m.system->totalInsts();
+    r.atomicTicks = fin.tick;
+    r.guestResult = m.system->result();
+    std::uint64_t expected = m.workload->expectedResult(1);
+    r.resultOk = expected == 0 || r.guestResult == expected;
+
+    std::vector<std::size_t> boundaries;
+    boundaries.reserve(farm.size());
+    for (const FarmEntry &e : farm) {
+        e.cp.writeFile(farmPath(cfg, e.b));
+        boundaries.push_back(e.b);
+    }
+
+    sim::CheckpointOut man;
+    man.pushSection("samplingFarm");
+    man.param("version", farmManifestVersion);
+    man.param("workload", cfg.workload);
+    man.param("scale", cfg.scale);
+    man.param("W", cfg.W);
+    man.param("stride", stride);
+    man.param("totalInsts", r.totalInsts);
+    man.param("atomicTicks", r.atomicTicks);
+    man.param("guestResult", r.guestResult);
+    man.param("resultOk", (unsigned)r.resultOk);
+    man.paramVector("boundaries", boundaries);
+    man.popSection();
+    man.writeFile(manifestPath(cfg));
+
+    r.farmStride = stride;
+    return boundaries;
+}
+
+/**
+ * Load an existing farm's manifest if it matches (workload, scale,
+ * W) and every checkpoint it lists is still on disk; on a match the
+ * Atomic pass's totals come from the manifest and the pass is
+ * skipped. Any read/parse/checksum failure, mismatch, or missing
+ * farm file simply means "no farm": return false and rebuild.
+ */
+bool
+tryReuseFarm(const SamplingConfig &cfg, SamplingResult &r,
+             std::vector<std::size_t> &boundaries)
+{
+    try {
+        sim::CheckpointIn man =
+            sim::CheckpointIn::readFile(manifestPath(cfg));
+        man.pushSection("samplingFarm");
+        unsigned version = 0;
+        std::string workload;
+        double scale = 0;
+        std::uint64_t w = 0;
+        man.param("version", version);
+        man.param("workload", workload);
+        man.param("scale", scale);
+        man.param("W", w);
+        if (version != farmManifestVersion ||
+            workload != cfg.workload || scale != cfg.scale ||
+            w != cfg.W) {
+            return false;
+        }
+        std::size_t stride = 0;
+        unsigned result_ok = 0;
+        man.param("stride", stride);
+        man.param("totalInsts", r.totalInsts);
+        man.param("atomicTicks", r.atomicTicks);
+        man.param("guestResult", r.guestResult);
+        man.param("resultOk", result_ok);
+        man.paramVector("boundaries", boundaries);
+        man.popSection();
+        // A partially deleted farm must not be sampled from — picks
+        // would land on missing checkpoints, or silently shift.
+        for (std::size_t b : boundaries) {
+            std::ifstream f(farmPath(cfg, b));
+            if (!f.good())
+                return false;
+        }
+        r.resultOk = result_ok != 0;
+        r.farmStride = stride;
+        return !boundaries.empty();
+    } catch (const CheckpointError &) {
+        return false;
+    }
+}
+
+/**
+ * One detailed interval: restore interval k's Atomic checkpoint into
+ * a fresh detailModel machine (the cross-model restore transplants
+ * the architectural state and re-schedules the recorded event queue
+ * under the new core's tags), run `warmup` instructions to re-warm
+ * the microarchitectural state Atomic does not model, then run
+ * exactly W measured committed instructions and report the stat
+ * deltas over the measured window.
+ */
+IntervalSample
+runInterval(const SamplingConfig &cfg, std::size_t k, Tick period)
+{
+    Machine m(cfg, cfg.detailModel);
+    m.sim.restore(farmPath(cfg, k));
+    cpu::BaseCpu &cpu = m.system->cpu(0);
+
+    if (cfg.warmup > 0) {
+        cpu.setInstMilestone(cpu.numInsts() + cfg.warmup, [&m] {
+            m.sim.exitSimLoop("sample warmup end",
+                              sim::ExitCause::User);
+        });
+        sim::SimResult wres = m.system->run();
+        g5p_assert(wres.cause == sim::ExitCause::User,
+                   "interval %zu ended (%s) during warmup — "
+                   "boundary selection should have excluded it",
+                   k, sim::exitCauseName(wres.cause));
+    }
+
+    TotalsVisitor before;
+    m.sim.visit(before);
+    Tick t0 = m.sim.curTick();
+    std::uint64_t start = cpu.numInsts();
+
+    cpu.setInstMilestone(start + cfg.W, [&m] {
+        m.sim.exitSimLoop("sample window end", sim::ExitCause::User);
+    });
+    sim::SimResult res = m.system->run();
+
+    TotalsVisitor after;
+    m.sim.visit(after);
+
+    IntervalSample s;
+    s.index = k;
+    s.startInsts = start;
+    s.insts = cpu.numInsts() - start;
+    s.ticks = res.tick - t0;
+    s.cycles = (double)s.ticks / (double)period;
+    s.ipc = s.cycles > 0 ? (double)s.insts / s.cycles : 0.0;
+    s.l1iMissRate = missRate(before, after, "system.cpu0.icache");
+    s.l1dMissRate = missRate(before, after, "system.cpu0.dcache");
+    s.l2MissRate = missRate(before, after, "system.l2");
+    s.itlbMissRate = missRate(before, after, "system.cpu0.itlb");
+    s.dtlbMissRate = missRate(before, after, "system.cpu0.dtlb");
+    return s;
+}
+
+/** Mean and standard error (s / sqrt(n)) of a sample. */
+SampleMetric
+summarize(const std::vector<double> &xs)
+{
+    SampleMetric m;
+    if (xs.empty())
+        return m;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    m.mean = sum / (double)xs.size();
+    if (xs.size() > 1) {
+        double ss = 0;
+        for (double x : xs)
+            ss += (x - m.mean) * (x - m.mean);
+        double sd = std::sqrt(ss / (double)(xs.size() - 1));
+        m.stdErr = sd / std::sqrt((double)xs.size());
+    }
+    return m;
+}
+
+} // namespace
+
+SamplingResult
+runSampledSimulation(const SamplingConfig &config)
+{
+    g5p_assert(config.W > 0 && config.K > 0,
+               "sampling needs K and W >= 1");
+    Tick period =
+        sim::ClockDomain::fromMHz(config.base.cpuMHz).period();
+
+    SamplingResult r;
+    r.workload = config.workload;
+    r.detailModel = config.detailModel;
+    r.W = config.W;
+    r.warmup = config.warmup;
+    r.seed = config.seed;
+    r.jobs = config.jobs;
+
+    // --- Phase 1: measure + farm. A single full Atomic pass learns
+    // the workload length, verifies the guest checksum and drops the
+    // bounded checkpoint farm — unless a matching farm already
+    // exists, in which case its manifest supplies the same totals and
+    // the pass is skipped entirely.
+    std::vector<std::size_t> boundaries;
+    if (config.reuseFarm && tryReuseFarm(config, r, boundaries)) {
+        r.farmReused = true;
+    } else {
+        boundaries = buildFarm(config, r);
+    }
+    r.farmSize = boundaries.size();
+
+    std::size_t n = (std::size_t)(r.totalInsts / config.W);
+    r.intervalsAvailable = n;
+    if (n < 2) {
+        g5p_throw(ConfigError, "sampling", 0,
+                  "W=%llu leaves %zu complete interval(s) of %s "
+                  "(%llu insts); need >= 2 — shrink W",
+                  (unsigned long long)config.W, n,
+                  config.workload.c_str(),
+                  (unsigned long long)r.totalInsts);
+    }
+
+    // A usable boundary needs warmup + W committed instructions left
+    // before the workload ends, so a warmed window never truncates.
+    std::erase_if(boundaries, [&](std::size_t b) {
+        return b * config.W + config.warmup + config.W >
+               r.totalInsts;
+    });
+    if (boundaries.empty()) {
+        g5p_throw(ConfigError, "sampling", 0,
+                  "no farm boundary of %s leaves room for "
+                  "warmup=%llu + W=%llu within %llu insts — shrink "
+                  "W or warmup",
+                  config.workload.c_str(),
+                  (unsigned long long)config.warmup,
+                  (unsigned long long)config.W,
+                  (unsigned long long)r.totalInsts);
+    }
+    std::vector<std::size_t> picks =
+        pickIntervals(boundaries, config.K, config.seed);
+    r.K = (unsigned)picks.size();
+
+    // --- Phase 2: detail. Independent machines, one per interval,
+    // on the worker pool; slots are written by interval index, so the
+    // aggregation below never sees scheduling order.
+    r.intervals.resize(picks.size());
+    ParallelExecutor pool(config.jobs);
+    pool.forEach(picks.size(), [&](std::size_t i) {
+        r.intervals[i] = runInterval(config, picks[i], period);
+    });
+
+    // --- Extrapolate.
+    auto collect = [&](auto field) {
+        std::vector<double> xs;
+        xs.reserve(r.intervals.size());
+        for (const IntervalSample &s : r.intervals)
+            xs.push_back(s.*field);
+        return summarize(xs);
+    };
+    r.ipc = collect(&IntervalSample::ipc);
+    r.l1iMissRate = collect(&IntervalSample::l1iMissRate);
+    r.l1dMissRate = collect(&IntervalSample::l1dMissRate);
+    r.l2MissRate = collect(&IntervalSample::l2MissRate);
+    r.itlbMissRate = collect(&IntervalSample::itlbMissRate);
+    r.dtlbMissRate = collect(&IntervalSample::dtlbMissRate);
+    if (r.ipc.mean > 0) {
+        r.estCycles = (double)r.totalInsts / r.ipc.mean;
+        r.estTicks = (Tick)(r.estCycles * (double)period);
+    }
+    return r;
+}
+
+void
+printSamplingReport(std::ostream &os, const SamplingResult &r)
+{
+    // Fixed-width snprintf formatting throughout: the determinism
+    // gate byte-compares this output across serial and pooled runs.
+    char buf[256];
+
+    os << "=== sampled simulation: " << r.workload << " on "
+       << os::cpuModelName(r.detailModel) << " ===\n";
+    std::snprintf(buf, sizeof(buf),
+                  "full run (Atomic): %llu insts, %llu ticks, "
+                  "checksum %s\n",
+                  (unsigned long long)r.totalInsts,
+                  (unsigned long long)r.atomicTicks,
+                  r.resultOk ? "ok" : "MISMATCH");
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "sampled: K=%u of N=%zu intervals, W=%llu insts, "
+                  "warmup=%llu, seed=%llu\n",
+                  r.K, r.intervalsAvailable,
+                  (unsigned long long)r.W,
+                  (unsigned long long)r.warmup,
+                  (unsigned long long)r.seed);
+    os << buf;
+    // Deliberately no built/reused marker: the report must be
+    // byte-identical whether the farm was just built or reused.
+    std::snprintf(buf, sizeof(buf),
+                  "farm: %zu boundaries, stride %zu interval(s)\n",
+                  r.farmSize, r.farmStride);
+    os << buf;
+
+    os << "    k  start_inst    insts      cycles      ipc"
+          "  l1i_miss  l1d_miss   l2_miss  itlb_miss  dtlb_miss\n";
+    for (const IntervalSample &s : r.intervals) {
+        std::snprintf(buf, sizeof(buf),
+                      "%5zu  %10llu  %7llu  %10.1f  %7.4f"
+                      "  %8.6f  %8.6f  %8.6f   %8.6f   %8.6f\n",
+                      s.index, (unsigned long long)s.startInsts,
+                      (unsigned long long)s.insts, s.cycles, s.ipc,
+                      s.l1iMissRate, s.l1dMissRate, s.l2MissRate,
+                      s.itlbMissRate, s.dtlbMissRate);
+        os << buf;
+    }
+
+    os << "extrapolated (mean +/- stderr over K intervals):\n";
+    auto line = [&](const char *label, const SampleMetric &m) {
+        std::snprintf(buf, sizeof(buf), "  %-15s %9.6f +/- %9.6f\n",
+                      label, m.mean, m.stdErr);
+        os << buf;
+    };
+    line("ipc", r.ipc);
+    line("l1i miss rate", r.l1iMissRate);
+    line("l1d miss rate", r.l1dMissRate);
+    line("l2 miss rate", r.l2MissRate);
+    line("itlb miss rate", r.itlbMissRate);
+    line("dtlb miss rate", r.dtlbMissRate);
+
+    double detailed = (double)r.K * (double)(r.W + r.warmup);
+    std::snprintf(buf, sizeof(buf),
+                  "est cycles %.6e  est ticks %llu\n"
+                  "detailed insts: %.0f of %llu (%.1f%%)\n",
+                  r.estCycles, (unsigned long long)r.estTicks,
+                  detailed, (unsigned long long)r.totalInsts,
+                  r.totalInsts
+                      ? 100.0 * detailed / (double)r.totalInsts
+                      : 0.0);
+    os << buf;
+}
+
+} // namespace g5p::core

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * SimPoint-style interval sampling: estimate detailed-model stats for
+ * a whole run while simulating only a few windows of it in detail.
+ *
+ * A single Atomic pass executes the whole workload once, learning its
+ * length and verifying the guest checksum while dropping a crash-safe
+ * checkpoint at every W-instruction boundary (the "checkpoint farm").
+ * The farm is bounded: checkpoints are staged in memory and, whenever
+ * more than maxFarm accumulate, every other one is discarded and the
+ * boundary stride doubles — the classic reservoir-thinning scheme —
+ * so one pass yields at most maxFarm evenly spaced restore points no
+ * matter how long the run is, and only the survivors ever reach disk.
+ *
+ * K of those boundaries (evenly strided, seed-rotated phase) are then
+ * simulated in detail from their checkpoints — restored cross-model
+ * via the drain-and-switch machinery — first for `warmup` committed
+ * instructions to re-warm microarchitectural state the Atomic pass
+ * does not model (branch predictor, pipeline icache behavior), then
+ * for exactly W measured instructions. Whole-run IPC and miss rates
+ * are the means over the K windows with standard-error bars
+ * (stderr = s/sqrt(K), s the sample standard deviation); estimated
+ * whole-run cycles are totalInsts / meanIPC.
+ *
+ * The farm plus a manifest ("<farmPrefix>-manifest.ckpt") persists
+ * between runs: a later run with the same (workload, scale, W) skips
+ * the Atomic pass entirely and re-samples from the existing farm —
+ * possibly with a different model, K, seed or warmup. This mirrors
+ * how SimPoint checkpoints are used in gem5 practice: build the farm
+ * once, then amortize it over every detailed configuration studied.
+ *
+ * The detailed intervals are independent simulations, so they run on
+ * the ParallelExecutor pool; results are written by interval index,
+ * making the extrapolated report byte-identical for serial and
+ * --jobs N runs of the same (K, W, seed).
+ */
+
+#ifndef G5P_CORE_SAMPLING_HH
+#define G5P_CORE_SAMPLING_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "os/system.hh"
+
+namespace g5p::core
+{
+
+/** What to sample and how hard. */
+struct SamplingConfig
+{
+    std::string workload = "water_nsquared";
+    double scale = 1.0;
+
+    /** Model the sampled intervals run on (Atomic is pointless —
+     *  sampling exists to avoid paying for a detailed model). */
+    os::CpuModel detailModel = os::CpuModel::O3;
+
+    /** Detailed intervals to simulate (clamped to what the run
+     *  length allows; see SamplingResult::intervalsAvailable). */
+    unsigned K = 8;
+
+    /** Committed guest instructions per detailed interval. */
+    std::uint64_t W = 20000;
+
+    /**
+     * Detailed instructions executed before each measured window to
+     * re-warm state the Atomic fast-forward does not model (branch
+     * predictor, pipeline-driven icache behavior). 0 measures from
+     * the cold restore point; the per-interval cold-start transient
+     * then biases IPC low by a few percent.
+     */
+    std::uint64_t warmup = 0;
+
+    /**
+     * Upper bound on checkpoints kept in the farm. When the single
+     * Atomic pass accumulates more, every other one is dropped and
+     * the boundary stride doubles, so long workloads still produce
+     * at most this many evenly spaced restore points.
+     */
+    std::size_t maxFarm = 32;
+
+    /**
+     * Reuse an existing farm whose manifest matches this (workload,
+     * scale, W), skipping the Atomic pass. The manifest carries the
+     * pass's totals, so results are identical either way.
+     */
+    bool reuseFarm = true;
+
+    /** Worker threads for the detailed intervals (0 = hardware). */
+    unsigned jobs = 1;
+
+    /** Offsets which boundaries get picked within the stride, so
+     *  different seeds sample different program phases. Same
+     *  (K, W, seed) always picks the same intervals. */
+    std::uint64_t seed = 1;
+
+    /** Checkpoint-farm path prefix; interval k's checkpoint lands at
+     *  "<farmPrefix>-<k>.ckpt". The directory must exist. */
+    std::string farmPrefix = "sample-farm";
+
+    /** Base machine configuration; cpuModel, numCpus and
+     *  maxInstsPerCpu are overridden per phase. */
+    os::SystemConfig base;
+};
+
+/** One detailed interval's measurements (deltas over its window). */
+struct IntervalSample
+{
+    std::size_t index = 0;         ///< interval number k (start k*W)
+    std::uint64_t startInsts = 0;  ///< committed insts at window start
+    std::uint64_t insts = 0;       ///< committed inside the window
+    Tick ticks = 0;                ///< simulated ticks in the window
+    double cycles = 0;
+    double ipc = 0;
+    double l1iMissRate = 0;
+    double l1dMissRate = 0;
+    double l2MissRate = 0;
+    double itlbMissRate = 0;
+    double dtlbMissRate = 0;
+};
+
+/** A sampled metric: mean over the K intervals plus its error bar. */
+struct SampleMetric
+{
+    double mean = 0;
+    double stdErr = 0;  ///< s / sqrt(K); 0 when K < 2
+};
+
+/** Everything the sampling driver learned. */
+struct SamplingResult
+{
+    std::string workload;
+    os::CpuModel detailModel = os::CpuModel::O3;
+    unsigned K = 0;         ///< intervals actually simulated
+    std::uint64_t W = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t seed = 0;
+    unsigned jobs = 0;
+
+    /** @{ From the full Atomic pass (or the reused manifest). */
+    std::uint64_t totalInsts = 0;
+    Tick atomicTicks = 0;
+    std::uint64_t guestResult = 0;
+    bool resultOk = false;       ///< guest checksum matched
+    /** @} */
+
+    /** @{ Checkpoint farm actually used. */
+    bool farmReused = false;     ///< manifest matched; pass skipped
+    std::size_t farmSize = 0;    ///< boundaries with a checkpoint
+    std::size_t farmStride = 0;  ///< boundary spacing, in intervals
+    /** @} */
+
+    std::size_t intervalsAvailable = 0;  ///< N = totalInsts / W
+    std::vector<IntervalSample> intervals;
+
+    /** @{ Extrapolated whole-run estimates. */
+    SampleMetric ipc;
+    SampleMetric l1iMissRate;
+    SampleMetric l1dMissRate;
+    SampleMetric l2MissRate;
+    SampleMetric itlbMissRate;
+    SampleMetric dtlbMissRate;
+    double estCycles = 0;  ///< totalInsts / ipc.mean
+    Tick estTicks = 0;     ///< estCycles * clock period
+    /** @} */
+};
+
+/**
+ * Run the sampling phases (combined measure+farm pass — or manifest
+ * reuse — then parallel detail) and extrapolate. Throws ConfigError
+ * when W is too large for the workload (fewer than two complete
+ * intervals, or no boundary leaves room for warmup + W) and
+ * WorkloadError / CheckpointError on the usual failures underneath.
+ *
+ * Deterministic: the same config (including seed and farmPrefix
+ * contents being writable) yields a byte-identical printed report
+ * regardless of `jobs` and regardless of whether the farm was just
+ * built or reused.
+ */
+SamplingResult runSampledSimulation(const SamplingConfig &config);
+
+/**
+ * Fixed-precision, locale-independent report (per-interval table +
+ * extrapolated metrics with error bars). Byte-identical across runs
+ * of the same config — the determinism gate diffs this output.
+ */
+void printSamplingReport(std::ostream &os, const SamplingResult &r);
+
+} // namespace g5p::core
+
+#endif // G5P_CORE_SAMPLING_HH

@@ -24,6 +24,8 @@ class AtomicCpu : public BaseCpu
 
     void activate() override;
 
+    const char *modelTag() const override { return "atomic"; }
+
   protected:
     isa::Fault execReadMem(Addr vaddr, unsigned size) override;
     isa::Fault execWriteMem(Addr vaddr, unsigned size,

@@ -1,5 +1,6 @@
 #include "cpu/base_cpu.hh"
 
+#include "base/sim_error.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::cpu
@@ -61,18 +62,19 @@ BaseCpu::doSyscall()
 }
 
 void
-BaseCpu::countCommit(const isa::StaticInst &inst, Addr pc)
+BaseCpu::requireDrainedSource(const sim::CheckpointIn &cp) const
 {
-    numInsts_ += 1;
-    const auto &flags = inst.flags();
-    if (flags.isLoad)
-        numLoads_ += 1;
-    if (flags.isStore)
-        numStores_ += 1;
-    if (flags.isControl)
-        numBranches_ += 1;
-    if (commitHook_)
-        commitHook_(curTick(), pc, inst);
+    if (ckptModel_ != "o3")
+        return;
+    std::size_t rob = 0, fetch = 0;
+    cp.param("numRob", rob);
+    cp.param("numFetch", fetch);
+    if (rob || fetch)
+        g5p_throw(CheckpointError, name(), curTick(),
+                  "cannot restore an o3 checkpoint with %zu in-window "
+                  "instruction(s) into a %s core: o3 applies effects "
+                  "at dispatch, so the window cannot be dropped",
+                  rob + fetch, modelTag());
 }
 
 void
@@ -95,6 +97,7 @@ BaseCpu::regStats()
 void
 BaseCpu::serialize(sim::CheckpointOut &cp) const
 {
+    cp.param("model", std::string(modelTag()));
     cp.param("pc", pc_);
     cp.param("halted", (int)halted_);
     std::vector<std::uint64_t> regs(regs_, regs_ + isa::numArchRegs);
@@ -110,6 +113,15 @@ BaseCpu::serialize(sim::CheckpointOut &cp) const
 void
 BaseCpu::unserialize(const sim::CheckpointIn &cp)
 {
+    // Pre-switch checkpoints have no model tag; they were only ever
+    // restored same-model, so an empty tag means "same model".
+    ckptModel_.clear();
+    if (cp.has("model"))
+        cp.param("model", ckptModel_);
+    // Cross-model transplant: refuse sources whose in-window effects
+    // cannot be dropped, whatever model is restoring them.
+    if (!ckptModel_.empty() && ckptModel_ != modelTag())
+        requireDrainedSource(cp);
     cp.param("pc", pc_);
     int halted = 0;
     cp.param("halted", halted);

@@ -82,6 +82,30 @@ class BaseCpu : public sim::ClockedObject
     /** Begin execution at the reset PC (schedules the first event). */
     virtual void activate() = 0;
 
+    /**
+     * Short model tag ("atomic"/"timing"/"minor"/"o3"), written into
+     * checkpoints so unserialize can tell a same-model checkpoint
+     * (full pipeline restore) from a cross-model one (architectural
+     * state only; the pipeline starts drained).
+     */
+    virtual const char *modelTag() const = 0;
+
+    /**
+     * One-shot region boundary: fire @p cb from the commit path once
+     * the committed-instruction count reaches @p at_insts (0 disarms).
+     * Unlike the maxInsts limit this does not halt the CPU — the
+     * callback typically calls Simulator::exitSimLoop so run()
+     * returns at the boundary and the caller can checkpoint or
+     * switch models, then resume. Not serialized: drivers re-arm
+     * after a restore.
+     */
+    void
+    setInstMilestone(std::uint64_t at_insts, std::function<void()> cb)
+    {
+        milestoneAt_ = at_insts;
+        milestoneCb_ = std::move(cb);
+    }
+
     /** @{ Architectural state access (debug / syscalls / tests). */
     std::uint64_t
     readArchReg(RegIndex reg) const
@@ -137,8 +161,45 @@ class BaseCpu : public sim::ClockedObject
     /** Dispatch an ECALL to the bound handler. */
     void doSyscall();
 
-    /** Post-commit bookkeeping shared by all models. */
-    void countCommit(const isa::StaticInst &inst, Addr pc);
+    /**
+     * Post-commit bookkeeping shared by all models. Inline: runs once
+     * per committed instruction in every model, and the common case
+     * is four stat increments plus two null-check branches.
+     */
+    void
+    countCommit(const isa::StaticInst &inst, Addr pc)
+    {
+        numInsts_ += 1;
+        const auto &flags = inst.flags();
+        if (flags.isLoad)
+            numLoads_ += 1;
+        if (flags.isStore)
+            numStores_ += 1;
+        if (flags.isControl)
+            numBranches_ += 1;
+        if (commitHook_)
+            commitHook_(curTick(), pc, inst);
+        if (milestoneAt_ && numInsts() >= milestoneAt_) {
+            // Move-out first: the callback may re-arm a later
+            // milestone.
+            milestoneAt_ = 0;
+            auto cb = std::move(milestoneCb_);
+            milestoneCb_ = nullptr;
+            if (cb)
+                cb();
+        }
+    }
+
+    /**
+     * Guard for cross-model unserialize: throws CheckpointError when
+     * the source checkpoint (ckptModel_) could hold instructions
+     * whose architectural effects are already applied but not yet
+     * committed — dropping those would lose state. Atomic, Timing
+     * and Minor drain to pure architectural state at quiescence; O3
+     * applies effects at dispatch, so an O3 checkpoint transplants
+     * only when its window is empty.
+     */
+    void requireDrainedSource(const sim::CheckpointIn &cp) const;
 
     /** True once the per-CPU instruction limit is hit. */
     bool
@@ -185,6 +246,14 @@ class BaseCpu : public sim::ClockedObject
     std::function<void(BaseCpu &)> onHalt_;
     CommitHook commitHook_;
     bool halted_ = false;
+
+    /** Model name found in the checkpoint section being restored
+     *  (empty when absent: pre-switch checkpoints, assumed
+     *  same-model). Valid during unserialize(). */
+    std::string ckptModel_;
+
+    std::uint64_t milestoneAt_ = 0;
+    std::function<void()> milestoneCb_;
 
     IcachePort icachePort_;
     DcachePort dcachePort_;

@@ -393,26 +393,39 @@ void
 MinorCpu::unserialize(const sim::CheckpointIn &cp)
 {
     BaseCpu::unserialize(cp);
-    cp.param("fetchPc", fetchPc_);
-    cp.param("fetchEpoch", fetchEpoch_);
-    int stopping = 0;
-    cp.param("stopping", stopping);
-    stopping_ = stopping != 0;
+    bool same_model = ckptModel_.empty() || ckptModel_ == modelTag();
+    if (same_model) {
+        cp.param("fetchPc", fetchPc_);
+        cp.param("fetchEpoch", fetchEpoch_);
+        int stopping = 0;
+        cp.param("stopping", stopping);
+        stopping_ = stopping != 0;
 
-    std::size_t num_input = 0;
-    cp.param("numInput", num_input);
-    inputBuffer_.clear();
-    for (std::size_t i = 0; i < num_input; ++i) {
-        std::string record;
-        cp.param("input" + std::to_string(i), record);
-        std::istringstream is(record);
-        FetchedInst fi;
-        std::uint64_t word = 0;
-        is >> fi.pc >> fi.predNpc >> fi.epoch >> word;
-        g5p_assert(!is.fail(), "%s: corrupt input-buffer record",
-                   name().c_str());
-        fi.inst = decoder_.decodeQuiet(word);
-        inputBuffer_.push_back(std::move(fi));
+        std::size_t num_input = 0;
+        cp.param("numInput", num_input);
+        inputBuffer_.clear();
+        for (std::size_t i = 0; i < num_input; ++i) {
+            std::string record;
+            cp.param("input" + std::to_string(i), record);
+            std::istringstream is(record);
+            FetchedInst fi;
+            std::uint64_t word = 0;
+            is >> fi.pc >> fi.predNpc >> fi.epoch >> word;
+            g5p_assert(!is.fail(), "%s: corrupt input-buffer record",
+                       name().c_str());
+            fi.inst = decoder_.decodeQuiet(word);
+            inputBuffer_.push_back(std::move(fi));
+        }
+    } else {
+        // Cross-model transplant (source already vetted by
+        // BaseCpu::unserialize): the source drained to pure
+        // architectural state, so start with a cold pipeline fetching
+        // at the committed PC; the predictor keeps its freshly built
+        // (empty) tables.
+        fetchPc_ = pc_;
+        fetchEpoch_ = 0;
+        stopping_ = halted_;
+        inputBuffer_.clear();
     }
 
     for (bool &busy : scoreboard_)
@@ -422,9 +435,11 @@ MinorCpu::unserialize(const sim::CheckpointIn &cp)
     outstandingStores_ = 0;
     pendingLoadInst_.reset();
 
-    cp.pushSection("bpred");
-    bpred_.unserialize(cp);
-    cp.popSection();
+    if (same_model) {
+        cp.pushSection("bpred");
+        bpred_.unserialize(cp);
+        cp.popSection();
+    }
 }
 
 void

@@ -47,6 +47,8 @@ class MinorCpu : public BaseCpu
 
     void activate() override;
 
+    const char *modelTag() const override { return "minor"; }
+
     void regStats() override;
 
     void serialize(sim::CheckpointOut &cp) const override;

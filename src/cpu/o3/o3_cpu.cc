@@ -636,6 +636,27 @@ void
 O3Cpu::unserialize(const sim::CheckpointIn &cp)
 {
     BaseCpu::unserialize(cp);
+    if (!ckptModel_.empty() && ckptModel_ != modelTag()) {
+        // Cross-model transplant (source already vetted by
+        // BaseCpu::unserialize): the source drained to pure
+        // architectural state, so start with an empty window fetching
+        // at the committed PC. The rename map and predictor keep
+        // their freshly built state (identity mapping, cold tables).
+        fetchPc_ = pc_;
+        fetchEpoch_ = 0;
+        fetchStopped_ = false;
+        wrongPathMode_ = false;
+        stopping_ = halted_;
+        rob_.clear();
+        fetchQueue_.clear();
+        fetchReadyCycle_.clear();
+        iq_.clear();
+        lsq_.clear();
+        fetchInFlight_ = false;
+        outstandingStores_ = 0;
+        dispatchMem_.valid = false;
+        return;
+    }
     cp.param("fetchPc", fetchPc_);
     cp.param("fetchEpoch", fetchEpoch_);
     int fetch_stopped = 0, wrong_path = 0, stopping = 0;

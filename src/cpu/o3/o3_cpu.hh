@@ -54,6 +54,8 @@ class O3Cpu : public BaseCpu
 
     void activate() override;
 
+    const char *modelTag() const override { return "o3"; }
+
     void regStats() override;
 
     void serialize(sim::CheckpointOut &cp) const override;

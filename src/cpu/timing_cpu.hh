@@ -25,6 +25,8 @@ class TimingCpu : public BaseCpu
 
     void activate() override;
 
+    const char *modelTag() const override { return "timing"; }
+
     void regStats() override;
 
     void serialize(sim::CheckpointOut &cp) const override;

@@ -114,7 +114,7 @@ Decoder::decodeOne(std::uint64_t word)
     }
 }
 
-StaticInstPtr
+const StaticInstPtr &
 Decoder::decode(std::uint64_t word)
 {
     // Each opcode's decode path is a distinct generated function in

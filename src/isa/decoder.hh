@@ -24,8 +24,12 @@ namespace g5p::isa
 class Decoder
 {
   public:
-    /** Decode @p word, reusing the cached StaticInst if present. */
-    StaticInstPtr decode(std::uint64_t word);
+    /** Decode @p word, reusing the cached StaticInst if present.
+     *  Returns a reference into the decode cache (stable until the
+     *  cache is cleared), so hot fetch loops skip the shared_ptr
+     *  refcount round-trip; copy into a StaticInstPtr to keep the
+     *  instruction past the decoder's lifetime. */
+    const StaticInstPtr &decode(std::uint64_t word);
 
     /** Number of distinct words decoded. */
     std::size_t cacheSize() const { return cache_.size(); }

@@ -8,11 +8,6 @@
 namespace g5p::mem
 {
 
-namespace
-{
-constexpr unsigned pageShift = 12; // 4KB guest pages
-} // namespace
-
 PhysicalMemory::PhysicalMemory(sim::Simulator &sim,
                                const std::string &name,
                                std::uint64_t size_bytes)
@@ -23,50 +18,6 @@ PhysicalMemory::PhysicalMemory(sim::Simulator &sim,
     // The array itself is the dominant simulator data structure;
     // register it so host-side data refs land inside it.
     hostBase_ = trace::DataSpace::instance().alloc(size_bytes);
-}
-
-void
-PhysicalMemory::checkRange(Addr addr, unsigned size) const
-{
-    g5p_assert(size > 0 && size <= 8, "bad access size %u", size);
-    g5p_assert(addr + size <= data_.size(),
-               "physical access out of range: %#llx+%u > %#llx",
-               (unsigned long long)addr, size,
-               (unsigned long long)data_.size());
-}
-
-void
-PhysicalMemory::touch(Addr addr)
-{
-    std::uint64_t page = addr >> pageShift;
-    if (!touchedPages_[page]) {
-        touchedPages_[page] = true;
-        ++pagesTouched_;
-    }
-}
-
-std::uint64_t
-PhysicalMemory::read(Addr addr, unsigned size) const
-{
-    G5P_TRACE_SCOPE("PhysicalMemory::read", MemAccess, false);
-    checkRange(addr, size);
-    const_cast<PhysicalMemory *>(this)->touch(addr);
-    trace::recordData(hostBase_ + addr, size, false);
-    std::uint64_t v = 0;
-    std::memcpy(&v, data_.data() + addr, size);
-    statReads_ += 1;
-    return v;
-}
-
-void
-PhysicalMemory::write(Addr addr, unsigned size, std::uint64_t value)
-{
-    G5P_TRACE_SCOPE("PhysicalMemory::write", MemAccess, false);
-    checkRange(addr, size);
-    touch(addr);
-    trace::recordData(hostBase_ + addr, size, true);
-    std::memcpy(data_.data() + addr, &value, size);
-    statWrites_ += 1;
 }
 
 std::uint64_t

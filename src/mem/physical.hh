@@ -15,8 +15,10 @@
 #define G5P_MEM_PHYSICAL_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "base/logging.hh"
 #include "sim/sim_object.hh"
 
 namespace g5p::mem
@@ -30,11 +32,37 @@ class PhysicalMemory : public sim::SimObject
 
     std::uint64_t size() const { return data_.size(); }
 
-    /** Read up to 8 bytes (little endian) at @p addr. */
-    std::uint64_t read(Addr addr, unsigned size) const;
+    /**
+     * Read up to 8 bytes (little endian) at @p addr.
+     *
+     * Defined inline: every simulated instruction fetch and data
+     * access funnels through here, and the call overhead alone was
+     * visible in whole-run profiles.
+     */
+    std::uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        G5P_TRACE_SCOPE("PhysicalMemory::read", MemAccess, false);
+        checkRange(addr, size);
+        touch(addr);
+        trace::recordData(hostBase_ + addr, size, false);
+        std::uint64_t v = 0;
+        std::memcpy(&v, data_.data() + addr, size);
+        statReads_ += 1;
+        return v;
+    }
 
     /** Write up to 8 bytes at @p addr. */
-    void write(Addr addr, unsigned size, std::uint64_t value);
+    void
+    write(Addr addr, unsigned size, std::uint64_t value)
+    {
+        G5P_TRACE_SCOPE("PhysicalMemory::write", MemAccess, false);
+        checkRange(addr, size);
+        touch(addr);
+        trace::recordData(hostBase_ + addr, size, true);
+        std::memcpy(data_.data() + addr, &value, size);
+        statWrites_ += 1;
+    }
 
     /** Bulk load (program images). */
     void writeBlock(Addr addr, const void *src, std::size_t len);
@@ -73,8 +101,27 @@ class PhysicalMemory : public sim::SimObject
     void regStats() override;
 
   private:
-    void checkRange(Addr addr, unsigned size) const;
-    void touch(Addr addr);
+    static constexpr unsigned pageShift = 12; // 4KB guest pages
+
+    void
+    checkRange(Addr addr, unsigned size) const
+    {
+        g5p_assert(size > 0 && size <= 8, "bad access size %u", size);
+        g5p_assert(addr + size <= data_.size(),
+                   "physical access out of range: %#llx+%u > %#llx",
+                   (unsigned long long)addr, size,
+                   (unsigned long long)data_.size());
+    }
+
+    void
+    touch(Addr addr) const
+    {
+        std::uint64_t page = addr >> pageShift;
+        if (!touchedPages_[page]) {
+            touchedPages_[page] = true;
+            ++pagesTouched_;
+        }
+    }
 
     mutable std::vector<std::uint8_t> data_;
     mutable std::vector<bool> touchedPages_;

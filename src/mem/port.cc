@@ -36,6 +36,15 @@ RequestPort::bind(ResponsePort &peer)
     peer.peer_ = this;
 }
 
+void
+RequestPort::unbind()
+{
+    if (!peer_)
+        return;
+    peer_->peer_ = nullptr;
+    peer_ = nullptr;
+}
+
 Tick
 RequestPort::sendAtomic(Packet &pkt)
 {

@@ -67,6 +67,14 @@ class RequestPort
     /** Connect to the downstream port (one-to-one). */
     void bind(ResponsePort &peer);
 
+    /**
+     * Disconnect from the downstream port (both directions), so the
+     * pair can be re-bound — e.g. a cache's cpu-side port surviving a
+     * CPU-model switch. No-op when unbound; must not be called with a
+     * transaction in flight across the link.
+     */
+    void unbind();
+
     bool isBound() const { return peer_ != nullptr; }
     const std::string &name() const { return name_; }
 

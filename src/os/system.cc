@@ -70,6 +70,21 @@ System::makeCpu(unsigned i)
 }
 
 void
+System::wireCpu(cpu::BaseCpu &cpu, unsigned i)
+{
+    cpu.setTlbs(itlbs_[i].get(), dtlbs_[i].get());
+    cpu.setSyscallHandler(config_.mode == SimMode::FS
+                              ? (cpu::SyscallHandler *)fsKernel_.get()
+                              : process_.get());
+    cpu.setHaltCallback([this](cpu::BaseCpu &) {
+        if (++haltedCount_ == cpus_.size())
+            sim_.exitSimLoop("workload complete");
+    });
+    cpu.icachePort().bind(l1is_[i]->cpuSidePort());
+    cpu.dcachePort().bind(l1ds_[i]->cpuSidePort());
+}
+
+void
 System::build(const GuestWorkload &workload)
 {
     g5p_assert(config_.numCpus >= 1 && config_.numCpus <= 16,
@@ -111,18 +126,7 @@ System::build(const GuestWorkload &workload)
         dtlbs_[i]->setPageTable(&process_->pageTable());
 
         auto cpu = makeCpu(i);
-        cpu->setTlbs(itlbs_[i].get(), dtlbs_[i].get());
-        cpu->setSyscallHandler(config_.mode == SimMode::FS
-                                   ? (cpu::SyscallHandler *)
-                                         fsKernel_.get()
-                                   : process_.get());
-        cpu->setHaltCallback([this](cpu::BaseCpu &) {
-            if (++haltedCount_ == cpus_.size())
-                sim_.exitSimLoop("workload complete");
-        });
-
-        cpu->icachePort().bind(l1is_[i]->cpuSidePort());
-        cpu->dcachePort().bind(l1ds_[i]->cpuSidePort());
+        wireCpu(*cpu, i);
         l1is_[i]->memSidePort().bind(
             xbar_->addUpstreamPort(l1is_[i].get()));
         l1ds_[i]->memSidePort().bind(
@@ -205,6 +209,75 @@ System::run(Tick tick_limit)
         cpusActivated_ = true;
     }
     return sim_.run(tick_limit);
+}
+
+bool
+System::switchCpu(CpuModel target)
+{
+    if (target == config_.cpuModel)
+        return true;
+    g5p_assert(!cpus_.empty(), "switchCpu on an empty machine");
+    if (!sim_.advanceToQuiescence())
+        return false; // the workload finished during the drain
+
+    // Serialize each core (architectural state + stats) and the
+    // pending event schedule into an in-memory checkpoint — the same
+    // per-object format takeCheckpoint writes, minus everything that
+    // stays in place (memory, caches, TLBs, page table).
+    sim::CheckpointOut out;
+    for (const auto &cpu : cpus_) {
+        out.pushSection(cpu->name());
+        cpu->serialize(out);
+        sim::serializeGroupStats(*cpu, out);
+        out.popSection();
+    }
+    out.pushSection("eventq");
+    sim_.eventq().serializeEvents(out);
+    out.popSection();
+    sim::CheckpointIn in = sim::CheckpointIn::fromText(out.toText());
+
+    // Tear the old cores out: remember their stats slots (dump order
+    // must not change), unbind the L1 cpu-side ports (the request
+    // side dies with the core), then destroy — the destructors
+    // deschedule tick events and free the ".tick" serial tags the
+    // replacement cores re-register under the same names.
+    std::vector<std::size_t> slots;
+    for (auto &cpu : cpus_) {
+        slots.push_back(sim_.childIndex(cpu.get()));
+        cpu->icachePort().unbind();
+        cpu->dcachePort().unbind();
+    }
+    cpus_.clear();
+
+    config_.cpuModel = target;
+    for (unsigned i = 0; i < config_.numCpus; ++i) {
+        auto cpu = makeCpu(i);
+        wireCpu(*cpu, i);
+        sim_.placeChildAt(cpu.get(), slots[i]);
+        cpus_.push_back(std::move(cpu));
+    }
+    // The replacements missed the cold-start init/regStats/startup
+    // phases; run them now, then rebuild the event schedule exactly
+    // as restoreCheckpoint does — clear everything (including any
+    // startup-scheduled events) and re-schedule in recorded service
+    // order, so fresh sequence numbers reproduce the same tie-breaks
+    // as a from-checkpoint cold start.
+    sim_.initNewObjects();
+    sim_.eventq().clear();
+
+    for (auto &cpu : cpus_) {
+        in.pushSection(cpu->name());
+        cpu->unserialize(in);
+        sim::unserializeGroupStats(*cpu, in);
+        in.popSection();
+    }
+    in.pushSection("eventq");
+    sim_.eventq().unserializeEvents(in);
+    in.popSection();
+
+    // Halted cores restore halted_ directly (no callback fires), so
+    // the tally carries over unchanged.
+    return true;
 }
 
 std::uint64_t

@@ -142,6 +142,31 @@ class System
     sim::SimResult run(const sim::RunOptions &options,
                        Tick tick_limit = maxTick);
 
+    /**
+     * Drain-and-switch to @p target between run() calls (gem5's
+     * switchCpus): service events to the quiescent point, serialize
+     * each core's architectural state, stats and the pending event
+     * schedule, destroy the cores, construct @p target cores in
+     * place (same names, same wiring, same stats slots), transplant
+     * the state, and re-schedule all pending events in recorded
+     * service order. Memory, caches, TLBs and the page table stay in
+     * place untouched.
+     *
+     * The result is bit-identical to writing a checkpoint at the
+     * same boundary and cold-starting a @p target machine from it
+     * (SwitchEquivalenceGate in tests/test_sampling.cc): both paths
+     * run the same cross-model unserialize and rebuild the event
+     * schedule with fresh sequence numbers in the same order.
+     *
+     * Commit hooks and instruction milestones on the old cores are
+     * not carried over — re-arm them on cpu(i) afterwards.
+     *
+     * @return false if the simulation exited during the drain (the
+     *         workload finished; the machine is left as-is); true on
+     *         a completed switch (or a no-op same-model request).
+     */
+    bool switchCpu(CpuModel target);
+
     /** @{ Component access. */
     sim::Simulator &simulator() { return sim_; }
     cpu::BaseCpu &cpu(unsigned i) { return *cpus_.at(i); }
@@ -170,6 +195,10 @@ class System
   private:
     void build(const GuestWorkload &workload);
     std::unique_ptr<cpu::BaseCpu> makeCpu(unsigned i);
+
+    /** Attach TLBs, syscall handler, halt callback and L1 ports to
+     *  core @p i (shared between build() and switchCpu()). */
+    void wireCpu(cpu::BaseCpu &cpu, unsigned i);
 
     sim::Simulator &sim_;
     SystemConfig config_;

@@ -328,8 +328,29 @@ class EventQueue
      */
     std::uint64_t serviceUntil(Tick limit);
 
-    /** Force curTick (checkpoint restore only). */
+    /** Force curTick (checkpoint restore, and batching handlers —
+     *  see serviceHorizon()). Asserts it never passes a pending
+     *  event. */
     void setCurTick(Tick tick);
+
+    /**
+     * @{ Event-handler batching contract. A handler that services
+     * multiple back-to-back units of work inside one process() call
+     * (the Atomic CPU's instruction batching) may advance curTick
+     * itself with setCurTick(), provided it (a) never passes the
+     * next pending event, (b) never passes serviceHorizon() — the
+     * run loop's tick limit — and (c) only batches while
+     * batchingAllowed() holds. The run loop clears the flag when a
+     * watchdog or profiler needs per-event granularity; outside
+     * those, batching is observably identical to one event per unit
+     * because any newly scheduled event (an exit, another CPU's
+     * tick) breaks the batch before it would run.
+     */
+    bool batchingAllowed() const { return batchingAllowed_; }
+    void setBatchingAllowed(bool v) { batchingAllowed_ = v; }
+    Tick serviceHorizon() const { return serviceHorizon_; }
+    void setServiceHorizon(Tick t) { serviceHorizon_ = t; }
+    /** @} */
 
     /** Total events serviced over the queue's lifetime. */
     std::uint64_t numServiced() const { return numServiced_; }
@@ -455,6 +476,11 @@ class EventQueue
     std::uint64_t numScheduled_ = 0;
     /** Pending auto-delete events (see quiescent()). */
     std::size_t transientScheduled_ = 0;
+
+    /** @{ Batching contract state (see batchingAllowed()). */
+    bool batchingAllowed_ = true;
+    Tick serviceHorizon_ = maxTick;
+    /** @} */
 
     /** 4-ary min-heap; heap_[i].event->heapIndex_ == i. */
     std::vector<HeapNode> heap_;

@@ -103,6 +103,10 @@ class SimObject : public EventManager, public stats::Group,
     std::string name_;
     /** Assigned by Simulator::registerObject. */
     std::uint32_t id_ = 0;
+    /** True once Simulator::initPhase has run this object's
+     *  init/regStats/startup phases (objects constructed after the
+     *  first run — a CPU-model switch — get them on the next pass). */
+    bool phased_ = false;
     HostAddr stateBase_;
     std::size_t stateBytes_;
 };

@@ -112,19 +112,23 @@ Simulator::unregisterObject(SimObject *obj)
 void
 Simulator::initPhase()
 {
-    if (initDone_)
-        return;
     // Phases match gem5: init, regStats, startup, in registration
-    // order. Objects constructed later are picked up on the next
-    // run() call because initPhase only runs once; mg5 configurations
-    // construct everything before the first run.
+    // order. Incremental: objects constructed after a previous pass
+    // (the CPU-model switch builds cores mid-simulation) get the same
+    // three phases, batched so every new object's init precedes any
+    // new object's regStats, exactly as at cold start.
+    std::vector<SimObject *> fresh;
     for (auto *obj : objects_)
+        if (!obj->phased_)
+            fresh.push_back(obj);
+    for (auto *obj : fresh)
         obj->init();
-    for (auto *obj : objects_)
+    for (auto *obj : fresh)
         obj->regStats();
-    for (auto *obj : objects_)
+    for (auto *obj : fresh) {
         obj->startup();
-    initDone_ = true;
+        obj->phased_ = true;
+    }
 }
 
 void
@@ -312,6 +316,12 @@ Simulator::run(Tick tick_limit)
     // Watchdog bookkeeping is per-run(): a fresh call gets a fresh
     // wall clock and budget even when continuing a simulation.
     const bool wd = watchdogEnabled_;
+
+    // Batching handlers must honor this run's tick limit, and both
+    // the watchdog and the self-profiler need the classic one-event-
+    // per-unit granularity to attribute and count correctly.
+    eventq_.setServiceHorizon(tick_limit);
+    eventq_.setBatchingAllowed(!wd && !profiler_);
     std::uint64_t runEvents = 0;
     std::uint64_t sameTickEvents = 0;
     Tick lastTick = eventq_.curTick();
@@ -549,6 +559,8 @@ class StatRestoreVisitor : public stats::Visitor
     const CheckpointIn &cp_;
 };
 
+} // namespace
+
 /** Write the non-derived stats of @p group as a "stats" subsection. */
 void
 serializeGroupStats(const stats::Group &group, CheckpointOut &cp)
@@ -573,8 +585,6 @@ unserializeGroupStats(stats::Group &group, const CheckpointIn &cp)
     group.visit(restore, "");
     cp.popSection();
 }
-
-} // namespace
 
 void
 Simulator::takeCheckpoint(CheckpointOut &cp) const

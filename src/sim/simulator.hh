@@ -228,6 +228,16 @@ class Simulator : public stats::Group
     bool restored() const { return restored_; }
 
     /**
+     * Run the init/regStats/startup phases for objects constructed
+     * after the first run() — the CPU-model switch constructs cores
+     * mid-simulation. Objects that already had their phases keep
+     * them; run() calls this implicitly, so it is only needed when
+     * state must be restored into the new objects before the next
+     * run() (e.g. os::System::switchCpu).
+     */
+    void initNewObjects() { initPhase(); }
+
+    /**
      * Write an automatic checkpoint every @p period ticks to
      * "<prefix>-<tick>.ckpt". Taken from the run() loop at the first
      * quiescent point after each period boundary, never from inside
@@ -274,7 +284,6 @@ class Simulator : public stats::Group
 
     EventQueue eventq_;
     std::vector<SimObject *> objects_;
-    bool initDone_ = false;
     std::uint64_t eventsServiced_ = 0;
 
     bool exitRequested_ = false;
@@ -313,6 +322,16 @@ class Simulator : public stats::Group
     /** Next SimObject id (0 is this root). */
     std::uint32_t nextObjectId_ = 1;
 };
+
+/**
+ * @{ Write/read the non-derived stats of @p group as a "stats"
+ * subsection of the current checkpoint section (the format
+ * takeCheckpoint uses per object). Shared with the CPU-model switch,
+ * which serializes only the CPU sections of a machine.
+ */
+void serializeGroupStats(const stats::Group &group, CheckpointOut &cp);
+void unserializeGroupStats(stats::Group &group, const CheckpointIn &cp);
+/** @} */
 
 } // namespace g5p::sim
 

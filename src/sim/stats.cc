@@ -74,6 +74,29 @@ Group::~Group()
     }
 }
 
+std::size_t
+Group::childIndex(const Group *child) const
+{
+    for (std::size_t i = 0; i < children_.size(); ++i)
+        if (children_[i] == child)
+            return i;
+    return std::string::npos;
+}
+
+void
+Group::placeChildAt(Group *child, std::size_t index)
+{
+    auto it = std::find(children_.begin(), children_.end(), child);
+    g5p_assert(it != children_.end(),
+               "'%s' is not a child of group '%s'",
+               child->groupName().c_str(), groupName_.c_str());
+    children_.erase(it);
+    if (index > children_.size())
+        index = children_.size();
+    children_.insert(children_.begin() + (std::ptrdiff_t)index,
+                     child);
+}
+
 void
 Group::addStat(Info *stat, const std::string &name,
                const std::string &desc)

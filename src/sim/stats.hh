@@ -229,6 +229,18 @@ class Group
     const std::vector<Info *> &statList() const { return stats_; }
     const std::vector<Group *> &childGroups() const { return children_; }
 
+    /** Position of @p child in childGroups(); npos if absent. */
+    std::size_t childIndex(const Group *child) const;
+
+    /**
+     * Move @p child (already a child of this group) to @p index in
+     * childGroups(). Dump and visit order follow registration order,
+     * so a replacement object constructed later than its predecessor
+     * (CPU-model switch) can reclaim the original slot and keep
+     * stats.txt layout identical to a never-switched machine.
+     */
+    void placeChildAt(Group *child, std::size_t index);
+
     /** Look up a stat by dotted suffix within this subtree. */
     const Info *findStat(const std::string &dotted) const;
 

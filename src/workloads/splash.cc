@@ -34,11 +34,26 @@ bitsOf(double d)
 class WaterNsquared : public WorkloadBase
 {
   public:
-    using WorkloadBase::WorkloadBase;
+    /**
+     * @param long_run the `water_nsquared_long` variant: same kernel,
+     * 128 base molecules instead of 48. All-pairs is O(n^2), so this
+     * runs ~7x longer at equal scale — the long-horizon guest the
+     * sampling ablation fast-forwards through.
+     */
+    explicit WaterNsquared(double scale, bool long_run = false)
+        : WorkloadBase(scale), long_(long_run)
+    {}
 
-    std::string name() const override { return "water_nsquared"; }
+    std::string
+    name() const override
+    {
+        return long_ ? "water_nsquared_long" : "water_nsquared";
+    }
 
-    std::uint64_t numMolecules() const { return scaled(48); }
+    std::uint64_t numMolecules() const
+    {
+        return scaled(long_ ? 128 : 48);
+    }
 
     void
     emit(isa::Assembler &as, unsigned num_cpus,
@@ -126,10 +141,16 @@ class WaterNsquared : public WorkloadBase
         }
         return sum;
     }
+
+  private:
+    bool long_ = false;
 };
 
 RegisterWorkload regWaterN("water_nsquared", [](double s) {
     return std::make_unique<WaterNsquared>(s);
+});
+RegisterWorkload regWaterNLong("water_nsquared_long", [](double s) {
+    return std::make_unique<WaterNsquared>(s, true);
 });
 
 // ---------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "os/system.hh"
+#include "workloads/workload.hh"
 
 using namespace g5p;
 using namespace g5p::isa;
@@ -221,6 +222,43 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &info) {
         return std::string(cpuModelName(info.param));
     });
+
+TEST(GoldenWorkloads, WaterNsquaredLongDigestMatchesFixture)
+{
+    // The long-horizon sampling guest: pin its Atomic-run stats (at a
+    // CI-sized scale) and its checksum so the variant can't silently
+    // drift apart from plain water_nsquared.
+    auto wl = workloads::Registry::instance().create(
+        "water_nsquared_long", 0.25);
+
+    sim::Simulator sim("system");
+    SystemConfig cfg;
+    System system(sim, cfg, *wl);
+    auto res = system.run(5'000'000'000'000ULL);
+    ASSERT_EQ(res.cause, sim::ExitCause::Finished);
+    EXPECT_EQ(system.result(), wl->expectedResult(1));
+
+    std::vector<std::string> lines = statLines(sim);
+    std::uint64_t digest = fnv1a(lines);
+    std::string path =
+        std::string(G5P_GOLDEN_DIR) + "/water_nsquared_long.txt";
+
+    if (updateGolden) {
+        writeFixture(path, digest, lines);
+        std::printf("updated %s\n", path.c_str());
+        return;
+    }
+
+    Fixture fx = readFixture(path);
+    ASSERT_TRUE(fx.present)
+        << "no golden fixture at " << path
+        << "; run test_golden --update-golden to create it";
+    EXPECT_EQ(fx.digest, digest)
+        << "stats drifted from golden run for water_nsquared_long"
+        << "; if intentional, bless with --update-golden.\n"
+        << "Line diff (- fixture, + this run):\n"
+        << diffLines(fx.lines, lines);
+}
 
 } // namespace
 

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * In-run CPU-model switching and interval sampling.
+ *
+ * SwitchEquivalenceGate is the acceptance gate for the drain-and-
+ * switch: for every detailed model, fast-forwarding on Atomic to a
+ * boundary and switching in place must be *bit-identical* — stats
+ * dump, instruction counts, memory digest, final tick, and the
+ * post-boundary commit trace — to building a fresh detailed machine
+ * and restoring it from a checkpoint taken at the same boundary.
+ *
+ * The sampling driver on top is checked for exact boundaries,
+ * cross-model safety (an undrained O3 window must refuse to
+ * transplant), and serial-vs-pooled byte-identical reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/sim_error.hh"
+#include "core/experiment.hh"
+#include "core/sampling.hh"
+#include "host/platforms.hh"
+#include "os/system.hh"
+#include "sim/serialize.hh"
+
+using namespace g5p;
+using namespace g5p::isa;
+using namespace g5p::os;
+
+namespace
+{
+
+/** Workload built from a lambda, for ad-hoc guest programs. */
+class InlineWorkload : public GuestWorkload
+{
+  public:
+    using EmitFn = std::function<void(Assembler &, unsigned)>;
+
+    InlineWorkload(std::string name, EmitFn emit)
+        : name_(std::move(name)), emit_(std::move(emit))
+    {}
+
+    std::string name() const override { return name_; }
+
+    void
+    emit(Assembler &as, unsigned num_cpus, SimMode mode) const override
+    {
+        emit_(as, num_cpus);
+    }
+
+  private:
+    std::string name_;
+    EmitFn emit_;
+};
+
+/**
+ * Same mixed loop the checkpoint tests use: stores, dependent loads
+ * and branches, so caches, TLBs, the branch predictor and the
+ * detailed pipelines all carry real state across the boundary.
+ */
+const InlineWorkload &
+switchWorkload()
+{
+    static InlineWorkload wl("switch-loop",
+                             [](Assembler &as, unsigned) {
+        as.label("_start");
+        as.li(RegS1, 0);
+        as.li(RegS0, 0);
+        as.li(RegT3, 1500);
+        as.li(RegT2, 0x200000);
+        as.label("loop");
+        as.andi(RegT0, RegS0, 255);
+        as.slli(RegT0, RegT0, 3);
+        as.add(RegT0, RegT0, RegT2);
+        as.sd(RegS0, RegT0, 0);
+        as.ld(RegT1, RegT0, 0);
+        as.add(RegS1, RegS1, RegT1);
+        as.addi(RegS0, RegS0, 1);
+        as.blt(RegS0, RegT3, "loop");
+        as.li(RegT0, (std::int64_t)GuestWorkload::resultAddr);
+        as.sd(RegS1, RegT0, 0);
+        as.halt();
+    });
+    return wl;
+}
+
+/** Everything compared between the switch and restore paths. */
+struct Artifacts
+{
+    std::string stats;
+    std::uint64_t result = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t memDigest = 0;
+    Tick finalTick = 0;
+};
+
+using CommitTrace = std::vector<std::pair<Tick, Addr>>;
+
+SystemConfig
+makeCfg(CpuModel model)
+{
+    SystemConfig cfg;
+    cfg.cpuModel = model;
+    return cfg;
+}
+
+struct Machine
+{
+    sim::Simulator sim{"system"};
+    System system;
+    CommitTrace trace;
+
+    explicit Machine(CpuModel model)
+        : system(sim, makeCfg(model), switchWorkload())
+    {
+        hookCommits();
+    }
+
+    /** (Re-)attach the commit trace — needed again after switchCpu
+     *  replaces the cores. */
+    void
+    hookCommits()
+    {
+        system.cpu(0).setCommitHook(
+            [this](Tick t, Addr pc, const isa::StaticInst &) {
+                trace.emplace_back(t, pc);
+            });
+    }
+
+    /** Run to a committed-instruction boundary (exact on Atomic). */
+    sim::SimResult
+    runTo(std::uint64_t insts)
+    {
+        system.cpu(0).setInstMilestone(insts, [this] {
+            sim.exitSimLoop("boundary", sim::ExitCause::User);
+        });
+        return system.run();
+    }
+
+    Artifacts
+    finish()
+    {
+        auto res = system.run();
+        EXPECT_EQ(res.cause, sim::ExitCause::Finished);
+        Artifacts a;
+        std::ostringstream stats;
+        sim.dumpStats(stats);
+        a.stats = stats.str();
+        a.result = system.result();
+        a.insts = system.totalInsts();
+        a.memDigest = system.physmem().contentDigest();
+        a.finalTick = res.tick;
+        return a;
+    }
+};
+
+std::string
+tmpPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "/g5p_" + tag;
+}
+
+void
+expectSameArtifacts(const Artifacts &a, const Artifacts &b)
+{
+    EXPECT_EQ(a.result, b.result);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.finalTick, b.finalTick);
+    EXPECT_EQ(a.memDigest, b.memDigest);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+constexpr std::uint64_t switchBoundary = 4000;
+
+/** The detailed models a fast-forward can switch into. */
+constexpr CpuModel detailedModels[] = {CpuModel::Timing,
+                                       CpuModel::Minor, CpuModel::O3};
+
+class SwitchEquivalenceGate
+    : public ::testing::TestWithParam<CpuModel>
+{};
+
+TEST_P(SwitchEquivalenceGate, SwitchMatchesColdRestoreBitExact)
+{
+    CpuModel target = GetParam();
+    std::string path = tmpPath(std::string("switch_") +
+                               cpuModelName(target) + ".ckpt");
+
+    // Path A: Atomic to the boundary, checkpoint there (for path B),
+    // switch in place, finish on the detailed model.
+    Machine ma(CpuModel::Atomic);
+    auto part = ma.runTo(switchBoundary);
+    ASSERT_EQ(part.cause, sim::ExitCause::User);
+    ASSERT_EQ(ma.system.totalInsts(), switchBoundary);
+    ASSERT_TRUE(ma.sim.checkpoint(path));
+    ASSERT_TRUE(ma.system.switchCpu(target));
+    ma.trace.clear();
+    ma.hookCommits();
+    Artifacts a = ma.finish();
+    ASSERT_GT(a.insts, switchBoundary);
+
+    // Path B: a freshly built detailed machine, cold-started from the
+    // boundary checkpoint.
+    Machine mb(target);
+    mb.sim.restore(path);
+    Artifacts b = mb.finish();
+
+    expectSameArtifacts(a, b);
+    EXPECT_EQ(ma.trace, mb.trace);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, SwitchEquivalenceGate,
+    ::testing::ValuesIn(detailedModels), [](const auto &info) {
+        return std::string(cpuModelName(info.param));
+    });
+
+TEST(CpuSwitch, SameModelIsANoop)
+{
+    Machine m(CpuModel::Atomic);
+    m.runTo(switchBoundary);
+    EXPECT_TRUE(m.system.switchCpu(CpuModel::Atomic));
+    Artifacts a = m.finish();
+
+    Machine ref(CpuModel::Atomic);
+    Artifacts b = ref.finish();
+    expectSameArtifacts(a, b);
+}
+
+TEST(CpuSwitch, RoundTripThroughDetailedModels)
+{
+    // Atomic -> Timing -> Minor -> Atomic: Timing and Minor sources
+    // are always transplantable (no in-window effects), so a chain of
+    // switches must preserve the architectural outcome. (O3 as a
+    // *source* is refused unless its window drained — see the
+    // UndrainedO3WindowRefusesTransplant test.)
+    Machine m(CpuModel::Atomic);
+    auto part = m.runTo(2000);
+    ASSERT_EQ(part.cause, sim::ExitCause::User);
+    ASSERT_TRUE(m.system.switchCpu(CpuModel::Timing));
+    m.hookCommits();
+    part = m.runTo(3000);
+    ASSERT_EQ(part.cause, sim::ExitCause::User);
+    ASSERT_TRUE(m.system.switchCpu(CpuModel::Minor));
+    m.hookCommits();
+    part = m.runTo(4000);
+    ASSERT_EQ(part.cause, sim::ExitCause::User);
+    ASSERT_TRUE(m.system.switchCpu(CpuModel::Atomic));
+    m.hookCommits();
+    Artifacts a = m.finish();
+    EXPECT_GT(a.insts, 4000u);
+
+    // The guest outcome is model-independent.
+    Machine ref(CpuModel::Atomic);
+    Artifacts b = ref.finish();
+    EXPECT_EQ(a.result, b.result);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.memDigest, b.memDigest);
+}
+
+TEST(CpuSwitch, UndrainedO3WindowRefusesTransplant)
+{
+    // A mid-run O3 checkpoint may hold in-window instructions whose
+    // effects were applied at dispatch; restoring one into another
+    // model must throw, not silently drop the window.
+    Machine ma(CpuModel::O3);
+    Artifacts a = ma.finish();
+
+    sim::CheckpointOut out;
+    bool window_nonempty = false;
+    // Scan candidate boundaries: at least one mid-run quiescent point
+    // of the main loop has an occupied ROB (deterministic, so the
+    // first hit always reproduces).
+    for (Tick mid = a.finalTick / 2;
+         mid < (Tick)(a.finalTick * 3) / 4 && !window_nonempty;
+         mid += a.finalTick / 16) {
+        Machine mb(CpuModel::O3);
+        auto part = mb.system.run(mid);
+        ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
+        ASSERT_TRUE(mb.sim.advanceToQuiescence());
+        sim::CheckpointOut candidate;
+        mb.sim.takeCheckpoint(candidate);
+        auto in = sim::CheckpointIn::fromText(candidate.toText());
+        in.pushSection("system.cpu0");
+        std::size_t rob = 0;
+        in.param("numRob", rob);
+        in.popSection();
+        if (rob > 0) {
+            out = std::move(candidate);
+            window_nonempty = true;
+        }
+    }
+    ASSERT_TRUE(window_nonempty)
+        << "no quiescent point with an occupied ROB found";
+
+    Machine mc(CpuModel::Timing);
+    auto in = sim::CheckpointIn::fromText(out.toText());
+    EXPECT_THROW(mc.sim.restoreCheckpoint(in), CheckpointError);
+}
+
+TEST(InstMilestone, ExactOnAtomicAndRearmable)
+{
+    Machine m(CpuModel::Atomic);
+    auto res = m.runTo(1000);
+    ASSERT_EQ(res.cause, sim::ExitCause::User);
+    EXPECT_EQ(m.system.cpu(0).numInsts(), 1000u);
+
+    // Re-arm for a later boundary and keep going.
+    res = m.runTo(2500);
+    ASSERT_EQ(res.cause, sim::ExitCause::User);
+    EXPECT_EQ(m.system.cpu(0).numInsts(), 2500u);
+
+    auto a = m.finish();
+    Machine ref(CpuModel::Atomic);
+    expectSameArtifacts(a, ref.finish());
+}
+
+TEST(InstMilestone, AtLeastSemanticsOnDetailedModels)
+{
+    // Wide models may commit past the boundary within the same cycle;
+    // the milestone still fires promptly (within one commit width).
+    Machine m(CpuModel::O3);
+    auto res = m.runTo(1000);
+    ASSERT_EQ(res.cause, sim::ExitCause::User);
+    EXPECT_GE(m.system.cpu(0).numInsts(), 1000u);
+    EXPECT_LE(m.system.cpu(0).numInsts(), 1000u + 8u);
+}
+
+TEST(FastForward, RunConfigSwitchesMidRun)
+{
+    core::RunConfig detailed;
+    detailed.workload = "sieve";
+    detailed.cpuModel = CpuModel::O3;
+    detailed.workloadScale = 0.1;
+    detailed.platform = host::xeonConfig();
+
+    core::RunConfig ffwd = detailed;
+    ffwd.fastForwardInsts = 5000;
+
+    core::RunResult full = core::runProfiledSimulation(detailed);
+    core::RunResult fast = core::runProfiledSimulation(ffwd);
+
+    // Functional outcome is identical; the detailed region shrinks,
+    // so simulated time shifts while instruction counts do not.
+    EXPECT_TRUE(full.resultOk);
+    EXPECT_TRUE(fast.resultOk);
+    EXPECT_EQ(full.guestResult, fast.guestResult);
+    EXPECT_EQ(full.guestInsts, fast.guestInsts);
+    EXPECT_GT(fast.guestInsts, ffwd.fastForwardInsts);
+}
+
+TEST(Sampling, DeterministicSerialVsPooled)
+{
+    core::SamplingConfig cfg;
+    cfg.workload = "sieve";
+    cfg.scale = 0.5;
+    cfg.detailModel = CpuModel::O3;
+    cfg.K = 4;
+    cfg.W = 2000;
+    cfg.seed = 7;
+    cfg.farmPrefix = tmpPath("sfarm");
+
+    cfg.jobs = 1;
+    core::SamplingResult serial = core::runSampledSimulation(cfg);
+    cfg.jobs = 4;
+    core::SamplingResult pooled = core::runSampledSimulation(cfg);
+
+    std::ostringstream rs, rp;
+    core::printSamplingReport(rs, serial);
+    core::printSamplingReport(rp, pooled);
+    EXPECT_EQ(rs.str(), rp.str());
+
+    EXPECT_TRUE(serial.resultOk);
+    EXPECT_EQ(serial.K, 4u);
+    ASSERT_EQ(serial.intervals.size(), 4u);
+    EXPECT_GT(serial.ipc.mean, 0.0);
+    EXPECT_GT(serial.estCycles, 0.0);
+    for (const auto &s : serial.intervals) {
+        EXPECT_GE(s.insts, cfg.W);
+        EXPECT_LE(s.insts, cfg.W + 8);
+        EXPECT_GT(s.ipc, 0.0);
+    }
+    for (std::size_t k = 0; k < serial.intervals.size(); ++k)
+        std::remove((cfg.farmPrefix + "-" +
+                     std::to_string(serial.intervals[k].index) +
+                     ".ckpt")
+                        .c_str());
+}
+
+TEST(Sampling, SeedPicksDifferentPhasesDeterministically)
+{
+    core::SamplingConfig cfg;
+    cfg.workload = "sieve";
+    cfg.scale = 0.5;
+    cfg.detailModel = CpuModel::Timing;
+    cfg.K = 2;
+    cfg.W = 2000;
+    cfg.farmPrefix = tmpPath("sfarm_seed");
+
+    cfg.seed = 1;
+    core::SamplingResult r1 = core::runSampledSimulation(cfg);
+    core::SamplingResult r1b = core::runSampledSimulation(cfg);
+    cfg.seed = 2;
+    core::SamplingResult r2 = core::runSampledSimulation(cfg);
+
+    std::ostringstream a, b, c;
+    core::printSamplingReport(a, r1);
+    core::printSamplingReport(b, r1b);
+    core::printSamplingReport(c, r2);
+    EXPECT_EQ(a.str(), b.str());   // same seed: byte-identical
+    ASSERT_EQ(r1.intervals.size(), r2.intervals.size());
+    EXPECT_NE(r1.intervals[0].index, r2.intervals[0].index);
+
+    for (const auto &r : {r1, r2})
+        for (const auto &s : r.intervals)
+            std::remove((cfg.farmPrefix + "-" +
+                         std::to_string(s.index) + ".ckpt")
+                            .c_str());
+}
+
+TEST(Sampling, OversizedWindowThrowsConfigError)
+{
+    core::SamplingConfig cfg;
+    cfg.workload = "sieve";
+    cfg.scale = 0.1;
+    cfg.W = 1ull << 40;
+    cfg.farmPrefix = tmpPath("sfarm_bad");
+    EXPECT_THROW(core::runSampledSimulation(cfg), ConfigError);
+}
+
+} // namespace

@@ -53,6 +53,17 @@ if [ "$#" -gt 0 ]; then
     ctest --preset sanitize -R '^(Profiler|RunOptionsApi|ProfilerOverheadGate)'
 fi
 
+# Sampling pass: the CPU-switch and sampling driver paths carry state
+# across machine lifetimes (drain-and-switch, cross-model checkpoint
+# transplants, an in-memory checkpoint farm that is thinned and
+# flushed, manifest reuse) — prime territory for lifetime bugs. Run
+# the switch/milestone/sampling suites sanitized even when a filter
+# narrowed the main pass.
+if [ "$#" -gt 0 ]; then
+    echo "== ctest sampling suite (preset: sanitize) =="
+    ctest --preset sanitize -R '^(SwitchEquivalenceGate|CpuSwitch|InstMilestone|FastForward|Sampling)'
+fi
+
 # TSan pass: the parallel harness runs whole simulations on pool
 # threads, so data races (not just leaks/UB) are the failure mode that
 # matters there. TSan and ASan cannot share a build, so this is a
@@ -67,9 +78,11 @@ if [ "${G5P_SKIP_TSAN:-0}" != "1" ]; then
 
     # Only the thread-bearing suites: the parallel determinism and
     # isolation tests exercise every cross-thread edge (registry
-    # reads, pooled recorders, result hand-back), and the checkpoint
-    # suite covers restore inside a pooled job. The rest of the suite
-    # is single-threaded and adds nothing under TSan but runtime.
+    # reads, pooled recorders, result hand-back), the checkpoint
+    # suite covers restore inside a pooled job, and the sampling
+    # driver runs its detailed intervals on the pool. The rest of the
+    # suite is single-threaded and adds nothing under TSan but
+    # runtime.
     echo "== ctest parallel suites (preset: tsan) =="
-    ctest --preset tsan -R '^(Parallel|Checkpoint)'
+    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling)'
 fi
