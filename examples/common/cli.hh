@@ -18,6 +18,9 @@
  *   --jobs=<n>                 worker threads for multi-run sweeps
  *                              (0 = all hardware threads); results
  *                              are byte-identical to --jobs=1
+ *   --cores=<n>                guest CPU cores behind the coherent
+ *                              xbar (1..16); multi-threaded
+ *                              workloads fan out over them
  *   --fast-forward=<insts>     run the first N guest instructions on
  *                              Atomic, then drain-and-switch to the
  *                              detailed model
@@ -88,6 +91,11 @@ struct CliOptions
      *  (core::runExperiments); 1 = serial, 0 = hardware threads. */
     unsigned jobs = 1;
 
+    /** Guest CPU cores (SystemConfig::numCpus / RunConfig::guestCpus);
+     *  multi-threaded workloads spread across them via the guest
+     *  threading shim. */
+    unsigned cores = 1;
+
     /** Atomic fast-forward length before the drain-and-switch
      *  (RunConfig::fastForwardInsts); 0 = no fast-forward. */
     std::uint64_t fastForwardInsts = 0;
@@ -155,6 +163,8 @@ printCliUsage(std::ostream &os, const char *argv0,
           "faults\n"
           "  --jobs=<n>                   worker threads for sweep "
           "examples (0 = all)\n"
+          "  --cores=<n>                  guest CPU cores (coherent "
+          "multi-core, 1..16)\n"
           "  --fast-forward=<insts>       Atomic to the boundary, "
           "then switch to the detailed model\n"
           "  --switch-cpu=<model>         model to switch into at "
@@ -248,6 +258,13 @@ parseCli(int argc, char **argv, const CliSpec &spec = {})
         } else if (flag == "--jobs") {
             opts.jobs =
                 (unsigned)std::strtoul(value.c_str(), nullptr, 0);
+        } else if (flag == "--cores") {
+            opts.cores =
+                (unsigned)std::strtoul(value.c_str(), nullptr, 0);
+            if (opts.cores < 1 || opts.cores > 16)
+                g5p_throw(ConfigError, "cli", 0,
+                          "--cores must be in 1..16, got '%s'",
+                          value.c_str());
         } else if (flag == "--fast-forward") {
             opts.fastForwardInsts =
                 std::strtoull(value.c_str(), nullptr, 0);

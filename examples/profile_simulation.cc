@@ -100,6 +100,7 @@ runCheckpointDemo(const core::RunConfig &cfg,
     os::SystemConfig scfg;
     scfg.cpuModel = cfg.cpuModel;
     scfg.mode = cfg.mode;
+    scfg.numCpus = cfg.guestCpus;
 
     sim::Simulator sim("system");
     os::System system(sim, scfg, *wl);
@@ -146,6 +147,7 @@ runMain(int argc, char **argv)
     cfg.workload = opts.workload;
     cfg.cpuModel = opts.cpuModel;
     cfg.workloadScale = opts.scale;
+    cfg.guestCpus = opts.cores;
     cfg.fastForwardInsts = opts.fastForwardInsts;
     cfg.platform = host::xeonConfig();
     cfg.run = opts.run;

@@ -110,8 +110,13 @@ runProfiledSimulation(const RunConfig &config)
 
     sim::SimResult sim_result;
     if (fast_forward) {
-        // Atomic to the boundary (cpu0's committed-inst count), then
-        // drain-and-switch to the detailed model for the remainder.
+        // Atomic to the boundary, then drain-and-switch to the
+        // detailed model for the remainder. Milestones are per-CPU,
+        // so the boundary is defined as *cpu0's* committed-inst
+        // count on every core count: cpu0 runs the workload's main
+        // thread (workers park in the threading shim until spawned),
+        // which keeps the boundary deterministic and meaningful on
+        // multi-core guests too.
         system.cpu(0).setInstMilestone(
             config.fastForwardInsts, [&simulator] {
                 simulator.exitSimLoop("fast-forward boundary",

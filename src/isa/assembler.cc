@@ -101,6 +101,16 @@ Assembler::jal(RegIndex rd, const std::string &l)
 }
 
 Assembler &
+Assembler::la(RegIndex rd, const std::string &l)
+{
+    // One addi whose immediate is patched with the label's absolute
+    // address at assemble time (guest images live below 2 GiB).
+    fixups_.push_back(Fixup{words_.size(), l, false});
+    words_.push_back(encode(Opcode::Addi, rd, RegZero, 0, 0));
+    return *this;
+}
+
+Assembler &
 Assembler::li(RegIndex rd, std::int64_t value)
 {
     if (value >= INT32_MIN && value <= INT32_MAX)
@@ -137,13 +147,15 @@ Assembler::assemble()
         if (it == labels_.end())
             g5p_fatal("undefined label '%s'", fix.label.c_str());
         Addr inst_addr = base_ + fix.index * instBytes;
-        std::int64_t delta = (std::int64_t)it->second -
-                             (std::int64_t)inst_addr;
-        g5p_assert(delta >= INT32_MIN && delta <= INT32_MAX,
-                   "branch to '%s' out of range", fix.label.c_str());
+        std::int64_t value = fix.isBranch
+            ? (std::int64_t)it->second - (std::int64_t)inst_addr
+            : (std::int64_t)it->second;
+        g5p_assert(value >= INT32_MIN && value <= INT32_MAX,
+                   "reference to '%s' out of range",
+                   fix.label.c_str());
         words_[fix.index] =
             (words_[fix.index] & ~0xffffffffULL) |
-            (std::uint64_t)(std::uint32_t)(std::int32_t)delta;
+            (std::uint64_t)(std::uint32_t)(std::int32_t)value;
     }
     Program prog;
     prog.base = base_;

@@ -127,6 +127,8 @@ class Assembler
 
     /** @{ Pseudo-instructions. */
     Assembler &li(RegIndex rd, std::int64_t value);
+    /** Load the absolute address of @p label (patched at assemble). */
+    Assembler &la(RegIndex rd, const std::string &label);
     Assembler &mv(RegIndex rd, RegIndex rs1)
     { return addi(rd, rs1, 0); }
     Assembler &nop() { return opImm(Opcode::Nop, 0, 0, 0); }

@@ -6,6 +6,18 @@
 namespace g5p::mem
 {
 
+const char *
+coherStateName(CoherState state)
+{
+    switch (state) {
+      case CoherState::Invalid:   return "I";
+      case CoherState::Shared:    return "S";
+      case CoherState::Exclusive: return "E";
+      case CoherState::Modified:  return "M";
+    }
+    return "?";
+}
+
 Cache::Cache(sim::Simulator &sim, const std::string &name,
              const sim::ClockDomain &domain, const CacheParams &params)
     : sim::ClockedObject(sim, name, domain, nullptr,
@@ -69,6 +81,17 @@ Cache::isCached(Addr addr) const
     return lookupConst(addr) != nullptr;
 }
 
+CoherState
+Cache::coherenceStateOf(Addr addr) const
+{
+    const Line *line = lookupConst(addr);
+    if (!line)
+        return CoherState::Invalid;
+    if (!line->writable)
+        return CoherState::Shared;
+    return line->dirty ? CoherState::Modified : CoherState::Exclusive;
+}
+
 Cache::Line &
 Cache::victimFor(Addr addr)
 {
@@ -124,6 +147,12 @@ Cache::invalidateLine(Addr addr)
         line->valid = false;
         invalidations_ += 1;
     }
+    // A fill (or upgrade) still in flight for this line carried a
+    // permission grant that the invalidating sibling has now voided —
+    // and our snoop-filter bit is gone. Mark the MSHR so the response
+    // re-arbitrates instead of installing a stale-writable line.
+    if (Mshr *mshr = findMshr(addr & ~(Addr)(lineBytes - 1)))
+        mshr->stolen = true;
 }
 
 Cache::Mshr *
@@ -164,8 +193,21 @@ Cache::recvAtomic(Packet &pkt)
 
     misses_ += 1;
     if (upgrade) {
+        // S -> M: ownership-only request; the line (and its LRU
+        // position) stays put, no data is refetched.
         upgradeMisses_ += 1;
-        line->valid = false; // refetched with ownership below
+        Packet up(MemCmd::UpgradeReq, pkt.lineAddr(), lineBytes);
+        up.setRequestorId(pkt.requestorId());
+        Tick up_lat = memPort_.sendAtomic(up);
+        // Atomic accesses are indivisible: no sibling can steal the
+        // line between the lookup above and the snoop, so the
+        // upgrade always lands.
+        g5p_assert(line->valid, "%s: atomic upgrade lost the line",
+                   name().c_str());
+        line->writable = true;
+        if (pkt.isWrite())
+            line->dirty = true;
+        return lat + up_lat + cyclesToTicks(params_.responseLatency);
     }
     MemCmd fill_cmd = pkt.needsExclusive() ? MemCmd::ReadExReq
                                            : MemCmd::ReadReq;
@@ -227,10 +269,8 @@ Cache::satisfyTiming(PacketPtr pkt)
     }
 
     misses_ += 1;
-    if (upgrade) {
+    if (upgrade)
         upgradeMisses_ += 1;
-        line->valid = false; // refilled with ownership
-    }
 
     Addr line_addr = pkt->lineAddr();
     if (Mshr *mshr = findMshr(line_addr)) {
@@ -248,10 +288,13 @@ Cache::satisfyTiming(PacketPtr pkt)
         return;
     }
     mshrs_.push_back(Mshr{line_addr, true, pkt->needsExclusive(),
-                          {pkt}});
+                          upgrade, false, {pkt}});
 
-    MemCmd fill_cmd = pkt->needsExclusive() ? MemCmd::ReadExReq
-                                            : MemCmd::ReadReq;
+    // S -> M upgrades keep the (still readable) line in place and
+    // request only ownership; real misses fetch data + permission.
+    MemCmd fill_cmd = upgrade ? MemCmd::UpgradeReq
+                     : pkt->needsExclusive() ? MemCmd::ReadExReq
+                                             : MemCmd::ReadReq;
     auto *fill = new Packet(fill_cmd, line_addr, lineBytes);
     fill->setInstFetch(pkt->isInstFetch());
     fill->setRequestorId(pkt->requestorId());
@@ -267,8 +310,70 @@ Cache::recvTimingResp(PacketPtr pkt)
     g5p_assert(mshr, "%s: fill response with no MSHR for %#llx",
                name().c_str(), (unsigned long long)line_addr);
 
+    if (pkt->cmd() == MemCmd::UpgradeResp) {
+        Line *line = lookup(line_addr, false);
+        if (!line) {
+            // Transient SM -> IM: a sibling's exclusive request (or a
+            // conflicting fill in this set) took the line while the
+            // upgrade was in flight. Re-issue the fill as a full
+            // ReadEx (data + ownership) on the same MSHR.
+            upgradeRaces_ += 1;
+            mshr->isUpgrade = false;
+            mshr->stolen = false;
+            auto *refill = new Packet(MemCmd::ReadExReq, line_addr,
+                                      lineBytes);
+            refill->setRequestorId(pkt->requestorId());
+            delete pkt;
+            memPort_.sendTimingReq(refill);
+            return;
+        }
+        line->writable = true;
+        mshr->stolen = false;
+        delete pkt;
+        completeMshr(line_addr, *line);
+        return;
+    }
+
+    if (mshr->stolen) {
+        // Transient IS/IM -> I: a sibling's exclusive request raced
+        // ahead of this fill, so the writable flag it carries is
+        // stale and our snoop-filter bit is already cleared. Drain
+        // every target uncached — data is functional (the backing
+        // store is authoritative at completion time), so a write
+        // completing without a cached copy is architecturally fine,
+        // and never re-requesting is what guarantees forward
+        // progress: two cores re-issuing ReadEx against each other
+        // would steal each other's in-flight fill forever.
+        fillRaces_ += 1;
+        mshr->stolen = false;
+        delete pkt;
+        completeUncached(line_addr);
+        return;
+    }
+
     Line &line = insertLine(line_addr, pkt->writable(), true);
 
+    if (!line.writable && mshr->needsExclusive) {
+        // The fill went out as a plain read, a write coalesced in
+        // behind it, and a sibling kept a copy: enter the upgrade
+        // phase (transient SM) before releasing the targets.
+        mshr->isUpgrade = true;
+        auto *up = new Packet(MemCmd::UpgradeReq, line_addr,
+                              lineBytes);
+        up->setRequestorId(pkt->requestorId());
+        delete pkt;
+        memPort_.sendTimingReq(up);
+        return;
+    }
+
+    delete pkt;
+    completeMshr(line_addr, line);
+}
+
+void
+Cache::completeMshr(Addr line_addr, Line &line)
+{
+    Mshr *mshr = findMshr(line_addr);
     Cycles delay = params_.responseLatency;
     for (PacketPtr target : mshr->targets) {
         if (target->isWrite()) {
@@ -285,7 +390,29 @@ Cache::recvTimingResp(PacketPtr pkt)
     mshrs_.remove_if([line_addr](const Mshr &m) {
         return m.lineAddr == line_addr;
     });
-    delete pkt;
+
+    if (!deferred_.empty()) {
+        PacketPtr next = deferred_.front();
+        deferred_.pop_front();
+        scheduleFn(1, [this, next] { satisfyTiming(next); });
+    }
+}
+
+void
+Cache::completeUncached(Addr line_addr)
+{
+    Mshr *mshr = findMshr(line_addr);
+    Cycles delay = params_.responseLatency;
+    for (PacketPtr target : mshr->targets) {
+        scheduleFn(delay, [this, target] {
+            target->makeResponse();
+            cpuPort_.sendTimingResp(target);
+        });
+        delay = delay + 1;
+    }
+    mshrs_.remove_if([line_addr](const Mshr &m) {
+        return m.lineAddr == line_addr;
+    });
 
     if (!deferred_.empty()) {
         PacketPtr next = deferred_.front();

@@ -8,6 +8,14 @@
  * MSHRs that coalesce same-line requests; dirty victims generate
  * WritebackDirty packets downstream. Coherence between sibling L1s is
  * invalidation-based, orchestrated by the CoherentXbar.
+ *
+ * The valid/writable/dirty bits encode a MESI state machine:
+ * Invalid (!valid), Shared (valid, !writable), Exclusive (valid,
+ * writable, !dirty), Modified (valid, writable, dirty). A write to a
+ * Shared line raises an UpgradeReq (ownership only, no data); the
+ * line stays readable while the upgrade is in flight (transient SM),
+ * and a crossing invalidation downgrades the upgrade into a full
+ * ReadEx refill (transient SM -> IM).
  */
 
 #ifndef G5P_MEM_CACHE_HH
@@ -23,6 +31,22 @@
 
 namespace g5p::mem
 {
+
+/**
+ * MESI coherence state of one line, decoded from the tag bits. The
+ * stable states only; transient states live in the MSHRs (an MSHR
+ * with isUpgrade set is SM; one whose fill is outstanding is IS/IM).
+ */
+enum class CoherState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** State name for diagnostics ("I"/"S"/"E"/"M"). */
+const char *coherStateName(CoherState state);
 
 /** Cache geometry and latency parameters. */
 struct CacheParams
@@ -55,8 +79,21 @@ class Cache : public sim::ClockedObject
     /** True if the line containing @p addr is present. */
     bool isCached(Addr addr) const;
 
+    /** MESI state of the line containing @p addr (no LRU touch). */
+    CoherState coherenceStateOf(Addr addr) const;
+
     /** Coherence: drop the line (invalidate from a sibling). */
     void invalidateLine(Addr addr);
+
+    /** True while misses or deferred requests are outstanding. */
+    bool hasPendingMisses() const
+    { return !mshrs_.empty() || !deferred_.empty(); }
+
+    /** Upgrades that lost the race to a crossing invalidation. */
+    std::uint64_t upgradeRaces() const { return upgradeRaces_; }
+
+    /** Fills whose permission grant a sibling stole in flight. */
+    std::uint64_t fillRaces() const { return fillRaces_; }
 
     /**
      * Checkpoint tags, line state and LRU clock. MSHRs and deferred
@@ -90,6 +127,13 @@ class Cache : public sim::ClockedObject
         Addr lineAddr = 0;
         bool issued = false;
         bool needsExclusive = false;
+        bool isUpgrade = false; ///< transient SM: fill is ownership-only
+        /** A sibling's exclusive request raced ahead of the pending
+         *  fill: its permission grant (and our snoop-filter bit) is
+         *  void; the response drains its targets uncached instead of
+         *  filling (re-requesting could livelock: two cores would
+         *  steal each other's in-flight fills forever). */
+        bool stolen = false;
         std::vector<PacketPtr> targets;
     };
 
@@ -149,6 +193,13 @@ class Cache : public sim::ClockedObject
     /** Handle one demand request after the tag-lookup delay. */
     void satisfyTiming(PacketPtr pkt);
 
+    /** Drain an MSHR's coalesced targets against a present line. */
+    void completeMshr(Addr line_addr, Line &line);
+
+    /** Drain a stolen MSHR's targets without installing the line
+     *  (data comes from the functional backing store regardless). */
+    void completeUncached(Addr line_addr);
+
     /** Schedule @p fn after @p cycles on this cache's clock. */
     void scheduleFn(Cycles cycles, std::function<void()> fn);
 
@@ -170,6 +221,12 @@ class Cache : public sim::ClockedObject
     sim::stats::Scalar invalidations_;
     sim::stats::Scalar upgradeMisses_;
     sim::stats::Formula missRate_;
+
+    /** @{ Plain counters (not stat lines: keeps single-core stat
+     *  text identical) — coherence races, for the tester. */
+    std::uint64_t upgradeRaces_ = 0;
+    std::uint64_t fillRaces_ = 0;
+    /** @} */
 };
 
 } // namespace g5p::mem

@@ -1,0 +1,303 @@
+#include "mem/mem_tester.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+
+namespace g5p::mem
+{
+
+MemTester::MemTester(sim::Simulator &sim, const std::string &name,
+                     const MemTesterParams &params)
+    : sim::ClockedObject(sim, name, sim::ClockDomain::fromMHz(2000),
+                         nullptr, 4096),
+      params_(params)
+{
+    g5p_assert(params_.numCores >= 1 && params_.numCores <= 16,
+               "%s: %u cores (a line holds 16 4-byte slots)",
+               name.c_str(), params_.numCores);
+    g5p_assert(params_.actionLines >= 1 && params_.checkLines >= 1,
+               "%s: empty address pool", name.c_str());
+
+    const sim::ClockDomain clock = sim::ClockDomain::fromMHz(2000);
+    physmem_ = std::make_unique<PhysicalMemory>(
+        sim, name + ".physmem", params_.memBytes);
+    dram_ = std::make_unique<DramCtrl>(sim, name + ".dram", clock,
+                                       *physmem_, DramParams{});
+    l2_ = std::make_unique<Cache>(
+        sim, name + ".l2", clock,
+        CacheParams{64 * 1024, 8, 2, 2, 1, 16, false});
+    xbar_ = std::make_unique<CoherentXbar>(sim, name + ".xbar", clock,
+                                           XbarParams{});
+    l2_->memSidePort().bind(dram_->port());
+    xbar_->memSidePort().bind(l2_->cpuSidePort());
+
+    // Tiny L1s: conflict evictions are part of the stress (they
+    // create the transient states the upgrade/fill races live in).
+    for (unsigned i = 0; i < params_.numCores; ++i) {
+        l1s_.push_back(std::make_unique<Cache>(
+            sim, name + ".l1d" + std::to_string(i), clock,
+            CacheParams{2 * 1024, 2, 1, 1, 1, 4, true}));
+        l1s_[i]->memSidePort().bind(xbar_->addUpstreamPort(
+            l1s_[i].get()));
+    }
+
+    cores_.resize(params_.numCores);
+    for (unsigned i = 0; i < params_.numCores; ++i) {
+        Core &core = cores_[i];
+        core.rng.seed(params_.seed ^
+                      (0x517cc1b727220a95ULL * (i + 1)));
+        core.port = std::make_unique<CorePort>(
+            *this, i, name + ".core" + std::to_string(i));
+        core.port->bind(l1s_[i]->cpuSidePort());
+    }
+
+    lastValue_.assign((std::size_t)params_.actionLines *
+                          params_.numCores, 0);
+    for (unsigned l = 0; l < params_.checkLines; ++l)
+        for (unsigned w = 0; w < lineBytes / 8; ++w)
+            physmem_->write(checkBase + (Addr)l * lineBytes + w * 8,
+                            8, checkPattern(l, w));
+}
+
+MemTester::~MemTester() = default;
+
+std::uint64_t
+MemTester::checkPattern(unsigned line, unsigned word) const
+{
+    std::uint64_t x = params_.seed ^
+        (0x9e3779b97f4a7c15ULL * ((std::uint64_t)line * 8 + word + 1));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return x | 1;
+}
+
+void
+MemTester::startup()
+{
+    for (unsigned i = 0; i < params_.numCores; ++i)
+        scheduleNext(i);
+}
+
+bool
+MemTester::allDone() const
+{
+    return finishedCores_ == params_.numCores;
+}
+
+std::uint64_t
+MemTester::upgradeRaces() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l1 : l1s_)
+        total += l1->upgradeRaces();
+    return total;
+}
+
+std::uint64_t
+MemTester::fillRaces() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l1 : l1s_)
+        total += l1->fillRaces();
+    return total;
+}
+
+void
+MemTester::chooseOp(unsigned core)
+{
+    Core &c = cores_[core];
+    std::uint64_t r = c.rng.below(100);
+    if (r < params_.percentChecks) {
+        // Read-only pool: the pattern must never change.
+        unsigned line = (unsigned)c.rng.below(params_.checkLines);
+        unsigned word = (unsigned)c.rng.below(lineBytes / 8);
+        c.isWrite = false;
+        c.isCheck = true;
+        c.addr = checkBase + (Addr)line * lineBytes + word * 8;
+        c.size = 8;
+        c.checkExpect = checkPattern(line, word);
+        return;
+    }
+    unsigned line = (unsigned)c.rng.below(params_.actionLines);
+    if (r < params_.percentChecks + params_.percentWrites) {
+        // Store to our own slot in a false-shared line.
+        c.isWrite = true;
+        c.isCheck = false;
+        c.targetLine = line;
+        c.targetSlot = core;
+        c.addr = slotAddr(line, core);
+        c.size = 4;
+        c.storeVal = ((std::uint64_t)(core + 1) << 24) |
+                     (++c.writeSeq & 0xffffffULL);
+        return;
+    }
+    // Load any core's slot; verified against the last-writer table
+    // at completion time.
+    unsigned slot = (unsigned)c.rng.below(params_.numCores);
+    c.isWrite = false;
+    c.isCheck = false;
+    c.targetLine = line;
+    c.targetSlot = slot;
+    c.addr = slotAddr(line, slot);
+    c.size = 4;
+}
+
+void
+MemTester::tick(unsigned core)
+{
+    Core &c = cores_[core];
+    chooseOp(core);
+    MemCmd cmd = c.isWrite ? MemCmd::WriteReq : MemCmd::ReadReq;
+    if (params_.atomicMode) {
+        Packet pkt(cmd, c.addr, c.size);
+        pkt.setRequestorId((int)core);
+        c.port->sendAtomic(pkt);
+        finishAccess(core);
+        finishOp(core);
+        return;
+    }
+    auto *pkt = new Packet(cmd, c.addr, c.size);
+    pkt->setRequestorId((int)core);
+    c.busy = true;
+    c.port->sendTimingReq(pkt);
+}
+
+void
+MemTester::completeTiming(unsigned core, PacketPtr pkt)
+{
+    Core &c = cores_[core];
+    g5p_assert(c.busy, "%s: stray response on core %u",
+               name().c_str(), core);
+    g5p_assert(pkt->isResponse() && pkt->addr() == c.addr,
+               "%s: response mismatch on core %u", name().c_str(),
+               core);
+    delete pkt;
+    c.busy = false;
+    finishAccess(core);
+    finishOp(core);
+}
+
+void
+MemTester::finishAccess(unsigned core)
+{
+    Core &c = cores_[core];
+    if (c.isWrite) {
+        // Functional commit at completion time, exactly as the
+        // timing CPUs do; the host-side table updates in the same
+        // instant, so loads completing later must observe it.
+        physmem_->write(c.addr, c.size, c.storeVal);
+        lastValue_[(std::size_t)c.targetLine * params_.numCores +
+                   c.targetSlot] = c.storeVal;
+        stores_ += 1;
+        statStores_ += 1;
+        return;
+    }
+    std::uint64_t got = physmem_->read(c.addr, c.size);
+    std::uint64_t want =
+        c.isCheck
+            ? c.checkExpect
+            : lastValue_[(std::size_t)c.targetLine * params_.numCores +
+                         c.targetSlot];
+    if (got != want) {
+        std::ostringstream os;
+        os << (c.isCheck ? "check-pool" : "last-writer")
+           << " value mismatch: core " << core << " read " << c.size
+           << "B @ 0x" << std::hex << c.addr << " got 0x" << got
+           << " want 0x" << want << std::dec;
+        fail(os.str());
+    }
+    if (c.isCheck) {
+        checkReads_ += 1;
+        statChecks_ += 1;
+    } else {
+        loads_ += 1;
+        statLoads_ += 1;
+    }
+}
+
+void
+MemTester::finishOp(unsigned core)
+{
+    sweepInvariants();
+    Core &c = cores_[core];
+    c.done += 1;
+    if (c.done >= params_.opsPerCore) {
+        finishedCores_ += 1;
+        if (allDone())
+            simulator().exitSimLoop("mem_tester done");
+        return;
+    }
+    scheduleNext(core);
+}
+
+void
+MemTester::scheduleNext(unsigned core)
+{
+    Core &c = cores_[core];
+    Cycles gap = 1 + (Cycles)c.rng.below(params_.maxDelayCycles);
+    scheduleCallback(clockEdge(gap), [this, core] { tick(core); },
+                     name() + ".core" + std::to_string(core) +
+                         ".tick");
+}
+
+void
+MemTester::sweepInvariants()
+{
+    auto sweepLine = [this](Addr addr) {
+        unsigned writable = 0;
+        std::uint32_t filter = xbar_->holdersOf(addr);
+        for (unsigned i = 0; i < (unsigned)l1s_.size(); ++i) {
+            CoherState st = l1s_[i]->coherenceStateOf(addr);
+            if (st == CoherState::Invalid)
+                continue;
+            if (st == CoherState::Exclusive ||
+                st == CoherState::Modified)
+                ++writable;
+            if (!(filter & (1u << i))) {
+                std::ostringstream os;
+                os << "snoop filter lost a holder: " <<
+                    l1s_[i]->name() << " has line 0x" << std::hex
+                   << addr << std::dec << " in "
+                   << coherStateName(st) << " but filter mask is 0x"
+                   << std::hex << filter << std::dec;
+                fail(os.str());
+            }
+        }
+        if (writable > 1) {
+            std::ostringstream os;
+            os << "SWMR violation: " << writable
+               << " writable copies of line 0x" << std::hex << addr
+               << std::dec;
+            fail(os.str());
+        }
+    };
+    for (unsigned l = 0; l < params_.actionLines; ++l)
+        sweepLine(actionBase + (Addr)l * lineBytes);
+    for (unsigned l = 0; l < params_.checkLines; ++l)
+        sweepLine(checkBase + (Addr)l * lineBytes);
+    sweeps_ += 1;
+}
+
+void
+MemTester::fail(const std::string &what)
+{
+    if (violations_.size() >= 32)
+        return; // keep the report readable; the first ones matter
+    std::ostringstream os;
+    os << "tick " << curTick() << ": " << what;
+    violations_.push_back(os.str());
+}
+
+void
+MemTester::regStats()
+{
+    addStat(&statLoads_, "loads", "action-pool loads completed");
+    addStat(&statStores_, "stores", "action-pool stores completed");
+    addStat(&statChecks_, "checkReads",
+            "check-pool reads completed");
+}
+
+} // namespace g5p::mem

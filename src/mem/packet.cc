@@ -17,6 +17,8 @@ memCmdName(MemCmd cmd)
       case MemCmd::ReadExResp:     return "ReadExResp";
       case MemCmd::WritebackDirty: return "WritebackDirty";
       case MemCmd::InvalidateReq:  return "InvalidateReq";
+      case MemCmd::UpgradeReq:     return "UpgradeReq";
+      case MemCmd::UpgradeResp:    return "UpgradeResp";
     }
     return "?";
 }
@@ -28,6 +30,7 @@ Packet::makeResponse()
       case MemCmd::ReadReq:   cmd_ = MemCmd::ReadResp; break;
       case MemCmd::WriteReq:  cmd_ = MemCmd::WriteResp; break;
       case MemCmd::ReadExReq: cmd_ = MemCmd::ReadExResp; break;
+      case MemCmd::UpgradeReq: cmd_ = MemCmd::UpgradeResp; break;
       default:
         // A response command here means a packet came back through a
         // request path — a protocol violation (or injected fault), so

@@ -37,6 +37,8 @@ enum class MemCmd : std::uint8_t
     ReadExResp,
     WritebackDirty, ///< eviction of a dirty line (no response)
     InvalidateReq,  ///< coherence invalidation (no response)
+    UpgradeReq,     ///< S->M ownership upgrade (no data transfer)
+    UpgradeResp,
 };
 
 /** Command name for diagnostics. */
@@ -69,25 +71,35 @@ class Packet
     bool isWrite() const { return cmd_ == MemCmd::WriteReq; }
     bool isWriteback() const { return cmd_ == MemCmd::WritebackDirty; }
     bool isInvalidate() const { return cmd_ == MemCmd::InvalidateReq; }
+
+    /** Ownership upgrade for a line already held Shared. */
+    bool isUpgrade() const
+    {
+        return cmd_ == MemCmd::UpgradeReq ||
+               cmd_ == MemCmd::UpgradeResp;
+    }
+
     bool
     isResponse() const
     {
         return cmd_ == MemCmd::ReadResp || cmd_ == MemCmd::WriteResp ||
-               cmd_ == MemCmd::ReadExResp;
+               cmd_ == MemCmd::ReadExResp ||
+               cmd_ == MemCmd::UpgradeResp;
     }
 
     bool
     needsResponse() const
     {
         return cmd_ == MemCmd::ReadReq || cmd_ == MemCmd::WriteReq ||
-               cmd_ == MemCmd::ReadExReq;
+               cmd_ == MemCmd::ReadExReq || cmd_ == MemCmd::UpgradeReq;
     }
 
     /** Does this request need the line in exclusive/dirty state? */
     bool
     needsExclusive() const
     {
-        return cmd_ == MemCmd::WriteReq || cmd_ == MemCmd::ReadExReq;
+        return cmd_ == MemCmd::WriteReq || cmd_ == MemCmd::ReadExReq ||
+               cmd_ == MemCmd::UpgradeReq;
     }
 
     /** Convert a request in place into its response. */

@@ -67,12 +67,36 @@ CoherentXbar::processSnoops(Packet &pkt, unsigned from)
     return invalidated;
 }
 
+std::uint32_t
+CoherentXbar::holdersOf(Addr addr) const
+{
+    auto it = snoopFilter_.find(addr & ~(Addr)(lineBytes - 1));
+    return it != snoopFilter_.end() ? it->second : 0;
+}
+
+unsigned
+CoherentXbar::sharedLineCount() const
+{
+    unsigned shared = 0;
+    for (const auto &[addr, mask] : snoopFilter_)
+        if ((mask & (mask - 1)) != 0)
+            ++shared;
+    return shared;
+}
+
 Tick
 CoherentXbar::recvAtomic(Packet &pkt, unsigned from)
 {
     G5P_TRACE_SCOPE("CoherentXbar::recvAtomic", MemAtomic, true);
     transactions_ += 1;
     unsigned snoops = processSnoops(pkt, from);
+    if (pkt.isUpgrade()) {
+        // Ownership-only: the snoop pass above already invalidated
+        // every sibling copy; nothing travels downstream.
+        return cyclesToTicks(params_.frontendLatency +
+                             snoops * params_.snoopLatency +
+                             params_.responseLatency);
+    }
     bool writable = pkt.writable();
     Tick lat = cyclesToTicks(params_.frontendLatency +
                              snoops * params_.snoopLatency);
@@ -94,6 +118,19 @@ CoherentXbar::recvTimingReq(PacketPtr pkt, unsigned from)
     G5P_TRACE_SCOPE("CoherentXbar::recvTimingReq", MemAccess, true);
     transactions_ += 1;
     unsigned snoops = processSnoops(*pkt, from);
+
+    if (pkt->isUpgrade()) {
+        // Ownership-only: siblings are already invalidated; turn the
+        // packet around here instead of sending it downstream.
+        Cycles delay = params_.frontendLatency +
+                       snoops * params_.snoopLatency +
+                       params_.responseLatency;
+        scheduleFn(delay, [this, pkt, from] {
+            pkt->makeResponse();
+            upstreamPorts_[from]->sendTimingResp(pkt);
+        });
+        return;
+    }
 
     if (!pkt->needsResponse()) {
         // Writebacks just flow through after the crossbar latency.

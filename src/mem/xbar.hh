@@ -50,6 +50,17 @@ class CoherentXbar : public sim::ClockedObject
     /** Downstream port (binds to the L2's cpu side). */
     RequestPort &memSidePort() { return memPort_; }
 
+    /** @{ Coherence introspection for the tester and invariants. */
+    /** Bitmask of upstream ports that may hold @p addr's line. */
+    std::uint32_t holdersOf(Addr addr) const;
+    unsigned numUpstreamPorts() const
+    { return (unsigned)upstreamPorts_.size(); }
+    /** The snooping cache behind upstream port @p i (may be null). */
+    Cache *snooper(unsigned i) const { return snoopers_[i]; }
+    /** Lines currently tracked with more than one possible holder. */
+    unsigned sharedLineCount() const;
+    /** @} */
+
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(const sim::CheckpointIn &cp) override;
 

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "cpu/base_cpu.hh"
+#include "os/threads.hh"
 #include "sim/simulator.hh"
 #include "mem/page_table.hh"
 #include "mem/physical.hh"
@@ -84,6 +85,10 @@ SyscallEmulator::emulate(cpu::BaseCpu &cpu)
       }
 
       default:
+        if (threads_ && ThreadRuntime::handles((std::uint64_t)nr)) {
+            threads_->emulate(cpu);
+            break;
+        }
         g5p_fatal("unimplemented syscall %llu",
                   (unsigned long long)nr);
     }

@@ -21,6 +21,8 @@ namespace g5p::sim { class CheckpointIn; class CheckpointOut; }
 namespace g5p::os
 {
 
+class ThreadRuntime;
+
 /** Syscall numbers (passed in a7). */
 enum class SyscallNr : std::uint64_t
 {
@@ -40,6 +42,8 @@ enum class SyscallNr : std::uint64_t
     ResetStats = 1000,
     DumpStats = 1001,
     /** @} */
+
+    // 1010..1013: guest threading shim (see os/threads.hh).
 };
 
 /**
@@ -76,6 +80,10 @@ class SyscallEmulator
     std::uint64_t brk() const { return brk_; }
     /** @} */
 
+    /** Attach the thread shim (multi-core; see os/threads.hh). */
+    void setThreadRuntime(ThreadRuntime *threads)
+    { threads_ = threads; }
+
     /** Checkpoint console output, stats dumps and break state. */
     void serialize(sim::CheckpointOut &cp) const;
     void unserialize(const sim::CheckpointIn &cp);
@@ -89,6 +97,7 @@ class SyscallEmulator
     std::uint64_t exitStatus_ = 0;
     std::uint64_t brk_ = 0;
     std::uint64_t brkLimit_ = 0;
+    ThreadRuntime *threads_ = nullptr;
 };
 
 } // namespace g5p::os

@@ -106,6 +106,12 @@ System::build(const GuestWorkload &workload)
                                          100);
     process_->mapAll();
 
+    // Thread shim: always present (stats-invisible when unused) so
+    // threaded workloads run under every mode and CPU count.
+    threads_ = std::make_unique<ThreadRuntime>(
+        sim_, "threads", *physmem_, config_.numCpus);
+    process_->emulator().setThreadRuntime(threads_.get());
+
     if (config_.mode == SimMode::FS) {
         fsKernel_ = std::make_unique<FsKernel>(
             sim_, "kernel", clock_, *process_, *physmem_, config_.fs);

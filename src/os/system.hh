@@ -21,6 +21,7 @@
 #include "mem/xbar.hh"
 #include "os/fs_kernel.hh"
 #include "os/process.hh"
+#include "os/threads.hh"
 #include "sim/simulator.hh"
 
 namespace g5p::os
@@ -178,7 +179,9 @@ class System
     mem::Tlb &dtlb(unsigned i) { return *dtlbs_.at(i); }
     mem::PhysicalMemory &physmem() { return *physmem_; }
     mem::DramCtrl &dram() { return *dram_; }
+    mem::CoherentXbar &xbar() { return *xbar_; }
     Process &process() { return *process_; }
+    ThreadRuntime &threads() { return *threads_; }
     const SystemConfig &config() const { return config_; }
     const isa::Program &program() const { return program_; }
     /** @} */
@@ -214,6 +217,7 @@ class System
     std::vector<std::unique_ptr<mem::Tlb>> dtlbs_;
     std::vector<std::unique_ptr<cpu::BaseCpu>> cpus_;
     std::unique_ptr<Process> process_;
+    std::unique_ptr<ThreadRuntime> threads_;
     std::unique_ptr<FsKernel> fsKernel_;
 
     isa::Program program_;

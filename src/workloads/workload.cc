@@ -81,6 +81,7 @@ void linkParsecWorkloads();
 void linkSplashWorkloads();
 void linkSieveWorkload();
 void linkBootExitWorkload();
+void linkThreadWorkloads();
 
 Registry &
 Registry::instance()
@@ -90,6 +91,7 @@ Registry::instance()
     linkSplashWorkloads();
     linkSieveWorkload();
     linkBootExitWorkload();
+    linkThreadWorkloads();
     return registry;
 }
 

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sub-second coherence smoke for the `quick` pre-commit tier: one
+ * small random-tester run per protocol mode plus a single litmus
+ * shape. The full seeded sweep lives in test_coherence.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mem/mem_tester.hh"
+#include "sim/simulator.hh"
+
+using namespace g5p;
+
+namespace
+{
+
+void
+smoke(bool atomic)
+{
+    sim::Simulator sim("tester");
+    mem::MemTesterParams p;
+    p.numCores = 2;
+    p.seed = 1;
+    p.opsPerCore = 250;
+    p.atomicMode = atomic;
+    mem::MemTester tester(sim, "mt", p);
+
+    sim::SimResult res = sim.run();
+    ASSERT_EQ(res.cause, sim::ExitCause::Finished)
+        << sim::exitCauseName(res.cause) << "\n"
+        << sim.diagnosticDump();
+    ASSERT_TRUE(tester.allDone());
+
+    if (!tester.violations().empty()) {
+        std::ostringstream os;
+        for (const auto &v : tester.violations())
+            os << "  " << v << "\n";
+        FAIL() << "coherence violation(s):\n" << os.str();
+    }
+    EXPECT_GT(tester.stores(), 0u);
+}
+
+TEST(CoherenceQuick, TimingSmoke) { smoke(false); }
+
+TEST(CoherenceQuick, AtomicSmoke) { smoke(true); }
+
+} // namespace

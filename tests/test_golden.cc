@@ -260,6 +260,46 @@ TEST(GoldenWorkloads, WaterNsquaredLongDigestMatchesFixture)
         << diffLines(fx.lines, lines);
 }
 
+TEST(GoldenWorkloads, RadixThreadsTwoCoreDigestMatchesFixture)
+{
+    // The coherent multi-core path: a 2-core Timing run of the
+    // threaded radix kernel pins every coherence-facing stat (cache
+    // invalidations, xbar snoop counts, per-core commit counts) so
+    // protocol changes can't drift silently.
+    auto wl = workloads::Registry::instance().create("radix_threads",
+                                                     0.25);
+
+    sim::Simulator sim("system");
+    SystemConfig cfg;
+    cfg.cpuModel = CpuModel::Timing;
+    cfg.numCpus = 2;
+    System system(sim, cfg, *wl);
+    auto res = system.run(5'000'000'000'000ULL);
+    ASSERT_EQ(res.cause, sim::ExitCause::Finished);
+    EXPECT_EQ(system.result(), wl->expectedResult(2));
+
+    std::vector<std::string> lines = statLines(sim);
+    std::uint64_t digest = fnv1a(lines);
+    std::string path =
+        std::string(G5P_GOLDEN_DIR) + "/radix_threads_2core.txt";
+
+    if (updateGolden) {
+        writeFixture(path, digest, lines);
+        std::printf("updated %s\n", path.c_str());
+        return;
+    }
+
+    Fixture fx = readFixture(path);
+    ASSERT_TRUE(fx.present)
+        << "no golden fixture at " << path
+        << "; run test_golden --update-golden to create it";
+    EXPECT_EQ(fx.digest, digest)
+        << "stats drifted from golden run for radix_threads (2-core)"
+        << "; if intentional, bless with --update-golden.\n"
+        << "Line diff (- fixture, + this run):\n"
+        << diffLines(fx.lines, lines);
+}
+
 } // namespace
 
 int

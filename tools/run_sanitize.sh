@@ -64,6 +64,17 @@ if [ "$#" -gt 0 ]; then
     ctest --preset sanitize -R '^(SwitchEquivalenceGate|CpuSwitch|InstMilestone|FastForward|Sampling)'
 fi
 
+# Coherence pass: the MSI/MESI machinery lives on heap packets and
+# MSHRs handed between caches, the xbar, and the tester — use-after-
+# free in a race-recovery path (stolen fills, upgrade reissues) is
+# exactly what ASan catches and normal runs may survive by luck. Run
+# the stress tester, litmus sweep, and multi-core regressions
+# sanitized even when a filter narrowed the main pass.
+if [ "$#" -gt 0 ]; then
+    echo "== ctest coherence suite (preset: sanitize) =="
+    ctest --preset sanitize -R '^(CoherenceStress|CoherenceQuick|Litmus|ThreadedGuest|MultiCoreRegression)'
+fi
+
 # TSan pass: the parallel harness runs whole simulations on pool
 # threads, so data races (not just leaks/UB) are the failure mode that
 # matters there. TSan and ASan cannot share a build, so this is a
@@ -83,6 +94,8 @@ if [ "${G5P_SKIP_TSAN:-0}" != "1" ]; then
     # driver runs its detailed intervals on the pool. The rest of the
     # suite is single-threaded and adds nothing under TSan but
     # runtime.
+    # Coherence rides along: pooled sweeps may run multi-core guests,
+    # so the protocol paths must also be clean under TSan.
     echo "== ctest parallel suites (preset: tsan) =="
-    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling)'
+    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling|Coherence)'
 fi
