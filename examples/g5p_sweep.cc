@@ -1,0 +1,219 @@
+/**
+ * @file
+ * g5p_sweep: client CLI for the sweep daemon.
+ *
+ * Talks to g5p_sweepd through the spool directory — no socket, no
+ * extra dependency, and every hand-off is crash-safe (specs are
+ * dropped into `<spool>/incoming/` with the same tmp+rename commit
+ * the spool itself uses).
+ *
+ * Usage:
+ *   g5p_sweep [--spool=DIR] submit SPEC.json   drop a sweep spec
+ *   g5p_sweep [--spool=DIR] expand SPEC.json   print the jobs a spec
+ *                                              expands to (dry run)
+ *   g5p_sweep [--spool=DIR] status             queue/state counts
+ *   g5p_sweep [--spool=DIR] results            cached results table
+ *
+ * Spec schema (axes take the cross product):
+ *   {
+ *     "name": "demo",
+ *     "workloads": ["sieve", "dedup"],
+ *     "cpu_models": ["Atomic", "Timing"],
+ *     "cores": [1, 2],
+ *     "platforms": ["Intel_Xeon"],
+ *     "l2_kb": [0, 512],          // 0 = platform default
+ *     "dram_gb_s": [0],           // 0 = platform default
+ *     "workload_scale": 0.1,
+ *     "max_guest_insts": 0,
+ *     "seed": 1,
+ *     "resume": false,            // guest-only resumable jobs
+ *     "priority": 0,
+ *     "wall_cap_seconds": 0,
+ *     "max_attempts": 0           // 0 = daemon default
+ *   }
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/sim_error.hh"
+#include "core/report.hh"
+#include "service/sweepd.hh"
+
+using namespace g5p;
+
+namespace
+{
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        g5p_throw(ConfigError, "g5p_sweep", 0,
+                  "cannot open spec file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+int
+doSubmit(const std::string &spool_dir, const std::string &spec_path)
+{
+    std::string text = readWholeFile(spec_path);
+    // Validate client-side so a typo fails here, not in the daemon's
+    // log; the daemon re-validates on pickup anyway.
+    service::SweepSpec sweep = service::parseSweepSpec(text);
+    std::size_t jobs = service::expandSweep(sweep).size();
+
+    service::Spool spool(spool_dir);
+    std::string target = spool.incomingDir() + "/" + sweep.name +
+                         "-" + std::to_string(
+                                   sim::checkpointDigest(text) &
+                                   0xffffff) + ".json";
+    // tmp+rename: the daemon never sees a torn spec.
+    sim::CheckpointIo::current().writeText(target, text);
+    std::cout << "submitted sweep '" << sweep.name << "' (" << jobs
+              << " job(s)) to " << target << "\n"
+              << "a running g5p_sweepd on --spool=" << spool_dir
+              << " will admit it on its next poll\n";
+    return 0;
+}
+
+int
+doExpand(const std::string &spec_path)
+{
+    service::SweepSpec sweep =
+        service::parseSweepSpec(readWholeFile(spec_path));
+    core::Table table({"#", "job key"});
+    unsigned index = 0;
+    for (const service::JobSpec &job : service::expandSweep(sweep))
+        table.addRow({std::to_string(++index),
+                      service::jobKey(job)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+doStatus(const std::string &spool_dir)
+{
+    service::Spool spool(spool_dir);
+    core::Table table({"state", "jobs"});
+    for (service::JobState state :
+         {service::JobState::Queued, service::JobState::Running,
+          service::JobState::Done, service::JobState::Failed,
+          service::JobState::Poisoned})
+        table.addRow({service::jobStateName(state),
+                      std::to_string(spool.count(state))});
+    table.print(std::cout);
+
+    for (const service::SpoolJob &job :
+         spool.list(service::JobState::Poisoned))
+        std::cout << "poisoned j" << job.id << " after "
+                  << job.attempts << " attempt(s): " << job.lastError
+                  << "\n";
+    return 0;
+}
+
+int
+doResults(const std::string &spool_dir)
+{
+    service::Spool spool(spool_dir);
+    service::ResultCache cache(spool.resultsDir(), "");
+    // Version "" bypasses nothing — we read entries through the
+    // job's spec below, so verification still applies; the daemon's
+    // version tag is inside each entry and checked there.
+    core::Table table({"job", "workload", "cpu", "cores", "platform",
+                       "guest insts", "host s", "IPC", "digests"});
+    for (const service::SpoolJob &job :
+         spool.list(service::JobState::Done)) {
+        service::ServiceResult result;
+        std::string digests = "-";
+        std::string host_s = "-", ipc = "-";
+        // Entries carry the daemon's binary version; read them raw
+        // via the checkpoint layer for display.
+        try {
+            sim::CheckpointIn cp = sim::CheckpointIn::readFile(
+                cache.entryPath(job.spec));
+            cp.pushSection("entry");
+            cp.pushSection("result");
+            result = service::unserializeResult(cp);
+            if (result.countersDigest) {
+                std::ostringstream os;
+                os.setf(std::ios::fixed);
+                os.precision(4);
+                os << result.hostSeconds;
+                host_s = os.str();
+                std::ostringstream os2;
+                os2.setf(std::ios::fixed);
+                os2.precision(3);
+                os2 << result.ipc;
+                ipc = os2.str();
+                std::ostringstream os3;
+                os3 << std::hex << result.countersDigest;
+                digests = "counters:" + os3.str();
+            } else {
+                std::ostringstream os;
+                os << std::hex << "stats:" << result.statsDigest
+                   << " mem:" << result.memDigest;
+                digests = os.str();
+            }
+            table.addRow({"j" + std::to_string(job.id),
+                          result.workload, result.cpuModel,
+                          std::to_string(result.cores),
+                          result.platform,
+                          std::to_string(result.guestInsts), host_s,
+                          ipc, digests});
+        } catch (const CheckpointError &) {
+            table.addRow({"j" + std::to_string(job.id),
+                          job.spec.workload, "-", "-", "-",
+                          "unreadable entry", "-", "-", "-"});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+runMain(int argc, char **argv)
+{
+    std::string spool_dir = "spool";
+    std::string command, operand;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.compare(0, 8, "--spool=") == 0) {
+            spool_dir = arg.substr(8);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: g5p_sweep [--spool=DIR] "
+                      << "submit|expand SPEC.json | status | "
+                      << "results\n";
+            return 0;
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            operand = arg;
+        }
+    }
+
+    if (command == "submit" && !operand.empty())
+        return doSubmit(spool_dir, operand);
+    if (command == "expand" && !operand.empty())
+        return doExpand(operand);
+    if (command == "status")
+        return doStatus(spool_dir);
+    if (command == "results")
+        return doResults(spool_dir);
+    g5p_throw(ConfigError, "g5p_sweep", 0,
+              "usage: g5p_sweep [--spool=DIR] submit|expand "
+              "SPEC.json | status | results");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runGuarded([&] { return runMain(argc, argv); });
+}

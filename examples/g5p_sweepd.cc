@@ -1,0 +1,165 @@
+/**
+ * @file
+ * g5p_sweepd: the crash-resilient sweep daemon.
+ *
+ * Runs the SweepService over an on-disk spool: heals the spool on
+ * start (interrupted jobs are requeued), admits sweep specs clients
+ * drop into `<spool>/incoming/` (see g5p_sweep), and executes jobs
+ * in supervised batches with retry/backoff, poisoning, and the
+ * verified result cache. Kill it — with SIGTERM for a clean drain
+ * or kill -9 for the hard way — and restart it: the sweep continues
+ * where it stopped, and finished work is served from the cache.
+ *
+ * Usage:
+ *   g5p_sweepd [--spool=DIR] [--jobs=N] [--batch=N]
+ *              [--wall-cap=SECONDS] [--max-attempts=N]
+ *              [--backoff-ms=MS] [--queue-bound=N]
+ *              [--checkpoint-period=TICKS] [--poll-ms=MS] [--once]
+ *
+ * --once drains the current queue and exits instead of watching
+ * incoming/ forever (what the tests and CI use).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "base/sim_error.hh"
+#include "service/sweepd.hh"
+
+using namespace g5p;
+
+namespace
+{
+
+/** SIGTERM/SIGINT land here; the main loop drains and exits. */
+volatile std::sig_atomic_t stopSignal = 0;
+
+void
+onStopSignal(int)
+{
+    stopSignal = 1;
+}
+
+bool
+flagValue(const std::string &arg, const std::string &name,
+          std::string &out)
+{
+    std::string prefix = "--" + name + "=";
+    if (arg.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+void
+printStats(const service::SweepService &daemon)
+{
+    const service::ServiceStats &s = daemon.stats();
+    const service::ResultCache::Stats &c = daemon.cache().stats();
+    std::cout << "sweepd: admitted " << s.admitted << "/"
+              << s.submitted << " (rejected " << s.rejected
+              << ", shed " << s.shed << "), dispatched "
+              << s.dispatched << ", completed " << s.completed
+              << " (" << s.cacheServed << " from cache), retries "
+              << s.retries << ", poisoned " << s.poisoned
+              << ", resumed " << s.resumedFromCheckpoint << "\n"
+              << "cache: " << c.hits << " hits, " << c.misses
+              << " misses, " << c.stores << " stores, evicted "
+              << c.corruptEvicted << " corrupt + " << c.staleEvicted
+              << " stale\n";
+}
+
+int
+runMain(int argc, char **argv)
+{
+    service::ServiceConfig config;
+    unsigned poll_ms = 500;
+    bool once = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i], value;
+        if (flagValue(arg, "spool", value)) {
+            config.spoolDir = value;
+        } else if (flagValue(arg, "jobs", value)) {
+            config.jobs = (unsigned)std::stoul(value);
+        } else if (flagValue(arg, "batch", value)) {
+            config.batch = (unsigned)std::stoul(value);
+        } else if (flagValue(arg, "wall-cap", value)) {
+            config.jobWallCapSeconds = std::stod(value);
+        } else if (flagValue(arg, "max-attempts", value)) {
+            config.maxAttempts = (unsigned)std::stoul(value);
+        } else if (flagValue(arg, "backoff-ms", value)) {
+            config.backoffBaseMs = std::stod(value);
+        } else if (flagValue(arg, "queue-bound", value)) {
+            config.queueBound = (std::size_t)std::stoull(value);
+        } else if (flagValue(arg, "checkpoint-period", value)) {
+            config.autoCheckpointPeriod = std::stoull(value);
+        } else if (flagValue(arg, "poll-ms", value)) {
+            poll_ms = (unsigned)std::stoul(value);
+        } else if (arg == "--once") {
+            once = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout <<
+                "usage: g5p_sweepd [--spool=DIR] [--jobs=N] "
+                "[--batch=N]\n"
+                "                  [--wall-cap=SECONDS] "
+                "[--max-attempts=N]\n"
+                "                  [--backoff-ms=MS] "
+                "[--queue-bound=N]\n"
+                "                  [--checkpoint-period=TICKS] "
+                "[--poll-ms=MS] [--once]\n";
+            return 0;
+        } else {
+            g5p_throw(ConfigError, "g5p_sweepd", 0,
+                      "unknown flag '%s' (try --help)", arg.c_str());
+        }
+    }
+
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+
+    service::SweepService daemon(config);
+    const service::RecoveryReport &rec = daemon.recoveryReport();
+    std::cout << "sweepd: spool '" << config.spoolDir << "' open";
+    if (rec.requeuedRunning + rec.requeuedFailed)
+        std::cout << ", requeued "
+                  << rec.requeuedRunning + rec.requeuedFailed
+                  << " interrupted job(s)";
+    if (rec.corruptQuarantined)
+        std::cout << ", quarantined " << rec.corruptQuarantined
+                  << " corrupt file(s)";
+    std::cout << "\n";
+
+    while (true) {
+        if (stopSignal) {
+            daemon.requestStop();
+            std::cout << "sweepd: stop requested, draining\n";
+            break;
+        }
+        daemon.pollIncoming();
+        if (!daemon.step()) {
+            if (once)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(poll_ms));
+        }
+    }
+
+    printStats(daemon);
+    std::cout << "sweepd: clean exit (spool state is durable; "
+              << "restart to continue)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runGuarded([&] { return runMain(argc, argv); });
+}

@@ -141,6 +141,8 @@ runProfiledSimulation(const RunConfig &config)
         config.profiler->endSpan();
 
     // --- Collect ---------------------------------------------------
+    result.exitCause = sim_result.cause;
+    result.exitMessage = sim_result.message;
     result.counters = core.counters();
     result.topdown = core.topdown();
     result.hostSeconds = core.seconds(config.tuning.turbo);

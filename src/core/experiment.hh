@@ -93,6 +93,18 @@ struct RunResult
     os::CpuModel cpuModel = os::CpuModel::Atomic;
     os::SimMode mode = os::SimMode::SE;
 
+    /**
+     * Why the final simulation loop returned. Finished for a normal
+     * end of workload; WatchdogTimeout / Deadlock / Livelock when
+     * the supervision machinery cut the run short (the counters then
+     * cover only the portion that ran). Pooled sweeps report a
+     * capped job here instead of aborting the whole sweep.
+     */
+    sim::ExitCause exitCause = sim::ExitCause::Finished;
+
+    /** Exit message (supervised exits carry the watchdog verdict). */
+    std::string exitMessage;
+
     /** @{ Host side. */
     host::HostCounters counters;
     host::TopdownBreakdown topdown;

@@ -116,27 +116,47 @@ ParallelExecutor::forEach(std::size_t count,
             std::rethrow_exception(errors[i]);
 }
 
+RunConfig
+withJobWallCap(const RunConfig &config, double cap_seconds)
+{
+    if (cap_seconds <= 0)
+        return config;
+    RunConfig capped = config;
+    double own = capped.run.supervise
+                     ? capped.run.watchdog.maxWallSeconds
+                     : 0.0;
+    capped.run.supervise = true;
+    if (own <= 0 || own > cap_seconds)
+        capped.run.watchdog.maxWallSeconds = cap_seconds;
+    return capped;
+}
+
 std::vector<RunResult>
 ParallelExecutor::run(const std::vector<RunConfig> &configs)
 {
     std::vector<RunResult> results(configs.size());
     forEach(configs.size(), [&](std::size_t i) {
-        results[i] = runProfiledSimulation(configs[i]);
+        results[i] = runProfiledSimulation(
+            withJobWallCap(configs[i], jobWallCapSeconds_));
     });
     return results;
 }
 
 std::vector<RunResult>
-runExperiments(const std::vector<RunConfig> &configs, unsigned jobs)
+runExperiments(const std::vector<RunConfig> &configs, unsigned jobs,
+               double wall_cap_seconds)
 {
     if (jobs <= 1) {
         std::vector<RunResult> results;
         results.reserve(configs.size());
         for (const RunConfig &config : configs)
-            results.push_back(runProfiledSimulation(config));
+            results.push_back(runProfiledSimulation(
+                withJobWallCap(config, wall_cap_seconds)));
         return results;
     }
-    return ParallelExecutor(jobs).run(configs);
+    ParallelExecutor pool(jobs);
+    pool.setJobWallCap(wall_cap_seconds);
+    return pool.run(configs);
 }
 
 } // namespace g5p::core

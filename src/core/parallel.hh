@@ -67,8 +67,24 @@ class ParallelExecutor
      * return results in submission order. Blocks until all jobs
      * finish. If any job throws, the first failure (in submission
      * order) is rethrown after every worker has drained.
+     *
+     * With a job wall cap set (setJobWallCap), a job that exceeds it
+     * is cut short by the in-simulator watchdog and comes back as a
+     * normal result with exitCause == WatchdogTimeout — one hung or
+     * pathological config can no longer stall or abort the sweep.
      */
     std::vector<RunResult> run(const std::vector<RunConfig> &configs);
+
+    /**
+     * Per-job wall-clock cap in seconds applied to every config run()
+     * executes (0 = none). Configs that already supervise with a
+     * tighter maxWallSeconds keep their own budget; everything else
+     * gets `supervise = true` with this cap. The PR 3 watchdog's
+     * event budgets count simulated work — this is the host-time
+     * bound a long-running sweep service actually needs.
+     */
+    void setJobWallCap(double seconds) { jobWallCapSeconds_ = seconds; }
+    double jobWallCap() const { return jobWallCapSeconds_; }
 
     /**
      * Generic form: run @p job for every index in [0, count) on the
@@ -90,15 +106,28 @@ class ParallelExecutor
 
   private:
     unsigned jobs_;
+    double jobWallCapSeconds_ = 0.0;
 };
+
+/**
+ * The config @p executor-capped jobs actually run: a copy of
+ * @p config with the wall cap folded into its watchdog (identity
+ * when @p cap_seconds is 0 or the config already runs under a
+ * tighter budget). Exposed so serial and pooled paths stay
+ * byte-identical under a cap.
+ */
+RunConfig withJobWallCap(const RunConfig &config, double cap_seconds);
 
 /**
  * Convenience entry point for sweep loops: serial in submission
  * order when @p jobs <= 1 (the reference path, no pool involved),
  * pooled otherwise. Both paths return byte-identical results.
+ * @p wall_cap_seconds bounds each job's host time (0 = unlimited);
+ * see ParallelExecutor::setJobWallCap.
  */
 std::vector<RunResult>
-runExperiments(const std::vector<RunConfig> &configs, unsigned jobs);
+runExperiments(const std::vector<RunConfig> &configs, unsigned jobs,
+               double wall_cap_seconds = 0.0);
 
 } // namespace g5p::core
 

@@ -1,5 +1,7 @@
 #include "mem/fault_injector.hh"
 
+#include <algorithm>
+
 #include "base/sim_error.hh"
 #include "mem/packet.hh"
 #include "mem/physical.hh"
@@ -13,7 +15,7 @@ FaultInjector::FaultInjector(sim::Simulator &sim,
                              const FaultInjectorParams &params)
     : sim::SimObject(sim, name, nullptr, 256),
       params_(params),
-      rng_(params.seed),
+      flipRng_(params.seed),
       writeFailsLeft_(params.failWrites),
       readFailsLeft_(params.failReads),
       io_(*this),
@@ -23,8 +25,9 @@ FaultInjector::FaultInjector(sim::Simulator &sim,
     // faultSeed there re-seeds the whole campaign.
     if (sim.runOptions().faultSeed != 0) {
         params_.seed = sim.runOptions().faultSeed;
-        rng_.seed(params_.seed);
+        flipRng_.seed(params_.seed);
     }
+    shared_.rng.seed(coreSeed(-1));
     prevHook_ = TimingFaultHook::install(this);
     prevIo_ = sim::CheckpointIo::install(&io_);
 }
@@ -51,6 +54,50 @@ FaultInjector::startup()
         schedule(flipEvent_, params_.firstFlipAt);
 }
 
+std::uint64_t
+FaultInjector::coreSeed(int core) const
+{
+    // An affine mix is enough: Rng::seed runs splitmix64 over it, so
+    // nearby cores still get unrelated streams. The +2 keeps the
+    // fallback stream (core -1) distinct from core 0's.
+    return params_.seed +
+           0x9e3779b97f4a7c15ULL * (std::uint64_t)(core + 2);
+}
+
+FaultInjector::CoreFaults &
+FaultInjector::coreFaults(int core)
+{
+    if (core < 0)
+        return shared_;
+    if ((std::size_t)core >= perCore_.size()) {
+        std::size_t old = perCore_.size();
+        perCore_.resize((std::size_t)core + 1);
+        for (std::size_t i = old; i < perCore_.size(); ++i)
+            perCore_[i].rng.seed(coreSeed((int)i));
+    }
+    return perCore_[(std::size_t)core];
+}
+
+unsigned
+FaultInjector::dropsInjectedOn(int core) const
+{
+    if (core < 0)
+        return shared_.drops;
+    return (std::size_t)core < perCore_.size()
+               ? perCore_[(std::size_t)core].drops
+               : 0;
+}
+
+unsigned
+FaultInjector::delaysInjectedOn(int core) const
+{
+    if (core < 0)
+        return shared_.delays;
+    return (std::size_t)core < perCore_.size()
+               ? perCore_[(std::size_t)core].delays
+               : 0;
+}
+
 void
 FaultInjector::doFlip()
 {
@@ -62,10 +109,11 @@ FaultInjector::doFlip()
     std::uint64_t span = params_.flipBytes
         ? params_.flipBytes
         : mem_->size() - params_.flipBase;
-    Addr addr = params_.flipBase + rng_.below(span);
-    unsigned bit = (unsigned)rng_.below(8);
+    Addr addr = params_.flipBase + flipRng_.below(span);
+    unsigned bit = (unsigned)flipRng_.below(8);
     mem_->flipBit(addr, bit);
     ++flipsDone_;
+    flipLog_.emplace_back(addr, bit);
     statFlips_ += 1;
     g5p_inform("%s: flipped bit %u of byte %#llx at tick %llu",
                name().c_str(), bit, (unsigned long long)addr,
@@ -80,11 +128,14 @@ FaultInjector::onTimingResp(ResponsePort &src, RequestPort &dst,
 {
     if (!pkt->isResponse())
         return true;
-    unsigned injected = dropsDone_ + delaysDone_;
-    if (params_.respFaultMax && injected >= params_.respFaultMax)
+    CoreFaults &core = coreFaults(pkt->requestorId());
+    if (params_.respFaultMax &&
+        core.drops + core.delays >= params_.respFaultMax)
         return true;
 
-    if (params_.dropChance > 0.0 && rng_.chance(params_.dropChance)) {
+    if (params_.dropChance > 0.0 &&
+        core.rng.chance(params_.dropChance)) {
+        ++core.drops;
         ++dropsDone_;
         statDrops_ += 1;
         g5p_warn("%s: dropping response %s from '%s' at tick %llu",
@@ -96,7 +147,8 @@ FaultInjector::onTimingResp(ResponsePort &src, RequestPort &dst,
     }
 
     if (params_.delayChance > 0.0 &&
-        rng_.chance(params_.delayChance)) {
+        core.rng.chance(params_.delayChance)) {
+        ++core.delays;
         ++delaysDone_;
         statDelays_ += 1;
         RequestPort *target = &dst;
@@ -148,6 +200,29 @@ FaultInjector::serialize(sim::CheckpointOut &cp) const
     cp.param("ioFaultsDone", ioFaultsDone_);
     cp.param("writeFailsLeft", writeFailsLeft_);
     cp.param("readFailsLeft", readFailsLeft_);
+
+    std::vector<Addr> flip_addrs;
+    std::vector<unsigned> flip_bits;
+    flip_addrs.reserve(flipLog_.size());
+    flip_bits.reserve(flipLog_.size());
+    for (const auto &[addr, bit] : flipLog_) {
+        flip_addrs.push_back(addr);
+        flip_bits.push_back(bit);
+    }
+    cp.paramVector("flipAddrs", flip_addrs);
+    cp.paramVector("flipBits", flip_bits);
+
+    std::vector<unsigned> core_drops, core_delays;
+    core_drops.reserve(perCore_.size());
+    core_delays.reserve(perCore_.size());
+    for (const CoreFaults &core : perCore_) {
+        core_drops.push_back(core.drops);
+        core_delays.push_back(core.delays);
+    }
+    cp.paramVector("coreDrops", core_drops);
+    cp.paramVector("coreDelays", core_delays);
+    cp.param("sharedDrops", shared_.drops);
+    cp.param("sharedDelays", shared_.delays);
 }
 
 void
@@ -159,10 +234,34 @@ FaultInjector::unserialize(const sim::CheckpointIn &cp)
     cp.param("ioFaultsDone", ioFaultsDone_);
     cp.param("writeFailsLeft", writeFailsLeft_);
     cp.param("readFailsLeft", readFailsLeft_);
-    // The raw xoshiro state is not checkpointed; re-derive a
-    // deterministic (though different from uninterrupted) stream so
-    // restored runs are still replayable against each other.
-    rng_.seed(params_.seed + flipsDone_ + dropsDone_ + delaysDone_);
+
+    std::vector<Addr> flip_addrs;
+    std::vector<unsigned> flip_bits;
+    cp.paramVector("flipAddrs", flip_addrs);
+    cp.paramVector("flipBits", flip_bits);
+    flipLog_.clear();
+    for (std::size_t i = 0;
+         i < flip_addrs.size() && i < flip_bits.size(); ++i)
+        flipLog_.emplace_back(flip_addrs[i], flip_bits[i]);
+
+    std::vector<unsigned> core_drops, core_delays;
+    cp.paramVector("coreDrops", core_drops);
+    cp.paramVector("coreDelays", core_delays);
+    perCore_.clear();
+    perCore_.resize(std::max(core_drops.size(), core_delays.size()));
+    // The raw xoshiro states are not checkpointed; re-derive a
+    // deterministic (though different from uninterrupted) stream per
+    // core so restored runs are still replayable against each other.
+    for (std::size_t i = 0; i < perCore_.size(); ++i) {
+        CoreFaults &core = perCore_[i];
+        core.drops = i < core_drops.size() ? core_drops[i] : 0;
+        core.delays = i < core_delays.size() ? core_delays[i] : 0;
+        core.rng.seed(coreSeed((int)i) + core.drops + core.delays);
+    }
+    cp.param("sharedDrops", shared_.drops);
+    cp.param("sharedDelays", shared_.delays);
+    shared_.rng.seed(coreSeed(-1) + shared_.drops + shared_.delays);
+    flipRng_.seed(params_.seed + flipsDone_);
 }
 
 void

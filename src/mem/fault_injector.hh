@@ -19,16 +19,32 @@
  *    first N writes and/or reads with a CheckpointError, exercising
  *    the retry/backoff and corruption-rejection paths.
  *
- * The injector installs its global hooks (TimingFaultHook,
- * CheckpointIo) on construction and restores the previous ones on
- * destruction; at most one injector should exist at a time (mg5 is
- * single threaded, and the hooks are process-global).
+ * The injector installs its hooks (TimingFaultHook, CheckpointIo) on
+ * construction and restores the previous ones on destruction; the
+ * hooks are thread-local (PR 5), so each pooled simulation sees at
+ * most its own injector.
+ *
+ * Multi-core determinism contract (PR 8): on an N-core guest every
+ * fault family is well-defined per core, not a function of how the
+ * cores' memory traffic happens to interleave —
+ *
+ *  - bit flips draw from a dedicated stream, so the flip schedule
+ *    (addresses, bits, ticks) is identical for every core count and
+ *    CPU model given the same params;
+ *  - timing-response faults draw from a per-requesting-core stream
+ *    keyed by Packet::requestorId (the CPU id; responses with no
+ *    requestor, e.g. tester probes, use a shared fallback stream),
+ *    so whether core 0's third response is dropped cannot depend on
+ *    core 1's traffic volume. respFaultMax likewise bounds faults
+ *    *per core* (single-core behaviour is unchanged).
  */
 
 #ifndef G5P_MEM_FAULT_INJECTOR_HH
 #define G5P_MEM_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "base/random.hh"
 #include "mem/port.hh"
@@ -58,7 +74,8 @@ struct FaultInjectorParams
 
     /** @{ Timing-response faults: each response is independently
      *  dropped with @p dropChance, else delayed by @p delayTicks with
-     *  @p delayChance. At most @p respFaultMax faults are injected
+     *  @p delayChance, drawn from the requesting core's own stream.
+     *  At most @p respFaultMax faults are injected *per core*
      *  (0 = unlimited). */
     double dropChance = 0.0;
     double delayChance = 0.0;
@@ -85,12 +102,22 @@ class FaultInjector : public sim::SimObject, private TimingFaultHook
 
     const FaultInjectorParams &params() const { return params_; }
 
-    /** @{ Faults injected so far. */
+    /** @{ Faults injected so far (aggregate over all cores). */
     unsigned flipsInjected() const { return flipsDone_; }
     unsigned dropsInjected() const { return dropsDone_; }
     unsigned delaysInjected() const { return delaysDone_; }
     unsigned ioFaultsInjected() const { return ioFaultsDone_; }
     /** @} */
+
+    /** @{ Per-core response-fault counts (0 for untouched cores;
+     *  pass -1 for the shared no-requestor stream). */
+    unsigned dropsInjectedOn(int core) const;
+    unsigned delaysInjectedOn(int core) const;
+    /** @} */
+
+    /** The bit flips performed so far, in schedule order. */
+    const std::vector<std::pair<Addr, unsigned>> &flipLog() const
+    { return flipLog_; }
 
     void init() override;
     void startup() override;
@@ -120,8 +147,26 @@ class FaultInjector : public sim::SimObject, private TimingFaultHook
     /** Flip-event action: corrupt one bit, schedule the next flip. */
     void doFlip();
 
+    /** Per-core state for the timing-response fault family. */
+    struct CoreFaults
+    {
+        Rng rng{0};
+        unsigned drops = 0;
+        unsigned delays = 0;
+    };
+
+    /** The fault stream of requestor @p core (grown on demand;
+     *  core < 0 selects the shared fallback stream). */
+    CoreFaults &coreFaults(int core);
+
+    /** Seed of core @p core's response stream (stable per core, so
+     *  growth order cannot matter). */
+    std::uint64_t coreSeed(int core) const;
+
     FaultInjectorParams params_;
-    Rng rng_;
+    /** Dedicated bit-flip stream: the flip schedule is a function of
+     *  the params alone, never of response traffic. */
+    Rng flipRng_;
     PhysicalMemory *mem_ = nullptr;
 
     unsigned flipsDone_ = 0;
@@ -130,6 +175,12 @@ class FaultInjector : public sim::SimObject, private TimingFaultHook
     unsigned ioFaultsDone_ = 0;
     unsigned writeFailsLeft_ = 0;
     unsigned readFailsLeft_ = 0;
+
+    std::vector<std::pair<Addr, unsigned>> flipLog_;
+    /** Per-requestor streams, indexed by core id (grown on demand). */
+    std::vector<CoreFaults> perCore_;
+    /** Fallback stream for responses with no requestor id. */
+    CoreFaults shared_;
 
     FaultyIo io_;
     TimingFaultHook *prevHook_ = nullptr;

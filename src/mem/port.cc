@@ -8,7 +8,7 @@ namespace
 
 // Thread-local: a FaultInjector interposes on its own run only;
 // concurrent clean runs on other threads must not see its hook.
-thread_local TimingFaultHook *installedHook = nullptr;
+constinit thread_local TimingFaultHook *installedHook = nullptr;
 
 } // namespace
 

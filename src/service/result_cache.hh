@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Verified, content-addressed result cache for the sweep service.
+ *
+ * Entries are addressed by jobDigest (FNV-1a over the canonical job
+ * key) and stored as `<hex16>.res` files in the checkpoint text
+ * format, which gives every entry the PR 2 durability contract for
+ * free: atomic tmp+rename writes and an FNV-1a `#checksum=` footer.
+ *
+ * A lookup trusts nothing on disk:
+ *
+ *  - the footer is re-verified on every read (truncated or
+ *    bit-flipped entries throw CheckpointError) — corrupt entries
+ *    are *evicted* and the lookup misses, so the service
+ *    transparently recomputes;
+ *  - the stored binary version must equal the cache's (results from
+ *    an older build are evicted as stale, not served);
+ *  - the stored job key must equal the query's key (a digest
+ *    collision therefore misses instead of serving a wrong result —
+ *    the full key is the authority, the digest only the address).
+ *
+ * Entry bytes are a pure function of (job key, result, binary
+ * version): no timestamps, attempt counts, or host wall times are
+ * stored. That is what makes the chaos gate's byte-identity check
+ * meaningful — a killed-and-resumed sweep must produce cache files
+ * identical to an uninterrupted one.
+ */
+
+#ifndef G5P_SERVICE_RESULT_CACHE_HH
+#define G5P_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "service/spec.hh"
+
+namespace g5p::service
+{
+
+/**
+ * The byte-stable subset of a run's outcome the service persists.
+ * Only successful (ExitCause::Finished) runs are cached. Full
+ * profile jobs fill the host-side block; resumable guest-only jobs
+ * fill the digest block instead (the host trace side cannot survive
+ * a checkpoint, so a resumed job proves its integrity with guest
+ * digests — bit-identical across interruption per the PR 2 gate).
+ */
+struct ServiceResult
+{
+    /** @{ Identity echo (human-readable; the key is authoritative). */
+    std::string workload;
+    std::string platform;
+    std::string cpuModel;
+    unsigned cores = 1;
+    /** @} */
+
+    /** @{ Guest side (both job kinds). */
+    std::uint64_t guestInsts = 0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t guestResult = 0;
+    bool resultChecked = false;
+    bool resultOk = false;
+    /** @} */
+
+    /** @{ Host side (full profile jobs; zero for guest-only). */
+    double hostSeconds = 0;
+    double ipc = 0;
+    std::uint64_t hostInsts = 0;
+    std::uint64_t codeBytes = 0;
+    std::uint64_t distinctFunctions = 0;
+    /** FNV-1a over every host counter and top-down field — full
+     *  byte-identity strength without forty columns. */
+    std::uint64_t countersDigest = 0;
+    /** @} */
+
+    /** @{ Guest digests (resumable jobs; zero for full profile). */
+    std::uint64_t statsDigest = 0; ///< FNV over the stats dump
+    std::uint64_t memDigest = 0;   ///< PhysicalMemory::contentDigest
+    /** @} */
+};
+
+class ResultCache
+{
+  public:
+    /**
+     * @param dir        entry directory (created if needed)
+     * @param binaryVersion version tag baked into every entry;
+     *        entries from a different tag are stale.
+     */
+    ResultCache(const std::string &dir,
+                const std::string &binaryVersion);
+
+    /** Counters for the cache gate (cumulative per instance). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t corruptEvicted = 0;
+        std::uint64_t staleEvicted = 0;
+        std::uint64_t collisionMisses = 0;
+    };
+
+    /**
+     * Verified lookup. @return true and fill @p out on a hit; false
+     * on a miss, after evicting the entry if it was corrupt or
+     * stale (see file header).
+     */
+    bool lookup(const JobSpec &job, ServiceResult &out);
+
+    /** Store (overwrite) the entry for @p job atomically. */
+    void store(const JobSpec &job, const ServiceResult &result);
+
+    /** Path of @p job's entry (exposed for tests that corrupt it). */
+    std::string entryPath(const JobSpec &job) const;
+
+    const Stats &stats() const { return stats_; }
+    const std::string &binaryVersion() const { return version_; }
+
+  private:
+    std::string dir_;
+    std::string version_;
+    Stats stats_;
+};
+
+/** @{ Entry payload round-trip (shared with tests). */
+void serializeResult(const ServiceResult &result,
+                     sim::CheckpointOut &cp);
+ServiceResult unserializeResult(const sim::CheckpointIn &cp);
+/** @} */
+
+} // namespace g5p::service
+
+#endif // G5P_SERVICE_RESULT_CACHE_HH

@@ -1,0 +1,309 @@
+#include "service/spool.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/sim_error.hh"
+
+namespace fs = std::filesystem;
+
+namespace g5p::service
+{
+
+namespace
+{
+
+constexpr JobState allStates[] = {
+    JobState::Queued, JobState::Running, JobState::Done,
+    JobState::Failed, JobState::Poisoned,
+};
+
+/** Advancement rank for recover()'s duplicate resolution. */
+int
+stateRank(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:   return 0;
+      case JobState::Running:  return 1;
+      case JobState::Failed:   return 2;
+      case JobState::Poisoned: return 3;
+      case JobState::Done:     return 4;
+    }
+    return 0;
+}
+
+/** Parse "j<id>.job" -> id; 0 if the name is not a job file. */
+std::uint64_t
+idFromFilename(const std::string &name)
+{
+    if (name.size() < 6 || name[0] != 'j' ||
+        name.compare(name.size() - 4, 4, ".job") != 0)
+        return 0;
+    std::uint64_t id = 0;
+    for (std::size_t i = 1; i + 4 < name.size(); ++i) {
+        char c = name[i];
+        if (c < '0' || c > '9')
+            return 0;
+        id = id * 10 + (std::uint64_t)(c - '0');
+    }
+    return id;
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:   return "queued";
+      case JobState::Running:  return "running";
+      case JobState::Done:     return "done";
+      case JobState::Failed:   return "failed";
+      case JobState::Poisoned: return "poisoned";
+    }
+    return "?";
+}
+
+Spool::Spool(const std::string &dir) : dir_(dir)
+{
+    std::error_code ec;
+    for (JobState state : allStates)
+        fs::create_directories(stateDir(state), ec);
+    fs::create_directories(resultsDir(), ec);
+    fs::create_directories(incomingDir(), ec);
+    fs::create_directories(dir_ + "/scratch", ec);
+    if (ec)
+        g5p_throw(CheckpointError, "service.spool", 0,
+                  "cannot create spool directories under '%s': %s",
+                  dir_.c_str(), ec.message().c_str());
+
+    // Resume id assignment after the highest id anywhere in the
+    // spool, so restarted daemons never reuse an id.
+    for (JobState state : allStates) {
+        for (const auto &entry : fs::directory_iterator(
+                 stateDir(state), ec)) {
+            std::uint64_t id =
+                idFromFilename(entry.path().filename().string());
+            nextId_ = std::max(nextId_, id + 1);
+        }
+    }
+}
+
+std::string
+Spool::stateDir(JobState state) const
+{
+    return dir_ + "/" + jobStateName(state);
+}
+
+std::string
+Spool::scratchDir(std::uint64_t id) const
+{
+    std::string path = dir_ + "/scratch/j" + std::to_string(id);
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    return path;
+}
+
+std::string
+Spool::resultsDir() const
+{
+    return dir_ + "/results";
+}
+
+std::string
+Spool::incomingDir() const
+{
+    return dir_ + "/incoming";
+}
+
+std::string
+Spool::jobPath(JobState state, std::uint64_t id) const
+{
+    return stateDir(state) + "/j" + std::to_string(id) + ".job";
+}
+
+void
+Spool::write(const SpoolJob &job, JobState state) const
+{
+    sim::CheckpointOut cp;
+    cp.pushSection("job");
+    cp.param("id", job.id);
+    cp.param("attempts", job.attempts);
+    cp.param("lastError", job.lastError);
+    cp.pushSection("spec");
+    serializeJob(job.spec, cp);
+    cp.popSection();
+    cp.popSection();
+    cp.writeFile(jobPath(state, job.id));
+}
+
+std::uint64_t
+Spool::submit(const JobSpec &spec)
+{
+    SpoolJob job;
+    job.id = nextId_++;
+    job.spec = spec;
+    write(job, JobState::Queued);
+    return job.id;
+}
+
+SpoolJob
+Spool::read(JobState state, std::uint64_t id) const
+{
+    sim::CheckpointIn cp = sim::CheckpointIn::readFile(
+        jobPath(state, id));
+    SpoolJob job;
+    cp.pushSection("job");
+    cp.param("id", job.id);
+    cp.param("attempts", job.attempts);
+    cp.param("lastError", job.lastError);
+    cp.pushSection("spec");
+    job.spec = unserializeJob(cp);
+    cp.popSection();
+    cp.popSection();
+    return job;
+}
+
+std::vector<SpoolJob>
+Spool::list(JobState state) const
+{
+    std::vector<std::uint64_t> ids;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(stateDir(state), ec)) {
+        std::uint64_t id =
+            idFromFilename(entry.path().filename().string());
+        if (id)
+            ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+
+    std::vector<SpoolJob> jobs;
+    jobs.reserve(ids.size());
+    for (std::uint64_t id : ids) {
+        try {
+            jobs.push_back(read(state, id));
+        } catch (const CheckpointError &) {
+            // Unreadable here; recover() quarantines it.
+        }
+    }
+    return jobs;
+}
+
+std::size_t
+Spool::count(JobState state) const
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(stateDir(state), ec))
+        if (idFromFilename(entry.path().filename().string()))
+            ++n;
+    return n;
+}
+
+void
+Spool::move(const SpoolJob &job, JobState from, JobState to)
+{
+    write(job, to);
+    std::error_code ec;
+    fs::remove(jobPath(from, job.id), ec);
+}
+
+void
+Spool::update(const SpoolJob &job, JobState state)
+{
+    write(job, state);
+}
+
+void
+Spool::remove(JobState state, std::uint64_t id)
+{
+    std::error_code ec;
+    fs::remove(jobPath(state, id), ec);
+}
+
+RecoveryReport
+Spool::recover()
+{
+    RecoveryReport report;
+    std::error_code ec;
+
+    // Pass 1: sweep stray tmp files (a crash mid-write leaves them;
+    // the rename contract means they are never the committed copy).
+    for (JobState state : allStates) {
+        for (const auto &entry :
+             fs::directory_iterator(stateDir(state), ec)) {
+            if (entry.path().extension() == ".tmp") {
+                fs::remove(entry.path(), ec);
+                ++report.tmpFilesRemoved;
+            }
+        }
+    }
+
+    // Snapshot the job files up front; the passes below mutate the
+    // directories they would otherwise be iterating.
+    std::vector<std::pair<JobState, std::uint64_t>> found;
+    for (JobState state : allStates) {
+        for (const auto &entry :
+             fs::directory_iterator(stateDir(state), ec)) {
+            std::uint64_t id =
+                idFromFilename(entry.path().filename().string());
+            if (id)
+                found.emplace_back(state, id);
+        }
+    }
+
+    // Pass 2: resolve duplicates — a crash between
+    // write-at-destination and remove-at-source leaves one job in
+    // two states; the more advanced copy is the committed one.
+    std::map<std::uint64_t, JobState> best;
+    for (const auto &[state, id] : found) {
+        auto it = best.find(id);
+        if (it == best.end()) {
+            best[id] = state;
+        } else if (stateRank(state) > stateRank(it->second)) {
+            remove(it->second, id);
+            it->second = state;
+            ++report.duplicatesDropped;
+        } else {
+            remove(state, id);
+            ++report.duplicatesDropped;
+        }
+    }
+
+    // Pass 3: quarantine unreadable job files (torn by something
+    // other than our writer, or bit-rotted on disk).
+    for (const auto &[id, state] : best) {
+        try {
+            (void)read(state, id);
+        } catch (const CheckpointError &err) {
+            g5p_warn("spool: quarantining unreadable %s/j%llu: %s",
+                     jobStateName(state), (unsigned long long)id,
+                     err.summary().c_str());
+            fs::rename(jobPath(state, id),
+                       stateDir(JobState::Poisoned) + "/j" +
+                           std::to_string(id) + ".job.corrupt",
+                       ec);
+            ++report.corruptQuarantined;
+        }
+    }
+
+    // Pass 4: requeue interrupted work. Running jobs died with the
+    // daemon; failed jobs were awaiting a retry slot.
+    for (JobState state : {JobState::Running, JobState::Failed}) {
+        for (SpoolJob &job : list(state)) {
+            move(job, state, JobState::Queued);
+            if (state == JobState::Running)
+                ++report.requeuedRunning;
+            else
+                ++report.requeuedFailed;
+        }
+    }
+    return report;
+}
+
+} // namespace g5p::service

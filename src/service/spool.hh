@@ -1,0 +1,143 @@
+/**
+ * @file
+ * On-disk job spool: the sweep service's crash-safe state machine.
+ *
+ * One directory per job state:
+ *
+ *     <dir>/queued/    jobs waiting to run
+ *     <dir>/running/   jobs dispatched to the executor
+ *     <dir>/done/      jobs whose result is committed to the cache
+ *     <dir>/failed/    (transient home while a retry is scheduled —
+ *                       normally empty; kept for inspection symmetry)
+ *     <dir>/poisoned/  jobs given up on (permanent error or retry
+ *                       budget exhausted), quarantined with their
+ *                       last error
+ *     <dir>/results/   the verified result cache (see ResultCache)
+ *     <dir>/scratch/   per-job scratch (auto-checkpoints of
+ *                       resumable jobs): <dir>/scratch/j<id>/
+ *
+ * Each job lives in exactly one state file, `j<id>.job`, in the
+ * checkpoint text format with its FNV-1a `#checksum=` footer — the
+ * same atomic write-to-tmp-then-rename path (PR 2) checkpoints use,
+ * so a state file is either the complete old version or the complete
+ * new version, never a torn one.
+ *
+ * A state *transition* writes the job file at the destination (the
+ * rename inside writeFile is the commit point) and then removes the
+ * source file. A crash between the two leaves the job visible in two
+ * states; recover() resolves that deterministically — the most
+ * advanced state wins (done > poisoned > failed > running > queued) —
+ * then requeues every `running` job (the daemon died while they ran;
+ * their effects are confined to scratch/ and the idempotent result
+ * cache, so re-running is safe), moves `failed` back to `queued`,
+ * deletes stray `*.tmp` files, and quarantines unreadable job files
+ * into `poisoned/` with a `.corrupt` suffix.
+ */
+
+#ifndef G5P_SERVICE_SPOOL_HH
+#define G5P_SERVICE_SPOOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/spec.hh"
+
+namespace g5p::service
+{
+
+/** Job states, in advancement order (recover() keeps the max). */
+enum class JobState { Queued, Running, Done, Failed, Poisoned };
+
+/** Directory name of a state ("queued", ...). */
+const char *jobStateName(JobState state);
+
+/** One spooled job: the spec plus supervision bookkeeping. */
+struct SpoolJob
+{
+    std::uint64_t id = 0;
+    JobSpec spec;
+    /** Failed attempts so far (drives backoff and poisoning). */
+    unsigned attempts = 0;
+    /** Last failure, as "<ErrorKind>: <summary>" (diagnostic only —
+     *  never part of a result, so retries stay byte-stable). */
+    std::string lastError;
+};
+
+/** Outcome of Spool::recover, for logs and tests. */
+struct RecoveryReport
+{
+    unsigned requeuedRunning = 0;
+    unsigned requeuedFailed = 0;
+    unsigned duplicatesDropped = 0;
+    unsigned tmpFilesRemoved = 0;
+    unsigned corruptQuarantined = 0;
+};
+
+class Spool
+{
+  public:
+    /** Open (creating if needed) the spool rooted at @p dir. */
+    explicit Spool(const std::string &dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Directory of @p state. */
+    std::string stateDir(JobState state) const;
+
+    /** Scratch directory of job @p id (created on demand). */
+    std::string scratchDir(std::uint64_t id) const;
+
+    /** Results (cache) directory. */
+    std::string resultsDir() const;
+
+    /** Client drop-box for sweep-spec JSON files (see SweepService::
+     *  pollIncoming; clients write `<name>.json.tmp` then rename). */
+    std::string incomingDir() const;
+
+    /**
+     * Admit a new job: assign the next id and write it to queued/.
+     * Ids are assigned in submission order, which makes every
+     * downstream ordering (dispatch, commit, result files)
+     * deterministic for a given submission sequence.
+     */
+    std::uint64_t submit(const JobSpec &spec);
+
+    /** All jobs in @p state, sorted by id. Unreadable files are
+     *  skipped here (recover() quarantines them). */
+    std::vector<SpoolJob> list(JobState state) const;
+
+    /** Count of jobs in @p state. */
+    std::size_t count(JobState state) const;
+
+    /** Read one job from @p state; throws CheckpointError if absent
+     *  or corrupt. */
+    SpoolJob read(JobState state, std::uint64_t id) const;
+
+    /**
+     * Move @p job from @p from to @p to, persisting its (possibly
+     * updated) bookkeeping. Write-at-destination happens before
+     * remove-at-source; the rename inside the write is the commit.
+     */
+    void move(const SpoolJob &job, JobState from, JobState to);
+
+    /** Rewrite @p job in place (attempts / lastError updates). */
+    void update(const SpoolJob &job, JobState state);
+
+    /** Drop @p id from @p state (admission-control shedding). */
+    void remove(JobState state, std::uint64_t id);
+
+    /** Crash recovery; see file header for the policy. */
+    RecoveryReport recover();
+
+  private:
+    std::string jobPath(JobState state, std::uint64_t id) const;
+    void write(const SpoolJob &job, JobState state) const;
+
+    std::string dir_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace g5p::service
+
+#endif // G5P_SERVICE_SPOOL_HH

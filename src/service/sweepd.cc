@@ -1,0 +1,499 @@
+#include "service/sweepd.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/sim_error.hh"
+#include "core/parallel.hh"
+#include "os/system.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace fs = std::filesystem;
+
+namespace g5p::service
+{
+
+namespace
+{
+
+/** Canonical, bit-exact rendering of the host counters for the
+ *  cache's countersDigest (topdown derives from these, so digesting
+ *  the counters covers the whole host side). */
+std::uint64_t
+countersDigest(const host::HostCounters &c)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << c.insts << ' ' << c.uops << ' ' << c.loads << ' '
+       << c.stores << ' ' << c.branches << ' ' << c.baseCycles << ' '
+       << c.feLatIcacheCycles << ' ' << c.feLatItlbCycles << ' '
+       << c.feLatMispredictCycles << ' ' << c.feLatUnknownCycles
+       << ' ' << c.feLatClearCycles << ' ' << c.feBwMiteCycles << ' '
+       << c.feBwDsbCycles << ' ' << c.badSpecCycles << ' '
+       << c.beMemCycles << ' ' << c.beCoreCycles << ' '
+       << c.icacheAccesses << ' ' << c.icacheMisses << ' '
+       << c.dcacheAccesses << ' ' << c.dcacheMisses << ' '
+       << c.itlbAccesses << ' ' << c.itlbMisses << ' '
+       << c.dtlbAccesses << ' ' << c.dtlbMisses << ' '
+       << c.l2Misses << ' ' << c.llcMisses << ' ' << c.mispredicts
+       << ' ' << c.unknownBranches << ' ' << c.uopsFromDsb << ' '
+       << c.uopsFromMite << ' ' << c.dramBytes << ' '
+       << c.llcOccupancyBytes;
+    return sim::checkpointDigest(os.str());
+}
+
+/** The wall cap this job runs under (job override, else service). */
+double
+effectiveWallCap(const JobSpec &spec, const ServiceConfig &config)
+{
+    return spec.wallCapSeconds > 0 ? spec.wallCapSeconds
+                                   : config.jobWallCapSeconds;
+}
+
+/** Auto-checkpoints in @p scratch, newest (highest tick) first. */
+std::vector<std::string>
+checkpointsNewestFirst(const std::string &scratch)
+{
+    std::vector<std::pair<std::uint64_t, std::string>> found;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(scratch, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.size() < 11 || name.compare(0, 5, "auto-") != 0 ||
+            name.compare(name.size() - 5, 5, ".ckpt") != 0)
+            continue;
+        std::uint64_t tick = 0;
+        bool numeric = true;
+        for (std::size_t i = 5; i + 5 < name.size(); ++i) {
+            if (name[i] < '0' || name[i] > '9') {
+                numeric = false;
+                break;
+            }
+            tick = tick * 10 + (std::uint64_t)(name[i] - '0');
+        }
+        if (numeric)
+            found.emplace_back(tick, entry.path().string());
+    }
+    std::sort(found.begin(), found.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first;
+              });
+    std::vector<std::string> paths;
+    paths.reserve(found.size());
+    for (auto &[tick, path] : found)
+        paths.push_back(std::move(path));
+    return paths;
+}
+
+/** Full-profile job attempt (host model included, runs from zero —
+ *  deterministic, so a restart is byte-identical to a first run). */
+JobOutcome
+runProfileJob(const JobSpec &spec, const ServiceConfig &config)
+{
+    core::RunConfig run_config = core::withJobWallCap(
+        toRunConfig(spec), effectiveWallCap(spec, config));
+    core::RunResult run = core::runProfiledSimulation(run_config);
+
+    JobOutcome outcome;
+    if (run.exitCause != sim::ExitCause::Finished) {
+        outcome.error = std::string("supervised exit: ") +
+                        sim::exitCauseName(run.exitCause) +
+                        (run.exitMessage.empty()
+                             ? ""
+                             : ": " + run.exitMessage);
+        return outcome;
+    }
+    if (run.resultChecked && !run.resultOk) {
+        outcome.error = "guest checksum mismatch";
+        return outcome;
+    }
+
+    ServiceResult &result = outcome.result;
+    result.workload = run.workload;
+    result.platform = run.platform;
+    result.cpuModel = os::cpuModelName(run.cpuModel);
+    result.cores = spec.cores;
+    result.guestInsts = run.guestInsts;
+    result.simTicks = run.simTicks;
+    result.guestResult = run.guestResult;
+    result.resultChecked = run.resultChecked;
+    result.resultOk = run.resultOk;
+    result.hostSeconds = run.hostSeconds;
+    result.ipc = run.ipc;
+    result.hostInsts = run.hostInsts;
+    result.codeBytes = run.codeBytes;
+    result.distinctFunctions = run.distinctFunctions;
+    result.countersDigest = countersDigest(run.counters);
+    outcome.success = true;
+    return outcome;
+}
+
+/**
+ * Resumable guest-only attempt: auto-checkpoints into scratch and
+ * continues from the newest valid one. Host-model counters cannot
+ * survive a checkpoint (the trace side is not serialized), so this
+ * kind reports guest digests instead — bit-identical across
+ * interruption per the PR 2/3 restore guarantee.
+ */
+JobOutcome
+runGuestJob(const JobSpec &spec, const ServiceConfig &config,
+            const std::string &scratch)
+{
+    // Validates workload/platform names (throws ConfigError).
+    (void)toRunConfig(spec);
+
+    auto workload = workloads::Registry::instance().create(
+        spec.workload, spec.workloadScale);
+
+    sim::Simulator simulator("system");
+    os::SystemConfig sys_cfg;
+    sys_cfg.cpuModel = spec.cpuModel;
+    sys_cfg.numCpus = spec.cores;
+    sys_cfg.maxInstsPerCpu = spec.maxGuestInsts;
+    os::System system(simulator, sys_cfg, *workload);
+
+    sim::RunOptions options;
+    double cap = effectiveWallCap(spec, config);
+    if (cap > 0) {
+        options.supervise = true;
+        options.watchdog.maxWallSeconds = cap;
+    }
+    options.autoCheckpointPeriod = config.autoCheckpointPeriod;
+    options.autoCheckpointPrefix = scratch + "/auto";
+
+    JobOutcome outcome;
+    for (const std::string &path : checkpointsNewestFirst(scratch)) {
+        try {
+            // Verified read first: a corrupt checkpoint is evicted
+            // and the next-older one tried, never half-restored.
+            (void)sim::CheckpointIn::readFile(path);
+            simulator.restore(path);
+            outcome.resumed = true;
+            break;
+        } catch (const CheckpointError &err) {
+            g5p_warn("service: skipping corrupt checkpoint %s: %s",
+                     path.c_str(), err.summary().c_str());
+            std::error_code ec;
+            fs::remove(path, ec);
+        }
+    }
+
+    sim::SimResult run = system.run(options);
+    if (run.cause != sim::ExitCause::Finished) {
+        outcome.resumed = false; // failed attempts don't count
+        outcome.error = std::string("supervised exit: ") +
+                        sim::exitCauseName(run.cause) +
+                        (run.message.empty() ? "" : ": " + run.message);
+        return outcome;
+    }
+
+    ServiceResult &result = outcome.result;
+    result.workload = spec.workload;
+    result.platform = spec.platform;
+    result.cpuModel = os::cpuModelName(spec.cpuModel);
+    result.cores = spec.cores;
+    result.guestInsts = system.totalInsts();
+    result.simTicks = run.tick;
+    result.guestResult = system.result();
+    std::uint64_t expected = workload->expectedResult(spec.cores);
+    result.resultChecked = expected != 0 && spec.maxGuestInsts == 0;
+    result.resultOk =
+        !result.resultChecked || result.guestResult == expected;
+    if (result.resultChecked && !result.resultOk) {
+        outcome.resumed = false;
+        outcome.error = "guest checksum mismatch";
+        return outcome;
+    }
+
+    std::ostringstream stats;
+    simulator.dumpStats(stats);
+    result.statsDigest = sim::checkpointDigest(stats.str());
+    result.memDigest = system.physmem().contentDigest();
+    outcome.success = true;
+    return outcome;
+}
+
+} // namespace
+
+JobOutcome
+runSpooledJob(const SpoolJob &job, const ServiceConfig &config,
+              const std::string &scratch_dir)
+{
+    JobOutcome outcome;
+    try {
+        // Chaos knob: deterministic transient failures for the
+        // retry-path tests, spelled in the spec itself.
+        if (job.attempts < job.spec.failFirstAttempts)
+            g5p_throw(InvariantError, "service.chaos", 0,
+                      "injected transient failure "
+                      "(attempt %u of %u fails)",
+                      job.attempts + 1, job.spec.failFirstAttempts);
+
+        bool resumable = job.spec.resume &&
+                         config.autoCheckpointPeriod > 0;
+        outcome = resumable
+                      ? runGuestJob(job.spec, config, scratch_dir)
+                      : runProfileJob(job.spec, config);
+    } catch (const SimError &err) {
+        outcome.success = false;
+        outcome.error = std::string(simErrorKindName(err.kind())) +
+                        ": " + err.summary();
+        // Configuration and workload identity problems cannot heal
+        // with a retry; everything else might (I/O, invariants hit
+        // under fault injection, ...).
+        outcome.permanent = err.kind() == SimErrorKind::Config ||
+                            err.kind() == SimErrorKind::Workload;
+    } catch (const std::exception &err) {
+        outcome.success = false;
+        outcome.error = std::string("exception: ") + err.what();
+    }
+    return outcome;
+}
+
+SweepService::SweepService(const ServiceConfig &config)
+    : config_(config),
+      spool_(config.spoolDir),
+      cache_(spool_.resultsDir(), config.binaryVersion)
+{
+    recovery_ = spool_.recover();
+    if (recovery_.requeuedRunning || recovery_.corruptQuarantined)
+        g5p_inform("service: recovery requeued %u running job(s), "
+                   "quarantined %u corrupt file(s)",
+                   recovery_.requeuedRunning,
+                   recovery_.corruptQuarantined);
+}
+
+unsigned
+SweepService::attemptBudget(const JobSpec &spec) const
+{
+    unsigned budget =
+        spec.maxAttempts ? spec.maxAttempts : config_.maxAttempts;
+    return budget ? budget : 1;
+}
+
+std::uint64_t
+SweepService::submit(const JobSpec &spec)
+{
+    ++stats_.submitted;
+    if (config_.queueBound &&
+        spool_.count(JobState::Queued) >= config_.queueBound) {
+        // Shed the youngest lowest-priority queued job if the
+        // newcomer outranks it; otherwise refuse the newcomer.
+        std::vector<SpoolJob> queued = spool_.list(JobState::Queued);
+        const SpoolJob *victim = nullptr;
+        for (const SpoolJob &job : queued)
+            if (!victim ||
+                job.spec.priority < victim->spec.priority ||
+                (job.spec.priority == victim->spec.priority &&
+                 job.id > victim->id))
+                victim = &job;
+        if (!victim || spec.priority <= victim->spec.priority) {
+            ++stats_.rejected;
+            return 0;
+        }
+        spool_.remove(JobState::Queued, victim->id);
+        notBefore_.erase(victim->id);
+        ++stats_.shed;
+        g5p_warn("service: queue at bound %zu, shed j%llu "
+                 "(priority %d) for priority %d",
+                 config_.queueBound,
+                 (unsigned long long)victim->id,
+                 victim->spec.priority, spec.priority);
+    }
+    ++stats_.admitted;
+    return spool_.submit(spec);
+}
+
+std::vector<std::uint64_t>
+SweepService::submitSweep(const SweepSpec &sweep)
+{
+    std::vector<std::uint64_t> ids;
+    for (const JobSpec &spec : expandSweep(sweep))
+        ids.push_back(submit(spec));
+    return ids;
+}
+
+unsigned
+SweepService::pollIncoming()
+{
+    std::vector<std::string> specs;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(spool_.incomingDir(), ec))
+        if (entry.path().extension() == ".json")
+            specs.push_back(entry.path().string());
+    std::sort(specs.begin(), specs.end());
+
+    unsigned admitted = 0;
+    for (const std::string &path : specs) {
+        std::string text;
+        try {
+            text = sim::CheckpointIo::current().readText(path);
+        } catch (const CheckpointError &err) {
+            g5p_warn("service: cannot read spec %s: %s",
+                     path.c_str(), err.summary().c_str());
+            continue;
+        }
+        try {
+            SweepSpec sweep = parseSweepSpec(text);
+            for (std::uint64_t id : submitSweep(sweep))
+                admitted += id != 0;
+            fs::remove(path, ec);
+            g5p_inform("service: admitted sweep '%s' from %s",
+                       sweep.name.c_str(), path.c_str());
+        } catch (const ConfigError &err) {
+            g5p_warn("service: rejecting malformed spec %s: %s",
+                     path.c_str(), err.summary().c_str());
+            fs::rename(path, path + ".bad", ec);
+        }
+    }
+    return admitted;
+}
+
+void
+SweepService::crashMaybe(CrashPoint here)
+{
+    if (crashPoint_ != here || crashCountdown_ == 0)
+        return;
+    if (--crashCountdown_ > 0)
+        return;
+    crashPoint_ = CrashPoint::None;
+    const char *name =
+        here == CrashPoint::AfterDispatch  ? "after-dispatch"
+        : here == CrashPoint::MidCompletion ? "mid-completion"
+                                            : "mid-cache-write";
+    throw ServiceCrash(name);
+}
+
+bool
+SweepService::step()
+{
+    if (stop_.load())
+        return false;
+
+    std::vector<SpoolJob> queued = spool_.list(JobState::Queued);
+    if (queued.empty())
+        return false;
+
+    // Dispatch order: priority first, then submission order.
+    std::stable_sort(queued.begin(), queued.end(),
+                     [](const SpoolJob &a, const SpoolJob &b) {
+                         if (a.spec.priority != b.spec.priority)
+                             return a.spec.priority > b.spec.priority;
+                         return a.id < b.id;
+                     });
+
+    // Serve everything the cache already proves — no run slot spent.
+    std::vector<SpoolJob> ready;
+    auto now = std::chrono::steady_clock::now();
+    bool backlogged = false;
+    auto earliest = now;
+    for (SpoolJob &job : queued) {
+        ServiceResult cached;
+        if (cache_.lookup(job.spec, cached)) {
+            spool_.move(job, JobState::Queued, JobState::Done);
+            notBefore_.erase(job.id);
+            ++stats_.cacheServed;
+            ++stats_.completed;
+            continue;
+        }
+        auto it = notBefore_.find(job.id);
+        if (it != notBefore_.end() && it->second > now) {
+            if (!backlogged || it->second < earliest)
+                earliest = it->second;
+            backlogged = true;
+            continue;
+        }
+        ready.push_back(std::move(job));
+    }
+
+    std::size_t batch = config_.batch ? config_.batch
+                                      : std::max(1u, config_.jobs);
+    if (ready.empty()) {
+        if (!backlogged)
+            return true; // everything this round was cache-served
+        // All runnable work is backing off; wait out the earliest.
+        std::this_thread::sleep_until(earliest);
+        return true;
+    }
+    if (ready.size() > batch)
+        ready.resize(batch);
+
+    // Commit point: the batch is now running on disk. A crash here
+    // loses only compute — recovery requeues all of it.
+    for (SpoolJob &job : ready)
+        spool_.move(job, JobState::Queued, JobState::Running);
+    stats_.dispatched += ready.size();
+    crashMaybe(CrashPoint::AfterDispatch);
+
+    std::vector<JobOutcome> outcomes(ready.size());
+    core::ParallelExecutor pool(config_.jobs);
+    pool.forEach(ready.size(), [&](std::size_t i) {
+        outcomes[i] = runSpooledJob(ready[i], config_,
+                                    spool_.scratchDir(ready[i].id));
+    });
+
+    // Serial commit, id order (ready is sorted): deterministic
+    // spool/cache evolution for a given submission sequence.
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+        if (i == 1)
+            crashMaybe(CrashPoint::MidCompletion);
+        SpoolJob &job = ready[i];
+        JobOutcome &outcome = outcomes[i];
+        if (outcome.resumed)
+            ++stats_.resumedFromCheckpoint;
+        if (outcome.success) {
+            cache_.store(job.spec, outcome.result);
+            crashMaybe(CrashPoint::MidCacheWrite);
+            job.lastError.clear();
+            spool_.move(job, JobState::Running, JobState::Done);
+            notBefore_.erase(job.id);
+            ++stats_.completed;
+            continue;
+        }
+
+        ++job.attempts;
+        job.lastError = outcome.error;
+        if (outcome.permanent ||
+            job.attempts >= attemptBudget(job.spec)) {
+            spool_.move(job, JobState::Running, JobState::Poisoned);
+            notBefore_.erase(job.id);
+            ++stats_.poisoned;
+            g5p_warn("service: poisoned j%llu after %u attempt(s): %s",
+                     (unsigned long long)job.id, job.attempts,
+                     job.lastError.c_str());
+            continue;
+        }
+
+        double backoff_ms =
+            config_.backoffBaseMs *
+            (double)(1ull << (job.attempts - 1));
+        stats_.backoffMsTotal += backoff_ms;
+        ++stats_.retries;
+        notBefore_[job.id] =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    backoff_ms));
+        spool_.move(job, JobState::Running, JobState::Queued);
+        g5p_inform("service: retrying j%llu (attempt %u/%u, "
+                   "backoff %.1fms): %s",
+                   (unsigned long long)job.id, job.attempts,
+                   attemptBudget(job.spec), backoff_ms,
+                   job.lastError.c_str());
+    }
+    return true;
+}
+
+void
+SweepService::runUntilDrained()
+{
+    while (!stop_.load() && step()) {
+    }
+}
+
+} // namespace g5p::service

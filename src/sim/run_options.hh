@@ -48,6 +48,23 @@ struct WatchdogConfig
     std::size_t flightRecorderDepth = 64;
 };
 
+/**
+ * Retry policy for checkpoint writes (CheckpointOut::writeFile).
+ * PR 3 hard-coded 3 attempts with a 1ms-doubling backoff; the sweep
+ * service tightens both for fast-fail under chaos testing, so they
+ * live in run control now.
+ */
+struct CheckpointRetryConfig
+{
+    /** Total write attempts before CheckpointError propagates
+     *  (0 is treated as 1). */
+    unsigned maxAttempts = 3;
+
+    /** First retry delay in milliseconds, doubling per attempt
+     *  (0 = retry immediately, no sleep). */
+    double backoffBaseMs = 1.0;
+};
+
 /** Everything that controls how a simulation runs (not what it is). */
 struct RunOptions
 {
@@ -59,6 +76,10 @@ struct RunOptions
      *  "<autoCheckpointPrefix>-<tick>.ckpt" (0 = off). */
     Tick autoCheckpointPeriod = 0;
     std::string autoCheckpointPrefix = "auto";
+
+    /** Retry/backoff for every checkpoint write this simulator
+     *  performs (explicit and automatic). */
+    CheckpointRetryConfig checkpointRetry;
 
     /** Overrides mem::FaultInjectorParams::seed when nonzero, so a
      *  fault campaign is re-seeded from the run control in one place. */

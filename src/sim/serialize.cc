@@ -54,7 +54,7 @@ constexpr const char *ioObject = "checkpoint";
 
 // Thread-local: fault-injecting tests swap the I/O shim for one run,
 // and a pooled run on another thread must keep the default.
-thread_local CheckpointIo *installedIo = nullptr;
+constinit thread_local CheckpointIo *installedIo = nullptr;
 
 } // namespace
 
@@ -229,7 +229,8 @@ CheckpointOut::toText() const
 
 void
 CheckpointOut::writeFile(const std::string &path,
-                         unsigned max_attempts) const
+                         unsigned max_attempts,
+                         double backoff_ms_base) const
 {
     std::string text = toText();
     char footer[32];
@@ -250,9 +251,13 @@ CheckpointOut::writeFile(const std::string &path,
                      "retrying", attempt, max_attempts,
                      e.summary().c_str());
             // Short exponential backoff: transient I/O conditions
-            // (NFS hiccup, fd pressure) usually clear in milliseconds.
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(1u << (attempt - 1)));
+            // (NFS hiccup, fd pressure) usually clear in
+            // milliseconds. A zero base skips the sleep entirely
+            // (fast-fail chaos testing).
+            if (backoff_ms_base > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        backoff_ms_base * (double)(1u << (attempt - 1))));
         }
     }
 }

@@ -136,11 +136,15 @@ class CheckpointOut
     /**
      * Write atomically (tmp + rename via CheckpointIo) with a
      * `#checksum=` footer, retrying transient I/O failures up to
-     * @p max_attempts with short exponential backoff. Throws
-     * CheckpointError once every attempt has failed.
+     * @p max_attempts with exponential backoff starting at
+     * @p backoff_ms_base milliseconds (doubling per attempt; 0 =
+     * retry immediately). Throws CheckpointError once every attempt
+     * has failed. The defaults match sim::CheckpointRetryConfig;
+     * Simulator::checkpoint forwards its RunOptions policy here.
      */
     void writeFile(const std::string &path,
-                   unsigned max_attempts = 3) const;
+                   unsigned max_attempts = 3,
+                   double backoff_ms_base = 1.0) const;
 
     const std::map<std::string, std::map<std::string, std::string>> &
     sections() const { return sections_; }

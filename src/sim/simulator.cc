@@ -456,7 +456,8 @@ Simulator::checkpoint(const std::string &path)
     }
     CheckpointOut cp;
     takeCheckpoint(cp);
-    cp.writeFile(path);
+    cp.writeFile(path, runOptions_.checkpointRetry.maxAttempts,
+                 runOptions_.checkpointRetry.backoffBaseMs);
     return true;
 }
 
@@ -502,7 +503,8 @@ Simulator::doAutoCheckpoint()
     try {
         CheckpointOut cp;
         takeCheckpoint(cp);
-        cp.writeFile(path);
+        cp.writeFile(path, runOptions_.checkpointRetry.maxAttempts,
+                     runOptions_.checkpointRetry.backoffBaseMs);
         g5p_inform("auto-checkpoint written to '%s'", path.c_str());
     } catch (const CheckpointError &e) {
         // Degrade gracefully: a failed periodic checkpoint must not

@@ -7,7 +7,7 @@
 namespace g5p::trace
 {
 
-thread_local Recorder *Recorder::active_ = nullptr;
+constinit thread_local Recorder *Recorder::active_ = nullptr;
 
 Recorder::~Recorder()
 {
@@ -42,7 +42,7 @@ Recorder::deactivate()
         active_ = nullptr;
 }
 
-thread_local DataSpace *DataSpace::current_ = nullptr;
+constinit thread_local DataSpace *DataSpace::current_ = nullptr;
 
 DataSpace &
 DataSpace::instance()

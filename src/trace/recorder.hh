@@ -131,7 +131,11 @@ class Recorder
     static constexpr std::uint64_t heapSpan = 1ull << 20;
 
   private:
-    static thread_local Recorder *active_;
+    // constinit: guarantees constant initialization so every access
+    // compiles to a direct TLS load instead of going through the
+    // init-on-first-use wrapper (which is both slower on this hot
+    // path and misdiagnosed as a null load by GCC 12's UBSan).
+    static constinit thread_local Recorder *active_;
 
     std::vector<TraceConsumer *> consumers_;
     std::uint64_t enterCount_ = 0;
@@ -323,7 +327,7 @@ class DataSpace
     static constexpr HostAddr dataBase = 0x2000'0000ULL;
 
   private:
-    static thread_local DataSpace *current_;
+    static constinit thread_local DataSpace *current_;
 
     HostAddr base_ = dataBase;
     HostAddr next_ = dataBase;

@@ -27,6 +27,7 @@
 #include "core/parallel.hh"
 #include "isa/decoder.hh"
 #include "os/system.hh"
+#include "workloads/workload.hh"
 
 using namespace g5p;
 using namespace g5p::core;
@@ -432,6 +433,106 @@ TEST(Parallel, CheckpointRestoreInsidePooledJob)
         SCOPED_TRACE(cpuModelName(allCpuModels[i]));
         expectSameArtifacts(ref[i], resumed[i]);
     }
+}
+
+// ---------------------------------------------------------------
+// Per-job wall cap: one hung config cannot stall the sweep
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Register a branch-to-self guest that never halts. */
+void
+registerHangWorkload()
+{
+    static bool once = [] {
+        workloads::Registry::instance().add(
+            "par-hang", [](double) {
+                return std::make_unique<InlineWorkload>(
+                    "par-hang", [](Assembler &as, unsigned) {
+                        as.label("_start");
+                        as.label("spin");
+                        as.j("spin");
+                    });
+            });
+        return true;
+    }();
+    (void)once;
+}
+
+/** Register a short counting loop that finishes in milliseconds. */
+void
+registerTinyWorkload()
+{
+    static bool once = [] {
+        workloads::Registry::instance().add(
+            "par-tiny", [](double) {
+                return std::make_unique<InlineWorkload>(
+                    "par-tiny", [](Assembler &as, unsigned) {
+                        as.label("_start");
+                        as.li(RegS0, 0);
+                        as.li(RegT3, 200);
+                        as.label("loop");
+                        as.addi(RegS0, RegS0, 1);
+                        as.blt(RegS0, RegT3, "loop");
+                        as.halt();
+                    });
+            });
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+TEST(Parallel, WallCapSurfacesWatchdogTimeoutInPooledResults)
+{
+    registerHangWorkload();
+    registerTinyWorkload();
+
+    // A hung config and a healthy one in the same sweep: under a
+    // per-job wall cap the hung job comes back as a normal result
+    // with exitCause == WatchdogTimeout and the sweep completes.
+    RunConfig hung;
+    hung.workload = "par-hang";
+    hung.platform = host::xeonConfig();
+
+    // The healthy job is a milliseconds-long counting loop, so the
+    // cap has orders-of-magnitude headroom even under TSan (where
+    // simulation is ~10x slower) and even while the hung job's spin
+    // steals wall-clock on a one-core host. The hung job gets cut
+    // at the cap regardless of how large it is.
+    RunConfig healthy;
+    healthy.workload = "par-tiny";
+    healthy.platform = host::xeonConfig();
+
+    std::vector<RunResult> results =
+        runExperiments({hung, healthy}, 2, 10.0);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].exitCause, sim::ExitCause::WatchdogTimeout);
+    EXPECT_FALSE(results[0].exitMessage.empty());
+    EXPECT_EQ(results[1].exitCause, sim::ExitCause::Finished);
+
+    // The healthy job's result under the cap is byte-identical to
+    // the serial capped reference — the cap changes scheduling
+    // safety, never results.
+    std::vector<RunResult> serial =
+        runExperiments({healthy}, 1, 10.0);
+    ASSERT_EQ(serial.size(), 1u);
+    EXPECT_EQ(resultSignature(results[1]), resultSignature(serial[0]));
+
+    // A config that already supervises with a tighter budget keeps
+    // it: withJobWallCap is the identity there.
+    RunConfig tight = hung;
+    tight.run.supervise = true;
+    tight.run.watchdog.maxWallSeconds = 0.05;
+    RunConfig capped = withJobWallCap(tight, 0.2);
+    EXPECT_DOUBLE_EQ(capped.run.watchdog.maxWallSeconds, 0.05);
+
+    RunConfig widened = withJobWallCap(RunConfig{}, 0.2);
+    EXPECT_TRUE(widened.run.supervise);
+    EXPECT_DOUBLE_EQ(widened.run.watchdog.maxWallSeconds, 0.2);
 }
 
 // ---------------------------------------------------------------

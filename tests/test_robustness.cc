@@ -89,12 +89,12 @@ loopWorkload()
 }
 
 SystemConfig
-makeCfg(CpuModel model)
+makeCfg(CpuModel model, unsigned cores = 1)
 {
     SystemConfig cfg;
     cfg.cpuModel = model;
     cfg.mode = SimMode::SE;
-    cfg.numCpus = 1;
+    cfg.numCpus = cores;
     return cfg;
 }
 
@@ -116,8 +116,9 @@ struct Machine
     std::unique_ptr<mem::FaultInjector> injector;
 
     explicit Machine(CpuModel model,
-                     const mem::FaultInjectorParams *faults = nullptr)
-        : system(sim, makeCfg(model), loopWorkload())
+                     const mem::FaultInjectorParams *faults = nullptr,
+                     unsigned cores = 1)
+        : system(sim, makeCfg(model, cores), loopWorkload())
     {
         if (faults) {
             injector = std::make_unique<mem::FaultInjector>(
@@ -320,6 +321,62 @@ TEST(FaultInjection, DelayedResponsesKeepResultCorrect)
     EXPECT_GE(a.finalTick, reference(CpuModel::Timing).finalTick);
 }
 
+TEST(FaultInjection, ResponseFaultsArePerCoreOnTwoCores)
+{
+    // PR 8 determinism contract: response faults draw from a
+    // per-requesting-core stream and respFaultMax bounds faults per
+    // core — core 0's fault pattern cannot depend on core 1's
+    // traffic volume.
+    mem::FaultInjectorParams fp;
+    fp.seed = 21;
+    fp.delayChance = 1.0;
+    fp.delayTicks = 400;
+    fp.respFaultMax = 2;
+
+    Machine m(CpuModel::Timing, &fp, 2);
+    auto res = m.system.run();
+    ASSERT_EQ(res.cause, sim::ExitCause::Finished);
+
+    // Each core absorbed its own cap's worth of delays.
+    EXPECT_EQ(m.injector->delaysInjectedOn(0), 2u);
+    EXPECT_EQ(m.injector->delaysInjectedOn(1), 2u);
+    EXPECT_GE(m.injector->delaysInjected(), 4u);
+    EXPECT_EQ(m.injector->dropsInjected(), 0u);
+
+    // Delays stretch time; they never corrupt data.
+    Machine clean(CpuModel::Timing, nullptr, 2);
+    auto clean_res = clean.system.run();
+    ASSERT_EQ(clean_res.cause, sim::ExitCause::Finished);
+    EXPECT_EQ(m.system.result(), clean.system.result());
+    EXPECT_EQ(m.system.totalInsts(), clean.system.totalInsts());
+    EXPECT_GE(res.tick, clean_res.tick);
+}
+
+TEST(FaultInjection, FlipScheduleIndependentOfCoreCountAndModel)
+{
+    // The bit-flip schedule draws from a dedicated stream: the same
+    // params produce the same (address, bit) sequence no matter how
+    // many cores run or which CPU model drives the traffic.
+    mem::FaultInjectorParams fp;
+    fp.seed = 31;
+    fp.bitFlips = 3;
+    fp.flipBase = 0x200800; // outside the loop's data window
+    fp.flipBytes = 64;
+    fp.firstFlipAt = 0;
+    fp.flipPeriod = 500;
+
+    Machine one(CpuModel::Atomic, &fp, 1);
+    ASSERT_EQ(one.system.run().cause, sim::ExitCause::Finished);
+    Machine two(CpuModel::Atomic, &fp, 2);
+    ASSERT_EQ(two.system.run().cause, sim::ExitCause::Finished);
+    Machine timing(CpuModel::Timing, &fp, 1);
+    ASSERT_EQ(timing.system.run().cause, sim::ExitCause::Finished);
+
+    ASSERT_EQ(one.injector->flipLog().size(), 3u);
+    EXPECT_EQ(one.injector->flipLog(), two.injector->flipLog());
+    EXPECT_EQ(one.injector->flipLog(), timing.injector->flipLog());
+}
+
 TEST(FaultInjection, CheckpointWriteRetriesThroughTransientFailure)
 {
     sim::Simulator simr("system");
@@ -406,6 +463,51 @@ TEST(FaultInjection, AutoCheckpointSurvivesIoFailure)
         std::string name = ent.path().filename().string();
         if (name.rfind("g5p_rb_autofail-", 0) == 0)
             fs::remove(ent.path());
+    }
+}
+
+TEST(FaultInjection, CheckpointRetryOptionsAreHonored)
+{
+    // RunOptions::checkpointRetry tunes how hard Simulator::
+    // checkpoint fights transient I/O failure (the sweep service
+    // raises it for long campaigns).
+    const Artifacts &ref = reference(CpuModel::Atomic);
+
+    // Loosened budget: five attempts ride through four failures.
+    {
+        mem::FaultInjectorParams fp;
+        fp.failWrites = 4;
+        Machine m(CpuModel::Atomic, &fp);
+        sim::RunOptions run;
+        run.checkpointRetry.maxAttempts = 5;
+        run.checkpointRetry.backoffBaseMs = 0.01;
+        m.sim.configure(run);
+        auto part = m.system.run(ref.finalTick / 2);
+        ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
+
+        std::string path = tmpPath("retrycfg");
+        EXPECT_TRUE(m.sim.checkpoint(path));
+        EXPECT_EQ(m.injector->ioFaultsInjected(), 4u);
+        EXPECT_NO_THROW(sim::CheckpointIn::readFile(path));
+        std::remove(path.c_str());
+    }
+
+    // Tightened budget: a single attempt fails fast (callers that
+    // would rather requeue the job than block on backoff).
+    {
+        mem::FaultInjectorParams fp;
+        fp.failWrites = 1;
+        Machine m(CpuModel::Atomic, &fp);
+        sim::RunOptions run;
+        run.checkpointRetry.maxAttempts = 1;
+        m.sim.configure(run);
+        auto part = m.system.run(ref.finalTick / 2);
+        ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
+
+        std::string path = tmpPath("retrycfg_tight");
+        EXPECT_THROW(m.sim.checkpoint(path), CheckpointError);
+        EXPECT_FALSE(std::filesystem::exists(path));
+        EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
     }
 }
 

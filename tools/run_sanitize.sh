@@ -75,6 +75,18 @@ if [ "$#" -gt 0 ]; then
     ctest --preset sanitize -R '^(CoherenceStress|CoherenceQuick|Litmus|ThreadedGuest|MultiCoreRegression)'
 fi
 
+# Sweep-service pass: the chaos suite walks the crash/retry/eviction
+# paths on purpose — torn spool files, corrupt cache entries, a
+# service killed between a cache store and the state transition —
+# which is where use-after-free and uninitialized reads hide in a
+# recovery codebase. The quick half smokes spool transitions and
+# cold recovery sub-second. Run both sanitized even when a filter
+# narrowed the main pass.
+if [ "$#" -gt 0 ]; then
+    echo "== ctest sweep-service suite (preset: sanitize) =="
+    ctest --preset sanitize -R '^(ServiceChaosGate|ServiceSupervision|ServiceCacheGate|ServiceResume|ServiceAdmission|ServiceIncoming|ServiceStop|ServiceJson|ServiceSpec|ServiceJobKey|ServiceSpool|ServiceCache)'
+fi
+
 # TSan pass: the parallel harness runs whole simulations on pool
 # threads, so data races (not just leaks/UB) are the failure mode that
 # matters there. TSan and ASan cannot share a build, so this is a
@@ -95,7 +107,10 @@ if [ "${G5P_SKIP_TSAN:-0}" != "1" ]; then
     # suite is single-threaded and adds nothing under TSan but
     # runtime.
     # Coherence rides along: pooled sweeps may run multi-core guests,
-    # so the protocol paths must also be clean under TSan.
+    # so the protocol paths must also be clean under TSan. The sweep
+    # service dispatches batches onto the same pool (and its commit
+    # loop reads outcomes the workers wrote), so its suites ride
+    # along too.
     echo "== ctest parallel suites (preset: tsan) =="
-    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling|Coherence)'
+    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling|Coherence|Service)'
 fi
