@@ -62,35 +62,36 @@ class RefQueue
 {
   public:
     void
-    schedule(RefEvent *ev, Tick when)
+    schedule(RefEvent &event, Tick when)
     {
         // The seed paid scope instrumentation per schedule and per
         // serviceOne; the reference must pay it too or the baseline
         // is flattered.
         G5P_TRACE_SCOPE("RefQueue::schedule", EventLoop, false);
-        ev->when = when;
-        ev->sequence = nextSequence_++;
-        ev->scheduled = true;
-        heap_.push(Entry{when, ev->priority, ev->sequence, ev});
+        event.when = when;
+        event.sequence = nextSequence_++;
+        event.scheduled = true;
+        heap_.push(Entry{when, event.priority, event.sequence,
+                         &event});
         ++liveCount_;
     }
 
     void
-    deschedule(RefEvent *ev)
+    deschedule(RefEvent &event)
     {
-        ev->scheduled = false;
-        deadSeqs_.insert(ev->sequence);
+        event.scheduled = false;
+        deadSeqs_.insert(event.sequence);
         --liveCount_;
         if (deadSeqs_.size() > 64 && deadSeqs_.size() > 2 * liveCount_)
             compact();
     }
 
     void
-    reschedule(RefEvent *ev, Tick when)
+    reschedule(RefEvent &event, Tick when)
     {
-        if (ev->scheduled)
-            deschedule(ev);
-        schedule(ev, when);
+        if (event.scheduled)
+            deschedule(event);
+        schedule(event, when);
     }
 
     bool empty() const { return liveCount_ == 0; }
@@ -298,7 +299,7 @@ scheduleService()
         for (int r = 0; r < rounds; ++r) {
             Tick base = eq.curTick();
             for (auto &ev : events)
-                eq.schedule(&ev, base + 1 + rng() % 10000);
+                eq.schedule(ev, base + 1 + rng() % 10000);
             eq.serviceUntil(maxTick - 1);
         }
     });
@@ -310,7 +311,7 @@ scheduleService()
         for (int r = 0; r < rounds; ++r) {
             Tick base = eq.curTick();
             for (auto &ev : events)
-                eq.schedule(&ev, base + 1 + rng() % 10000);
+                eq.schedule(ev, base + 1 + rng() % 10000);
             eq.serviceUntil(maxTick - 1);
         }
     });
@@ -333,13 +334,13 @@ rescheduleChurn()
         auto events = makeEvents<CountEvent>(numEvents, count);
         std::mt19937_64 rng(seed);
         for (int i = 0; i < numEvents; ++i)
-            eq.schedule(&events[i], 1 + (Tick)i);
+            eq.schedule(events[i], 1 + (Tick)i);
         for (std::uint64_t m = 0; m < moves; ++m) {
             auto &ev = events[rng() % numEvents];
-            eq.reschedule(&ev, 1 + rng() % 100000);
+            eq.reschedule(ev, 1 + rng() % 100000);
         }
         for (auto &ev : events)
-            eq.deschedule(&ev);
+            eq.deschedule(ev);
     });
 
     double reference = nsPerOp(moves, [&] {
@@ -347,13 +348,13 @@ rescheduleChurn()
         auto events = makeEvents<RefCountEvent>(numEvents, count);
         std::mt19937_64 rng(seed);
         for (int i = 0; i < numEvents; ++i)
-            eq.schedule(&events[i], 1 + (Tick)i);
+            eq.schedule(events[i], 1 + (Tick)i);
         for (std::uint64_t m = 0; m < moves; ++m) {
             auto &ev = events[rng() % numEvents];
-            eq.reschedule(&ev, 1 + rng() % 100000);
+            eq.reschedule(ev, 1 + rng() % 100000);
         }
         for (auto &ev : events)
-            eq.deschedule(&ev);
+            eq.deschedule(ev);
     });
 
     return {"reschedule_churn", moves, indexed, reference};
@@ -368,29 +369,29 @@ descheduleChurn()
     double indexed = nsPerOp(pairs, [&] {
         EventQueue eq;
         CountEvent far_event(count);
-        eq.schedule(&far_event, maxTick - 2);
+        eq.schedule(far_event, maxTick - 2);
         auto events = makeEvents<CountEvent>(64, count);
         std::mt19937_64 rng(seed);
         for (std::uint64_t p = 0; p < pairs; ++p) {
             auto &ev = events[p % events.size()];
-            eq.schedule(&ev, 1 + rng() % 4096);
-            eq.deschedule(&ev);
+            eq.schedule(ev, 1 + rng() % 4096);
+            eq.deschedule(ev);
         }
-        eq.deschedule(&far_event);
+        eq.deschedule(far_event);
     });
 
     double reference = nsPerOp(pairs, [&] {
         RefQueue eq;
         RefCountEvent far_event(count);
-        eq.schedule(&far_event, maxTick - 2);
+        eq.schedule(far_event, maxTick - 2);
         auto events = makeEvents<RefCountEvent>(64, count);
         std::mt19937_64 rng(seed);
         for (std::uint64_t p = 0; p < pairs; ++p) {
             auto &ev = events[p % events.size()];
-            eq.schedule(&ev, 1 + rng() % 4096);
-            eq.deschedule(&ev);
+            eq.schedule(ev, 1 + rng() % 4096);
+            eq.deschedule(ev);
         }
-        eq.deschedule(&far_event);
+        eq.deschedule(far_event);
     });
 
     return {"deschedule_churn", pairs, indexed, reference};
@@ -412,7 +413,7 @@ sameTickBurst()
         for (int r = 0; r < rounds; ++r) {
             Tick tick = eq.curTick() + 1;
             for (auto &ev : events)
-                eq.schedule(&ev, tick);
+                eq.schedule(ev, tick);
             eq.serviceUntil(tick);
         }
     });
@@ -423,7 +424,7 @@ sameTickBurst()
         for (int r = 0; r < rounds; ++r) {
             Tick tick = eq.curTick() + 1;
             for (auto &ev : events)
-                eq.schedule(&ev, tick);
+                eq.schedule(ev, tick);
             eq.serviceUntil(tick);
         }
     });
@@ -449,7 +450,7 @@ autodeleteStorm()
                 auto *ev = new sim::EventFunctionWrapper(
                     [&count] { ++count; }, "storm");
                 ev->setAutoDelete(true);
-                eq.schedule(ev, tick + i % 7);
+                eq.schedule(*ev, tick + i % 7);
             }
             eq.serviceUntil(maxTick - 1);
         }
@@ -462,7 +463,7 @@ autodeleteStorm()
             for (int i = 0; i < storm; ++i) {
                 auto *ev = new RefCallbackEvent(
                     [&count] { ++count; }, "storm");
-                eq.schedule(ev, tick + i % 7);
+                eq.schedule(*ev, tick + i % 7);
             }
             eq.serviceUntil(maxTick - 1);
         }

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: front-end design choices vs gem5 simulation speed —
+ * DSB capacity (none / half / Cascade-Lake / huge), legacy-decode
+ * width, and indirect-predictor capacity. Quantifies which of the
+ * paper's §VI "fine-grained, tightly coupled" acceleration targets
+ * would actually pay off.
+ */
+
+#include "bench_common.hh"
+
+using namespace g5p;
+using namespace g5p::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    RunCache cache(opts);
+    std::ostream &os = std::cout;
+
+    core::RunConfig base;
+    base.workload = "water_nsquared";
+    base.cpuModel = os::CpuModel::O3;
+    base.platform = host::xeonConfig();
+    double base_sec = cache.get(base).hostSeconds;
+
+    core::printBanner(os,
+        "Ablation: DSB capacity vs gem5 sim time (O3, Xeon)");
+    {
+        core::Table table({"DSB windows", "DSB coverage",
+                           "norm. time"});
+        for (unsigned windows : {0u, 128u, 256u, 2048u}) {
+            core::RunConfig cfg = base;
+            cfg.platform.dsb.windows = windows;
+            if (windows == 0)
+                cfg.platform.dsbUopsPerCycle = 0;
+            const auto &run = cache.get(cfg);
+            table.addRow({std::to_string(windows),
+                          fmtPercent(run.counters.dsbCoverage()),
+                          fmtDouble(run.hostSeconds / base_sec,
+                                    3)});
+        }
+        table.print(os);
+    }
+
+    core::printBanner(os,
+        "Ablation: legacy-decode (MITE) width vs gem5 sim time");
+    {
+        core::Table table({"MITE uops/cycle", "FE bandwidth slots",
+                           "norm. time"});
+        for (double width : {1.6, 2.6, 4.0, 6.0}) {
+            core::RunConfig cfg = base;
+            cfg.platform.miteUopsPerCycle = width;
+            const auto &run = cache.get(cfg);
+            table.addRow({fmtDouble(width, 1),
+                          fmtPercent(
+                              run.topdown.frontendBandwidth),
+                          fmtDouble(run.hostSeconds / base_sec,
+                                    3)});
+        }
+        table.print(os);
+    }
+
+    core::printBanner(os,
+        "Ablation: indirect-predictor entries vs mispredicts "
+        "(virtual dispatch pressure)");
+    {
+        core::Table table({"Entries", "mispredicts/kI",
+                           "norm. time"});
+        for (unsigned entries : {64u, 512u, 4096u, 16384u}) {
+            core::RunConfig cfg = base;
+            cfg.platform.bpred.indirectEntries = entries;
+            const auto &run = cache.get(cfg);
+            table.addRow({std::to_string(entries),
+                          fmtDouble(1000.0 *
+                                        run.counters.mispredicts /
+                                        run.counters.insts, 2),
+                          fmtDouble(run.hostSeconds / base_sec,
+                                    3)});
+        }
+        table.print(os);
+    }
+    return 0;
+}

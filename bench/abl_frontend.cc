@@ -1,85 +1,943 @@
 /**
  * @file
- * Ablation: front-end design choices vs gem5 simulation speed —
- * DSB capacity (none / half / Cascade-Lake / huge), legacy-decode
- * width, and indirect-predictor capacity. Quantifies which of the
- * paper's §VI "fine-grained, tightly coupled" acceleration targets
- * would actually pay off.
+ * PR 9 proof bench: the devirtualized dispatch table plus hot/cold
+ * text layout must beat mg5's own pre-PR front end, measured both
+ * ways the paper measures gem5:
+ *
+ *  1. Wall-clock. A reference queue (`ref::Queue`) embedded in this
+ *     TU reproduces the pre-PR service loop faithfully — identical
+ *     4-ary heap, chain promotion, bottom-up pop, FIFO-tie sequence
+ *     numbers — but dispatches every event through virtual
+ *     `process()` and carries no hot/cold annotations, exactly the
+ *     shape `EventQueue` had before this PR. The same three
+ *     scenarios (mixed-kind tick storm, same-tick burst drain,
+ *     transient response storm) run on both queues with identical
+ *     seeds; per-scenario order digests must match bit-for-bit, and
+ *     the geomean speedup must clear 1.10x (the FrontendDispatchGate
+ *     ctest runs exactly this binary). The baseline TU is compiled
+ *     with -fno-devirtualize* (CMakeLists): in real gem5 the
+ *     process() targets are spread across the build and the compiler
+ *     cannot speculatively devirtualize them, so letting it do so
+ *     here — where all types are TU-local — would make the baseline
+ *     unrealistically fast, not the other way around. The baseline
+ *     pays the same profiler tests, trace scopes, asserts and
+ *     counter upkeep the pre-PR queue paid — leaving them out would
+ *     flatter the reference — while the kind bookkeeping this PR
+ *     added stays a real-queue-only cost.
+ *
+ *  2. Modeled Top-Down. The hostsim pipeline marks event-entry trace
+ *     scopes virtual or direct via sim::modeledDispatchVirtual();
+ *     running the same profiled simulation with the flag on
+ *     (gem5-faithful "before") and off (table-dispatch "after") must
+ *     show front-end-bound% dropping, the fig. 2/3-style evidence
+ *     that the optimization attacks the bottleneck the paper
+ *     diagnosed rather than some accidental slack.
+ *
+ * Writes BENCH_frontend.json. Options: --json <path>, --no-gates,
+ * --quick.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_common.hh"
+#include "sim/event_dispatch.hh"
+#include "sim/eventq.hh"
+#include "trace/recorder.hh"
 
 using namespace g5p;
-using namespace g5p::bench;
+
+// ===============================================================
+// The pre-PR reference front end.
+// ===============================================================
+
+namespace ref
+{
+
+/** Pre-PR event: virtual process(), no kind byte consulted. */
+class Event
+{
+  public:
+    explicit Event(std::int16_t prio = 0) : priority_(prio) {}
+
+    virtual ~Event() = default;
+    virtual void process() = 0;
+
+    static constexpr std::size_t invalidIndex = ~(std::size_t)0;
+    static constexpr std::size_t chainedIndex = invalidIndex - 1;
+
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+    std::size_t heapIndex_ = invalidIndex;
+    Event *chainPrev_ = nullptr;
+    Event *chainNext_ = nullptr;
+    std::int16_t priority_;
+    bool autoDelete_ = false;
+
+    bool scheduled() const { return heapIndex_ != invalidIndex; }
+};
+
+/**
+ * Faithful copy of EventQueue's scheduling core as it stood before
+ * the dispatch table: same heap arity, same chain-append memo, same
+ * bottom-up popTop, same sequence-number FIFO ties — service order
+ * is bit-identical to the real queue (the digests prove it). The
+ * pre-PR queue also paid scope instrumentation per schedule and per
+ * serviceUntil, liveness asserts, the scheduled/serviced counters
+ * and the profiler attachment test on every event — the reference
+ * pays all of it too, or the baseline is flattered (the same rule
+ * abl_eventq's embedded reference follows). The only differences
+ * left are the dispatch call, the kind bookkeeping the new queue
+ * added, and the missing layout annotations, i.e. precisely what
+ * this PR changed.
+ */
+class Queue
+{
+  public:
+    Queue()
+        // The pre-PR serviceTop tested the attached profiler around
+        // every dispatch. getenv keeps the pointer opaque so the
+        // compiler cannot prove the branches dead and delete them.
+        : profiler_(std::getenv("G5P_REF_PROFILER"))
+    {
+    }
+
+    G5P_NOINLINE void
+    schedule(Event &event, Tick when)
+    {
+        G5P_TRACE_SCOPE("RefQueue::schedule", EventLoop, false);
+        g5p_assert(!event.scheduled(), "event already scheduled");
+        g5p_assert(when >= curTick_, "scheduling in the past");
+        event.when_ = when;
+        event.sequence_ = nextSequence_++;
+        Event *tail = lastScheduled_;
+        if (tail && tail->when_ == when &&
+            tail->priority_ == event.priority_) {
+            event.heapIndex_ = Event::chainedIndex;
+            event.chainPrev_ = tail;
+            tail->chainNext_ = &event;
+            ++chainedCount_;
+        } else {
+            event.heapIndex_ = heap_.size();
+            heap_.push_back(Node{when, event.sequence_, &event,
+                                 event.priority_});
+            siftUp(event.heapIndex_);
+        }
+        lastScheduled_ = &event;
+        ++numScheduled_;
+        if (event.autoDelete_)
+            ++transientScheduled_;
+    }
+
+    G5P_NOINLINE std::uint64_t
+    serviceUntil(Tick limit)
+    {
+        G5P_TRACE_SCOPE("RefQueue::serviceUntil", EventLoop, false);
+        std::uint64_t serviced = 0;
+        while (!heap_.empty() && heap_.front().when <= limit) {
+            serviceTop();
+            ++serviced;
+        }
+        return serviced;
+    }
+
+    Tick curTick() const { return curTick_; }
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    static constexpr std::size_t arity = 4;
+
+    struct Node
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Event *event;
+        std::int16_t priority;
+    };
+
+    static bool
+    before(const Node &a, const Node &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.sequence < b.sequence;
+    }
+
+    void
+    siftUp(std::size_t slot)
+    {
+        Node node = heap_[slot];
+        while (slot > 0) {
+            std::size_t parent = (slot - 1) / arity;
+            if (!before(node, heap_[parent]))
+                break;
+            heap_[slot] = heap_[parent];
+            heap_[slot].event->heapIndex_ = slot;
+            slot = parent;
+        }
+        heap_[slot] = node;
+        node.event->heapIndex_ = slot;
+    }
+
+    void
+    promoteChained(Event *head, std::size_t slot)
+    {
+        Event *next = head->chainNext_;
+        head->chainNext_ = nullptr;
+        next->chainPrev_ = nullptr;
+        --chainedCount_;
+        next->heapIndex_ = slot;
+        heap_[slot] = Node{next->when_, next->sequence_, next,
+                           next->priority_};
+    }
+
+    void
+    popTop()
+    {
+        Event *top = heap_.front().event;
+        if (top->autoDelete_)
+            --transientScheduled_;
+        top->heapIndex_ = Event::invalidIndex;
+        if (lastScheduled_ == top)
+            lastScheduled_ = nullptr;
+        if (top->chainNext_) {
+            promoteChained(top, 0);
+            return;
+        }
+        Node last = heap_.back();
+        heap_.pop_back();
+        const std::size_t count = heap_.size();
+        if (count == 0)
+            return;
+        std::size_t hole = 0;
+        while (true) {
+            std::size_t first = hole * arity + 1;
+            if (first >= count)
+                break;
+            std::size_t end = first + arity < count ? first + arity
+                                                    : count;
+            std::size_t best = first;
+            for (std::size_t child = first + 1; child < end;
+                 ++child) {
+                if (before(heap_[child], heap_[best]))
+                    best = child;
+            }
+            heap_[hole] = heap_[best];
+            heap_[hole].event->heapIndex_ = hole;
+            hole = best;
+        }
+        heap_[hole] = last;
+        last.event->heapIndex_ = hole;
+        siftUp(hole);
+    }
+
+    G5P_NOINLINE static void
+    profilerSink(Event *event, Tick when, std::size_t depth)
+    {
+        // Never reached (profiler_ is null in every run); exists so
+        // the attachment branches below have a real call behind them,
+        // like EventProfiler::beginService/endService do.
+        std::fprintf(stderr, "ref profiler hook %p %llu %zu\n",
+                     (void *)event, (unsigned long long)when, depth);
+    }
+
+    void
+    serviceTop()
+    {
+        Event *event = heap_.front().event;
+        Tick when = heap_.front().when;
+        g5p_assert(when >= curTick_, "event queue went backwards");
+        if (profiler_)
+            profilerSink(event, when, heap_.size());
+        popTop();
+        curTick_ = when;
+        ++numServiced_;
+        bool auto_delete = event->autoDelete_;
+        // The pre-PR dispatch: one megamorphic virtual call per
+        // serviced event.
+        event->process();
+        if (profiler_)
+            profilerSink(nullptr, 0, 0);
+        if (auto_delete && !event->scheduled())
+            delete event;
+    }
+
+    std::vector<Node> heap_;
+    Event *lastScheduled_ = nullptr;
+    const char *profiler_ = nullptr;
+    Tick curTick_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t numScheduled_ = 0;
+    std::uint64_t numServiced_ = 0;
+    std::uint64_t chainedCount_ = 0;
+    std::size_t transientScheduled_ = 0;
+};
+
+} // namespace ref
+
+// ===============================================================
+// Scenario workloads, instantiated for both queues.
+// ===============================================================
+
+namespace
+{
+
+/** Deterministic per-event stride source (identical both sides). */
+struct Lcg
+{
+    std::uint64_t state;
+    std::uint64_t
+    next()
+    {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    }
+};
+
+/** Order-sensitive digest: proves bit-identical service order. */
+struct Digest
+{
+    std::uint64_t value = 0x243f'6a88'85a3'08d3ULL;
+    void
+    fold(std::uint64_t token, std::uint64_t tick)
+    {
+        value = (value << 7 | value >> 57) ^ (token * 0x9e3779b97f4a7c15ULL + tick);
+    }
+};
+
+constexpr int numKinds = 8;
+
+/** Shared per-event behaviour: fire, fold digest, reschedule. */
+struct StormState
+{
+    Digest *digest;
+    Lcg lcg;
+    std::uint64_t token;
+    int firesLeft;
+};
+
+/** Table-dispatch side: one registered kind per K. */
+template <int K>
+class StormEvent : public sim::Event
+{
+  public:
+    StormEvent(sim::EventQueue &eq, StormState st)
+        : eq_(eq), st_(st)
+    {
+        setKind(sim::registeredEventKind<StormEvent>(kindLabel()));
+    }
+
+    void
+    invoke()
+    {
+        st_.digest->fold(st_.token + K, eq_.curTick());
+        if (--st_.firesLeft > 0)
+            eq_.schedule(*this, eq_.curTick() + 1 +
+                         st_.lcg.next() % 1000);
+    }
+
+    void process() override { invoke(); }
+
+  private:
+    static const char *
+    kindLabel()
+    {
+        return __PRETTY_FUNCTION__;
+    }
+
+    sim::EventQueue &eq_;
+    StormState st_;
+};
+
+/** Virtual side: same behaviour, classic process() override. */
+template <int K>
+class RefStormEvent : public ref::Event
+{
+  public:
+    RefStormEvent(ref::Queue &eq, StormState st) : eq_(eq), st_(st)
+    {}
+
+    void
+    process() override
+    {
+        st_.digest->fold(st_.token + K, eq_.curTick());
+        if (--st_.firesLeft > 0)
+            eq_.schedule(*this, eq_.curTick() + 1 +
+                         st_.lcg.next() % 1000);
+    }
+
+  private:
+    ref::Queue &eq_;
+    StormState st_;
+};
+
+struct ScenarioParams
+{
+    int stormEvents = 256;
+    int stormFires = 1500;
+    int burstWidth = 64;
+    int burstRounds = 4000;
+    int callbackChain = 200000;
+};
+
+/** @{ Scenario 1: mixed-kind tick storm (self-rescheduling mix). */
+template <typename QueueT, typename BaseT, template <int> class EventT>
+std::uint64_t
+runStorm(const ScenarioParams &p, Digest &digest)
+{
+    QueueT eq;
+    std::vector<std::unique_ptr<BaseT>> events;
+    events.reserve(p.stormEvents);
+    Lcg seeder{0x5eedULL};
+    for (int i = 0; i < p.stormEvents; ++i) {
+        StormState st{&digest, Lcg{seeder.next()},
+                      (std::uint64_t)i, p.stormFires};
+        switch (i % numKinds) {
+          case 0: events.emplace_back(new EventT<0>(eq, st)); break;
+          case 1: events.emplace_back(new EventT<1>(eq, st)); break;
+          case 2: events.emplace_back(new EventT<2>(eq, st)); break;
+          case 3: events.emplace_back(new EventT<3>(eq, st)); break;
+          case 4: events.emplace_back(new EventT<4>(eq, st)); break;
+          case 5: events.emplace_back(new EventT<5>(eq, st)); break;
+          case 6: events.emplace_back(new EventT<6>(eq, st)); break;
+          default: events.emplace_back(new EventT<7>(eq, st)); break;
+        }
+        eq.schedule(*events.back(), 1 + (Tick)(i % 97));
+    }
+    return eq.serviceUntil(maxTick - 1);
+}
+/** @} */
+
+/** @{ Scenario 2: same-tick burst drain (chain append + promote). */
+template <int K, typename BaseE, typename QueueT>
+class BurstEventT : public BaseE
+{
+  public:
+    BurstEventT(QueueT &eq, Digest &digest)
+        : eq_(eq), digest_(digest)
+    {
+    }
+
+    void
+    fire()
+    {
+        digest_.fold(K * 131 + 7, eq_.curTick());
+    }
+
+  protected:
+    QueueT &eq_;
+    Digest &digest_;
+};
+
+template <int K>
+class BurstEvent
+    : public BurstEventT<K, sim::Event, sim::EventQueue>
+{
+  public:
+    BurstEvent(sim::EventQueue &eq, Digest &d)
+        : BurstEventT<K, sim::Event, sim::EventQueue>(eq, d)
+    {
+        this->setKind(
+            sim::registeredEventKind<BurstEvent>(kindLabel()));
+    }
+
+    void invoke() { this->fire(); }
+    void process() override { invoke(); }
+
+  private:
+    static const char *
+    kindLabel()
+    {
+        return __PRETTY_FUNCTION__;
+    }
+};
+
+template <int K>
+class RefBurstEvent : public BurstEventT<K, ref::Event, ref::Queue>
+{
+  public:
+    using BurstEventT<K, ref::Event, ref::Queue>::BurstEventT;
+    void process() override { this->fire(); }
+};
+
+template <typename QueueT, typename BaseT, template <int> class EventT>
+std::uint64_t
+runBurst(const ScenarioParams &p, Digest &digest)
+{
+    QueueT eq;
+    std::vector<std::unique_ptr<BaseT>> events;
+    for (int i = 0; i < p.burstWidth; ++i) {
+        switch (i % numKinds) {
+          case 0: events.emplace_back(new EventT<0>(eq, digest)); break;
+          case 1: events.emplace_back(new EventT<1>(eq, digest)); break;
+          case 2: events.emplace_back(new EventT<2>(eq, digest)); break;
+          case 3: events.emplace_back(new EventT<3>(eq, digest)); break;
+          case 4: events.emplace_back(new EventT<4>(eq, digest)); break;
+          case 5: events.emplace_back(new EventT<5>(eq, digest)); break;
+          case 6: events.emplace_back(new EventT<6>(eq, digest)); break;
+          default: events.emplace_back(new EventT<7>(eq, digest)); break;
+        }
+    }
+    std::uint64_t serviced = 0;
+    for (int round = 0; round < p.burstRounds; ++round) {
+        Tick t = eq.curTick() + 1;
+        for (auto &ev : events)
+            eq.schedule(*ev, t);
+        serviced += eq.serviceUntil(t);
+    }
+    return serviced;
+}
+/** @} */
+
+/**
+ * @{ Scenario 3: transient response storm (pooled one-shots in a
+ * live mixed queue). This is the production shape of dynamic
+ * events: cache/DRAM/TLB continuations are allocated at event rate
+ * and fire interleaved with the tick events that spawned them — not
+ * as an isolated monomorphic chain. Drivers of four kinds
+ * self-reschedule and, per fire, launch one pooled auto-delete
+ * response a few ticks out, so the queue stays ~drivers + in-flight
+ * responses deep and service alternates kinds, exactly the mix the
+ * dispatch table (and, on the ref side, the vtable) sees in a real
+ * run.
+ */
+class RefCallbackEvent : public ref::Event
+{
+  public:
+    RefCallbackEvent(std::function<void()> fn, std::string name)
+        : fn_(std::move(fn)), name_(std::move(name))
+    {
+        autoDelete_ = true;
+    }
+
+    static void *
+    operator new(std::size_t size)
+    {
+        return sim::EventPool::allocate(size);
+    }
+
+    static void
+    operator delete(void *p, std::size_t size) noexcept
+    {
+        sim::EventPool::deallocate(p, size);
+    }
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+    std::string name_;
+};
+
+/** Shared driver behaviour (token folds, budget, reschedule). */
+struct DriverState
+{
+    Digest *digest;
+    Lcg lcg;
+    int *budget;
+};
+
+template <int K>
+class DriverEvent : public sim::Event
+{
+  public:
+    DriverEvent(sim::EventQueue &eq, DriverState st)
+        : eq_(eq), st_(st)
+    {
+        setKind(sim::registeredEventKind<DriverEvent>(
+            __PRETTY_FUNCTION__));
+    }
+
+    void
+    invoke()
+    {
+        st_.digest->fold(100 + K, eq_.curTick());
+        if (*st_.budget <= 0)
+            return;
+        --*st_.budget;
+        Digest *d = st_.digest;
+        sim::EventQueue *q = &eq_;
+        // One pooled response per fire, like a cache access
+        // completing: two captured pointers keep the closure in
+        // std::function's inline storage on both sides.
+        eq_.scheduleOneShot(eq_.curTick() + 1 + st_.lcg.next() % 24,
+                            [d, q] { d->fold(0x7e57, q->curTick()); },
+                            "resp");
+        eq_.schedule(*this, eq_.curTick() + 2 + st_.lcg.next() % 40);
+    }
+
+    void process() override { invoke(); }
+
+  private:
+    sim::EventQueue &eq_;
+    DriverState st_;
+};
+
+template <int K>
+class RefDriverEvent : public ref::Event
+{
+  public:
+    RefDriverEvent(ref::Queue &eq, DriverState st) : eq_(eq), st_(st)
+    {
+    }
+
+    void
+    process() override
+    {
+        st_.digest->fold(100 + K, eq_.curTick());
+        if (*st_.budget <= 0)
+            return;
+        --*st_.budget;
+        Digest *d = st_.digest;
+        ref::Queue *q = &eq_;
+        auto *resp = new RefCallbackEvent(
+            [d, q] { d->fold(0x7e57, q->curTick()); }, "resp");
+        eq_.schedule(*resp,
+                     eq_.curTick() + 1 + st_.lcg.next() % 24);
+        eq_.schedule(*this, eq_.curTick() + 2 + st_.lcg.next() % 40);
+    }
+
+  private:
+    ref::Queue &eq_;
+    DriverState st_;
+};
+
+constexpr int numDrivers = 32;
+
+template <typename QueueT, typename BaseT, template <int> class EvT>
+std::uint64_t
+runResponses(const ScenarioParams &p, Digest &digest)
+{
+    QueueT eq;
+    int budget = p.callbackChain;
+    std::vector<std::unique_ptr<BaseT>> drivers;
+    drivers.reserve(numDrivers);
+    Lcg seeder{0xd21e5ULL};
+    for (int i = 0; i < numDrivers; ++i) {
+        DriverState st{&digest, Lcg{seeder.next()}, &budget};
+        switch (i % 4) {
+          case 0: drivers.emplace_back(new EvT<0>(eq, st)); break;
+          case 1: drivers.emplace_back(new EvT<1>(eq, st)); break;
+          case 2: drivers.emplace_back(new EvT<2>(eq, st)); break;
+          default: drivers.emplace_back(new EvT<3>(eq, st)); break;
+        }
+        eq.schedule(*drivers.back(), 1 + (Tick)(i % 13));
+    }
+    return eq.serviceUntil(maxTick - 1);
+}
+/** @} */
+
+// ===============================================================
+// Harness.
+// ===============================================================
+
+using clock_type = std::chrono::steady_clock;
+
+struct Measured
+{
+    double ns = 0;
+    std::uint64_t serviced = 0;
+    std::uint64_t digest = 0;
+};
+
+template <typename Fn>
+Measured
+timeOnce(Fn &&fn)
+{
+    Digest digest;
+    auto start = clock_type::now();
+    std::uint64_t serviced = fn(digest);
+    auto end = clock_type::now();
+    Measured m;
+    m.ns = (double)std::chrono::duration_cast<
+        std::chrono::nanoseconds>(end - start).count();
+    m.serviced = serviced;
+    m.digest = digest.value;
+    return m;
+}
+
+struct ScenarioResult
+{
+    std::string name;
+    Measured ref;   ///< pre-PR virtual front end
+    Measured table; ///< devirtualized EventQueue
+    double speedup() const { return ref.ns / table.ns; }
+    double
+    refNsPerOp() const
+    {
+        return ref.ns / (double)ref.serviced;
+    }
+    double
+    tableNsPerOp() const
+    {
+        return table.ns / (double)table.serviced;
+    }
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opts = BenchOptions::parse(argc, argv);
-    RunCache cache(opts);
-    std::ostream &os = std::cout;
-
-    core::RunConfig base;
-    base.workload = "water_nsquared";
-    base.cpuModel = os::CpuModel::O3;
-    base.platform = host::xeonConfig();
-    double base_sec = cache.get(base).hostSeconds;
-
-    core::printBanner(os,
-        "Ablation: DSB capacity vs gem5 sim time (O3, Xeon)");
-    {
-        core::Table table({"DSB windows", "DSB coverage",
-                           "norm. time"});
-        for (unsigned windows : {0u, 128u, 256u, 2048u}) {
-            core::RunConfig cfg = base;
-            cfg.platform.dsb.windows = windows;
-            if (windows == 0)
-                cfg.platform.dsbUopsPerCycle = 0;
-            const auto &run = cache.get(cfg);
-            table.addRow({std::to_string(windows),
-                          fmtPercent(run.counters.dsbCoverage()),
-                          fmtDouble(run.hostSeconds / base_sec,
-                                    3)});
+    std::string json_path = "BENCH_frontend.json";
+    bool gates = true;
+    bool quick = false;
+    int reps = 11;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    // Sanitizer instrumentation swamps the dispatch/layout deltas
+    // (and G5P_HOT_LAYOUT is off in those builds); the order digests
+    // and the Top-Down legs still verify, the speed gates become
+    // report-only.
+    gates = false;
+    std::printf("note: sanitizer build — speed gates report-only\n");
+#endif
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--no-gates") {
+            gates = false;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--reps" && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else if (arg == "--help") {
+            std::printf("options: --json <path> | --no-gates | "
+                        "--quick | --reps <n>\n");
+            return 0;
         }
-        table.print(os);
     }
 
-    core::printBanner(os,
-        "Ablation: legacy-decode (MITE) width vs gem5 sim time");
-    {
-        core::Table table({"MITE uops/cycle", "FE bandwidth slots",
-                           "norm. time"});
-        for (double width : {1.6, 2.6, 4.0, 6.0}) {
-            core::RunConfig cfg = base;
-            cfg.platform.miteUopsPerCycle = width;
-            const auto &run = cache.get(cfg);
-            table.addRow({fmtDouble(width, 1),
-                          fmtPercent(
-                              run.topdown.frontendBandwidth),
-                          fmtDouble(run.hostSeconds / base_sec,
-                                    3)});
-        }
-        table.print(os);
+    ScenarioParams p;
+    if (quick) {
+        p.stormFires = 300;
+        p.burstRounds = 800;
+        p.callbackChain = 40000;
+        reps = std::min(reps, 5);
     }
 
-    core::printBanner(os,
-        "Ablation: indirect-predictor entries vs mispredicts "
-        "(virtual dispatch pressure)");
-    {
-        core::Table table({"Entries", "mispredicts/kI",
-                           "norm. time"});
-        for (unsigned entries : {64u, 512u, 4096u, 16384u}) {
-            core::RunConfig cfg = base;
-            cfg.platform.bpred.indirectEntries = entries;
-            const auto &run = cache.get(cfg);
-            table.addRow({std::to_string(entries),
-                          fmtDouble(1000.0 *
-                                        run.counters.mispredicts /
-                                        run.counters.insts, 2),
-                          fmtDouble(run.hostSeconds / base_sec,
-                                    3)});
-        }
-        table.print(os);
+    ScenarioResult storm{"mixed-kind tick storm", {}, {}};
+    ScenarioResult burst{"same-tick burst drain", {}, {}};
+    ScenarioResult calls{"transient response storm", {}, {}};
+    ScenarioResult *scenarios[] = {&storm, &burst, &calls};
+
+    auto storm_ref = [&](Digest &d) {
+        return runStorm<ref::Queue, ref::Event, RefStormEvent>(p, d);
+    };
+    auto storm_table = [&](Digest &d) {
+        return runStorm<sim::EventQueue, sim::Event, StormEvent>(p, d);
+    };
+    auto burst_ref = [&](Digest &d) {
+        return runBurst<ref::Queue, ref::Event, RefBurstEvent>(p, d);
+    };
+    auto burst_table = [&](Digest &d) {
+        return runBurst<sim::EventQueue, sim::Event, BurstEvent>(p, d);
+    };
+    auto calls_ref = [&](Digest &d) {
+        return runResponses<ref::Queue, ref::Event,
+                            RefDriverEvent>(p, d);
+    };
+    auto calls_table = [&](Digest &d) {
+        return runResponses<sim::EventQueue, sim::Event,
+                            DriverEvent>(p, d);
+    };
+
+    // Warm-up round primes pools, page tables and branch history for
+    // both implementations alike, then interleaved min-of-reps
+    // rejects scheduler noise exactly as abl_profiler does. Digests
+    // are deterministic, so keeping the fastest rep's is safe.
+    auto min_into = [](Measured &best, Measured got) {
+        if (best.serviced == 0 || got.ns < best.ns)
+            best = got;
+    };
+    timeOnce(storm_ref);
+    timeOnce(storm_table);
+    timeOnce(burst_ref);
+    timeOnce(burst_table);
+    timeOnce(calls_ref);
+    timeOnce(calls_table);
+    for (int rep = 0; rep < reps; ++rep) {
+        min_into(storm.ref, timeOnce(storm_ref));
+        min_into(storm.table, timeOnce(storm_table));
+        min_into(burst.ref, timeOnce(burst_ref));
+        min_into(burst.table, timeOnce(burst_table));
+        min_into(calls.ref, timeOnce(calls_ref));
+        min_into(calls.table, timeOnce(calls_table));
     }
-    return 0;
+
+    std::printf("# abl_frontend: pre-PR virtual front end vs "
+                "dispatch-table EventQueue (min of %d reps)\n", reps);
+    std::printf("%-26s %10s %12s %12s %9s %7s\n", "scenario",
+                "events", "ref ns/op", "table ns/op", "speedup",
+                "order");
+    bool digests_ok = true;
+    std::vector<double> speedups;
+    for (ScenarioResult *s : scenarios) {
+        bool same = s->ref.digest == s->table.digest &&
+                    s->ref.serviced == s->table.serviced;
+        digests_ok = digests_ok && same;
+        speedups.push_back(s->speedup());
+        std::printf("%-26s %10llu %12.2f %12.2f %8.3fx %7s\n",
+                    s->name.c_str(),
+                    (unsigned long long)s->table.serviced,
+                    s->refNsPerOp(), s->tableNsPerOp(), s->speedup(),
+                    same ? "match" : "DIFF");
+    }
+    double geomean_speedup = bench::geomean(speedups);
+    std::printf("%-26s %10s %12s %12s %8.3fx\n", "geomean", "", "",
+                "", geomean_speedup);
+    std::printf("event pool on huge pages: %s\n",
+                sim::EventPool::usingHugePages() ? "yes"
+                                                 : "no (fallback)");
+
+    // Honest secondary row: the same binary's EventQueue forced back
+    // onto the virtual path isolates the dispatch choice from the
+    // layout work (both sides get hot-ordered text here).
+    {
+        auto forced = [&](Digest &d) {
+            sim::EventQueue eq;
+            eq.setForceVirtualDispatch(true);
+            std::vector<std::unique_ptr<sim::Event>> events;
+            Lcg seeder{0x5eedULL};
+            for (int i = 0; i < p.stormEvents; ++i) {
+                StormState st{&d, Lcg{seeder.next()},
+                              (std::uint64_t)i, p.stormFires};
+                events.emplace_back(new StormEvent<0>(eq, st));
+                eq.schedule(*events.back(), 1 + (Tick)(i % 97));
+            }
+            return eq.serviceUntil(maxTick - 1);
+        };
+        timeOnce(forced); // warm
+        Measured virt = timeOnce(forced);
+        std::printf("forced-virtual storm (same binary, layout "
+                    "kept): %.2f ns/op vs table %.2f ns/op — the "
+                    "dispatch-only share of the win\n",
+                    virt.ns / (double)virt.serviced,
+                    storm.tableNsPerOp());
+    }
+
+    // ------------------------------------------------------------
+    // Modeled Top-Down: before (virtual event entries, stock text
+    // layout) vs after (table entries plus the hot/cold split and
+    // order file, THP-backed text), same profiled simulation. The
+    // PR ships all of it together, so the legs model all of it: the
+    // dispatch flag kills the megamorphic-site resteers, hotLayout
+    // densifies the fetched text, and thpCode backs the packed hot
+    // pages with huge pages — the icache/iTLB share of front-end
+    // bound.
+    // ------------------------------------------------------------
+    core::RunConfig cfg;
+    cfg.workload = "water_nsquared";
+    cfg.cpuModel = os::CpuModel::O3;
+    cfg.platform = host::xeonConfig();
+    cfg.workloadScale = 0.1;
+    cfg.maxGuestInsts = quick ? 4000 : 12000;
+
+    std::fprintf(stderr, "  running modeled Top-Down legs ...\n");
+    sim::setModeledDispatchVirtual(true);
+    trace::FuncRegistry::instance().resetForTest();
+    core::RunResult before = core::runProfiledSimulation(cfg);
+    trace::FuncRegistry::instance().resetForTest();
+    sim::setModeledDispatchVirtual(false);
+    cfg.tuning.hotLayout = true;
+    cfg.tuning.thpCode = true;
+    core::RunResult after = core::runProfiledSimulation(cfg);
+    sim::setModeledDispatchVirtual(true);
+    trace::FuncRegistry::instance().resetForTest();
+
+    double fe_before = before.topdown.frontendBound();
+    double fe_after = after.topdown.frontendBound();
+    core::printBanner(std::cout,
+        "Modeled Top-Down: O3/water_nsquared, virtual vs table "
+        "event entry");
+    {
+        core::Table table({"leg", "retiring", "bad spec", "FE bound",
+                           "BE bound"});
+        table.addRow({"before (virtual)",
+                      fmtPercent(before.topdown.retiring),
+                      fmtPercent(
+                          before.topdown.badSpeculation),
+                      fmtPercent(fe_before),
+                      fmtPercent(before.topdown.backendBound)});
+        table.addRow({"after (table+hot layout)",
+                      fmtPercent(after.topdown.retiring),
+                      fmtPercent(after.topdown.badSpeculation),
+                      fmtPercent(fe_after),
+                      fmtPercent(after.topdown.backendBound)});
+        table.print(std::cout);
+    }
+    std::printf("front-end bound: %.2f%% -> %.2f%% "
+                "(delta %+.2f pts)\n", 100 * fe_before,
+                100 * fe_after, 100 * (fe_after - fe_before));
+
+    // ------------------------------------------------------------
+    // JSON artifact.
+    // ------------------------------------------------------------
+    std::ofstream json(json_path);
+    json << "{\n  \"bench\": \"frontend\",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < 3; ++i) {
+        const ScenarioResult *s = scenarios[i];
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"ref_ns_per_op\": "
+                      "%.3f, \"table_ns_per_op\": %.3f, "
+                      "\"speedup\": %.4f, \"order_match\": %s}%s\n",
+                      s->name.c_str(), s->refNsPerOp(),
+                      s->tableNsPerOp(), s->speedup(),
+                      s->ref.digest == s->table.digest ? "true"
+                                                       : "false",
+                      i + 1 < 3 ? "," : "");
+        json << buf;
+    }
+    json << "  ],\n";
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "  \"geomean_speedup_gate\": %.4f,\n"
+                  "  \"order_digests_match\": %s,\n"
+                  "  \"event_pool_huge_pages\": %s,\n"
+                  "  \"topdown_frontend_bound_before\": %.5f,\n"
+                  "  \"topdown_frontend_bound_after\": %.5f\n}\n",
+                  geomean_speedup, digests_ok ? "true" : "false",
+                  sim::EventPool::usingHugePages() ? "true" : "false",
+                  fe_before, fe_after);
+    json << buf;
+    if (!json) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+
+    // The acceptance gates.
+    int failures = 0;
+    if (!digests_ok) {
+        std::printf("FAIL: service-order digests diverge between "
+                    "reference and table queues\n");
+        ++failures;
+    }
+    if (gates) {
+        if (geomean_speedup < 1.10) {
+            std::printf("FAIL: geomean dispatch+layout speedup "
+                        "%.3fx < 1.10x\n", geomean_speedup);
+            ++failures;
+        }
+        if (fe_after >= fe_before) {
+            std::printf("FAIL: modeled front-end bound did not drop "
+                        "(%.4f -> %.4f)\n", fe_before, fe_after);
+            ++failures;
+        }
+    }
+    return failures ? 1 : 0;
 }

@@ -32,7 +32,7 @@ BM_EventQueueScheduleService(benchmark::State &state)
     sim::EventFunctionWrapper ev([&] { ++fired; }, "bench");
     Tick when = 1;
     for (auto _ : state) {
-        eq.schedule(&ev, when);
+        eq.schedule(ev, when);
         eq.serviceOne();
         ++when;
     }
@@ -51,19 +51,19 @@ BM_EventQueueDepth(benchmark::State &state)
     for (std::size_t i = 0; i < depth; ++i) {
         events.push_back(std::make_unique<sim::EventFunctionWrapper>(
             [] {}, "filler"));
-        eq.schedule(events.back().get(), 1000000 + i);
+        eq.schedule(*events.back(), 1000000 + i);
     }
     sim::EventFunctionWrapper probe([] {}, "probe");
     Tick when = 1;
     for (auto _ : state) {
-        eq.schedule(&probe, when);
-        eq.deschedule(&probe);
+        eq.schedule(probe, when);
+        eq.deschedule(probe);
         benchmark::DoNotOptimize(eq.nextTick());
         ++when;
     }
     state.SetItemsProcessed(state.iterations());
     for (auto &ev : events)
-        eq.deschedule(ev.get());
+        eq.deschedule(*ev);
 }
 BENCHMARK(BM_EventQueueDepth)->Arg(16)->Arg(256)->Arg(4096);
 

@@ -82,7 +82,7 @@ runRep(Mode mode, std::uint64_t &count)
     for (int r = 0; r < rounds; ++r) {
         Tick base = eq.curTick();
         for (auto &ev : events)
-            eq.schedule(&ev, base + 1 + rng() % 10000);
+            eq.schedule(ev, base + 1 + rng() % 10000);
         eq.serviceUntil(maxTick - 1);
     }
     auto end = clock::now();

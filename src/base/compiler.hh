@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Compiler attribute shims for the code-layout work.
+ *
+ * The paper's headline finding is that gem5 is front-end bound: the
+ * event-service working set is bigger than the i-cache likes and no
+ * single function dominates, so *layout* — keeping the service loop's
+ * hot bytes together and pushing error/diagnostic code away from them
+ * — is a first-class optimization. These macros are how mg5 states
+ * hot/cold intent in one place:
+ *
+ *  - G5P_HOT marks a function as part of the event-service path. With
+ *    G5P_HOT_LAYOUT (the default build), GCC/Clang place it in a
+ *    .text.hot.* section; the default linker script groups .text.hot
+ *    ahead of .text, so the service loop ends up contiguous.
+ *  - G5P_COLD marks diagnostic/error/serialization code. Cold
+ *    functions are optimized for size, placed in .text.unlikely, and
+ *    calls to them are predicted not-taken — they stop diluting the
+ *    hot bytes (the LayoutOptions::paddingFactor effect, attacked for
+ *    real).
+ *  - G5P_NOINLINE keeps a slow path out of its hot caller so the
+ *    caller's fast path stays within a fetch window or two.
+ *
+ * tools/hot_order.txt carries the same intent to linkers that accept
+ * an explicit symbol order (lld's --symbol-ordering-file); see the
+ * top-level CMakeLists.
+ */
+
+#ifndef G5P_BASE_COMPILER_HH
+#define G5P_BASE_COMPILER_HH
+
+#if defined(__GNUC__) || defined(__clang__)
+#  define G5P_HOT      __attribute__((hot))
+#  define G5P_COLD     __attribute__((cold))
+#  define G5P_NOINLINE __attribute__((noinline))
+#  define G5P_LIKELY(x)   __builtin_expect(!!(x), 1)
+#  define G5P_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#  define G5P_HOT
+#  define G5P_COLD
+#  define G5P_NOINLINE
+#  define G5P_LIKELY(x)   (x)
+#  define G5P_UNLIKELY(x) (x)
+#endif
+
+#endif // G5P_BASE_COMPILER_HH

@@ -17,6 +17,14 @@ namespace
  */
 constexpr double o3PaddingScale = 0.85;
 
+/**
+ * -freorder-functions-style hot/cold splitting plus an explicit
+ * order file roughly halves the touched-line footprint of hot text
+ * (cold halves of split functions land in .text.unlikely pages the
+ * run never fetches).
+ */
+constexpr double hotLayoutPaddingScale = 0.55;
+
 /** Dynamic-instruction multiplier for -O3 builds. */
 constexpr double o3WorkScale = 0.995;
 
@@ -75,6 +83,14 @@ runProfiledSimulation(const RunConfig &config)
         // A different code layout entirely: -O3 relinks the binary,
         // changing which functions conflict in the i-cache.
         layout_opts.seed ^= 0x4f33;
+    }
+    if (config.tuning.hotLayout) {
+        // Hot/cold splitting evicts asserts, throw paths and trace
+        // slow paths from the fall-through text, and the order file
+        // packs what remains — a much bigger densification than -O3's
+        // code shrink, and a relink besides.
+        layout_opts.paddingFactor *= hotLayoutPaddingScale;
+        layout_opts.seed ^= 0x484f54;
     }
     trace::CodeLayout layout(trace::FuncRegistry::instance(),
                              layout_opts);

@@ -35,6 +35,17 @@ struct TuningConfig
     /** Compile with -O3: smaller code, slightly fewer instructions. */
     bool optO3 = false;
 
+    /**
+     * Build with hot/cold function splitting and the linker order
+     * file (the G5P_HOT_LAYOUT build of mg5 itself): cold paths move
+     * out of the fall-through text and tools/hot_order.txt packs the
+     * survivors, so the same executed bytes land on far fewer lines
+     * and pages. Models the layout half of the PR 9 front-end work;
+     * pair with sim::setModeledDispatchVirtual(false) for the full
+     * before/after story (bench/abl_frontend does exactly that).
+     */
+    bool hotLayout = false;
+
     /** Host frequency override in GHz (0 = platform default). */
     double freqGHzOverride = 0.0;
 

@@ -1,5 +1,6 @@
 #include "cpu/atomic_cpu.hh"
 
+#include "sim/event_dispatch.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::cpu
@@ -76,7 +77,8 @@ constexpr unsigned maxBatchInsts = 1024;
 void
 AtomicCpu::tick()
 {
-    G5P_TRACE_SCOPE("AtomicCpu::tick", CpuSimple, true);
+    G5P_TRACE_SCOPE("AtomicCpu::tick", CpuSimple,
+                    ::g5p::sim::modeledDispatchVirtual());
     if (halted_)
         return;
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/event_dispatch.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::cpu
@@ -68,7 +69,8 @@ MinorCpu::tick()
     if (waiting) {
         fetchBubbles_ += 1;
     } else {
-        G5P_TRACE_SCOPE("MinorCpu::tick", CpuDetailed, true);
+        G5P_TRACE_SCOPE("MinorCpu::tick", CpuDetailed,
+                        ::g5p::sim::modeledDispatchVirtual());
         tryExecute();
         tryFetch();
     }
@@ -210,7 +212,7 @@ MinorCpu::tryFetch()
         icachePort_.sendTimingReq(pkt);
     };
     if (itr.latency > 0) {
-        scheduleCallback(clockEdge(itr.latency), issue,
+        scheduleOneShot(clockEdge(itr.latency), issue,
                          name() + ".itlbWalk");
     } else {
         issue();
@@ -294,7 +296,7 @@ MinorCpu::execReadMem(Addr vaddr, unsigned size)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        scheduleCallback(clockEdge(tr.latency), issue,
+        scheduleOneShot(clockEdge(tr.latency), issue,
                          name() + ".dtlbWalk");
     } else {
         issue();
@@ -320,7 +322,7 @@ MinorCpu::execWriteMem(Addr vaddr, unsigned size, std::uint64_t data)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        scheduleCallback(clockEdge(tr.latency), issue,
+        scheduleOneShot(clockEdge(tr.latency), issue,
                          name() + ".dtlbWalk");
     } else {
         issue();

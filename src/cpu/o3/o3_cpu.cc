@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "base/addr_utils.hh"
+#include "sim/event_dispatch.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::cpu
@@ -73,7 +74,8 @@ O3Cpu::maybeReschedule()
 void
 O3Cpu::tick()
 {
-    G5P_TRACE_SCOPE("O3Cpu::tick", CpuDetailed, true);
+    G5P_TRACE_SCOPE("O3Cpu::tick", CpuDetailed,
+                    ::g5p::sim::modeledDispatchVirtual());
     if (halted_)
         return;
     commitStage();
@@ -228,7 +230,7 @@ O3Cpu::issueLoad(const DynInstPtr &di)
         dcachePort_.sendTimingReq(pkt);
     };
     if (delay > 0) {
-        scheduleCallback(clockEdge(delay), issue,
+        scheduleOneShot(clockEdge(delay), issue,
                          name() + ".dtlbWalk");
     } else {
         issue();
@@ -430,7 +432,7 @@ O3Cpu::fetchStage()
         icachePort_.sendTimingReq(pkt);
     };
     if (itr.latency > 0) {
-        scheduleCallback(clockEdge(itr.latency), issue,
+        scheduleOneShot(clockEdge(itr.latency), issue,
                          name() + ".itlbWalk");
     } else {
         issue();

@@ -1,5 +1,6 @@
 #include "cpu/timing_cpu.hh"
 
+#include "sim/event_dispatch.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::cpu
@@ -39,7 +40,8 @@ TimingCpu::activate()
 void
 TimingCpu::startFetch()
 {
-    G5P_TRACE_SCOPE("TimingCpu::startFetch", CpuSimple, true);
+    G5P_TRACE_SCOPE("TimingCpu::startFetch", CpuSimple,
+                    ::g5p::sim::modeledDispatchVirtual());
     if (halted_)
         return;
 
@@ -62,7 +64,7 @@ TimingCpu::startFetch()
 
     if (itr.latency > 0) {
         // I-TLB walk delays the fetch issue.
-        scheduleCallback(clockEdge(itr.latency), issue,
+        scheduleOneShot(clockEdge(itr.latency), issue,
                          name() + ".itlbWalk");
     } else {
         issue();
@@ -125,7 +127,7 @@ TimingCpu::execReadMem(Addr vaddr, unsigned size)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        scheduleCallback(clockEdge(tr.latency), issue,
+        scheduleOneShot(clockEdge(tr.latency), issue,
                          name() + ".dtlbWalk");
     } else {
         issue();
@@ -152,7 +154,7 @@ TimingCpu::execWriteMem(Addr vaddr, unsigned size, std::uint64_t data)
         dcachePort_.sendTimingReq(pkt);
     };
     if (tr.latency > 0) {
-        scheduleCallback(clockEdge(tr.latency), issue,
+        scheduleOneShot(clockEdge(tr.latency), issue,
                          name() + ".dtlbWalk");
     } else {
         issue();

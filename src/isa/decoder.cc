@@ -122,8 +122,6 @@ Decoder::decode(std::uint64_t word)
     G5P_TRACE_SCOPE_KEYED("Decoder::decode", Decode, false,
                           (std::uint32_t)(word >> 56));
     ++numDecodes_;
-    if (cache_.empty())
-        cache_.reserve(initialCacheBuckets);
     // Single hash per miss: try_emplace reserves the slot up front
     // and only a genuinely new word pays for decodeOne().
     auto [it, inserted] = cache_.try_emplace(word);
@@ -138,8 +136,6 @@ Decoder::decode(std::uint64_t word)
 StaticInstPtr
 Decoder::decodeQuiet(std::uint64_t word)
 {
-    if (cache_.empty())
-        cache_.reserve(initialCacheBuckets);
     auto [it, inserted] = cache_.try_emplace(word);
     if (inserted)
         it->second = decodeOne(word);

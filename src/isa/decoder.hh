@@ -8,9 +8,11 @@
 #define G5P_ISA_DECODER_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "base/huge_alloc.hh"
 #include "isa/inst.hh"
 
 namespace g5p::isa
@@ -24,6 +26,11 @@ namespace g5p::isa
 class Decoder
 {
   public:
+    Decoder() : cache_(initialCacheBuckets, Hash{}, Eq{},
+                       Alloc{&arena_})
+    {
+    }
+
     /** Decode @p word, reusing the cached StaticInst if present.
      *  Returns a reference into the decode cache (stable until the
      *  cache is cleared), so hot fetch loops skip the shared_ptr
@@ -74,7 +81,22 @@ class Decoder
      *  avoiding rehash storms while the cache warms up. */
     static constexpr std::size_t initialCacheBuckets = 1024;
 
-    std::unordered_map<std::uint64_t, StaticInstPtr> cache_;
+    using Hash = std::hash<std::uint64_t>;
+    using Eq = std::equal_to<std::uint64_t>;
+    using Alloc = base::ArenaAllocator<
+        std::pair<const std::uint64_t, StaticInstPtr>>;
+
+    /**
+     * Backing for the decode cache's nodes and bucket arrays. The
+     * cache is the paper's poster-child hot structure (gem5's decode
+     * cache is what the §V-A THP experiment mostly helps), and it
+     * only ever grows — a huge-page bump arena fits exactly.
+     * Declared before cache_ so it outlives the map.
+     */
+    base::ThpArena arena_;
+
+    std::unordered_map<std::uint64_t, StaticInstPtr, Hash, Eq,
+                       Alloc> cache_;
     std::uint64_t numDecodes_ = 0;
     std::uint64_t numCacheHits_ = 0;
 };

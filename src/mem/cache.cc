@@ -424,7 +424,7 @@ Cache::completeUncached(Addr line_addr)
 void
 Cache::scheduleFn(Cycles cycles, std::function<void()> fn)
 {
-    scheduleCallback(clockEdge(cycles ? cycles : 1), std::move(fn),
+    scheduleOneShot(clockEdge(cycles ? cycles : 1), std::move(fn),
                      name() + ".delayed");
 }
 

@@ -79,7 +79,7 @@ DramCtrl::recvTimingReq(PacketPtr pkt)
         return;
     }
 
-    scheduleCallback(
+    scheduleOneShot(
         curTick() + delay,
         [this, pkt] {
             pkt->makeResponse();

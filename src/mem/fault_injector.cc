@@ -152,7 +152,7 @@ FaultInjector::onTimingResp(ResponsePort &src, RequestPort &dst,
         ++delaysDone_;
         statDelays_ += 1;
         RequestPort *target = &dst;
-        scheduleCallback(curTick() + params_.delayTicks,
+        scheduleOneShot(curTick() + params_.delayTicks,
                          [target, pkt] {
                              target->recvTimingResp(pkt);
                          },

@@ -238,7 +238,7 @@ MemTester::scheduleNext(unsigned core)
 {
     Core &c = cores_[core];
     Cycles gap = 1 + (Cycles)c.rng.below(params_.maxDelayCycles);
-    scheduleCallback(clockEdge(gap), [this, core] { tick(core); },
+    scheduleOneShot(clockEdge(gap), [this, core] { tick(core); },
                      name() + ".core" + std::to_string(core) +
                          ".tick");
 }

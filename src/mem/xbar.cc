@@ -169,7 +169,7 @@ CoherentXbar::recvTimingResp(PacketPtr pkt)
 void
 CoherentXbar::scheduleFn(Cycles cycles, std::function<void()> fn)
 {
-    scheduleCallback(clockEdge(cycles ? cycles : 1), std::move(fn),
+    scheduleOneShot(clockEdge(cycles ? cycles : 1), std::move(fn),
                      name() + ".delayed");
 }
 

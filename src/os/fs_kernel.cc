@@ -1,5 +1,6 @@
 #include "os/fs_kernel.hh"
 
+#include "sim/event_dispatch.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::os
@@ -110,7 +111,8 @@ FsKernel::startup()
 void
 FsKernel::timerTick()
 {
-    G5P_TRACE_SCOPE("FsKernel::timerTick", KernelSim, true);
+    G5P_TRACE_SCOPE("FsKernel::timerTick", KernelSim,
+                    ::g5p::sim::modeledDispatchVirtual());
     timerTicks_ += 1;
 
     // Scheduler bookkeeping: walk the run-queue region.

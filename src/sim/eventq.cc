@@ -4,6 +4,7 @@
 #include <new>
 #include <ostream>
 
+#include "base/huge_alloc.hh"
 #include "base/sim_error.hh"
 #include "sim/profiler.hh"
 #include "sim/serialize.hh"
@@ -25,9 +26,10 @@ namespace
  * Per-thread free list of EventPool blocks. Each simulation is
  * confined to one thread, so allocate and free always hit the same
  * arena and the pool needs no locking even when the parallel harness
- * runs many simulations at once. Slabs are retained for the thread
- * lifetime (the working set is the peak dynamic-event count, a few
- * KiB) and released at thread exit once no block is outstanding.
+ * runs many simulations at once. Slab memory comes from a
+ * huge-page-backed ThpArena and is retained for the thread lifetime
+ * (the working set is the peak dynamic-event count, a few KiB),
+ * released at thread exit once no block is outstanding.
  */
 struct PoolState
 {
@@ -39,14 +41,15 @@ struct PoolState
 
     FreeNode *freeList = nullptr;
     std::size_t outstanding = 0;
-    std::vector<void *> slabs;
+    std::size_t slabCount = 0;
+    base::ThpArena *arena = new base::ThpArena;
 
     void
     grow()
     {
-        auto *slab = static_cast<unsigned char *>(::operator new(
+        auto *slab = static_cast<unsigned char *>(arena->allocate(
             EventPool::blockSize * EventPool::slabBlocks));
-        slabs.push_back(slab);
+        ++slabCount;
         for (std::size_t i = 0; i < EventPool::slabBlocks; ++i) {
             auto *node = reinterpret_cast<FreeNode *>(
                 slab + i * EventPool::blockSize);
@@ -58,12 +61,11 @@ struct PoolState
     ~PoolState()
     {
         // A block still outstanding at thread exit would mean an
-        // event outlived its thread; leak the slabs rather than
-        // free memory someone may still hold.
+        // event outlived its thread; leak the arena rather than
+        // unmap memory someone may still hold.
         if (outstanding != 0)
             return;
-        for (void *slab : slabs)
-            ::operator delete(slab);
+        delete arena;
     }
 
     static PoolState &
@@ -87,7 +89,7 @@ EventPool::allocate(std::size_t size)
     // would make otherwise-identical runs diverge.
     trace::recordHeapAlloc((std::uint32_t)blockSize);
     auto &pool = PoolState::instance();
-    if (!pool.freeList)
+    if (G5P_UNLIKELY(!pool.freeList))
         pool.grow();
     auto *node = pool.freeList;
     pool.freeList = node->next;
@@ -118,14 +120,25 @@ EventPool::outstanding()
 std::size_t
 EventPool::slabsAllocated()
 {
-    return PoolState::instance().slabs.size();
+    return PoolState::instance().slabCount;
+}
+
+bool
+EventPool::usingHugePages()
+{
+    return PoolState::instance().arena->hugePagesAdvised();
 }
 
 static_assert(sizeof(EventFunctionWrapper) <= EventPool::blockSize,
               "EventFunctionWrapper must fit an EventPool block");
 
+// The dispatch kind shares the tail-padding word; devirtualization
+// must not grow events.
+static_assert(sizeof(Event) == 7 * sizeof(void *),
+              "Event::kind_ must live in tail padding");
+
 EventQueue::EventQueue(std::string name)
-    : name_(std::move(name))
+    : name_(std::move(name)), dispatch_(&EventDispatch::global())
 {
 }
 
@@ -180,42 +193,43 @@ EventQueue::siftDown(std::size_t slot)
 }
 
 void
-EventQueue::schedule(Event *event, Tick when)
+EventQueue::schedule(Event &event, Tick when)
 {
     G5P_TRACE_SCOPE("EventQueue::schedule", EventLoop, false);
-    g5p_assert(event, "scheduling null event");
-    g5p_assert(!event->scheduled(), "event '%s' already scheduled",
-               event->name().c_str());
+    g5p_assert(!event.scheduled(), "event '%s' already scheduled",
+               event.name().c_str());
     g5p_assert(when >= curTick_,
                "scheduling event '%s' in the past (%llu < %llu)",
-               event->name().c_str(),
+               event.name().c_str(),
                (unsigned long long)when,
                (unsigned long long)curTick_);
 
-    event->when_ = when;
-    event->sequence_ = nextSequence_++;
+    event.when_ = when;
+    event.sequence_ = nextSequence_++;
     Event *tail = lastScheduled_;
     if (tail && tail->when_ == when &&
-        tail->priority_ == event->priority_) {
+        tail->priority_ == event.priority_) {
         // Same key as the immediately preceding schedule: append to
         // its chain instead of taking a heap slot. Because appends
         // are consecutive schedules, a chain always holds a
         // contiguous sequence run — the invariant that keeps chain
         // promotion order-exact.
-        event->heapIndex_ = Event::chainedIndex;
-        event->chainPrev_ = tail;
-        tail->chainNext_ = event;
+        event.heapIndex_ = Event::chainedIndex;
+        event.chainPrev_ = tail;
+        tail->chainNext_ = &event;
         ++chainedCount_;
     } else {
-        event->heapIndex_ = heap_.size();
-        heap_.push_back(HeapNode{when, event->sequence_, event,
-                                 event->priority_});
-        siftUp(event->heapIndex_);
+        event.heapIndex_ = heap_.size();
+        heap_.push_back(HeapNode{when, event.sequence_, &event,
+                                 event.priority_});
+        siftUp(event.heapIndex_);
     }
-    lastScheduled_ = event;
+    lastScheduled_ = &event;
     ++numScheduled_;
-    if (event->autoDelete_)
+    if (event.autoDelete_)
         ++transientScheduled_;
+    if (G5P_UNLIKELY(event.kind_ == fallbackKind))
+        ++fallbackScheduled_;
 }
 
 void
@@ -248,30 +262,32 @@ EventQueue::unlinkChained(Event *event)
 }
 
 void
-EventQueue::deschedule(Event *event)
+EventQueue::deschedule(Event &event)
 {
-    g5p_assert(event && event->scheduled(),
+    g5p_assert(event.scheduled(),
                "descheduling an unscheduled event");
-    forgetMemo(event);
-    if (event->autoDelete_)
+    forgetMemo(&event);
+    if (event.autoDelete_)
         --transientScheduled_;
-    if (event->heapIndex_ == Event::chainedIndex) {
-        unlinkChained(event);
+    if (G5P_UNLIKELY(event.kind_ == fallbackKind))
+        --fallbackScheduled_;
+    if (event.heapIndex_ == Event::chainedIndex) {
+        unlinkChained(&event);
         return;
     }
-    std::size_t slot = event->heapIndex_;
-    g5p_assert(slot < heap_.size() && heap_[slot].event == event,
+    std::size_t slot = event.heapIndex_;
+    g5p_assert(slot < heap_.size() && heap_[slot].event == &event,
                "event '%s' not on this queue",
-               event->name().c_str());
-    event->heapIndex_ = Event::invalidIndex;
-    if (event->chainNext_) {
-        promoteChained(event, slot);
+               event.name().c_str());
+    event.heapIndex_ = Event::invalidIndex;
+    if (event.chainNext_) {
+        promoteChained(&event, slot);
         return;
     }
 
     HeapNode last = heap_.back();
     heap_.pop_back();
-    if (last.event != event) {
+    if (last.event != &event) {
         // Refill the vacated slot in place; the replacement may need
         // to move either direction.
         heap_[slot] = last;
@@ -282,23 +298,22 @@ EventQueue::deschedule(Event *event)
 }
 
 void
-EventQueue::reschedule(Event *event, Tick when)
+EventQueue::reschedule(Event &event, Tick when)
 {
-    g5p_assert(event, "rescheduling null event");
-    if (!event->scheduled()) {
+    if (!event.scheduled()) {
         schedule(event, when);
         return;
     }
     g5p_assert(when >= curTick_,
                "rescheduling event '%s' in the past (%llu < %llu)",
-               event->name().c_str(),
+               event.name().c_str(),
                (unsigned long long)when,
                (unsigned long long)curTick_);
 
     // Chain members (and chain heads) take the generic path: their
     // key is pinned to the chain's, so a re-key means leaving it.
-    if (event->heapIndex_ == Event::chainedIndex ||
-        event->chainNext_) {
+    if (event.heapIndex_ == Event::chainedIndex ||
+        event.chainNext_) {
         deschedule(event);
         schedule(event, when);
         return;
@@ -310,14 +325,14 @@ EventQueue::reschedule(Event *event, Tick when)
     // the same (when, priority). The event also becomes the
     // consecutive-schedule memo, exactly as deschedule+schedule
     // would make it — required for chain-run contiguity.
-    event->when_ = when;
-    event->sequence_ = nextSequence_++;
-    HeapNode &node = heap_[event->heapIndex_];
+    event.when_ = when;
+    event.sequence_ = nextSequence_++;
+    HeapNode &node = heap_[event.heapIndex_];
     node.when = when;
-    node.sequence = event->sequence_;
-    siftUp(event->heapIndex_);
-    siftDown(event->heapIndex_);
-    lastScheduled_ = event;
+    node.sequence = event.sequence_;
+    siftUp(event.heapIndex_);
+    siftDown(event.heapIndex_);
+    lastScheduled_ = &event;
     ++numScheduled_;
 }
 
@@ -327,6 +342,8 @@ EventQueue::popTop()
     Event *top = heap_.front().event;
     if (top->autoDelete_)
         --transientScheduled_;
+    if (G5P_UNLIKELY(top->kind_ == fallbackKind))
+        --fallbackScheduled_;
     top->heapIndex_ = Event::invalidIndex;
     forgetMemo(top);
     if (top->chainNext_) {
@@ -379,7 +396,15 @@ EventQueue::serviceTop()
     ++numServiced_;
 
     bool auto_delete = event->autoDelete();
-    event->process();
+    // The devirtualized service call: registered kinds index the
+    // flat handler table (one predictable load + call); only
+    // fallback-kind events — out-of-tree subclasses — and queues in
+    // forced-virtual mode take the classic megamorphic virtual path.
+    const EventKind kind = event->kind_;
+    if (G5P_LIKELY(kind != fallbackKind && !forceVirtual_))
+        dispatch_->invoke(kind, *event);
+    else
+        event->process();
     if (profiler_)
         profiler_->endService();
     if (auto_delete && !event->scheduled())
@@ -546,7 +571,7 @@ EventQueue::unserializeEvents(const CheckpointIn &cp)
                      "skipping", tag.c_str());
             continue;
         }
-        schedule(it->second, when);
+        schedule(*it->second, when);
     }
     // Restore lifetime counters last (scheduling above bumped them);
     // nextSequence_ from the original run is >= anything assigned
@@ -577,6 +602,7 @@ EventQueue::clear()
     heap_.clear();
     chainedCount_ = 0;
     transientScheduled_ = 0;
+    fallbackScheduled_ = 0;
     lastScheduled_ = nullptr;
 }
 

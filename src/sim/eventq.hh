@@ -12,6 +12,19 @@
  * its own heap slot, so deschedule and reschedule fix the heap in
  * place (no lazy dead entries, no per-pop hash lookups, no compaction
  * stalls). See DESIGN.md §"Event queue internals".
+ *
+ * Dispatch: servicing an event no longer means a megamorphic virtual
+ * call. Events carry an EventKind byte; registered kinds dispatch
+ * through EventDispatch's flat handler table, and only kind-0
+ * (fallback) events take the classic virtual process() path. See
+ * sim/event_dispatch.hh and DESIGN.md §"Event dispatch".
+ *
+ * Scheduling API: the one documented entry point is the
+ * reference-taking family — schedule(Event &, Tick),
+ * deschedule(Event &), reschedule(Event &, Tick) — plus
+ * scheduleOneShot() for pooled fire-and-forget callbacks. The
+ * historical pointer spellings remain as deprecated inline
+ * forwarders.
  */
 
 #ifndef G5P_SIM_EVENTQ_HH
@@ -25,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "base/compiler.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "sim/event_dispatch.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::sim
@@ -41,6 +56,11 @@ class Profiler;
  * Abstract scheduled event. Subclasses implement process(). Events do
  * not own their memory unless flags say so; the common pattern (as in
  * gem5) is an event member inside the owning SimObject.
+ *
+ * In-tree event classes also register a non-virtual handler (see
+ * registeredEventKind) and adopt its kind via setKind(); subclasses
+ * that don't are serviced through virtual process() — the fallback
+ * contract that keeps out-of-tree events working unchanged.
  */
 class Event
 {
@@ -64,7 +84,10 @@ class Event
     Event(const Event &) = delete;
     Event &operator=(const Event &) = delete;
 
-    /** The event's action; runs with curTick == when(). */
+    /** The event's action; runs with curTick == when(). Kind-tagged
+     *  events normally dispatch through their registered handler
+     *  instead; process() remains the fallback/forced-virtual body
+     *  and must stay equivalent to the handler. */
     virtual void process() = 0;
 
     /** Diagnostic name. */
@@ -79,6 +102,9 @@ class Event
     /** True while on a queue. */
     bool scheduled() const { return heapIndex_ != invalidIndex; }
 
+    /** Dispatch-table kind (fallbackKind = virtual path). */
+    EventKind kind() const { return kind_; }
+
     /** If set, the queue deletes the event after process(). Must not
      *  change while scheduled (the queue counts transient events). */
     void
@@ -91,6 +117,20 @@ class Event
 
     /** @see setAutoDelete */
     bool autoDelete() const { return autoDelete_; }
+
+  protected:
+    /**
+     * Adopt a registered dispatch kind (constructors of in-tree
+     * event classes call this with their registeredEventKind). Must
+     * not change while scheduled: the queue counts pending
+     * fallback-kind events for the batching contract.
+     */
+    void
+    setKind(EventKind kind)
+    {
+        g5p_assert(!scheduled(), "setKind on a scheduled event");
+        kind_ = kind;
+    }
 
   private:
     friend class EventQueue;
@@ -117,6 +157,9 @@ class Event
     std::uint32_t profKey_ = 0;
     std::int16_t priority_;
     bool autoDelete_ = false;
+    /** Dispatch kind; shares the tail-padding word with profKey_,
+     *  so devirtualization costs no event bytes either. */
+    EventKind kind_ = fallbackKind;
 };
 
 /**
@@ -130,7 +173,11 @@ class Event
  *
  * Arenas are thread-local: a simulation is confined to one thread
  * (the parallel harness runs one whole simulation per worker), so
- * allocate/free pair up within a thread and need no locking.
+ * allocate/free pair up within a thread and need no locking. Slabs
+ * come from a huge-page-backed ThpArena (base/huge_alloc.hh), so the
+ * pool's steady-state working set sits on as few d-TLB entries as
+ * the kernel can manage — the paper's §V-A THP lever applied to
+ * mg5's own hottest allocation site.
  */
 class EventPool
 {
@@ -141,16 +188,20 @@ class EventPool
     static constexpr std::size_t slabBlocks = 64;
 
     /** Pop a block (grows by one slab when the free list is empty). */
-    static void *allocate(std::size_t size);
+    G5P_HOT static void *allocate(std::size_t size);
 
     /** Push a block back onto the free list. */
-    static void deallocate(void *p, std::size_t size) noexcept;
+    G5P_HOT static void deallocate(void *p, std::size_t size) noexcept;
 
     /** Blocks handed out and not yet returned (calling thread). */
     static std::size_t outstanding();
 
-    /** Slabs this thread obtained from the global heap so far. */
+    /** Slabs this thread carved from its arena so far. */
     static std::size_t slabsAllocated();
+
+    /** True if this thread's slab arena got MADV_HUGEPAGE backing
+     *  (false before first growth, or on fallback paths). */
+    static bool usingHugePages();
 };
 
 /** Event wrapping an arbitrary callback, like gem5's version. */
@@ -163,6 +214,8 @@ class EventFunctionWrapper : public Event
         : Event(prio), callback_(std::move(callback)),
           name_(std::move(name))
     {
+        setKind(registeredEventKind<EventFunctionWrapper>(
+            "EventFunctionWrapper"));
     }
 
     /** Dynamic wrappers recycle through the event pool. */
@@ -178,7 +231,10 @@ class EventFunctionWrapper : public Event
         EventPool::deallocate(p, size);
     }
 
-    void process() override { callback_(); }
+    /** Devirtualized body (dispatch-table target). */
+    void invoke() { callback_(); }
+
+    void process() override { invoke(); }
     std::string name() const override { return name_; }
 
   private:
@@ -197,6 +253,10 @@ class EventFunctionWrapper : public Event
  * Passing a name ("cpu0.tick") keeps the no-std::function layout but
  * gives the profiler and diagnostics a real label; the "owner.type"
  * convention is what wall-clock attribution splits on.
+ *
+ * Each instantiation registers its own dispatch kind, so servicing a
+ * tick event compiles down to one table-indexed call that the
+ * optimizer can devirtualize into a direct call to T::F.
  */
 template <auto F>
 class MemberEventWrapper;
@@ -208,15 +268,22 @@ class MemberEventWrapper<F> : public Event
     explicit MemberEventWrapper(T *object, Priority prio = DefaultPri)
         : Event(prio), object_(object)
     {
+        setKind(registeredEventKind<MemberEventWrapper>(
+            kindLabel()));
     }
 
     MemberEventWrapper(T *object, std::string name,
                        Priority prio = DefaultPri)
         : Event(prio), object_(object), name_(std::move(name))
     {
+        setKind(registeredEventKind<MemberEventWrapper>(
+            kindLabel()));
     }
 
-    void process() override { (object_->*F)(); }
+    /** Devirtualized body (dispatch-table target). */
+    void invoke() { (object_->*F)(); }
+
+    void process() override { invoke(); }
 
     std::string
     name() const override
@@ -225,6 +292,13 @@ class MemberEventWrapper<F> : public Event
     }
 
   private:
+    /** Unique per-instantiation kind name (embeds T and F). */
+    static const char *
+    kindLabel()
+    {
+        return __PRETTY_FUNCTION__;
+    }
+
     T *object_;
     std::string name_;
 };
@@ -268,11 +342,20 @@ class EventQueue
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
-    /** Schedule @p event at absolute tick @p when (>= curTick). */
-    void schedule(Event *event, Tick when);
+    /**
+     * Schedule @p event at absolute tick @p when (>= curTick).
+     *
+     * This is THE scheduling entry point: every other spelling —
+     * the deprecated pointer forwarders below, EventManager's
+     * helpers, scheduleOneShot() — funnels into this overload (and
+     * its deschedule/reschedule siblings), so service order,
+     * FIFO-tie behaviour and the transient/fallback accounting have
+     * exactly one implementation.
+     */
+    G5P_HOT void schedule(Event &event, Tick when);
 
     /** Remove a scheduled event (in place, no lazy entries). */
-    void deschedule(Event *event);
+    G5P_HOT void deschedule(Event &event);
 
     /**
      * Move a scheduled event to a new tick in place, or schedule it
@@ -280,7 +363,37 @@ class EventQueue
      * deschedule+schedule pair would be, so FIFO ties behave
      * identically to the classic implementation.
      */
-    void reschedule(Event *event, Tick when);
+    G5P_HOT void reschedule(Event &event, Tick when);
+
+    /**
+     * Schedule a one-shot callback at absolute tick @p when. The
+     * event comes from the pool and frees itself after firing — the
+     * standard "delayed response" pattern in caches, crossbars, DRAM
+     * and TLB walks.
+     */
+    void
+    scheduleOneShot(Tick when, std::function<void()> fn,
+                    std::string name)
+    {
+        auto *ev = new EventFunctionWrapper(std::move(fn),
+                                            std::move(name));
+        ev->setAutoDelete(true);
+        schedule(*ev, when);
+    }
+
+    /** @{ Deprecated pointer spellings; thin forwarders. */
+    [[deprecated("use schedule(Event &, Tick)")]]
+    void schedule(Event *event, Tick when) { schedule(*event, when); }
+
+    [[deprecated("use deschedule(Event &)")]]
+    void deschedule(Event *event) { deschedule(*event); }
+
+    [[deprecated("use reschedule(Event &, Tick)")]]
+    void reschedule(Event *event, Tick when)
+    {
+        reschedule(*event, when);
+    }
+    /** @} */
 
     /** True if no events remain (chains hang off in-heap heads, so
      *  an empty heap means nothing is chained either). */
@@ -312,21 +425,24 @@ class EventQueue
      * order: "tick prio name [transient]". Part of the watchdog's
      * deadlock/livelock report.
      */
-    void dumpPending(std::ostream &os, std::size_t max = 16) const;
+    G5P_COLD void dumpPending(std::ostream &os,
+                              std::size_t max = 16) const;
 
     /**
      * Service exactly one event: advance curTick to its tick and run
-     * process(). Returns the serviced event, or nullptr if empty.
-     * The returned pointer is dangling if the event auto-deleted.
+     * its handler (table dispatch for kind-tagged events, virtual
+     * process() for fallback kinds). Returns the serviced event, or
+     * nullptr if empty. The returned pointer is dangling if the
+     * event auto-deleted.
      */
-    Event *serviceOne();
+    G5P_HOT Event *serviceOne();
 
     /**
      * Run until the queue is empty or curTick would exceed @p limit.
      * Inspects the heap top once per serviced event.
      * @return number of events serviced.
      */
-    std::uint64_t serviceUntil(Tick limit);
+    G5P_HOT std::uint64_t serviceUntil(Tick limit);
 
     /** Force curTick (checkpoint restore, and batching handlers —
      *  see serviceHorizon()). Asserts it never passes a pending
@@ -341,16 +457,34 @@ class EventQueue
      * next pending event, (b) never passes serviceHorizon() — the
      * run loop's tick limit — and (c) only batches while
      * batchingAllowed() holds. The run loop clears the flag when a
-     * watchdog or profiler needs per-event granularity; outside
-     * those, batching is observably identical to one event per unit
-     * because any newly scheduled event (an exit, another CPU's
-     * tick) breaks the batch before it would run.
+     * watchdog or profiler needs per-event granularity. The queue
+     * additionally refuses batching while any fallback-kind event is
+     * pending: out-of-tree events were never audited against the
+     * batching contract, so their mere presence drops the queue to
+     * per-event granularity (PR 6 contract, tightened).
      */
-    bool batchingAllowed() const { return batchingAllowed_; }
+    bool
+    batchingAllowed() const
+    {
+        return batchingAllowed_ && fallbackScheduled_ == 0;
+    }
     void setBatchingAllowed(bool v) { batchingAllowed_ = v; }
     Tick serviceHorizon() const { return serviceHorizon_; }
     void setServiceHorizon(Tick t) { serviceHorizon_ = t; }
     /** @} */
+
+    /**
+     * @{ Force every serviced event through virtual process(), as if
+     * no kind were registered. The determinism suite runs the same
+     * seed both ways and requires byte-identical stats; the bench
+     * uses it to isolate the dispatch-table win on the real queue.
+     */
+    bool forceVirtualDispatch() const { return forceVirtual_; }
+    void setForceVirtualDispatch(bool v) { forceVirtual_ = v; }
+    /** @} */
+
+    /** Pending fallback-kind (virtual-dispatch) events. */
+    std::size_t numFallbackPending() const { return fallbackScheduled_; }
 
     /** Total events serviced over the queue's lifetime. */
     std::uint64_t numServiced() const { return numServiced_; }
@@ -377,10 +511,10 @@ class EventQueue
      * equivalent event in the freshly built machine. Throws
      * InvariantError on a tag collision.
      */
-    void registerSerial(const std::string &tag, Event *event);
+    G5P_COLD void registerSerial(const std::string &tag, Event *event);
 
     /** Drop a registration (owning object is being destroyed). */
-    void unregisterSerial(const std::string &tag);
+    G5P_COLD void unregisterSerial(const std::string &tag);
 
     /**
      * Write every pending event as (service order, tick, tag) into
@@ -388,7 +522,7 @@ class EventQueue
      * pending event is transient (queue not quiescent) or
      * unregistered.
      */
-    void serializeEvents(CheckpointOut &cp) const;
+    G5P_COLD void serializeEvents(CheckpointOut &cp) const;
 
     /**
      * Re-schedule checkpointed events in recorded service order, so
@@ -396,14 +530,14 @@ class EventQueue
      * priority) ties exactly. Unknown tags warn and are skipped
      * (graceful degradation when the machine shape changed).
      */
-    void unserializeEvents(const CheckpointIn &cp);
+    G5P_COLD void unserializeEvents(const CheckpointIn &cp);
 
     /**
      * Deschedule everything (deleting auto-delete events), e.g. to
      * clear startup-scheduled events before a restore repopulates
      * the queue. Registrations are kept.
      */
-    void clear();
+    G5P_COLD void clear();
 
     /**
      * Install (or remove, with nullptr) the self-profiler whose
@@ -446,14 +580,14 @@ class EventQueue
         return a.sequence < b.sequence;
     }
 
-    void siftUp(std::size_t slot);
-    void siftDown(std::size_t slot);
+    G5P_HOT void siftUp(std::size_t slot);
+    G5P_HOT void siftDown(std::size_t slot);
 
     /** Detach the root and restore the heap. */
-    void popTop();
+    G5P_HOT void popTop();
 
     /** Move @p head's chain successor into heap slot @p slot. */
-    void promoteChained(Event *head, std::size_t slot);
+    G5P_HOT void promoteChained(Event *head, std::size_t slot);
 
     /** Remove a chained (not in-heap) event from its chain. */
     void unlinkChained(Event *event);
@@ -467,7 +601,7 @@ class EventQueue
     }
 
     /** Pop + advance time + run the root event (heap non-empty). */
-    Event *serviceTop();
+    G5P_HOT Event *serviceTop();
 
     std::string name_;
     Tick curTick_ = 0;
@@ -476,11 +610,20 @@ class EventQueue
     std::uint64_t numScheduled_ = 0;
     /** Pending auto-delete events (see quiescent()). */
     std::size_t transientScheduled_ = 0;
+    /** Pending fallback-kind events (see batchingAllowed()). */
+    std::size_t fallbackScheduled_ = 0;
 
     /** @{ Batching contract state (see batchingAllowed()). */
     bool batchingAllowed_ = true;
     Tick serviceHorizon_ = maxTick;
     /** @} */
+
+    /** Forced-virtual dispatch (see setForceVirtualDispatch). */
+    bool forceVirtual_ = false;
+
+    /** Cached global dispatch table (avoids the function-local
+     *  static guard in the service loop). */
+    const EventDispatch *dispatch_;
 
     /** 4-ary min-heap; heap_[i].event->heapIndex_ == i. */
     std::vector<HeapNode> heap_;
@@ -506,7 +649,8 @@ class EventQueue
 
 /**
  * Mixin giving SimObjects convenient scheduling helpers bound to one
- * queue (gem5's EventManager).
+ * queue (gem5's EventManager). Forwards to EventQueue's canonical
+ * reference-based entry points.
  */
 class EventManager
 {
@@ -520,35 +664,38 @@ class EventManager
     void
     schedule(Event &event, Tick when)
     {
-        eventq_.schedule(&event, when);
+        eventq_.schedule(event, when);
     }
 
     void
     deschedule(Event &event)
     {
-        eventq_.deschedule(&event);
+        eventq_.deschedule(event);
     }
 
     void
     reschedule(Event &event, Tick when)
     {
-        eventq_.reschedule(&event, when);
+        eventq_.reschedule(event, when);
     }
 
-    /**
-     * Schedule a one-shot callback at absolute tick @p when. The
-     * event comes from the pool and frees itself after firing — the
-     * standard "delayed response" pattern in caches, crossbars, DRAM
-     * and TLB walks.
-     */
+    /** @see EventQueue::scheduleOneShot */
+    void
+    scheduleOneShot(Tick when, std::function<void()> fn,
+                    std::string name)
+    {
+        eventq_.scheduleOneShot(when, std::move(fn),
+                                std::move(name));
+    }
+
+    /** Deprecated spelling of scheduleOneShot. */
+    [[deprecated("use scheduleOneShot(Tick, fn, name)")]]
     void
     scheduleCallback(Tick when, std::function<void()> fn,
                      std::string name)
     {
-        auto *ev = new EventFunctionWrapper(std::move(fn),
-                                            std::move(name));
-        ev->setAutoDelete(true);
-        eventq_.schedule(ev, when);
+        eventq_.scheduleOneShot(when, std::move(fn),
+                                std::move(name));
     }
 
   private:

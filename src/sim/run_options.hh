@@ -3,12 +3,12 @@
  * RunOptions: the one bundle of run-control knobs consumed by
  * Simulator::configure()/run() and os::System::run().
  *
- * PRs 1-3 accrued setters one at a time — setWatchdog(),
- * enableAutoCheckpoint(), a fault seed buried in
+ * PRs 1-3 accrued setters one at a time — a watchdog setter, an
+ * auto-checkpoint enabler, a fault seed buried in
  * mem::FaultInjectorParams — and the profiler would have added more.
  * This struct replaces them: build one RunOptions, hand it to the
- * simulator (or System::run), done. The old setters survive as thin
- * [[deprecated]] shims, covered only by the equivalence test.
+ * simulator (or System::run), done. (The transitional [[deprecated]]
+ * setter shims were removed in PR 9.)
  */
 
 #ifndef G5P_SIM_RUN_OPTIONS_HH
@@ -87,6 +87,14 @@ struct RunOptions
 
     /** Self-profiler knobs (see sim/profiler.hh). */
     ProfilerConfig profiler;
+
+    /**
+     * Service every event through virtual process() even when a
+     * dispatch-table kind is registered (see sim/event_dispatch.hh).
+     * The determinism suite and the frontend bench run the same seed
+     * with this flag flipped and require byte-identical stats.
+     */
+    bool forceVirtualDispatch = false;
 };
 
 } // namespace g5p::sim

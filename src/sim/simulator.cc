@@ -44,18 +44,22 @@ class Simulator::ExitEvent : public Event
         : Event(SimExitPri), sim_(sim), message_(std::move(message)),
           cause_(cause), tag_(std::move(tag))
     {
+        setKind(registeredEventKind<ExitEvent>("Simulator::ExitEvent"));
         sim_.eventq_.registerSerial(tag_, this);
     }
 
     ~ExitEvent() override { sim_.eventq_.unregisterSerial(tag_); }
 
+    /** Devirtualized body (dispatch-table target). */
     void
-    process() override
+    invoke()
     {
         sim_.exitRequested_ = true;
         sim_.exitCause_ = cause_;
         sim_.exitMessage_ = message_;
     }
+
+    void process() override { invoke(); }
 
     std::string name() const override { return "exit-event"; }
 
@@ -88,9 +92,9 @@ Simulator::~Simulator()
     // unique_ptrs die so Event's "not scheduled" invariant holds.
     for (auto &ev : pendingExits_)
         if (ev->scheduled())
-            eventq_.deschedule(ev.get());
+            eventq_.deschedule(*ev);
     if (autoCkptEvent_.scheduled())
-        eventq_.deschedule(&autoCkptEvent_);
+        eventq_.deschedule(autoCkptEvent_);
 }
 
 void
@@ -148,10 +152,10 @@ Simulator::applyAutoCheckpoint(Tick period, std::string prefix)
     autoCkptPending_ = false;
     if (period == 0) {
         if (autoCkptEvent_.scheduled())
-            eventq_.deschedule(&autoCkptEvent_);
+            eventq_.deschedule(autoCkptEvent_);
         return;
     }
-    eventq_.reschedule(&autoCkptEvent_, eventq_.curTick() + period);
+    eventq_.reschedule(autoCkptEvent_, eventq_.curTick() + period);
 }
 
 void
@@ -194,6 +198,7 @@ Simulator::configure(const RunOptions &options)
     applyAutoCheckpoint(options.autoCheckpointPeriod,
                         options.autoCheckpointPrefix);
     applyProfiler(options.profiler);
+    eventq_.setForceVirtualDispatch(options.forceVirtualDispatch);
 }
 
 void
@@ -202,16 +207,6 @@ Simulator::attachProfiler(Profiler &profiler)
     installProfiler(&profiler, false);
     if (!profiler.armed())
         profiler.arm();
-}
-
-void
-Simulator::setWatchdog(const WatchdogConfig &config)
-{
-    // Deprecated shim: equivalent to configure() with supervise set
-    // and everything else kept.
-    runOptions_.supervise = true;
-    runOptions_.watchdog = config;
-    applyWatchdog(config, true);
 }
 
 void
@@ -403,7 +398,7 @@ Simulator::exitSimLoop(const std::string &message, ExitCause cause,
     Tick at = std::max(when, eventq_.curTick());
     auto ev = std::make_unique<ExitEvent>(
         *this, message, cause, "exit" + std::to_string(nextExitId_++));
-    eventq_.schedule(ev.get(), at);
+    eventq_.schedule(*ev, at);
     pendingExits_.push_back(std::move(ev));
 }
 
@@ -470,16 +465,6 @@ Simulator::restore(const std::string &path)
 }
 
 void
-Simulator::enableAutoCheckpoint(Tick period, std::string prefix)
-{
-    g5p_assert(period > 0, "auto-checkpoint period must be non-zero");
-    // Deprecated shim over the RunOptions path.
-    runOptions_.autoCheckpointPeriod = period;
-    runOptions_.autoCheckpointPrefix = prefix;
-    applyAutoCheckpoint(period, std::move(prefix));
-}
-
-void
 Simulator::doAutoCheckpoint()
 {
     SpanGuard span(profiler_, "auto-checkpoint");
@@ -514,7 +499,7 @@ Simulator::doAutoCheckpoint()
         g5p_warn("auto-checkpoint to '%s' failed (%s); continuing "
                  "without it", path.c_str(), e.summary().c_str());
     }
-    eventq_.schedule(&autoCkptEvent_,
+    eventq_.schedule(autoCkptEvent_,
                      eventq_.curTick() + autoCkptPeriod_);
 }
 

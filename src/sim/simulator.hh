@@ -87,7 +87,8 @@ class Simulator : public stats::Group
      * exit is requested, the queue empties, or @p tick_limit passes.
      * May be called repeatedly to continue a simulation.
      *
-     * With a watchdog configured (setWatchdog) the loop additionally
+     * With a watchdog configured (configure() with supervise set)
+     * the loop additionally
      * returns Livelock / WatchdogTimeout; with an activity probe
      * installed (setActivityProbe) an empty queue while the machine
      * still expects progress returns Deadlock. Supervised exits carry
@@ -127,9 +128,6 @@ class Simulator : public stats::Group
 
     /** The active profiler (owned or attached); null if none. */
     Profiler *profiler() const { return profiler_; }
-
-    [[deprecated("use Simulator::configure(RunOptions)")]]
-    void setWatchdog(const WatchdogConfig &config);
 
     /** The active watchdog configuration. */
     const WatchdogConfig &watchdog() const { return watchdog_; }
@@ -237,16 +235,6 @@ class Simulator : public stats::Group
      */
     void initNewObjects() { initPhase(); }
 
-    /**
-     * Write an automatic checkpoint every @p period ticks to
-     * "<prefix>-<tick>.ckpt". Taken from the run() loop at the first
-     * quiescent point after each period boundary, never from inside
-     * event processing.
-     */
-    [[deprecated("use Simulator::configure(RunOptions) with "
-                 "autoCheckpointPeriod")]]
-    void enableAutoCheckpoint(Tick period, std::string prefix);
-
     /** All registered objects (init order). */
     const std::vector<SimObject *> &objects() const { return objects_; }
 
@@ -258,7 +246,7 @@ class Simulator : public stats::Group
 
     void initPhase();
 
-    /** configure() internals, shared with the deprecated shims. */
+    /** configure() internals. */
     void applyWatchdog(const WatchdogConfig &config, bool enabled);
     void applyAutoCheckpoint(Tick period, std::string prefix);
     void applyProfiler(const ProfilerConfig &config);
@@ -296,7 +284,7 @@ class Simulator : public stats::Group
     bool restored_ = false;
 
     WatchdogConfig watchdog_;
-    /** True once setWatchdog() ran; gates the per-event checks. */
+    /** True when supervision is configured; gates per-event checks. */
     bool watchdogEnabled_ = false;
     std::function<bool()> activityProbe_;
     std::function<std::string()> diagProbe_;
@@ -310,7 +298,7 @@ class Simulator : public stats::Group
     bool autoCkptPending_ = false;
     MemberEventWrapper<&Simulator::autoCkptDue> autoCkptEvent_;
 
-    /** Last options handed to configure() (or shim-updated). */
+    /** Last options handed to configure(). */
     RunOptions runOptions_;
 
     /** Profiler created by configure() when profiler.enabled. */

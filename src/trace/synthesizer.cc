@@ -293,6 +293,35 @@ Synthesizer::funcEnter(FuncId id)
         HostAddr call_pc = caller.entry +
             (pair % (ccode.executedBytes > 8
                          ? ccode.executedBytes - 8 : 8));
+        HostAddr target = code.addr;
+        bool event_dispatch =
+            info.isVirtual &&
+            FuncRegistry::instance().info(caller.id).kind ==
+                FuncKind::EventLoop;
+        if (event_dispatch) {
+            // A virtual event entry is reached through the loop's ONE
+            // `event->process()` site, not a per-callee site: every
+            // event kind the queue services funnels through that pc.
+            // The loop also dispatches kinds hostsim does not scope
+            // (port responses, writebacks, wrapped lambdas), so the
+            // target observed at the site rotates over a small
+            // receiver set and re-trains the indirect entry between
+            // consecutive scoped entries — the megamorphic-site cost
+            // the paper pins on gem5's event loop, and exactly what
+            // the kind-table dispatch (isVirtual false) removes. The
+            // rotated targets are predictor-visible only; fetch
+            // follows op pcs, so the instruction stream is unchanged.
+            call_pc = caller.entry +
+                (ccode.structSeed %
+                 (ccode.executedBytes > 8 ? ccode.executedBytes - 8
+                                          : 8));
+            unsigned targets =
+                3 + (unsigned)(ccode.structSeed % 3);
+            std::uint32_t visits = virtualVisits_[call_pc]++;
+            unsigned slot =
+                (unsigned)((visits * 2654435761u) >> 8) % targets;
+            target = code.addr + 64ull * slot;
+        }
 
         HostOp call;
         call.pc = call_pc;
@@ -302,7 +331,7 @@ Synthesizer::funcEnter(FuncId id)
         call.taken = true;
         call.isCall = true;
         call.indirect = info.isVirtual;
-        call.target = code.addr;
+        call.target = target;
         caller.cursor = call_pc + call.lenBytes;
         if (caller.cursor >= caller.end)
             caller.cursor = caller.entry;

@@ -48,9 +48,9 @@ TEST(EventQueue, ServicesInTimeOrder)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1), e2(log, 2), e3(log, 3);
-    eq.schedule(&e2, 200);
-    eq.schedule(&e1, 100);
-    eq.schedule(&e3, 300);
+    eq.schedule(e2, 200);
+    eq.schedule(e1, 100);
+    eq.schedule(e3, 300);
 
     eq.serviceUntil(maxTick - 1);
     EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
@@ -67,10 +67,10 @@ TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
     LogEvent second(log, 3, Event::DefaultPri);
     LogEvent high(log, 4, Event::MinimumPri);
 
-    eq.schedule(&low, 50);
-    eq.schedule(&first, 50);
-    eq.schedule(&second, 50);
-    eq.schedule(&high, 50);
+    eq.schedule(low, 50);
+    eq.schedule(first, 50);
+    eq.schedule(second, 50);
+    eq.schedule(high, 50);
     eq.serviceUntil(100);
 
     EXPECT_EQ(log, (std::vector<int>{4, 2, 3, 1}));
@@ -81,11 +81,11 @@ TEST(EventQueue, DescheduleRemovesEvent)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1), e2(log, 2);
-    eq.schedule(&e1, 10);
-    eq.schedule(&e2, 20);
+    eq.schedule(e1, 10);
+    eq.schedule(e2, 20);
     EXPECT_EQ(eq.size(), 2u);
 
-    eq.deschedule(&e1);
+    eq.deschedule(e1);
     EXPECT_FALSE(e1.scheduled());
     EXPECT_EQ(eq.size(), 1u);
 
@@ -98,9 +98,9 @@ TEST(EventQueue, RescheduleMovesEvent)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1), e2(log, 2);
-    eq.schedule(&e1, 10);
-    eq.schedule(&e2, 20);
-    eq.reschedule(&e1, 30); // now after e2
+    eq.schedule(e1, 10);
+    eq.schedule(e2, 20);
+    eq.reschedule(e1, 30); // now after e2
 
     eq.serviceUntil(100);
     EXPECT_EQ(log, (std::vector<int>{2, 1}));
@@ -112,11 +112,11 @@ TEST(EventQueue, NextTickSkipsSquashed)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1), e2(log, 2);
-    eq.schedule(&e1, 10);
-    eq.schedule(&e2, 20);
-    eq.deschedule(&e1);
+    eq.schedule(e1, 10);
+    eq.schedule(e2, 20);
+    eq.deschedule(e1);
     EXPECT_EQ(eq.nextTick(), 20u);
-    eq.deschedule(&e2);
+    eq.deschedule(e2);
 }
 
 TEST(EventQueue, ServiceUntilRespectsLimit)
@@ -124,13 +124,13 @@ TEST(EventQueue, ServiceUntilRespectsLimit)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1), e2(log, 2);
-    eq.schedule(&e1, 10);
-    eq.schedule(&e2, 20);
+    eq.schedule(e1, 10);
+    eq.schedule(e2, 20);
 
     EXPECT_EQ(eq.serviceUntil(15), 1u);
     EXPECT_EQ(log, std::vector<int>{1});
     EXPECT_TRUE(e2.scheduled());
-    eq.deschedule(&e2);
+    eq.deschedule(e2);
 }
 
 TEST(EventQueue, EventsCanRescheduleThemselves)
@@ -140,10 +140,10 @@ TEST(EventQueue, EventsCanRescheduleThemselves)
     EventFunctionWrapper tick(
         [&] {
             if (++count < 5)
-                eq.schedule(&tick, eq.curTick() + 10);
+                eq.schedule(tick, eq.curTick() + 10);
         },
         "tick");
-    eq.schedule(&tick, 0);
+    eq.schedule(tick, 0);
     eq.serviceUntil(maxTick - 1);
     EXPECT_EQ(count, 5);
     EXPECT_EQ(eq.curTick(), 40u);
@@ -155,10 +155,29 @@ TEST(EventQueue, AutoDeleteEventRuns)
     int fired = 0;
     auto *ev = new EventFunctionWrapper([&] { ++fired; }, "once");
     ev->setAutoDelete(true);
-    eq.schedule(ev, 5);
+    eq.schedule(*ev, 5);
     eq.serviceUntil(10);
     EXPECT_EQ(fired, 1);
     // No leak: ASAN/valgrind-clean by construction.
+}
+
+TEST(EventQueue, DeprecatedPointerSpellingsStillForward)
+{
+    // PR 9 collapsed the two scheduling spellings; the pointer forms
+    // survive as deprecated thin forwarders for out-of-tree callers.
+    // This is the one place they are exercised on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EventQueue eq;
+    std::vector<int> log;
+    LogEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&b, 15);
+    eq.deschedule(&a);
+    eq.serviceUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{2}));
+#pragma GCC diagnostic pop
 }
 
 TEST(EventQueue, CountsServicedAndScheduled)
@@ -166,9 +185,9 @@ TEST(EventQueue, CountsServicedAndScheduled)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1);
-    eq.schedule(&e1, 1);
+    eq.schedule(e1, 1);
     eq.serviceUntil(2);
-    eq.schedule(&e1, 3);
+    eq.schedule(e1, 3);
     eq.serviceUntil(4);
     EXPECT_EQ(eq.numScheduled(), 2u);
     EXPECT_EQ(eq.numServiced(), 2u);
@@ -180,9 +199,9 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1), e2(log, 2);
-    eq.schedule(&e1, 100);
+    eq.schedule(e1, 100);
     eq.serviceUntil(200);
-    EXPECT_DEATH(eq.schedule(&e2, 50), "in the past");
+    EXPECT_DEATH(eq.schedule(e2, 50), "in the past");
 }
 
 TEST(EventQueueDeath, DoubleSchedulePanics)
@@ -190,9 +209,9 @@ TEST(EventQueueDeath, DoubleSchedulePanics)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1);
-    eq.schedule(&e1, 100);
-    EXPECT_DEATH(eq.schedule(&e1, 200), "already scheduled");
-    eq.deschedule(&e1);
+    eq.schedule(e1, 100);
+    EXPECT_DEATH(eq.schedule(e1, 200), "already scheduled");
+    eq.deschedule(e1);
 }
 #endif
 
@@ -293,9 +312,9 @@ TEST(EventQueue, DescheduledEventMayBeDestroyedImmediately)
     std::vector<int> log;
     auto *transient = new LogEvent(log, 1);
     LogEvent keeper(log, 2);
-    eq.schedule(transient, 10);
-    eq.schedule(&keeper, 20);
-    eq.deschedule(transient);
+    eq.schedule(*transient, 10);
+    eq.schedule(keeper, 20);
+    eq.deschedule(*transient);
     delete transient; // entry for it is still in the heap
 
     EXPECT_EQ(eq.nextTick(), 20u); // purge walks past the dead entry
@@ -419,14 +438,14 @@ TEST(EventQueue, StressMatchesReferenceModel)
                 Tick when = randWhen();
                 refSeq[i] = ref.schedule(i, when,
                                          events[i]->priority());
-                eq.schedule(events[i].get(), when);
+                eq.schedule(*events[i], when);
                 live[i] = true;
             }
             break;
           case 3:
             if (live[i]) {
                 ref.deschedule(refSeq[i]);
-                eq.deschedule(events[i].get());
+                eq.deschedule(*events[i]);
                 live[i] = false;
             }
             break;
@@ -436,7 +455,7 @@ TEST(EventQueue, StressMatchesReferenceModel)
                 ref.deschedule(refSeq[i]);
                 refSeq[i] = ref.schedule(i, when,
                                          events[i]->priority());
-                eq.reschedule(events[i].get(), when);
+                eq.reschedule(*events[i], when);
             }
             break;
           default:
@@ -508,15 +527,15 @@ TEST(EventQueue, DeterminismReplayMatchesSeedOrdering)
                 log, op.token, eq, (Event::Priority)op.prio);
             refSeq[op.token] = ref.schedule(op.token, op.when,
                                             op.prio);
-            eq.schedule(events[op.token].get(), op.when);
+            eq.schedule(*events[op.token], op.when);
         } else if (op.kind == 'd') {
             ref.deschedule(refSeq[op.token]);
-            eq.deschedule(events[op.token].get());
+            eq.deschedule(*events[op.token]);
         } else {
             ref.deschedule(refSeq[op.token]);
             refSeq[op.token] = ref.schedule(
                 op.token, op.when, events[op.token]->priority());
-            eq.reschedule(events[op.token].get(), op.when);
+            eq.reschedule(*events[op.token], op.when);
         }
     }
 
@@ -541,9 +560,9 @@ TEST(EventQueue, RescheduleMovesEventToBackOfTie)
     EventQueue eq;
     std::vector<int> log;
     LogEvent e1(log, 1), e2(log, 2);
-    eq.schedule(&e1, 10);
-    eq.schedule(&e2, 10);
-    eq.reschedule(&e1, 10);
+    eq.schedule(e1, 10);
+    eq.schedule(e2, 10);
+    eq.reschedule(e1, 10);
     eq.serviceUntil(20);
     EXPECT_EQ(log, (std::vector<int>{2, 1}));
 }
@@ -578,8 +597,8 @@ TEST(EventQueue, DestructorReleasesAutoDeleteEvents)
     {
         EventQueue eq;
         for (int i = 0; i < 8; ++i)
-            eq.schedule(new CountedEvent(destroyed), 10 + i);
-        eq.schedule(keeper.get(), 50);
+            eq.schedule(*new CountedEvent(destroyed), 10 + i);
+        eq.schedule(*keeper, 50);
         EXPECT_EQ(eq.size(), 9u);
         // Queue dies with pending events: auto-delete events are
         // freed, non-owned events are released unscheduled.
@@ -608,14 +627,14 @@ TEST(EventQueue, HeavyDescheduleChurnStaysBounded)
     EventQueue eq;
     std::vector<int> log;
     LogEvent far_event(log, 1);
-    eq.schedule(&far_event, 1'000'000);
+    eq.schedule(far_event, 1'000'000);
 
     LogEvent probe(log, 2);
     for (Tick t = 1; t < 200'000; ++t) {
-        eq.schedule(&probe, t);
-        eq.deschedule(&probe);
+        eq.schedule(probe, t);
+        eq.deschedule(probe);
     }
     EXPECT_EQ(eq.size(), 1u);
     EXPECT_EQ(eq.nextTick(), 1'000'000u);
-    eq.deschedule(&far_event);
+    eq.deschedule(far_event);
 }

@@ -547,7 +547,7 @@ TEST(Profiler, RestoredRunProfilesFromTheCheckpoint)
 }
 
 // ---------------------------------------------------------------------
-// RunOptions: the one run-control surface, and shim equivalence.
+// RunOptions: the one run-control surface.
 // ---------------------------------------------------------------------
 
 TEST(RunOptionsApi, WatchdogViaConfigure)
@@ -555,8 +555,8 @@ TEST(RunOptionsApi, WatchdogViaConfigure)
     sim::Simulator simr("system");
     auto &q = simr.eventq();
     sim::EventFunctionWrapper ev(
-        [&] { q.schedule(&ev, q.curTick()); }, "spin");
-    q.schedule(&ev, 0);
+        [&] { q.schedule(ev, q.curTick()); }, "spin");
+    q.schedule(ev, 0);
 
     sim::RunOptions run;
     run.supervise = true;
@@ -567,76 +567,8 @@ TEST(RunOptionsApi, WatchdogViaConfigure)
     EXPECT_EQ(simr.runOptions().watchdog.livelockEvents, 64u);
 
     if (ev.scheduled())
-        q.deschedule(&ev);
+        q.deschedule(ev);
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(RunOptionsApi, DeprecatedWatchdogShimIsEquivalent)
-{
-    auto spin_until_exit = [](auto &&arm) {
-        sim::Simulator simr("system");
-        auto &q = simr.eventq();
-        sim::EventFunctionWrapper ev(
-            [&] { q.schedule(&ev, q.curTick()); }, "spin");
-        q.schedule(&ev, 0);
-        arm(simr);
-        auto res = simr.run();
-        if (ev.scheduled())
-            q.deschedule(&ev);
-        return std::make_pair(res.cause,
-                              simr.runOptions().watchdog);
-    };
-
-    auto via_shim = spin_until_exit([](sim::Simulator &s) {
-        s.setWatchdog({.livelockEvents = 64,
-                       .flightRecorderDepth = 16});
-    });
-    auto via_options = spin_until_exit([](sim::Simulator &s) {
-        sim::RunOptions run;
-        run.supervise = true;
-        run.watchdog.livelockEvents = 64;
-        run.watchdog.flightRecorderDepth = 16;
-        s.configure(run);
-    });
-
-    EXPECT_EQ(via_shim.first, via_options.first);
-    EXPECT_EQ(via_shim.second.livelockEvents,
-              via_options.second.livelockEvents);
-    EXPECT_EQ(via_shim.second.maxEvents,
-              via_options.second.maxEvents);
-    EXPECT_EQ(via_shim.second.flightRecorderDepth,
-              via_options.second.flightRecorderDepth);
-}
-
-TEST(RunOptionsApi, DeprecatedAutoCheckpointShimIsEquivalent)
-{
-    std::string prefix_a = tmpPath("shim_a");
-    std::string prefix_b = tmpPath("shim_b");
-
-    Machine a;
-    a.sim.enableAutoCheckpoint(1'000'000, prefix_a);
-    Machine b;
-    sim::RunOptions run;
-    run.autoCheckpointPeriod = 1'000'000;
-    run.autoCheckpointPrefix = prefix_b;
-    b.sim.configure(run);
-
-    EXPECT_EQ(a.sim.runOptions().autoCheckpointPeriod,
-              b.sim.runOptions().autoCheckpointPeriod);
-    EXPECT_EQ(a.sim.runOptions().autoCheckpointPrefix, prefix_a);
-    EXPECT_EQ(b.sim.runOptions().autoCheckpointPrefix, prefix_b);
-
-    auto res_a = a.system.run();
-    auto res_b = b.system.run();
-    ASSERT_EQ(res_a.cause, sim::ExitCause::Finished);
-    ASSERT_EQ(res_b.cause, sim::ExitCause::Finished);
-    EXPECT_EQ(a.system.result(), b.system.result());
-    EXPECT_EQ(res_a.tick, res_b.tick);
-}
-
-#pragma GCC diagnostic pop
 
 TEST(RunOptionsApi, ConfigureDoesNotPerturbTheRun)
 {

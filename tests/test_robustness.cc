@@ -173,8 +173,8 @@ TEST(Watchdog, LivelockDetected)
     sim::Simulator simr("system");
     auto &q = simr.eventq();
     sim::EventFunctionWrapper ev(
-        [&] { q.schedule(&ev, q.curTick()); }, "spin");
-    q.schedule(&ev, 0);
+        [&] { q.schedule(ev, q.curTick()); }, "spin");
+    q.schedule(ev, 0);
 
     sim::RunOptions run;
     run.supervise = true;
@@ -192,7 +192,7 @@ TEST(Watchdog, LivelockDetected)
     EXPECT_EQ(simr.flightRecords().size(), 16u);
 
     if (ev.scheduled())
-        q.deschedule(&ev);
+        q.deschedule(ev);
 }
 
 TEST(Watchdog, EventBudgetExhausted)
@@ -200,8 +200,8 @@ TEST(Watchdog, EventBudgetExhausted)
     sim::Simulator simr("system");
     auto &q = simr.eventq();
     sim::EventFunctionWrapper ev(
-        [&] { q.schedule(&ev, q.curTick() + 1); }, "ticker");
-    q.schedule(&ev, 0);
+        [&] { q.schedule(ev, q.curTick() + 1); }, "ticker");
+    q.schedule(ev, 0);
 
     sim::RunOptions run;
     run.supervise = true;
@@ -214,7 +214,7 @@ TEST(Watchdog, EventBudgetExhausted)
     EXPECT_FALSE(res.diagnostic.empty());
 
     if (ev.scheduled())
-        q.deschedule(&ev);
+        q.deschedule(ev);
 }
 
 TEST(Watchdog, WallClockBudgetExhausted)
@@ -222,8 +222,8 @@ TEST(Watchdog, WallClockBudgetExhausted)
     sim::Simulator simr("system");
     auto &q = simr.eventq();
     sim::EventFunctionWrapper ev(
-        [&] { q.schedule(&ev, q.curTick() + 1); }, "ticker");
-    q.schedule(&ev, 0);
+        [&] { q.schedule(ev, q.curTick() + 1); }, "ticker");
+    q.schedule(ev, 0);
 
     sim::RunOptions run;
     run.supervise = true;
@@ -235,7 +235,7 @@ TEST(Watchdog, WallClockBudgetExhausted)
     EXPECT_NE(res.message.find("wall-clock"), std::string::npos);
 
     if (ev.scheduled())
-        q.deschedule(&ev);
+        q.deschedule(ev);
 }
 
 TEST(Watchdog, DeadlockOnDroppedResponse)

@@ -75,6 +75,20 @@ if [ "$#" -gt 0 ]; then
     ctest --preset sanitize -R '^(CoherenceStress|CoherenceQuick|Litmus|ThreadedGuest|MultiCoreRegression)'
 fi
 
+# Dispatch pass: the PR 9 kind table is read through relaxed atomics
+# on the hottest path in the tree, the event kind byte lives in tail
+# padding, and the THP arenas hand out mmap-backed slabs that the
+# event pool and decode cache carve up manually — all prime ASan/
+# UBSan territory. The determinism suite also forces the virtual
+# path, so both dispatch branches run sanitized. (The wall-clock
+# FrontendDispatchGate demotes its speed gates to report-only under
+# sanitizers — instrumentation erases the layout effect — but still
+# checks service-order digests and writes its JSON.)
+if [ "$#" -gt 0 ]; then
+    echo "== ctest dispatch suite (preset: sanitize) =="
+    ctest --preset sanitize -R '^(EventDispatchTable|DispatchBatching|DispatchDeterminismMulti|FrontendDispatchGate)|Dispatch'
+fi
+
 # Sweep-service pass: the chaos suite walks the crash/retry/eviction
 # paths on purpose — torn spool files, corrupt cache entries, a
 # service killed between a cache store and the state transition —
@@ -110,7 +124,9 @@ if [ "${G5P_SKIP_TSAN:-0}" != "1" ]; then
     # so the protocol paths must also be clean under TSan. The sweep
     # service dispatches batches onto the same pool (and its commit
     # loop reads outcomes the workers wrote), so its suites ride
-    # along too.
+    # along too. The dispatch suites join because the kind table is
+    # the one structure registered by any thread and read by all
+    # service loops — exactly the publish/read edge TSan checks.
     echo "== ctest parallel suites (preset: tsan) =="
-    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling|Coherence|Service)'
+    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling|Coherence|Service)|Dispatch'
 fi
