@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Ablation: the timing memory-path optimization round (PR 10) —
+ * pooled packets, slab MSHRs with an open-addressed line index,
+ * set-indexed packed tags, and an open-addressed snoop filter —
+ * against the verbatim pre-PR path (timing_ref_cache.*,
+ * timing_ref_xbar.*) embedded in this binary behind the
+ * MemPathFactory seam.
+ *
+ * Both legs build the SAME machine: same object names, same stats
+ * slots, same wiring order, same guest program. The reference leg
+ * additionally flips PacketPool into faithful heap mode, so every
+ * `new Packet` really is a malloc, as it was before the PR.
+ *
+ * Two kinds of runs per scenario:
+ *
+ *  - identity legs (run once, commit hooks armed): the full stats
+ *    dump, a commit-trace digest (tick, pc folded per CPU), and a
+ *    digest of guest physical memory must be byte-identical between
+ *    the legs. This is the proof that the optimization round changed
+ *    zero simulated behavior. Checked in every build, including
+ *    sanitizer builds.
+ *
+ *  - timed legs (hook-free, interleaved, min over --reps): host ns
+ *    per committed guest instruction. The TimingMemPathGate requires
+ *    a >= 1.25x geomean win on {Timing 1c, Timing 4c MESI, O3 1c};
+ *    Minor rides along report-only.
+ *
+ * Results land in BENCH_timing.json (EXPERIMENTS.md picks them up).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "mem/packet_pool.hh"
+#include "mem/path_factory.hh"
+#include "os/system.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+#include "timing_ref_cache.hh"
+#include "timing_ref_xbar.hh"
+
+namespace
+{
+
+using namespace g5p;
+using clock_type = std::chrono::steady_clock;
+
+// ===============================================================
+// The reference leg's factory: drops the embedded pre-PR cache and
+// xbar into an otherwise stock System.
+// ===============================================================
+
+class RefMemPathFactory final : public mem::MemPathFactory
+{
+  public:
+    mem::CacheHandles
+    makeCache(sim::Simulator &sim, const std::string &name,
+              const sim::ClockDomain &domain,
+              const mem::CacheParams &params) override
+    {
+        auto cache = std::make_unique<bench::refpath::Cache>(
+            sim, name, domain, params);
+        mem::CacheHandles handles;
+        handles.cpuSide = &cache->cpuSidePort();
+        handles.memSide = &cache->memSidePort();
+        handles.object = std::move(cache);
+        return handles;
+    }
+
+    mem::XbarHandles
+    makeXbar(sim::Simulator &sim, const std::string &name,
+             const sim::ClockDomain &domain,
+             const mem::XbarParams &params) override
+    {
+        auto xbar = std::make_unique<bench::refpath::CoherentXbar>(
+            sim, name, domain, params);
+        mem::XbarHandles handles;
+        handles.memSide = &xbar->memSidePort();
+        handles.object = std::move(xbar);
+        return handles;
+    }
+
+    mem::ResponsePort &
+    addUpstreamPort(sim::SimObject &xbar,
+                    sim::SimObject *snooper) override
+    {
+        return static_cast<bench::refpath::CoherentXbar &>(xbar)
+            .addUpstreamPort(
+                static_cast<bench::refpath::Cache *>(snooper));
+    }
+};
+
+// ===============================================================
+// Scenarios.
+// ===============================================================
+
+struct Scenario
+{
+    const char *name;
+    os::CpuModel model;
+    unsigned cores;
+    const char *workload;
+    double scale;
+    std::uint64_t maxInstsPerCpu;
+    bool gated; ///< counts toward the geomean gate
+};
+
+const Scenario fullScenarios[] = {
+    {"timing-1c", os::CpuModel::Timing, 1, "water_nsquared",
+     2.0, 200000, true},
+    {"timing-4c-mesi", os::CpuModel::Timing, 4, "radix_threads",
+     2.0, 80000, true},
+    {"o3-1c", os::CpuModel::O3, 1, "water_nsquared",
+     2.0, 60000, true},
+    {"minor-1c", os::CpuModel::Minor, 1, "water_nsquared",
+     2.0, 120000, false},
+    {"minor-4c-mesi", os::CpuModel::Minor, 4, "radix_threads",
+     2.0, 60000, false},
+};
+
+const Scenario quickScenarios[] = {
+    {"timing-1c", os::CpuModel::Timing, 1, "water_nsquared",
+     0.1, 4000, false},
+    {"timing-2c-mesi", os::CpuModel::Timing, 2, "radix_threads",
+     0.1, 4000, false},
+};
+
+// ===============================================================
+// Digests.
+// ===============================================================
+
+constexpr std::uint64_t fnvSeed = 1469598103934665603ull;
+
+std::uint64_t
+fnv(std::uint64_t h, std::uint64_t x)
+{
+    return (h ^ x) * 1099511628211ull;
+}
+
+/** Everything that must match between the legs, byte for byte. */
+struct Identity
+{
+    std::string stats;
+    std::uint64_t commitDigest = fnvSeed;
+    std::uint64_t memDigest = fnvSeed;
+    Tick finalTick = 0;
+    std::uint64_t insts = 0;
+
+    bool
+    operator==(const Identity &o) const
+    {
+        return stats == o.stats && commitDigest == o.commitDigest &&
+               memDigest == o.memDigest && finalTick == o.finalTick &&
+               insts == o.insts;
+    }
+};
+
+/** Optimized-path observability, read back after an identity leg. */
+struct Observed
+{
+    std::size_t poolHighWater = 0;
+    std::size_t filterSize = 0;
+    std::size_t filterCapacity = 0;
+    std::uint64_t filterProbes = 0;
+    std::uint64_t filterProbeSteps = 0;
+    std::uint64_t mshrProbes = 0;
+    std::uint64_t mshrProbeSteps = 0;
+
+    double
+    avgFilterProbeLen() const
+    {
+        return filterProbes
+                   ? 1.0 + (double)filterProbeSteps /
+                               (double)filterProbes
+                   : 0.0;
+    }
+};
+
+struct RunOut
+{
+    double ns = 0;
+    std::uint64_t insts = 0;
+};
+
+// ===============================================================
+// One leg: build, run, (optionally) digest, tear down.
+// ===============================================================
+
+/** Packets the reference legs leaked at teardown (see below). */
+std::size_t refLeakedPackets = 0;
+
+RunOut
+runLeg(const Scenario &sc, bool ref_path, Identity *ident,
+       Observed *obs)
+{
+    RefMemPathFactory ref_factory;
+
+    // Faithful pre-PR allocation behavior for the reference leg:
+    // every Packet really hits the heap. Nothing is in flight at
+    // this boundary (setEnabled asserts it).
+    mem::PacketPool::setEnabled(!ref_path);
+
+    // The pre-PR path parks in-flight packets in lambda events,
+    // which do not delete them when the event queue clears at
+    // teardown — on the detailed OoO models a couple of speculative
+    // fetches are still in flight when the guest halts, and the
+    // reference leg genuinely leaks them (one of the bugs the typed
+    // owning events fix). Disarm the teardown drain assert for the
+    // reference leg only and write the leak off afterwards; the
+    // optimized leg keeps the assert fully armed.
+    if (ref_path)
+        sim::setTransientResourceProbe(nullptr);
+
+    os::SystemConfig cfg;
+    cfg.cpuModel = sc.model;
+    cfg.numCpus = sc.cores;
+    cfg.maxInstsPerCpu = sc.maxInstsPerCpu;
+    if (ref_path)
+        cfg.memPath = &ref_factory;
+
+    RunOut out;
+    {
+        sim::Simulator sim("system");
+        auto wl = workloads::Registry::instance().create(sc.workload,
+                                                         sc.scale);
+        os::System system(sim, cfg, *wl);
+
+        std::vector<std::uint64_t> commits;
+        if (ident) {
+            commits.assign(sc.cores, fnvSeed);
+            for (unsigned i = 0; i < sc.cores; ++i) {
+                system.cpu(i).setCommitHook(
+                    [&commits, i](Tick tick, Addr pc,
+                                  const isa::StaticInst &) {
+                        commits[i] =
+                            fnv(fnv(commits[i], tick), pc);
+                    });
+            }
+        }
+        if (obs)
+            mem::PacketPool::resetHighWater();
+
+        auto start = clock_type::now();
+        sim::SimResult res = system.run();
+        auto end = clock_type::now();
+        if (sim::isSupervisedExit(res.cause)) {
+            std::fprintf(stderr,
+                         "error: %s leg of %s exited via %s\n",
+                         ref_path ? "reference" : "optimized",
+                         sc.name, sim::exitCauseName(res.cause));
+            std::exit(1);
+        }
+
+        out.ns = (double)std::chrono::duration_cast<
+            std::chrono::nanoseconds>(end - start).count();
+        out.insts = system.totalInsts();
+
+        if (ident) {
+            std::ostringstream ss;
+            sim.dumpStats(ss);
+            ident->stats = ss.str();
+            std::uint64_t cd = fnvSeed;
+            for (std::uint64_t c : commits)
+                cd = fnv(cd, c);
+            ident->commitDigest = cd;
+            auto &pm = system.physmem();
+            std::uint64_t md = fnvSeed;
+            for (Addr a = 0; a + 8 <= pm.size(); a += 8)
+                md = fnv(md, pm.read(a, 8));
+            ident->memDigest = md;
+            ident->finalTick = sim.curTick();
+            ident->insts = out.insts;
+        }
+        if (obs && !ref_path) {
+            // Read the plain observability counters before teardown
+            // (the same ones --profile runs report).
+            obs->poolHighWater = mem::PacketPool::highWater();
+            auto &xb = system.xbar();
+            obs->filterSize = xb.filterSize();
+            obs->filterCapacity = xb.filterCapacity();
+            obs->filterProbes = xb.filterProbes();
+            obs->filterProbeSteps = xb.filterProbeSteps();
+            for (unsigned i = 0; i < sc.cores; ++i) {
+                obs->mshrProbes += system.l1i(i).mshrIndexProbes() +
+                                   system.l1d(i).mshrIndexProbes();
+                obs->mshrProbeSteps +=
+                    system.l1i(i).mshrIndexProbeSteps() +
+                    system.l1d(i).mshrIndexProbeSteps();
+            }
+            obs->mshrProbes += system.l2().mshrIndexProbes();
+            obs->mshrProbeSteps += system.l2().mshrIndexProbeSteps();
+        }
+    }
+    // Teardown ran the pool drain guard (optimized leg) or skipped
+    // it (reference leg, probe disarmed). Settle the books and
+    // restore pooled mode.
+    if (ref_path) {
+        refLeakedPackets += mem::PacketPool::writeOffLeaked();
+        sim::setTransientResourceProbe([] {
+            return (std::uint64_t)mem::PacketPool::outstanding();
+        });
+    }
+    mem::PacketPool::setEnabled(true);
+    return out;
+}
+
+void
+minInto(RunOut &best, const RunOut &m)
+{
+    if (best.insts == 0 || m.ns < best.ns)
+        best = m;
+}
+
+struct ScenarioResult
+{
+    const Scenario *sc = nullptr;
+    RunOut ref;
+    RunOut opt;
+    bool identityOk = false;
+    Observed obs;
+
+    double refNsPerInst() const { return ref.ns / (double)ref.insts; }
+    double optNsPerInst() const { return opt.ns / (double)opt.insts; }
+    double speedup() const
+    { return refNsPerInst() / optNsPerInst(); }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_timing.json";
+    bool gates = true;
+    bool quick = false;
+    int reps = 3;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    // Sanitizer instrumentation swamps the allocation/indexing
+    // deltas, so the speedup gate is report-only — but the
+    // byte-identity legs still run and still must pass (this is
+    // exactly where ASan earns its keep: the reference leg's heap
+    // packets and the optimized leg's pooled packets both get the
+    // full leak/UAF treatment).
+    gates = false;
+    std::printf("note: sanitizer build, speedup gate report-only\n");
+#endif
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--no-gates")) {
+            gates = false;
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            quick = true;
+            gates = false;
+            reps = 1;
+        } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else {
+            std::printf("usage: %s [--json FILE] [--no-gates] "
+                        "[--quick] [--reps N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const Scenario *scenarios = quick ? quickScenarios : fullScenarios;
+    std::size_t num_scenarios =
+        quick ? std::size(quickScenarios) : std::size(fullScenarios);
+
+    std::vector<ScenarioResult> results;
+    bool identity_ok = true;
+
+    for (std::size_t s = 0; s < num_scenarios; ++s) {
+        const Scenario &sc = scenarios[s];
+        ScenarioResult r;
+        r.sc = &sc;
+
+        // Identity legs first: commit hooks armed, full digests.
+        std::fprintf(stderr, "  %-14s identity legs ...\n", sc.name);
+        Identity ref_id, opt_id;
+        runLeg(sc, true, &ref_id, nullptr);
+        runLeg(sc, false, &opt_id, &r.obs);
+        r.identityOk = ref_id == opt_id;
+        if (!r.identityOk) {
+            identity_ok = false;
+            std::printf("FAIL: %s: optimized path diverges from "
+                        "reference (stats %s, commit %s, mem %s, "
+                        "tick %llu vs %llu, insts %llu vs %llu)\n",
+                        sc.name,
+                        ref_id.stats == opt_id.stats ? "ok" : "DIFF",
+                        ref_id.commitDigest == opt_id.commitDigest
+                            ? "ok" : "DIFF",
+                        ref_id.memDigest == opt_id.memDigest
+                            ? "ok" : "DIFF",
+                        (unsigned long long)ref_id.finalTick,
+                        (unsigned long long)opt_id.finalTick,
+                        (unsigned long long)ref_id.insts,
+                        (unsigned long long)opt_id.insts);
+        }
+
+        // Timed legs: hook-free, interleaved, min over reps.
+        std::fprintf(stderr, "  %-14s timed legs (%d reps) ...\n",
+                     sc.name, reps);
+        runLeg(sc, true, nullptr, nullptr);  // warm both legs
+        runLeg(sc, false, nullptr, nullptr);
+        for (int rep = 0; rep < reps; ++rep) {
+            minInto(r.ref, runLeg(sc, true, nullptr, nullptr));
+            minInto(r.opt, runLeg(sc, false, nullptr, nullptr));
+        }
+        results.push_back(std::move(r));
+    }
+
+    // ------------------------------------------------------------
+    // Report.
+    // ------------------------------------------------------------
+    std::printf("\n%-16s %6s %12s %12s %9s %9s %s\n", "scenario",
+                "insts", "ref ns/inst", "opt ns/inst", "speedup",
+                "identity", "gate");
+    std::vector<double> gated_speedups;
+    for (const auto &r : results) {
+        std::printf("%-16s %6llu %12.2f %12.2f %8.3fx %9s %s\n",
+                    r.sc->name, (unsigned long long)r.opt.insts,
+                    r.refNsPerInst(), r.optNsPerInst(), r.speedup(),
+                    r.identityOk ? "ok" : "DIFF",
+                    r.sc->gated ? "gated" : "report");
+        if (r.sc->gated)
+            gated_speedups.push_back(r.speedup());
+    }
+    double geomean_speedup = gated_speedups.empty()
+                                 ? 1.0
+                                 : bench::geomean(gated_speedups);
+    if (!gated_speedups.empty())
+        std::printf("%-16s %6s %12s %12s %8.3fx\n", "geomean", "",
+                    "", "", geomean_speedup);
+
+    const Observed &obs0 = results[0].obs;
+    std::printf("\noptimized-path observability (identity legs):\n"
+                "  packet pool high water: %zu packets  "
+                "(slabs: %zu)\n",
+                obs0.poolHighWater,
+                mem::PacketPool::slabsAllocated());
+    if (refLeakedPackets)
+        std::printf("  reference legs leaked %zu packet(s) at "
+                    "teardown (pre-PR event-ownership bug; written "
+                    "off, optimized legs leak zero)\n",
+                    refLeakedPackets);
+    for (const auto &r : results) {
+        std::printf("  %-16s filter %zu/%zu lines, avg probe "
+                    "%.3f; mshr-index probes %llu, avg %.3f\n",
+                    r.sc->name, r.obs.filterSize,
+                    r.obs.filterCapacity, r.obs.avgFilterProbeLen(),
+                    (unsigned long long)r.obs.mshrProbes,
+                    r.obs.mshrProbes
+                        ? 1.0 + (double)r.obs.mshrProbeSteps /
+                                    (double)r.obs.mshrProbes
+                        : 0.0);
+    }
+
+    // ------------------------------------------------------------
+    // JSON artifact.
+    // ------------------------------------------------------------
+    std::ofstream json(json_path);
+    json << "{\n  \"bench\": \"timing\",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"model\": \"%s\", "
+            "\"cores\": %u, \"insts\": %llu, "
+            "\"ref_ns_per_inst\": %.3f, \"opt_ns_per_inst\": %.3f, "
+            "\"speedup\": %.4f, \"identity\": %s, \"gated\": %s, "
+            "\"pool_high_water\": %zu, "
+            "\"snoop_filter_avg_probe\": %.4f}%s\n",
+            r.sc->name, os::cpuModelName(r.sc->model), r.sc->cores,
+            (unsigned long long)r.opt.insts, r.refNsPerInst(),
+            r.optNsPerInst(), r.speedup(),
+            r.identityOk ? "true" : "false",
+            r.sc->gated ? "true" : "false", r.obs.poolHighWater,
+            r.obs.avgFilterProbeLen(),
+            i + 1 < results.size() ? "," : "");
+        json << buf;
+    }
+    json << "  ],\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  \"geomean_speedup_gate\": %.4f,\n"
+                  "  \"identity_ok\": %s,\n"
+                  "  \"ref_leg_teardown_leaks\": %zu\n}\n",
+                  geomean_speedup, identity_ok ? "true" : "false",
+                  refLeakedPackets);
+    json << buf;
+    if (!json) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+
+    // The acceptance gates.
+    int failures = 0;
+    if (!identity_ok) {
+        std::printf("FAIL: memory-path behavior diverges from the "
+                    "pre-PR reference\n");
+        ++failures;
+    }
+    if (gates && geomean_speedup < 1.25) {
+        std::printf("FAIL: geomean detailed-model speedup %.3fx < "
+                    "1.25x\n", geomean_speedup);
+        ++failures;
+    }
+    return failures ? 1 : 0;
+}

@@ -1,10 +1,26 @@
-#include "mem/cache.hh"
+/**
+ * @file
+ * Verbatim pre-optimization copy of the detailed memory path, kept as
+ * the timed + byte-identity reference for bench/abl_timing. Do not
+ * "fix" or modernize this code: its whole value is being the faithful
+ * baseline the optimized path is compared against. Source: the tree
+ * as of the commit preceding the timing memory-path optimization
+ * round.
+ */
+#include "timing_ref_cache.hh"
 
 #include "base/addr_utils.hh"
 #include "trace/recorder.hh"
 
-namespace g5p::mem
+namespace g5p::bench::refpath
 {
+
+// The parameter structs and the coherence-state enum are shared with
+// the optimized path (mem/cache.hh, mem/xbar.hh); only the machinery
+// below differs. Everything else (Packet, ports, ClockedObject) is
+// the production code, so both legs of the comparison exercise the
+// same surrounding simulator.
+using namespace g5p::mem;
 
 const char *
 coherStateName(CoherState state)
@@ -26,61 +42,50 @@ Cache::Cache(sim::Simulator &sim, const std::string &name,
                          (params.sizeBytes / lineBytes) * 16),
       params_(params),
       numSets_((unsigned)(params.sizeBytes / lineBytes / params.assoc)),
-      mshrIndex_(2 * params.numMshrs),
       cpuPort_(*this, name + ".cpu_side"),
       memPort_(*this, name + ".mem_side")
 {
     g5p_assert(isPowerOf2(numSets_) && numSets_ > 0,
                "%s: sets (%u) must be a nonzero power of two",
                name.c_str(), numSets_);
-    g5p_assert(params_.numMshrs > 0 && params_.numMshrs < invalidMshr,
-               "%s: bad MSHR count %u", name.c_str(),
-               params_.numMshrs);
-    tags_.resize((std::size_t)numSets_ * params_.assoc);
-    lastUsed_.resize(tags_.size(), 0);
-
-    mshrSlab_.resize(params_.numMshrs);
-    for (unsigned i = 0; i < params_.numMshrs; ++i)
-        mshrSlab_[i].nextFree = (i + 1 < params_.numMshrs)
-                                    ? (std::uint16_t)(i + 1)
-                                    : invalidMshr;
-    mshrFreeHead_ = 0;
+    lines_.resize((std::size_t)numSets_ * params_.assoc);
 }
 
 Cache::~Cache()
 {
-    while (PacketPtr pkt = deferred_.pop())
+    for (PacketPtr pkt : deferred_)
         delete pkt;
-    for (Mshr &mshr : mshrSlab_)
-        while (PacketPtr pkt = mshr.targets.pop())
+    for (Mshr &mshr : mshrs_)
+        for (PacketPtr pkt : mshr.targets)
             delete pkt;
 }
 
 void
-Cache::touchTagState(std::size_t index) const
+Cache::touchTagState(const Line &line) const
 {
+    std::size_t index = (std::size_t)(&line - lines_.data());
     touchState(index * 16, 16, false);
 }
 
-Cache::TagWord *
+Cache::Line *
 Cache::lookup(Addr addr, bool update_lru)
 {
     std::uint64_t set = cacheSetIndex(addr, lineBytes, numSets_);
     std::uint64_t tag = cacheTag(addr, lineBytes, numSets_);
-    std::size_t base = (std::size_t)set * params_.assoc;
-    TagWord *words = &tags_[base];
+    Line *base = &lines_[set * params_.assoc];
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (words[w].matches(tag)) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
             if (update_lru)
-                lastUsed_[base + w] = ++lruCounter_;
-            touchTagState(base + w);
-            return &words[w];
+                line.lastUsed = ++lruCounter_;
+            touchTagState(line);
+            return &line;
         }
     }
     return nullptr;
 }
 
-const Cache::TagWord *
+const Cache::Line *
 Cache::lookupConst(Addr addr) const
 {
     return const_cast<Cache *>(this)->lookup(addr, false);
@@ -95,41 +100,40 @@ Cache::isCached(Addr addr) const
 CoherState
 Cache::coherenceStateOf(Addr addr) const
 {
-    const TagWord *line = lookupConst(addr);
+    const Line *line = lookupConst(addr);
     if (!line)
         return CoherState::Invalid;
-    if (!line->writable())
+    if (!line->writable)
         return CoherState::Shared;
-    return line->dirty() ? CoherState::Modified
-                         : CoherState::Exclusive;
+    return line->dirty ? CoherState::Modified : CoherState::Exclusive;
 }
 
-Cache::TagWord &
+Cache::Line &
 Cache::victimFor(Addr addr)
 {
     std::uint64_t set = cacheSetIndex(addr, lineBytes, numSets_);
-    std::size_t base = (std::size_t)set * params_.assoc;
-    std::size_t victim = base;
+    Line *base = &lines_[set * params_.assoc];
+    Line *victim = base;
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (!tags_[base + w].valid())
-            return tags_[base + w];
-        if (lastUsed_[base + w] < lastUsed_[victim])
-            victim = base + w;
+        Line &line = base[w];
+        if (!line.valid)
+            return line;
+        if (line.lastUsed < victim->lastUsed)
+            victim = &line;
     }
-    return tags_[victim];
+    return *victim;
 }
 
-Cache::TagWord &
+Cache::Line &
 Cache::insertLine(Addr addr, bool writable, bool timing)
 {
     G5P_TRACE_SCOPE("Cache::insertLine", MemAccess, false);
     std::uint64_t set = cacheSetIndex(addr, lineBytes, numSets_);
-    TagWord &victim = victimFor(addr);
-    std::size_t index = (std::size_t)(&victim - tags_.data());
-    if (victim.valid() && victim.dirty()) {
+    Line &victim = victimFor(addr);
+    if (victim.valid && victim.dirty) {
         // Reconstruct the victim's address from tag and set.
         Addr victim_addr =
-            ((victim.tag() << floorLog2(numSets_)) | set) * lineBytes;
+            ((victim.tag << floorLog2(numSets_)) | set) * lineBytes;
         writebacks_ += 1;
         if (timing) {
             auto *wb = new Packet(MemCmd::WritebackDirty, victim_addr,
@@ -140,23 +144,23 @@ Cache::insertLine(Addr addr, bool writable, bool timing)
             memPort_.sendAtomic(wb);
         }
     }
-    victim.setValid(true);
-    victim.setDirty(false);
-    victim.setWritable(writable);
-    victim.setTag(cacheTag(addr, lineBytes, numSets_));
-    lastUsed_[index] = ++lruCounter_;
-    touchTagState(index);
+    victim.valid = true;
+    victim.dirty = false;
+    victim.writable = writable;
+    victim.tag = cacheTag(addr, lineBytes, numSets_);
+    victim.lastUsed = ++lruCounter_;
+    touchTagState(victim);
     return victim;
 }
 
 void
 Cache::invalidateLine(Addr addr)
 {
-    if (TagWord *line = lookup(addr, false)) {
+    if (Line *line = lookup(addr, false)) {
         // Dirty data is functionally already in PhysicalMemory; the
         // timing cost of the implied writeback is charged to the
         // requester via the xbar's snoop latency.
-        line->setValid(false);
+        line->valid = false;
         invalidations_ += 1;
     }
     // A fill (or upgrade) still in flight for this line carried a
@@ -170,38 +174,10 @@ Cache::invalidateLine(Addr addr)
 Cache::Mshr *
 Cache::findMshr(Addr line_addr)
 {
-    std::uint16_t slot = mshrIndex_.lookup(line_addr, invalidMshr);
-    return slot == invalidMshr ? nullptr : &mshrSlab_[slot];
-}
-
-Cache::Mshr &
-Cache::allocMshr(Addr line_addr)
-{
-    g5p_assert(mshrFreeHead_ != invalidMshr,
-               "%s: MSHR allocation with none free", name().c_str());
-    std::uint16_t slot = mshrFreeHead_;
-    Mshr &mshr = mshrSlab_[slot];
-    mshrFreeHead_ = mshr.nextFree;
-    mshr.inUse = true;
-    mshr.lineAddr = line_addr;
-    mshr.needsExclusive = false;
-    mshr.isUpgrade = false;
-    mshr.stolen = false;
-    mshrIndex_.refOrInsert(line_addr) = slot;
-    ++mshrInUse_;
-    return mshr;
-}
-
-void
-Cache::freeMshr(Mshr &mshr)
-{
-    g5p_assert(mshr.inUse && mshr.targets.empty(),
-               "%s: freeing a busy MSHR", name().c_str());
-    mshrIndex_.erase(mshr.lineAddr);
-    mshr.inUse = false;
-    mshr.nextFree = mshrFreeHead_;
-    mshrFreeHead_ = (std::uint16_t)(&mshr - mshrSlab_.data());
-    --mshrInUse_;
+    for (Mshr &m : mshrs_)
+        if (m.lineAddr == line_addr)
+            return &m;
+    return nullptr;
 }
 
 Tick
@@ -210,10 +186,10 @@ Cache::recvAtomic(Packet &pkt)
     G5P_TRACE_SCOPE("Cache::recvAtomic", MemAtomic, true);
 
     if (pkt.isWriteback()) {
-        TagWord *line = lookup(pkt.addr(), true);
+        Line *line = lookup(pkt.addr(), true);
         if (!line)
             line = &insertLine(pkt.addr(), true, false);
-        line->setDirty(true);
+        line->dirty = true;
         return 0;
     }
     if (pkt.isInvalidate()) {
@@ -222,12 +198,12 @@ Cache::recvAtomic(Packet &pkt)
     }
 
     Tick lat = cyclesToTicks(params_.tagLatency);
-    TagWord *line = lookup(pkt.addr(), true);
-    bool upgrade = line && pkt.needsExclusive() && !line->writable();
+    Line *line = lookup(pkt.addr(), true);
+    bool upgrade = line && pkt.needsExclusive() && !line->writable;
     if (line && !upgrade) {
         hits_ += 1;
         if (pkt.isWrite())
-            line->setDirty(true);
+            line->dirty = true;
         return lat + cyclesToTicks(params_.dataLatency);
     }
 
@@ -242,11 +218,11 @@ Cache::recvAtomic(Packet &pkt)
         // Atomic accesses are indivisible: no sibling can steal the
         // line between the lookup above and the snoop, so the
         // upgrade always lands.
-        g5p_assert(line->valid(), "%s: atomic upgrade lost the line",
+        g5p_assert(line->valid, "%s: atomic upgrade lost the line",
                    name().c_str());
-        line->setWritable(true);
+        line->writable = true;
         if (pkt.isWrite())
-            line->setDirty(true);
+            line->dirty = true;
         return lat + up_lat + cyclesToTicks(params_.responseLatency);
     }
     MemCmd fill_cmd = pkt.needsExclusive() ? MemCmd::ReadExReq
@@ -255,9 +231,9 @@ Cache::recvAtomic(Packet &pkt)
     fill.setInstFetch(pkt.isInstFetch());
     fill.setRequestorId(pkt.requestorId());
     Tick fill_lat = memPort_.sendAtomic(fill);
-    TagWord &nl = insertLine(pkt.addr(), fill.writable(), false);
+    Line &nl = insertLine(pkt.addr(), fill.writable(), false);
     if (pkt.isWrite())
-        nl.setDirty(true);
+        nl.dirty = true;
     return lat + fill_lat + cyclesToTicks(params_.responseLatency);
 }
 
@@ -273,10 +249,10 @@ Cache::recvTimingReq(PacketPtr pkt)
     G5P_TRACE_SCOPE("Cache::recvTimingReq", MemAccess, true);
 
     if (pkt->isWriteback()) {
-        TagWord *line = lookup(pkt->addr(), true);
+        Line *line = lookup(pkt->addr(), true);
         if (!line)
             line = &insertLine(pkt->addr(), true, true);
-        line->setDirty(true);
+        line->dirty = true;
         delete pkt;
         return;
     }
@@ -287,21 +263,24 @@ Cache::recvTimingReq(PacketPtr pkt)
     }
 
     // Model the tag-lookup pipeline stage, then decide hit/miss.
-    scheduleAccess(params_.tagLatency, pkt);
+    scheduleFn(params_.tagLatency, [this, pkt] { satisfyTiming(pkt); });
 }
 
 void
 Cache::satisfyTiming(PacketPtr pkt)
 {
     G5P_TRACE_SCOPE("Cache::satisfyTiming", MemAccess, false);
-    TagWord *line = lookup(pkt->addr(), true);
-    bool upgrade = line && pkt->needsExclusive() && !line->writable();
+    Line *line = lookup(pkt->addr(), true);
+    bool upgrade = line && pkt->needsExclusive() && !line->writable;
 
     if (line && !upgrade) {
         hits_ += 1;
         if (pkt->isWrite())
-            line->setDirty(true);
-        scheduleResp(params_.dataLatency, pkt);
+            line->dirty = true;
+        scheduleFn(params_.dataLatency, [this, pkt] {
+            pkt->makeResponse();
+            cpuPort_.sendTimingResp(pkt);
+        });
         return;
     }
 
@@ -313,22 +292,19 @@ Cache::satisfyTiming(PacketPtr pkt)
     if (Mshr *mshr = findMshr(line_addr)) {
         mshrHits_ += 1;
         mshr->needsExclusive |= pkt->needsExclusive();
-        mshr->targets.push(pkt);
+        mshr->targets.push_back(pkt);
         return;
     }
 
-    if (mshrInUse_ >= params_.numMshrs) {
+    if (mshrs_.size() >= params_.numMshrs) {
         // All MSHRs busy: defer the request until one frees (the
         // real cache would exert back-pressure through the port).
         mshrBlocked_ += 1;
-        deferred_.push(pkt);
-        ++deferredCount_;
+        deferred_.push_back(pkt);
         return;
     }
-    Mshr &mshr = allocMshr(line_addr);
-    mshr.needsExclusive = pkt->needsExclusive();
-    mshr.isUpgrade = upgrade;
-    mshr.targets.push(pkt);
+    mshrs_.push_back(Mshr{line_addr, true, pkt->needsExclusive(),
+                          upgrade, false, {pkt}});
 
     // S -> M upgrades keep the (still readable) line in place and
     // request only ownership; real misses fetch data + permission.
@@ -351,7 +327,7 @@ Cache::recvTimingResp(PacketPtr pkt)
                name().c_str(), (unsigned long long)line_addr);
 
     if (pkt->cmd() == MemCmd::UpgradeResp) {
-        TagWord *line = lookup(line_addr, false);
+        Line *line = lookup(line_addr, false);
         if (!line) {
             // Transient SM -> IM: a sibling's exclusive request (or a
             // conflicting fill in this set) took the line while the
@@ -367,7 +343,7 @@ Cache::recvTimingResp(PacketPtr pkt)
             memPort_.sendTimingReq(refill);
             return;
         }
-        line->setWritable(true);
+        line->writable = true;
         mshr->stolen = false;
         delete pkt;
         completeMshr(line_addr, *line);
@@ -391,9 +367,9 @@ Cache::recvTimingResp(PacketPtr pkt)
         return;
     }
 
-    TagWord &line = insertLine(line_addr, pkt->writable(), true);
+    Line &line = insertLine(line_addr, pkt->writable(), true);
 
-    if (!line.writable() && mshr->needsExclusive) {
+    if (!line.writable && mshr->needsExclusive) {
         // The fill went out as a plain read, a write coalesced in
         // behind it, and a sibling kept a copy: enter the upgrade
         // phase (transient SM) before releasing the targets.
@@ -411,21 +387,31 @@ Cache::recvTimingResp(PacketPtr pkt)
 }
 
 void
-Cache::completeMshr(Addr line_addr, TagWord &line)
+Cache::completeMshr(Addr line_addr, Line &line)
 {
     Mshr *mshr = findMshr(line_addr);
     Cycles delay = params_.responseLatency;
-    while (PacketPtr target = mshr->targets.pop()) {
+    for (PacketPtr target : mshr->targets) {
         if (target->isWrite()) {
-            g5p_assert(line.writable(), "write fill without ownership");
-            line.setDirty(true);
+            g5p_assert(line.writable, "write fill without ownership");
+            line.dirty = true;
         }
-        scheduleResp(delay, target);
+        scheduleFn(delay, [this, target] {
+            target->makeResponse();
+            cpuPort_.sendTimingResp(target);
+        });
         // Consecutive coalesced targets drain one per cycle.
         delay = delay + 1;
     }
-    freeMshr(*mshr);
-    retryDeferred();
+    mshrs_.remove_if([line_addr](const Mshr &m) {
+        return m.lineAddr == line_addr;
+    });
+
+    if (!deferred_.empty()) {
+        PacketPtr next = deferred_.front();
+        deferred_.pop_front();
+        scheduleFn(1, [this, next] { satisfyTiming(next); });
+    }
 }
 
 void
@@ -433,55 +419,48 @@ Cache::completeUncached(Addr line_addr)
 {
     Mshr *mshr = findMshr(line_addr);
     Cycles delay = params_.responseLatency;
-    while (PacketPtr target = mshr->targets.pop()) {
-        scheduleResp(delay, target);
+    for (PacketPtr target : mshr->targets) {
+        scheduleFn(delay, [this, target] {
+            target->makeResponse();
+            cpuPort_.sendTimingResp(target);
+        });
         delay = delay + 1;
     }
-    freeMshr(*mshr);
-    retryDeferred();
+    mshrs_.remove_if([line_addr](const Mshr &m) {
+        return m.lineAddr == line_addr;
+    });
+
+    if (!deferred_.empty()) {
+        PacketPtr next = deferred_.front();
+        deferred_.pop_front();
+        scheduleFn(1, [this, next] { satisfyTiming(next); });
+    }
 }
 
 void
-Cache::retryDeferred()
+Cache::scheduleFn(Cycles cycles, std::function<void()> fn)
 {
-    if (deferredCount_ == 0)
-        return;
-    PacketPtr next = deferred_.pop();
-    --deferredCount_;
-    scheduleAccess(Cycles(1), next);
-}
-
-void
-Cache::scheduleAccess(Cycles cycles, PacketPtr pkt)
-{
-    auto *ev = new AccessEvent(*this, pkt);
-    schedule(*ev, clockEdge(cycles ? cycles : 1));
-}
-
-void
-Cache::scheduleResp(Cycles cycles, PacketPtr pkt)
-{
-    auto *ev = new PacketRespEvent(cpuPort_, pkt, true);
-    schedule(*ev, clockEdge(cycles ? cycles : 1));
+    scheduleOneShot(clockEdge(cycles ? cycles : 1), std::move(fn),
+                     name() + ".delayed");
 }
 
 void
 Cache::serialize(sim::CheckpointOut &cp) const
 {
-    g5p_assert(mshrInUse_ == 0 && deferredCount_ == 0,
+    g5p_assert(mshrs_.empty() && deferred_.empty(),
                "%s: cannot checkpoint with in-flight misses",
                name().c_str());
     cp.param("lruCounter", lruCounter_);
     std::vector<std::uint64_t> idx, tags, flags, lastUsed;
-    for (std::size_t i = 0; i < tags_.size(); ++i) {
-        const TagWord &line = tags_[i];
-        if (!line.valid())
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const Line &line = lines_[i];
+        if (!line.valid)
             continue;
         idx.push_back(i);
-        tags.push_back(line.tag());
-        flags.push_back((line.dirty() ? 1u : 0u) |
-                        (line.writable() ? 2u : 0u));
-        lastUsed.push_back(lastUsed_[i]);
+        tags.push_back(line.tag);
+        flags.push_back((line.dirty ? 1u : 0u) |
+                        (line.writable ? 2u : 0u));
+        lastUsed.push_back(line.lastUsed);
     }
     cp.paramVector("lineIdx", idx);
     cp.paramVector("lineTag", tags);
@@ -502,20 +481,18 @@ Cache::unserialize(const sim::CheckpointIn &cp)
                idx.size() == flags.size() &&
                idx.size() == lastUsed.size(),
                "%s: corrupt cache checkpoint", name().c_str());
-    for (TagWord &line : tags_)
-        line.reset();
-    for (std::uint64_t &stamp : lastUsed_)
-        stamp = 0;
+    for (Line &line : lines_)
+        line = Line{};
     for (std::size_t i = 0; i < idx.size(); ++i) {
-        g5p_assert(idx[i] < tags_.size(),
+        g5p_assert(idx[i] < lines_.size(),
                    "%s: cache checkpoint line out of range",
                    name().c_str());
-        TagWord &line = tags_[idx[i]];
-        line.setValid(true);
-        line.setTag(tags[i]);
-        line.setDirty((flags[i] & 1u) != 0);
-        line.setWritable((flags[i] & 2u) != 0);
-        lastUsed_[idx[i]] = lastUsed[i];
+        Line &line = lines_[idx[i]];
+        line.valid = true;
+        line.tag = tags[i];
+        line.dirty = (flags[i] & 1u) != 0;
+        line.writable = (flags[i] & 2u) != 0;
+        line.lastUsed = lastUsed[i];
     }
 }
 
@@ -539,4 +516,4 @@ Cache::regStats()
     });
 }
 
-} // namespace g5p::mem
+} // namespace g5p::bench::refpath

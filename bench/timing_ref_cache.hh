@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Verbatim pre-optimization copy of the detailed memory path, kept as
+ * the timed + byte-identity reference for bench/abl_timing. Do not
+ * "fix" or modernize this code: its whole value is being the faithful
+ * baseline the optimized path is compared against. Source: the tree
+ * as of the commit preceding the timing memory-path optimization
+ * round.
+ */
+/**
+ * @file
+ * Set-associative write-back cache with MSHRs, modeled on gem5's
+ * classic `Cache`. Used for guest L1I, L1D, and the shared L2.
+ *
+ * Tags-only timing model: data lives in PhysicalMemory (see
+ * mem/packet.hh). Lines track valid/dirty/writable; misses allocate
+ * MSHRs that coalesce same-line requests; dirty victims generate
+ * WritebackDirty packets downstream. Coherence between sibling L1s is
+ * invalidation-based, orchestrated by the CoherentXbar.
+ *
+ * The valid/writable/dirty bits encode a MESI state machine:
+ * Invalid (!valid), Shared (valid, !writable), Exclusive (valid,
+ * writable, !dirty), Modified (valid, writable, dirty). A write to a
+ * Shared line raises an UpgradeReq (ownership only, no data); the
+ * line stays readable while the upgrade is in flight (transient SM),
+ * and a crossing invalidation downgrades the upgrade into a full
+ * ReadEx refill (transient SM -> IM).
+ */
+
+#ifndef G5P_BENCH_TIMING_REF_CACHE_HH
+#define G5P_BENCH_TIMING_REF_CACHE_HH
+
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "sim/clocked_object.hh"
+
+namespace g5p::bench::refpath
+{
+
+// The parameter structs and the coherence-state enum are shared with
+// the optimized path (mem/cache.hh, mem/xbar.hh); only the machinery
+// below differs. Everything else (Packet, ports, ClockedObject) is
+// the production code, so both legs of the comparison exercise the
+// same surrounding simulator.
+using namespace g5p::mem;
+
+class Cache : public sim::ClockedObject
+{
+  public:
+    Cache(sim::Simulator &sim, const std::string &name,
+          const sim::ClockDomain &domain, const CacheParams &params);
+    ~Cache() override;
+
+    /** Upstream (CPU or L1) side. */
+    ResponsePort &cpuSidePort() { return cpuPort_; }
+
+    /** Downstream (xbar, L2, or DRAM) side. */
+    RequestPort &memSidePort() { return memPort_; }
+
+    const CacheParams &params() const { return params_; }
+    unsigned numSets() const { return numSets_; }
+
+    /** True if the line containing @p addr is present. */
+    bool isCached(Addr addr) const;
+
+    /** MESI state of the line containing @p addr (no LRU touch). */
+    CoherState coherenceStateOf(Addr addr) const;
+
+    /** Coherence: drop the line (invalidate from a sibling). */
+    void invalidateLine(Addr addr);
+
+    /** True while misses or deferred requests are outstanding. */
+    bool hasPendingMisses() const
+    { return !mshrs_.empty() || !deferred_.empty(); }
+
+    /** Upgrades that lost the race to a crossing invalidation. */
+    std::uint64_t upgradeRaces() const { return upgradeRaces_; }
+
+    /** Fills whose permission grant a sibling stole in flight. */
+    std::uint64_t fillRaces() const { return fillRaces_; }
+
+    /**
+     * Checkpoint tags, line state and LRU clock. MSHRs and deferred
+     * requests must be drained (quiescent point); asserted.
+     */
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(const sim::CheckpointIn &cp) override;
+
+    void regStats() override;
+
+    /** @{ Raw counters for tests and reports. */
+    std::uint64_t hits() const { return (std::uint64_t)hits_.value(); }
+    std::uint64_t misses() const
+    { return (std::uint64_t)misses_.value(); }
+    std::uint64_t writebacks() const
+    { return (std::uint64_t)writebacks_.value(); }
+    /** @} */
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool writable = false;
+        std::uint64_t lastUsed = 0; ///< LRU timestamp
+    };
+
+    struct Mshr
+    {
+        Addr lineAddr = 0;
+        bool issued = false;
+        bool needsExclusive = false;
+        bool isUpgrade = false; ///< transient SM: fill is ownership-only
+        /** A sibling's exclusive request raced ahead of the pending
+         *  fill: its permission grant (and our snoop-filter bit) is
+         *  void; the response drains its targets uncached instead of
+         *  filling (re-requesting could livelock: two cores would
+         *  steal each other's in-flight fills forever). */
+        bool stolen = false;
+        std::vector<PacketPtr> targets;
+    };
+
+    class CpuSidePort : public ResponsePort
+    {
+      public:
+        CpuSidePort(Cache &cache, const std::string &name)
+            : ResponsePort(name), cache_(cache)
+        {}
+        Tick recvAtomic(Packet &pkt) override
+        { return cache_.recvAtomic(pkt); }
+        void recvFunctional(Packet &pkt) override
+        { cache_.recvFunctional(pkt); }
+        void recvTimingReq(PacketPtr pkt) override
+        { cache_.recvTimingReq(pkt); }
+
+      private:
+        Cache &cache_;
+    };
+
+    class MemSidePort : public RequestPort
+    {
+      public:
+        MemSidePort(Cache &cache, const std::string &name)
+            : RequestPort(name), cache_(cache)
+        {}
+        void recvTimingResp(PacketPtr pkt) override
+        { cache_.recvTimingResp(pkt); }
+
+      private:
+        Cache &cache_;
+    };
+
+    /** @{ Protocol entry points (via the ports). */
+    Tick recvAtomic(Packet &pkt);
+    void recvFunctional(Packet &pkt);
+    void recvTimingReq(PacketPtr pkt);
+    void recvTimingResp(PacketPtr pkt);
+    /** @} */
+
+    /** Tag lookup; returns the line or nullptr. Touches LRU on hit. */
+    Line *lookup(Addr addr, bool update_lru);
+    const Line *lookupConst(Addr addr) const;
+
+    /** Pick a victim in the set of @p addr (invalid first, else LRU). */
+    Line &victimFor(Addr addr);
+
+    /** Install @p addr over the victim; emits writeback if needed. */
+    Line &insertLine(Addr addr, bool writable, bool timing);
+
+    /** Record a host-side touch of the tag entry for @p line. */
+    void touchTagState(const Line &line) const;
+
+    /** Find the MSHR covering @p line_addr, or nullptr. */
+    Mshr *findMshr(Addr line_addr);
+
+    /** Handle one demand request after the tag-lookup delay. */
+    void satisfyTiming(PacketPtr pkt);
+
+    /** Drain an MSHR's coalesced targets against a present line. */
+    void completeMshr(Addr line_addr, Line &line);
+
+    /** Drain a stolen MSHR's targets without installing the line
+     *  (data comes from the functional backing store regardless). */
+    void completeUncached(Addr line_addr);
+
+    /** Schedule @p fn after @p cycles on this cache's clock. */
+    void scheduleFn(Cycles cycles, std::function<void()> fn);
+
+    CacheParams params_;
+    unsigned numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t lruCounter_ = 0;
+    std::list<Mshr> mshrs_;
+    std::list<PacketPtr> deferred_; ///< requests waiting for an MSHR
+
+    CpuSidePort cpuPort_;
+    MemSidePort memPort_;
+
+    sim::stats::Scalar hits_;
+    sim::stats::Scalar misses_;
+    sim::stats::Scalar mshrHits_;
+    sim::stats::Scalar mshrBlocked_;
+    sim::stats::Scalar writebacks_;
+    sim::stats::Scalar invalidations_;
+    sim::stats::Scalar upgradeMisses_;
+    sim::stats::Formula missRate_;
+
+    /** @{ Plain counters (not stat lines: keeps single-core stat
+     *  text identical) — coherence races, for the tester. */
+    std::uint64_t upgradeRaces_ = 0;
+    std::uint64_t fillRaces_ = 0;
+    /** @} */
+};
+
+} // namespace g5p::bench::refpath
+
+#endif // G5P_BENCH_TIMING_REF_CACHE_HH

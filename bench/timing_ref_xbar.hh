@@ -1,5 +1,14 @@
 /**
  * @file
+ * Verbatim pre-optimization copy of the detailed memory path, kept as
+ * the timed + byte-identity reference for bench/abl_timing. Do not
+ * "fix" or modernize this code: its whole value is being the faithful
+ * baseline the optimized path is compared against. Source: the tree
+ * as of the commit preceding the timing memory-path optimization
+ * round.
+ */
+/**
+ * @file
  * Coherent crossbar connecting private L1 caches to a shared L2.
  *
  * Coherence follows gem5's "express snoop" approach: invalidations of
@@ -7,37 +16,30 @@
  * with their latency charged to the requesting transaction. A snoop
  * filter tracks which upstream caches may hold each line so that
  * snoops are only charged when a sibling actually holds a copy.
- *
- * The filter is an open-addressed AddrTable (one flat array, linear
- * probing) rather than a std::unordered_map: every timing and atomic
- * transaction probes it, so the per-access node chase and allocator
- * traffic of the map were pure hot-path overhead. The serialized
- * checkpoint form (sorted address/mask vectors) is unchanged.
  */
 
-#ifndef G5P_MEM_XBAR_HH
-#define G5P_MEM_XBAR_HH
+#ifndef G5P_BENCH_TIMING_REF_XBAR_HH
+#define G5P_BENCH_TIMING_REF_XBAR_HH
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
-#include "mem/addr_table.hh"
-#include "mem/cache.hh"
-#include "mem/mem_events.hh"
+#include "mem/xbar.hh"
+#include "timing_ref_cache.hh"
 #include "mem/packet.hh"
 #include "mem/port.hh"
 #include "sim/clocked_object.hh"
 
-namespace g5p::mem
+namespace g5p::bench::refpath
 {
 
-/** Crossbar latency/width parameters. */
-struct XbarParams
-{
-    Cycles frontendLatency = 1; ///< request pass-through latency
-    Cycles responseLatency = 1; ///< response pass-through latency
-    Cycles snoopLatency = 1;    ///< added per sibling invalidation
-};
+// The parameter structs and the coherence-state enum are shared with
+// the optimized path (mem/cache.hh, mem/xbar.hh); only the machinery
+// below differs. Everything else (Packet, ports, ClockedObject) is
+// the production code, so both legs of the comparison exercise the
+// same surrounding simulator.
+using namespace g5p::mem;
 
 class CoherentXbar : public sim::ClockedObject
 {
@@ -66,19 +68,6 @@ class CoherentXbar : public sim::ClockedObject
     Cache *snooper(unsigned i) const { return snoopers_[i]; }
     /** Lines currently tracked with more than one possible holder. */
     unsigned sharedLineCount() const;
-    /** @} */
-
-    /** @{ Host-side observability of the snoop filter (plain
-     *  counters, not stat lines — probe placement depends on
-     *  insertion history, so these can never be checkpoint-stable).
-     *  Average probe length = 1 + steps/probes. */
-    std::size_t filterSize() const { return snoopFilter_.size(); }
-    std::size_t filterCapacity() const
-    { return snoopFilter_.capacity(); }
-    std::uint64_t filterProbes() const
-    { return snoopFilter_.probes(); }
-    std::uint64_t filterProbeSteps() const
-    { return snoopFilter_.probeSteps(); }
     /** @} */
 
     void serialize(sim::CheckpointOut &cp) const override;
@@ -129,7 +118,9 @@ class CoherentXbar : public sim::ClockedObject
      * @return number of siblings invalidated (each costs
      *         snoopLatency) — and sets pkt's writable flag.
      */
-    G5P_HOT unsigned processSnoops(Packet &pkt, unsigned from);
+    unsigned processSnoops(Packet &pkt, unsigned from);
+
+    void scheduleFn(Cycles cycles, std::function<void()> fn);
 
     XbarParams params_;
     std::vector<std::unique_ptr<UpstreamPort>> upstreamPorts_;
@@ -137,13 +128,13 @@ class CoherentXbar : public sim::ClockedObject
     MemSidePort memPort_;
 
     /** line address -> bitmask of upstream holders. */
-    AddrTable<std::uint32_t> snoopFilter_;
+    std::unordered_map<Addr, std::uint32_t> snoopFilter_;
 
     sim::stats::Scalar transactions_;
     sim::stats::Scalar snoopInvalidations_;
     sim::stats::Scalar filterEntriesPeak_;
 };
 
-} // namespace g5p::mem
+} // namespace g5p::bench::refpath
 
-#endif // G5P_MEM_XBAR_HH
+#endif // G5P_BENCH_TIMING_REF_XBAR_HH

@@ -220,7 +220,21 @@ runMain(int argc, char **argv)
                                r.hostSeconds, 3)
               << " GB/s\n"
               << "DSB coverage       : "
-              << fmtPercent(r.counters.dsbCoverage()) << "\n\n";
+              << fmtPercent(r.counters.dsbCoverage()) << "\n";
+    if (r.packetPoolHighWater) {
+        // Timing-path health (PR 10): zero on pure-Atomic runs.
+        std::cout << "packet pool peak   : " << r.packetPoolHighWater
+                  << " in flight (" << r.packetPoolSlabs
+                  << " slab(s))\n"
+                  << "snoop filter       : " << r.snoopFilterLines
+                  << "/" << r.snoopFilterCapacity
+                  << " lines, avg probe "
+                  << fmtDouble(r.snoopFilterAvgProbe, 3) << "\n"
+                  << "MSHR line index    : " << r.mshrIndexProbes
+                  << " probes, avg "
+                  << fmtDouble(r.mshrIndexAvgProbe, 3) << "\n";
+    }
+    std::cout << "\n";
 
     std::cout << "Top-Down breakdown (slots):\n";
     core::printTopdownTree(std::cout, r.topdown);

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "base/logging.hh"
+#include "mem/packet_pool.hh"
 #include "trace/code_layout.hh"
 #include "trace/synthesizer.hh"
 
@@ -124,6 +125,10 @@ runProfiledSimulation(const RunConfig &config)
                                    os::cpuModelName(config.cpuModel));
     }
 
+    // Per-run packet-pool peak (the pool itself is thread-local and
+    // outlives runs).
+    mem::PacketPool::resetHighWater();
+
     sim::SimResult sim_result;
     if (fast_forward) {
         // Atomic to the boundary, then drain-and-switch to the
@@ -181,6 +186,31 @@ runProfiledSimulation(const RunConfig &config)
                  os::cpuModelName(config.cpuModel),
                  (unsigned long long)result.guestResult,
                  (unsigned long long)expected);
+    }
+
+    // Memory-path health, from the plain accessors (not stats).
+    result.packetPoolHighWater = mem::PacketPool::highWater();
+    result.packetPoolSlabs = mem::PacketPool::slabsAllocated();
+    {
+        auto &xb = system.xbar();
+        result.snoopFilterLines = xb.filterSize();
+        result.snoopFilterCapacity = xb.filterCapacity();
+        result.snoopFilterAvgProbe =
+            xb.filterProbes()
+                ? 1.0 + (double)xb.filterProbeSteps() /
+                            (double)xb.filterProbes()
+                : 0.0;
+        std::uint64_t probes = system.l2().mshrIndexProbes();
+        std::uint64_t steps = system.l2().mshrIndexProbeSteps();
+        for (unsigned i = 0; i < system.numCpus(); ++i) {
+            probes += system.l1i(i).mshrIndexProbes() +
+                      system.l1d(i).mshrIndexProbes();
+            steps += system.l1i(i).mshrIndexProbeSteps() +
+                     system.l1d(i).mshrIndexProbeSteps();
+        }
+        result.mshrIndexProbes = probes;
+        result.mshrIndexAvgProbe =
+            probes ? 1.0 + (double)steps / (double)probes : 0.0;
     }
 
     result.functionCdf = FunctionCdf::build(synth.selfOps());

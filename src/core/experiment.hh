@@ -137,6 +137,21 @@ struct RunResult
     std::size_t distinctFunctions = 0;
     FunctionCdf functionCdf;
     /** @} */
+
+    /**
+     * @{ Detailed memory-path health (PR 10), read from the plain
+     * observability counters after the run — never from stats, so
+     * checkpoint stat dumps stay byte-identical. Zero on runs that
+     * never touch the timing path (pure Atomic).
+     */
+    std::uint64_t packetPoolHighWater = 0; ///< peak packets in flight
+    std::uint64_t packetPoolSlabs = 0;     ///< slabs carved so far
+    std::uint64_t snoopFilterLines = 0;    ///< entries at run end
+    std::uint64_t snoopFilterCapacity = 0; ///< slots at run end
+    double snoopFilterAvgProbe = 0;        ///< mean probe length
+    std::uint64_t mshrIndexProbes = 0;     ///< line-index lookups
+    double mshrIndexAvgProbe = 0;          ///< mean probe length
+    /** @} */
 };
 
 /**

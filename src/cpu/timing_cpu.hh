@@ -37,8 +37,8 @@ class TimingCpu : public BaseCpu
     isa::Fault execWriteMem(Addr vaddr, unsigned size,
                             std::uint64_t data) override;
 
-    void recvInstResp(mem::PacketPtr pkt) override;
-    void recvDataResp(mem::PacketPtr pkt) override;
+    G5P_HOT void recvInstResp(mem::PacketPtr pkt) override;
+    G5P_HOT void recvDataResp(mem::PacketPtr pkt) override;
 
   private:
     enum class State

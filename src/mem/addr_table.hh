@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Open-addressed hash table keyed by line address, replacing the
+ * std::unordered_map snoop filter and the linear MSHR scans on the
+ * timing hot path.
+ *
+ * Layout: one flat power-of-two array of {addr, value} slots probed
+ * linearly from a multiplicative hash. No per-entry nodes, no bucket
+ * pointers — a lookup is one cache line in the common case, where
+ * unordered_map pays a bucket-array load plus a node chase per hit.
+ *
+ * Deletion is tombstone-free (backward-shift): erasing a slot walks
+ * the following cluster and shifts every displaced entry one step
+ * back toward its home slot, restoring the invariant that probing
+ * from home hits an entry before any empty slot. Long-running
+ * simulations (the snoop filter sees one erase per writeback of a
+ * tracked line) therefore never accumulate dead slots and never need
+ * an anti-tombstone rehash.
+ *
+ * Not checkpoint-stable by design: slot placement depends on
+ * insertion history, so the serialized form must be (and is) the
+ * sorted entry list, exactly as the unordered_map version wrote.
+ * Probe-length counters are host-side observability (surfaced by
+ * --profile), deliberately kept out of the stats groups so stat
+ * text stays byte-identical across pool/table configurations.
+ */
+
+#ifndef G5P_MEM_ADDR_TABLE_HH
+#define G5P_MEM_ADDR_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/compiler.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace g5p::mem
+{
+
+template <typename V>
+class AddrTable
+{
+  public:
+    /** @param capacity_hint initial slot count (rounded up to a
+     *  power of two, minimum 16). The table grows itself at 11/16
+     *  load, so the hint only sizes the first allocation. */
+    explicit AddrTable(std::size_t capacity_hint = 64)
+    {
+        std::size_t cap = 16;
+        while (cap < capacity_hint)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Value for @p addr, or @p missing if untracked. */
+    G5P_HOT V
+    lookup(Addr addr, V missing = V{}) const
+    {
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = homeSlot(addr);
+        ++probes_;
+        while (slots_[i].used) {
+            if (slots_[i].addr == addr)
+                return slots_[i].value;
+            i = (i + 1) & mask;
+            ++probeSteps_;
+        }
+        return missing;
+    }
+
+    /** True if @p addr is tracked. */
+    bool contains(Addr addr) const
+    {
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = homeSlot(addr);
+        while (slots_[i].used) {
+            if (slots_[i].addr == addr)
+                return true;
+            i = (i + 1) & mask;
+        }
+        return false;
+    }
+
+    /**
+     * Reference to @p addr's value, inserting a default-constructed
+     * entry if untracked (the unordered_map operator[] this table
+     * replaces). The reference is invalidated by any later insert
+     * or erase.
+     */
+    G5P_HOT V &
+    refOrInsert(Addr addr)
+    {
+        if (G5P_UNLIKELY((size_ + 1) * 16 > slots_.size() * 11))
+            grow();
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = homeSlot(addr);
+        ++probes_;
+        while (slots_[i].used) {
+            if (slots_[i].addr == addr)
+                return slots_[i].value;
+            i = (i + 1) & mask;
+            ++probeSteps_;
+        }
+        slots_[i].used = true;
+        slots_[i].addr = addr;
+        slots_[i].value = V{};
+        ++size_;
+        return slots_[i].value;
+    }
+
+    /** Remove @p addr (no-op if untracked), backward-shifting the
+     *  probe cluster so no tombstone is left behind. */
+    G5P_HOT void
+    erase(Addr addr)
+    {
+        std::size_t mask = slots_.size() - 1;
+        std::size_t i = homeSlot(addr);
+        ++probes_;
+        while (slots_[i].used && slots_[i].addr != addr) {
+            i = (i + 1) & mask;
+            ++probeSteps_;
+        }
+        if (!slots_[i].used)
+            return;
+        --size_;
+        // Shift the rest of the cluster back: any entry whose home
+        // slot lies at or before the hole (cyclically) moves into
+        // it, leaving the hole where that entry was.
+        std::size_t hole = i;
+        std::size_t j = (i + 1) & mask;
+        while (slots_[j].used) {
+            std::size_t home = homeSlot(slots_[j].addr);
+            // "home is cyclically outside (hole, j]" — the standard
+            // backward-shift condition.
+            bool movable = ((j - home) & mask) >= ((j - hole) & mask);
+            if (movable) {
+                slots_[hole] = slots_[j];
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        slots_[hole].used = false;
+    }
+
+    /** Visit every entry (unspecified order), e.g. for serialize. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_)
+            if (slot.used)
+                fn(slot.addr, slot.value);
+    }
+
+    /** Drop every entry, keeping the current capacity. */
+    void
+    clear()
+    {
+        for (Slot &slot : slots_)
+            slot.used = false;
+        size_ = 0;
+    }
+
+    /** @{ Probe telemetry: lookups started / extra slots walked
+     *  beyond the home slot. avg probe length = 1 + steps/probes.
+     *  Host-side observability only — never a stat line. */
+    std::uint64_t probes() const { return probes_; }
+    std::uint64_t probeSteps() const { return probeSteps_; }
+    /** @} */
+
+  private:
+    struct Slot
+    {
+        Addr addr = 0;
+        V value{};
+        bool used = false;
+    };
+
+    std::size_t
+    homeSlot(Addr addr) const
+    {
+        // Fibonacci hashing on the line address; callers key on
+        // line-aligned addresses, so mix before masking.
+        std::uint64_t h = (std::uint64_t)addr *
+                          0x9e3779b97f4a7c15ULL;
+        return (std::size_t)(h >> 32) & (slots_.size() - 1);
+    }
+
+    G5P_COLD void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        size_ = 0;
+        for (const Slot &slot : old)
+            if (slot.used)
+                refOrInsert(slot.addr) = slot.value;
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+    mutable std::uint64_t probes_ = 0;
+    mutable std::uint64_t probeSteps_ = 0;
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_ADDR_TABLE_HH

@@ -16,15 +16,28 @@
  * line stays readable while the upgrade is in flight (transient SM),
  * and a crossing invalidation downgrades the upgrade into a full
  * ReadEx refill (transient SM -> IM).
+ *
+ * Hot-path layout (the timing-round optimization pass):
+ *  - tags are packed one-word TagWords, way-grouped per set in a
+ *    single contiguous array, so an 8-way tag scan touches one host
+ *    cache line instead of three; the cold LRU stamps live in a
+ *    parallel array only the hit/victim paths touch;
+ *  - MSHRs live in a fixed slab with an intrusive free list, found
+ *    through an open-addressed line-address index (O(1)) instead of
+ *    a std::list scan; coalesced targets and the deferred queue
+ *    chain packets intrusively (Packet::queueNext) with no per-entry
+ *    node allocation;
+ *  - delayed work is typed pooled events (mem/mem_events.hh) rather
+ *    than std::function wrappers with per-event name strings.
  */
 
 #ifndef G5P_MEM_CACHE_HH
 #define G5P_MEM_CACHE_HH
 
-#include <functional>
-#include <list>
 #include <vector>
 
+#include "mem/addr_table.hh"
+#include "mem/mem_events.hh"
 #include "mem/packet.hh"
 #include "mem/port.hh"
 #include "sim/clocked_object.hh"
@@ -87,13 +100,21 @@ class Cache : public sim::ClockedObject
 
     /** True while misses or deferred requests are outstanding. */
     bool hasPendingMisses() const
-    { return !mshrs_.empty() || !deferred_.empty(); }
+    { return mshrInUse_ != 0 || deferredCount_ != 0; }
 
     /** Upgrades that lost the race to a crossing invalidation. */
     std::uint64_t upgradeRaces() const { return upgradeRaces_; }
 
     /** Fills whose permission grant a sibling stole in flight. */
     std::uint64_t fillRaces() const { return fillRaces_; }
+
+    /** @{ Host-side observability of the MSHR line-address index
+     *  (plain counters, not stat lines — probe placement depends on
+     *  insertion history, so these can never be checkpoint-stable). */
+    std::uint64_t mshrIndexProbes() const { return mshrIndex_.probes(); }
+    std::uint64_t mshrIndexProbeSteps() const
+    { return mshrIndex_.probeSteps(); }
+    /** @} */
 
     /**
      * Checkpoint tags, line state and LRU clock. MSHRs and deferred
@@ -113,19 +134,74 @@ class Cache : public sim::ClockedObject
     /** @} */
 
   private:
-    struct Line
+    /**
+     * One packed tag entry: tag<<3 | writable<<2 | dirty<<1 | valid.
+     * A whole way's state fits one 64-bit load, and the common "valid
+     * and tag match" test is two mask-and-compares on one register.
+     * (The *checkpoint* flag encoding — dirty=1, writable=2 — is
+     * unchanged; serialize() re-derives it from the accessors.)
+     */
+    class TagWord
     {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool writable = false;
-        std::uint64_t lastUsed = 0; ///< LRU timestamp
-    };
+      public:
+        bool valid() const { return (bits_ & validBit) != 0; }
+        bool dirty() const { return (bits_ & dirtyBit) != 0; }
+        bool writable() const { return (bits_ & writableBit) != 0; }
+        std::uint64_t tag() const { return bits_ >> tagShift; }
 
+        /** The hit test: valid with a matching tag. */
+        bool
+        matches(std::uint64_t tag) const
+        {
+            return (bits_ & validBit) != 0 && (bits_ >> tagShift) == tag;
+        }
+
+        void
+        setValid(bool v)
+        {
+            bits_ = v ? (bits_ | validBit) : (bits_ & ~validBit);
+        }
+        void
+        setDirty(bool v)
+        {
+            bits_ = v ? (bits_ | dirtyBit) : (bits_ & ~dirtyBit);
+        }
+        void
+        setWritable(bool v)
+        {
+            bits_ = v ? (bits_ | writableBit) : (bits_ & ~writableBit);
+        }
+        void
+        setTag(std::uint64_t tag)
+        {
+            bits_ = (tag << tagShift) | (bits_ & flagMask);
+        }
+
+        void reset() { bits_ = 0; }
+
+      private:
+        static constexpr std::uint64_t validBit = 1;
+        static constexpr std::uint64_t dirtyBit = 2;
+        static constexpr std::uint64_t writableBit = 4;
+        static constexpr std::uint64_t flagMask = 7;
+        static constexpr unsigned tagShift = 3;
+
+        std::uint64_t bits_ = 0;
+    };
+    static_assert(sizeof(TagWord) == 8, "TagWord must pack to a word");
+
+    /**
+     * One slab-resident MSHR. Slots come from an intrusive free list
+     * over the fixed mshrSlab_ array; live slots are found through
+     * mshrIndex_. Coalesced targets chain intrusively through the
+     * packets themselves.
+     */
     struct Mshr
     {
         Addr lineAddr = 0;
-        bool issued = false;
+        PacketQueue targets;
+        std::uint16_t nextFree = 0;
+        bool inUse = false;
         bool needsExclusive = false;
         bool isUpgrade = false; ///< transient SM: fill is ownership-only
         /** A sibling's exclusive request raced ahead of the pending
@@ -134,8 +210,10 @@ class Cache : public sim::ClockedObject
          *  filling (re-requesting could livelock: two cores would
          *  steal each other's in-flight fills forever). */
         bool stolen = false;
-        std::vector<PacketPtr> targets;
     };
+
+    /** "No MSHR" slot value (free-list end, index miss). */
+    static constexpr std::uint16_t invalidMshr = 0xffff;
 
     class CpuSidePort : public ResponsePort
     {
@@ -174,41 +252,70 @@ class Cache : public sim::ClockedObject
     void recvTimingResp(PacketPtr pkt);
     /** @} */
 
-    /** Tag lookup; returns the line or nullptr. Touches LRU on hit. */
-    Line *lookup(Addr addr, bool update_lru);
-    const Line *lookupConst(Addr addr) const;
+    /** Tag lookup; returns the entry or nullptr. Touches LRU on hit. */
+    G5P_HOT TagWord *lookup(Addr addr, bool update_lru);
+    const TagWord *lookupConst(Addr addr) const;
 
     /** Pick a victim in the set of @p addr (invalid first, else LRU). */
-    Line &victimFor(Addr addr);
+    TagWord &victimFor(Addr addr);
 
     /** Install @p addr over the victim; emits writeback if needed. */
-    Line &insertLine(Addr addr, bool writable, bool timing);
+    TagWord &insertLine(Addr addr, bool writable, bool timing);
 
-    /** Record a host-side touch of the tag entry for @p line. */
-    void touchTagState(const Line &line) const;
+    /** Record a host-side touch of tag entry @p index. */
+    void touchTagState(std::size_t index) const;
 
-    /** Find the MSHR covering @p line_addr, or nullptr. */
-    Mshr *findMshr(Addr line_addr);
+    /** Find the MSHR covering @p line_addr, or nullptr. O(1). */
+    G5P_HOT Mshr *findMshr(Addr line_addr);
+
+    /** Take a free MSHR slot for @p line_addr (caller checked one is
+     *  free) and index it. */
+    Mshr &allocMshr(Addr line_addr);
+
+    /** Return @p mshr to the free list and drop its index entry. */
+    void freeMshr(Mshr &mshr);
 
     /** Handle one demand request after the tag-lookup delay. */
     void satisfyTiming(PacketPtr pkt);
 
     /** Drain an MSHR's coalesced targets against a present line. */
-    void completeMshr(Addr line_addr, Line &line);
+    void completeMshr(Addr line_addr, TagWord &line);
 
     /** Drain a stolen MSHR's targets without installing the line
      *  (data comes from the functional backing store regardless). */
     void completeUncached(Addr line_addr);
 
-    /** Schedule @p fn after @p cycles on this cache's clock. */
-    void scheduleFn(Cycles cycles, std::function<void()> fn);
+    /** Pull one deferred request back into the pipeline, if any. */
+    void retryDeferred();
+
+    /** Continuation event for the post-tag-lookup stage. */
+    using AccessEvent = PacketMemberEvent<&Cache::satisfyTiming>;
+
+    /** Schedule satisfyTiming(@p pkt) after @p cycles. */
+    void scheduleAccess(Cycles cycles, PacketPtr pkt);
+
+    /** Respond to @p pkt upstream after @p cycles. */
+    void scheduleResp(Cycles cycles, PacketPtr pkt);
 
     CacheParams params_;
     unsigned numSets_;
-    std::vector<Line> lines_;
+
+    /** Way-grouped packed tags: entry for (set, way) lives at
+     *  set * assoc + way. */
+    std::vector<TagWord> tags_;
+    /** LRU stamps, parallel to tags_ (kept out of the scan array). */
+    std::vector<std::uint64_t> lastUsed_;
     std::uint64_t lruCounter_ = 0;
-    std::list<Mshr> mshrs_;
-    std::list<PacketPtr> deferred_; ///< requests waiting for an MSHR
+
+    /** @{ MSHR slab + free list + O(1) line-address index. */
+    std::vector<Mshr> mshrSlab_;
+    std::uint16_t mshrFreeHead_ = invalidMshr;
+    unsigned mshrInUse_ = 0;
+    AddrTable<std::uint16_t> mshrIndex_;
+    /** @} */
+
+    PacketQueue deferred_; ///< requests waiting for an MSHR
+    std::size_t deferredCount_ = 0;
 
     CpuSidePort cpuPort_;
     MemSidePort memPort_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/mem_events.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::mem
@@ -79,13 +80,8 @@ DramCtrl::recvTimingReq(PacketPtr pkt)
         return;
     }
 
-    scheduleOneShot(
-        curTick() + delay,
-        [this, pkt] {
-            pkt->makeResponse();
-            port_.sendTimingResp(pkt);
-        },
-        name() + ".resp");
+    auto *ev = new PacketRespEvent(port_, pkt, true);
+    schedule(*ev, curTick() + delay);
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/sim_error.hh"
+#include "mem/mem_events.hh"
 #include "mem/packet.hh"
 #include "mem/physical.hh"
 #include "sim/simulator.hh"
@@ -151,12 +152,11 @@ FaultInjector::onTimingResp(ResponsePort &src, RequestPort &dst,
         ++core.delays;
         ++delaysDone_;
         statDelays_ += 1;
-        RequestPort *target = &dst;
-        scheduleOneShot(curTick() + params_.delayTicks,
-                         [target, pkt] {
-                             target->recvTimingResp(pkt);
-                         },
-                         name() + ".delayedResp");
+        // Packet-owning event: if the queue is cleared before the
+        // delayed delivery fires (teardown, restore), the packet is
+        // reclaimed instead of leaking out of the pool.
+        auto *ev = new PacketDeliverEvent(dst, pkt);
+        schedule(*ev, curTick() + params_.delayTicks);
         return false;
     }
     return true;

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "base/types.hh"
+#include "mem/packet_pool.hh"
 #include "trace/recorder.hh"
 
 namespace g5p::mem
@@ -54,10 +55,27 @@ class Packet
     Packet(MemCmd cmd, Addr addr, unsigned size)
         : cmd_(cmd), addr_(addr), size_(size)
     {
-        // Packets are heap-allocated at high rate on the timing
-        // path; the allocator churn is real simulator data traffic.
+        // Packets are allocated at high rate on the timing path; the
+        // allocator churn is real simulator data traffic. The charge
+        // is recorded here (not in the pool) so pool-on and pool-off
+        // runs model identical host-side behaviour.
         trace::recordHeapAlloc(sizeof(Packet));
     }
+
+    /** @{ Dynamic packets recycle through the packet pool (which
+     *  falls back to the heap while disabled). */
+    static void *
+    operator new(std::size_t size)
+    {
+        return PacketPool::allocate(size);
+    }
+
+    static void
+    operator delete(void *p, std::size_t size) noexcept
+    {
+        PacketPool::deallocate(p, size);
+    }
+    /** @} */
 
     MemCmd cmd() const { return cmd_; }
     Addr addr() const { return addr_; }
@@ -127,6 +145,17 @@ class Packet
     void *senderState() const { return senderState_; }
     /** @} */
 
+    /**
+     * @{ Intrusive singly-linked queue hook, used by the cache to
+     * chain packets onto an MSHR's target list or the deferred
+     * queue without a per-entry node allocation. A packet is on at
+     * most one such queue at a time, and only while its owner (the
+     * queue) holds the only pointer to it.
+     */
+    void setQueueNext(Packet *next) { queueNext_ = next; }
+    Packet *queueNext() const { return queueNext_; }
+    /** @} */
+
     /** Printable summary. */
     std::string toString() const;
 
@@ -138,9 +167,53 @@ class Packet
     bool writable_ = true;
     int requestorId_ = -1;
     void *senderState_ = nullptr;
+    Packet *queueNext_ = nullptr;
 };
 
+static_assert(sizeof(Packet) <= PacketPool::blockSize,
+              "Packet must fit a PacketPool block");
+
 using PacketPtr = Packet *;
+
+/**
+ * Intrusive FIFO of packets chained through Packet::queueNext() —
+ * MSHR target lists and the cache's deferred queue, with no
+ * per-entry node allocation. The queue owns the packets it holds
+ * (the usual one-owner rule); whoever drains or destroys it is
+ * responsible for them.
+ */
+struct PacketQueue
+{
+    Packet *head = nullptr;
+    Packet *tail = nullptr;
+
+    bool empty() const { return head == nullptr; }
+
+    void
+    push(PacketPtr pkt)
+    {
+        pkt->setQueueNext(nullptr);
+        if (tail)
+            tail->setQueueNext(pkt);
+        else
+            head = pkt;
+        tail = pkt;
+    }
+
+    /** Detach and return the oldest packet, or nullptr if empty. */
+    PacketPtr
+    pop()
+    {
+        Packet *pkt = head;
+        if (pkt) {
+            head = pkt->queueNext();
+            if (!head)
+                tail = nullptr;
+            pkt->setQueueNext(nullptr);
+        }
+        return pkt;
+    }
+};
 
 } // namespace g5p::mem
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Free-list pool for timing-path Packets, the mem-layer sibling of
+ * sim::EventPool.
+ *
+ * The detailed models allocate and free one Packet per cache/xbar/
+ * DRAM transaction — on a Timing L1 hit that is a third of the heap
+ * traffic of the whole instruction (the other two thirds being the
+ * two transient events, which PR 1 already pooled). Routing Packets
+ * through the global allocator is pure churn: every block is the
+ * same size and is freed on the thread that allocated it.
+ *
+ * Like the event pool, arenas are thread-local (a simulation is
+ * confined to one thread; the parallel harness runs one whole
+ * simulation per worker), slabs come from a huge-page-backed
+ * ThpArena, and steady-state allocation touches no allocator at all.
+ *
+ * Unlike the event pool the packet pool can be switched off
+ * (setEnabled(false)) so the same binary can run the faithful
+ * pre-pool heap behaviour — the reference leg of bench/abl_timing
+ * and the pool-vs-heap byte-identity tests. The toggle is only legal
+ * while no packet is outstanding, which keeps every block's
+ * allocation and release on the same side of the switch.
+ *
+ * Ownership rule (unchanged from the heap days): exactly one owner
+ * holds a PacketPtr at any time — the pending delivery event, the
+ * MSHR/deferred queue it is parked on, or the CPU that just received
+ * it — and that owner deletes it. The pool adds the enforcement the
+ * heap never had: outstanding() must return to its baseline at every
+ * quiescent point and at Simulator teardown (asserted there), so a
+ * leaked packet fails loudly at its source.
+ */
+
+#ifndef G5P_MEM_PACKET_POOL_HH
+#define G5P_MEM_PACKET_POOL_HH
+
+#include <cstddef>
+
+#include "base/compiler.hh"
+
+namespace g5p::mem
+{
+
+class PacketPool
+{
+  public:
+    /** Block size covering Packet (with its intrusive queue link). */
+    static constexpr std::size_t blockSize = 64;
+    /** Blocks carved per slab (8 KiB slabs). */
+    static constexpr std::size_t slabBlocks = 128;
+
+    /** Pop a block (grows by one slab when the free list is empty);
+     *  falls through to the global heap while disabled. */
+    G5P_HOT static void *allocate(std::size_t size);
+
+    /** Push a block back onto the free list (or the heap). */
+    G5P_HOT static void deallocate(void *p, std::size_t size) noexcept;
+
+    /**
+     * Route allocations through the pool (true, the default) or the
+     * global heap (false, the faithful pre-pool behaviour). Asserts
+     * outstanding() == 0: a block must be freed in the mode it was
+     * allocated in. Thread-local, like the pool itself.
+     */
+    static void setEnabled(bool enabled);
+
+    /** @see setEnabled */
+    static bool enabled();
+
+    /** Packets allocated and not yet freed (calling thread), pool
+     *  and heap mode alike. */
+    static std::size_t outstanding();
+
+    /**
+     * Peak outstanding() since the last resetHighWater() — the
+     * maximum number of simultaneously in-flight packets, i.e. the
+     * pool's real working set. Surfaced by --profile runs.
+     */
+    static std::size_t highWater();
+
+    /** Restart high-water tracking from the current outstanding()
+     *  (each Simulator resets it so sweeps report per-run peaks). */
+    static void resetHighWater();
+
+    /** Slabs this thread carved from its arena so far. */
+    static std::size_t slabsAllocated();
+
+    /**
+     * Zero the outstanding count, returning what it was. Escape
+     * hatch for harnesses that deliberately run a pre-ownership-rule
+     * memory path (bench/abl_timing's embedded reference leg): that
+     * code parks packets in lambda events which do NOT delete them
+     * when the event queue clears at teardown, so the packets are
+     * genuinely — and unreachably — leaked. Writing them off keeps
+     * the drain assert armed for everything that runs afterwards.
+     * Never call this to paper over a leak in current code; the
+     * assert firing means an owner is missing.
+     */
+    static std::size_t writeOffLeaked();
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_PACKET_POOL_HH

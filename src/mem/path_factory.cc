@@ -1,0 +1,59 @@
+#include "mem/path_factory.hh"
+
+namespace g5p::mem
+{
+
+namespace
+{
+
+class StandardMemPathFactory final : public MemPathFactory
+{
+  public:
+    CacheHandles
+    makeCache(sim::Simulator &sim, const std::string &name,
+              const sim::ClockDomain &domain,
+              const CacheParams &params) override
+    {
+        auto cache = std::make_unique<Cache>(sim, name, domain,
+                                             params);
+        CacheHandles handles;
+        handles.cpuSide = &cache->cpuSidePort();
+        handles.memSide = &cache->memSidePort();
+        handles.object = std::move(cache);
+        return handles;
+    }
+
+    XbarHandles
+    makeXbar(sim::Simulator &sim, const std::string &name,
+             const sim::ClockDomain &domain,
+             const XbarParams &params) override
+    {
+        auto xbar = std::make_unique<CoherentXbar>(sim, name, domain,
+                                                   params);
+        XbarHandles handles;
+        handles.memSide = &xbar->memSidePort();
+        handles.object = std::move(xbar);
+        return handles;
+    }
+
+    ResponsePort &
+    addUpstreamPort(sim::SimObject &xbar,
+                    sim::SimObject *snooper) override
+    {
+        // Downcasts are safe by contract: both objects came out of
+        // this factory's make* calls.
+        return static_cast<CoherentXbar &>(xbar).addUpstreamPort(
+            static_cast<Cache *>(snooper));
+    }
+};
+
+} // namespace
+
+MemPathFactory &
+MemPathFactory::standard()
+{
+    static StandardMemPathFactory factory;
+    return factory;
+}
+
+} // namespace g5p::mem

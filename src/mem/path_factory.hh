@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Factory seam for the detailed memory path: os::System builds its
+ * caches and coherent xbar through a MemPathFactory instead of naming
+ * the concrete classes, so an alternative implementation of the path
+ * (bench/abl_timing's embedded pre-optimization reference copies) can
+ * be dropped into an otherwise identical machine — same object names,
+ * same stats slots, same wiring order — and compared byte-for-byte.
+ *
+ * The factory hands back opaque handles: the owning SimObject plus
+ * the two ports System needs for wiring. Everything else (tag arrays,
+ * MSHR organization, snoop-filter layout) stays private to the
+ * implementation. The concrete-type accessors on System (l1i(),
+ * xbar(), ...) downcast and are only valid on the standard path.
+ */
+
+#ifndef G5P_MEM_PATH_FACTORY_HH
+#define G5P_MEM_PATH_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/port.hh"
+#include "mem/xbar.hh"
+#include "sim/clocked_object.hh"
+
+namespace g5p::mem
+{
+
+/** A factory-built cache: the owning object plus its two ports. */
+struct CacheHandles
+{
+    std::unique_ptr<sim::SimObject> object;
+    ResponsePort *cpuSide = nullptr;
+    RequestPort *memSide = nullptr;
+};
+
+/** A factory-built coherent xbar: owner plus its downstream port.
+ *  Upstream ports are added through the factory (it knows the
+ *  concrete type). */
+struct XbarHandles
+{
+    std::unique_ptr<sim::SimObject> object;
+    RequestPort *memSide = nullptr;
+};
+
+class MemPathFactory
+{
+  public:
+    virtual ~MemPathFactory() = default;
+
+    virtual CacheHandles makeCache(sim::Simulator &sim,
+                                   const std::string &name,
+                                   const sim::ClockDomain &domain,
+                                   const CacheParams &params) = 0;
+
+    virtual XbarHandles makeXbar(sim::Simulator &sim,
+                                 const std::string &name,
+                                 const sim::ClockDomain &domain,
+                                 const XbarParams &params) = 0;
+
+    /**
+     * Add an upstream port to @p xbar for the snooping cache
+     * @p snooper (null for a non-caching requestor). Both must have
+     * been built by this factory; the implementation downcasts.
+     */
+    virtual ResponsePort &addUpstreamPort(sim::SimObject &xbar,
+                                          sim::SimObject *snooper) = 0;
+
+    /** The standard (optimized) memory path. */
+    static MemPathFactory &standard();
+};
+
+} // namespace g5p::mem
+
+#endif // G5P_MEM_PATH_FACTORY_HH

@@ -3,29 +3,6 @@
 namespace g5p::mem
 {
 
-namespace
-{
-
-// Thread-local: a FaultInjector interposes on its own run only;
-// concurrent clean runs on other threads must not see its hook.
-constinit thread_local TimingFaultHook *installedHook = nullptr;
-
-} // namespace
-
-TimingFaultHook *
-TimingFaultHook::install(TimingFaultHook *hook)
-{
-    TimingFaultHook *prev = installedHook;
-    installedHook = hook;
-    return prev;
-}
-
-TimingFaultHook *
-TimingFaultHook::current()
-{
-    return installedHook;
-}
-
 void
 RequestPort::bind(ResponsePort &peer)
 {
@@ -43,41 +20,6 @@ RequestPort::unbind()
         return;
     peer_->peer_ = nullptr;
     peer_ = nullptr;
-}
-
-Tick
-RequestPort::sendAtomic(Packet &pkt)
-{
-    g5p_assert(peer_, "atomic access through unbound port '%s'",
-               name_.c_str());
-    return peer_->recvAtomic(pkt);
-}
-
-void
-RequestPort::sendFunctional(Packet &pkt)
-{
-    g5p_assert(peer_, "functional access through unbound port '%s'",
-               name_.c_str());
-    peer_->recvFunctional(pkt);
-}
-
-void
-RequestPort::sendTimingReq(PacketPtr pkt)
-{
-    g5p_assert(peer_, "timing access through unbound port '%s'",
-               name_.c_str());
-    peer_->recvTimingReq(pkt);
-}
-
-void
-ResponsePort::sendTimingResp(PacketPtr pkt)
-{
-    g5p_assert(peer_, "response through unbound port '%s'",
-               name_.c_str());
-    if (installedHook &&
-        !installedHook->onTimingResp(*this, *peer_, pkt))
-        return;
-    peer_->recvTimingResp(pkt);
 }
 
 } // namespace g5p::mem

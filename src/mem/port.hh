@@ -12,6 +12,13 @@
  * mg5 simplifies gem5's flow control: timing requests are always
  * accepted (queueing delays are modeled inside the receiving objects),
  * so there is no retry protocol.
+ *
+ * Hot/cold split: the send* calls are the inner edges of the whole
+ * detailed-model call chain (CPU -> L1 -> xbar -> L2 -> DRAM and
+ * back), so their bodies live here in the header — after inlining, a
+ * send is the peer-pointer load plus the virtual recv* dispatch, with
+ * no extra call frame in between. Binding and unbinding stay
+ * out-of-line in port.cc; they run a handful of times per machine.
  */
 
 #ifndef G5P_MEM_PORT_HH
@@ -19,6 +26,7 @@
 
 #include <string>
 
+#include "base/compiler.hh"
 #include "base/logging.hh"
 #include "mem/packet.hh"
 
@@ -51,10 +59,29 @@ class TimingFaultHook
                               PacketPtr pkt) = 0;
 
     /** Install a hook (nullptr to remove); returns the previous one. */
-    static TimingFaultHook *install(TimingFaultHook *hook);
+    static TimingFaultHook *
+    install(TimingFaultHook *hook)
+    {
+        TimingFaultHook *prev = installed_;
+        installed_ = hook;
+        return prev;
+    }
 
     /** The installed hook, or nullptr. */
-    static TimingFaultHook *current();
+    static TimingFaultHook *current() { return installed_; }
+
+  private:
+    friend class ResponsePort;
+
+    /**
+     * Thread-local: a FaultInjector interposes on its own run only;
+     * concurrent clean runs on other threads must not see its hook.
+     * The clean-path cost is one TLS load and a predictable branch on
+     * every response. (constinit: GCC 12's UBSan miscompiles the lazy
+     * TLS init guard of non-constinit thread_local pointers.)
+     */
+    static constinit inline thread_local TimingFaultHook *installed_ =
+        nullptr;
 };
 
 /** Upstream side: issues requests, receives responses. */
@@ -79,13 +106,13 @@ class RequestPort
     const std::string &name() const { return name_; }
 
     /** Atomic access: returns total latency in ticks. */
-    Tick sendAtomic(Packet &pkt);
+    G5P_HOT Tick sendAtomic(Packet &pkt);
 
     /** Functional access: no timing. */
     void sendFunctional(Packet &pkt);
 
     /** Timing request: ownership of @p pkt passes downstream. */
-    void sendTimingReq(PacketPtr pkt);
+    G5P_HOT void sendTimingReq(PacketPtr pkt);
 
     /** Response delivery (called by the peer). */
     virtual void recvTimingResp(PacketPtr pkt) = 0;
@@ -109,13 +136,47 @@ class ResponsePort
     virtual void recvTimingReq(PacketPtr pkt) = 0;
 
     /** Deliver a response (or snoop) upstream. */
-    void sendTimingResp(PacketPtr pkt);
+    G5P_HOT void
+    sendTimingResp(PacketPtr pkt)
+    {
+        g5p_assert(peer_, "response through unbound port '%s'",
+                   name_.c_str());
+        TimingFaultHook *hook = TimingFaultHook::installed_;
+        if (G5P_UNLIKELY(hook != nullptr) &&
+            !hook->onTimingResp(*this, *peer_, pkt))
+            return;
+        peer_->recvTimingResp(pkt);
+    }
 
   private:
     friend class RequestPort;
     std::string name_;
     RequestPort *peer_ = nullptr;
 };
+
+inline Tick
+RequestPort::sendAtomic(Packet &pkt)
+{
+    g5p_assert(peer_, "atomic access through unbound port '%s'",
+               name_.c_str());
+    return peer_->recvAtomic(pkt);
+}
+
+inline void
+RequestPort::sendFunctional(Packet &pkt)
+{
+    g5p_assert(peer_, "functional access through unbound port '%s'",
+               name_.c_str());
+    peer_->recvFunctional(pkt);
+}
+
+inline void
+RequestPort::sendTimingReq(PacketPtr pkt)
+{
+    g5p_assert(peer_, "timing access through unbound port '%s'",
+               name_.c_str());
+    peer_->recvTimingReq(pkt);
+}
 
 } // namespace g5p::mem
 

@@ -75,6 +75,54 @@ class Simulator::ExitEvent : public Event
     std::string tag_;
 };
 
+namespace
+{
+/** See setTransientResourceProbe: written from a static initializer
+ *  in the pool's TU, so it must be constant-initialized itself. */
+constinit TransientResourceProbe transientProbe = nullptr;
+} // namespace
+
+void
+setTransientResourceProbe(TransientResourceProbe probe)
+{
+    transientProbe = probe;
+}
+
+void
+Simulator::assertTransientsDrained(const char *when) const
+{
+    if (!transientProbe)
+        return;
+    std::uint64_t outstanding = transientProbe();
+    g5p_assert(outstanding == transientGuard_.baseline,
+               "%s: %llu transient packet(s) leaked at %s "
+               "(tick %llu, baseline %llu) — some object dropped a "
+               "packet without deleting it or parking it on an "
+               "owning event",
+               groupName().c_str(),
+               (unsigned long long)outstanding, when,
+               (unsigned long long)eventq_.curTick(),
+               (unsigned long long)transientGuard_.baseline);
+}
+
+Simulator::TransientDrainGuard::TransientDrainGuard()
+    : baseline(transientProbe ? transientProbe() : 0)
+{
+}
+
+Simulator::TransientDrainGuard::~TransientDrainGuard()
+{
+    if (!transientProbe)
+        return;
+    std::uint64_t outstanding = transientProbe();
+    g5p_assert(outstanding == baseline,
+               "simulator teardown: %llu transient packet(s) still "
+               "outstanding after the event queue cleared (baseline "
+               "%llu) — leaked out of the packet pool",
+               (unsigned long long)outstanding,
+               (unsigned long long)baseline);
+}
+
 Simulator::Simulator(const std::string &name)
     : stats::Group(nullptr, name), eventq_(name + ".eventq"),
       autoCkptEvent_(this, "sim.autockpt", Event::StatDumpPri)
@@ -434,6 +482,9 @@ Simulator::advanceToQuiescence(std::uint64_t max_events)
                       "no quiescent point within %llu events",
                       (unsigned long long)max_events);
     }
+    // Quiescent means no memory transaction is in flight anywhere, so
+    // every pooled packet must be back home.
+    assertTransientsDrained("quiescence");
     return true;
 }
 
@@ -579,6 +630,7 @@ Simulator::takeCheckpoint(CheckpointOut &cp) const
     g5p_assert(eventq_.quiescent(),
                "takeCheckpoint requires a quiescent event queue "
                "(use Simulator::checkpoint)");
+    assertTransientsDrained("takeCheckpoint");
     cp.pushSection(groupName());
 
     cp.pushSection("meta");

@@ -61,6 +61,25 @@ struct FlightRecord
 };
 
 /**
+ * Probe reporting how many transient pooled resources (packets) are
+ * currently outstanding — allocated but not yet returned to their
+ * pool. Registered by the pool's translation unit at static-init
+ * time (sim/ stays ignorant of mem/); null when no pool is linked
+ * in. The Simulator asserts the count has returned to its
+ * construction-time baseline at every quiescent point and at
+ * teardown: with packet-owning events, a count above the baseline
+ * there is a leaked packet, and failing loudly turns a silent leak
+ * into a diagnosable abort (with a live pointer for ASan). Baseline
+ * rather than zero because the pool is per-thread and sibling
+ * machines may hold legitimately parked packets (see
+ * TransientDrainGuard).
+ */
+using TransientResourceProbe = std::uint64_t (*)();
+
+/** Register @p probe (nullptr to remove). */
+void setTransientResourceProbe(TransientResourceProbe probe);
+
+/**
  * The simulation root. Owns the event queue, tracks all SimObjects,
  * drives the init/regStats/startup phases, and runs the event loop.
  */
@@ -267,8 +286,37 @@ class Simulator : public stats::Group
     /** Take the pending auto-checkpoint (called from run()). */
     void doAutoCheckpoint();
 
+    /** Assert the transient-resource probe reads zero (see
+     *  setTransientResourceProbe); @p when names the check point. */
+    void assertTransientsDrained(const char *when) const;
+
     /** Per-simulator synthetic data segment (determinism). */
     trace::DataSpace dataSpace_;
+
+    /**
+     * Teardown drain check. Declared immediately before eventq_ so
+     * its destructor runs immediately *after* ~EventQueue — which
+     * clears the queue and thereby destroys every unfired
+     * packet-owning event, returning their packets to the pool. Any
+     * packet beyond the construction-time baseline still outstanding
+     * at that point has genuinely leaked.
+     *
+     * The baseline (probe reading when this Simulator was built)
+     * rather than zero: the pool is per-thread, not per-simulator,
+     * and another machine on this thread may legitimately hold
+     * parked packets — e.g. a finished Minor/O3 run whose final
+     * speculative fetches halted mid-flight and now sit on its MSHRs
+     * and unfired events until that machine is torn down. This
+     * simulator is only accountable for returning the count to what
+     * it found.
+     */
+    struct TransientDrainGuard
+    {
+        TransientDrainGuard();
+        ~TransientDrainGuard();
+        std::uint64_t baseline;
+    };
+    TransientDrainGuard transientGuard_;
 
     EventQueue eventq_;
     std::vector<SimObject *> objects_;

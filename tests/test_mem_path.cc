@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Timing memory-path optimization round (PR 10) verification:
+ *
+ *  - AddrTable (the open-addressed snoop-filter/MSHR index) fuzzed
+ *    against std::unordered_map, with clustered keys to force long
+ *    probe chains and the backward-shift deletion path;
+ *  - PacketPool unit behavior: block reuse, outstanding/high-water
+ *    accounting, heap-mode (disabled) equivalence;
+ *  - pool-vs-heap byte identity over the PR 7 coherence stress
+ *    matrix (4 seeds x {2,4} cores x {Atomic,Timing}): disabling the
+ *    pool must change nothing but the allocator;
+ *  - checkpoint/restore mid-flight while pooled packets are live:
+ *    the drain must return every packet to the pool before
+ *    serialization, and the restored run must replay exactly;
+ *  - teardown drain: outstanding() returns to baseline after every
+ *    System lifetime (the Simulator asserts this too — these tests
+ *    double as a harness for that assert).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr_table.hh"
+#include "mem/mem_tester.hh"
+#include "mem/packet.hh"
+#include "mem/packet_pool.hh"
+#include "os/system.hh"
+#include "workloads/workload.hh"
+
+using namespace g5p;
+using namespace g5p::os;
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// AddrTable vs unordered_map fuzz
+// ---------------------------------------------------------------
+
+/** Deterministic 64-bit LCG (Knuth). */
+struct Lcg
+{
+    std::uint64_t s;
+    std::uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return s >> 11;
+    }
+};
+
+TEST(AddrTable, MatchesUnorderedMapUnderFuzz)
+{
+    // Line addresses from a small clustered space: multiples of 64
+    // in a 512-line window, so a 64-slot initial table sees heavy
+    // collisions, growth, and erase inside probe clusters.
+    mem::AddrTable<std::uint32_t> table(64);
+    std::unordered_map<Addr, std::uint32_t> model;
+    Lcg rng{12345};
+
+    for (int op = 0; op < 200000; ++op) {
+        Addr addr = (rng.next() % 512) * 64;
+        switch (rng.next() % 4) {
+          case 0:
+          case 1: { // insert-or-update
+            std::uint32_t v = (std::uint32_t)rng.next();
+            table.refOrInsert(addr) = v;
+            model[addr] = v;
+            break;
+          }
+          case 2: // erase (often mid-cluster)
+            table.erase(addr);
+            model.erase(addr);
+            break;
+          default: // lookup + contains
+            auto it = model.find(addr);
+            std::uint32_t expect =
+                it == model.end() ? 0xdeadbeef : it->second;
+            EXPECT_EQ(table.lookup(addr, 0xdeadbeef), expect);
+            EXPECT_EQ(table.contains(addr), it != model.end());
+            break;
+        }
+        ASSERT_EQ(table.size(), model.size());
+    }
+
+    // Full-content sweep via forEach.
+    std::unordered_map<Addr, std::uint32_t> dumped;
+    table.forEach([&](Addr a, std::uint32_t v) { dumped[a] = v; });
+    EXPECT_EQ(dumped, model);
+}
+
+TEST(AddrTable, EraseShiftsClustersBack)
+{
+    // Deleting the head of a probe cluster must leave the rest of
+    // the cluster reachable (backward-shift, not tombstones): craft
+    // keys that all hash near each other by brute-force searching
+    // for same-home addresses, then erase in insertion order.
+    mem::AddrTable<int> table(64);
+    std::vector<Addr> cluster;
+    // With 64 slots there are only 64 homes; 6*64 candidates are
+    // plenty to find 8 sharing one.
+    std::unordered_map<std::uint64_t, std::vector<Addr>> byHome;
+    for (Addr a = 0; a < 64 * 6 * 64; a += 64) {
+        // The table's own hash (Fibonacci multiply, top bits).
+        std::uint64_t home = (a * 0x9e3779b97f4a7c15ull) >> 32 & 63;
+        byHome[home].push_back(a);
+        if (byHome[home].size() >= 8) {
+            cluster = byHome[home];
+            break;
+        }
+    }
+    ASSERT_GE(cluster.size(), 8u);
+
+    for (std::size_t i = 0; i < cluster.size(); ++i)
+        table.refOrInsert(cluster[i]) = (int)i;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+        table.erase(cluster[i]);
+        for (std::size_t j = i + 1; j < cluster.size(); ++j)
+            ASSERT_EQ(table.lookup(cluster[j], -1), (int)j)
+                << "entry lost after erasing cluster head " << i;
+    }
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(AddrTable, GrowthPreservesContents)
+{
+    mem::AddrTable<std::uint32_t> table(64);
+    for (Addr a = 0; a < 4096; ++a)
+        table.refOrInsert(a * 64) = (std::uint32_t)a;
+    EXPECT_EQ(table.size(), 4096u);
+    EXPECT_GE(table.capacity(), 4096u);
+    for (Addr a = 0; a < 4096; ++a)
+        ASSERT_EQ(table.lookup(a * 64, 0xffffffff), a);
+}
+
+// ---------------------------------------------------------------
+// PacketPool unit behavior
+// ---------------------------------------------------------------
+
+TEST(PacketPool, ReusesBlocksAndTracksHighWater)
+{
+    ASSERT_TRUE(mem::PacketPool::enabled());
+    std::size_t base = mem::PacketPool::outstanding();
+    mem::PacketPool::resetHighWater();
+
+    auto *a = new mem::Packet(mem::MemCmd::ReadReq, 0x40, 8);
+    auto *b = new mem::Packet(mem::MemCmd::ReadReq, 0x80, 8);
+    EXPECT_EQ(mem::PacketPool::outstanding(), base + 2);
+    EXPECT_GE(mem::PacketPool::highWater(), base + 2);
+
+    void *addr_b = b;
+    delete b;
+    EXPECT_EQ(mem::PacketPool::outstanding(), base + 1);
+    // LIFO free list: the very next allocation reuses b's block.
+    auto *c = new mem::Packet(mem::MemCmd::WriteReq, 0xc0, 8);
+    EXPECT_EQ((void *)c, addr_b);
+    delete c;
+    delete a;
+    EXPECT_EQ(mem::PacketPool::outstanding(), base);
+    // High water survives the frees until explicitly reset.
+    EXPECT_GE(mem::PacketPool::highWater(), base + 2);
+    mem::PacketPool::resetHighWater();
+    EXPECT_EQ(mem::PacketPool::highWater(), base);
+}
+
+TEST(PacketPool, DisabledModeIsPlainHeap)
+{
+    ASSERT_EQ(mem::PacketPool::outstanding(), 0u)
+        << "previous test leaked packets";
+    mem::PacketPool::setEnabled(false);
+    auto *p = new mem::Packet(mem::MemCmd::ReadReq, 0x100, 8);
+    // Outstanding accounting works identically in heap mode: the
+    // Simulator's drain assert stays armed for the reference legs.
+    EXPECT_EQ(mem::PacketPool::outstanding(), 1u);
+    delete p;
+    EXPECT_EQ(mem::PacketPool::outstanding(), 0u);
+    mem::PacketPool::setEnabled(true);
+    EXPECT_TRUE(mem::PacketPool::enabled());
+}
+
+// ---------------------------------------------------------------
+// Pool-vs-heap byte identity over the PR 7 stress matrix
+// ---------------------------------------------------------------
+
+std::string
+stressDump(std::uint64_t seed, unsigned cores, bool atomic)
+{
+    sim::Simulator sim("tester");
+    mem::MemTesterParams p;
+    p.numCores = cores;
+    p.seed = seed;
+    p.atomicMode = atomic;
+    p.opsPerCore = 800;
+    mem::MemTester tester(sim, "mt", p);
+    sim::SimResult res = sim.run();
+    EXPECT_EQ(res.cause, sim::ExitCause::Finished);
+    EXPECT_TRUE(tester.violations().empty());
+    std::ostringstream os;
+    sim.dumpStats(os);
+    return os.str();
+}
+
+struct PoolIdentityCase
+{
+    std::uint64_t seed;
+    unsigned cores;
+    bool atomic;
+};
+
+class PoolVsHeap : public ::testing::TestWithParam<PoolIdentityCase>
+{};
+
+TEST_P(PoolVsHeap, ByteIdenticalStats)
+{
+    auto c = GetParam();
+    ASSERT_EQ(mem::PacketPool::outstanding(), 0u);
+    std::string pooled = stressDump(c.seed, c.cores, c.atomic);
+    mem::PacketPool::setEnabled(false);
+    std::string heap = stressDump(c.seed, c.cores, c.atomic);
+    mem::PacketPool::setEnabled(true);
+    EXPECT_EQ(pooled, heap)
+        << "allocator choice leaked into simulated behavior";
+}
+
+std::vector<PoolIdentityCase>
+poolCases()
+{
+    std::vector<PoolIdentityCase> cases;
+    for (std::uint64_t seed : {1, 2, 3, 4})
+        for (unsigned cores : {2u, 4u})
+            for (bool atomic : {false, true})
+                cases.push_back({seed, cores, atomic});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PoolVsHeap, ::testing::ValuesIn(poolCases()),
+    [](const auto &info) {
+        std::ostringstream os;
+        os << "seed" << info.param.seed << "_" << info.param.cores
+           << "core_" << (info.param.atomic ? "Atomic" : "Timing");
+        return os.str();
+    });
+
+// ---------------------------------------------------------------
+// Checkpoint/restore mid-flight with pooled packets live
+// ---------------------------------------------------------------
+
+struct GuestArtifacts
+{
+    std::string stats;
+    std::uint64_t result = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t memDigest = 0;
+    Tick finalTick = 0;
+};
+
+GuestArtifacts
+finishGuest(sim::Simulator &sim, System &system)
+{
+    auto res = system.run();
+    EXPECT_EQ(res.cause, sim::ExitCause::Finished);
+    GuestArtifacts a;
+    std::ostringstream stats;
+    sim.dumpStats(stats);
+    a.stats = stats.str();
+    a.result = system.result();
+    a.insts = system.totalInsts();
+    a.memDigest = system.physmem().contentDigest();
+    a.finalTick = res.tick;
+    return a;
+}
+
+SystemConfig
+timingCfg(unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.cpuModel = CpuModel::Timing;
+    cfg.numCpus = cores;
+    return cfg;
+}
+
+TEST(PooledCheckpoint, MidFlightRestoreReplaysExactly)
+{
+    ASSERT_TRUE(mem::PacketPool::enabled());
+    auto &reg = workloads::Registry::instance();
+    std::string path = ::testing::TempDir() + "/g5p_pooled.ckpt";
+
+    // Reference: uninterrupted 2-core Timing run (packets pooled).
+    GuestArtifacts ref;
+    {
+        sim::Simulator sim("system");
+        auto wl = reg.create("radix_threads", 0.1);
+        System system(sim, timingCfg(2), *wl);
+        ref = finishGuest(sim, system);
+    }
+    ASSERT_GT(ref.finalTick, 0u);
+
+    // Checkpoint mid-run: the drain must park or retire every pooled
+    // packet (Cache::serialize asserts no MSHRs in flight; the
+    // Simulator asserts outstanding() == 0 at the boundary).
+    {
+        sim::Simulator sim("system");
+        auto wl = reg.create("radix_threads", 0.1);
+        System system(sim, timingCfg(2), *wl);
+        auto part = system.run(ref.finalTick / 2);
+        ASSERT_EQ(part.cause, sim::ExitCause::TickLimit);
+        ASSERT_FALSE(system.allHalted())
+            << "workload too short to checkpoint mid-run";
+        sim.checkpoint(path);
+        GuestArtifacts cont = finishGuest(sim, system);
+        EXPECT_EQ(ref.stats, cont.stats);
+        EXPECT_EQ(ref.result, cont.result);
+        EXPECT_EQ(ref.memDigest, cont.memDigest);
+    }
+
+    // Restore into a fresh machine; everything must replay.
+    {
+        sim::Simulator sim("system");
+        auto wl = reg.create("radix_threads", 0.1);
+        System system(sim, timingCfg(2), *wl);
+        sim.restore(path);
+        GuestArtifacts rest = finishGuest(sim, system);
+        EXPECT_EQ(ref.stats, rest.stats);
+        EXPECT_EQ(ref.result, rest.result);
+        EXPECT_EQ(ref.insts, rest.insts);
+        EXPECT_EQ(ref.finalTick, rest.finalTick);
+        EXPECT_EQ(ref.memDigest, rest.memDigest);
+    }
+    std::remove(path.c_str());
+    EXPECT_EQ(mem::PacketPool::outstanding(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Teardown drain
+// ---------------------------------------------------------------
+
+TEST(PoolDrain, EverySystemLifetimeReturnsToBaseline)
+{
+    auto &reg = workloads::Registry::instance();
+    for (CpuModel model : {CpuModel::Timing, CpuModel::O3}) {
+        ASSERT_EQ(mem::PacketPool::outstanding(), 0u);
+        {
+            sim::Simulator sim("system");
+            auto wl = reg.create("water_nsquared", 0.1);
+            SystemConfig cfg;
+            cfg.cpuModel = model;
+            cfg.maxInstsPerCpu = 2000;
+            System system(sim, cfg, *wl);
+            system.run();
+            // In-scope: transient packets may be parked on events.
+        }
+        // Past the Simulator's own TransientDrainGuard: if a packet
+        // had leaked, the assert inside teardown would have fired
+        // before we got here. Belt and braces:
+        EXPECT_EQ(mem::PacketPool::outstanding(), 0u)
+            << "leak after " << cpuModelName(model) << " teardown";
+    }
+}
+
+} // namespace

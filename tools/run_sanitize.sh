@@ -75,6 +75,21 @@ if [ "$#" -gt 0 ]; then
     ctest --preset sanitize -R '^(CoherenceStress|CoherenceQuick|Litmus|ThreadedGuest|MultiCoreRegression)'
 fi
 
+# Timing memory-path pass (PR 10): the packet pool carves THP slabs
+# into 64-byte blocks and recycles them LIFO, MSHRs live in a slab
+# with intrusive free-listing, and the snoop filter/MSHR index do
+# open addressing with backward-shift deletion — manual memory
+# management stacked three deep, i.e. exactly what ASan/UBSan are
+# for. The pool-vs-heap identity matrix runs every packet lifetime
+# twice (pooled and malloc'd), and the quick bench gate runs both
+# the optimized and the embedded pre-PR reference paths under
+# sanitizers (speed gates demote to report-only; the byte-identity
+# checks still must pass).
+if [ "$#" -gt 0 ]; then
+    echo "== ctest timing memory-path suite (preset: sanitize) =="
+    ctest --preset sanitize -R '^(AddrTable|PacketPool|PoolVsHeap|PooledCheckpoint|PoolDrain|TimingMemPathQuick)'
+fi
+
 # Dispatch pass: the PR 9 kind table is read through relaxed atomics
 # on the hottest path in the tree, the event kind byte lives in tail
 # padding, and the THP arenas hand out mmap-backed slabs that the
@@ -128,5 +143,8 @@ if [ "${G5P_SKIP_TSAN:-0}" != "1" ]; then
     # the one structure registered by any thread and read by all
     # service loops — exactly the publish/read edge TSan checks.
     echo "== ctest parallel suites (preset: tsan) =="
-    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling|Coherence|Service)|Dispatch'
+    # The timing-path suites join because the packet pool and THP
+    # arenas are thread-local by design — TSan proves no state leaks
+    # across the pool threads that run whole simulations.
+    ctest --preset tsan -R '^(Parallel|Checkpoint|Sampling|Coherence|Service)|Dispatch|Pool|MemPath'
 fi
